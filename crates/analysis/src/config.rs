@@ -1,0 +1,109 @@
+//! Analyzer configuration.
+
+use std::collections::HashMap;
+
+/// Configuration of sources, sinks, and analysis limits.
+///
+/// The defaults mirror the paper's setup: GET/POST/cookie superglobals
+/// are *direct* sources, database fetch results and designated globals
+/// (like Utopia News Pro's `$USER`) are *indirect* sources, and
+/// `$DB->query(...)`-style calls are hotspots.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Superglobal array names whose elements are directly
+    /// user-controlled.
+    pub direct_superglobals: Vec<String>,
+    /// Superglobal / global array names whose elements are indirectly
+    /// user-controlled (populated from the database or session).
+    pub indirect_globals: Vec<String>,
+    /// Free function names that send their first argument to the
+    /// database.
+    pub hotspot_functions: Vec<String>,
+    /// Method names (on any object) that send their first argument to
+    /// the database.
+    pub hotspot_methods: Vec<String>,
+    /// Method/function names whose result is a row fetched from the
+    /// database (an indirect source).
+    pub fetch_functions: Vec<String>,
+    /// Manual resolutions for dynamic includes the layout intersection
+    /// cannot settle (the paper needed two of these for e107): maps the
+    /// include-site label `file:line` to the list of files to include.
+    pub include_overrides: HashMap<String, Vec<String>>,
+    /// Maximum user-function inlining depth before widening to Σ*.
+    pub max_call_depth: usize,
+    /// Maximum number of include files expanded from one dynamic
+    /// include site.
+    pub max_include_fanout: usize,
+    /// Enable the backward query-relevance slice (paper §7 future
+    /// work): transducer images applied in contexts that cannot reach a
+    /// query hotspot are widened to tainted Σ* instead of being
+    /// computed. Sound; speeds up display-heavy code (the Tiger forum
+    /// effect) at the cost of `echo` language precision — leave off
+    /// when running the XSS checker.
+    pub backward_slice: bool,
+    /// Size budget (productions) for a transducer operand grammar;
+    /// larger operands are widened to tainted Σ* with a warning. Bounds
+    /// the multiplicative blow-up of chained `str_replace` calls (paper
+    /// §5.3, the Tiger PHP News System effect).
+    pub max_transducer_grammar: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            direct_superglobals: ["_GET", "_POST", "_REQUEST", "_COOKIE", "_SERVER", "HTTP_GET_VARS", "HTTP_POST_VARS", "HTTP_COOKIE_VARS"]
+                .map(String::from)
+                .to_vec(),
+            indirect_globals: ["_SESSION", "USER"].map(String::from).to_vec(),
+            hotspot_functions: ["mysql_query", "mysqli_query", "mysql_db_query", "pg_query", "sqlite_query", "db_query"]
+                .map(String::from)
+                .to_vec(),
+            // `prepare` receives the query template; `execute` receives bound
+            // parameters, which placeholders keep out of the SQL syntax, so
+            // it is deliberately NOT a hotspot.
+            hotspot_methods: ["query", "sql_query", "prepare"].map(String::from).to_vec(),
+            fetch_functions: [
+                "mysql_fetch_array",
+                "mysql_fetch_assoc",
+                "mysql_fetch_row",
+                "mysql_fetch_object",
+                "mysql_result",
+                "fetch",
+                "fetch_array",
+                "fetch_assoc",
+                "fetch_row",
+                "fetchrow",
+                "sql_fetch_array",
+                "sql_fetchrow",
+            ]
+            .map(String::from)
+            .to_vec(),
+            include_overrides: HashMap::new(),
+            max_call_depth: 8,
+            max_include_fanout: 64,
+            backward_slice: false,
+            max_transducer_grammar: 100_000,
+        }
+    }
+}
+
+impl Config {
+    /// Creates the default configuration.
+    pub fn new() -> Self {
+        Config::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_paper_sources() {
+        let c = Config::default();
+        assert!(c.direct_superglobals.iter().any(|s| s == "_GET"));
+        assert!(c.indirect_globals.iter().any(|s| s == "USER"));
+        assert!(c.hotspot_methods.iter().any(|s| s == "query"));
+        assert!(c.max_call_depth > 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Abstract environments: variable → grammar nonterminal.
+//!
+//! The analysis is flow-sensitive: each program point has an
+//! environment mapping PHP variables (and canonicalized array
+//! elements / object properties) to the nonterminal that derives the
+//! variable's possible string values. Control-flow joins create fresh
+//! nonterminals with one production per incoming branch — this is what
+//! makes the generated grammar "reflect the program's dataflow" (paper
+//! Fig. 5).
+
+use std::collections::HashMap;
+
+use strtaint_grammar::{Cfg, NtId, Symbol};
+
+/// Separator used in canonical keys for array elements
+/// (`arr␀key`) — a byte that cannot occur in PHP identifiers.
+pub const KEY_SEP: char = '\u{0}';
+
+/// A flow-sensitive variable environment.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    vars: HashMap<String, NtId>,
+}
+
+impl Env {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        Env::default()
+    }
+
+    /// Looks up a variable.
+    pub fn get(&self, key: &str) -> Option<NtId> {
+        self.vars.get(key).copied()
+    }
+
+    /// Binds a variable.
+    pub fn set(&mut self, key: impl Into<String>, nt: NtId) {
+        self.vars.insert(key.into(), nt);
+    }
+
+    /// Removes a binding (PHP `unset`).
+    pub fn unset(&mut self, key: &str) {
+        self.vars.remove(key);
+    }
+
+    /// Iterates over bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, NtId)> {
+        self.vars.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All keys that denote elements of array `name`
+    /// (i.e. start with `name␀`).
+    pub fn element_keys(&self, name: &str) -> Vec<String> {
+        let prefix = format!("{name}{KEY_SEP}");
+        let mut keys: Vec<String> = self
+            .vars
+            .keys()
+            .filter(|k| k.starts_with(&prefix))
+            .cloned()
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Joins two post-branch environments into one, creating join
+    /// nonterminals in `cfg` where bindings differ.
+    ///
+    /// A variable bound in only one branch joins with `missing` (the
+    /// nonterminal for PHP's empty/unset value).
+    pub fn join(cfg: &mut Cfg, a: &Env, b: &Env, missing: NtId) -> Env {
+        let mut out = Env::new();
+        let mut keys: Vec<&String> = a.vars.keys().chain(b.vars.keys()).collect();
+        keys.sort();
+        keys.dedup();
+        for key in keys {
+            let na = a.get(key).unwrap_or(missing);
+            let nb = b.get(key).unwrap_or(missing);
+            if na == nb {
+                out.set(key.clone(), na);
+            } else {
+                let j = cfg.add_nonterminal(format!("{}⊔", clean_key(key)));
+                cfg.add_production(j, vec![Symbol::N(na)]);
+                cfg.add_production(j, vec![Symbol::N(nb)]);
+                out.set(key.clone(), j);
+            }
+        }
+        out
+    }
+
+    /// Joins many environments.
+    pub fn join_all(cfg: &mut Cfg, envs: &[Env], missing: NtId) -> Env {
+        match envs {
+            [] => Env::new(),
+            [only] => only.clone(),
+            [first, rest @ ..] => {
+                let mut acc = first.clone();
+                for e in rest {
+                    acc = Env::join(cfg, &acc, e, missing);
+                }
+                acc
+            }
+        }
+    }
+}
+
+/// Renders a canonical key for display (replaces the NUL separator).
+pub fn clean_key(key: &str) -> String {
+    key.replace(KEY_SEP, "[") + if key.contains(KEY_SEP) { "]" } else { "" }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_keeps_equal_bindings() {
+        let mut cfg = Cfg::new();
+        let x = cfg.literal_nonterminal("x", b"v");
+        let missing = cfg.literal_nonterminal("ε", b"");
+        let mut a = Env::new();
+        a.set("v", x);
+        let b = a.clone();
+        let before = cfg.num_nonterminals();
+        let j = Env::join(&mut cfg, &a, &b, missing);
+        assert_eq!(j.get("v"), Some(x));
+        assert_eq!(cfg.num_nonterminals(), before, "no new NT for equal bindings");
+    }
+
+    #[test]
+    fn join_differs_creates_alternatives() {
+        let mut cfg = Cfg::new();
+        let x = cfg.literal_nonterminal("x", b"a");
+        let y = cfg.literal_nonterminal("y", b"b");
+        let missing = cfg.literal_nonterminal("ε", b"");
+        let mut a = Env::new();
+        a.set("v", x);
+        let mut b = Env::new();
+        b.set("v", y);
+        let j = Env::join(&mut cfg, &a, &b, missing);
+        let nt = j.get("v").unwrap();
+        assert!(cfg.derives(nt, b"a"));
+        assert!(cfg.derives(nt, b"b"));
+        assert!(!cfg.derives(nt, b"c"));
+    }
+
+    #[test]
+    fn one_sided_binding_joins_with_missing() {
+        let mut cfg = Cfg::new();
+        let x = cfg.literal_nonterminal("x", b"a");
+        let missing = cfg.literal_nonterminal("ε", b"");
+        let mut a = Env::new();
+        a.set("v", x);
+        let b = Env::new();
+        let j = Env::join(&mut cfg, &a, &b, missing);
+        let nt = j.get("v").unwrap();
+        assert!(cfg.derives(nt, b"a"));
+        assert!(cfg.derives(nt, b""));
+    }
+
+    #[test]
+    fn element_keys_are_sorted_and_scoped() {
+        let mut cfg = Cfg::new();
+        let x = cfg.literal_nonterminal("x", b"1");
+        let mut e = Env::new();
+        e.set(format!("arr{KEY_SEP}b"), x);
+        e.set(format!("arr{KEY_SEP}a"), x);
+        e.set(format!("other{KEY_SEP}z"), x);
+        e.set("arrx", x);
+        let keys = e.element_keys("arr");
+        assert_eq!(
+            keys,
+            vec![format!("arr{KEY_SEP}a"), format!("arr{KEY_SEP}b")]
+        );
+    }
+}

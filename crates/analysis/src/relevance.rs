@@ -1,0 +1,457 @@
+//! Backward query-relevance analysis — the optimization the paper
+//! proposes in §5.3/§7: "add a backward dataflow analysis to prevent
+//! it from analyzing complex string expressions that do not influence
+//! database queries, and refrain from analyzing the rest."
+//!
+//! A quick name-based whole-program fixpoint computes an
+//! **over-approximation** of the variable and function names whose
+//! values can reach a query hotspot. The string-taint analysis then
+//! widens expensive transducer images applied in irrelevant contexts
+//! (e.g. BBCode markup chains feeding `echo`) to tainted Σ* — sound by
+//! construction, since widening only ever grows languages — while
+//! query-relevant sanitizers stay precise.
+//!
+//! Trade-off: display-only languages become Σ*, so pair this with the
+//! SQL checker, not the XSS checker.
+
+use std::collections::{HashMap, HashSet};
+
+use strtaint_php::ast::*;
+use strtaint_php::parse;
+
+use crate::config::Config;
+use crate::vfs::Vfs;
+
+/// The computed relevance facts.
+#[derive(Debug, Clone, Default)]
+pub struct Relevance {
+    /// Variable names (bare, scope-insensitive) that may influence a
+    /// query.
+    pub vars: HashSet<String>,
+    /// Function names whose results may influence a query.
+    pub functions: HashSet<String>,
+}
+
+impl Relevance {
+    /// Returns `true` if a variable name may influence a query.
+    pub fn var(&self, name: &str) -> bool {
+        self.vars.contains(name)
+    }
+}
+
+#[derive(Default)]
+struct Facts {
+    /// lhs root name → (rhs variable names, rhs called functions).
+    assigns: Vec<(String, HashSet<String>, HashSet<String>)>,
+    /// function name → (return-expression names, calls, param names).
+    functions: HashMap<String, (HashSet<String>, HashSet<String>, Vec<String>)>,
+    /// Names/calls occurring in hotspot arguments.
+    seed_vars: HashSet<String>,
+    seed_fns: HashSet<String>,
+}
+
+/// Computes the relevance over-approximation for a whole project.
+///
+/// All files in the VFS are scanned (any of them might be included);
+/// files that fail to parse contribute nothing, which is safe because
+/// the analyzer will not analyze them either.
+pub fn compute(vfs: &Vfs, config: &Config) -> Relevance {
+    let mut facts = Facts::default();
+    for path in vfs.paths() {
+        if let Some(src) = vfs.get(path) {
+            if let Ok(file) = parse(src) {
+                scan_stmts(&file.stmts, None, &mut facts, config);
+            }
+        }
+    }
+    // Fixpoint.
+    let mut vars = facts.seed_vars.clone();
+    let mut fns = facts.seed_fns.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (lhs, names, calls) in &facts.assigns {
+            if vars.contains(lhs) {
+                for n in names {
+                    changed |= vars.insert(n.clone());
+                }
+                for f in calls {
+                    changed |= fns.insert(f.clone());
+                }
+            }
+        }
+        let relevant_fns: Vec<String> = fns.iter().cloned().collect();
+        for f in relevant_fns {
+            if let Some((names, calls, params)) = facts.functions.get(&f) {
+                for n in names {
+                    changed |= vars.insert(n.clone());
+                }
+                for c in calls.clone() {
+                    changed |= fns.insert(c);
+                }
+                for p in params {
+                    changed |= vars.insert(p.clone());
+                }
+            }
+        }
+    }
+    Relevance {
+        vars,
+        functions: fns,
+    }
+}
+
+fn scan_stmts(stmts: &[Stmt], cur_fn: Option<&str>, facts: &mut Facts, config: &Config) {
+    for s in stmts {
+        scan_stmt(s, cur_fn, facts, config);
+    }
+}
+
+fn scan_stmt(s: &Stmt, cur_fn: Option<&str>, facts: &mut Facts, config: &Config) {
+    match &s.kind {
+        StmtKind::Expr(e) | StmtKind::Exit(Some(e)) => scan_expr(e, cur_fn, facts, config),
+        StmtKind::Echo(es) | StmtKind::Unset(es) => {
+            for e in es {
+                scan_expr(e, cur_fn, facts, config);
+            }
+        }
+        StmtKind::If {
+            cond,
+            then,
+            elifs,
+            els,
+        } => {
+            scan_expr(cond, cur_fn, facts, config);
+            scan_stmts(then, cur_fn, facts, config);
+            for (c, b) in elifs {
+                scan_expr(c, cur_fn, facts, config);
+                scan_stmts(b, cur_fn, facts, config);
+            }
+            if let Some(b) = els {
+                scan_stmts(b, cur_fn, facts, config);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            scan_expr(cond, cur_fn, facts, config);
+            scan_stmts(body, cur_fn, facts, config);
+        }
+        StmtKind::DoWhile { body, cond } => {
+            scan_stmts(body, cur_fn, facts, config);
+            scan_expr(cond, cur_fn, facts, config);
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            for e in init.iter().chain(step) {
+                scan_expr(e, cur_fn, facts, config);
+            }
+            if let Some(c) = cond {
+                scan_expr(c, cur_fn, facts, config);
+            }
+            scan_stmts(body, cur_fn, facts, config);
+        }
+        StmtKind::Foreach {
+            subject,
+            key,
+            value,
+            body,
+        } => {
+            // foreach binds value/key from the subject: treat as
+            // assignments value := subject.
+            let mut names = HashSet::new();
+            let mut calls = HashSet::new();
+            expr_names(subject, &mut names, &mut calls);
+            if let Some(k) = key {
+                facts
+                    .assigns
+                    .push((k.clone(), names.clone(), calls.clone()));
+            }
+            facts.assigns.push((value.clone(), names, calls));
+            scan_expr(subject, cur_fn, facts, config);
+            scan_stmts(body, cur_fn, facts, config);
+        }
+        StmtKind::Switch { subject, cases } => {
+            scan_expr(subject, cur_fn, facts, config);
+            for (l, b) in cases {
+                if let Some(l) = l {
+                    scan_expr(l, cur_fn, facts, config);
+                }
+                scan_stmts(b, cur_fn, facts, config);
+            }
+        }
+        StmtKind::Return(Some(e)) => {
+            scan_expr(e, cur_fn, facts, config);
+            if let Some(f) = cur_fn {
+                let entry = facts
+                    .functions
+                    .entry(f.to_owned())
+                    .or_default();
+                expr_names(e, &mut entry.0, &mut entry.1);
+            }
+        }
+        StmtKind::FuncDecl(d) => {
+            let entry = facts.functions.entry(d.name.clone()).or_default();
+            entry.2 = d.params.iter().map(|p| p.name.clone()).collect();
+            let name = d.name.clone();
+            scan_stmts(&d.body, Some(&name), facts, config);
+        }
+        StmtKind::ClassDecl(c) => {
+            for d in &c.methods {
+                let entry = facts.functions.entry(d.name.clone()).or_default();
+                entry.2 = d.params.iter().map(|p| p.name.clone()).collect();
+                let name = d.name.clone();
+                scan_stmts(&d.body, Some(&name), facts, config);
+            }
+        }
+        StmtKind::Include { arg, .. } => scan_expr(arg, cur_fn, facts, config),
+        StmtKind::Block(b) => scan_stmts(b, cur_fn, facts, config),
+        _ => {}
+    }
+}
+
+fn scan_expr(e: &Expr, cur_fn: Option<&str>, facts: &mut Facts, config: &Config) {
+    match &e.kind {
+        ExprKind::Assign(lhs, _, rhs) => {
+            if let Some(root) = root_name(lhs) {
+                let mut names = HashSet::new();
+                let mut calls = HashSet::new();
+                expr_names(rhs, &mut names, &mut calls);
+                facts.assigns.push((root, names, calls));
+            }
+            scan_expr(rhs, cur_fn, facts, config);
+        }
+        ExprKind::Call(name, args) => {
+            if config.hotspot_functions.iter().any(|f| f == name) {
+                if let Some(q) = args.first() {
+                    expr_names(q, &mut facts.seed_vars, &mut facts.seed_fns);
+                }
+            }
+            for a in args {
+                scan_expr(a, cur_fn, facts, config);
+            }
+        }
+        ExprKind::MethodCall(obj, m, args) => {
+            if config.hotspot_methods.iter().any(|f| f == m) {
+                if let Some(q) = args.first() {
+                    expr_names(q, &mut facts.seed_vars, &mut facts.seed_fns);
+                }
+            }
+            scan_expr(obj, cur_fn, facts, config);
+            for a in args {
+                scan_expr(a, cur_fn, facts, config);
+            }
+        }
+        ExprKind::Binary(_, a, b) => {
+            scan_expr(a, cur_fn, facts, config);
+            scan_expr(b, cur_fn, facts, config);
+        }
+        ExprKind::Unary(_, a)
+        | ExprKind::Suppress(a)
+        | ExprKind::Empty(a)
+        | ExprKind::Cast(_, a) => scan_expr(a, cur_fn, facts, config),
+        ExprKind::Ternary(c, t, f) => {
+            scan_expr(c, cur_fn, facts, config);
+            if let Some(t) = t {
+                scan_expr(t, cur_fn, facts, config);
+            }
+            scan_expr(f, cur_fn, facts, config);
+        }
+        ExprKind::Index(b, i) => {
+            scan_expr(b, cur_fn, facts, config);
+            if let Some(i) = i {
+                scan_expr(i, cur_fn, facts, config);
+            }
+        }
+        ExprKind::Prop(b, _) => scan_expr(b, cur_fn, facts, config),
+        ExprKind::Isset(args) => {
+            for a in args {
+                scan_expr(a, cur_fn, facts, config);
+            }
+        }
+        ExprKind::Array(items) => {
+            for (k, v) in items {
+                if let Some(k) = k {
+                    scan_expr(k, cur_fn, facts, config);
+                }
+                scan_expr(v, cur_fn, facts, config);
+            }
+        }
+        ExprKind::IncDec { target, .. } => scan_expr(target, cur_fn, facts, config),
+        ExprKind::New(_, args) => {
+            for a in args {
+                scan_expr(a, cur_fn, facts, config);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn root_name(e: &Expr) -> Option<String> {
+    match &e.kind {
+        ExprKind::Var(v) => Some(v.clone()),
+        ExprKind::Index(b, _) | ExprKind::Prop(b, _) => root_name(b),
+        _ => None,
+    }
+}
+
+/// Collects every variable name and called function name in an
+/// expression.
+pub fn expr_names(e: &Expr, names: &mut HashSet<String>, calls: &mut HashSet<String>) {
+    match &e.kind {
+        ExprKind::Var(v) => {
+            names.insert(v.clone());
+        }
+        ExprKind::Interp(parts) => {
+            for p in parts {
+                match p {
+                    strtaint_php::StrPart::Lit(_) => {}
+                    strtaint_php::StrPart::Var(v)
+                    | strtaint_php::StrPart::Index(v, _)
+                    | strtaint_php::StrPart::Prop(v, _) => {
+                        names.insert(v.clone());
+                    }
+                }
+            }
+        }
+        ExprKind::Index(b, i) => {
+            expr_names(b, names, calls);
+            if let Some(i) = i {
+                expr_names(i, names, calls);
+            }
+        }
+        ExprKind::Prop(b, _) => expr_names(b, names, calls),
+        ExprKind::Binary(_, a, b) => {
+            expr_names(a, names, calls);
+            expr_names(b, names, calls);
+        }
+        ExprKind::Unary(_, a) | ExprKind::Suppress(a) | ExprKind::Empty(a) => {
+            expr_names(a, names, calls)
+        }
+        ExprKind::Cast(_, a) => expr_names(a, names, calls),
+        ExprKind::Ternary(c, t, f) => {
+            expr_names(c, names, calls);
+            if let Some(t) = t {
+                expr_names(t, names, calls);
+            }
+            expr_names(f, names, calls);
+        }
+        ExprKind::Call(f, args) => {
+            calls.insert(f.clone());
+            for a in args {
+                expr_names(a, names, calls);
+            }
+        }
+        ExprKind::MethodCall(obj, _, args) => {
+            expr_names(obj, names, calls);
+            for a in args {
+                expr_names(a, names, calls);
+            }
+        }
+        ExprKind::Assign(lhs, _, rhs) => {
+            expr_names(lhs, names, calls);
+            expr_names(rhs, names, calls);
+        }
+        ExprKind::Array(items) => {
+            for (k, v) in items {
+                if let Some(k) = k {
+                    expr_names(k, names, calls);
+                }
+                expr_names(v, names, calls);
+            }
+        }
+        ExprKind::Isset(args) => {
+            for a in args {
+                expr_names(a, names, calls);
+            }
+        }
+        ExprKind::IncDec { target, .. } => expr_names(target, names, calls),
+        ExprKind::New(_, args) => {
+            for a in args {
+                expr_names(a, names, calls);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn relevance(src: &str) -> Relevance {
+        let mut vfs = Vfs::new();
+        vfs.add("p.php", src);
+        compute(&vfs, &Config::default())
+    }
+
+    #[test]
+    fn direct_hotspot_arg_is_relevant() {
+        let r = relevance(r#"<?php $q = "SELECT " . $a; $DB->query($q); $b = $c;"#);
+        assert!(r.var("q"));
+        assert!(r.var("a"), "flows into q");
+        assert!(!r.var("b") && !r.var("c"), "b/c never reach a query");
+    }
+
+    #[test]
+    fn wrapper_function_params_are_relevant() {
+        let r = relevance(
+            r#"<?php
+function clean($x) { return addslashes($x); }
+$v = clean($_POST['v']);
+$DB->query("SELECT * FROM t WHERE v='$v'");
+$junk = clean($_POST['other']);
+echo $junk;
+"#,
+        );
+        assert!(r.var("v"));
+        assert!(r.functions.contains("clean"));
+        // Name-based over-approximation: the param `x` is relevant, so
+        // transducers inside `clean` stay precise for every call.
+        assert!(r.var("x"));
+    }
+
+    #[test]
+    fn display_only_chains_are_irrelevant() {
+        let r = relevance(
+            r#"<?php
+$pv = str_replace('[b]', '<b>', $_POST['preview']);
+echo $pv;
+$id = intval($_GET['id']);
+$DB->query("SELECT * FROM t WHERE id=$id");
+"#,
+        );
+        assert!(!r.var("pv"), "pv feeds echo only");
+        assert!(r.var("id"));
+    }
+
+    #[test]
+    fn foreach_subject_flows() {
+        let r = relevance(
+            r#"<?php
+foreach ($rows as $row) {
+    $DB->query("DELETE FROM t WHERE id='" . $row . "'");
+}
+"#,
+        );
+        assert!(r.var("row"));
+        assert!(r.var("rows"));
+    }
+
+    #[test]
+    fn indirect_chain_through_assignments() {
+        let r = relevance(
+            r#"<?php
+$a = $_GET['x'];
+$b = $a . "!";
+$c = $b;
+$DB->query("SELECT '" . $c . "'");
+$z = $b; // z itself is irrelevant
+"#,
+        );
+        assert!(r.var("c") && r.var("b") && r.var("a"));
+        assert!(!r.var("z"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Virtual filesystem for analyzed web applications.
+//!
+//! The analyzer follows `include`/`require` statements, so it needs the
+//! whole project tree. A [`Vfs`] maps project-relative paths to file
+//! contents; the corpus crate builds these in memory, and
+//! [`Vfs::from_dir`] loads a real directory.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// An in-memory project tree.
+///
+/// # Examples
+///
+/// ```
+/// use strtaint_analysis::Vfs;
+///
+/// let mut vfs = Vfs::new();
+/// vfs.add("index.php", "<?php include('lib/db.php'); ?>");
+/// vfs.add("lib/db.php", "<?php function q($s) { return $s; } ?>");
+/// assert!(vfs.get("lib/db.php").is_some());
+/// assert_eq!(vfs.paths().count(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Vfs {
+    files: BTreeMap<String, Vec<u8>>,
+}
+
+impl Vfs {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Vfs::default()
+    }
+
+    /// Adds (or replaces) a file.
+    pub fn add(&mut self, path: impl Into<String>, contents: impl Into<Vec<u8>>) {
+        self.files.insert(normalize(&path.into()), contents.into());
+    }
+
+    /// Looks up a file by path (normalized).
+    pub fn get(&self, path: &str) -> Option<&[u8]> {
+        self.files.get(&normalize(path)).map(Vec::as_slice)
+    }
+
+    /// Iterates over all paths.
+    pub fn paths(&self) -> impl Iterator<Item = &str> {
+        self.files.keys().map(String::as_str)
+    }
+
+    /// Returns the number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Returns `true` if the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Total number of source lines across all files (the paper's
+    /// Table 1 "Lines" column).
+    pub fn total_lines(&self) -> usize {
+        self.files
+            .values()
+            .map(|c| c.iter().filter(|&&b| b == b'\n').count() + 1)
+            .sum()
+    }
+
+    /// Loads every `*.php` file under `dir` (recursively).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from directory traversal and file reads.
+    pub fn from_dir(dir: &Path) -> io::Result<Self> {
+        let mut vfs = Vfs::new();
+        let mut stack = vec![dir.to_path_buf()];
+        while let Some(d) = stack.pop() {
+            for entry in std::fs::read_dir(&d)? {
+                let entry = entry?;
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if path.extension().is_some_and(|e| e == "php") {
+                    let rel = path
+                        .strip_prefix(dir)
+                        .unwrap_or(&path)
+                        .to_string_lossy()
+                        .into_owned();
+                    vfs.add(rel, std::fs::read(&path)?);
+                }
+            }
+        }
+        Ok(vfs)
+    }
+}
+
+impl fmt::Display for Vfs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<vfs: {} files, {} lines>", self.len(), self.total_lines())
+    }
+}
+
+/// Normalizes a project-relative path: strips leading `./`, collapses
+/// `//`, resolves single `..` segments.
+pub fn normalize(path: &str) -> String {
+    let mut out: Vec<&str> = Vec::new();
+    for seg in path.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                out.pop();
+            }
+            s => out.push(s),
+        }
+    }
+    out.join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(normalize("./a/b.php"), "a/b.php");
+        assert_eq!(normalize("a//b.php"), "a/b.php");
+        assert_eq!(normalize("a/../b.php"), "b.php");
+        assert_eq!(normalize("lib/./x.php"), "lib/x.php");
+    }
+
+    #[test]
+    fn add_get_roundtrip() {
+        let mut v = Vfs::new();
+        v.add("./x.php", "<?php ?>");
+        assert!(v.get("x.php").is_some());
+        assert!(v.get("./x.php").is_some());
+        assert!(v.get("y.php").is_none());
+    }
+
+    #[test]
+    fn line_counting() {
+        let mut v = Vfs::new();
+        v.add("a.php", "1\n2\n3");
+        v.add("b.php", "x");
+        assert_eq!(v.total_lines(), 4);
+    }
+}

@@ -1,0 +1,207 @@
+//! Condition-refinement behavior (paper §3.1.2): branch conditions
+//! intersect variable grammars with the condition's language on the
+//! `then` side and its complement on the `else` side.
+
+use strtaint_analysis::{analyze, Config, Vfs};
+use strtaint_grammar::NtId;
+
+fn hotspot_grammar(src: &str) -> (strtaint_grammar::Cfg, NtId) {
+    let mut vfs = Vfs::new();
+    vfs.add("p.php", src);
+    let a = analyze(&vfs, "p.php", &Config::default()).unwrap();
+    assert_eq!(a.hotspots.len(), 1);
+    (a.cfg, a.hotspots[0].root)
+}
+
+#[test]
+fn preg_match_then_branch() {
+    let (g, root) = hotspot_grammar(
+        r#"<?php
+$v = $_GET['v'];
+if (preg_match('/^[ab]+$/', $v)) {
+    $DB->query("Q$v");
+}
+"#,
+    );
+    assert!(g.derives(root, b"Qab"));
+    assert!(!g.derives(root, b"Qc"));
+    assert!(!g.derives(root, b"Q"));
+}
+
+#[test]
+fn preg_match_else_branch() {
+    let (g, root) = hotspot_grammar(
+        r#"<?php
+$v = $_GET['v'];
+if (preg_match('/^[ab]+$/', $v)) {
+} else {
+    $DB->query("Q$v");
+}
+"#,
+    );
+    assert!(!g.derives(root, b"Qab"), "then-language excluded on else");
+    assert!(g.derives(root, b"Qc"));
+    assert!(g.derives(root, b"Q"));
+}
+
+#[test]
+fn early_exit_refines_fallthrough() {
+    let (g, root) = hotspot_grammar(
+        r#"<?php
+$v = $_GET['v'];
+if (!ctype_digit($v)) { exit; }
+$DB->query("Q$v");
+"#,
+    );
+    assert!(g.derives(root, b"Q123"));
+    assert!(!g.derives(root, b"Qx"));
+}
+
+#[test]
+fn equality_refinement() {
+    let (g, root) = hotspot_grammar(
+        r#"<?php
+$v = $_GET['v'];
+if ($v == 'safe') {
+    $DB->query("Q$v");
+}
+"#,
+    );
+    assert!(g.derives(root, b"Qsafe"));
+    assert!(!g.derives(root, b"Qevil"));
+}
+
+#[test]
+fn inequality_refinement() {
+    let (g, root) = hotspot_grammar(
+        r#"<?php
+$v = $_GET['v'];
+if ($v != '') {
+    $DB->query("Q$v");
+}
+"#,
+    );
+    assert!(!g.derives(root, b"Q"), "empty string excluded");
+    assert!(g.derives(root, b"Qx"));
+}
+
+#[test]
+fn in_array_refinement() {
+    let (g, root) = hotspot_grammar(
+        r#"<?php
+$v = $_GET['v'];
+if (in_array($v, array('asc', 'desc'))) {
+    $DB->query("Q$v");
+}
+"#,
+    );
+    assert!(g.derives(root, b"Qasc"));
+    assert!(g.derives(root, b"Qdesc"));
+    assert!(!g.derives(root, b"Qdrop"));
+}
+
+#[test]
+fn conjunction_refines_both() {
+    let (g, root) = hotspot_grammar(
+        r#"<?php
+$v = $_GET['v'];
+if (preg_match('/^[0-9]+$/', $v) && $v != '0') {
+    $DB->query("Q$v");
+}
+"#,
+    );
+    assert!(g.derives(root, b"Q12"));
+    assert!(!g.derives(root, b"Q0"));
+    assert!(!g.derives(root, b"Qx"));
+}
+
+#[test]
+fn disjunction_negation_refines_on_else() {
+    let (g, root) = hotspot_grammar(
+        r#"<?php
+$v = $_GET['v'];
+if ($v == 'a' || $v == 'b') { exit; }
+$DB->query("Q$v");
+"#,
+    );
+    assert!(!g.derives(root, b"Qa"));
+    assert!(!g.derives(root, b"Qb"));
+    assert!(g.derives(root, b"Qc"));
+}
+
+#[test]
+fn truthiness_refinement() {
+    let (g, root) = hotspot_grammar(
+        r#"<?php
+$v = $_GET['v'];
+if ($v) {
+    $DB->query("Q$v");
+}
+"#,
+    );
+    assert!(!g.derives(root, b"Q"), "falsy '' excluded");
+    assert!(!g.derives(root, b"Q0"), "falsy '0' excluded");
+    assert!(g.derives(root, b"Q00"), "'00' is truthy in PHP");
+}
+
+#[test]
+fn eregi_case_insensitive() {
+    let (g, root) = hotspot_grammar(
+        r#"<?php
+$v = $_GET['v'];
+if (!eregi('^[a-f]+$', $v)) { exit; }
+$DB->query("Q$v");
+"#,
+    );
+    assert!(g.derives(root, b"Qabc"));
+    assert!(g.derives(root, b"QABC"), "eregi folds case");
+    assert!(!g.derives(root, b"Qxyz"));
+}
+
+#[test]
+fn unsupported_regex_refines_nothing() {
+    // Lookahead is outside the engine's subset: the condition is
+    // treated as uninformative (sound).
+    let (g, root) = hotspot_grammar(
+        r#"<?php
+$v = $_GET['v'];
+if (!preg_match('/^(?=a)a+$/', $v)) { exit; }
+$DB->query("Q$v");
+"#,
+    );
+    assert!(g.derives(root, b"Qanything at all"));
+}
+
+#[test]
+fn refinement_on_superglobal_element() {
+    let (g, root) = hotspot_grammar(
+        r#"<?php
+if (!ctype_digit($_GET['id'])) { exit; }
+$id = $_GET['id'];
+$DB->query("Q$id");
+"#,
+    );
+    assert!(g.derives(root, b"Q7"));
+    assert!(
+        !g.derives(root, b"Qx"),
+        "refinement binds the superglobal element itself"
+    );
+}
+
+#[test]
+fn switch_case_refinement() {
+    let (g, root) = hotspot_grammar(
+        r#"<?php
+$v = $_GET['v'];
+switch ($v) {
+    case 'one':
+        $DB->query("Q$v");
+        break;
+    default:
+        break;
+}
+"#,
+    );
+    assert!(g.derives(root, b"Qone"));
+    assert!(!g.derives(root, b"Qtwo"));
+}

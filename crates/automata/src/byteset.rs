@@ -1,0 +1,423 @@
+//! Sets of bytes represented as 256-bit bitmaps.
+//!
+//! All automata in this crate operate over the byte alphabet `0..=255`
+//! (PHP strings are byte strings). Transitions are labeled with a
+//! [`ByteSet`] rather than a single byte so that automata stay compact.
+
+use std::fmt;
+
+/// A set of bytes, stored as a 256-bit bitmap (four `u64` words).
+///
+/// `ByteSet` is `Copy` and all operations are branch-light word-wise
+/// bit manipulation, making it cheap to use as a transition label.
+///
+/// # Examples
+///
+/// ```
+/// use strtaint_automata::ByteSet;
+///
+/// let digits = ByteSet::range(b'0', b'9');
+/// assert!(digits.contains(b'5'));
+/// assert!(!digits.contains(b'a'));
+/// assert_eq!(digits.len(), 10);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ByteSet {
+    words: [u64; 4],
+}
+
+impl ByteSet {
+    /// The empty set.
+    pub const EMPTY: ByteSet = ByteSet { words: [0; 4] };
+
+    /// The full set containing every byte.
+    pub const FULL: ByteSet = ByteSet { words: [u64::MAX; 4] };
+
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::EMPTY
+    }
+
+    /// Creates a set containing exactly one byte.
+    pub fn singleton(b: u8) -> Self {
+        let mut s = Self::EMPTY;
+        s.insert(b);
+        s
+    }
+
+    /// Creates a set containing the inclusive range `lo..=hi`.
+    ///
+    /// Returns the empty set if `lo > hi`.
+    pub fn range(lo: u8, hi: u8) -> Self {
+        let mut s = Self::EMPTY;
+        if lo <= hi {
+            for b in lo..=hi {
+                s.insert(b);
+            }
+        }
+        s
+    }
+
+    /// Creates a set from an iterator of bytes.
+    pub fn from_bytes<I: IntoIterator<Item = u8>>(bytes: I) -> Self {
+        let mut s = Self::EMPTY;
+        for b in bytes {
+            s.insert(b);
+        }
+        s
+    }
+
+    /// Inserts a byte into the set.
+    pub fn insert(&mut self, b: u8) {
+        self.words[(b >> 6) as usize] |= 1u64 << (b & 63);
+    }
+
+    /// Removes a byte from the set.
+    pub fn remove(&mut self, b: u8) {
+        self.words[(b >> 6) as usize] &= !(1u64 << (b & 63));
+    }
+
+    /// Returns `true` if the set contains `b`.
+    pub fn contains(&self, b: u8) -> bool {
+        self.words[(b >> 6) as usize] & (1u64 << (b & 63)) != 0
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words == [0; 4]
+    }
+
+    /// Returns `true` if the set contains every byte.
+    pub fn is_full(&self) -> bool {
+        self.words == [u64::MAX; 4]
+    }
+
+    /// Returns the number of bytes in the set.
+    pub fn len(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Returns the union of two sets.
+    #[must_use]
+    pub fn union(&self, other: &ByteSet) -> ByteSet {
+        let mut w = self.words;
+        for (a, b) in w.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+        }
+        ByteSet { words: w }
+    }
+
+    /// Returns the intersection of two sets.
+    #[must_use]
+    pub fn intersect(&self, other: &ByteSet) -> ByteSet {
+        let mut w = self.words;
+        for (a, b) in w.iter_mut().zip(other.words.iter()) {
+            *a &= *b;
+        }
+        ByteSet { words: w }
+    }
+
+    /// Returns the set difference `self \ other`.
+    #[must_use]
+    pub fn minus(&self, other: &ByteSet) -> ByteSet {
+        let mut w = self.words;
+        for (a, b) in w.iter_mut().zip(other.words.iter()) {
+            *a &= !*b;
+        }
+        ByteSet { words: w }
+    }
+
+    /// Returns the complement of the set with respect to the full byte alphabet.
+    #[must_use]
+    pub fn complement(&self) -> ByteSet {
+        let mut w = self.words;
+        for a in w.iter_mut() {
+            *a = !*a;
+        }
+        ByteSet { words: w }
+    }
+
+    /// Returns `true` if the two sets share at least one byte.
+    pub fn intersects(&self, other: &ByteSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Returns `true` if `self` is a subset of `other`.
+    pub fn is_subset(&self, other: &ByteSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Returns the smallest byte in the set, if any. (Named to avoid clashing with `Ord::min`.)
+    pub fn first_byte(&self) -> Option<u8> {
+        for (i, w) in self.words.iter().enumerate() {
+            if *w != 0 {
+                return Some((i as u8) * 64 + w.trailing_zeros() as u8);
+            }
+        }
+        None
+    }
+
+    /// Returns an iterator over the bytes in the set, in increasing order.
+    pub fn iter(&self) -> Iter {
+        Iter { set: *self, next: 0, done: false }
+    }
+
+    /// Returns the set of maximal inclusive ranges covering the set.
+    ///
+    /// Useful for display and for building compact transition tables.
+    pub fn ranges(&self) -> Vec<(u8, u8)> {
+        let mut out = Vec::new();
+        let mut cur: Option<(u8, u8)> = None;
+        for b in self.iter() {
+            match cur {
+                Some((lo, hi)) if hi as u16 + 1 == b as u16 => cur = Some((lo, b)),
+                Some(r) => {
+                    out.push(r);
+                    cur = Some((b, b));
+                }
+                None => cur = Some((b, b)),
+            }
+        }
+        if let Some(r) = cur {
+            out.push(r);
+        }
+        out
+    }
+
+    /// Folds ASCII case: for any letter in the set, inserts the letter of
+    /// the opposite case. Used by case-insensitive regex compilation.
+    #[must_use]
+    pub fn ascii_case_fold(&self) -> ByteSet {
+        let mut s = *self;
+        for b in self.iter() {
+            if b.is_ascii_lowercase() {
+                s.insert(b.to_ascii_uppercase());
+            } else if b.is_ascii_uppercase() {
+                s.insert(b.to_ascii_lowercase());
+            }
+        }
+        s
+    }
+}
+
+/// Iterator over the bytes of a [`ByteSet`], produced by [`ByteSet::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter {
+    set: ByteSet,
+    next: u16,
+    done: bool,
+}
+
+impl Iterator for Iter {
+    type Item = u8;
+
+    fn next(&mut self) -> Option<u8> {
+        if self.done {
+            return None;
+        }
+        while self.next <= 255 {
+            let b = self.next as u8;
+            self.next += 1;
+            if self.set.contains(b) {
+                return Some(b);
+            }
+        }
+        self.done = true;
+        None
+    }
+}
+
+impl FromIterator<u8> for ByteSet {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Self::from_bytes(iter)
+    }
+}
+
+impl Extend<u8> for ByteSet {
+    fn extend<I: IntoIterator<Item = u8>>(&mut self, iter: I) {
+        for b in iter {
+            self.insert(b);
+        }
+    }
+}
+
+impl fmt::Debug for ByteSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ByteSet{{{}}}", self)
+    }
+}
+
+impl fmt::Display for ByteSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_full() {
+            return write!(f, "ANY");
+        }
+        let ranges = self.ranges();
+        let mut first = true;
+        for (lo, hi) in ranges {
+            if !first {
+                write!(f, ",")?;
+            }
+            first = false;
+            let show = |b: u8| -> String {
+                if (0x21..=0x7e).contains(&b) {
+                    format!("{}", b as char)
+                } else {
+                    format!("\\x{:02x}", b)
+                }
+            };
+            if lo == hi {
+                write!(f, "{}", show(lo))?;
+            } else {
+                write!(f, "{}-{}", show(lo), show(hi))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Refines a collection of (possibly overlapping) byte sets into a partition
+/// of the full alphabet such that every input set is a union of blocks.
+///
+/// The returned blocks are pairwise disjoint, nonempty, and cover `0..=255`.
+/// This is the workhorse for determinization: on each block the transition
+/// function of a subset-construction state is constant.
+pub fn refine_partition(sets: &[ByteSet]) -> Vec<ByteSet> {
+    let mut blocks = vec![ByteSet::FULL];
+    for s in sets {
+        if s.is_empty() || s.is_full() {
+            continue;
+        }
+        let mut next = Vec::with_capacity(blocks.len() + 1);
+        for b in &blocks {
+            let inside = b.intersect(s);
+            let outside = b.minus(s);
+            if inside.is_empty() || outside.is_empty() {
+                next.push(*b);
+            } else {
+                next.push(inside);
+                next.push(outside);
+            }
+        }
+        blocks = next;
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_and_contains() {
+        let s = ByteSet::singleton(b'a');
+        assert!(s.contains(b'a'));
+        assert!(!s.contains(b'b'));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn range_endpoints() {
+        let s = ByteSet::range(b'0', b'9');
+        assert!(s.contains(b'0'));
+        assert!(s.contains(b'9'));
+        assert!(!s.contains(b'0' - 1));
+        assert!(!s.contains(b'9' + 1));
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn empty_range_when_reversed() {
+        assert!(ByteSet::range(b'9', b'0').is_empty());
+    }
+
+    #[test]
+    fn full_complement_is_empty() {
+        assert!(ByteSet::FULL.complement().is_empty());
+        assert!(ByteSet::EMPTY.complement().is_full());
+    }
+
+    #[test]
+    fn union_intersect_minus() {
+        let a = ByteSet::range(b'a', b'm');
+        let b = ByteSet::range(b'h', b'z');
+        let u = a.union(&b);
+        let i = a.intersect(&b);
+        let d = a.minus(&b);
+        assert_eq!(u.len(), 26);
+        assert_eq!(i.len(), 6); // h..=m
+        assert_eq!(d.len(), 7); // a..=g
+        assert!(i.is_subset(&a) && i.is_subset(&b));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let s = ByteSet::from_bytes([b'z', b'a', b'm']);
+        let v: Vec<u8> = s.iter().collect();
+        assert_eq!(v, vec![b'a', b'm', b'z']);
+    }
+
+    #[test]
+    fn ranges_merge_adjacent() {
+        let s = ByteSet::from_bytes([1, 2, 3, 7, 9, 10]);
+        assert_eq!(s.ranges(), vec![(1, 3), (7, 7), (9, 10)]);
+    }
+
+    #[test]
+    fn full_set_iterates_256() {
+        assert_eq!(ByteSet::FULL.iter().count(), 256);
+        assert_eq!(ByteSet::FULL.len(), 256);
+    }
+
+    #[test]
+    fn min_byte() {
+        assert_eq!(ByteSet::EMPTY.first_byte(), None);
+        assert_eq!(ByteSet::from_bytes([200, 5, 17]).first_byte(), Some(5));
+        assert_eq!(ByteSet::singleton(255).first_byte(), Some(255));
+    }
+
+    #[test]
+    fn case_folding() {
+        let s = ByteSet::singleton(b'a').ascii_case_fold();
+        assert!(s.contains(b'A') && s.contains(b'a'));
+        let d = ByteSet::singleton(b'3').ascii_case_fold();
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn partition_refinement_covers_alphabet() {
+        let sets = vec![
+            ByteSet::range(b'0', b'9'),
+            ByteSet::range(b'5', b'f'),
+            ByteSet::singleton(b'\''),
+        ];
+        let blocks = refine_partition(&sets);
+        // Pairwise disjoint and covers everything.
+        let mut seen = ByteSet::EMPTY;
+        for b in &blocks {
+            assert!(!b.is_empty());
+            assert!(!seen.intersects(b));
+            seen = seen.union(b);
+        }
+        assert!(seen.is_full());
+        // Every input set is a union of blocks.
+        for s in &sets {
+            for b in &blocks {
+                assert!(b.is_subset(s) || !b.intersects(s));
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{:?}", ByteSet::EMPTY).is_empty());
+        assert_eq!(format!("{}", ByteSet::FULL), "ANY");
+    }
+}

@@ -1,0 +1,156 @@
+//! Graphviz (DOT) rendering of automata and transducers, for debugging
+//! and documentation (the paper's Figure 6 is exactly such a drawing).
+
+use std::fmt::Write as _;
+
+use crate::byteset::ByteSet;
+use crate::dfa::Dfa;
+use crate::fst::{Fst, OutSym};
+use crate::nfa::Nfa;
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn label_of(set: &ByteSet) -> String {
+    escape(&set.to_string())
+}
+
+/// Renders a DFA as a DOT digraph.
+pub fn dfa_to_dot(d: &Dfa, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", escape(name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  start [shape=point];");
+    let _ = writeln!(out, "  start -> q{};", d.start());
+    for q in 0..d.num_states() as u32 {
+        let shape = if d.is_accepting(q) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let _ = writeln!(out, "  q{q} [shape={shape}];");
+        for (set, t) in d.arcs(q) {
+            let _ = writeln!(out, "  q{q} -> q{t} [label=\"{}\"];", label_of(set));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders an NFA as a DOT digraph (epsilon edges dashed).
+pub fn nfa_to_dot(n: &Nfa, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", escape(name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  start [shape=point];");
+    let _ = writeln!(out, "  start -> q{};", n.start());
+    for q in 0..n.num_states() as u32 {
+        let shape = if n.is_accepting(q) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let _ = writeln!(out, "  q{q} [shape={shape}];");
+        for a in n.arcs(q) {
+            let _ = writeln!(
+                out,
+                "  q{q} -> q{} [label=\"{}\"];",
+                a.target,
+                label_of(&a.label)
+            );
+        }
+        for &t in n.eps(q) {
+            let _ = writeln!(out, "  q{q} -> q{t} [style=dashed, label=\"ε\"];");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a transducer as a DOT digraph with `input/output` edge
+/// labels, in the style of the paper's Figure 6.
+pub fn fst_to_dot(f: &Fst, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", escape(name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  start [shape=point];");
+    let _ = writeln!(out, "  start -> q{};", f.start());
+    for q in 0..f.num_states() as u32 {
+        let shape = if f.is_final(q) { "doublecircle" } else { "circle" };
+        let flush = match f.final_output(q) {
+            Some(fl) if !fl.is_empty() => {
+                format!("\\n⊣/{}", escape(&String::from_utf8_lossy(fl)))
+            }
+            _ => String::new(),
+        };
+        let _ = writeln!(out, "  q{q} [shape={shape}, label=\"q{q}{flush}\"];");
+        for arc in f.arcs(q) {
+            let output: String = arc
+                .output
+                .iter()
+                .map(|o| match o {
+                    OutSym::Byte(b) if (0x20..=0x7e).contains(b) => (*b as char).to_string(),
+                    OutSym::Byte(b) => format!("\\\\x{b:02x}"),
+                    OutSym::Copy => "•".to_owned(),
+                    OutSym::Lower => "lc(•)".to_owned(),
+                    OutSym::Upper => "uc(•)".to_owned(),
+                })
+                .collect();
+            let out_label = if output.is_empty() { "ε" } else { &output };
+            let _ = writeln!(
+                out,
+                "  q{q} -> q{} [label=\"{}/{}\"];",
+                arc.target,
+                label_of(&arc.input),
+                escape(out_label)
+            );
+        }
+        for (tmpl, t) in f.eps_arcs(q) {
+            let _ = writeln!(
+                out,
+                "  q{q} -> q{t} [style=dashed, label=\"ε/{} syms\"];",
+                tmpl.len()
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fst::builders;
+    use crate::Regex;
+
+    #[test]
+    fn dfa_dot_structure() {
+        let d = Regex::new("^ab$").unwrap().match_dfa();
+        let dot = dfa_to_dot(&d, "ab");
+        assert!(dot.starts_with("digraph ab {"));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("rankdir=LR"));
+        assert!(dot.trim_end().ends_with('}'));
+        // One node line per state.
+        assert_eq!(
+            dot.matches("[shape=circle]").count() + dot.matches("[shape=doublecircle]").count(),
+            d.num_states()
+        );
+    }
+
+    #[test]
+    fn figure6_dot_shows_outputs() {
+        let dot = fst_to_dot(&builders::figure6(), "figure6");
+        assert!(dot.contains("/'"), "replacement output rendered: {dot}");
+        assert!(dot.contains('•'), "copy symbol rendered");
+        assert!(dot.contains("⊣/'"), "final flush rendered");
+    }
+
+    #[test]
+    fn nfa_dot_renders_epsilons() {
+        let n = crate::Nfa::literal(b"a").union(&crate::Nfa::literal(b"b"));
+        let dot = nfa_to_dot(&n, "u");
+        assert!(dot.contains("style=dashed"));
+    }
+}

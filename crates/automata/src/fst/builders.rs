@@ -1,0 +1,490 @@
+//! Constructors for the transducers that model PHP string functions.
+//!
+//! Each builder returns an [`Fst`] whose relation either *is* the PHP
+//! function (e.g. [`replace_literal`], [`addslashes`]) or conservatively
+//! over-approximates it (e.g. [`trim`], [`replace_regex`]); the
+//! over-approximations are documented per builder. Over-approximation is
+//! sound for the analysis: it can only add strings to the computed
+//! query-language, never hide one.
+
+use crate::byteset::ByteSet;
+use crate::dfa::Dfa;
+use crate::fst::{Fst, OutSym};
+
+/// The identity transducer (`Σ* → Σ*`, copying its input).
+pub fn identity() -> Fst {
+    let mut f = Fst::new();
+    let s = f.start();
+    f.add_arc(s, ByteSet::FULL, vec![OutSym::Copy], s);
+    f.set_final(s, Vec::new());
+    f
+}
+
+/// A transducer mapping every string to the fixed string `out`
+/// (models functions that discard their argument).
+pub fn constant(out: &[u8]) -> Fst {
+    let mut f = Fst::new();
+    let s = f.start();
+    f.add_arc(s, ByteSet::FULL, Vec::new(), s);
+    f.set_final(s, out.to_vec());
+    f
+}
+
+/// Applies an arbitrary byte-to-byte map to every input byte.
+///
+/// Bytes are grouped by image so the result stays compact.
+pub fn byte_map(map: impl Fn(u8) -> u8) -> Fst {
+    let mut f = Fst::new();
+    let s = f.start();
+    // Bytes fixed by the map share a single Copy arc.
+    let mut fixed = ByteSet::EMPTY;
+    let mut moved: Vec<(u8, u8)> = Vec::new();
+    for b in 0..=255u8 {
+        let m = map(b);
+        if m == b {
+            fixed.insert(b);
+        } else {
+            moved.push((b, m));
+        }
+    }
+    f.add_arc(s, fixed, vec![OutSym::Copy], s);
+    // Group moved bytes by their image.
+    moved.sort_by_key(|&(_, m)| m);
+    let mut i = 0;
+    while i < moved.len() {
+        let img = moved[i].1;
+        let mut set = ByteSet::EMPTY;
+        while i < moved.len() && moved[i].1 == img {
+            set.insert(moved[i].0);
+            i += 1;
+        }
+        f.add_arc(s, set, vec![OutSym::Byte(img)], s);
+    }
+    f.set_final(s, Vec::new());
+    f
+}
+
+/// Models PHP `strtolower` (ASCII).
+pub fn lowercase() -> Fst {
+    let mut f = Fst::new();
+    let s = f.start();
+    f.add_arc(s, ByteSet::FULL, vec![OutSym::Lower], s);
+    f.set_final(s, Vec::new());
+    f
+}
+
+/// Models PHP `strtoupper` (ASCII).
+pub fn uppercase() -> Fst {
+    let mut f = Fst::new();
+    let s = f.start();
+    f.add_arc(s, ByteSet::FULL, vec![OutSym::Upper], s);
+    f.set_final(s, Vec::new());
+    f
+}
+
+/// Models PHP `ucfirst`: uppercases the first byte.
+pub fn ucfirst() -> Fst {
+    first_byte_case(OutSym::Upper)
+}
+
+/// Models PHP `lcfirst`: lowercases the first byte.
+pub fn lcfirst() -> Fst {
+    first_byte_case(OutSym::Lower)
+}
+
+fn first_byte_case(first: OutSym) -> Fst {
+    let mut f = Fst::new();
+    let start = f.start();
+    let rest = f.add_state();
+    f.add_arc(start, ByteSet::FULL, vec![first], rest);
+    f.add_arc(rest, ByteSet::FULL, vec![OutSym::Copy], rest);
+    f.set_final(start, Vec::new());
+    f.set_final(rest, Vec::new());
+    f
+}
+
+/// Models PHP `addslashes`: precedes `'`, `"`, `\` and NUL with a
+/// backslash.
+pub fn addslashes() -> Fst {
+    let mut f = Fst::new();
+    let s = f.start();
+    let specials = ByteSet::from_bytes([b'\'', b'"', b'\\', 0]);
+    f.add_arc(s, specials, vec![OutSym::Byte(b'\\'), OutSym::Copy], s);
+    f.add_arc(s, specials.complement(), vec![OutSym::Copy], s);
+    f.set_final(s, Vec::new());
+    f
+}
+
+/// Models MySQL-style quote escaping used by `mysql_real_escape_string`:
+/// like [`addslashes`] but also escaping `\n`, `\r` and Ctrl-Z.
+pub fn mysql_escape() -> Fst {
+    let mut f = Fst::new();
+    let s = f.start();
+    let plain = ByteSet::from_bytes([b'\'', b'"', b'\\', 0]);
+    f.add_arc(s, plain, vec![OutSym::Byte(b'\\'), OutSym::Copy], s);
+    f.add_arc(
+        s,
+        ByteSet::singleton(b'\n'),
+        vec![OutSym::Byte(b'\\'), OutSym::Byte(b'n')],
+        s,
+    );
+    f.add_arc(
+        s,
+        ByteSet::singleton(b'\r'),
+        vec![OutSym::Byte(b'\\'), OutSym::Byte(b'r')],
+        s,
+    );
+    f.add_arc(
+        s,
+        ByteSet::singleton(0x1a),
+        vec![OutSym::Byte(b'\\'), OutSym::Byte(b'Z')],
+        s,
+    );
+    let covered = plain.union(&ByteSet::from_bytes([b'\n', b'\r', 0x1a]));
+    f.add_arc(s, covered.complement(), vec![OutSym::Copy], s);
+    f.set_final(s, Vec::new());
+    f
+}
+
+/// Models PHP `stripslashes`: removes one level of backslash escaping.
+/// A trailing lone backslash is dropped, matching PHP.
+pub fn stripslashes() -> Fst {
+    let mut f = Fst::new();
+    let plain = f.start();
+    let escaped = f.add_state();
+    let bs = ByteSet::singleton(b'\\');
+    f.add_arc(plain, bs, Vec::new(), escaped);
+    f.add_arc(plain, bs.complement(), vec![OutSym::Copy], plain);
+    f.add_arc(escaped, ByteSet::FULL, vec![OutSym::Copy], plain);
+    f.set_final(plain, Vec::new());
+    f.set_final(escaped, Vec::new());
+    f
+}
+
+/// Deletes every byte in `set` from the input.
+pub fn delete_set(set: ByteSet) -> Fst {
+    let mut f = Fst::new();
+    let s = f.start();
+    f.add_arc(s, set, Vec::new(), s);
+    f.add_arc(s, set.complement(), vec![OutSym::Copy], s);
+    f.set_final(s, Vec::new());
+    f
+}
+
+/// Models PHP `str_replace($pat, $rep, ·)` for a non-empty scalar
+/// pattern: leftmost, non-overlapping replace-all.
+///
+/// This is the construction of the paper's Figure 6 generalized from
+/// `str_replace("''", "'", ·)` to arbitrary pattern/replacement via a
+/// KMP automaton: state `s` means the last `s` bytes read equal
+/// `pat[..s]` and are pending (not yet emitted); the per-state final
+/// flush emits the pending prefix at end of input.
+///
+/// # Panics
+///
+/// Panics if `pat` is empty (PHP returns the subject unchanged; callers
+/// should special-case it to [`identity`]).
+pub fn replace_literal(pat: &[u8], rep: &[u8]) -> Fst {
+    assert!(!pat.is_empty(), "str_replace with empty pattern");
+    let m = pat.len();
+    let fail = kmp_failure(pat);
+    let delta = |mut s: usize, b: u8| -> usize {
+        loop {
+            if pat[s] == b {
+                return s + 1;
+            }
+            if s == 0 {
+                return 0;
+            }
+            s = fail[s - 1];
+        }
+    };
+
+    let mut f = Fst::new();
+    // States 0..m; state 0 is the start created by Fst::new().
+    for _ in 1..m {
+        f.add_state();
+    }
+    for s in 0..m {
+        // Bytes that fall all the way back with no partial match: emit
+        // pending prefix plus the byte itself.
+        let mut fallback = ByteSet::FULL;
+        for b in 0..=255u8 {
+            let t = delta(s, b);
+            if t != 0 {
+                fallback.remove(b);
+                if t == m {
+                    // Completed a match: emit the replacement, restart.
+                    f.add_arc(
+                        s as u32,
+                        ByteSet::singleton(b),
+                        rep.iter().map(|&r| OutSym::Byte(r)).collect(),
+                        0,
+                    );
+                } else {
+                    // Pending shrinks from s+1 bytes to t bytes; emit the
+                    // difference, which is a prefix of pat (b is retained
+                    // in the new pending suffix).
+                    let consumed_len = s + 1;
+                    let emit = &pat[..consumed_len - t];
+                    let tmpl: Vec<OutSym> = if consumed_len - t > s {
+                        // Emission includes the just-read byte as its last
+                        // symbol (only possible when t == 0, excluded here).
+                        unreachable!("t > 0 keeps b pending");
+                    } else {
+                        emit.iter().map(|&p| OutSym::Byte(p)).collect()
+                    };
+                    f.add_arc(s as u32, ByteSet::singleton(b), tmpl, t as u32);
+                }
+            }
+        }
+        // Fallback arc: emit pat[..s] then the byte itself.
+        let mut tmpl: Vec<OutSym> = pat[..s].iter().map(|&p| OutSym::Byte(p)).collect();
+        tmpl.push(OutSym::Copy);
+        f.add_arc(s as u32, fallback, tmpl, 0);
+        // Final flush: pending prefix.
+        f.set_final(s as u32, pat[..s].to_vec());
+    }
+    f
+}
+
+fn kmp_failure(pat: &[u8]) -> Vec<usize> {
+    let mut fail = vec![0usize; pat.len()];
+    let mut k = 0;
+    for i in 1..pat.len() {
+        while k > 0 && pat[i] != pat[k] {
+            k = fail[k - 1];
+        }
+        if pat[i] == pat[k] {
+            k += 1;
+        }
+        fail[i] = k;
+    }
+    fail
+}
+
+/// Over-approximates PHP `trim`: the relation contains `(s, trim(s))`
+/// for every `s`, plus partially-trimmed variants (sound for analysis).
+pub fn trim() -> Fst {
+    trim_set(ByteSet::from_bytes([b' ', b'\t', b'\n', b'\r', 0x0b, 0]), true, true)
+}
+
+/// Over-approximates PHP `ltrim` (see [`trim`]).
+pub fn ltrim() -> Fst {
+    trim_set(ByteSet::from_bytes([b' ', b'\t', b'\n', b'\r', 0x0b, 0]), true, false)
+}
+
+/// Over-approximates PHP `rtrim` (see [`trim`]).
+pub fn rtrim() -> Fst {
+    trim_set(ByteSet::from_bytes([b' ', b'\t', b'\n', b'\r', 0x0b, 0]), false, true)
+}
+
+fn trim_set(ws: ByteSet, left: bool, right: bool) -> Fst {
+    let mut f = Fst::new();
+    let lead = f.start();
+    let mid = f.add_state();
+    let tail = f.add_state();
+    if left {
+        f.add_arc(lead, ws, Vec::new(), lead);
+    }
+    f.add_arc(lead, ByteSet::FULL, vec![OutSym::Copy], mid);
+    f.add_arc(mid, ByteSet::FULL, vec![OutSym::Copy], mid);
+    if right {
+        f.add_arc(mid, ws, Vec::new(), tail);
+        f.add_arc(tail, ws, Vec::new(), tail);
+        f.set_final(tail, Vec::new());
+    }
+    f.set_final(lead, Vec::new());
+    f.set_final(mid, Vec::new());
+    f
+}
+
+/// Over-approximates `preg_replace($pattern, $rep, ·)` for a literal
+/// replacement: the relation contains every string obtainable by
+/// replacing any set of non-overlapping pattern matches with `rep`
+/// (a superset of PHP's leftmost/greedy replace-all).
+///
+/// Built from the pattern's *anchored* DFA: a copy mode copies input;
+/// at any point the transducer may enter match mode, silently consume a
+/// pattern match, emit `rep`, and return to copy mode.
+pub fn replace_regex(pattern: &Dfa, rep: &[u8]) -> Fst {
+    let mut f = Fst::new();
+    let copy = f.start();
+    f.set_final(copy, Vec::new());
+    f.add_arc(copy, ByteSet::FULL, vec![OutSym::Copy], copy);
+    // Embed the pattern DFA as silent states.
+    let offset: Vec<u32> = (0..pattern.num_states())
+        .map(|_| f.add_state())
+        .collect();
+    for q in 0..pattern.num_states() as u32 {
+        for (set, t) in pattern.arcs(q) {
+            f.add_arc(offset[q as usize], *set, Vec::new(), offset[*t as usize]);
+        }
+    }
+    // Entering match mode: from copy, one silent byte that the pattern
+    // DFA would consume from its start state.
+    for (set, t) in pattern.arcs(pattern.start()) {
+        f.add_arc(copy, *set, Vec::new(), offset[*t as usize]);
+    }
+    // Leaving match mode: at an accepting pattern state, emit rep and
+    // resume copying. Implemented by duplicating the copy-mode behavior
+    // with the `rep` prefix on each outgoing arc, plus a final flush.
+    for q in 0..pattern.num_states() as u32 {
+        if pattern.is_accepting(q) {
+            let here = offset[q as usize];
+            let mut tmpl: Vec<OutSym> = rep.iter().map(|&b| OutSym::Byte(b)).collect();
+            tmpl.push(OutSym::Copy);
+            f.add_arc(here, ByteSet::FULL, tmpl, copy);
+            // Or re-enter match mode immediately (adjacent matches):
+            // emit rep for the completed match, silently consume the
+            // first byte of the next one.
+            for (set, t) in pattern.arcs(pattern.start()) {
+                f.add_arc(
+                    here,
+                    *set,
+                    rep.iter().map(|&b| OutSym::Byte(b)).collect(),
+                    offset[*t as usize],
+                );
+            }
+            f.set_final(here, rep.to_vec());
+        }
+    }
+    f
+}
+
+/// The transducer of the paper's Figure 6:
+/// `str_replace("''", "'", ·)`.
+pub fn figure6() -> Fst {
+    replace_literal(b"''", b"'")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apply(f: &Fst, s: &[u8]) -> Vec<u8> {
+        f.transduce_unique(s)
+            .unwrap_or_else(|| panic!("not a function on {:?}", s))
+    }
+
+    #[test]
+    fn addslashes_matches_php() {
+        let f = addslashes();
+        assert_eq!(apply(&f, b"it's"), b"it\\'s".to_vec());
+        assert_eq!(apply(&f, b"a\"b\\c"), b"a\\\"b\\\\c".to_vec());
+        assert_eq!(apply(&f, b"plain"), b"plain".to_vec());
+    }
+
+    #[test]
+    fn mysql_escape_newlines() {
+        let f = mysql_escape();
+        assert_eq!(apply(&f, b"a\nb"), b"a\\nb".to_vec());
+        assert_eq!(apply(&f, b"a'b"), b"a\\'b".to_vec());
+    }
+
+    #[test]
+    fn stripslashes_inverts_addslashes() {
+        let add = addslashes();
+        let strip = stripslashes();
+        for s in [&b"it's"[..], b"a\"b", b"c\\d", b"plain"] {
+            let escaped = apply(&add, s);
+            assert_eq!(apply(&strip, &escaped), s.to_vec());
+        }
+        // Trailing lone backslash dropped, as in PHP.
+        assert_eq!(apply(&strip, b"abc\\"), b"abc".to_vec());
+    }
+
+    #[test]
+    fn figure6_collapses_doubled_quotes() {
+        let f = figure6();
+        assert_eq!(apply(&f, b"a''b"), b"a'b".to_vec());
+        assert_eq!(apply(&f, b"''''"), b"''".to_vec());
+        assert_eq!(apply(&f, b"'"), b"'".to_vec());
+        assert_eq!(apply(&f, b"no quotes"), b"no quotes".to_vec());
+    }
+
+    #[test]
+    fn replace_literal_matches_php_str_replace() {
+        let cases: &[(&[u8], &[u8], &[u8], &[u8])] = &[
+            (b"ab", b"X", b"zababy", b"zXXy"),
+            (b"aa", b"b", b"aaaa", b"bb"),
+            (b"aa", b"b", b"aaa", b"ba"),
+            (b"abc", b"", b"abcabc", b""),
+            (b"'", b"\\'", b"d'Arc", b"d\\'Arc"),
+            (b"aba", b"X", b"ababa", b"Xba"), // non-overlapping, leftmost
+        ];
+        for (pat, rep, input, expected) in cases {
+            let f = replace_literal(pat, rep);
+            assert_eq!(
+                apply(&f, input),
+                expected.to_vec(),
+                "str_replace({:?},{:?},{:?})",
+                pat,
+                rep,
+                input
+            );
+        }
+    }
+
+    #[test]
+    fn replace_literal_flushes_partial_match() {
+        let f = replace_literal(b"abc", b"X");
+        assert_eq!(apply(&f, b"ab"), b"ab".to_vec());
+        assert_eq!(apply(&f, b"xab"), b"xab".to_vec());
+    }
+
+    #[test]
+    fn byte_map_groups() {
+        let f = byte_map(|b| if b == b'[' { b'<' } else { b });
+        assert_eq!(apply(&f, b"[x]"), b"<x]".to_vec());
+    }
+
+    #[test]
+    fn case_mapping() {
+        assert_eq!(apply(&lowercase(), b"AbC1"), b"abc1".to_vec());
+        assert_eq!(apply(&uppercase(), b"AbC1"), b"ABC1".to_vec());
+    }
+
+    #[test]
+    fn constant_discards() {
+        let f = constant(b"N");
+        assert_eq!(apply(&f, b"whatever"), b"N".to_vec());
+    }
+
+    #[test]
+    fn delete_removes_bytes() {
+        let f = delete_set(ByteSet::singleton(b'\''));
+        assert_eq!(apply(&f, b"o'rly'"), b"orly".to_vec());
+    }
+
+    #[test]
+    fn trim_relation_contains_trim() {
+        let f = trim();
+        let outs = f.transduce(b"  ab  ", 64);
+        assert!(outs.contains(&b"ab".to_vec()), "contains fully trimmed");
+        // Over-approximation may contain partial trims but never touches
+        // interior bytes.
+        for o in &outs {
+            assert!(o.windows(2).any(|w| w == b"ab") || o == b"ab");
+        }
+    }
+
+    #[test]
+    fn replace_regex_overapproximates() {
+        use crate::regex::Regex;
+        let pat = Regex::new("[0-9]+").unwrap();
+        let dfa = Dfa::from_nfa(&pat.anchored_nfa());
+        let f = replace_regex(&dfa, b"N");
+        let outs = f.transduce(b"a12b", 256);
+        // The true PHP result replaces the maximal match:
+        assert!(outs.contains(&b"aNb".to_vec()), "got {:?}", outs);
+        // Not replacing at all is also in the over-approximation:
+        assert!(outs.contains(&b"a12b".to_vec()));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pattern")]
+    fn replace_literal_rejects_empty_pattern() {
+        let _ = replace_literal(b"", b"x");
+    }
+}

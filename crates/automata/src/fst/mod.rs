@@ -1,0 +1,509 @@
+//! Finite-state transducers: automata with output.
+//!
+//! The paper (§3.1.2, Fig. 6) models PHP string library functions as
+//! FSTs so that their effect on a grammar can be computed precisely:
+//! the image of a context-free language under an FST is context free,
+//! and `strtaint-grammar` implements that image construction with taint
+//! propagation.
+//!
+//! Output symbols may reference the consumed input byte ([`OutSym::Copy`]
+//! and the case-mapping variants), which keeps transducers like
+//! `addslashes` (one arc: `{'," ,\,NUL} → \ · copy`) compact instead of
+//! requiring one arc per byte.
+
+pub mod builders;
+
+use std::fmt;
+
+use crate::byteset::ByteSet;
+use crate::nfa::StateId;
+
+/// One output symbol of a transducer arc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutSym {
+    /// Emit this fixed byte.
+    Byte(u8),
+    /// Emit the input byte that was consumed by the arc.
+    Copy,
+    /// Emit the ASCII-lowercased input byte.
+    Lower,
+    /// Emit the ASCII-uppercased input byte.
+    Upper,
+}
+
+impl OutSym {
+    /// Resolves the symbol against the consumed input byte.
+    pub fn resolve(self, input: u8) -> u8 {
+        match self {
+            OutSym::Byte(b) => b,
+            OutSym::Copy => input,
+            OutSym::Lower => input.to_ascii_lowercase(),
+            OutSym::Upper => input.to_ascii_uppercase(),
+        }
+    }
+}
+
+/// Resolves a whole output template against a consumed input byte.
+pub fn resolve_output(output: &[OutSym], input: u8) -> Vec<u8> {
+    output.iter().map(|o| o.resolve(input)).collect()
+}
+
+/// A consuming transition of an [`Fst`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FstArc {
+    /// The set of input bytes on which the arc fires.
+    pub input: ByteSet,
+    /// The output template emitted when the arc fires.
+    pub output: Vec<OutSym>,
+    /// Destination state.
+    pub target: StateId,
+}
+
+/// A finite-state transducer over bytes.
+///
+/// States may carry a *final output*: a byte string appended when the
+/// input ends in that state (needed by e.g. the `str_replace` transducer,
+/// which must flush a partially-matched pattern at end of input). A state
+/// is final iff its final output is `Some`.
+///
+/// # Examples
+///
+/// ```
+/// use strtaint_automata::fst::builders;
+///
+/// let f = builders::addslashes();
+/// assert_eq!(f.transduce_unique(b"it's").unwrap(), b"it\\'s".to_vec());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Fst {
+    arcs: Vec<Vec<FstArc>>,
+    eps: Vec<Vec<(Vec<OutSym>, StateId)>>,
+    finals: Vec<Option<Vec<u8>>>,
+    start: StateId,
+}
+
+impl Fst {
+    /// Creates an FST with a single non-final start state.
+    pub fn new() -> Self {
+        let mut f = Fst::default();
+        let s = f.add_state();
+        f.start = s;
+        f
+    }
+
+    /// Adds a fresh state and returns its id.
+    pub fn add_state(&mut self) -> StateId {
+        let id = self.arcs.len() as StateId;
+        self.arcs.push(Vec::new());
+        self.eps.push(Vec::new());
+        self.finals.push(None);
+        id
+    }
+
+    /// Adds a consuming arc.
+    pub fn add_arc(&mut self, from: StateId, input: ByteSet, output: Vec<OutSym>, to: StateId) {
+        if !input.is_empty() {
+            self.arcs[from as usize].push(FstArc {
+                input,
+                output,
+                target: to,
+            });
+        }
+    }
+
+    /// Adds an input-epsilon arc (consumes nothing, emits `output`).
+    ///
+    /// Input-epsilon arcs are supported in simulation; callers that feed
+    /// the transducer to the grammar image construction must first call
+    /// [`Fst::remove_input_epsilons`].
+    pub fn add_eps_arc(&mut self, from: StateId, output: Vec<OutSym>, to: StateId) {
+        self.eps[from as usize].push((output, to));
+    }
+
+    /// Marks `s` final with the given flush suffix (empty for none).
+    pub fn set_final(&mut self, s: StateId, flush: Vec<u8>) {
+        self.finals[s as usize] = Some(flush);
+    }
+
+    /// Unmarks `s` as final.
+    pub fn clear_final(&mut self, s: StateId) {
+        self.finals[s as usize] = None;
+    }
+
+    /// Returns the start state.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Sets the start state.
+    pub fn set_start(&mut self, s: StateId) {
+        self.start = s;
+    }
+
+    /// Returns the number of states.
+    pub fn num_states(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Returns `true` if `s` is final.
+    pub fn is_final(&self, s: StateId) -> bool {
+        self.finals[s as usize].is_some()
+    }
+
+    /// Returns the flush suffix of final state `s`, if final.
+    pub fn final_output(&self, s: StateId) -> Option<&[u8]> {
+        self.finals[s as usize].as_deref()
+    }
+
+    /// Returns the consuming arcs out of `s`.
+    pub fn arcs(&self, s: StateId) -> &[FstArc] {
+        &self.arcs[s as usize]
+    }
+
+    /// Returns the input-epsilon arcs out of `s`.
+    pub fn eps_arcs(&self, s: StateId) -> &[(Vec<OutSym>, StateId)] {
+        &self.eps[s as usize]
+    }
+
+    /// Returns `true` if the transducer has any input-epsilon arcs.
+    pub fn has_input_epsilons(&self) -> bool {
+        self.eps.iter().any(|v| !v.is_empty())
+    }
+
+    /// Runs the transducer on `input`, collecting up to `limit` distinct
+    /// outputs (the transduction relation may be nondeterministic).
+    ///
+    /// Returns outputs in an unspecified order.
+    pub fn transduce(&self, input: &[u8], limit: usize) -> Vec<Vec<u8>> {
+        let mut results = Vec::new();
+        // Depth-first over (state, input position, output so far); epsilon
+        // steps are bounded to avoid epsilon-cycle divergence.
+        let mut stack: Vec<(StateId, usize, Vec<u8>, usize)> =
+            vec![(self.start, 0, Vec::new(), 0)];
+        while let Some((s, pos, out, eps_depth)) = stack.pop() {
+            if results.len() >= limit {
+                break;
+            }
+            if pos == input.len() {
+                if let Some(flush) = self.final_output(s) {
+                    let mut full = out.clone();
+                    full.extend_from_slice(flush);
+                    if !results.contains(&full) {
+                        results.push(full);
+                    }
+                }
+            }
+            if eps_depth < self.num_states() {
+                for (tmpl, t) in self.eps_arcs(s) {
+                    let mut next = out.clone();
+                    // Copy/Lower/Upper have no referent on epsilon input;
+                    // resolve fixed bytes only.
+                    for sym in tmpl {
+                        if let OutSym::Byte(b) = sym {
+                            next.push(*b);
+                        }
+                    }
+                    stack.push((*t, pos, next, eps_depth + 1));
+                }
+            }
+            if pos < input.len() {
+                let b = input[pos];
+                for arc in self.arcs(s) {
+                    if arc.input.contains(b) {
+                        let mut next = out.clone();
+                        next.extend(resolve_output(&arc.output, b));
+                        stack.push((arc.target, pos + 1, next, 0));
+                    }
+                }
+            }
+        }
+        results
+    }
+
+    /// Runs a transducer expected to be a *function* on `input` and
+    /// returns its unique output.
+    ///
+    /// Returns `None` if the transducer rejects the input or produces
+    /// more than one distinct output.
+    pub fn transduce_unique(&self, input: &[u8]) -> Option<Vec<u8>> {
+        let mut outs = self.transduce(input, 2);
+        if outs.len() == 1 {
+            outs.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Runs `input` through the transducer starting at `state`,
+    /// collecting every `(end state, output)` pair (no final-state
+    /// requirement). Used by [`Fst::compose`].
+    fn paths_from(&self, state: StateId, input: &[u8]) -> Vec<(StateId, Vec<u8>)> {
+        let mut cur: Vec<(StateId, Vec<u8>)> = vec![(state, Vec::new())];
+        for &b in input {
+            let mut next = Vec::new();
+            for (s, out) in &cur {
+                for arc in self.arcs(*s) {
+                    if arc.input.contains(b) {
+                        let mut o = out.clone();
+                        o.extend(resolve_output(&arc.output, b));
+                        next.push((arc.target, o));
+                    }
+                }
+            }
+            // Dedup to keep the frontier small.
+            next.sort();
+            next.dedup();
+            cur = next;
+            if cur.is_empty() {
+                break;
+            }
+        }
+        cur
+    }
+
+    /// Composes two transducers: the result relates `x` to `z` whenever
+    /// `self` relates `x` to some `y` and `other` relates `y` to `z`.
+    ///
+    /// Both transducers must be input-epsilon-free (all builders are);
+    /// arcs are expanded per concrete byte, so the construction is exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either transducer has input-epsilon arcs.
+    #[must_use]
+    pub fn compose(&self, other: &Fst) -> Fst {
+        assert!(
+            !self.has_input_epsilons() && !other.has_input_epsilons(),
+            "compose requires input-epsilon-free transducers"
+        );
+        use std::collections::HashMap;
+        let mut out = Fst::new();
+        let mut map: HashMap<(StateId, StateId), StateId> = HashMap::new();
+        let start_pair = (self.start, other.start);
+        map.insert(start_pair, out.start());
+        let mut worklist = vec![start_pair];
+        while let Some((q1, q2)) = worklist.pop() {
+            let from = map[&(q1, q2)];
+            // Finality: flush of self must run through other, then
+            // other's flush.
+            if let Some(flush1) = self.final_output(q1) {
+                let flush1 = flush1.to_vec();
+                for (mid, w) in other.paths_from(q2, &flush1) {
+                    if let Some(flush2) = other.final_output(mid) {
+                        if !out.is_final(from) {
+                            let mut full = w.clone();
+                            full.extend_from_slice(flush2);
+                            out.set_final(from, full);
+                        }
+                    }
+                }
+            }
+            for arc in self.arcs(q1) {
+                for b in arc.input.iter() {
+                    let w1 = resolve_output(&arc.output, b);
+                    for (mid, w2) in other.paths_from(q2, &w1) {
+                        let pair = (arc.target, mid);
+                        let to = *map.entry(pair).or_insert_with(|| {
+                            worklist.push(pair);
+                            out.add_state()
+                        });
+                        out.add_arc(
+                            from,
+                            ByteSet::singleton(b),
+                            w2.iter().map(|&x| OutSym::Byte(x)).collect(),
+                            to,
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Eliminates input-epsilon arcs by folding each acyclic epsilon path
+    /// into the consuming arc (or final flush) that follows it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EpsilonCycleError`] if the epsilon graph has a cycle with
+    /// output (such a transducer relates one input to infinitely many
+    /// outputs and has no CFG image in our construction).
+    pub fn remove_input_epsilons(&self) -> Result<Fst, EpsilonCycleError> {
+        if !self.has_input_epsilons() {
+            return Ok(self.clone());
+        }
+        // For each state, compute epsilon closure with accumulated fixed
+        // output; detect cycles.
+        let n = self.num_states();
+        let mut closures: Vec<Vec<(Vec<u8>, StateId)>> = Vec::with_capacity(n);
+        for s in 0..n as StateId {
+            let mut acc: Vec<(Vec<u8>, StateId)> = vec![(Vec::new(), s)];
+            let mut stack: Vec<(Vec<u8>, StateId, Vec<StateId>)> =
+                vec![(Vec::new(), s, vec![s])];
+            while let Some((out, q, path)) = stack.pop() {
+                for (tmpl, t) in self.eps_arcs(q) {
+                    if path.contains(t) {
+                        // Pure epsilon cycle with no output is harmless to
+                        // skip (already in closure); with output it is an
+                        // error.
+                        if tmpl.iter().any(|o| matches!(o, OutSym::Byte(_))) {
+                            return Err(EpsilonCycleError);
+                        }
+                        continue;
+                    }
+                    let mut next_out = out.clone();
+                    for sym in tmpl {
+                        if let OutSym::Byte(b) = sym {
+                            next_out.push(*b);
+                        }
+                    }
+                    acc.push((next_out.clone(), *t));
+                    let mut next_path = path.clone();
+                    next_path.push(*t);
+                    stack.push((next_out, *t, next_path));
+                }
+            }
+            closures.push(acc);
+        }
+
+        let mut out = Fst {
+            arcs: vec![Vec::new(); n],
+            eps: vec![Vec::new(); n],
+            finals: vec![None; n],
+            start: self.start,
+        };
+        for s in 0..n as StateId {
+            for (prefix, mid) in &closures[s as usize] {
+                // Consuming arcs reachable after epsilon prefix.
+                for arc in self.arcs(*mid) {
+                    let mut tmpl: Vec<OutSym> =
+                        prefix.iter().map(|&b| OutSym::Byte(b)).collect();
+                    tmpl.extend(arc.output.iter().copied());
+                    out.add_arc(s, arc.input, tmpl, arc.target);
+                }
+                // Final flush reachable after epsilon prefix.
+                if let Some(flush) = self.final_output(*mid) {
+                    let mut full = prefix.clone();
+                    full.extend_from_slice(flush);
+                    // Keep the shortest flush if several paths reach finals;
+                    // any choice preserves the relation only if unique — to
+                    // stay safe keep all by preferring existing and noting
+                    // that multiple flushes cannot be represented. We pick
+                    // the first and rely on builders not to create this.
+                    if out.finals[s as usize].is_none() {
+                        out.finals[s as usize] = Some(full);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Error returned by [`Fst::remove_input_epsilons`] when the epsilon
+/// graph contains an output-producing cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpsilonCycleError;
+
+impl fmt::Display for EpsilonCycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transducer has an output-producing input-epsilon cycle")
+    }
+}
+
+impl std::error::Error for EpsilonCycleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_copies() {
+        let f = builders::identity();
+        assert_eq!(f.transduce_unique(b"hello"). unwrap(), b"hello".to_vec());
+        assert_eq!(f.transduce_unique(b"").unwrap(), b"".to_vec());
+    }
+
+    #[test]
+    fn outsym_resolution() {
+        assert_eq!(OutSym::Byte(b'x').resolve(b'a'), b'x');
+        assert_eq!(OutSym::Copy.resolve(b'a'), b'a');
+        assert_eq!(OutSym::Lower.resolve(b'A'), b'a');
+        assert_eq!(OutSym::Upper.resolve(b'a'), b'A');
+    }
+
+    #[test]
+    fn eps_removal_simple() {
+        // start --eps/"x"--> mid --a/copy--> end(final)
+        let mut f = Fst::new();
+        let mid = f.add_state();
+        let end = f.add_state();
+        f.add_eps_arc(f.start(), vec![OutSym::Byte(b'x')], mid);
+        f.add_arc(mid, ByteSet::singleton(b'a'), vec![OutSym::Copy], end);
+        f.set_final(end, Vec::new());
+        assert!(f.has_input_epsilons());
+        let g = f.remove_input_epsilons().unwrap();
+        assert!(!g.has_input_epsilons());
+        assert_eq!(g.transduce_unique(b"a").unwrap(), b"xa".to_vec());
+        assert_eq!(
+            f.transduce(b"a", 10),
+            g.transduce(b"a", 10),
+            "epsilon removal preserves the relation"
+        );
+    }
+
+    #[test]
+    fn eps_cycle_with_output_errors() {
+        let mut f = Fst::new();
+        f.add_eps_arc(f.start(), vec![OutSym::Byte(b'x')], f.start());
+        f.set_final(f.start(), Vec::new());
+        assert_eq!(f.remove_input_epsilons().unwrap_err(), EpsilonCycleError);
+    }
+}
+
+#[cfg(test)]
+mod compose_tests {
+    use super::builders;
+
+    #[test]
+    fn compose_add_then_strip_is_identity() {
+        let c = builders::addslashes().compose(&builders::stripslashes());
+        for s in [&b"it's"[..], b"a\"b\\c", b"plain", b""] {
+            assert_eq!(c.transduce_unique(s).unwrap(), s.to_vec(), "{:?}", s);
+        }
+    }
+
+    #[test]
+    fn compose_agrees_with_sequential_application() {
+        let f = builders::replace_literal(b"[b]", b"<b>");
+        let g = builders::lowercase();
+        let fg = f.compose(&g);
+        for s in [&b"[B]X[b]Y"[..], b"ABC", b"[b][b]"] {
+            let seq = g
+                .transduce_unique(&f.transduce_unique(s).unwrap())
+                .unwrap();
+            assert_eq!(fg.transduce_unique(s).unwrap(), seq, "{:?}", s);
+        }
+    }
+
+    #[test]
+    fn compose_chains_replacements() {
+        let open = builders::replace_literal(b"[b]", b"<b>");
+        let close = builders::replace_literal(b"[/b]", b"</b>");
+        let both = open.compose(&close);
+        assert_eq!(
+            both.transduce_unique(b"[b]hi[/b]").unwrap(),
+            b"<b>hi</b>".to_vec()
+        );
+    }
+
+    #[test]
+    fn compose_final_flush_threads_through() {
+        // Partial match pending at EOF in the first transducer must be
+        // transduced by the second.
+        let f = builders::replace_literal(b"ab", b"X");
+        let g = builders::uppercase();
+        let fg = f.compose(&g);
+        assert_eq!(fg.transduce_unique(b"za").unwrap(), b"ZA".to_vec());
+    }
+}

@@ -1,0 +1,44 @@
+//! Finite automata and transducers over the byte alphabet.
+//!
+//! This crate is the regular-language substrate of **strtaint**, a
+//! reproduction of *Sound and Precise Analysis of Web Applications for
+//! Injection Vulnerabilities* (Wassermann & Su, PLDI 2007). The string
+//! analysis of the paper needs:
+//!
+//! - [`Nfa`]/[`Dfa`]: finite automata with the full boolean algebra
+//!   (product, complement, minimization) used both for refining string
+//!   variables through regex conditionals and for the policy checks;
+//! - [`Regex`]: a PCRE/POSIX-subset engine compiling the patterns found
+//!   in PHP sanitization code to automata;
+//! - [`fst::Fst`]: finite-state transducers modeling PHP string library
+//!   functions (paper Fig. 6), whose images of context-free languages
+//!   are computed in `strtaint-grammar`.
+//!
+//! # Examples
+//!
+//! ```
+//! use strtaint_automata::{Dfa, Regex};
+//!
+//! // The sanitization check from the paper's Figure 2, as written
+//! // (unanchored — the bug) and as intended (anchored):
+//! let written = Regex::new("[0-9]+").unwrap().match_dfa();
+//! let intended = Regex::new("^[0-9]+$").unwrap().match_dfa();
+//! assert!(!written.is_subset_of(&intended));
+//! assert!(written.accepts(b"1'; DROP TABLE unp_user; --"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod byteset;
+pub mod dfa;
+pub mod dot;
+pub mod fst;
+pub mod nfa;
+pub mod regex;
+
+pub use byteset::ByteSet;
+pub use dfa::Dfa;
+pub use fst::{Fst, OutSym};
+pub use nfa::{Nfa, StateId};
+pub use regex::{ParseRegexError, Regex};

@@ -1,0 +1,397 @@
+//! Nondeterministic finite automata over the byte alphabet.
+//!
+//! [`Nfa`] supports Thompson-style construction (concatenation, union,
+//! Kleene star, …) and is the target of regex compilation. Determinize
+//! with [`crate::Dfa::from_nfa`] for boolean language operations.
+
+use crate::byteset::ByteSet;
+
+/// Identifier of an NFA state (index into the state table).
+pub type StateId = u32;
+
+/// A labeled transition of an [`Nfa`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NfaArc {
+    /// The set of bytes on which this transition may be taken.
+    pub label: ByteSet,
+    /// The destination state.
+    pub target: StateId,
+}
+
+/// A nondeterministic finite automaton with epsilon transitions.
+///
+/// # Examples
+///
+/// ```
+/// use strtaint_automata::Nfa;
+///
+/// let n = Nfa::literal(b"abc");
+/// assert!(n.accepts(b"abc"));
+/// assert!(!n.accepts(b"ab"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Nfa {
+    arcs: Vec<Vec<NfaArc>>,
+    eps: Vec<Vec<StateId>>,
+    start: StateId,
+    accepting: Vec<bool>,
+}
+
+impl Nfa {
+    /// Creates an NFA accepting the empty language.
+    pub fn empty() -> Self {
+        let mut n = Nfa::default();
+        let s = n.add_state();
+        n.start = s;
+        n
+    }
+
+    /// Creates an NFA accepting exactly the empty string.
+    pub fn epsilon() -> Self {
+        let mut n = Nfa::default();
+        let s = n.add_state();
+        n.start = s;
+        n.set_accepting(s, true);
+        n
+    }
+
+    /// Creates an NFA accepting exactly the given byte string.
+    pub fn literal(s: &[u8]) -> Self {
+        let mut n = Nfa::default();
+        let start = n.add_state();
+        n.start = start;
+        let mut cur = start;
+        for &b in s {
+            let next = n.add_state();
+            n.add_arc(cur, ByteSet::singleton(b), next);
+            cur = next;
+        }
+        n.set_accepting(cur, true);
+        n
+    }
+
+    /// Creates an NFA accepting any single byte from `set`.
+    pub fn class(set: ByteSet) -> Self {
+        let mut n = Nfa::default();
+        let s = n.add_state();
+        let t = n.add_state();
+        n.start = s;
+        n.add_arc(s, set, t);
+        n.set_accepting(t, true);
+        n
+    }
+
+    /// Creates an NFA accepting all byte strings (`Σ*`).
+    pub fn any_string() -> Self {
+        let mut n = Nfa::default();
+        let s = n.add_state();
+        n.start = s;
+        n.add_arc(s, ByteSet::FULL, s);
+        n.set_accepting(s, true);
+        n
+    }
+
+    /// Adds a fresh state and returns its id.
+    pub fn add_state(&mut self) -> StateId {
+        let id = self.arcs.len() as StateId;
+        self.arcs.push(Vec::new());
+        self.eps.push(Vec::new());
+        self.accepting.push(false);
+        id
+    }
+
+    /// Adds a labeled transition.
+    pub fn add_arc(&mut self, from: StateId, label: ByteSet, to: StateId) {
+        if !label.is_empty() {
+            self.arcs[from as usize].push(NfaArc { label, target: to });
+        }
+    }
+
+    /// Adds an epsilon transition.
+    pub fn add_eps(&mut self, from: StateId, to: StateId) {
+        self.eps[from as usize].push(to);
+    }
+
+    /// Marks or unmarks a state as accepting.
+    pub fn set_accepting(&mut self, s: StateId, acc: bool) {
+        self.accepting[s as usize] = acc;
+    }
+
+    /// Returns the start state.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Sets the start state.
+    pub fn set_start(&mut self, s: StateId) {
+        self.start = s;
+    }
+
+    /// Returns the number of states.
+    pub fn num_states(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Returns `true` if `s` is accepting.
+    pub fn is_accepting(&self, s: StateId) -> bool {
+        self.accepting[s as usize]
+    }
+
+    /// Returns the labeled transitions out of `s`.
+    pub fn arcs(&self, s: StateId) -> &[NfaArc] {
+        &self.arcs[s as usize]
+    }
+
+    /// Returns the epsilon transitions out of `s`.
+    pub fn eps(&self, s: StateId) -> &[StateId] {
+        &self.eps[s as usize]
+    }
+
+    /// Copies all states of `other` into `self`, returning the offset added
+    /// to `other`'s state ids. `other`'s start/accepting markers are *not*
+    /// imported; the caller wires them up.
+    fn import(&mut self, other: &Nfa) -> StateId {
+        let off = self.arcs.len() as StateId;
+        for s in 0..other.num_states() {
+            let id = self.add_state();
+            debug_assert_eq!(id, off + s as StateId);
+        }
+        for s in 0..other.num_states() as StateId {
+            for a in other.arcs(s) {
+                self.add_arc(off + s, a.label, off + a.target);
+            }
+            for &t in other.eps(s) {
+                self.add_eps(off + s, off + t);
+            }
+        }
+        off
+    }
+
+    /// Returns an NFA accepting `L(self) · L(other)`.
+    #[must_use]
+    pub fn concat(&self, other: &Nfa) -> Nfa {
+        let mut n = self.clone();
+        let off = n.import(other);
+        for s in 0..self.num_states() as StateId {
+            if self.is_accepting(s) {
+                n.set_accepting(s, false);
+                n.add_eps(s, off + other.start);
+            }
+        }
+        for s in 0..other.num_states() as StateId {
+            if other.is_accepting(s) {
+                n.set_accepting(off + s, true);
+            }
+        }
+        n
+    }
+
+    /// Returns an NFA accepting `L(self) ∪ L(other)`.
+    #[must_use]
+    pub fn union(&self, other: &Nfa) -> Nfa {
+        let mut n = Nfa::default();
+        let start = n.add_state();
+        n.start = start;
+        let off_a = n.import(self);
+        let off_b = n.import(other);
+        n.add_eps(start, off_a + self.start);
+        n.add_eps(start, off_b + other.start);
+        for s in 0..self.num_states() as StateId {
+            if self.is_accepting(s) {
+                n.set_accepting(off_a + s, true);
+            }
+        }
+        for s in 0..other.num_states() as StateId {
+            if other.is_accepting(s) {
+                n.set_accepting(off_b + s, true);
+            }
+        }
+        n
+    }
+
+    /// Returns an NFA accepting `L(self)*`.
+    #[must_use]
+    pub fn star(&self) -> Nfa {
+        let mut n = Nfa::default();
+        let start = n.add_state();
+        n.start = start;
+        n.set_accepting(start, true);
+        let off = n.import(self);
+        n.add_eps(start, off + self.start);
+        for s in 0..self.num_states() as StateId {
+            if self.is_accepting(s) {
+                n.set_accepting(off + s, true);
+                n.add_eps(off + s, start);
+            }
+        }
+        n
+    }
+
+    /// Returns an NFA accepting `L(self)+` (one or more repetitions).
+    #[must_use]
+    pub fn plus(&self) -> Nfa {
+        self.concat(&self.star())
+    }
+
+    /// Returns an NFA accepting `L(self) ∪ {ε}`.
+    #[must_use]
+    pub fn opt(&self) -> Nfa {
+        self.union(&Nfa::epsilon())
+    }
+
+    /// Computes the epsilon closure of a set of states (in place).
+    pub fn eps_closure(&self, states: &mut Vec<StateId>) {
+        let mut seen = vec![false; self.num_states()];
+        for &s in states.iter() {
+            seen[s as usize] = true;
+        }
+        let mut stack: Vec<StateId> = states.clone();
+        while let Some(s) = stack.pop() {
+            for &t in self.eps(s) {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    states.push(t);
+                    stack.push(t);
+                }
+            }
+        }
+        states.sort_unstable();
+        states.dedup();
+    }
+
+    /// Tests membership of `input` in the language by direct simulation.
+    pub fn accepts(&self, input: &[u8]) -> bool {
+        let mut cur = vec![self.start];
+        self.eps_closure(&mut cur);
+        for &b in input {
+            let mut next = Vec::new();
+            for &s in &cur {
+                for a in self.arcs(s) {
+                    if a.label.contains(b) {
+                        next.push(a.target);
+                    }
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            if next.is_empty() {
+                return false;
+            }
+            self.eps_closure(&mut next);
+            cur = next;
+        }
+        cur.iter().any(|&s| self.is_accepting(s))
+    }
+
+    /// Returns `true` if the language is empty.
+    pub fn is_empty(&self) -> bool {
+        let mut seen = vec![false; self.num_states()];
+        let mut stack = vec![self.start];
+        seen[self.start as usize] = true;
+        while let Some(s) = stack.pop() {
+            if self.is_accepting(s) {
+                return false;
+            }
+            for a in self.arcs(s) {
+                if !seen[a.target as usize] {
+                    seen[a.target as usize] = true;
+                    stack.push(a.target);
+                }
+            }
+            for &t in self.eps(s) {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_accepts_itself_only() {
+        let n = Nfa::literal(b"select");
+        assert!(n.accepts(b"select"));
+        assert!(!n.accepts(b"selec"));
+        assert!(!n.accepts(b"selects"));
+        assert!(!n.accepts(b""));
+    }
+
+    #[test]
+    fn epsilon_accepts_empty() {
+        let n = Nfa::epsilon();
+        assert!(n.accepts(b""));
+        assert!(!n.accepts(b"x"));
+    }
+
+    #[test]
+    fn empty_language() {
+        let n = Nfa::empty();
+        assert!(n.is_empty());
+        assert!(!n.accepts(b""));
+    }
+
+    #[test]
+    fn class_single_byte() {
+        let n = Nfa::class(ByteSet::range(b'0', b'9'));
+        assert!(n.accepts(b"7"));
+        assert!(!n.accepts(b"77"));
+        assert!(!n.accepts(b"a"));
+    }
+
+    #[test]
+    fn concat_union_star() {
+        let ab = Nfa::literal(b"a").concat(&Nfa::literal(b"b"));
+        assert!(ab.accepts(b"ab"));
+        assert!(!ab.accepts(b"a"));
+
+        let a_or_b = Nfa::literal(b"a").union(&Nfa::literal(b"b"));
+        assert!(a_or_b.accepts(b"a") && a_or_b.accepts(b"b"));
+        assert!(!a_or_b.accepts(b"ab"));
+
+        let astar = Nfa::literal(b"a").star();
+        assert!(astar.accepts(b""));
+        assert!(astar.accepts(b"aaaa"));
+        assert!(!astar.accepts(b"ab"));
+    }
+
+    #[test]
+    fn plus_requires_one() {
+        let p = Nfa::literal(b"x").plus();
+        assert!(!p.accepts(b""));
+        assert!(p.accepts(b"x"));
+        assert!(p.accepts(b"xxx"));
+    }
+
+    #[test]
+    fn opt_allows_empty() {
+        let o = Nfa::literal(b"x").opt();
+        assert!(o.accepts(b""));
+        assert!(o.accepts(b"x"));
+        assert!(!o.accepts(b"xx"));
+    }
+
+    #[test]
+    fn any_string_accepts_everything() {
+        let n = Nfa::any_string();
+        assert!(n.accepts(b""));
+        assert!(n.accepts(b"anything at all \x00\xff"));
+    }
+
+    #[test]
+    fn emptiness_sees_through_epsilon() {
+        let mut n = Nfa::default();
+        let a = n.add_state();
+        let b = n.add_state();
+        n.set_start(a);
+        n.add_eps(a, b);
+        assert!(n.is_empty());
+        n.set_accepting(b, true);
+        assert!(!n.is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Regular-expression abstract syntax.
+
+use crate::byteset::ByteSet;
+
+/// How a pattern is anchored at the top level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Anchoring {
+    /// Neither `^` nor `$`.
+    None,
+    /// `^` at the start only.
+    Start,
+    /// `$` at the end only.
+    End,
+    /// Both `^...$`.
+    Both,
+}
+
+/// A regular-expression syntax tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Epsilon,
+    /// Matches one byte from the set.
+    Class(ByteSet),
+    /// Sequence.
+    Concat(Vec<Ast>),
+    /// Alternation.
+    Alt(Vec<Ast>),
+    /// Kleene star.
+    Star(Box<Ast>),
+    /// One or more.
+    Plus(Box<Ast>),
+    /// Zero or one.
+    Opt(Box<Ast>),
+    /// Bounded repetition `{min, max}`; `max == None` means unbounded.
+    Repeat {
+        /// Repeated subexpression.
+        inner: Box<Ast>,
+        /// Minimum number of repetitions.
+        min: u32,
+        /// Maximum number of repetitions (`None` = unbounded).
+        max: Option<u32>,
+    },
+    /// Start-of-string anchor `^`.
+    AnchorStart,
+    /// End-of-string anchor `$`.
+    AnchorEnd,
+}
+
+impl Ast {
+    /// Builds a concatenation, flattening trivial cases.
+    pub fn concat(parts: Vec<Ast>) -> Ast {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                Ast::Epsilon => {}
+                Ast::Concat(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Ast::Epsilon,
+            1 => flat.pop().expect("len checked"),
+            _ => Ast::Concat(flat),
+        }
+    }
+
+    /// Builds a literal byte-string AST.
+    pub fn literal(s: &[u8]) -> Ast {
+        Ast::concat(s.iter().map(|&b| Ast::Class(ByteSet::singleton(b))).collect())
+    }
+
+    /// Determines the top-level anchoring of the pattern.
+    ///
+    /// Anchors are recognized at the outer edges of the pattern and at the
+    /// outer edges of every top-level alternation branch. A pattern is
+    /// considered start-anchored only if **every** branch is (conservative
+    /// for condition refinement: treating an anchored branch as unanchored
+    /// over-approximates the match language).
+    pub fn anchoring(&self) -> Anchoring {
+        let (s, e) = self.edge_anchors();
+        match (s, e) {
+            (true, true) => Anchoring::Both,
+            (true, false) => Anchoring::Start,
+            (false, true) => Anchoring::End,
+            (false, false) => Anchoring::None,
+        }
+    }
+
+    fn edge_anchors(&self) -> (bool, bool) {
+        match self {
+            Ast::AnchorStart => (true, false),
+            Ast::AnchorEnd => (false, true),
+            Ast::Concat(parts) => {
+                let s = matches!(parts.first(), Some(Ast::AnchorStart));
+                let e = matches!(parts.last(), Some(Ast::AnchorEnd));
+                (s, e)
+            }
+            Ast::Alt(branches) => {
+                let mut s = true;
+                let mut e = true;
+                for b in branches {
+                    let (bs, be) = b.edge_anchors();
+                    s &= bs;
+                    e &= be;
+                }
+                (s, e)
+            }
+            _ => (false, false),
+        }
+    }
+
+    /// Removes anchor nodes, leaving the core expression.
+    ///
+    /// Interior anchors (which make the branch unmatchable in the common
+    /// case) are replaced by epsilon; the compiler pairs this with
+    /// [`Ast::anchoring`] so only edge anchors carry meaning.
+    pub fn strip_anchors(&self) -> Ast {
+        match self {
+            Ast::AnchorStart | Ast::AnchorEnd => Ast::Epsilon,
+            Ast::Epsilon | Ast::Class(_) => self.clone(),
+            Ast::Concat(parts) => Ast::concat(parts.iter().map(Ast::strip_anchors).collect()),
+            Ast::Alt(branches) => {
+                Ast::Alt(branches.iter().map(Ast::strip_anchors).collect())
+            }
+            Ast::Star(i) => Ast::Star(Box::new(i.strip_anchors())),
+            Ast::Plus(i) => Ast::Plus(Box::new(i.strip_anchors())),
+            Ast::Opt(i) => Ast::Opt(Box::new(i.strip_anchors())),
+            Ast::Repeat { inner, min, max } => Ast::Repeat {
+                inner: Box::new(inner.strip_anchors()),
+                min: *min,
+                max: *max,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_flattens() {
+        let a = Ast::concat(vec![
+            Ast::Epsilon,
+            Ast::concat(vec![Ast::literal(b"a"), Ast::literal(b"b")]),
+        ]);
+        assert_eq!(a, Ast::literal(b"ab"));
+    }
+
+    #[test]
+    fn anchoring_detection() {
+        use crate::regex::parse;
+        assert_eq!(parse("^a$").unwrap().anchoring(), Anchoring::Both);
+        assert_eq!(parse("^a").unwrap().anchoring(), Anchoring::Start);
+        assert_eq!(parse("a$").unwrap().anchoring(), Anchoring::End);
+        assert_eq!(parse("a").unwrap().anchoring(), Anchoring::None);
+        // All branches anchored => anchored.
+        assert_eq!(parse("^a$|^b$").unwrap().anchoring(), Anchoring::Both);
+        // Mixed branches => conservative None on the unanchored side.
+        assert_eq!(parse("^a|b$").unwrap().anchoring(), Anchoring::None);
+    }
+}

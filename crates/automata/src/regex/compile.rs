@@ -1,0 +1,107 @@
+//! Thompson construction from regex AST to [`Nfa`].
+
+use super::ast::Ast;
+use crate::nfa::Nfa;
+
+/// Compiles an anchor-free AST into an NFA for its language.
+///
+/// Case-insensitive compilation folds every character class over ASCII
+/// case before building transitions.
+pub fn compile(ast: &Ast, case_insensitive: bool) -> Nfa {
+    match ast {
+        Ast::Epsilon => Nfa::epsilon(),
+        Ast::Class(set) => {
+            let set = if case_insensitive {
+                set.ascii_case_fold()
+            } else {
+                *set
+            };
+            Nfa::class(set)
+        }
+        Ast::Concat(parts) => {
+            let mut n = Nfa::epsilon();
+            for p in parts {
+                n = n.concat(&compile(p, case_insensitive));
+            }
+            n
+        }
+        Ast::Alt(branches) => {
+            let mut iter = branches.iter();
+            let first = iter.next().expect("alternation has at least one branch");
+            let mut n = compile(first, case_insensitive);
+            for b in iter {
+                n = n.union(&compile(b, case_insensitive));
+            }
+            n
+        }
+        Ast::Star(inner) => compile(inner, case_insensitive).star(),
+        Ast::Plus(inner) => compile(inner, case_insensitive).plus(),
+        Ast::Opt(inner) => compile(inner, case_insensitive).opt(),
+        Ast::Repeat { inner, min, max } => {
+            let unit = compile(inner, case_insensitive);
+            let mut n = Nfa::epsilon();
+            for _ in 0..*min {
+                n = n.concat(&unit);
+            }
+            match max {
+                None => n.concat(&unit.star()),
+                Some(max) => {
+                    let opt = unit.opt();
+                    for _ in *min..*max {
+                        n = n.concat(&opt);
+                    }
+                    n
+                }
+            }
+        }
+        Ast::AnchorStart | Ast::AnchorEnd => {
+            // Anchors are stripped before compilation; treat defensively
+            // as epsilon.
+            Nfa::epsilon()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::parse;
+
+    fn nfa(p: &str) -> Nfa {
+        compile(&parse(p).unwrap().strip_anchors(), false)
+    }
+
+    #[test]
+    fn repeat_exact() {
+        let n = nfa("a{3}");
+        assert!(n.accepts(b"aaa"));
+        assert!(!n.accepts(b"aa"));
+        assert!(!n.accepts(b"aaaa"));
+    }
+
+    #[test]
+    fn repeat_open_ended() {
+        let n = nfa("(ab){2,}");
+        assert!(!n.accepts(b"ab"));
+        assert!(n.accepts(b"abab"));
+        assert!(n.accepts(b"ababab"));
+    }
+
+    #[test]
+    fn repeat_range() {
+        let n = nfa("x{1,3}");
+        assert!(n.accepts(b"x"));
+        assert!(n.accepts(b"xxx"));
+        assert!(!n.accepts(b""));
+        assert!(!n.accepts(b"xxxx"));
+    }
+
+    #[test]
+    fn case_insensitive_literal() {
+        let ast = parse("select").unwrap();
+        let n = compile(&ast, true);
+        assert!(n.accepts(b"SELECT"));
+        assert!(n.accepts(b"SeLeCt"));
+        assert!(!n.accepts(b"selec"));
+    }
+}

@@ -1,0 +1,274 @@
+//! A regular-expression engine for the PCRE/POSIX subset that PHP web
+//! applications use in sanitization code.
+//!
+//! The analysis needs regexes in two roles:
+//!
+//! 1. **Condition refinement** (paper §3.1.2): `preg_match('/re/', $x)`
+//!    constrains `$x` on the `then` branch to the *match language* — the
+//!    set of strings in which the pattern matches somewhere — and on the
+//!    `else` branch to its complement. [`Regex::match_language`] builds
+//!    the corresponding automaton, honoring `^`/`$` anchors.
+//! 2. **Policy checks** (paper §3.2.1): the conformance checker
+//!    intersects generated grammars with fixed character-level languages
+//!    (odd number of unescaped quotes, numeric literals, …).
+//!
+//! Supported syntax: literals, `.`, character classes `[...]`/`[^...]`
+//! with ranges, escapes (`\d \D \w \W \s \S \n \t \r \0 \xNN` and escaped
+//! metacharacters), groups `(...)`/`(?:...)`, alternation, quantifiers
+//! `* + ? {m} {m,} {m,n}`, and anchors `^`/`$` at the ends of an
+//! alternation branch. The `i` flag enables ASCII case folding.
+//!
+//! Unsupported constructs (backreferences, lookaround, word boundaries)
+//! cause [`parse`] to return an error; the analysis then conservatively
+//! treats the condition as uninformative, which is sound.
+
+mod ast;
+mod compile;
+mod parser;
+
+pub use ast::{Anchoring, Ast};
+pub use parser::{parse, parse_delimited, ParseRegexError};
+
+use crate::{Dfa, Nfa};
+
+/// A compiled regular expression.
+///
+/// # Examples
+///
+/// ```
+/// use strtaint_automata::Regex;
+///
+/// // The unanchored check from the paper's Figure 2 bug:
+/// let lax = Regex::new("[0-9]+").unwrap();
+/// assert!(lax.matches(b"1'; DROP TABLE unp_user; --"));
+///
+/// // The anchored fix:
+/// let strict = Regex::new("^[0-9]+$").unwrap();
+/// assert!(!strict.matches(b"1'; DROP TABLE unp_user; --"));
+/// assert!(strict.matches(b"42"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    ast: Ast,
+    case_insensitive: bool,
+}
+
+impl Regex {
+    /// Parses a bare pattern (no delimiters), case-sensitive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseRegexError`] on malformed or unsupported syntax.
+    pub fn new(pattern: &str) -> Result<Self, ParseRegexError> {
+        Self::with_flags(pattern, false)
+    }
+
+    /// Parses a bare pattern with explicit case-insensitivity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseRegexError`] on malformed or unsupported syntax.
+    pub fn with_flags(pattern: &str, case_insensitive: bool) -> Result<Self, ParseRegexError> {
+        let ast = parse(pattern)?;
+        Ok(Regex {
+            pattern: pattern.to_owned(),
+            ast,
+            case_insensitive,
+        })
+    }
+
+    /// Parses a PHP-style delimited pattern such as `/^[\d]+$/i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseRegexError`] on malformed or unsupported syntax,
+    /// including unknown flags.
+    pub fn new_delimited(pattern: &str) -> Result<Self, ParseRegexError> {
+        let (pat, flags) = parse_delimited(pattern)?;
+        let mut ci = false;
+        for f in flags.chars() {
+            match f {
+                'i' => ci = true,
+                // Multiline / dotall / extended change semantics we do not
+                // model; reject so the caller falls back conservatively.
+                other => return Err(ParseRegexError::UnsupportedFlag(other)),
+            }
+        }
+        Self::with_flags(&pat, ci)
+    }
+
+    /// Returns the original pattern text.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Returns the parsed syntax tree.
+    pub fn ast(&self) -> &Ast {
+        &self.ast
+    }
+
+    /// Builds an NFA for the *anchored* language of the pattern (the set
+    /// of strings the pattern describes end-to-end, ignoring anchors'
+    /// placement semantics).
+    pub fn anchored_nfa(&self) -> Nfa {
+        compile::compile(&self.ast.strip_anchors(), self.case_insensitive)
+    }
+
+    /// Builds an NFA for the *match language*: all strings in which the
+    /// pattern matches somewhere, with `^`/`$` anchors honored
+    /// (PHP `preg_match` semantics).
+    pub fn match_language(&self) -> Nfa {
+        let anchoring = self.ast.anchoring();
+        let core = compile::compile(&self.ast.strip_anchors(), self.case_insensitive);
+        let any = Nfa::any_string();
+        match anchoring {
+            Anchoring::Both => core,
+            Anchoring::Start => core.concat(&any),
+            Anchoring::End => any.concat(&core),
+            Anchoring::None => any.concat(&core).concat(&any),
+        }
+    }
+
+    /// Determinized match language.
+    pub fn match_dfa(&self) -> Dfa {
+        Dfa::from_nfa(&self.match_language()).minimize()
+    }
+
+    /// Returns `true` if the pattern matches somewhere in `input`
+    /// (PHP `preg_match` semantics).
+    pub fn matches(&self, input: &[u8]) -> bool {
+        self.match_language().accepts(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn re(p: &str) -> Regex {
+        Regex::new(p).unwrap_or_else(|e| panic!("{p}: {e}"))
+    }
+
+    #[test]
+    fn literal_match_anywhere() {
+        let r = re("abc");
+        assert!(r.matches(b"xxabcxx"));
+        assert!(!r.matches(b"ab"));
+    }
+
+    #[test]
+    fn classes_and_quantifiers() {
+        let r = re("^[a-c]+$");
+        assert!(r.matches(b"abccba"));
+        assert!(!r.matches(b"abd"));
+        assert!(!r.matches(b""));
+
+        let r = re("^a{2,3}$");
+        assert!(!r.matches(b"a"));
+        assert!(r.matches(b"aa"));
+        assert!(r.matches(b"aaa"));
+        assert!(!r.matches(b"aaaa"));
+    }
+
+    #[test]
+    fn negated_class() {
+        let r = re("^[^0-9]+$");
+        assert!(r.matches(b"abc"));
+        assert!(!r.matches(b"a1c"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        let r = re("^(foo|ba(r|z))$");
+        assert!(r.matches(b"foo"));
+        assert!(r.matches(b"bar"));
+        assert!(r.matches(b"baz"));
+        assert!(!r.matches(b"ba"));
+    }
+
+    #[test]
+    fn escapes() {
+        let r = re(r"^\d+\.\d+$");
+        assert!(r.matches(b"3.14"));
+        assert!(!r.matches(b"3x14"));
+        let r = re(r"^\w+$");
+        assert!(r.matches(b"az09_"));
+        assert!(!r.matches(b"a b"));
+        let r = re(r"^\s*$");
+        assert!(r.matches(b" \t\n"));
+        assert!(!r.matches(b"x"));
+    }
+
+    #[test]
+    fn figure2_unanchored_vs_anchored() {
+        // eregi('[0-9]+', $userid) — the paper's vulnerability: matches any
+        // string containing a digit.
+        let lax = re("[0-9]+");
+        assert!(lax.matches(b"1'; DROP TABLE unp_user; --"));
+        // preg_match('/^[\d]+$/', ...) — the correct check.
+        let strict = re(r"^[\d]+$");
+        assert!(!strict.matches(b"1'; DROP TABLE unp_user; --"));
+        assert!(strict.matches(b"10057"));
+    }
+
+    #[test]
+    fn delimited_with_flags() {
+        let r = Regex::new_delimited(r"/^[\d]+$/").unwrap();
+        assert!(r.matches(b"123"));
+        let r = Regex::new_delimited("/abc/i").unwrap();
+        assert!(r.matches(b"xABCx"));
+        assert!(Regex::new_delimited("/a/x").is_err());
+    }
+
+    #[test]
+    fn case_insensitive_classes() {
+        let r = Regex::with_flags("^[a-c]+$", true).unwrap();
+        assert!(r.matches(b"AbC"));
+    }
+
+    #[test]
+    fn dot_matches_any_single() {
+        let r = re("^a.c$");
+        assert!(r.matches(b"abc"));
+        assert!(r.matches(b"a'c"));
+        assert!(!r.matches(b"ac"));
+    }
+
+    #[test]
+    fn hex_escape() {
+        let r = re(r"^\x41+$");
+        assert!(r.matches(b"AAA"));
+        assert!(!r.matches(b"B"));
+    }
+
+    #[test]
+    fn start_anchor_only() {
+        let r = re("^ab");
+        assert!(r.matches(b"abxyz"));
+        assert!(!r.matches(b"xab"));
+    }
+
+    #[test]
+    fn end_anchor_only() {
+        let r = re("ab$");
+        assert!(r.matches(b"xyzab"));
+        assert!(!r.matches(b"abx"));
+    }
+
+    #[test]
+    fn unsupported_constructs_error() {
+        assert!(Regex::new(r"a(?=b)").is_err());
+        assert!(Regex::new(r"(a)\1").is_err());
+        assert!(Regex::new(r"a\b").is_err());
+    }
+
+    #[test]
+    fn match_dfa_equivalent_to_nfa() {
+        let r = re("^(x|y)+[0-9]?$");
+        let d = r.match_dfa();
+        for s in [&b"x"[..], b"xy9", b"", b"x9y", b"9"] {
+            assert_eq!(d.accepts(s), r.matches(s), "{:?}", s);
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! Recursive-descent parser for the supported regex subset.
+
+use std::fmt;
+
+use super::ast::Ast;
+use crate::byteset::ByteSet;
+
+/// Error produced when a pattern is malformed or uses unsupported syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseRegexError {
+    /// Unexpected end of pattern.
+    UnexpectedEnd,
+    /// Unexpected byte at the given offset.
+    Unexpected(usize, char),
+    /// A construct the engine deliberately does not model
+    /// (lookaround, backreferences, word boundaries, …).
+    Unsupported(&'static str),
+    /// An unsupported PCRE flag on a delimited pattern.
+    UnsupportedFlag(char),
+    /// Malformed `{m,n}` repetition.
+    BadRepeat(usize),
+    /// Pattern had no delimiters where delimiters were required.
+    MissingDelimiter,
+}
+
+impl fmt::Display for ParseRegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseRegexError::UnexpectedEnd => write!(f, "unexpected end of pattern"),
+            ParseRegexError::Unexpected(i, c) => {
+                write!(f, "unexpected character {c:?} at offset {i}")
+            }
+            ParseRegexError::Unsupported(what) => {
+                write!(f, "unsupported regex construct: {what}")
+            }
+            ParseRegexError::UnsupportedFlag(c) => write!(f, "unsupported regex flag {c:?}"),
+            ParseRegexError::BadRepeat(i) => write!(f, "malformed repetition at offset {i}"),
+            ParseRegexError::MissingDelimiter => {
+                write!(f, "pattern is not delimited (expected e.g. /pat/flags)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseRegexError {}
+
+/// Splits a PHP-style delimited pattern `/pat/flags` (any punctuation
+/// delimiter) into pattern and flag string.
+///
+/// # Errors
+///
+/// Returns [`ParseRegexError::MissingDelimiter`] if the input does not
+/// start with a recognized delimiter or the closing delimiter is missing.
+pub fn parse_delimited(input: &str) -> Result<(String, String), ParseRegexError> {
+    let mut chars = input.chars();
+    let delim = chars.next().ok_or(ParseRegexError::MissingDelimiter)?;
+    if delim.is_alphanumeric() || delim == '\\' {
+        return Err(ParseRegexError::MissingDelimiter);
+    }
+    let close = match delim {
+        '(' => ')',
+        '{' => '}',
+        '[' => ']',
+        '<' => '>',
+        d => d,
+    };
+    let rest: &str = chars.as_str();
+    // Find the last unescaped closing delimiter.
+    let bytes = rest.as_bytes();
+    let mut end = None;
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'\\' {
+            i += 2;
+            continue;
+        }
+        if bytes[i] == close as u8 {
+            end = Some(i);
+        }
+        i += 1;
+    }
+    let end = end.ok_or(ParseRegexError::MissingDelimiter)?;
+    Ok((rest[..end].to_owned(), rest[end + 1..].to_owned()))
+}
+
+/// Parses a bare (undelimited) pattern into an [`Ast`].
+///
+/// # Errors
+///
+/// Returns [`ParseRegexError`] on malformed or unsupported syntax.
+pub fn parse(pattern: &str) -> Result<Ast, ParseRegexError> {
+    let mut p = Parser {
+        bytes: pattern.as_bytes(),
+        pos: 0,
+    };
+    let ast = p.alternation()?;
+    if p.pos != p.bytes.len() {
+        return Err(ParseRegexError::Unexpected(
+            p.pos,
+            p.bytes[p.pos] as char,
+        ));
+    }
+    Ok(ast)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<u8, ParseRegexError> {
+        let b = self.peek().ok_or(ParseRegexError::UnexpectedEnd)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn alternation(&mut self) -> Result<Ast, ParseRegexError> {
+        let mut branches = vec![self.sequence()?];
+        while self.peek() == Some(b'|') {
+            self.pos += 1;
+            branches.push(self.sequence()?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().expect("len checked"))
+        } else {
+            Ok(Ast::Alt(branches))
+        }
+    }
+
+    fn sequence(&mut self) -> Result<Ast, ParseRegexError> {
+        let mut parts = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            parts.push(self.repeatable()?);
+        }
+        Ok(Ast::concat(parts))
+    }
+
+    fn repeatable(&mut self) -> Result<Ast, ParseRegexError> {
+        let atom = self.atom()?;
+        let mut node = atom;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    node = Ast::Star(Box::new(node));
+                }
+                Some(b'+') => {
+                    self.pos += 1;
+                    node = Ast::Plus(Box::new(node));
+                }
+                Some(b'?') => {
+                    self.pos += 1;
+                    node = Ast::Opt(Box::new(node));
+                }
+                Some(b'{') => {
+                    // `{` begins a repetition only if it looks like one;
+                    // otherwise it is a literal brace (PCRE behavior).
+                    if let Some(rep) = self.try_repeat()? {
+                        let (min, max) = rep;
+                        node = Ast::Repeat {
+                            inner: Box::new(node),
+                            min,
+                            max,
+                        };
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        Ok(node)
+    }
+
+    fn try_repeat(&mut self) -> Result<Option<(u32, Option<u32>)>, ParseRegexError> {
+        let start = self.pos;
+        debug_assert_eq!(self.peek(), Some(b'{'));
+        self.pos += 1;
+        let min = self.number();
+        let Some(min) = min else {
+            self.pos = start;
+            return Ok(None);
+        };
+        match self.peek() {
+            Some(b'}') => {
+                self.pos += 1;
+                Ok(Some((min, Some(min))))
+            }
+            Some(b',') => {
+                self.pos += 1;
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Some((min, None)));
+                }
+                let max = self.number().ok_or(ParseRegexError::BadRepeat(start))?;
+                if self.bump()? != b'}' || max < min {
+                    return Err(ParseRegexError::BadRepeat(start));
+                }
+                Ok(Some((min, Some(max))))
+            }
+            _ => {
+                self.pos = start;
+                Ok(None)
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<u32> {
+        let start = self.pos;
+        let mut val: u32 = 0;
+        while let Some(b @ b'0'..=b'9') = self.peek() {
+            self.pos += 1;
+            val = val.saturating_mul(10).saturating_add((b - b'0') as u32);
+        }
+        if self.pos == start {
+            None
+        } else {
+            Some(val.min(1000)) // cap to keep compiled automata bounded
+        }
+    }
+
+    fn atom(&mut self) -> Result<Ast, ParseRegexError> {
+        let b = self.bump()?;
+        match b {
+            b'(' => {
+                // Group. Support plain and non-capturing; reject the rest.
+                if self.peek() == Some(b'?') {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b':') => {
+                            self.pos += 1;
+                        }
+                        Some(b'=') | Some(b'!') => {
+                            return Err(ParseRegexError::Unsupported("lookahead"))
+                        }
+                        Some(b'<') => {
+                            return Err(ParseRegexError::Unsupported(
+                                "lookbehind or named group",
+                            ))
+                        }
+                        _ => return Err(ParseRegexError::Unsupported("(?...) group")),
+                    }
+                }
+                let inner = self.alternation()?;
+                if self.bump()? != b')' {
+                    return Err(ParseRegexError::Unexpected(self.pos - 1, '('));
+                }
+                Ok(inner)
+            }
+            b'[' => self.class(),
+            b'.' => {
+                // PCRE '.' excludes newline by default.
+                let mut s = ByteSet::FULL;
+                s.remove(b'\n');
+                Ok(Ast::Class(s))
+            }
+            b'^' => Ok(Ast::AnchorStart),
+            b'$' => Ok(Ast::AnchorEnd),
+            b'\\' => self.escape(false),
+            b'*' | b'+' | b'?' => Err(ParseRegexError::Unexpected(self.pos - 1, b as char)),
+            other => Ok(Ast::Class(ByteSet::singleton(other))),
+        }
+    }
+
+    fn escape(&mut self, in_class: bool) -> Result<Ast, ParseRegexError> {
+        let b = self.bump()?;
+        let class = |s: ByteSet| Ok(Ast::Class(s));
+        match b {
+            b'd' => class(ByteSet::range(b'0', b'9')),
+            b'D' => class(ByteSet::range(b'0', b'9').complement()),
+            b'w' => class(word_set()),
+            b'W' => class(word_set().complement()),
+            b's' => class(space_set()),
+            b'S' => class(space_set().complement()),
+            b'n' => class(ByteSet::singleton(b'\n')),
+            b't' => class(ByteSet::singleton(b'\t')),
+            b'r' => class(ByteSet::singleton(b'\r')),
+            b'f' => class(ByteSet::singleton(0x0c)),
+            b'v' => class(ByteSet::singleton(0x0b)),
+            b'0' => class(ByteSet::singleton(0)),
+            b'x' => {
+                let hi = hex(self.bump()?)?;
+                let lo = hex(self.bump()?)?;
+                class(ByteSet::singleton(hi * 16 + lo))
+            }
+            b'b' | b'B' if !in_class => Err(ParseRegexError::Unsupported("word boundary")),
+            b'A' | b'z' | b'Z' if !in_class => {
+                Err(ParseRegexError::Unsupported("\\A/\\z anchors"))
+            }
+            b'1'..=b'9' if !in_class => Err(ParseRegexError::Unsupported("backreference")),
+            // Escaped metacharacter or punctuation: literal.
+            other => class(ByteSet::singleton(other)),
+        }
+    }
+
+    fn class(&mut self) -> Result<Ast, ParseRegexError> {
+        let mut negated = false;
+        if self.peek() == Some(b'^') {
+            negated = true;
+            self.pos += 1;
+        }
+        let mut set = ByteSet::EMPTY;
+        let mut first = true;
+        loop {
+            let b = self.bump()?;
+            if b == b']' && !first {
+                break;
+            }
+            first = false;
+            let lo = if b == b'\\' {
+                match self.escape(true)? {
+                    Ast::Class(s) => {
+                        if s.len() > 1 {
+                            // \d, \w, \s inside a class: union it in; it
+                            // cannot form a range.
+                            set = set.union(&s);
+                            continue;
+                        }
+                        s.first_byte().expect("singleton class")
+                    }
+                    _ => unreachable!("escape in class returns Class"),
+                }
+            } else {
+                b
+            };
+            // Range?
+            if self.peek() == Some(b'-')
+                && self.bytes.get(self.pos + 1).copied() != Some(b']')
+                && self.bytes.get(self.pos + 1).is_some()
+            {
+                self.pos += 1; // consume '-'
+                let hb = self.bump()?;
+                let hi = if hb == b'\\' {
+                    match self.escape(true)? {
+                        Ast::Class(s) if s.len() == 1 => s.first_byte().expect("singleton"),
+                        _ => return Err(ParseRegexError::Unsupported("class range to multi-escape")),
+                    }
+                } else {
+                    hb
+                };
+                set = set.union(&ByteSet::range(lo, hi));
+            } else {
+                set.insert(lo);
+            }
+        }
+        if negated {
+            set = set.complement();
+        }
+        Ok(Ast::Class(set))
+    }
+}
+
+fn hex(b: u8) -> Result<u8, ParseRegexError> {
+    match b {
+        b'0'..=b'9' => Ok(b - b'0'),
+        b'a'..=b'f' => Ok(b - b'a' + 10),
+        b'A'..=b'F' => Ok(b - b'A' + 10),
+        _ => Err(ParseRegexError::Unexpected(0, b as char)),
+    }
+}
+
+fn word_set() -> ByteSet {
+    ByteSet::range(b'a', b'z')
+        .union(&ByteSet::range(b'A', b'Z'))
+        .union(&ByteSet::range(b'0', b'9'))
+        .union(&ByteSet::singleton(b'_'))
+}
+
+fn space_set() -> ByteSet {
+    ByteSet::from_bytes([b' ', b'\t', b'\n', b'\r', 0x0b, 0x0c])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_atoms() {
+        assert!(parse("abc").is_ok());
+        assert!(parse("[a-z0-9_]+").is_ok());
+        assert!(parse(r"(foo|bar)?baz{2,4}").is_ok());
+    }
+
+    #[test]
+    fn rejects_dangling_quantifier() {
+        assert!(parse("*a").is_err());
+        assert!(parse("(+)").is_err());
+    }
+
+    #[test]
+    fn rejects_unbalanced_group() {
+        assert!(parse("(a").is_err());
+        assert!(parse("a)").is_err());
+    }
+
+    #[test]
+    fn literal_brace_is_allowed() {
+        // `a{` with no digits is a literal brace in PCRE.
+        assert!(parse("a{x}").is_ok());
+    }
+
+    #[test]
+    fn class_with_leading_bracket() {
+        // `[]]` = class containing ']'.
+        let ast = parse("[]]").unwrap();
+        assert_eq!(ast, Ast::Class(ByteSet::singleton(b']')));
+    }
+
+    #[test]
+    fn class_with_trailing_dash() {
+        let ast = parse("[a-]").unwrap();
+        assert_eq!(ast, Ast::Class(ByteSet::from_bytes([b'a', b'-'])));
+    }
+
+    #[test]
+    fn class_with_escape_sets() {
+        let ast = parse(r"[\d_]").unwrap();
+        let expected = ByteSet::range(b'0', b'9').union(&ByteSet::singleton(b'_'));
+        assert_eq!(ast, Ast::Class(expected));
+    }
+
+    #[test]
+    fn delimiters() {
+        let (pat, flags) = parse_delimited("/^a\\/b$/i").unwrap();
+        assert_eq!(pat, "^a\\/b$");
+        assert_eq!(flags, "i");
+        let (pat, flags) = parse_delimited("#x#").unwrap();
+        assert_eq!(pat, "x");
+        assert_eq!(flags, "");
+        assert!(parse_delimited("abc").is_err());
+    }
+
+    #[test]
+    fn repeat_bounds() {
+        assert!(parse("a{3}").is_ok());
+        assert!(parse("a{3,}").is_ok());
+        assert!(parse("a{3,5}").is_ok());
+        assert!(parse("a{5,3}").is_err());
+    }
+}

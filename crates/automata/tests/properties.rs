@@ -1,0 +1,144 @@
+//! Property-based tests of the automata algebra: the soundness of the
+//! whole analyzer rests on these operations being exact.
+
+use proptest::prelude::*;
+
+use strtaint_automata::{Dfa, Nfa, Regex};
+
+/// A small strategy of regex patterns over {a, b, '} that the engine
+/// supports.
+fn pattern() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("^a+$".to_owned()),
+        Just("^(a|b)*$".to_owned()),
+        Just("^ab?a$".to_owned()),
+        Just("a.*b".to_owned()),
+        Just("^[ab]{2,4}$".to_owned()),
+        Just("'([^']*)'".to_owned()),
+        Just("^a(b|')+$".to_owned()),
+        Just("b+".to_owned()),
+    ]
+}
+
+fn input() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![Just(b'a'), Just(b'b'), Just(b'\''), Just(b'c')],
+        0..10,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn determinization_preserves_language(p in pattern(), s in input()) {
+        let re = Regex::new(&p).unwrap();
+        let nfa = re.match_language();
+        let dfa = Dfa::from_nfa(&nfa);
+        prop_assert_eq!(nfa.accepts(&s), dfa.accepts(&s), "{} on {:?}", p, s);
+    }
+
+    #[test]
+    fn minimization_preserves_language(p in pattern(), s in input()) {
+        let d = Regex::new(&p).unwrap().match_dfa();
+        let m = d.minimize();
+        prop_assert_eq!(d.accepts(&s), m.accepts(&s));
+        prop_assert!(m.num_states() <= d.num_states());
+    }
+
+    #[test]
+    fn complement_is_involution(p in pattern(), s in input()) {
+        let d = Regex::new(&p).unwrap().match_dfa();
+        let cc = d.complement().complement();
+        prop_assert_eq!(d.accepts(&s), cc.accepts(&s));
+        prop_assert_ne!(d.accepts(&s), d.complement().accepts(&s));
+    }
+
+    #[test]
+    fn product_matches_boolean_semantics(p in pattern(), q in pattern(), s in input()) {
+        let a = Regex::new(&p).unwrap().match_dfa();
+        let b = Regex::new(&q).unwrap().match_dfa();
+        prop_assert_eq!(a.intersect(&b).accepts(&s), a.accepts(&s) && b.accepts(&s));
+        prop_assert_eq!(a.union(&b).accepts(&s), a.accepts(&s) || b.accepts(&s));
+        prop_assert_eq!(a.difference(&b).accepts(&s), a.accepts(&s) && !b.accepts(&s));
+    }
+
+    #[test]
+    fn subset_and_equivalence_agree_with_membership(p in pattern(), q in pattern()) {
+        let a = Regex::new(&p).unwrap().match_dfa();
+        let b = Regex::new(&q).unwrap().match_dfa();
+        if a.is_subset_of(&b) {
+            // Spot-check with the shortest witness of a.
+            if let Some(w) = a.shortest_accepted() {
+                prop_assert!(b.accepts(&w));
+            }
+        }
+        prop_assert_eq!(a.equivalent(&a.minimize()), true);
+    }
+
+    #[test]
+    fn shortest_accepted_is_accepted_and_minimal(p in pattern()) {
+        let d = Regex::new(&p).unwrap().match_dfa();
+        if let Some(w) = d.shortest_accepted() {
+            prop_assert!(d.accepts(&w));
+            // No accepted string can be shorter (BFS property): verify
+            // against exhaustive enumeration up to |w|-1 over a small
+            // alphabet sample.
+            for len in 0..w.len() {
+                let mut found = false;
+                let alphabet = [b'a', b'b', b'\'', b'c'];
+                let mut idx = vec![0usize; len];
+                'outer: loop {
+                    let cand: Vec<u8> = idx.iter().map(|&i| alphabet[i]).collect();
+                    if d.accepts(&cand) {
+                        found = true;
+                        break;
+                    }
+                    // odometer
+                    for pos in 0..len {
+                        idx[pos] += 1;
+                        if idx[pos] < alphabet.len() {
+                            continue 'outer;
+                        }
+                        idx[pos] = 0;
+                    }
+                    break;
+                }
+                // Only sound over the sampled alphabet: the witness must
+                // not be beaten by a sampled-alphabet string.
+                prop_assert!(!found || len == w.len(), "{:?} vs len {}", w, len);
+            }
+        }
+    }
+
+    #[test]
+    fn fst_identity_roundtrip(s in input()) {
+        let f = strtaint_automata::fst::builders::identity();
+        prop_assert_eq!(f.transduce_unique(&s).unwrap(), s);
+    }
+
+    #[test]
+    fn addslashes_then_strip_roundtrip(s in input()) {
+        let add = strtaint_automata::fst::builders::addslashes();
+        let strip = strtaint_automata::fst::builders::stripslashes();
+        let escaped = add.transduce_unique(&s).unwrap();
+        prop_assert_eq!(strip.transduce_unique(&escaped).unwrap(), s);
+    }
+
+    #[test]
+    fn replace_literal_agrees_with_std(s in input()) {
+        // Oracle: Rust's str::replace on the same (lossy) text.
+        let f = strtaint_automata::fst::builders::replace_literal(b"ab", b"X");
+        let out = f.transduce_unique(&s).unwrap();
+        let text = String::from_utf8_lossy(&s).into_owned();
+        prop_assert_eq!(String::from_utf8_lossy(&out).into_owned(), text.replace("ab", "X"));
+    }
+
+    #[test]
+    fn case_insensitive_regex_matches_uppercase(s in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'A'), Just(b'b')], 0..8)) {
+        let ci = Regex::with_flags("^[ab]*$", true).unwrap();
+        let folded: Vec<u8> = s.iter().map(|b| b.to_ascii_lowercase()).collect();
+        let cs = Regex::new("^[ab]*$").unwrap();
+        prop_assert_eq!(ci.matches(&s), cs.matches(&folded));
+    }
+}

@@ -1,0 +1,579 @@
+//! A classic **binary taint analysis** baseline — the approach the
+//! paper's introduction argues against (WebSSARI / Pixy style).
+//!
+//! Data is either *tainted* or *untainted*; a fixed list of functions
+//! are *sanitizers* whose results are always untainted; a hotspot with
+//! a tainted argument is a finding. This captures the two failure
+//! modes the paper highlights:
+//!
+//! - **False negatives**: `addslashes` is on the sanitizer list, so a
+//!   query using escaped input in an *unquoted numeric* position is
+//!   declared safe — but it is exploitable (`WHERE id=$id` with
+//!   `$id = addslashes($_GET['id'])`). The grammar-based analysis
+//!   catches this because its policy knows the query's structure.
+//! - **False positives**: a regex *test* (`preg_match('/^[0-9]+$/',…)`)
+//!   does not change the value, so binary taint cannot credit it; code
+//!   the grammar analysis verifies stays flagged.
+//!
+//! # Examples
+//!
+//! ```
+//! use strtaint_analysis::Vfs;
+//! use strtaint_baseline::taint_analyze;
+//!
+//! let mut vfs = Vfs::new();
+//! vfs.add("a.php", r#"<?php
+//! $id = addslashes($_GET['id']);
+//! $r = $DB->query("SELECT * FROM t WHERE id=$id");
+//! "#);
+//! // The baseline misses the unquoted-numeric vulnerability:
+//! let report = taint_analyze(&vfs, "a.php");
+//! assert!(report.findings.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use strtaint_analysis::vfs::{normalize, Vfs};
+use strtaint_php::ast::*;
+use strtaint_php::token::StrPart;
+use strtaint_php::{parse, Span};
+
+/// A taint-analysis finding: a hotspot receiving tainted data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineFinding {
+    /// File containing the hotspot.
+    pub file: String,
+    /// Call site.
+    pub span: Span,
+    /// Hotspot label (`->query`, `mysql_query`, …).
+    pub label: String,
+}
+
+/// Result of the baseline analysis.
+#[derive(Debug, Default)]
+pub struct BaselineReport {
+    /// Hotspots that received tainted data.
+    pub findings: Vec<BaselineFinding>,
+    /// Number of hotspots seen.
+    pub hotspots: usize,
+}
+
+impl fmt::Display for BaselineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "baseline: {}/{} hotspots flagged",
+            self.findings.len(),
+            self.hotspots
+        )
+    }
+}
+
+/// Functions whose return value classic taint checkers consider clean.
+const SANITIZERS: &[&str] = &[
+    "addslashes",
+    "mysql_real_escape_string",
+    "mysql_escape_string",
+    "mysqli_real_escape_string",
+    "pg_escape_string",
+    "sqlite_escape_string",
+    "htmlspecialchars",
+    "htmlentities",
+    "intval",
+    "floatval",
+    "doubleval",
+    "count",
+    "strlen",
+    "md5",
+    "sha1",
+    "crc32",
+    "time",
+    "rand",
+    "mt_rand",
+    "date",
+    "urlencode",
+    "rawurlencode",
+    "number_format",
+    "strip_tags",
+];
+
+const DIRECT_SOURCES: &[&str] = &["_GET", "_POST", "_REQUEST", "_COOKIE", "_SERVER"];
+
+const HOTSPOT_METHODS: &[&str] = &["query", "sql_query", "prepare"];
+const HOTSPOT_FUNCTIONS: &[&str] = &[
+    "mysql_query",
+    "mysqli_query",
+    "mysql_db_query",
+    "pg_query",
+    "sqlite_query",
+    "db_query",
+];
+
+/// Runs the binary taint analysis on one page.
+pub fn taint_analyze(vfs: &Vfs, entry: &str) -> BaselineReport {
+    let mut a = TaintWalker {
+        vfs,
+        report: BaselineReport::default(),
+        functions: HashMap::new(),
+        vars: HashMap::new(),
+        call_depth: 0,
+        cur_file: normalize(entry),
+        returns: Vec::new(),
+    };
+    let Some(src) = vfs.get(entry) else {
+        return a.report;
+    };
+    let Ok(file) = parse(src) else {
+        return a.report;
+    };
+    a.register(&file.stmts);
+    a.stmts(&file.stmts);
+    a.report
+}
+
+struct TaintWalker<'a> {
+    vfs: &'a Vfs,
+    report: BaselineReport,
+    functions: HashMap<String, Rc<FuncDecl>>,
+    vars: HashMap<String, bool>,
+    call_depth: usize,
+    cur_file: String,
+    returns: Vec<bool>,
+}
+
+impl TaintWalker<'_> {
+    fn register(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            if let StmtKind::FuncDecl(d) = &s.kind {
+                self.functions
+                    .entry(d.name.clone())
+                    .or_insert_with(|| Rc::new(d.clone()));
+            }
+        }
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Expr(e) => {
+                self.eval(e);
+            }
+            StmtKind::Echo(es) | StmtKind::Unset(es) => {
+                for e in es {
+                    self.eval(e);
+                }
+            }
+            StmtKind::If {
+                cond,
+                then,
+                elifs,
+                els,
+            } => {
+                // Conservative join: a variable stays tainted if it is
+                // tainted on any path (classic taint tools cannot use
+                // branch conditions to untaint).
+                self.eval(cond);
+                let base = self.vars.clone();
+                let mut merged = base.clone();
+                let mut run_branch = |w: &mut Self, body: &[Stmt]| {
+                    w.vars = base.clone();
+                    w.stmts(body);
+                    for (k, &v) in w.vars.iter() {
+                        let e = merged.entry(k.clone()).or_insert(false);
+                        *e = *e || v;
+                    }
+                };
+                run_branch(self, then);
+                for (c, b) in elifs {
+                    self.vars = base.clone();
+                    self.eval(c);
+                    run_branch(self, b);
+                }
+                if let Some(b) = els {
+                    run_branch(self, b);
+                }
+                self.vars = merged;
+            }
+            StmtKind::While { cond, body } => {
+                self.eval(cond);
+                self.stmts(body);
+                // Re-run once so loop-carried taint stabilizes.
+                self.stmts(body);
+            }
+            StmtKind::DoWhile { body, cond } => {
+                self.stmts(body);
+                self.stmts(body);
+                self.eval(cond);
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                for e in init {
+                    self.eval(e);
+                }
+                if let Some(c) = cond {
+                    self.eval(c);
+                }
+                self.stmts(body);
+                for e in step {
+                    self.eval(e);
+                }
+                self.stmts(body);
+            }
+            StmtKind::Foreach {
+                subject,
+                key,
+                value,
+                body,
+            } => {
+                let t = self.eval(subject);
+                if let Some(k) = key {
+                    self.vars.insert(k.clone(), t);
+                }
+                self.vars.insert(value.clone(), t);
+                self.stmts(body);
+                self.stmts(body);
+            }
+            StmtKind::Switch { subject, cases } => {
+                self.eval(subject);
+                for (l, b) in cases {
+                    if let Some(l) = l {
+                        self.eval(l);
+                    }
+                    self.stmts(b);
+                }
+            }
+            StmtKind::Return(v) => {
+                let t = v.as_ref().map(|e| self.eval(e)).unwrap_or(false);
+                if let Some(frame) = self.returns.last_mut() {
+                    *frame = *frame || t;
+                }
+            }
+            StmtKind::Exit(v) => {
+                if let Some(e) = v {
+                    self.eval(e);
+                }
+            }
+            StmtKind::FuncDecl(d) => {
+                self.functions
+                    .entry(d.name.clone())
+                    .or_insert_with(|| Rc::new(d.clone()));
+            }
+            StmtKind::ClassDecl(c) => {
+                for m in &c.methods {
+                    self.functions
+                        .entry(m.name.clone())
+                        .or_insert_with(|| Rc::new(m.clone()));
+                }
+            }
+            StmtKind::Include { arg, .. } => {
+                self.eval(arg);
+                // Resolve literal includes only (classic tools require
+                // user assistance for dynamic ones — paper §1.1).
+                if let Some(path) = literal_path(arg) {
+                    let norm = normalize(&path);
+                    if let Some(src) = self.vfs.get(&norm) {
+                        if let Ok(file) = parse(src) {
+                            let prev = std::mem::replace(&mut self.cur_file, norm);
+                            self.register(&file.stmts);
+                            self.stmts(&file.stmts);
+                            self.cur_file = prev;
+                        }
+                    }
+                }
+            }
+            StmtKind::Block(b) => self.stmts(b),
+            _ => {}
+        }
+    }
+
+    fn eval(&mut self, e: &Expr) -> bool {
+        match &e.kind {
+            ExprKind::Null
+            | ExprKind::Bool(_)
+            | ExprKind::Int(_)
+            | ExprKind::Float(_)
+            | ExprKind::Str(_)
+            | ExprKind::ConstFetch(_) => false,
+            ExprKind::Interp(parts) => {
+                let mut t = false;
+                for p in parts {
+                    match p {
+                        StrPart::Lit(_) => {}
+                        StrPart::Var(v) => t |= self.var(v),
+                        StrPart::Index(v, _) | StrPart::Prop(v, _) => {
+                            t |= self.var(v) || is_source(v)
+                        }
+                    }
+                }
+                t
+            }
+            ExprKind::Var(v) => self.var(v),
+            ExprKind::Index(base, idx) => {
+                if let Some(i) = idx {
+                    self.eval(i);
+                }
+                if let ExprKind::Var(v) = &base.kind {
+                    if is_source(v) {
+                        return true;
+                    }
+                }
+                self.eval(base)
+            }
+            ExprKind::Prop(base, _) => self.eval(base),
+            ExprKind::Assign(lhs, op, rhs) => {
+                let t = self.eval(rhs);
+                if let Some(name) = lvalue_name(lhs) {
+                    // Compound `.=` keeps prior taint.
+                    let prior = self.vars.get(&name).copied().unwrap_or(false);
+                    let keep = op.is_some() && prior;
+                    self.vars.insert(name, t || keep);
+                }
+                t
+            }
+            ExprKind::Ternary(c, t, f) => {
+                let ct = self.eval(c);
+                let tt = t.as_ref().map(|x| self.eval(x)).unwrap_or(ct);
+                let ft = self.eval(f);
+                tt || ft
+            }
+            ExprKind::Binary(op, a, b) => {
+                let ta = self.eval(a);
+                let tb = self.eval(b);
+                match op {
+                    BinOp::Concat => ta || tb,
+                    _ => false, // arithmetic/comparison yield untainted
+                }
+            }
+            ExprKind::Unary(_, a) | ExprKind::Suppress(a) | ExprKind::Empty(a) => {
+                self.eval(a);
+                false
+            }
+            ExprKind::Cast(kind, a) => {
+                let t = self.eval(a);
+                match kind {
+                    CastKind::Int | CastKind::Float | CastKind::Bool => false,
+                    _ => t,
+                }
+            }
+            ExprKind::IncDec { target, .. } => {
+                self.eval(target);
+                false
+            }
+            ExprKind::Isset(args) => {
+                for a in args {
+                    self.eval(a);
+                }
+                false
+            }
+            ExprKind::Array(items) => {
+                let mut t = false;
+                for (k, v) in items {
+                    if let Some(k) = k {
+                        self.eval(k);
+                    }
+                    t |= self.eval(v);
+                }
+                t
+            }
+            ExprKind::New(_, args) => {
+                for a in args {
+                    self.eval(a);
+                }
+                false
+            }
+            ExprKind::Call(name, args) => self.call(name, args, e.span, false),
+            ExprKind::MethodCall(obj, m, args) => {
+                self.eval(obj);
+                self.call(m, args, e.span, true)
+            }
+        }
+    }
+
+    fn var(&self, v: &str) -> bool {
+        if is_source(v) {
+            return true;
+        }
+        self.vars.get(v).copied().unwrap_or(false)
+    }
+
+    fn call(&mut self, name: &str, args: &[Expr], span: Span, is_method: bool) -> bool {
+        let arg_taints: Vec<bool> = args.iter().map(|a| self.eval(a)).collect();
+        let any_tainted = arg_taints.iter().any(|&t| t);
+        let is_hotspot = if is_method {
+            HOTSPOT_METHODS.contains(&name)
+        } else {
+            HOTSPOT_FUNCTIONS.contains(&name)
+        };
+        if is_hotspot {
+            self.report.hotspots += 1;
+            if arg_taints.first().copied().unwrap_or(false) {
+                self.report.findings.push(BaselineFinding {
+                    file: self.cur_file.clone(),
+                    span,
+                    label: if is_method {
+                        format!("->{name}")
+                    } else {
+                        name.to_owned()
+                    },
+                });
+            }
+            return false;
+        }
+        if SANITIZERS.contains(&name) {
+            return false;
+        }
+        if !is_method {
+            if let Some(decl) = self.functions.get(name).cloned() {
+                if self.call_depth < 8 {
+                    let saved: Vec<(String, Option<bool>)> = decl
+                        .params
+                        .iter()
+                        .map(|p| (p.name.clone(), self.vars.get(&p.name).copied()))
+                        .collect();
+                    for (i, p) in decl.params.iter().enumerate() {
+                        self.vars
+                            .insert(p.name.clone(), arg_taints.get(i).copied().unwrap_or(false));
+                    }
+                    self.call_depth += 1;
+                    self.returns.push(false);
+                    self.stmts(&decl.body);
+                    let ret = self.returns.pop().unwrap_or(false);
+                    self.call_depth -= 1;
+                    for (name, old) in saved {
+                        match old {
+                            Some(t) => {
+                                self.vars.insert(name, t);
+                            }
+                            None => {
+                                self.vars.remove(&name);
+                            }
+                        }
+                    }
+                    return ret;
+                }
+            }
+        }
+        // Unknown function: taint flows through.
+        any_tainted
+    }
+}
+
+fn is_source(v: &str) -> bool {
+    DIRECT_SOURCES.contains(&v)
+}
+
+fn lvalue_name(e: &Expr) -> Option<String> {
+    match &e.kind {
+        ExprKind::Var(v) => Some(v.clone()),
+        ExprKind::Index(b, _) | ExprKind::Prop(b, _) => lvalue_name(b),
+        _ => None,
+    }
+}
+
+fn literal_path(e: &Expr) -> Option<String> {
+    match &e.kind {
+        ExprKind::Str(s) => Some(String::from_utf8_lossy(s).into_owned()),
+        ExprKind::Binary(BinOp::Concat, a, b) => {
+            Some(format!("{}{}", literal_path(a)?, literal_path(b)?))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> BaselineReport {
+        let mut vfs = Vfs::new();
+        vfs.add("a.php", src);
+        taint_analyze(&vfs, "a.php")
+    }
+
+    #[test]
+    fn flags_raw_get() {
+        let r = run(r#"<?php $id = $_GET['id']; $DB->query("SELECT * FROM t WHERE id='$id'");"#);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.hotspots, 1);
+    }
+
+    #[test]
+    fn trusts_sanitizers_blindly_false_negative() {
+        // The paper's motivating blind spot: escaped but unquoted.
+        let r = run(
+            r#"<?php $id = addslashes($_GET['id']); $DB->query("SELECT * FROM t WHERE id=$id");"#,
+        );
+        assert!(r.findings.is_empty(), "baseline misses the numeric-context bug");
+    }
+
+    #[test]
+    fn cannot_credit_regex_checks_false_positive() {
+        // Verified safe by the grammar analysis; still flagged here.
+        let r = run(
+            r#"<?php
+$id = $_GET['id'];
+if (!preg_match('/^[0-9]+$/', $id)) { exit; }
+$DB->query("SELECT * FROM t WHERE id='$id'");"#,
+        );
+        assert_eq!(r.findings.len(), 1, "binary taint cannot model checks");
+    }
+
+    #[test]
+    fn user_function_taint_flows() {
+        let r = run(
+            r#"<?php
+function wrap($x) { return '[' . $x . ']'; }
+$v = wrap($_POST['v']);
+$DB->query("SELECT * FROM t WHERE v='$v'");"#,
+        );
+        assert_eq!(r.findings.len(), 1);
+    }
+
+    #[test]
+    fn user_sanitizer_wrapper_clean() {
+        let r = run(
+            r#"<?php
+function clean($x) { return addslashes($x); }
+$v = clean($_POST['v']);
+$DB->query("SELECT * FROM t WHERE v='$v'");"#,
+        );
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn literal_includes_followed() {
+        let mut vfs = Vfs::new();
+        vfs.add(
+            "lib.php",
+            r#"<?php function get($i) { global $DB; return $DB->query("SELECT * FROM t WHERE i='" . $i . "'"); }"#,
+        );
+        vfs.add("a.php", r#"<?php include('lib.php'); get($_GET['x']);"#);
+        let r = taint_analyze(&vfs, "a.php");
+        assert_eq!(r.findings.len(), 1);
+    }
+
+    #[test]
+    fn loop_carried_taint() {
+        let r = run(
+            r#"<?php
+$acc = '';
+for ($i = 0; $i < 3; $i++) { $acc .= $_GET['p']; }
+$DB->query("SELECT * FROM t WHERE x='$acc'");"#,
+        );
+        assert_eq!(r.findings.len(), 1);
+    }
+}

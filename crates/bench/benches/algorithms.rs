@@ -1,0 +1,111 @@
+//! Micro-benchmarks of the core algorithms: CFG–FSA intersection with
+//! taint propagation (paper Fig. 7), CFG image under an FST (§3.1.2),
+//! the sentential-form Earley parser (§3.2.2), and regex→DFA
+//! compilation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use strtaint_automata::fst::builders;
+use strtaint_automata::Regex;
+use strtaint_grammar::image::image;
+use strtaint_grammar::intersect::intersect;
+use strtaint_grammar::{Cfg, NtId, Symbol};
+use strtaint_sql::earley::recognizes_query;
+use strtaint_sql::SqlGrammar;
+
+/// Builds a chain grammar of `n` alternation layers over a tainted core.
+fn layered_grammar(layers: usize) -> (Cfg, NtId) {
+    let mut g = Cfg::new();
+    let mut cur = g.add_nonterminal("leaf");
+    g.add_literal_production(cur, b"x'1");
+    g.add_literal_production(cur, b"42");
+    for i in 0..layers {
+        let next = g.add_nonterminal(format!("l{i}"));
+        let mut rhs = g.literal_symbols(b"a=");
+        rhs.push(Symbol::N(cur));
+        g.add_production(next, rhs);
+        let mut rhs2 = g.literal_symbols(b"b='");
+        rhs2.push(Symbol::N(cur));
+        rhs2.push(Symbol::T(b'\''));
+        g.add_production(next, rhs2);
+        cur = next;
+    }
+    (g, cur)
+}
+
+fn bench_intersection(c: &mut Criterion) {
+    let dfa = Regex::new("^[^']*('[^']*'[^']*)*$").unwrap().match_dfa();
+    let mut group = c.benchmark_group("algorithms/intersect");
+    for layers in [4usize, 16, 64] {
+        let (g, root) = layered_grammar(layers);
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &g, |b, g| {
+            b.iter(|| std::hint::black_box(intersect(g, root, &dfa).0.num_productions()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_image(c: &mut Criterion) {
+    let fst = builders::addslashes();
+    let replace = builders::replace_literal(b"[b]", b"<b>");
+    let mut group = c.benchmark_group("algorithms/image");
+    for layers in [4usize, 16, 64] {
+        let (g, root) = layered_grammar(layers);
+        group.bench_with_input(
+            BenchmarkId::new("addslashes", layers),
+            &g,
+            |b, g| b.iter(|| std::hint::black_box(image(g, root, &fst).0.num_productions())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("str_replace", layers),
+            &g,
+            |b, g| {
+                b.iter(|| std::hint::black_box(image(g, root, &replace).0.num_productions()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sql_recognition(c: &mut Criterion) {
+    let g = SqlGrammar::standard();
+    let queries: &[&[u8]] = &[
+        b"SELECT * FROM `unp_user` WHERE userid='1'",
+        b"SELECT a.x, b.y FROM a JOIN b ON a.id = b.id WHERE a.x LIKE '%q%' ORDER BY a.x DESC LIMIT 5",
+        b"INSERT INTO t (a, b, c) VALUES (1, 'x', NULL), (2, 'y', 3)",
+        b"UPDATE users SET name = 'bob', age = age + 1 WHERE id IN (1, 2, 3)",
+    ];
+    c.bench_function("algorithms/earley_sql", |b| {
+        b.iter(|| {
+            for q in queries {
+                std::hint::black_box(recognizes_query(&g, q));
+            }
+        })
+    });
+}
+
+fn bench_regex_compile(c: &mut Criterion) {
+    let patterns = [
+        "^[\\d]+$",
+        "[0-9]+",
+        "^[a-zA-Z0-9_]{3,16}$",
+        "^([^']|\\\\')*$",
+    ];
+    c.bench_function("algorithms/regex_to_dfa", |b| {
+        b.iter(|| {
+            for p in patterns {
+                let d = Regex::new(p).unwrap().match_dfa();
+                std::hint::black_box(d.num_states());
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_intersection,
+    bench_image,
+    bench_sql_recognition,
+    bench_regex_compile
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Cost of precision: grammar-based analysis vs. the binary taint
+//! baseline on the same corpus pages. The baseline is orders of
+//! magnitude faster — the paper's argument is that the precision
+//! (no per-query specs, no context-blind sanitizer list) is worth it
+//! at static-analysis (pre-deployment) time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use strtaint::Config;
+
+fn bench_baseline_vs_grammar(c: &mut Criterion) {
+    let app = strtaint_corpus::apps::eve::build();
+    let config = Config::default();
+    let mut group = c.benchmark_group("baseline_cmp/eve");
+    group.sample_size(10);
+    group.bench_function("binary_taint", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for e in &app.entries {
+                n += strtaint_baseline::taint_analyze(&app.vfs, e).findings.len();
+            }
+            std::hint::black_box(n)
+        })
+    });
+    group.bench_function("grammar_based", |b| {
+        b.iter(|| {
+            let r = strtaint::analyze_app(app.name, &app.vfs, &app.entry_refs(), &config);
+            std::hint::black_box(r.distinct_findings().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline_vs_grammar);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Phase split (paper §5.3): "the SQLCIV checking phase is relatively
+//! efficient … checking never took more than a few minutes" while
+//! string analysis dominates. Measures each phase separately on the
+//! corpus subjects (Tiger excluded here — its wall-clock belongs to
+//! the ablation bench).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use strtaint::{Checker, Config};
+
+fn bench_phases(c: &mut Criterion) {
+    let config = Config::default();
+    let checker = Checker::new();
+    let mut group = c.benchmark_group("phases");
+    group.sample_size(10);
+
+    for app in [
+        strtaint_corpus::apps::eve::build(),
+        strtaint_corpus::apps::utopia::build(),
+        strtaint_corpus::apps::warp::build(),
+    ] {
+        // String-analysis phase only.
+        group.bench_function(format!("analysis/{}", short(app.name)), |b| {
+            b.iter(|| {
+                for e in &app.entries {
+                    let a = strtaint_analysis::analyze(&app.vfs, e, &config).unwrap();
+                    std::hint::black_box(a.hotspots.len());
+                }
+            })
+        });
+        // Checking phase only (on precomputed grammars).
+        let analyses: Vec<_> = app
+            .entries
+            .iter()
+            .map(|e| strtaint_analysis::analyze(&app.vfs, e, &config).unwrap())
+            .collect();
+        group.bench_function(format!("check/{}", short(app.name)), |b| {
+            b.iter(|| {
+                for a in &analyses {
+                    for h in &a.hotspots {
+                        std::hint::black_box(checker.check_hotspot(&a.cfg, h.root).is_safe());
+                    }
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn short(name: &str) -> &str {
+    name.split(' ').next().unwrap_or(name)
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

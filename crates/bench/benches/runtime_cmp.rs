@@ -1,0 +1,57 @@
+//! Static verification vs. runtime enforcement (paper §6.3): "general
+//! runtime enforcement techniques incur more runtime overhead than
+//! appropriate, well-placed filters, which static analysis can check."
+//! Measures the one-time static verification cost against the
+//! per-query cost of SqlCheck-style runtime monitoring.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use strtaint::Config;
+use strtaint_sql::runtime::check_query;
+use strtaint_sql::SqlGrammar;
+
+fn bench_static_vs_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_cmp");
+    group.sample_size(20);
+
+    // One-time static verification of a safe page.
+    let mut vfs = strtaint::Vfs::new();
+    vfs.add(
+        "page.php",
+        r#"<?php
+$id = $_GET['id'];
+if (!preg_match('/^[0-9]+$/', $id)) { exit; }
+$r = $DB->query("SELECT * FROM `unp_user` WHERE userid='$id'");
+"#,
+    );
+    let config = Config::default();
+    group.bench_function("static_verify_once", |b| {
+        b.iter(|| {
+            let r = strtaint::analyze_page(&vfs, "page.php", &config).unwrap();
+            assert!(r.is_verified());
+            std::hint::black_box(r.hotspots.len())
+        })
+    });
+
+    // Per-query runtime confinement check on the same hotspot.
+    let g = SqlGrammar::standard();
+    let queries: Vec<(Vec<u8>, (usize, usize))> = (0..16)
+        .map(|i| {
+            let id = format!("{}", 1000 + i);
+            let q = format!("SELECT * FROM `unp_user` WHERE userid='{id}'");
+            let lo = q.find(&id).unwrap();
+            (q.into_bytes(), (lo, lo + id.len()))
+        })
+        .collect();
+    group.bench_function("runtime_check_per_query_x16", |b| {
+        b.iter(|| {
+            for (q, span) in &queries {
+                std::hint::black_box(check_query(&g, q, *span));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_static_vs_runtime);
+criterion_main!(benches);

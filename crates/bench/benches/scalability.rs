@@ -1,0 +1,63 @@
+//! Application-size sweep (paper §5.3): analysis time as a function of
+//! page count, and the include re-analysis effect ("our tool
+//! re-analyzes these included files each time … memoization or
+//! concurrent executions … could improve the performance").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use strtaint::Config;
+use strtaint_corpus::{synth_app, SynthConfig};
+
+fn bench_page_sweep(c: &mut Criterion) {
+    let config = Config::default();
+    let mut group = c.benchmark_group("scalability/pages");
+    group.sample_size(10);
+    for pages in [4usize, 8, 16, 32] {
+        let app = synth_app(&SynthConfig {
+            pages,
+            ..SynthConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(pages), &app, |b, app| {
+            b.iter(|| {
+                let r = strtaint::analyze_app(
+                    app.name,
+                    &app.vfs,
+                    &app.entry_refs(),
+                    &config,
+                );
+                std::hint::black_box(r.distinct_findings().len());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_helper_bulk(c: &mut Criterion) {
+    // Shared-helper bulk re-analyzed per page: linear in helpers ×
+    // pages (the §5.3 memoization observation).
+    let config = Config::default();
+    let mut group = c.benchmark_group("scalability/helpers");
+    group.sample_size(10);
+    for helpers in [10usize, 40, 160] {
+        let app = synth_app(&SynthConfig {
+            pages: 8,
+            helpers,
+            ..SynthConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(helpers), &app, |b, app| {
+            b.iter(|| {
+                let r = strtaint::analyze_app(
+                    app.name,
+                    &app.vfs,
+                    &app.entry_refs(),
+                    &config,
+                );
+                std::hint::black_box(r.pages.len());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_page_sweep, bench_helper_bulk);
+criterion_main!(benches);

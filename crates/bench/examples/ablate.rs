@@ -1,0 +1,19 @@
+use strtaint::Config;
+use strtaint_corpus::{synth_app, SynthConfig};
+fn main() {
+    println!("replace-chain sweep (2 pages):");
+    for chain in [0usize,1,2,3,4,5] {
+        let app = synth_app(&SynthConfig { pages: 2, helpers: 4, filler_lines: 10, vuln_every: 0, replace_chain: chain, seed: 11 });
+        let t = std::time::Instant::now();
+        let r = strtaint::analyze_app(app.name, &app.vfs, &app.entry_refs(), &Config::default());
+        let (v, rr) = r.grammar_size();
+        println!("  chain={chain}: |V|={v} |R|={rr} time={:?} analysis={:?} check={:?}", t.elapsed(), r.analysis_time(), r.check_time());
+    }
+    println!("page sweep:");
+    for pages in [4usize,8,16,32] {
+        let app = synth_app(&SynthConfig { pages, ..SynthConfig::default() });
+        let t = std::time::Instant::now();
+        let r = strtaint::analyze_app(app.name, &app.vfs, &app.entry_refs(), &Config::default());
+        println!("  pages={pages}: lines={} findings={} time={:?}", app.vfs.total_lines(), r.distinct_findings().len(), t.elapsed());
+    }
+}

@@ -1,0 +1,39 @@
+//! Full-scale e107 replica: 741 files, ~100K+ lines — the file count of
+//! the paper's largest subject ("the largest PHP web application
+//! previously analyzed in the literature"). Demonstrates that the
+//! analyzer scales to the paper's headline size on modern hardware.
+//!
+//! ```text
+//! cargo run --release -p strtaint-bench --example full_scale
+//! ```
+
+use std::time::Instant;
+
+use strtaint::Config;
+
+fn main() {
+    let app = strtaint_corpus::apps::e107::build_scaled(741);
+    println!(
+        "full-scale e107 replica: {} files, {} lines",
+        app.vfs.len(),
+        app.vfs.total_lines()
+    );
+    let t = Instant::now();
+    let report = strtaint::analyze_app(app.name, &app.vfs, &app.entry_refs(), &Config::default());
+    println!(
+        "analyzed {} pages in {:?} (analysis {:?}, check {:?})",
+        report.pages.len(),
+        t.elapsed(),
+        report.analysis_time(),
+        report.check_time()
+    );
+    println!(
+        "direct findings: {} (expected {}), indirect: {} (expected {})",
+        report.direct_findings().len(),
+        app.truth.direct_total(),
+        report.indirect_findings().len(),
+        app.truth.indirect
+    );
+    assert_eq!(report.direct_findings().len(), app.truth.direct_total());
+    assert_eq!(report.indirect_findings().len(), app.truth.indirect);
+}

@@ -1,0 +1,9 @@
+use strtaint::{analyze_page, Config};
+fn main() {
+    let app = strtaint_corpus::apps::tiger::build();
+    let plain = analyze_page(&app.vfs, "forum.php", &Config::default()).unwrap();
+    println!("plain:  analysis={:?} check={:?}", plain.analysis_time, plain.check_time);
+    let cfg = Config { backward_slice: true, ..Config::default() };
+    let fast = analyze_page(&app.vfs, "forum.php", &cfg).unwrap();
+    println!("sliced: analysis={:?} check={:?}", fast.analysis_time, fast.check_time);
+}

@@ -1,0 +1,69 @@
+//! Regenerates the paper's **Table 1** over the synthetic corpus.
+//!
+//! ```text
+//! cargo run -p strtaint-bench --bin table1 --release [--skip-tiger]
+//! ```
+//!
+//! Prints the same columns as the paper: files, lines, grammar size
+//! (`|V|`, `|R|`), string-analysis time, SQLCIV-check time, and the
+//! direct (real/false per seeded ground truth) and indirect error
+//! counts. Absolute timings are machine-dependent; the *shape* —
+//! which subjects report what, check ≪ analysis, Tiger's outsized
+//! grammar — is the reproduction target (see EXPERIMENTS.md).
+
+use strtaint_bench::{fmt_duration, run_app};
+
+fn main() {
+    let skip_tiger = std::env::args().any(|a| a == "--skip-tiger");
+    println!(
+        "{:<38} {:>5} {:>8} {:>9} {:>10} {:>12} {:>9}  {:>6} {:>5} {:>6} {:>9}",
+        "Name (version)",
+        "Files",
+        "Lines",
+        "|V|",
+        "|R|",
+        "String An.",
+        "Check",
+        "direct",
+        "Real",
+        "False",
+        "indirect"
+    );
+    let mut totals = (0usize, 0usize, 0usize, 0usize); // direct real, false, measured direct, indirect
+    for app in strtaint_corpus::apps::all() {
+        if skip_tiger && app.name.contains("Tiger") {
+            println!("{:<38} (skipped: --skip-tiger)", app.name);
+            continue;
+        }
+        let row = run_app(&app);
+        println!(
+            "{:<38} {:>5} {:>8} {:>9} {:>10} {:>12} {:>9}  {:>6} {:>5} {:>6} {:>9}",
+            row.name,
+            row.files,
+            row.lines,
+            row.v,
+            row.r,
+            fmt_duration(row.analysis),
+            fmt_duration(row.check),
+            row.direct,
+            row.truth_real,
+            row.truth_false,
+            row.indirect
+        );
+        totals.0 += row.truth_real;
+        totals.1 += row.truth_false;
+        totals.2 += row.direct;
+        totals.3 += row.indirect;
+        assert_eq!(
+            row.direct,
+            row.truth_real + row.truth_false,
+            "measured direct findings must match the seeded ground truth"
+        );
+    }
+    println!(
+        "{:<38} {:>5} {:>8} {:>9} {:>10} {:>12} {:>9}  {:>6} {:>5} {:>6} {:>9}",
+        "Totals", "", "", "", "", "", "", totals.2, totals.0, totals.1, totals.3
+    );
+    let fp_rate = totals.1 as f64 / (totals.0 + totals.1) as f64 * 100.0;
+    println!("False positive rate: {fp_rate:.1}% (paper: 20.8%)");
+}

@@ -1,0 +1,88 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The `table1` binary regenerates the paper's Table 1 over the
+//! synthetic corpus; the criterion benches cover the scalability
+//! observations of §5.3 (checking ≪ analysis, replacement-chain
+//! blow-up, include re-analysis) plus micro-benchmarks of the core
+//! algorithms.
+
+use std::time::Duration;
+
+use strtaint::{AppReport, Config};
+use strtaint_corpus::App;
+
+/// One row of the regenerated Table 1.
+#[derive(Debug)]
+pub struct TableRow {
+    /// Subject name.
+    pub name: String,
+    /// File count.
+    pub files: usize,
+    /// Line count.
+    pub lines: usize,
+    /// Query-grammar nonterminals (summed over pages).
+    pub v: usize,
+    /// Query-grammar productions (summed over pages).
+    pub r: usize,
+    /// String-analysis wall-clock time.
+    pub analysis: Duration,
+    /// SQLCIV-check wall-clock time.
+    pub check: Duration,
+    /// Direct findings (the paper splits these into real/false by
+    /// manual triage; the corpus carries that split as ground truth).
+    pub direct: usize,
+    /// Ground-truth real direct count.
+    pub truth_real: usize,
+    /// Ground-truth false-positive count.
+    pub truth_false: usize,
+    /// Indirect findings.
+    pub indirect: usize,
+}
+
+/// Analyzes one corpus application into a table row.
+pub fn run_app(app: &App) -> TableRow {
+    let report: AppReport =
+        strtaint::analyze_app(app.name, &app.vfs, &app.entry_refs(), &Config::default());
+    let (v, r) = report.grammar_size();
+    TableRow {
+        name: app.name.to_owned(),
+        files: app.vfs.len(),
+        lines: app.vfs.total_lines(),
+        v,
+        r,
+        analysis: report.analysis_time(),
+        check: report.check_time(),
+        direct: report.direct_findings().len(),
+        truth_real: app.truth.direct_real,
+        truth_false: app.truth.direct_false,
+        indirect: report.indirect_findings().len(),
+    }
+}
+
+/// Formats a duration like the paper's Table 1 (`h:m:s.ms` collapsing
+/// leading zero fields).
+pub fn fmt_duration(d: Duration) -> String {
+    let total = d.as_secs_f64();
+    let h = (total / 3600.0) as u64;
+    let m = ((total % 3600.0) / 60.0) as u64;
+    let s = total % 60.0;
+    if h > 0 {
+        format!("{h}:{m:02}:{s:05.2}")
+    } else if m > 0 {
+        format!("{m}:{s:05.2}")
+    } else {
+        format!("{s:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_millis(400)), "0.40");
+        assert_eq!(fmt_duration(Duration::from_secs(81)), "1:21.00");
+        assert_eq!(fmt_duration(Duration::from_secs(3600 + 61)), "1:01:01.00");
+    }
+}

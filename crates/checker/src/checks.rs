@@ -1,0 +1,478 @@
+//! The policy-conformance checking pipeline (paper §3.2).
+//!
+//! For each *maximal* labeled nonterminal `X` reachable from a hotspot
+//! root, the checks run in the paper's order:
+//!
+//! 1. **C1 — odd unescaped quotes**: if `L(X)` intersects the language
+//!    of strings with an odd number of unescaped quotes, `X` cannot be
+//!    syntactically confined in any query → report.
+//! 2. **C2 — string-literal position**: if every occurrence of `X` in
+//!    the query language sits inside a string literal, then `X` is safe
+//!    iff it cannot produce an unescaped quote.
+//! 3. **C3 — numeric literals**: if `L(X)` ⊆ numeric literals, safe.
+//! 4. **C4 — attack strings**: if `X` derives a known non-confinable
+//!    fragment, report.
+//! 5. **C5 — derivability** (§3.2.2): enumerate the query contexts with
+//!    `X` held by a marker; for each context find a SQL grammar symbol
+//!    the marker can stand for (sentential-form Earley) whose lexeme
+//!    language contains `L(X)`. Anything inconclusive → report
+//!    (soundness, Theorem 3.4).
+
+use std::collections::HashMap;
+
+use strtaint_grammar::intersect::{intersect, is_intersection_empty};
+use strtaint_grammar::lang::{bounded_language, shortest_string};
+use strtaint_grammar::{Cfg, NtId};
+use strtaint_sql::derive::{context_candidates, lexeme_dfa};
+use strtaint_sql::{lex_form, SqlGrammar, TokenKind, VarPosition};
+
+use crate::abstraction::{marked_grammar, maximal_labeled};
+use crate::dfas;
+use crate::report::{CheckKind, Finding, HotspotReport};
+
+/// Tunables for the conformance checker.
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// Maximum number of query context strings enumerated for the
+    /// derivability check before reporting `Unresolved`.
+    pub max_contexts: usize,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions { max_contexts: 256 }
+    }
+}
+
+/// Precompiled check automata, shareable across hotspots.
+#[derive(Debug, Clone)]
+pub struct Checker {
+    sql: SqlGrammar,
+    odd_quotes: strtaint_automata::Dfa,
+    has_quote: strtaint_automata::Dfa,
+    marker_outside: strtaint_automata::Dfa,
+    non_numeric: strtaint_automata::Dfa,
+    keywords: strtaint_automata::Dfa,
+    attack: strtaint_automata::Dfa,
+    backquote: strtaint_automata::Dfa,
+    opts: CheckOptions,
+}
+
+impl Checker {
+    /// Builds a checker with default options.
+    pub fn new() -> Self {
+        Self::with_options(CheckOptions::default())
+    }
+
+    /// Builds a checker with explicit options.
+    pub fn with_options(opts: CheckOptions) -> Self {
+        use strtaint_automata::{Dfa, Nfa};
+        let backquote = Dfa::from_nfa(
+            &Nfa::any_string()
+                .concat(&Nfa::literal(b"`"))
+                .concat(&Nfa::any_string()),
+        )
+        .minimize();
+        Checker {
+            sql: SqlGrammar::standard(),
+            odd_quotes: dfas::odd_unescaped_quotes(),
+            has_quote: dfas::contains_unescaped_quote(),
+            marker_outside: dfas::marker_outside_literal(),
+            non_numeric: dfas::numeric_literal().complement(),
+            keywords: dfas::sql_keywords(),
+            attack: dfas::attack_fragments(),
+            backquote,
+            opts,
+        }
+    }
+
+    /// Returns the reference SQL grammar in use.
+    pub fn sql_grammar(&self) -> &SqlGrammar {
+        &self.sql
+    }
+
+    /// Checks one hotspot: `root` must derive every query string the
+    /// hotspot can send.
+    pub fn check_hotspot(&self, cfg: &Cfg, root: NtId) -> HotspotReport {
+        let mut report = HotspotReport::default();
+        let candidates = maximal_labeled(cfg, root);
+        report.checked = candidates.len();
+        for &x in &candidates {
+            match self.check_one(cfg, root, x, &candidates) {
+                None => report.verified += 1,
+                Some(finding) => report.findings.push(finding),
+            }
+        }
+        report
+    }
+
+    /// Splices a witness tainted substring into the shortest query
+    /// context, producing the full query a database would receive.
+    fn example_query(
+        &self,
+        cfg: &Cfg,
+        root: NtId,
+        x: NtId,
+        witness: &[u8],
+    ) -> Option<Vec<u8>> {
+        const BUDGET: usize = 50_000;
+        if cfg.count_reachable_productions(root, BUDGET) > BUDGET {
+            return None;
+        }
+        let (marked, mroot) =
+            crate::abstraction::marked_grammar(cfg, root, x, &HashMap::new());
+        let skeleton = shortest_string(&marked, mroot)?;
+        let mut out = Vec::with_capacity(skeleton.len() + witness.len());
+        for b in skeleton {
+            if b == strtaint_sql::VAR_MARKER {
+                out.extend_from_slice(witness);
+            } else {
+                out.push(b);
+            }
+        }
+        Some(out)
+    }
+
+    /// Builds a witness for a failed intersection check, skipping the
+    /// (expensive) witness-grammar construction for very large
+    /// subgrammars.
+    fn witness_of(
+        &self,
+        cfg: &Cfg,
+        x: NtId,
+        dfa: &strtaint_automata::Dfa,
+    ) -> Option<Vec<u8>> {
+        const WITNESS_BUDGET: usize = 50_000;
+        if cfg.count_reachable_productions(x, WITNESS_BUDGET) > WITNESS_BUDGET {
+            return None;
+        }
+        let (g, r) = intersect(cfg, x, dfa);
+        shortest_string(&g, r)
+    }
+
+    fn check_one(
+        &self,
+        cfg: &Cfg,
+        root: NtId,
+        x: NtId,
+        all: &[NtId],
+    ) -> Option<Finding> {
+        let finding = |kind: CheckKind, witness: Option<Vec<u8>>, detail: String| {
+            let example_query = witness
+                .as_deref()
+                .and_then(|w| self.example_query(cfg, root, x, w));
+            Some(Finding {
+                nonterminal: x,
+                name: cfg.name(x).to_owned(),
+                taint: cfg.taint(x),
+                kind,
+                witness,
+                example_query,
+                detail,
+            })
+        };
+        if cfg.is_empty_language(x) {
+            return None;
+        }
+
+        // C1: odd number of unescaped quotes.
+        if !is_intersection_empty(cfg, x, &self.odd_quotes) {
+            return finding(
+                CheckKind::OddQuotes,
+                self.witness_of(cfg, x, &self.odd_quotes),
+                String::new(),
+            );
+        }
+
+        // C2: always in string-literal position?
+        let (marked, mroot) = marked_grammar(cfg, root, x, &HashMap::new());
+        if is_intersection_empty(&marked, mroot, &self.marker_outside) {
+            if !is_intersection_empty(cfg, x, &self.has_quote) {
+                return finding(
+                    CheckKind::EscapesLiteral,
+                    self.witness_of(cfg, x, &self.has_quote),
+                    String::new(),
+                );
+            }
+            return None; // confined within a string literal
+        }
+
+        // C3: numeric-only language is confined anywhere a literal fits.
+        if is_intersection_empty(cfg, x, &self.non_numeric) {
+            return None;
+        }
+
+        // C4: known attack fragments confirm a vulnerability.
+        if !is_intersection_empty(cfg, x, &self.attack) {
+            return finding(
+                CheckKind::AttackString,
+                self.witness_of(cfg, x, &self.attack),
+                String::new(),
+            );
+        }
+
+        // C5: derivability in context. Sibling tainted subgrammars are
+        // spliced as representative strings (computed lazily — only
+        // hotspots that reach C5 pay for them).
+        let mut replacements: HashMap<NtId, Vec<u8>> = HashMap::new();
+        for &y in all {
+            if y != x {
+                let sample = shortest_string(cfg, y).unwrap_or_else(|| b"1".to_vec());
+                replacements.insert(y, sample);
+            }
+        }
+        let (marked, mroot) = marked_grammar(cfg, root, x, &replacements);
+        let Some(contexts) = bounded_language(&marked, mroot, self.opts.max_contexts)
+        else {
+            return finding(
+                CheckKind::Unresolved,
+                shortest_string(cfg, x),
+                "query contexts are unbounded".into(),
+            );
+        };
+        // Subset checks for L(X), computed lazily once.
+        let mut fits: HashMap<TokenKind, bool> = HashMap::new();
+        let mut fits_kind = |kind: TokenKind| -> bool {
+            *fits.entry(kind).or_insert_with(|| {
+                let lex = lexeme_dfa(kind).complement();
+                if !is_intersection_empty(cfg, x, &lex) {
+                    return false;
+                }
+                if kind == TokenKind::Ident
+                    && !is_intersection_empty(cfg, x, &self.keywords)
+                {
+                    return false;
+                }
+                true
+            })
+        };
+        for ctx in &contexts {
+            let Ok(form) = lex_form(ctx) else {
+                return finding(
+                    CheckKind::NotDerivable,
+                    Some(ctx.clone()),
+                    "query context does not lex as SQL".into(),
+                );
+            };
+            if form.vars.is_empty() {
+                continue; // X erased in this derivation
+            }
+            if form.vars.iter().any(|v| *v == VarPosition::Glued) {
+                return finding(
+                    CheckKind::GluedContext,
+                    Some(ctx.clone()),
+                    String::new(),
+                );
+            }
+            if form.vars.iter().any(|v| *v == VarPosition::InString) {
+                // Inside a literal in this context: no unescaped quotes.
+                if !is_intersection_empty(cfg, x, &self.has_quote) {
+                    return finding(
+                        CheckKind::EscapesLiteral,
+                        shortest_string(cfg, x),
+                        "string-literal context".into(),
+                    );
+                }
+            }
+            if form.vars.iter().any(|v| *v == VarPosition::InBackquotes)
+                && !is_intersection_empty(cfg, x, &self.backquote)
+            {
+                return finding(
+                    CheckKind::EscapesLiteral,
+                    shortest_string(cfg, x),
+                    "backquoted-identifier context".into(),
+                );
+            }
+            if form
+                .vars
+                .iter()
+                .any(|v| *v == VarPosition::Bare)
+            {
+                let candidates = context_candidates(&self.sql, &form);
+                let ok = candidates.iter().any(|&k| fits_kind(k));
+                if !ok {
+                    return finding(
+                        CheckKind::NotDerivable,
+                        shortest_string(cfg, x),
+                        format!(
+                            "context {:?} admits {:?}",
+                            String::from_utf8_lossy(ctx),
+                            candidates
+                        ),
+                    );
+                }
+            }
+        }
+        None
+    }
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Checker::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strtaint_grammar::{Symbol, Taint};
+
+    /// Builds `query -> "SELECT * FROM t WHERE id=" pre X post`.
+    fn harness(pre: &[u8], x_strings: &[&[u8]], post: &[u8]) -> (Cfg, NtId, NtId) {
+        let mut g = Cfg::new();
+        let x = g.add_nonterminal("_GET[id]");
+        g.set_taint(x, Taint::DIRECT);
+        for s in x_strings {
+            g.add_literal_production(x, s);
+        }
+        let root = g.add_nonterminal("query");
+        let mut rhs = g.literal_symbols(b"SELECT * FROM t WHERE id=");
+        rhs.extend(g.literal_symbols(pre));
+        rhs.push(Symbol::N(x));
+        rhs.extend(g.literal_symbols(post));
+        g.add_production(root, rhs);
+        (g, root, x)
+    }
+
+    #[test]
+    fn c1_fires_on_odd_quotes() {
+        let (g, root, _) = harness(b"'", &[b"1", b"1'; DROP TABLE t; --"], b"'");
+        let c = Checker::new();
+        let r = c.check_hotspot(&g, root);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].kind, CheckKind::OddQuotes);
+        assert!(r.findings[0].witness.is_some());
+        assert!(r.findings[0].taint.is_direct());
+    }
+
+    #[test]
+    fn quoted_numeric_verifies() {
+        let (g, root, _) = harness(b"'", &[b"1", b"42", b"007"], b"'");
+        let c = Checker::new();
+        let r = c.check_hotspot(&g, root);
+        assert!(r.is_safe(), "{r}");
+        assert_eq!(r.verified, 1);
+    }
+
+    #[test]
+    fn c2_catches_escaped_literal_breakout() {
+        // X always inside quotes and with an even number of unescaped
+        // quotes (so C1 passes), but the quotes are lone — the classic
+        // `' OR '` literal breakout.
+        let (g, root, _) = harness(b"'", &[b"ok", b"a' OR 'b"], b"'");
+        let c = Checker::new();
+        let r = c.check_hotspot(&g, root);
+        assert_eq!(r.findings.len(), 1, "{r}");
+        assert_eq!(r.findings[0].kind, CheckKind::EscapesLiteral);
+    }
+
+    #[test]
+    fn c2_accepts_doubled_quote_escaping() {
+        // MySQL's '' escape inside a literal is safe.
+        let (g, root, _) = harness(b"'", &[b"ok", b"a''b"], b"'");
+        let c = Checker::new();
+        let r = c.check_hotspot(&g, root);
+        assert!(r.is_safe(), "{r}");
+    }
+
+    #[test]
+    fn addslashed_literal_context_verifies() {
+        // Escaped quotes only — safe inside a literal.
+        let (g, root, _) = harness(b"'", &[b"ok", br"a\'b", br"it\'s"], b"'");
+        let c = Checker::new();
+        let r = c.check_hotspot(&g, root);
+        assert!(r.is_safe(), "{r}");
+    }
+
+    #[test]
+    fn c3_numeric_unquoted_verifies() {
+        let (g, root, _) = harness(b"", &[b"1", b"42"], b"");
+        let c = Checker::new();
+        let r = c.check_hotspot(&g, root);
+        assert!(r.is_safe(), "{r}");
+    }
+
+    #[test]
+    fn unquoted_attack_reported() {
+        // The paper's motivating taint-analysis blind spot: escaped
+        // input in numeric (unquoted) context.
+        let (g, root, _) = harness(b"", &[b"1", b"1 OR 1=1 -- x"], b"");
+        let c = Checker::new();
+        let r = c.check_hotspot(&g, root);
+        assert_eq!(r.findings.len(), 1, "{r}");
+        assert_eq!(r.findings[0].kind, CheckKind::AttackString);
+    }
+
+    #[test]
+    fn c5_ident_in_order_by_verifies() {
+        // X = filtered column name in ORDER BY position.
+        let mut g = Cfg::new();
+        let x = g.add_nonterminal("_GET[sort]");
+        g.set_taint(x, Taint::DIRECT);
+        g.add_literal_production(x, b"name");
+        g.add_literal_production(x, b"date");
+        let root = g.add_nonterminal("query");
+        let mut rhs = g.literal_symbols(b"SELECT * FROM t ORDER BY ");
+        rhs.push(Symbol::N(x));
+        g.add_production(root, rhs);
+        let c = Checker::new();
+        let r = c.check_hotspot(&g, root);
+        assert!(r.is_safe(), "{r}");
+    }
+
+    #[test]
+    fn c5_keyword_capture_reported() {
+        let mut g = Cfg::new();
+        let x = g.add_nonterminal("_GET[sort]");
+        g.set_taint(x, Taint::DIRECT);
+        g.add_literal_production(x, b"name");
+        g.add_literal_production(x, b"union");
+        let root = g.add_nonterminal("query");
+        let mut rhs = g.literal_symbols(b"SELECT * FROM t ORDER BY ");
+        rhs.push(Symbol::N(x));
+        g.add_production(root, rhs);
+        let c = Checker::new();
+        let r = c.check_hotspot(&g, root);
+        assert!(!r.is_safe());
+    }
+
+    #[test]
+    fn whole_query_tainted_reported() {
+        let mut g = Cfg::new();
+        let root = g.add_nonterminal("_GET[q]");
+        g.set_taint(root, Taint::DIRECT);
+        g.add_literal_production(root, b"SELECT 1");
+        let c = Checker::new();
+        let r = c.check_hotspot(&g, root);
+        assert!(!r.is_safe());
+    }
+
+    #[test]
+    fn untainted_query_is_trivially_safe() {
+        let mut g = Cfg::new();
+        let root = g.literal_nonterminal("query", b"SELECT * FROM t");
+        let c = Checker::new();
+        let r = c.check_hotspot(&g, root);
+        assert!(r.is_safe());
+        assert_eq!(r.checked, 0);
+    }
+
+    #[test]
+    fn indirect_taint_classified() {
+        let mut g = Cfg::new();
+        let x = g.add_nonterminal("USER[name]");
+        g.set_taint(x, Taint::INDIRECT);
+        g.add_literal_production(x, b"bob'); DROP TABLE t; --");
+        let root = g.add_nonterminal("query");
+        let mut rhs = g.literal_symbols(b"INSERT INTO t (n) VALUES ('");
+        rhs.push(Symbol::N(x));
+        rhs.extend(g.literal_symbols(b"')"));
+        g.add_production(root, rhs);
+        let c = Checker::new();
+        let r = c.check_hotspot(&g, root);
+        assert_eq!(r.findings.len(), 1);
+        assert!(r.findings[0].taint.is_indirect());
+        assert!(!r.findings[0].taint.is_direct());
+    }
+}

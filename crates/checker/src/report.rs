@@ -1,0 +1,146 @@
+//! Bug-report types produced by the policy-conformance checker.
+
+use std::fmt;
+
+use strtaint_grammar::{NtId, Taint};
+
+/// Which check classified the finding (paper §3.2.1–3.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CheckKind {
+    /// C1: the tainted substring can contain an odd number of
+    /// unescaped quotes — not confinable in any query.
+    OddQuotes,
+    /// C2: the substring always sits inside a string literal but can
+    /// contain an unescaped quote, escaping the literal.
+    EscapesLiteral,
+    /// C4: the substring can contain a known non-confinable attack
+    /// fragment (`DROP TABLE`, `--`, `;`, …) outside quotes.
+    AttackString,
+    /// C5: the substring is not derivable from any single symbol of
+    /// the reference SQL grammar in its context.
+    NotDerivable,
+    /// C5: the substring's position glues onto adjacent tokens, so
+    /// token boundaries are attacker-controlled.
+    GluedContext,
+    /// The checker could not enumerate the query contexts (infinite or
+    /// too many); reported conservatively.
+    Unresolved,
+}
+
+impl fmt::Display for CheckKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CheckKind::OddQuotes => "odd number of unescaped quotes",
+            CheckKind::EscapesLiteral => "can escape its string literal",
+            CheckKind::AttackString => "derives a known attack fragment",
+            CheckKind::NotDerivable => "not derivable from the SQL grammar in context",
+            CheckKind::GluedContext => "attacker-controlled token boundary",
+            CheckKind::Unresolved => "contexts could not be enumerated",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A policy violation for one labeled nonterminal at one hotspot.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The offending labeled nonterminal.
+    pub nonterminal: NtId,
+    /// Its display name (usually names the source, e.g. `_GET[userid]`).
+    pub name: String,
+    /// Taint labels (drives the paper's direct/indirect report split).
+    pub taint: Taint,
+    /// Which check fired.
+    pub kind: CheckKind,
+    /// A witness tainted substring demonstrating the violation, when
+    /// one could be extracted.
+    pub witness: Option<Vec<u8>>,
+    /// A complete example query with the witness spliced into the
+    /// shortest query context — what the database would actually
+    /// receive.
+    pub example_query: Option<Vec<u8>>,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.taint, self.name, self.kind)?;
+        if let Some(w) = &self.witness {
+            write!(f, " (witness: {:?})", String::from_utf8_lossy(w))?;
+        }
+        if !self.detail.is_empty() {
+            write!(f, " — {}", self.detail)?;
+        }
+        if let Some(q) = &self.example_query {
+            write!(f, "\n      e.g. {:?}", String::from_utf8_lossy(q))?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of checking one hotspot.
+#[derive(Debug, Clone, Default)]
+pub struct HotspotReport {
+    /// Violations found (empty = hotspot verified safe).
+    pub findings: Vec<Finding>,
+    /// Number of maximal labeled nonterminals examined.
+    pub checked: usize,
+    /// Number verified syntactically confined.
+    pub verified: usize,
+}
+
+impl HotspotReport {
+    /// `true` when every tainted substring was verified confined.
+    pub fn is_safe(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+impl fmt::Display for HotspotReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_safe() {
+            write!(f, "verified ({} labeled nonterminals)", self.checked)
+        } else {
+            writeln!(f, "{} finding(s):", self.findings.len())?;
+            for finding in &self.findings {
+                writeln!(f, "  - {finding}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finding_display() {
+        let f = Finding {
+            nonterminal: NtId(3),
+            name: "_GET[userid]".into(),
+            taint: Taint::DIRECT,
+            kind: CheckKind::OddQuotes,
+            witness: Some(b"1'".to_vec()),
+            example_query: None,
+            detail: String::new(),
+        };
+        let s = f.to_string();
+        assert!(s.contains("direct"));
+        assert!(s.contains("_GET[userid]"));
+        assert!(s.contains("odd number"));
+        assert!(s.contains("1'"));
+    }
+
+    #[test]
+    fn report_safety() {
+        let r = HotspotReport {
+            findings: vec![],
+            checked: 2,
+            verified: 2,
+        };
+        assert!(r.is_safe());
+        assert!(r.to_string().contains("verified"));
+    }
+}

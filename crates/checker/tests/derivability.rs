@@ -1,0 +1,153 @@
+//! Edge cases of the derivability check C5 (paper §3.2.2) and the
+//! conservative fallbacks that keep Theorem 3.4 (soundness) intact.
+
+use strtaint_checker::{CheckKind, Checker};
+use strtaint_grammar::{Cfg, NtId, Symbol, Taint};
+
+fn tainted(g: &mut Cfg, name: &str, strings: &[&[u8]]) -> NtId {
+    let x = g.add_nonterminal(name);
+    g.set_taint(x, Taint::DIRECT);
+    for s in strings {
+        g.add_literal_production(x, s);
+    }
+    x
+}
+
+fn query(g: &mut Cfg, pre: &[u8], x: NtId, post: &[u8]) -> NtId {
+    let root = g.add_nonterminal("query");
+    let mut rhs = g.literal_symbols(pre);
+    rhs.push(Symbol::N(x));
+    rhs.extend(g.literal_symbols(post));
+    g.add_production(root, rhs);
+    root
+}
+
+#[test]
+fn in_list_position_verifies_numeric() {
+    let mut g = Cfg::new();
+    let x = tainted(&mut g, "ids", &[b"1", b"2", b"44"]);
+    let root = query(&mut g, b"SELECT * FROM t WHERE id IN (", x, b")");
+    let r = Checker::new().check_hotspot(&g, root);
+    assert!(r.is_safe(), "{r}");
+}
+
+#[test]
+fn table_name_position() {
+    let mut g = Cfg::new();
+    let safe = tainted(&mut g, "tbl", &[b"users", b"posts"]);
+    let root = query(&mut g, b"SELECT * FROM ", safe, b" WHERE id = 1");
+    let r = Checker::new().check_hotspot(&g, root);
+    assert!(r.is_safe(), "{r}");
+
+    let mut g = Cfg::new();
+    let unsafe_tbl = tainted(&mut g, "tbl", &[b"users", b"users where 1=1"]);
+    let root = query(&mut g, b"SELECT * FROM ", unsafe_tbl, b" WHERE id = 1");
+    let r = Checker::new().check_hotspot(&g, root);
+    assert!(!r.is_safe(), "multi-token table value must be rejected");
+}
+
+#[test]
+fn glued_context_reported() {
+    // The tainted value glues onto a constant identifier: token
+    // boundaries become attacker-controlled.
+    let mut g = Cfg::new();
+    let x = tainted(&mut g, "suffix", &[b"a", b"b"]);
+    let root = query(&mut g, b"SELECT * FROM tbl", x, b" WHERE id = 1");
+    let r = Checker::new().check_hotspot(&g, root);
+    assert!(!r.is_safe());
+    assert_eq!(r.findings[0].kind, CheckKind::GluedContext);
+}
+
+#[test]
+fn unbounded_context_is_conservative() {
+    // The query skeleton itself is infinite (a recursive constant
+    // part): context enumeration fails, and the checker reports rather
+    // than guessing — the sound default.
+    let mut g = Cfg::new();
+    let x = tainted(&mut g, "v", &[b"name"]);
+    let root = g.add_nonterminal("query");
+    // query -> "SELECT * FROM t WHERE " conds ; conds -> "x=1" | conds " AND x=1"
+    let conds = g.add_nonterminal("conds");
+    g.add_literal_production(conds, b"x = 1");
+    let mut rec = vec![Symbol::N(conds)];
+    rec.extend(g.literal_symbols(b" AND x = 1"));
+    g.add_production(conds, rec);
+    let mut rhs = g.literal_symbols(b"SELECT * FROM t WHERE ");
+    rhs.push(Symbol::N(conds));
+    rhs.extend(g.literal_symbols(b" ORDER BY "));
+    rhs.push(Symbol::N(x));
+    g.add_production(root, rhs);
+    let r = Checker::new().check_hotspot(&g, root);
+    assert!(!r.is_safe());
+    assert_eq!(r.findings[0].kind, CheckKind::Unresolved);
+}
+
+#[test]
+fn two_tainted_vars_in_one_query() {
+    // Sibling tainted subgrammars: each is checked with the other
+    // spliced as a representative sample.
+    let mut g = Cfg::new();
+    let a = tainted(&mut g, "col", &[b"name", b"age"]);
+    let b = tainted(&mut g, "num", &[b"1", b"2"]);
+    let root = g.add_nonterminal("query");
+    let mut rhs = g.literal_symbols(b"SELECT ");
+    rhs.push(Symbol::N(a));
+    rhs.extend(g.literal_symbols(b" FROM t LIMIT "));
+    rhs.push(Symbol::N(b));
+    g.add_production(root, rhs);
+    let r = Checker::new().check_hotspot(&g, root);
+    assert!(r.is_safe(), "{r}");
+    assert_eq!(r.checked, 2);
+}
+
+#[test]
+fn limit_position_rejects_nonnumeric() {
+    let mut g = Cfg::new();
+    let x = tainted(&mut g, "limit", &[b"10", b"10 OFFSET 0 UNION SELECT pw FROM u"]);
+    let root = query(&mut g, b"SELECT * FROM t LIMIT ", x, b"");
+    let r = Checker::new().check_hotspot(&g, root);
+    assert!(!r.is_safe());
+}
+
+#[test]
+fn string_literal_context_via_c5() {
+    // A value appearing BOTH quoted and bare: the quoted occurrence is
+    // fine but the bare occurrence fails the literal checks and lands
+    // in C5, which must still decide per context.
+    let mut g = Cfg::new();
+    let x = tainted(&mut g, "v", &[b"7"]);
+    let root = g.add_nonterminal("query");
+    let mut rhs = g.literal_symbols(b"SELECT * FROM t WHERE a='");
+    rhs.push(Symbol::N(x));
+    rhs.extend(g.literal_symbols(b"' AND b="));
+    rhs.push(Symbol::N(x));
+    g.add_production(root, rhs);
+    let r = Checker::new().check_hotspot(&g, root);
+    assert!(r.is_safe(), "{r}");
+}
+
+#[test]
+fn empty_language_is_verified() {
+    let mut g = Cfg::new();
+    let x = g.add_nonterminal("dead");
+    g.set_taint(x, Taint::DIRECT);
+    // no productions: empty language
+    let root = query(&mut g, b"SELECT ", x, b" FROM t");
+    let r = Checker::new().check_hotspot(&g, root);
+    assert!(r.is_safe());
+}
+
+#[test]
+fn function_call_position() {
+    let mut g = Cfg::new();
+    let x = tainted(&mut g, "fn", &[b"upper", b"lower"]);
+    let root = g.add_nonterminal("query");
+    let mut rhs = g.literal_symbols(b"SELECT ");
+    rhs.push(Symbol::N(x));
+    rhs.extend(g.literal_symbols(b"(name) FROM t"));
+    g.add_production(root, rhs);
+    // fn glues onto '(' — lexically fine (punctuation boundary), and
+    // Ident(…) is a FuncCall.
+    let r = Checker::new().check_hotspot(&g, root);
+    assert!(r.is_safe(), "{r}");
+}

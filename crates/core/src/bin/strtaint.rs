@@ -1,0 +1,271 @@
+//! The `strtaint` command-line analyzer.
+//!
+//! ```text
+//! strtaint [OPTIONS] <PROJECT_DIR> <ENTRY.php>...
+//!
+//! OPTIONS:
+//!   --xss           run the XSS checker instead of the SQLCIV checker
+//!   --slice         enable the backward query-relevance slice (faster)
+//!   --json          machine-readable output
+//!   --sarif         SARIF 2.1.0 output (for CI annotation)
+//!   --include A=B   resolve the dynamic include at site A (file:line)
+//!                   to file B (repeatable)
+//! ```
+//!
+//! Exit code: 0 = verified, 1 = findings reported, 2 = usage/IO error.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use strtaint::{analyze_page_with, analyze_page_xss, Checker, Config, PageReport, Vfs};
+
+struct Options {
+    xss: bool,
+    slice: bool,
+    json: bool,
+    sarif: bool,
+    dir: String,
+    entries: Vec<String>,
+    includes: Vec<(String, String)>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        xss: false,
+        slice: false,
+        json: false,
+        sarif: false,
+        dir: String::new(),
+        entries: Vec::new(),
+        includes: Vec::new(),
+    };
+    let mut positional = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--xss" => opts.xss = true,
+            "--slice" => opts.slice = true,
+            "--json" => opts.json = true,
+            "--sarif" => opts.sarif = true,
+            "--include" => {
+                let v = args.next().ok_or("--include requires SITE=FILE")?;
+                let (site, file) = v
+                    .split_once('=')
+                    .ok_or("--include argument must be SITE=FILE")?;
+                opts.includes.push((site.to_owned(), file.to_owned()));
+            }
+            "--help" | "-h" => {
+                return Err("usage: strtaint [--xss] [--slice] [--json] \
+                            [--include SITE=FILE] <dir> <entry.php>..."
+                    .to_owned())
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other}"))
+            }
+            other => positional.push(other.to_owned()),
+        }
+    }
+    if positional.len() < 2 {
+        return Err("usage: strtaint [--xss] [--slice] [--json] \
+                    [--include SITE=FILE] <dir> <entry.php>..."
+            .to_owned());
+    }
+    opts.dir = positional.remove(0);
+    opts.entries = positional;
+    Ok(opts)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn emit_json(reports: &[PageReport]) {
+    println!("{{\"pages\": [");
+    for (pi, p) in reports.iter().enumerate() {
+        println!("  {{");
+        println!("    \"entry\": \"{}\",", json_escape(&p.entry));
+        println!("    \"verified\": {},", p.is_verified());
+        println!("    \"grammar_nonterminals\": {},", p.grammar_nonterminals);
+        println!("    \"grammar_productions\": {},", p.grammar_productions);
+        println!(
+            "    \"analysis_ms\": {:.3},",
+            p.analysis_time.as_secs_f64() * 1e3
+        );
+        println!("    \"check_ms\": {:.3},", p.check_time.as_secs_f64() * 1e3);
+        println!("    \"findings\": [");
+        let findings: Vec<_> = p.findings().collect();
+        for (fi, (h, f)) in findings.iter().enumerate() {
+            let witness = f
+                .witness
+                .as_deref()
+                .map(|w| format!("\"{}\"", json_escape(&String::from_utf8_lossy(w))))
+                .unwrap_or_else(|| "null".to_owned());
+            println!(
+                "      {{\"file\": \"{}\", \"line\": {}, \"sink\": \"{}\", \
+                 \"source\": \"{}\", \"taint\": \"{}\", \"check\": \"{}\", \
+                 \"witness\": {}}}{}",
+                json_escape(&h.file),
+                h.span.line,
+                json_escape(&h.label),
+                json_escape(&f.name),
+                f.taint,
+                f.kind,
+                witness,
+                if fi + 1 < findings.len() { "," } else { "" }
+            );
+        }
+        println!("    ],");
+        println!("    \"warnings\": [");
+        for (wi, w) in p.warnings.iter().enumerate() {
+            println!(
+                "      \"{}\"{}",
+                json_escape(w),
+                if wi + 1 < p.warnings.len() { "," } else { "" }
+            );
+        }
+        println!("    ]");
+        println!("  }}{}", if pi + 1 < reports.len() { "," } else { "" });
+    }
+    println!("]}}");
+}
+
+/// Minimal SARIF 2.1.0 writer (one run, one result per finding) so
+/// findings annotate pull requests in standard CI tooling.
+fn emit_sarif(reports: &[PageReport]) {
+    let rule_id = |kind: &strtaint::CheckKind| -> &'static str {
+        use strtaint::CheckKind::*;
+        match kind {
+            OddQuotes => "strtaint/odd-quotes",
+            EscapesLiteral => "strtaint/escapes-literal",
+            AttackString => "strtaint/attack-string",
+            NotDerivable => "strtaint/not-derivable",
+            GluedContext => "strtaint/glued-context",
+            Unresolved => "strtaint/unresolved",
+        }
+    };
+    println!("{{");
+    println!("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",");
+    println!("  \"version\": \"2.1.0\",");
+    println!("  \"runs\": [{{");
+    println!("    \"tool\": {{\"driver\": {{\"name\": \"strtaint\", \"informationUri\": \"https://example.invalid/strtaint\", \"version\": \"0.1.0\"}}}},");
+    println!("    \"results\": [");
+    let all: Vec<_> = reports.iter().flat_map(|p| p.findings()).collect();
+    for (i, (h, f)) in all.iter().enumerate() {
+        let msg = format!(
+            "{} at {}: tainted source {} — {}{}",
+            h.label,
+            h.span,
+            f.name,
+            f.kind,
+            f.witness
+                .as_deref()
+                .map(|w| format!(" (witness: {})", String::from_utf8_lossy(w)))
+                .unwrap_or_default()
+        );
+        println!("      {{");
+        println!("        \"ruleId\": \"{}\",", rule_id(&f.kind));
+        println!("        \"level\": \"error\",");
+        println!(
+            "        \"message\": {{\"text\": \"{}\"}},",
+            json_escape(&msg)
+        );
+        println!("        \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]",
+            json_escape(&h.file), h.span.line, h.span.col);
+        println!(
+            "      }}{}",
+            if i + 1 < all.len() { "," } else { "" }
+        );
+    }
+    println!("    ]");
+    println!("  }}]");
+    println!("}}");
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let vfs = match Vfs::from_dir(Path::new(&opts.dir)) {
+        Ok(v) if !v.is_empty() => v,
+        Ok(_) => {
+            eprintln!("no .php files under {}", opts.dir);
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", opts.dir);
+            return ExitCode::from(2);
+        }
+    };
+    let mut config = Config {
+        backward_slice: opts.slice,
+        ..Config::default()
+    };
+    for (site, file) in &opts.includes {
+        config
+            .include_overrides
+            .entry(site.clone())
+            .or_default()
+            .push(file.clone());
+    }
+    let checker = Checker::new();
+
+    let mut reports = Vec::new();
+    let mut any_findings = false;
+    for entry in &opts.entries {
+        let result = if opts.xss {
+            analyze_page_xss(&vfs, entry, &config)
+        } else {
+            analyze_page_with(&vfs, entry, &config, &checker)
+        };
+        match result {
+            Ok(r) => {
+                any_findings |= !r.is_verified();
+                reports.push(r);
+            }
+            Err(e) => {
+                eprintln!("{entry}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if opts.sarif {
+        emit_sarif(&reports);
+    } else if opts.json {
+        emit_json(&reports);
+    } else {
+        for r in &reports {
+            print!("{r}");
+            for w in &r.warnings {
+                println!("  warning: {w}");
+            }
+        }
+        let total: usize = reports.iter().map(|r| r.findings().count()).sum();
+        if any_findings {
+            println!("\n{total} finding(s).");
+        } else {
+            println!("\nAll pages verified.");
+        }
+    }
+    if any_findings {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,374 @@
+//! **strtaint** — a sound and precise static analysis for SQL command
+//! injection vulnerabilities in PHP web applications.
+//!
+//! This crate is the public entry point of a from-scratch reproduction
+//! of *Sound and Precise Analysis of Web Applications for Injection
+//! Vulnerabilities* (Wassermann & Su, PLDI 2007). The pipeline has the
+//! paper's two phases:
+//!
+//! 1. **String-taint analysis** (`strtaint-analysis`): conservatively
+//!    characterizes the SQL query strings a page can generate as a
+//!    context-free grammar whose nonterminals carry `direct`/`indirect`
+//!    taint labels, modeling sanitizers as finite-state transducers and
+//!    regex conditionals as grammar–automaton intersections.
+//! 2. **Policy conformance** (`strtaint-checker`): checks that every
+//!    tainted subgrammar is *syntactically confined* — derivable from a
+//!    single symbol of the reference SQL grammar in every query context
+//!    (Definition 2.3). Violations are reported with witness strings;
+//!    no reports means the page is verified (Theorem 3.4).
+//!
+//! # Examples
+//!
+//! The paper's Figure 2 vulnerability end to end:
+//!
+//! ```
+//! use strtaint::{analyze_page, Config, Vfs};
+//!
+//! let mut vfs = Vfs::new();
+//! vfs.add("useredit.php", r#"<?php
+//! isset($_GET['userid']) ?
+//!     $userid = $_GET['userid'] : $userid = '';
+//! if (!eregi('[0-9]+', $userid)) {
+//!     exit;
+//! }
+//! $getuser = $DB->query("SELECT * FROM `unp_user` WHERE userid='$userid'");
+//! "#);
+//! let report = analyze_page(&vfs, "useredit.php", &Config::default()).unwrap();
+//! assert!(!report.is_verified(), "the unanchored eregi is a SQLCIV");
+//!
+//! // With the anchored check the same page verifies:
+//! let mut fixed = Vfs::new();
+//! fixed.add("useredit.php", r#"<?php
+//! isset($_GET['userid']) ?
+//!     $userid = $_GET['userid'] : $userid = '';
+//! if (!preg_match('/^[0-9]+$/', $userid)) {
+//!     exit;
+//! }
+//! $getuser = $DB->query("SELECT * FROM `unp_user` WHERE userid='$userid'");
+//! "#);
+//! let report = analyze_page(&fixed, "useredit.php", &Config::default()).unwrap();
+//! assert!(report.is_verified());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod report;
+
+use std::time::Instant;
+
+pub use strtaint_analysis::{AnalyzeError, Config, Hotspot, Vfs};
+pub use strtaint_checker::{CheckKind, CheckOptions, Checker, Finding, HotspotReport};
+pub use strtaint_grammar::{Cfg, NtId, Taint};
+
+pub use report::{AppReport, PageReport};
+
+/// Analyzes one web page (top-level PHP file) and checks every hotspot.
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError`] if the entry file is missing or fails to
+/// parse. Problems in included files become warnings on the report.
+pub fn analyze_page(
+    vfs: &Vfs,
+    entry: &str,
+    config: &Config,
+) -> Result<PageReport, AnalyzeError> {
+    analyze_page_with(vfs, entry, config, &Checker::new())
+}
+
+/// Like [`analyze_page`], reusing a prebuilt [`Checker`] (its automata
+/// are page-independent).
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError`] if the entry file is missing or fails to
+/// parse.
+pub fn analyze_page_with(
+    vfs: &Vfs,
+    entry: &str,
+    config: &Config,
+    checker: &Checker,
+) -> Result<PageReport, AnalyzeError> {
+    let t0 = Instant::now();
+    let analysis = strtaint_analysis::analyze(vfs, entry, config)?;
+    let analysis_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let mut hotspots = Vec::new();
+    for h in &analysis.hotspots {
+        let r = checker.check_hotspot(&analysis.cfg, h.root);
+        hotspots.push((h.clone(), r));
+    }
+    let check_time = t1.elapsed();
+
+    // Grammar size restricted to the query grammars (Table 1 columns).
+    let mut reachable = vec![false; analysis.cfg.num_nonterminals()];
+    for h in &analysis.hotspots {
+        for (i, r) in analysis.cfg.reachable(h.root).into_iter().enumerate() {
+            reachable[i] = reachable[i] || r;
+        }
+    }
+    let grammar_nonterminals = reachable.iter().filter(|&&b| b).count();
+    let grammar_productions = analysis
+        .cfg
+        .nonterminals()
+        .filter(|id| reachable[id.index()])
+        .map(|id| analysis.cfg.productions(id).len())
+        .sum();
+
+    Ok(PageReport {
+        entry: entry.to_owned(),
+        hotspots,
+        grammar_nonterminals,
+        grammar_productions,
+        analysis_time,
+        check_time,
+        warnings: analysis.warnings,
+        unmodeled: analysis.unmodeled.into_iter().collect(),
+        files_analyzed: analysis.files_analyzed,
+    })
+}
+
+/// Analyzes one web page for **cross-site scripting**: every `echo`
+/// sink's emitted HTML language is checked for tainted substrings that
+/// can introduce markup — the same technique as the SQLCIV analysis
+/// with an HTML-context automaton in place of the SQL machinery (the
+/// extension the paper names as future work, §7).
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError`] if the entry file is missing or fails to
+/// parse.
+pub fn analyze_page_xss(
+    vfs: &Vfs,
+    entry: &str,
+    config: &Config,
+) -> Result<PageReport, AnalyzeError> {
+    let t0 = Instant::now();
+    let analysis = strtaint_analysis::analyze(vfs, entry, config)?;
+    let analysis_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let checker = strtaint_checker::XssChecker::new();
+    let mut hotspots = Vec::new();
+    for h in &analysis.echo_sinks {
+        let r = checker.check_echo(&analysis.cfg, h.root);
+        hotspots.push((h.clone(), r));
+    }
+    let check_time = t1.elapsed();
+
+    let mut reachable = vec![false; analysis.cfg.num_nonterminals()];
+    for h in &analysis.echo_sinks {
+        for (i, r) in analysis.cfg.reachable(h.root).into_iter().enumerate() {
+            reachable[i] = reachable[i] || r;
+        }
+    }
+    let grammar_nonterminals = reachable.iter().filter(|&&b| b).count();
+    let grammar_productions = analysis
+        .cfg
+        .nonterminals()
+        .filter(|id| reachable[id.index()])
+        .map(|id| analysis.cfg.productions(id).len())
+        .sum();
+
+    Ok(PageReport {
+        entry: entry.to_owned(),
+        hotspots,
+        grammar_nonterminals,
+        grammar_productions,
+        analysis_time,
+        check_time,
+        warnings: analysis.warnings,
+        unmodeled: analysis.unmodeled.into_iter().collect(),
+        files_analyzed: analysis.files_analyzed,
+    })
+}
+
+/// Analyzes a whole application: each entry is a page's top-level file
+/// (the paper analyzes every page of each subject).
+///
+/// Pages that fail to parse are skipped with a synthetic warning page.
+pub fn analyze_app(name: &str, vfs: &Vfs, entries: &[&str], config: &Config) -> AppReport {
+    let checker = Checker::new();
+    let mut pages = Vec::new();
+    for &e in entries {
+        match analyze_page_with(vfs, e, config, &checker) {
+            Ok(p) => pages.push(p),
+            Err(err) => pages.push(PageReport {
+                entry: e.to_owned(),
+                hotspots: Vec::new(),
+                grammar_nonterminals: 0,
+                grammar_productions: 0,
+                analysis_time: Default::default(),
+                check_time: Default::default(),
+                warnings: vec![format!("page skipped: {err}")],
+                unmodeled: Vec::new(),
+                files_analyzed: 0,
+            }),
+        }
+    }
+    AppReport {
+        name: name.to_owned(),
+        files: vfs.len(),
+        lines: vfs.total_lines(),
+        pages,
+    }
+}
+
+/// Like [`analyze_app`], analyzing pages on worker threads — the
+/// "concurrent executions of the analyzer" speedup the paper suggests
+/// in §5.3 (pages are independent; each re-analyzes its includes).
+pub fn analyze_app_parallel(
+    name: &str,
+    vfs: &Vfs,
+    entries: &[&str],
+    config: &Config,
+    workers: usize,
+) -> AppReport {
+    let checker = Checker::new();
+    let workers = workers.max(1).min(entries.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<PageReport>> = Vec::new();
+    slots.resize_with(entries.len(), || None);
+    let slots = std::sync::Mutex::new(slots);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= entries.len() {
+                    break;
+                }
+                let page = match analyze_page_with(vfs, entries[i], config, &checker) {
+                    Ok(p) => p,
+                    Err(err) => PageReport {
+                        entry: entries[i].to_owned(),
+                        hotspots: Vec::new(),
+                        grammar_nonterminals: 0,
+                        grammar_productions: 0,
+                        analysis_time: Default::default(),
+                        check_time: Default::default(),
+                        warnings: vec![format!("page skipped: {err}")],
+                        unmodeled: Vec::new(),
+                        files_analyzed: 0,
+                    },
+                };
+                slots.lock().expect("no panics while holding the lock")[i] = Some(page);
+            });
+        }
+    });
+
+    let pages = slots
+        .into_inner()
+        .expect("workers finished")
+        .into_iter()
+        .map(|p| p.expect("every slot filled"))
+        .collect();
+    AppReport {
+        name: name.to_owned(),
+        files: vfs.len(),
+        lines: vfs.total_lines(),
+        pages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_safe_page() {
+        let mut vfs = Vfs::new();
+        vfs.add(
+            "a.php",
+            "<?php $r = $DB->query(\"SELECT * FROM t WHERE id=1\");",
+        );
+        let r = analyze_page(&vfs, "a.php", &Config::default()).unwrap();
+        assert!(r.is_verified());
+        assert_eq!(r.hotspots.len(), 1);
+    }
+
+    #[test]
+    fn unsanitized_get_is_reported() {
+        let mut vfs = Vfs::new();
+        vfs.add(
+            "a.php",
+            r#"<?php
+$id = $_GET['id'];
+$r = $DB->query("SELECT * FROM t WHERE id='$id'");
+"#,
+        );
+        let r = analyze_page(&vfs, "a.php", &Config::default()).unwrap();
+        assert!(!r.is_verified());
+        let findings: Vec<_> = r.findings().collect();
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].1.taint.is_direct());
+    }
+
+    #[test]
+    fn addslashes_in_quotes_verifies() {
+        let mut vfs = Vfs::new();
+        vfs.add(
+            "a.php",
+            r#"<?php
+$name = addslashes($_POST['name']);
+$r = $DB->query("SELECT * FROM u WHERE name='$name'");
+"#,
+        );
+        let r = analyze_page(&vfs, "a.php", &Config::default()).unwrap();
+        assert!(r.is_verified(), "{r}");
+    }
+
+    #[test]
+    fn addslashes_unquoted_numeric_context_reported() {
+        // The taint-analysis blind spot from the paper's introduction:
+        // escape_quotes-style sanitization does NOT protect an unquoted
+        // numeric position.
+        let mut vfs = Vfs::new();
+        vfs.add(
+            "a.php",
+            r#"<?php
+$id = addslashes($_GET['id']);
+$r = $DB->query("SELECT * FROM t WHERE id=$id");
+"#,
+        );
+        let r = analyze_page(&vfs, "a.php", &Config::default()).unwrap();
+        assert!(!r.is_verified(), "escaped-but-unquoted must be flagged");
+    }
+
+    #[test]
+    fn missing_entry_errors() {
+        let vfs = Vfs::new();
+        assert!(analyze_page(&vfs, "nope.php", &Config::default()).is_err());
+    }
+
+    #[test]
+    fn app_aggregation_dedups() {
+        let mut vfs = Vfs::new();
+        vfs.add(
+            "lib.php",
+            r#"<?php
+function get_user($id) {
+    global $DB;
+    return $DB->query("SELECT * FROM u WHERE id='" . $id . "'");
+}
+"#,
+        );
+        for page in ["p1.php", "p2.php"] {
+            vfs.add(
+                page,
+                r#"<?php
+include('lib.php');
+$u = get_user($_GET['id']);
+"#,
+            );
+        }
+        let app = analyze_app("demo", &vfs, &["p1.php", "p2.php"], &Config::default());
+        // Same vulnerable hotspot (lib.php) reached from two pages:
+        // counted once.
+        assert_eq!(app.distinct_findings().len(), 1);
+        assert_eq!(app.direct_findings().len(), 1);
+        assert!(app.indirect_findings().is_empty());
+    }
+}

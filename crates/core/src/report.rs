@@ -1,0 +1,158 @@
+//! End-to-end report types.
+
+use std::fmt;
+use std::time::Duration;
+
+use strtaint_analysis::Hotspot;
+use strtaint_checker::{Finding, HotspotReport};
+
+/// Analysis + checking results for one web page (one top-level PHP
+/// file, the unit of analysis in the paper §5.3).
+#[derive(Debug)]
+pub struct PageReport {
+    /// The page's top-level file.
+    pub entry: String,
+    /// Per-hotspot conformance reports, in program order.
+    pub hotspots: Vec<(Hotspot, HotspotReport)>,
+    /// `|V|` of the query grammars (nonterminals reachable from any
+    /// hotspot root — the paper's Table 1 "Grammar Size" column).
+    pub grammar_nonterminals: usize,
+    /// `|R|` of the query grammars.
+    pub grammar_productions: usize,
+    /// Wall-clock time of the string-taint analysis phase.
+    pub analysis_time: Duration,
+    /// Wall-clock time of the SQLCIV checking phase.
+    pub check_time: Duration,
+    /// Analyzer warnings (unresolved includes, widenings, …).
+    pub warnings: Vec<String>,
+    /// Builtins that fell back to Σ*.
+    pub unmodeled: Vec<String>,
+    /// Files traversed (recounting repeated includes).
+    pub files_analyzed: usize,
+}
+
+impl PageReport {
+    /// `true` if every hotspot on the page was verified.
+    pub fn is_verified(&self) -> bool {
+        self.hotspots.iter().all(|(_, r)| r.is_safe())
+    }
+
+    /// Iterates over all findings with their hotspots.
+    pub fn findings(&self) -> impl Iterator<Item = (&Hotspot, &Finding)> {
+        self.hotspots
+            .iter()
+            .flat_map(|(h, r)| r.findings.iter().map(move |f| (h, f)))
+    }
+}
+
+impl fmt::Display for PageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} hotspot(s), |V|={}, |R|={}, analysis {:?}, check {:?}",
+            self.entry,
+            self.hotspots.len(),
+            self.grammar_nonterminals,
+            self.grammar_productions,
+            self.analysis_time,
+            self.check_time
+        )?;
+        for (h, r) in &self.hotspots {
+            if r.is_safe() {
+                writeln!(f, "  {} @ {}:{} — verified", h.label, h.file, h.span)?;
+            } else {
+                writeln!(f, "  {} @ {}:{} — {}", h.label, h.file, h.span, r)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Aggregated results for a whole application (many pages) — one row
+/// of the paper's Table 1.
+#[derive(Debug, Default)]
+pub struct AppReport {
+    /// Application name.
+    pub name: String,
+    /// Number of files in the project.
+    pub files: usize,
+    /// Total source lines.
+    pub lines: usize,
+    /// Per-page reports.
+    pub pages: Vec<PageReport>,
+}
+
+impl AppReport {
+    /// Distinct findings across pages, deduplicated by hotspot site and
+    /// source name (one vulnerability may be reachable from several
+    /// pages).
+    pub fn distinct_findings(&self) -> Vec<(&Hotspot, &Finding)> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for p in &self.pages {
+            for (h, f) in p.findings() {
+                let key = (h.file.clone(), h.span.line, f.name.clone());
+                if seen.insert(key) {
+                    out.push((h, f));
+                }
+            }
+        }
+        out
+    }
+
+    /// Findings whose taint includes `direct` (Table 1's "direct"
+    /// errors; direct wins over indirect when both are set).
+    pub fn direct_findings(&self) -> Vec<(&Hotspot, &Finding)> {
+        self.distinct_findings()
+            .into_iter()
+            .filter(|(_, f)| f.taint.is_direct())
+            .collect()
+    }
+
+    /// Findings whose taint is indirect only.
+    pub fn indirect_findings(&self) -> Vec<(&Hotspot, &Finding)> {
+        self.distinct_findings()
+            .into_iter()
+            .filter(|(_, f)| f.taint.is_indirect() && !f.taint.is_direct())
+            .collect()
+    }
+
+    /// Summed grammar size across pages (`|V|`, `|R|`).
+    pub fn grammar_size(&self) -> (usize, usize) {
+        (
+            self.pages.iter().map(|p| p.grammar_nonterminals).sum(),
+            self.pages.iter().map(|p| p.grammar_productions).sum(),
+        )
+    }
+
+    /// Total string-analysis time.
+    pub fn analysis_time(&self) -> Duration {
+        self.pages.iter().map(|p| p.analysis_time).sum()
+    }
+
+    /// Total checking time.
+    pub fn check_time(&self) -> Duration {
+        self.pages.iter().map(|p| p.check_time).sum()
+    }
+}
+
+impl fmt::Display for AppReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (v, r) = self.grammar_size();
+        writeln!(
+            f,
+            "{}: {} files, {} lines, |V|={v}, |R|={r}, analysis {:?}, check {:?}",
+            self.name,
+            self.files,
+            self.lines,
+            self.analysis_time(),
+            self.check_time()
+        )?;
+        writeln!(
+            f,
+            "  direct findings: {}, indirect findings: {}",
+            self.direct_findings().len(),
+            self.indirect_findings().len()
+        )
+    }
+}

@@ -1,0 +1,58 @@
+//! Corpus application descriptors.
+
+use std::fmt;
+
+use strtaint_analysis::Vfs;
+
+/// Ground truth for a corpus application: the vulnerability counts the
+/// paper reports in Table 1 for the corresponding real subject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Truth {
+    /// Real, directly-exploitable SQLCIVs seeded ("Real" column).
+    pub direct_real: usize,
+    /// Safe-but-reported sites seeded ("False" column) — each encodes
+    /// an imprecision the paper documents (type conversions, hand-
+    /// written character-level sanitizers).
+    pub direct_false: usize,
+    /// Indirect-taint reports seeded ("indirect" column).
+    pub indirect: usize,
+}
+
+impl Truth {
+    /// Total expected direct reports (real + false positives).
+    pub fn direct_total(&self) -> usize {
+        self.direct_real + self.direct_false
+    }
+}
+
+/// A synthetic web application mirroring one of the paper's subjects.
+pub struct App {
+    /// Application name (mirrors the Table 1 row).
+    pub name: &'static str,
+    /// The project tree.
+    pub vfs: Vfs,
+    /// Page entry points (top-level files), analyzed one by one as in
+    /// the paper §5.3.
+    pub entries: Vec<String>,
+    /// Seeded ground truth.
+    pub truth: Truth,
+}
+
+impl App {
+    /// Entry list as `&str` slices for `strtaint::analyze_app`.
+    pub fn entry_refs(&self) -> Vec<&str> {
+        self.entries.iter().map(String::as_str).collect()
+    }
+}
+
+impl fmt::Debug for App {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("App")
+            .field("name", &self.name)
+            .field("files", &self.vfs.len())
+            .field("lines", &self.vfs.total_lines())
+            .field("entries", &self.entries.len())
+            .field("truth", &self.truth)
+            .finish()
+    }
+}

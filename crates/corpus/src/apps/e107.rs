@@ -1,0 +1,192 @@
+//! `e107`-like subject. The real e107 0.7.5 has 741 files and 132,850
+//! lines; we generate a 1/10-scale replica (~74 files, ~13K lines) with
+//! the same findings profile: **1 real direct SQLCIV** (a cookie field
+//! that crosses file boundaries before reaching a query — the paper
+//! calls out exactly this bug) and **4 indirect reports**. It also
+//! carries e107's signature *dynamic include* of language files, which
+//! the analyzer resolves through the filesystem layout (§4).
+
+use strtaint_analysis::Vfs;
+
+use crate::app::{App, Truth};
+use crate::filler;
+
+/// Scale factor relative to the real subject (file count ≈ 741/10).
+pub const SCALE_FILES: usize = 74;
+
+/// Builds the application at the default 1/10 scale.
+pub fn build() -> App {
+    build_scaled(SCALE_FILES)
+}
+
+/// Builds the application with an explicit file count (74 = default
+/// replica; 741 = full-size, matching the real e107's file count for
+/// scalability experiments).
+pub fn build_scaled(total_files: usize) -> App {
+    let mut vfs = Vfs::new();
+
+    // The bootstrap file every page includes. It parses the tracking
+    // cookie — user-controlled — into globals (the cross-file source of
+    // the real direct vulnerability).
+    vfs.add(
+        "class2.php",
+        format!(
+            "{}{}",
+            r#"<?php
+include_once('e107_config.php');
+$uc = $_COOKIE['e107cookie'];
+$parts = explode('.', $uc);
+$cookie_uid = $parts[0];
+$pref_lang = isset($_GET['lang']) ? $_GET['lang'] : 'english';
+if (!in_array($pref_lang, array('english', 'french'))) {
+    $pref_lang = 'english';
+}
+include('e107_languages/lan_' . $pref_lang . '.php');
+"#,
+            filler::helper_functions("e107", 50)
+        ),
+    );
+    vfs.add(
+        "e107_config.php",
+        r#"<?php
+define('E107_VERSION', '0.7.5');
+define('MPREFIX', 'e107_');
+"#,
+    );
+    vfs.add(
+        "e107_languages/lan_english.php",
+        filler::language_file("english", 80),
+    );
+    vfs.add(
+        "e107_languages/lan_french.php",
+        filler::language_file("french", 80),
+    );
+
+    let mut entries: Vec<String> = Vec::new();
+    let page = |vfs: &mut Vfs, entries: &mut Vec<String>, name: &str, body: &str, f: usize| {
+        vfs.add(
+            name,
+            format!(
+                "<?php\nrequire_once('class2.php');\n{}\n?>\n{}",
+                body,
+                filler::html_page("e107", f)
+            ),
+        );
+        entries.push(name.to_owned());
+    };
+
+    // The 1 real direct vulnerability: the cookie field, parsed in
+    // class2.php, reaches a query in a different file unchecked.
+    page(&mut vfs, &mut entries, "e107_admin/userinfo.php", r#"$sql = $DB->query("SELECT * FROM e107_user WHERE user_id='" . $cookie_uid . "'");
+"#, 120);
+
+    // 4 indirect reports.
+    page(&mut vfs, &mut entries, "usersettings.php", r#"$sig = $USER['signature'];
+$r = $DB->query("UPDATE e107_user SET sig='$sig' WHERE user_id=1");
+"#, 140);
+    page(&mut vfs, &mut entries, "online.php", r#"$loc = $_SESSION['location'];
+$r = $DB->query("SELECT * FROM e107_online WHERE loc='$loc'");
+"#, 140);
+    page(&mut vfs, &mut entries, "comment_admin.php", r#"$r = $DB->query("SELECT * FROM e107_comments ORDER BY stamp DESC LIMIT 5");
+$row = $DB->fetch_array($r);
+$author = $row['author'];
+$r2 = $DB->query("SELECT * FROM e107_user WHERE user_name='$author'");
+"#, 130);
+    page(&mut vfs, &mut entries, "pm_admin.php", r#"$realname = $USER['realname'];
+$r = $DB->query("SELECT * FROM e107_pm WHERE sender='$realname'");
+"#, 130);
+
+    // Safe feature pages (e107 sanitizes ids with intval).
+    let safe_pages: &[(&str, &str)] = &[
+        ("news.php", "news_id"),
+        ("page.php", "page_id"),
+        ("user.php", "user_id"),
+        ("download.php", "dl_id"),
+        ("links.php", "link_id"),
+        ("event.php", "event_id"),
+        ("poll_view.php", "poll_id"),
+        ("forum_view.php", "thread_id"),
+        ("chat.php", "room_id"),
+        ("faq.php", "faq_id"),
+    ];
+    for (name, param) in safe_pages {
+        let body = format!(
+            r#"$id = intval($_GET['{param}']);
+$r = $DB->query("SELECT * FROM e107_item WHERE {param}=$id");
+"#
+        );
+        page(&mut vfs, &mut entries, name, &body, 150);
+    }
+    // A page with addslashes-in-quotes (safe).
+    page(&mut vfs, &mut entries, "search.php", r#"$kw = addslashes($_POST['keyword']);
+$r = $DB->query("SELECT * FROM e107_news WHERE body LIKE '%$kw%'");
+"#, 150);
+
+    // Filler to reach the scaled file count: templates, plugins,
+    // shortcode helpers.
+    let mut i = 0usize;
+    while vfs.len() < total_files {
+        match i % 3 {
+            0 => vfs.add(
+                format!("e107_themes/theme{i}.php"),
+                filler::html_page(&format!("theme{i}"), 180),
+            ),
+            1 => vfs.add(
+                format!("e107_plugins/plugin{i}.php"),
+                filler::helper_library(&format!("plug{i}"), 25),
+            ),
+            _ => vfs.add(
+                format!("e107_handlers/handler{i}.php"),
+                filler::helper_library(&format!("hd{i}"), 30),
+            ),
+        }
+        i += 1;
+    }
+
+    App {
+        name: if total_files >= 700 {
+            "e107 (like, 0.7.5, full scale)"
+        } else {
+            "e107 (like, 0.7.5, 1/10 scale)"
+        },
+        vfs,
+        entries,
+        truth: Truth {
+            direct_real: 1,
+            direct_false: 0,
+            indirect: 4,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_scaled_table1_row() {
+        let app = build();
+        assert_eq!(app.vfs.len(), SCALE_FILES);
+        let lines = app.vfs.total_lines();
+        assert!(
+            (9000..=17000).contains(&lines),
+            "~13K lines at 1/10 scale, got {lines}"
+        );
+    }
+
+    #[test]
+    fn all_files_parse() {
+        let app = build();
+        for p in app.vfs.paths() {
+            strtaint_php::parse(app.vfs.get(p).unwrap())
+                .unwrap_or_else(|e| panic!("{p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn language_include_targets_exist() {
+        let app = build();
+        assert!(app.vfs.get("e107_languages/lan_english.php").is_some());
+        assert!(app.vfs.get("e107_languages/lan_french.php").is_some());
+    }
+}

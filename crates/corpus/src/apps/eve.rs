@@ -1,0 +1,145 @@
+//! `EVE Activity Tracker`-like subject: 8 files, ~900 lines, 4 real
+//! direct SQLCIVs and 1 indirect report (Table 1 row 2).
+
+use strtaint_analysis::Vfs;
+
+use crate::app::{App, Truth};
+use crate::filler;
+
+/// Builds the application.
+pub fn build() -> App {
+    let mut vfs = Vfs::new();
+
+    vfs.add(
+        "config.php",
+        r#"<?php
+define('EVE_DB', 'eve');
+define('EVE_VERSION', '1.0');
+$eve_title = 'EVE Activity Tracker';
+"#,
+    );
+    vfs.add(
+        "common.php",
+        format!(
+            "{}{}",
+            r#"<?php
+include_once('config.php');
+function eve_out($s)
+{
+    echo htmlspecialchars($s);
+}
+"#,
+            filler::helper_functions("eve", 30)
+        ),
+    );
+
+    // 1. Raw GET in the kill feed.
+    vfs.add(
+        "index.php",
+        page(
+            r#"$kos = $_GET['kos'];
+$r = mysql_query("SELECT * FROM activity WHERE kos='$kos' ORDER BY stamp DESC");
+"#,
+            130,
+        ),
+    );
+    // 2. Raw GET pilot name.
+    vfs.add(
+        "pilot.php",
+        page(
+            r#"$pilot = $_GET['pilot'];
+$r = mysql_query("SELECT * FROM pilots WHERE name='$pilot'");
+"#,
+            130,
+        ),
+    );
+    // 3. Escaped but unquoted kill id.
+    vfs.add(
+        "killmail.php",
+        page(
+            r#"$killid = addslashes($_POST['killid']);
+$r = mysql_query("SELECT * FROM kills WHERE killid=$killid");
+"#,
+            130,
+        ),
+    );
+    // 4. Tainted ORDER BY column.
+    vfs.add(
+        "rank.php",
+        page(
+            r#"$sort = $_GET['sort'];
+$r = mysql_query("SELECT * FROM pilots ORDER BY $sort DESC");
+"#,
+            130,
+        ),
+    );
+    // 5 (indirect): corp name from the session user row.
+    vfs.add(
+        "update.php",
+        page(
+            r#"$corp = $USER['corp'];
+$r = mysql_query("UPDATE pilots SET corp='$corp' WHERE id=1");
+"#,
+            130,
+        ),
+    );
+    // Safe page: intval'd id.
+    vfs.add(
+        "view.php",
+        page(
+            r#"$id = intval($_GET['id']);
+$r = mysql_query("SELECT * FROM kills WHERE killid=$id");
+"#,
+            130,
+        ),
+    );
+
+    let entries = vec![
+        "index.php".to_owned(),
+        "pilot.php".to_owned(),
+        "killmail.php".to_owned(),
+        "rank.php".to_owned(),
+        "update.php".to_owned(),
+        "view.php".to_owned(),
+    ];
+    App {
+        name: "EVE Activity Tracker (like, 1.0)",
+        vfs,
+        entries,
+        truth: Truth {
+            direct_real: 4,
+            direct_false: 0,
+            indirect: 1,
+        },
+    }
+}
+
+fn page(body: &str, filler_lines: usize) -> String {
+    format!(
+        "<?php\ninclude('common.php');\n{}\n?>\n{}",
+        body,
+        filler::html_page("eve", filler_lines)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table1_row() {
+        let app = build();
+        assert_eq!(app.vfs.len(), 8, "Table 1: 8 files");
+        let lines = app.vfs.total_lines();
+        assert!((700..=1100).contains(&lines), "Table 1: ~905 lines, got {lines}");
+    }
+
+    #[test]
+    fn all_files_parse() {
+        let app = build();
+        for p in app.vfs.paths() {
+            strtaint_php::parse(app.vfs.get(p).unwrap())
+                .unwrap_or_else(|e| panic!("{p}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! The five corpus applications mirroring the paper's Table 1 subjects.
+
+pub mod e107;
+pub mod eve;
+pub mod tiger;
+pub mod utopia;
+pub mod warp;
+
+use crate::app::App;
+
+/// Builds all five subjects in the paper's Table 1 order.
+pub fn all() -> Vec<App> {
+    vec![
+        e107::build(),
+        eve::build(),
+        tiger::build(),
+        utopia::build(),
+        warp::build(),
+    ]
+}

@@ -1,0 +1,219 @@
+//! `Tiger PHP News System`-like subject: 16 files, ~8K lines. Designed
+//! to be secure; the analyzer reports 3 direct false positives (the
+//! hand-written character-level sanitizer the paper describes in §5.2)
+//! and 2 indirect reports. Its forum markup code carries the long
+//! `str_replace` chains that blow up the query grammar (§5.3 — Tiger's
+//! |R| dwarfs everyone else's despite its modest size).
+
+use strtaint_analysis::Vfs;
+
+use crate::app::{App, Truth};
+use crate::filler;
+
+/// Number of BBCode/emoticon replacement rules in the forum path; each
+/// multiplies the intermediate grammar roughly ninefold (the paper
+/// removed two such sections from the real Tiger to speed up
+/// analysis; longer chains here trip the widening budget instead).
+pub const REPLACE_CHAIN: usize = 3;
+
+/// Builds the application.
+pub fn build() -> App {
+    build_with_chain(REPLACE_CHAIN)
+}
+
+/// Builds the application with an explicit replacement-chain length
+/// (used by the ablation bench).
+pub fn build_with_chain(chain: usize) -> App {
+    let mut vfs = Vfs::new();
+
+    vfs.add(
+        "config.php",
+        r#"<?php
+define('TIGER_PREFIX', 'tp_');
+define('TIGER_VERSION', '1.0b39');
+"#,
+    );
+    // The hand-written sanitizer of §5.2: character-by-character,
+    // encoding by ASCII value. Actually safe — every quote becomes
+    // &#39; — but the string analyzer has no map from characters to
+    // their ASCII values, so each use is a false positive.
+    vfs.add(
+        "sanitize.php",
+        r#"<?php
+function tiger_clean($s)
+{
+    $out = '';
+    $len = strlen($s);
+    for ($i = 0; $i < $len; $i++) {
+        $c = substr($s, $i, 1);
+        $n = ord($c);
+        if ($n < 32) {
+            $out .= '';
+        } elseif ($n == 39) {
+            $out .= '&#39;';
+        } elseif ($n == 92) {
+            $out .= '&#92;';
+        } else {
+            $out .= $c;
+        }
+    }
+    return $out;
+}
+"#,
+    );
+    vfs.add(
+        "common.php",
+        format!(
+            "{}{}",
+            r#"<?php
+include_once('config.php');
+include_once('sanitize.php');
+"#,
+            filler::helper_functions("tiger", 60)
+        ),
+    );
+    // Forum markup: the BBCode/emoticon replacement chains.
+    let mut forum_lib = String::from(
+        r#"<?php
+function tiger_markup($text)
+{
+    $t = $text;
+"#,
+    );
+    let tags = [
+        ("[b]", "<b>"),
+        ("[/b]", "</b>"),
+        ("[i]", "<i>"),
+        ("[/i]", "</i>"),
+        ("[u]", "<u>"),
+        ("[/u]", "</u>"),
+        ("[quote]", "<blockquote>"),
+        ("[/quote]", "</blockquote>"),
+        ("[code]", "<pre>"),
+        ("[/code]", "</pre>"),
+        (":)", "<img src=\"smile.gif\">"),
+        (":(", "<img src=\"frown.gif\">"),
+        (";)", "<img src=\"wink.gif\">"),
+        (":D", "<img src=\"grin.gif\">"),
+    ];
+    for (pat, rep) in tags.iter().take(chain.min(tags.len())) {
+        forum_lib.push_str(&format!(
+            "    $t = str_replace('{pat}', '{}', $t);\n",
+            rep.replace('"', "\\\"").replace('\'', "\\'")
+        ));
+    }
+    forum_lib.push_str("    return $t;\n}\n");
+    vfs.add("forumlib.php", forum_lib);
+
+    let mut entries: Vec<String> = Vec::new();
+    let page = |vfs: &mut Vfs, entries: &mut Vec<String>, name: &str, body: &str, f: usize| {
+        vfs.add(
+            name,
+            format!(
+                "<?php\ninclude('common.php');\n{}\n?>\n{}",
+                body,
+                filler::html_page("tiger", f)
+            ),
+        );
+        entries.push(name.to_owned());
+    };
+
+    // FP 1-3: tiger_clean used in quoted positions (safe, reported).
+    page(&mut vfs, &mut entries, "submit.php", r#"$subject = tiger_clean($_POST['subject']);
+$r = $DB->query("INSERT INTO tp_news (subject) VALUES ('$subject')");
+"#, 400);
+    page(&mut vfs, &mut entries, "comment.php", r#"$c = tiger_clean($_POST['comment']);
+$nid = intval($_GET['newsid']);
+$r = $DB->query("INSERT INTO tp_comment (newsid, body) VALUES ($nid, '$c')");
+"#, 420);
+    page(&mut vfs, &mut entries, "profile.php", r#"$bio = tiger_clean($_POST['bio']);
+$uid = intval($_GET['uid']);
+$r = $DB->query("UPDATE tp_user SET bio='$bio' WHERE uid=$uid");
+"#, 400);
+
+    // Indirect 1-2. The forum page runs the fetched post body through
+    // the BBCode replacement chain and caches the result in the
+    // database — this is what makes Tiger's *query* grammar dwarf the
+    // other subjects' (Table 1: |R| vs lines), exactly as the paper
+    // observes.
+    page(&mut vfs, &mut entries, "usercp.php", r#"$uname = $USER['name'];
+$r = $DB->query("SELECT * FROM tp_prefs WHERE owner='$uname'");
+"#, 380);
+    page(&mut vfs, &mut entries, "digest.php", r#"$n = intval($_GET['n']);
+$r = $DB->query("SELECT * FROM tp_news ORDER BY stamp DESC LIMIT 10");
+"#, 380);
+
+    // The forum page: markup chains feed the render cache.
+    page(&mut vfs, &mut entries, "forum.php", r#"include('forumlib.php');
+$tid = intval($_GET['topic']);
+$r = $DB->query("SELECT * FROM tp_post WHERE topic=$tid");
+$row = $DB->fetch_array($r);
+$html = tiger_markup($row['body']);
+$DB->query("INSERT INTO tp_cache (topic, html) VALUES ($tid, '$html')");
+$pv = tiger_markup($_POST['preview']);
+echo $pv;
+"#, 420);
+
+    // Safe pages (intval everywhere, Tiger is "designed to be secure").
+    page(&mut vfs, &mut entries, "news.php", r#"$id = intval($_GET['id']);
+$r = $DB->query("SELECT * FROM tp_news WHERE id=$id");
+"#, 600);
+    page(&mut vfs, &mut entries, "category.php", r#"$cid = intval($_GET['cat']);
+$r = $DB->query("SELECT * FROM tp_news WHERE cat=$cid ORDER BY stamp DESC");
+"#, 600);
+    page(&mut vfs, &mut entries, "archive.php", r#"$y = intval($_GET['year']);
+$m = intval($_GET['month']);
+$r = $DB->query("SELECT * FROM tp_news WHERE y=$y AND m=$m");
+"#, 600);
+    page(&mut vfs, &mut entries, "print.php", r#"$id = intval($_GET['id']);
+$r = $DB->query("SELECT * FROM tp_news WHERE id=$id");
+"#, 560);
+    page(&mut vfs, &mut entries, "stats.php", r#"$r = $DB->query("SELECT COUNT(*) FROM tp_news");
+"#, 560);
+    page(&mut vfs, &mut entries, "feed.php", r#"$n = intval($_GET['n']);
+$r = $DB->query("SELECT * FROM tp_news ORDER BY stamp DESC LIMIT 20");
+"#, 540);
+
+    App {
+        name: "Tiger PHP News System (like, 1.0b39)",
+        vfs,
+        entries,
+        truth: Truth {
+            direct_real: 0,
+            direct_false: 3,
+            indirect: 2,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table1_row() {
+        let app = build();
+        assert_eq!(app.vfs.len(), 16, "Table 1: 16 files");
+        let lines = app.vfs.total_lines();
+        assert!((6000..=9500).contains(&lines), "Table 1: ~7,961 lines, got {lines}");
+    }
+
+    #[test]
+    fn all_files_parse() {
+        let app = build();
+        for p in app.vfs.paths() {
+            strtaint_php::parse(app.vfs.get(p).unwrap())
+                .unwrap_or_else(|e| panic!("{p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn chain_is_tunable() {
+        let short = build_with_chain(2);
+        let lib = short.vfs.get("forumlib.php").unwrap();
+        assert_eq!(
+            String::from_utf8_lossy(lib).matches("str_replace").count(),
+            2
+        );
+    }
+}

@@ -1,0 +1,386 @@
+//! `utopia-news-pro`-like subject: 25 files, ~5.6K lines, seeded with
+//! 14 real direct SQLCIVs, 2 direct false positives, and 12 indirect
+//! reports — the Table 1 row for Utopia News Pro 1.3.0.
+//!
+//! The paper's Figure 2 (the unanchored `eregi` bug), Figure 9 (the
+//! type-conversion false positive), and Figure 10 (the indirect
+//! `$USER` report) appear verbatim.
+
+use strtaint_analysis::Vfs;
+
+use crate::app::{App, Truth};
+use crate::filler;
+
+/// Builds the application.
+pub fn build() -> App {
+    let mut vfs = Vfs::new();
+    let mut entries: Vec<String> = Vec::new();
+    let page = |vfs: &mut Vfs, entries: &mut Vec<String>, name: &str, body: &str| {
+        vfs.add(name, body.to_owned());
+        entries.push(name.to_owned());
+    };
+
+    // ------------------------------------------------ shared files
+    vfs.add(
+        "config.php",
+        r#"<?php
+define('UNP_PREFIX', 'unp_');
+define('UNP_VERSION', '1.3.0');
+$gp_permserror = 'You do not have permission to perform this action.';
+$gp_invalidrequest = 'Invalid request.';
+$gp_allfields = 'All fields are required.';
+"#,
+    );
+    vfs.add(
+        "functions.php",
+        format!(
+            "{}{}",
+            r#"<?php
+function unp_msg($text)
+{
+    echo '<div class="message">' . htmlspecialchars($text) . '</div>';
+}
+
+function unp_clean($in)
+{
+    return addslashes($in);
+}
+
+function unp_isEmpty($v)
+{
+    if ($v == '') { return true; }
+    return false;
+}
+"#,
+            filler::helper_functions("unp", 40)
+        ),
+    );
+    vfs.add(
+        "header.php",
+        format!(
+            "{}{}",
+            r#"<?php
+include_once('config.php');
+include_once('functions.php');
+$posttime = time();
+?>
+"#,
+            filler::html_page("header", 160)
+        ),
+    );
+
+    // ------------------------------------- 14 real direct SQLCIVs
+    // 1. Figure 2, verbatim (unanchored eregi).
+    page(&mut vfs, &mut entries, "useredit.php", &with_header(
+        r#"isset($_GET['userid']) ?
+    $userid = $_GET['userid'] : $userid = '';
+if ($USER['groupid'] != 1)
+{
+    unp_msg($gp_permserror);
+    exit;
+}
+if ($userid == '')
+{
+    unp_msg($gp_invalidrequest);
+    exit;
+}
+if (!eregi('[0-9]+', $userid))
+{
+    unp_msg('You entered an invalid user ID.');
+    exit;
+}
+$getuser = $DB->query("SELECT * FROM `unp_user` WHERE userid='$userid'");
+if (!$DB->is_single_row($getuser))
+{
+    unp_msg('You entered an invalid user ID.');
+    exit;
+}
+"#,
+        261,
+    ));
+    // 2. Start-anchored only — still admits "1'; DROP ...".
+    page(&mut vfs, &mut entries, "usersave.php", &with_header(
+        r#"$userid = isset($_POST['userid']) ? $_POST['userid'] : '';
+if (!eregi('^[0-9]+', $userid))
+{
+    unp_msg('Invalid user ID.');
+    exit;
+}
+$newname = unp_clean($_POST['username']);
+$r = $DB->query("UPDATE `unp_user` SET username='$newname' WHERE userid='$userid'");
+"#,
+        246,
+    ));
+    // 3. End-anchored only — admits "x'; DROP ...; -- 1".
+    page(&mut vfs, &mut entries, "userdel.php", &with_header(
+        r#"$userid = isset($_GET['userid']) ? $_GET['userid'] : '';
+if (!eregi('[0-9]+$', $userid))
+{
+    unp_msg('Invalid user ID.');
+    exit;
+}
+$r = $DB->query("DELETE FROM `unp_user` WHERE userid='$userid'");
+"#,
+        217,
+    ));
+    // 4. Raw GET in a quoted position.
+    page(&mut vfs, &mut entries, "news.php", &with_header(
+        r#"$cat = $_GET['cat'];
+$news = $DB->query("SELECT * FROM `unp_news` WHERE cat='$cat' ORDER BY `date` DESC");
+while ($row = $DB->fetch_array($news)) {
+    echo $row['subject'];
+}
+"#,
+        290,
+    ));
+    // 5. Raw POST in a LIKE pattern.
+    page(&mut vfs, &mut entries, "search.php", &with_header(
+        r#"$q = $_POST['q'];
+if (unp_isEmpty($q)) {
+    unp_msg('Enter a search term.');
+    exit;
+}
+$res = $DB->query("SELECT * FROM `unp_news` WHERE subject LIKE '%$q%'");
+"#,
+        275,
+    ));
+    // 6. Raw username in login (password hashed — safe side shown too).
+    page(&mut vfs, &mut entries, "login.php", &with_header(
+        r#"$user = $_POST['username'];
+$pass = md5($_POST['password']);
+$r = $DB->query("SELECT * FROM `unp_user` WHERE username='$user' AND password='$pass'");
+if (!$DB->is_single_row($r)) {
+    unp_msg('Bad credentials.');
+    exit;
+}
+"#,
+        232,
+    ));
+    // 7. Raw POST into INSERT.
+    page(&mut vfs, &mut entries, "register.php", &with_header(
+        r#"$email = $_POST['email'];
+$name = unp_clean($_POST['username']);
+if (unp_isEmpty($email)) {
+    unp_msg($gp_allfields);
+    exit;
+}
+$r = $DB->query("INSERT INTO `unp_user` (`username`, `email`) VALUES ('$name', '$email')");
+"#,
+        246,
+    ));
+    // 8. Escaped but unquoted — the taint-analysis blind spot.
+    page(&mut vfs, &mut entries, "comment.php", &with_header(
+        r#"$id = addslashes($_GET['id']);
+$r = $DB->query("SELECT * FROM `unp_comment` WHERE newsid=$id");
+"#,
+        217,
+    ));
+    // 9. Raw concatenation.
+    page(&mut vfs, &mut entries, "archive.php", &with_header(
+        r#"$month = $_REQUEST['month'];
+$r = $DB->query("SELECT * FROM `unp_news` WHERE month='" . $month . "'");
+"#,
+        203,
+    ));
+    // 10. Cookie source.
+    page(&mut vfs, &mut entries, "profile.php", &with_header(
+        r#"$last = $_COOKIE['unp_lastuser'];
+$r = $DB->query("SELECT * FROM `unp_user` WHERE username='$last'");
+"#,
+        217,
+    ));
+    // 11. Raw REQUEST in UPDATE.
+    page(&mut vfs, &mut entries, "poll.php", &with_header(
+        r#"$vote = $_REQUEST['vote'];
+$r = $DB->query("UPDATE `unp_poll` SET votes=votes+1 WHERE optid='$vote'");
+"#,
+        203,
+    ));
+    // 12. LIMIT position (numeric-only context).
+    page(&mut vfs, &mut entries, "rss.php", &with_header(
+        r#"$limit = $_GET['limit'];
+$r = $DB->query("SELECT * FROM `unp_news` ORDER BY `date` DESC LIMIT $limit");
+"#,
+        188,
+    ));
+    // 13. ORDER BY position (identifier context).
+    page(&mut vfs, &mut entries, "sort.php", &with_header(
+        r#"$order = $_GET['order'];
+$r = $DB->query("SELECT * FROM `unp_news` ORDER BY $order");
+"#,
+        188,
+    ));
+    // 14. implode of a request array into IN (...).
+    page(&mut vfs, &mut entries, "bulkdel.php", &with_header(
+        r#"$list = implode(',', $_POST['ids']);
+$r = $DB->query("DELETE FROM `unp_news` WHERE newsid IN ($list)");
+"#,
+        203,
+    ));
+
+    // --------------------------------- 2 direct false positives
+    // 15. Figure 9, verbatim: the string-to-boolean conversion the
+    // analyzer (like the paper's) does not track.
+    page(&mut vfs, &mut entries, "newsview.php", &with_header(
+        r#"isset($_GET['newsid']) ?
+    $getnewsid = $_GET['newsid'] : $getnewsid = false;
+if (($getnewsid != false) &&
+    (!preg_match('/^[\d]+$/', $getnewsid)))
+{
+    unp_msg('You entered an invalid news ID.');
+    exit;
+}
+$showall = isset($_GET['showall']) ? $_GET['showall'] : '';
+if (!$showall && $getnewsid)
+{
+    $getnews = $DB->query("SELECT * FROM `unp_news`"
+        . " WHERE `newsid`='$getnewsid'"
+        . " ORDER BY `date` DESC LIMIT 1");
+}
+"#,
+        246,
+    ));
+    // 16. The second, similar false positive the paper mentions.
+    page(&mut vfs, &mut entries, "newsview2.php", &with_header(
+        r#"isset($_GET['catid']) ?
+    $getcatid = $_GET['catid'] : $getcatid = false;
+if (($getcatid != false) &&
+    (!preg_match('/^[\d]+$/', $getcatid)))
+{
+    unp_msg('You entered an invalid category ID.');
+    exit;
+}
+if ($getcatid)
+{
+    $getcat = $DB->query("SELECT * FROM `unp_cat` WHERE `catid`='$getcatid'");
+}
+"#,
+        232,
+    ));
+
+    // --------------------------------------- 12 indirect reports
+    // 17. Figure 10, verbatim: $newsposter unchecked, $newsposterid
+    // checked (1 indirect).
+    page(&mut vfs, &mut entries, "newspost.php", &with_header(
+        r#"$subject = unp_clean($_POST['subject']);
+$news = unp_clean($_POST['news']);
+$newsposter = $USER['username'];
+$newsposterid = $USER['userid'];
+// Verification
+if (unp_isEmpty($subject) || unp_isEmpty($news))
+{
+    unp_msg($gp_allfields);
+    exit;
+}
+if (!preg_match('/^[\d]+$/', $newsposterid))
+{
+    unp_msg($gp_invalidrequest);
+    exit;
+}
+$submitnews = $DB->query("INSERT INTO `unp_news`"
+    . "(`date`, `subject`, `news`, `posterid`,"
+    . "`poster`)"
+    . " VALUES "
+    . "('$posttime','$subject','$news',"
+    . "'$newsposterid','$newsposter')");
+"#,
+        261,
+    ));
+    // 18-19. Two $USER fields (2 indirect).
+    page(&mut vfs, &mut entries, "pm.php", &with_header(
+        r#"$from = $USER['username'];
+$sig = $USER['signature'];
+$body = unp_clean($_POST['body']);
+$r = $DB->query("INSERT INTO `unp_pm` (`body`, `sender`, `sig`) VALUES ('$body', '$from', '$sig')");
+"#,
+        246,
+    ));
+    // 20-21. Preference fields (2 indirect).
+    page(&mut vfs, &mut entries, "prefs.php", &with_header(
+        r#"$style = $USER['style'];
+$lang = $USER['lang'];
+$r = $DB->query("UPDATE `unp_user` SET style='$style', lang='$lang' WHERE userid=1");
+"#,
+        217,
+    ));
+    // 22-23. $USER group + fetched row reused (2 indirect).
+    page(&mut vfs, &mut entries, "dashboard.php", &with_header(
+        r#"$group = $USER['groupid'];
+$r = $DB->query("SELECT * FROM `unp_news` WHERE grp='$group'");
+$row = $DB->fetch_array($r);
+$lastcat = $row['lastcat'];
+$r2 = $DB->query("SELECT * FROM `unp_cat` WHERE name='$lastcat'");
+"#,
+        246,
+    ));
+    // 24-25. Ban list: $USER ip + fetched ban id (2 indirect).
+    page(&mut vfs, &mut entries, "banlist.php", &with_header(
+        r#"$ip = $USER['ip'];
+$r = $DB->query("SELECT * FROM `unp_ban` WHERE ip='$ip'");
+$ban = $DB->fetch_array($r);
+$banid = $ban['banid'];
+$r2 = $DB->query("DELETE FROM `unp_banlog` WHERE banid='$banid'");
+"#,
+        232,
+    ));
+    // 26-28. Session + $USER email + fetched topic (3 indirect).
+    page(&mut vfs, &mut entries, "activity.php", &with_header(
+        r#"$lastq = $_SESSION['last_search'];
+$r = $DB->query("SELECT * FROM `unp_log` WHERE q='$lastq'");
+$mail = $USER['email'];
+$r2 = $DB->query("SELECT * FROM `unp_notify` WHERE email='$mail'");
+$row = $DB->fetch_array($r2);
+$topic = $row['topicid'];
+$r3 = $DB->query("SELECT * FROM `unp_topic` WHERE topicid='$topic'");
+"#,
+        261,
+    ));
+
+    App {
+        name: "Utopia News Pro (like, 1.3.0)",
+        vfs,
+        entries,
+        truth: Truth {
+            direct_real: 14,
+            direct_false: 2,
+            indirect: 12,
+        },
+    }
+}
+
+/// Wraps a page body with the standard include header and trailing
+/// template filler so page sizes resemble the real subject.
+fn with_header(body: &str, filler_lines: usize) -> String {
+    format!(
+        "<?php\ninclude('header.php');\n{}\n?>\n{}",
+        body.trim_start_matches("<?php"),
+        filler::html_page("page", filler_lines)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table1_row() {
+        let app = build();
+        assert_eq!(app.vfs.len(), 25, "Table 1: 25 files");
+        let lines = app.vfs.total_lines();
+        assert!(
+            (4500..=6700).contains(&lines),
+            "Table 1: ~5,611 lines, got {lines}"
+        );
+        assert_eq!(app.entries.len(), 22);
+        assert_eq!(app.truth.direct_total(), 16);
+    }
+
+    #[test]
+    fn all_files_parse() {
+        let app = build();
+        for p in app.vfs.paths() {
+            let src = app.vfs.get(p).unwrap();
+            strtaint_php::parse(src).unwrap_or_else(|e| panic!("{p}: {e}"));
+        }
+    }
+}

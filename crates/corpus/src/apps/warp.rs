@@ -1,0 +1,148 @@
+//! `Warp Content Management System`-like subject: 42 files, ~23K
+//! lines, **zero findings** — the Table 1 row that the analyzer fully
+//! verifies (and the reason verification speed matters: Warp checks in
+//! well under a second in the paper).
+
+use strtaint_analysis::Vfs;
+
+use crate::app::{App, Truth};
+use crate::filler;
+
+/// Builds the application.
+pub fn build() -> App {
+    let mut vfs = Vfs::new();
+
+    vfs.add(
+        "warp_config.php",
+        r#"<?php
+define('WARP_VERSION', '1.2.1');
+define('WARP_PREFIX', 'warp_');
+"#,
+    );
+    vfs.add(
+        "warp_lib.php",
+        format!(
+            "{}{}",
+            r#"<?php
+include_once('warp_config.php');
+function warp_id($v)
+{
+    return intval($v);
+}
+function warp_text($v)
+{
+    return addslashes($v);
+}
+function warp_enum($v, $allowed, $dflt)
+{
+    if (in_array($v, $allowed)) {
+        return $v;
+    }
+    return $dflt;
+}
+"#,
+            filler::helper_functions("warp", 80)
+        ),
+    );
+
+    let mut entries: Vec<String> = Vec::new();
+    let page = |vfs: &mut Vfs, entries: &mut Vec<String>, name: &str, body: &str, f: usize| {
+        vfs.add(
+            name,
+            format!(
+                "<?php\ninclude('warp_lib.php');\n{}\n?>\n{}",
+                body,
+                filler::html_page("warp", f)
+            ),
+        );
+        entries.push(name.to_owned());
+    };
+
+    // All dynamic content goes through the sanitizing helpers.
+    let content_pages: &[(&str, &str)] = &[
+        ("content.php", "warp_content"),
+        ("article.php", "warp_article"),
+        ("section.php", "warp_section"),
+        ("block.php", "warp_block"),
+        ("menu.php", "warp_menu"),
+        ("media.php", "warp_media"),
+        ("sitemap.php", "warp_page"),
+        ("revision.php", "warp_rev"),
+    ];
+    for (name, table) in content_pages {
+        let body = format!(
+            r#"$id = warp_id($_GET['id']);
+$r = $DB->query("SELECT * FROM {table} WHERE id=$id");
+"#
+        );
+        page(&mut vfs, &mut entries, name, &body, 420);
+    }
+    // Text fields: escaped and quoted.
+    page(&mut vfs, &mut entries, "save.php", r#"$title = warp_text($_POST['title']);
+$body = warp_text($_POST['body']);
+$id = warp_id($_POST['id']);
+$r = $DB->query("UPDATE warp_content SET title='$title', body='$body' WHERE id=$id");
+"#, 420);
+    // Whitelisted sort order.
+    page(&mut vfs, &mut entries, "list.php", r#"$ord = $_GET['order'];
+if (!in_array($ord, array('title', 'stamp'))) {
+    $ord = 'stamp';
+}
+$r = $DB->query("SELECT * FROM warp_content ORDER BY $ord");
+"#, 420);
+    // Static query dashboard.
+    page(&mut vfs, &mut entries, "status.php", r#"$r = $DB->query("SELECT COUNT(*) FROM warp_content");
+"#, 400);
+
+    // Templates and skins make up the bulk of Warp's 23K lines.
+    let mut i = 0usize;
+    while vfs.len() < 42 {
+        match i % 2 {
+            0 => vfs.add(
+                format!("skins/skin{i}.php"),
+                filler::html_page(&format!("skin{i}"), 650),
+            ),
+            _ => vfs.add(
+                format!("modules/mod{i}.php"),
+                filler::helper_library(&format!("mod{i}"), 60),
+            ),
+        }
+        i += 1;
+    }
+
+    App {
+        name: "Warp Content MS (like, 1.2.1)",
+        vfs,
+        entries,
+        truth: Truth {
+            direct_real: 0,
+            direct_false: 0,
+            indirect: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table1_row() {
+        let app = build();
+        assert_eq!(app.vfs.len(), 42, "Table 1: 42 files");
+        let lines = app.vfs.total_lines();
+        assert!(
+            (17000..=27000).contains(&lines),
+            "Table 1: ~23,003 lines, got {lines}"
+        );
+    }
+
+    #[test]
+    fn all_files_parse() {
+        let app = build();
+        for p in app.vfs.paths() {
+            strtaint_php::parse(app.vfs.get(p).unwrap())
+                .unwrap_or_else(|e| panic!("{p}: {e}"));
+        }
+    }
+}

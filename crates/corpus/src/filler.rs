@@ -1,0 +1,101 @@
+//! Deterministic filler generation: templates, helper functions, and
+//! static pages that give corpus applications realistic bulk without
+//! affecting query construction.
+
+/// Generates an HTML template file of roughly `lines` lines with a
+/// small PHP header (the bulk of real CMS code bases is markup).
+pub fn html_page(title: &str, lines: usize) -> String {
+    let mut out = String::with_capacity(lines * 40);
+    out.push_str("<?php // template: ");
+    out.push_str(title);
+    out.push_str("\n$page_title = '");
+    out.push_str(title);
+    out.push_str("';\n?>\n<!DOCTYPE html>\n<html>\n<head><title>");
+    out.push_str(title);
+    out.push_str("</title></head>\n<body>\n");
+    let mut n = 9;
+    let mut i = 0usize;
+    while n + 2 < lines {
+        out.push_str(&format!(
+            "  <div class=\"row r{i}\"><span>item {i}</span><a href=\"page{}.html\">link {i}</a></div>\n",
+            i % 7
+        ));
+        n += 1;
+        i += 1;
+    }
+    out.push_str("</body>\n</html>\n");
+    out
+}
+
+/// Generates a PHP helper library with `n` small, query-free utility
+/// functions (formatting, validation, date helpers).
+pub fn helper_library(prefix: &str, n: usize) -> String {
+    format!("<?php\n{}", helper_functions(prefix, n))
+}
+
+/// Like [`helper_library`] but without the `<?php` opener, for
+/// appending inside an existing PHP region.
+pub fn helper_functions(prefix: &str, n: usize) -> String {
+    let mut out = String::from("// generated helper library\n");
+    for i in 0..n {
+        match i % 5 {
+            0 => out.push_str(&format!(
+                "function {prefix}_fmt{i}($v) {{\n    return '<b>' . htmlspecialchars($v) . '</b>';\n}}\n"
+            )),
+            1 => out.push_str(&format!(
+                "function {prefix}_is_valid{i}($v) {{\n    if ($v == '') {{ return false; }}\n    return true;\n}}\n"
+            )),
+            2 => out.push_str(&format!(
+                "function {prefix}_pad{i}($v) {{\n    $s = trim($v);\n    return $s . ' ';\n}}\n"
+            )),
+            3 => out.push_str(&format!(
+                "function {prefix}_label{i}($v) {{\n    $t = strtolower($v);\n    return 'lbl-' . $t;\n}}\n"
+            )),
+            _ => out.push_str(&format!(
+                "function {prefix}_count{i}($v) {{\n    $n = strlen($v);\n    return $n + {i};\n}}\n"
+            )),
+        }
+    }
+    out
+}
+
+/// A language/constants file, the shape that e107 resolves through
+/// dynamic includes.
+pub fn language_file(lang: &str, entries: usize) -> String {
+    let mut out = String::from("<?php\n");
+    for i in 0..entries {
+        out.push_str(&format!("define('LAN_{}_{i}', 'Text {i} ({lang})');\n", lang.to_uppercase()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn html_page_hits_size() {
+        let p = html_page("home", 100);
+        let lines = p.lines().count();
+        assert!((95..=105).contains(&lines), "{lines}");
+    }
+
+    #[test]
+    fn helpers_parse() {
+        let lib = helper_library("unp", 25);
+        assert!(strtaint_php::parse(lib.as_bytes()).is_ok());
+        assert!(lib.matches("function ").count() == 25);
+    }
+
+    #[test]
+    fn language_files_parse() {
+        let f = language_file("english", 30);
+        assert!(strtaint_php::parse(f.as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn html_pages_parse() {
+        let p = html_page("x", 60);
+        assert!(strtaint_php::parse(p.as_bytes()).is_ok());
+    }
+}

@@ -1,0 +1,34 @@
+//! Evaluation corpus for **strtaint**: five synthetic PHP web
+//! applications mirroring the subjects of the paper's Table 1 (e107,
+//! EVE Activity Tracker, Tiger PHP News System, Utopia News Pro, Warp
+//! CMS), plus a parametric generator for scalability sweeps.
+//!
+//! The real subjects are GPL applications unavailable offline in their
+//! 2007 versions; each replica reproduces the original's *findings
+//! profile* — the same count and kind of real vulnerabilities, false
+//! positives, and indirect reports, including the exact code of the
+//! paper's Figures 2, 9 and 10 — and its structural quirks (cross-file
+//! cookie flows, dynamic includes, hand-written sanitizers, BBCode
+//! replacement chains). See DESIGN.md §4 for the substitution argument.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use strtaint::{analyze_app, Config};
+//! use strtaint_corpus::apps;
+//!
+//! let app = apps::utopia::build();
+//! let report = analyze_app(app.name, &app.vfs, &app.entry_refs(), &Config::default());
+//! assert_eq!(report.direct_findings().len(), app.truth.direct_total());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod app;
+pub mod apps;
+pub mod filler;
+pub mod synth;
+
+pub use app::{App, Truth};
+pub use synth::{synth_app, SynthConfig};

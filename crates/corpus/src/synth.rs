@@ -1,0 +1,168 @@
+//! Parametric application generator for scalability and ablation
+//! benchmarks (paper §5.3).
+//!
+//! [`synth_app`] produces applications with a controllable number of
+//! pages, helper bulk, `str_replace` chain length, and vulnerable-page
+//! fraction, so benches can sweep application size and measure how
+//! analysis time, check time, and grammar size scale.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use strtaint_analysis::Vfs;
+
+use crate::app::{App, Truth};
+use crate::filler;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Number of page entry points.
+    pub pages: usize,
+    /// Helper functions in the shared library.
+    pub helpers: usize,
+    /// Filler lines appended to each page.
+    pub filler_lines: usize,
+    /// Every `vuln_every`-th page carries a raw-GET vulnerability
+    /// (0 = all pages safe).
+    pub vuln_every: usize,
+    /// Length of a `str_replace` chain applied to user input on each
+    /// page (the §5.3 grammar blow-up knob).
+    pub replace_chain: usize,
+    /// RNG seed (tables/params are shuffled deterministically).
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            pages: 10,
+            helpers: 20,
+            filler_lines: 60,
+            vuln_every: 3,
+            replace_chain: 0,
+            seed: 7,
+        }
+    }
+}
+
+/// Generates a synthetic application.
+pub fn synth_app(cfg: &SynthConfig) -> App {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut vfs = Vfs::new();
+    vfs.add(
+        "lib.php",
+        format!(
+            "{}{}",
+            r#"<?php
+function s_clean($v)
+{
+    return addslashes($v);
+}
+"#,
+            filler::helper_functions("s", cfg.helpers)
+        ),
+    );
+
+    let tables = ["users", "posts", "items", "logs", "tags", "votes"];
+    let params = ["id", "name", "cat", "page", "ref", "tag"];
+    let mut entries = Vec::new();
+    let mut seeded = 0usize;
+    for p in 0..cfg.pages {
+        let table = tables[rng.gen_range(0..tables.len())];
+        let param = params[rng.gen_range(0..params.len())];
+        let vulnerable = cfg.vuln_every != 0 && p % cfg.vuln_every == 0;
+        let mut body = String::from("<?php\ninclude('lib.php');\n");
+        body.push_str(&format!("$v = $_GET['{param}'];\n"));
+        for i in 0..cfg.replace_chain {
+            body.push_str(&format!(
+                "$v = str_replace('[t{i}]', '<t{i}>', $v);\n"
+            ));
+        }
+        if vulnerable {
+            seeded += 1;
+            body.push_str(&format!(
+                "$r = $DB->query(\"SELECT * FROM {table} WHERE {param}='$v'\");\n"
+            ));
+        } else {
+            body.push_str("$v = s_clean($v);\n");
+            body.push_str(&format!(
+                "$r = $DB->query(\"SELECT * FROM {table} WHERE {param}='$v'\");\n"
+            ));
+        }
+        body.push_str("?>\n");
+        body.push_str(&filler::html_page(&format!("p{p}"), cfg.filler_lines));
+        let name = format!("page{p}.php");
+        vfs.add(&name, body);
+        entries.push(name);
+    }
+
+    App {
+        name: "synthetic",
+        vfs,
+        entries,
+        truth: Truth {
+            direct_real: seeded,
+            direct_false: 0,
+            indirect: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_files_parse() {
+        let app = synth_app(&SynthConfig::default());
+        for p in app.vfs.paths() {
+            strtaint_php::parse(app.vfs.get(p).unwrap())
+                .unwrap_or_else(|e| panic!("{p}: {e}"));
+        }
+        assert_eq!(app.entries.len(), 10);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = synth_app(&SynthConfig::default());
+        let b = synth_app(&SynthConfig::default());
+        assert_eq!(a.vfs.total_lines(), b.vfs.total_lines());
+        let c = synth_app(&SynthConfig {
+            seed: 99,
+            ..SynthConfig::default()
+        });
+        // Same shape, different content selections.
+        assert_eq!(a.entries.len(), c.entries.len());
+    }
+
+    #[test]
+    fn vuln_seeding_counts() {
+        let app = synth_app(&SynthConfig {
+            pages: 9,
+            vuln_every: 3,
+            ..SynthConfig::default()
+        });
+        assert_eq!(app.truth.direct_real, 3);
+        let safe = synth_app(&SynthConfig {
+            vuln_every: 0,
+            ..SynthConfig::default()
+        });
+        assert_eq!(safe.truth.direct_real, 0);
+    }
+
+    #[test]
+    fn replace_chain_emitted() {
+        let app = synth_app(&SynthConfig {
+            replace_chain: 4,
+            pages: 1,
+            vuln_every: 0,
+            ..SynthConfig::default()
+        });
+        let src = app.vfs.get("page0.php").unwrap();
+        assert_eq!(
+            String::from_utf8_lossy(src).matches("str_replace").count(),
+            4
+        );
+    }
+}

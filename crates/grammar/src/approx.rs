@@ -1,0 +1,120 @@
+//! Regular over-approximation of context-free grammars.
+//!
+//! The paper uses regular approximation in two places: to cut cycles in
+//! the extended grammar when a string operation is applied to its own
+//! output (Minamide's treatment, §3.1.2), and as scaffolding for the
+//! derivability fallback. We implement the classic *recursive
+//! transition network flattening* (the superset approximation of
+//! Nederhof / Mohri–Nederhof): every nonterminal gets an entry and an
+//! exit state; occurrences of a nonterminal on a right-hand side become
+//! epsilon jumps into its entry and back from its exit. Dropping the
+//! implicit call-stack matching yields a regular language that always
+//! contains `L(G)` — an over-approximation, hence sound for the
+//! analysis.
+
+use std::collections::HashMap;
+
+use strtaint_automata::{ByteSet, Nfa};
+
+use crate::cfg::Cfg;
+use crate::symbol::{NtId, Symbol};
+
+/// Builds an NFA whose language contains `L(g, root)`.
+///
+/// Exact when the grammar (restricted to symbols reachable from `root`)
+/// has no recursion; otherwise a strict superset in general.
+pub fn overapproximate(g: &Cfg, root: NtId) -> Nfa {
+    let (t, new_root) = g.trimmed(root);
+    let mut nfa = Nfa::default();
+    // Entry/exit per nonterminal.
+    let mut entry: HashMap<NtId, u32> = HashMap::new();
+    let mut exit: HashMap<NtId, u32> = HashMap::new();
+    for id in t.nonterminals() {
+        entry.insert(id, nfa.add_state());
+        exit.insert(id, nfa.add_state());
+    }
+    for (lhs, rhs) in t.iter_productions() {
+        let mut cur = entry[&lhs];
+        for sym in rhs {
+            let next = nfa.add_state();
+            match sym {
+                Symbol::T(b) => nfa.add_arc(cur, ByteSet::singleton(*b), next),
+                Symbol::N(y) => {
+                    nfa.add_eps(cur, entry[y]);
+                    nfa.add_eps(exit[y], next);
+                }
+            }
+            cur = next;
+        }
+        nfa.add_eps(cur, exit[&lhs]);
+    }
+    nfa.set_start(entry[&new_root]);
+    nfa.set_accepting(exit[&new_root], true);
+    nfa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Symbol as S;
+    use strtaint_automata::Dfa;
+
+    #[test]
+    fn exact_for_nonrecursive() {
+        let mut g = Cfg::new();
+        let a = g.add_nonterminal("A");
+        let b = g.add_nonterminal("B");
+        g.add_production(a, vec![S::T(b'x'), S::N(b)]);
+        g.add_literal_production(b, b"y");
+        g.add_literal_production(b, b"z");
+        let nfa = overapproximate(&g, a);
+        assert!(nfa.accepts(b"xy"));
+        assert!(nfa.accepts(b"xz"));
+        assert!(!nfa.accepts(b"x"));
+        assert!(!nfa.accepts(b"xyz"));
+    }
+
+    #[test]
+    fn superset_for_recursive() {
+        // A -> '(' A ')' | ε — approximation is ('('|')')-balanced-ish:
+        // must contain the language, may contain more.
+        let mut g = Cfg::new();
+        let a = g.add_nonterminal("A");
+        g.add_production(a, vec![S::T(b'('), S::N(a), S::T(b')')]);
+        g.add_production(a, vec![]);
+        let nfa = overapproximate(&g, a);
+        for s in [&b""[..], b"()", b"(())", b"((()))"] {
+            assert!(nfa.accepts(s), "{:?} must be contained", s);
+        }
+        // The classic unbalanced witness the approximation admits:
+        assert!(nfa.accepts(b"(("), "superset approximation expected");
+    }
+
+    #[test]
+    fn right_recursion_is_exact_enough() {
+        // A -> 'x' A | 'y'
+        let mut g = Cfg::new();
+        let a = g.add_nonterminal("A");
+        g.add_production(a, vec![S::T(b'x'), S::N(a)]);
+        g.add_literal_production(a, b"y");
+        let nfa = overapproximate(&g, a);
+        let d = Dfa::from_nfa(&nfa).minimize();
+        assert!(d.accepts(b"y"));
+        assert!(d.accepts(b"xxxy"));
+        assert!(!d.accepts(b"x"));
+        assert!(!d.accepts(b"yx"));
+    }
+
+    #[test]
+    fn containment_property() {
+        // L(G) ⊆ L(approx) checked via sampling.
+        let mut g = Cfg::new();
+        let a = g.add_nonterminal("A");
+        g.add_production(a, vec![S::T(b'a'), S::N(a), S::T(b'b'), S::N(a)]);
+        g.add_production(a, vec![]);
+        let nfa = overapproximate(&g, a);
+        for s in crate::lang::sample_strings(&g, a, 8, 50) {
+            assert!(nfa.accepts(&s), "{:?} missing from approximation", s);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Earley recognizer for byte-level membership tests.
+//!
+//! Used by tests, examples, and bug-report validation — not by the
+//! analysis hot path. Handles empty productions via the
+//! Aycock–Horspool nullable-advance rule.
+
+use std::collections::HashSet;
+
+use crate::cfg::Cfg;
+use crate::symbol::{NtId, Symbol};
+
+/// An Earley item: production `lhs → rhs`, dot position, origin set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Item {
+    lhs: u32,
+    prod: u32,
+    dot: u32,
+    origin: u32,
+}
+
+/// Computes the set of nullable nonterminals.
+pub fn nullable_set(g: &Cfg) -> Vec<bool> {
+    let n = g.num_nonterminals();
+    let mut nullable = vec![false; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (lhs, rhs) in g.iter_productions() {
+            if nullable[lhs.index()] {
+                continue;
+            }
+            let ok = rhs.iter().all(|s| match s {
+                Symbol::T(_) => false,
+                Symbol::N(id) => nullable[id.index()],
+            });
+            if ok {
+                nullable[lhs.index()] = true;
+                changed = true;
+            }
+        }
+    }
+    nullable
+}
+
+/// Returns `true` if `root` derives exactly `input`.
+pub fn recognize(g: &Cfg, root: NtId, input: &[u8]) -> bool {
+    let nullable = nullable_set(g);
+    let n = input.len();
+    let mut sets: Vec<Vec<Item>> = vec![Vec::new(); n + 1];
+    let mut seen: Vec<HashSet<Item>> = vec![HashSet::new(); n + 1];
+
+    let push = |sets: &mut Vec<Vec<Item>>, seen: &mut Vec<HashSet<Item>>, pos: usize, it: Item| {
+        if seen[pos].insert(it) {
+            sets[pos].push(it);
+        }
+    };
+
+    // Seed with root productions.
+    for (pi, _) in g.productions(root).iter().enumerate() {
+        push(
+            &mut sets,
+            &mut seen,
+            0,
+            Item {
+                lhs: root.0,
+                prod: pi as u32,
+                dot: 0,
+                origin: 0,
+            },
+        );
+    }
+
+    for pos in 0..=n {
+        let mut idx = 0;
+        while idx < sets[pos].len() {
+            let it = sets[pos][idx];
+            idx += 1;
+            let rhs = &g.productions(NtId(it.lhs))[it.prod as usize];
+            if (it.dot as usize) < rhs.len() {
+                match rhs[it.dot as usize] {
+                    Symbol::T(b) => {
+                        // Scan.
+                        if pos < n && input[pos] == b {
+                            push(
+                                &mut sets,
+                                &mut seen,
+                                pos + 1,
+                                Item {
+                                    dot: it.dot + 1,
+                                    ..it
+                                },
+                            );
+                        }
+                    }
+                    Symbol::N(x) => {
+                        // Predict.
+                        for (pi, _) in g.productions(x).iter().enumerate() {
+                            push(
+                                &mut sets,
+                                &mut seen,
+                                pos,
+                                Item {
+                                    lhs: x.0,
+                                    prod: pi as u32,
+                                    dot: 0,
+                                    origin: pos as u32,
+                                },
+                            );
+                        }
+                        // Nullable advance (Aycock–Horspool).
+                        if nullable[x.index()] {
+                            push(
+                                &mut sets,
+                                &mut seen,
+                                pos,
+                                Item {
+                                    dot: it.dot + 1,
+                                    ..it
+                                },
+                            );
+                        }
+                    }
+                }
+            } else {
+                // Complete.
+                let origin = it.origin as usize;
+                // Iterate over a snapshot; any new matching items in the
+                // same set are handled by the agenda scan when origin==pos
+                // combined with the nullable-advance rule.
+                let snapshot: Vec<Item> = sets[origin].clone();
+                for parent in snapshot {
+                    let prhs = &g.productions(NtId(parent.lhs))[parent.prod as usize];
+                    if (parent.dot as usize) < prhs.len()
+                        && prhs[parent.dot as usize] == Symbol::N(NtId(it.lhs))
+                    {
+                        push(
+                            &mut sets,
+                            &mut seen,
+                            pos,
+                            Item {
+                                dot: parent.dot + 1,
+                                ..parent
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    sets[n].iter().any(|it| {
+        it.lhs == root.0
+            && it.origin == 0
+            && (it.dot as usize) == g.productions(NtId(it.lhs))[it.prod as usize].len()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Symbol as S;
+
+    #[test]
+    fn balanced_parens() {
+        // P -> ( P ) P | ε
+        let mut g = Cfg::new();
+        let p = g.add_nonterminal("P");
+        g.add_production(p, vec![S::T(b'('), S::N(p), S::T(b')'), S::N(p)]);
+        g.add_production(p, vec![]);
+        assert!(recognize(&g, p, b""));
+        assert!(recognize(&g, p, b"()"));
+        assert!(recognize(&g, p, b"(())()"));
+        assert!(!recognize(&g, p, b"(()"));
+        assert!(!recognize(&g, p, b")("));
+    }
+
+    #[test]
+    fn literal_chain() {
+        let mut g = Cfg::new();
+        let a = g.add_nonterminal("A");
+        g.add_literal_production(a, b"hello");
+        assert!(recognize(&g, a, b"hello"));
+        assert!(!recognize(&g, a, b"hell"));
+    }
+
+    #[test]
+    fn ambiguity_is_fine() {
+        // E -> E + E | a
+        let mut g = Cfg::new();
+        let e = g.add_nonterminal("E");
+        g.add_production(e, vec![S::N(e), S::T(b'+'), S::N(e)]);
+        g.add_literal_production(e, b"a");
+        assert!(recognize(&g, e, b"a+a+a"));
+        assert!(!recognize(&g, e, b"a+"));
+    }
+
+    #[test]
+    fn deeply_nullable() {
+        // A -> B B; B -> C; C -> ε
+        let mut g = Cfg::new();
+        let a = g.add_nonterminal("A");
+        let b = g.add_nonterminal("B");
+        let c = g.add_nonterminal("C");
+        g.add_production(a, vec![S::N(b), S::N(b)]);
+        g.add_production(b, vec![S::N(c)]);
+        g.add_production(c, vec![]);
+        assert!(recognize(&g, a, b""));
+        assert!(!recognize(&g, a, b"x"));
+        let nl = nullable_set(&g);
+        assert!(nl.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn nullable_prefix_completion() {
+        // A -> N 'x'; N -> ε  (classic Earley nullable pitfall)
+        let mut g = Cfg::new();
+        let a = g.add_nonterminal("A");
+        let nn = g.add_nonterminal("N");
+        g.add_production(a, vec![S::N(nn), S::T(b'x')]);
+        g.add_production(nn, vec![]);
+        assert!(recognize(&g, a, b"x"));
+        assert!(!recognize(&g, a, b""));
+    }
+}

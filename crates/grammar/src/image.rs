@@ -1,0 +1,414 @@
+//! Image of a context-free language under a finite-state transducer
+//! (paper §3.1.2).
+//!
+//! Converts an extended production `x ← f(y)` — where `f` is a PHP
+//! string function modeled as an FST — into ordinary productions: the
+//! image of the CFG rooted at `y` under the transducer of `f` is itself
+//! context free, and the construction below builds it, propagating
+//! taint labels exactly as in CFG–FSA intersection (the paper notes the
+//! two algorithms differ only in that the FST's *output* symbols replace
+//! the grammar's terminals).
+
+use std::collections::HashMap;
+
+use strtaint_automata::fst::{resolve_output, Fst};
+use strtaint_automata::StateId;
+
+use crate::cfg::Cfg;
+use crate::normal::normalize;
+use crate::symbol::{NtId, Symbol};
+
+/// Computes a grammar for the image `f(L(g, root))` under the
+/// transducer `fst`, with taint labels propagated.
+///
+/// Returns the new grammar and its root.
+///
+/// # Panics
+///
+/// Panics if the transducer has input-epsilon arcs; callers must apply
+/// [`Fst::remove_input_epsilons`] first (all builders in
+/// `strtaint-automata` produce epsilon-free transducers).
+pub fn image(g: &Cfg, root: NtId, fst: &Fst) -> (Cfg, NtId) {
+    assert!(
+        !fst.has_input_epsilons(),
+        "image requires an input-epsilon-free transducer"
+    );
+    let (trimmed, troot) = g.trimmed(root);
+    let norm = normalize(&trimmed);
+    let nv = norm.num_nonterminals();
+    let q = fst.num_states() as u32;
+
+    // Terminal step relation with outputs: steps[b][i] = [(j, out)].
+    let mut used_bytes: Vec<u8> = Vec::new();
+    for (_, rhs) in norm.iter_productions() {
+        for s in rhs {
+            if let Symbol::T(b) = s {
+                used_bytes.push(*b);
+            }
+        }
+    }
+    used_bytes.sort_unstable();
+    used_bytes.dedup();
+    let mut steps: HashMap<u8, Vec<Vec<(u32, Vec<u8>)>>> = HashMap::new();
+    for &b in &used_bytes {
+        let mut per_state: Vec<Vec<(u32, Vec<u8>)>> = Vec::with_capacity(q as usize);
+        for i in 0..q {
+            let mut v = Vec::new();
+            for arc in fst.arcs(i as StateId) {
+                if arc.input.contains(b) {
+                    v.push((arc.target, resolve_output(&arc.output, b)));
+                }
+            }
+            per_state.push(v);
+        }
+        steps.insert(b, per_state);
+    }
+
+    // Worklist discovery of realized triples (X, i, j), identical in
+    // structure to `intersect` but nondeterministic on terminals.
+    let mut by_start: Vec<HashMap<u32, Vec<u32>>> = vec![HashMap::new(); nv];
+    let mut by_end: Vec<HashMap<u32, Vec<u32>>> = vec![HashMap::new(); nv];
+    let mut worklist: Vec<(NtId, u32, u32)> = Vec::new();
+
+    macro_rules! discover {
+        ($x:expr, $i:expr, $j:expr) => {{
+            let (x, i, j): (NtId, u32, u32) = ($x, $i, $j);
+            let ends = by_start[x.index()].entry(i).or_default();
+            if !ends.contains(&j) {
+                ends.push(j);
+                by_end[x.index()].entry(j).or_default().push(i);
+                worklist.push((x, i, j));
+            }
+        }};
+    }
+
+    // Occurrence indexes.
+    let mut occ_unit: Vec<Vec<(NtId, usize)>> = vec![Vec::new(); nv];
+    let mut occ_left: Vec<Vec<(NtId, usize)>> = vec![Vec::new(); nv];
+    let mut occ_right: Vec<Vec<(NtId, usize)>> = vec![Vec::new(); nv];
+    let mut all_prods: Vec<(NtId, Vec<Symbol>)> = Vec::new();
+    for (lhs, rhs) in norm.iter_productions() {
+        let pid = all_prods.len();
+        all_prods.push((lhs, rhs.to_vec()));
+        match rhs {
+            [Symbol::N(x)] => occ_unit[x.index()].push((lhs, pid)),
+            [Symbol::T(_), Symbol::N(x)] => occ_right[x.index()].push((lhs, pid)),
+            [Symbol::N(x), Symbol::T(_)] => occ_left[x.index()].push((lhs, pid)),
+            [Symbol::N(x), Symbol::N(y)] => {
+                occ_left[x.index()].push((lhs, pid));
+                occ_right[y.index()].push((lhs, pid));
+            }
+            _ => {}
+        }
+    }
+
+    // Byte-pair reachability helper.
+    let t_steps = |b: u8, i: u32| -> &[(u32, Vec<u8>)] { &steps[&b][i as usize] };
+    // Reverse byte step: all i with i --b--> j.
+    let mut t_rev: HashMap<u8, HashMap<u32, Vec<u32>>> = HashMap::new();
+    for &b in &used_bytes {
+        let mut rev: HashMap<u32, Vec<u32>> = HashMap::new();
+        for i in 0..q {
+            for (j, _) in t_steps(b, i) {
+                rev.entry(*j).or_default().push(i);
+            }
+        }
+        t_rev.insert(b, rev);
+    }
+
+    // Seed.
+    for (lhs, rhs) in norm.iter_productions() {
+        match rhs {
+            [] => {
+                for i in 0..q {
+                    discover!(lhs, i, i);
+                }
+            }
+            [Symbol::T(a)] => {
+                for i in 0..q {
+                    for (j, _) in t_steps(*a, i) {
+                        discover!(lhs, i, *j);
+                    }
+                }
+            }
+            [Symbol::T(a), Symbol::T(b)] => {
+                for i in 0..q {
+                    for (m, _) in t_steps(*a, i).to_vec() {
+                        for (j, _) in t_steps(*b, m) {
+                            discover!(lhs, i, *j);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    while let Some((x, i, j)) = worklist.pop() {
+        for &(lhs, _) in occ_unit[x.index()].clone().iter() {
+            discover!(lhs, i, j);
+        }
+        for &(lhs, pid) in occ_right[x.index()].clone().iter() {
+            match all_prods[pid].1.as_slice() {
+                [Symbol::T(a), Symbol::N(_)] => {
+                    if let Some(starts) = t_rev[a].get(&i) {
+                        for &i0 in starts.clone().iter() {
+                            discover!(lhs, i0, j);
+                        }
+                    }
+                }
+                [Symbol::N(left), Symbol::N(_)] => {
+                    if let Some(starts) = by_end[left.index()].get(&i).cloned() {
+                        for i0 in starts {
+                            discover!(lhs, i0, j);
+                        }
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        for &(lhs, pid) in occ_left[x.index()].clone().iter() {
+            match all_prods[pid].1.as_slice() {
+                [Symbol::N(_), Symbol::T(b)] => {
+                    for (k, _) in t_steps(*b, j).to_vec() {
+                        discover!(lhs, i, k);
+                    }
+                }
+                [Symbol::N(_), Symbol::N(right)] => {
+                    if let Some(ends) = by_start[right.index()].get(&j).cloned() {
+                        for k in ends {
+                            discover!(lhs, i, k);
+                        }
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    // Reconstruction.
+    let mut out = Cfg::new();
+    let out_root = out.add_nonterminal(format!("{}↦", g.name(root)));
+    out.set_taint(out_root, g.taint(root));
+    let mut map: HashMap<(u32, u32, u32), NtId> = HashMap::new();
+    for x in norm.nonterminals() {
+        for (&i, ends) in &by_start[x.index()] {
+            for &j in ends {
+                let id = out.add_nonterminal(norm.name(x));
+                out.set_taint(id, norm.taint(x)); // TAINTIF
+                map.insert((x.0, i, j), id);
+            }
+        }
+    }
+    let lit = |bytes: &[u8]| -> Vec<Symbol> { bytes.iter().map(|&b| Symbol::T(b)).collect() };
+    for x in norm.nonterminals() {
+        for (&i, ends) in &by_start[x.index()] {
+            for &j in ends {
+                let lhs = map[&(x.0, i, j)];
+                for rhs in norm.productions(x) {
+                    match rhs.as_slice() {
+                        [] => {
+                            if i == j {
+                                out.add_production(lhs, vec![]);
+                            }
+                        }
+                        [Symbol::T(a)] => {
+                            for (t, outb) in t_steps(*a, i) {
+                                if *t == j {
+                                    out.add_production(lhs, lit(outb));
+                                }
+                            }
+                        }
+                        [Symbol::N(y)] => {
+                            if let Some(&sub) = map.get(&(y.0, i, j)) {
+                                out.add_production(lhs, vec![Symbol::N(sub)]);
+                            }
+                        }
+                        [Symbol::T(a), Symbol::T(b)] => {
+                            for (m, out_a) in t_steps(*a, i) {
+                                for (t, out_b) in t_steps(*b, *m) {
+                                    if *t == j {
+                                        let mut r = lit(out_a);
+                                        r.extend(lit(out_b));
+                                        out.add_production(lhs, r);
+                                    }
+                                }
+                            }
+                        }
+                        [Symbol::T(a), Symbol::N(y)] => {
+                            for (m, out_a) in t_steps(*a, i) {
+                                if let Some(&sub) = map.get(&(y.0, *m, j)) {
+                                    let mut r = lit(out_a);
+                                    r.push(Symbol::N(sub));
+                                    out.add_production(lhs, r);
+                                }
+                            }
+                        }
+                        [Symbol::N(y), Symbol::T(b)] => {
+                            if let Some(mids) = by_start[y.index()].get(&i) {
+                                for &m in mids {
+                                    for (t, out_b) in t_steps(*b, m) {
+                                        if *t == j {
+                                            let sub = map[&(y.0, i, m)];
+                                            let mut r = vec![Symbol::N(sub)];
+                                            r.extend(lit(out_b));
+                                            out.add_production(lhs, r);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        [Symbol::N(y), Symbol::N(z)] => {
+                            if let Some(mids) = by_start[y.index()].get(&i) {
+                                for &m in mids {
+                                    if by_start[z.index()]
+                                        .get(&m)
+                                        .is_some_and(|v| v.contains(&j))
+                                    {
+                                        let sy = map[&(y.0, i, m)];
+                                        let sz = map[&(z.0, m, j)];
+                                        out.add_production(
+                                            lhs,
+                                            vec![Symbol::N(sy), Symbol::N(sz)],
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        _ => unreachable!("grammar is normalized"),
+                    }
+                }
+            }
+        }
+    }
+    // Start productions: root triples from the FST start to final states,
+    // appending per-state flush output.
+    let q0 = fst.start();
+    for qf in 0..q {
+        if let Some(flush) = fst.final_output(qf as StateId) {
+            if let Some(&sub) = map.get(&(troot.0, q0, qf)) {
+                let mut rhs = vec![Symbol::N(sub)];
+                rhs.extend(lit(flush));
+                out.add_production(out_root, rhs);
+            }
+        }
+    }
+    (out, out_root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::{bounded_language, sample_strings};
+    use crate::symbol::{Symbol as S, Taint};
+    use strtaint_automata::fst::builders;
+
+    #[test]
+    fn image_under_identity_is_same_language() {
+        let mut g = Cfg::new();
+        let a = g.add_nonterminal("A");
+        g.add_production(a, vec![S::T(b'a'), S::N(a), S::T(b'b')]);
+        g.add_production(a, vec![]);
+        let (out, root) = image(&g, a, &builders::identity());
+        for s in [&b""[..], b"ab", b"aabb"] {
+            assert!(out.derives(root, s), "{:?}", s);
+        }
+        assert!(!out.derives(root, b"ba"));
+    }
+
+    #[test]
+    fn image_under_addslashes_escapes_quotes() {
+        let mut g = Cfg::new();
+        let a = g.add_nonterminal("A");
+        g.add_literal_production(a, b"it's");
+        g.add_literal_production(a, b"ok");
+        let (out, root) = image(&g, a, &builders::addslashes());
+        let lang = bounded_language(&out, root, 10).unwrap();
+        assert_eq!(lang, vec![b"it\\'s".to_vec(), b"ok".to_vec()]);
+    }
+
+    #[test]
+    fn image_figure6_on_grammar() {
+        // The paper's Figure 6 FST applied to a small language.
+        let mut g = Cfg::new();
+        let a = g.add_nonterminal("A");
+        g.add_literal_production(a, b"a''b");
+        g.add_literal_production(a, b"'");
+        let (out, root) = image(&g, a, &builders::figure6());
+        let lang = bounded_language(&out, root, 10).unwrap();
+        assert_eq!(lang, vec![b"'".to_vec(), b"a'b".to_vec()]);
+    }
+
+    #[test]
+    fn image_of_infinite_language() {
+        // A -> 'x' A | '  (quote) — addslashes image: every x* followed by \'
+        let mut g = Cfg::new();
+        let a = g.add_nonterminal("A");
+        g.add_production(a, vec![S::T(b'x'), S::N(a)]);
+        g.add_literal_production(a, b"'");
+        let (out, root) = image(&g, a, &builders::addslashes());
+        assert!(out.derives(root, b"\\'"));
+        assert!(out.derives(root, b"xx\\'"));
+        assert!(!out.derives(root, b"x'"));
+    }
+
+    #[test]
+    fn image_preserves_taint() {
+        let mut g = Cfg::new();
+        let a = g.add_nonterminal("userid");
+        g.set_taint(a, Taint::DIRECT);
+        g.add_literal_production(a, b"1'");
+        let (out, root) = image(&g, a, &builders::addslashes());
+        assert!(out.derives(root, b"1\\'"));
+        let labeled = out.labeled_nonterminals();
+        assert!(
+            labeled
+                .iter()
+                .any(|&id| out.taint(id).is_direct() && !out.productions(id).is_empty()),
+            "taint lost through FST image"
+        );
+    }
+
+    #[test]
+    fn image_under_replace_literal() {
+        // Grammar of "[b]"+ ; str_replace("[b]", "<b>") image.
+        let mut g = Cfg::new();
+        let a = g.add_nonterminal("A");
+        g.add_production(a, {
+            let mut v = g.literal_symbols(b"[b]");
+            v.push(S::N(a));
+            v
+        });
+        g.add_literal_production(a, b"[b]");
+        let f = builders::replace_literal(b"[b]", b"<b>");
+        let (out, root) = image(&g, a, &f);
+        assert!(out.derives(root, b"<b>"));
+        assert!(out.derives(root, b"<b><b>"));
+        assert!(!out.derives(root, b"[b]"));
+        let samples = sample_strings(&out, root, 9, 4);
+        assert!(samples.contains(&b"<b>".to_vec()));
+    }
+
+    #[test]
+    fn image_flush_suffix_applies() {
+        // Language {"ab"}, replace "abc"→"X": partial match must flush.
+        let mut g = Cfg::new();
+        let a = g.add_nonterminal("A");
+        g.add_literal_production(a, b"ab");
+        let f = builders::replace_literal(b"abc", b"X");
+        let (out, root) = image(&g, a, &f);
+        let lang = bounded_language(&out, root, 10).unwrap();
+        assert_eq!(lang, vec![b"ab".to_vec()]);
+    }
+
+    #[test]
+    fn image_under_constant() {
+        let mut g = Cfg::new();
+        let a = g.add_nonterminal("A");
+        g.add_production(a, vec![S::T(b'x'), S::N(a)]);
+        g.add_production(a, vec![]);
+        let (out, root) = image(&g, a, &builders::constant(b"N"));
+        let lang = bounded_language(&out, root, 10).unwrap();
+        assert_eq!(lang, vec![b"N".to_vec()]);
+    }
+}

@@ -1,0 +1,404 @@
+//! Language-level queries on grammars: finiteness, shortest strings,
+//! bounded enumeration.
+//!
+//! The analysis uses these for dynamic-include resolution (the paper §4
+//! intersects the include argument's grammar with the filesystem layout
+//! and enumerates the resulting *finite* language) and for attaching a
+//! witness string to every bug report.
+
+use std::collections::HashSet;
+
+use crate::cfg::Cfg;
+use crate::symbol::{NtId, Symbol};
+
+/// Returns `true` if the language of `root` is infinite.
+///
+/// A trimmed grammar derives infinitely many strings iff some
+/// nonterminal `X` in a recursive cycle can pump nonempty material:
+/// there is a production `X → u Y v` with `Y` in `X`'s strongly
+/// connected component and `u v` able to derive a nonempty string. A
+/// bare cycle that only threads epsilon (which arises when a transducer
+/// image erases all terminals) does *not* make the language infinite.
+pub fn is_infinite(g: &Cfg, root: NtId) -> bool {
+    let (t, _) = g.trimmed(root);
+    let n = t.num_nonterminals();
+    if n == 0 {
+        return false;
+    }
+    // nonempty[X]: X derives a string of length >= 1. In a trimmed
+    // grammar every nonterminal is productive, so a production with a
+    // terminal or a nonempty nonterminal suffices.
+    let mut nonempty = vec![false; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (lhs, rhs) in t.iter_productions() {
+            if nonempty[lhs.index()] {
+                continue;
+            }
+            let any = rhs.iter().any(|s| match s {
+                Symbol::T(_) => true,
+                Symbol::N(id) => nonempty[id.index()],
+            });
+            if any {
+                nonempty[lhs.index()] = true;
+                changed = true;
+            }
+        }
+    }
+    let scc = scc_ids(&t);
+    for (lhs, rhs) in t.iter_productions() {
+        for (i, s) in rhs.iter().enumerate() {
+            let Symbol::N(y) = s else { continue };
+            if scc[lhs.index()] != scc[y.index()] {
+                continue;
+            }
+            // Pumpable if any sibling symbol yields nonempty material.
+            let fat = rhs.iter().enumerate().any(|(j, sj)| {
+                j != i
+                    && match sj {
+                        Symbol::T(_) => true,
+                        Symbol::N(z) => nonempty[z.index()],
+                    }
+            });
+            if fat {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Computes strongly connected component ids of the nonterminal graph
+/// (iterative Tarjan).
+fn scc_ids(g: &Cfg) -> Vec<u32> {
+    let n = g.num_nonterminals();
+    let children: Vec<Vec<u32>> = (0..n)
+        .map(|i| {
+            let mut v: Vec<u32> = Vec::new();
+            for rhs in g.productions(NtId(i as u32)) {
+                for s in rhs {
+                    if let Symbol::N(id) = s {
+                        v.push(id.0);
+                    }
+                }
+            }
+            v.sort_unstable();
+            v.dedup();
+            v
+        })
+        .collect();
+    let mut index = vec![u32::MAX; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![u32::MAX; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut next_comp = 0u32;
+
+    for start in 0..n as u32 {
+        if index[start as usize] != u32::MAX {
+            continue;
+        }
+        // Iterative Tarjan with explicit call stack of (node, child idx).
+        let mut call: Vec<(u32, usize)> = vec![(start, 0)];
+        index[start as usize] = next_index;
+        lowlink[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+        while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+            if *ci < children[v as usize].len() {
+                let w = children[v as usize][*ci];
+                *ci += 1;
+                if index[w as usize] == u32::MAX {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    call.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                call.pop();
+                if let Some(&mut (p, _)) = call.last_mut() {
+                    lowlink[p as usize] = lowlink[p as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack nonempty");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Computes a shortest string derivable from `root`, if any.
+///
+/// Used for witness strings in bug reports. Returns `None` for an empty
+/// language.
+pub fn shortest_string(g: &Cfg, root: NtId) -> Option<Vec<u8>> {
+    let n = g.num_nonterminals();
+    let ids = g.reachable_list(root);
+    let mut best: Vec<Option<Vec<u8>>> = vec![None; n];
+    // Iterate to fixpoint over the reachable subgraph; lengths only
+    // shrink, so this terminates.
+    loop {
+        let mut changed = false;
+        for (lhs, rhs) in ids
+            .iter()
+            .flat_map(|&id| g.productions(id).iter().map(move |r| (id, r.as_slice())))
+        {
+            let mut candidate: Vec<u8> = Vec::new();
+            let mut ok = true;
+            for s in rhs {
+                match s {
+                    Symbol::T(b) => candidate.push(*b),
+                    Symbol::N(id) => match &best[id.index()] {
+                        Some(w) => candidate.extend_from_slice(w),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    },
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let better = match &best[lhs.index()] {
+                None => true,
+                Some(cur) => candidate.len() < cur.len(),
+            };
+            if better {
+                best[lhs.index()] = Some(candidate);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    best[root.index()].clone()
+}
+
+/// Enumerates the full (finite) language of `root`, up to `max_count`
+/// strings.
+///
+/// Returns `None` if the language is infinite or has more than
+/// `max_count` strings. Used to resolve dynamic includes (paper §4).
+pub fn bounded_language(g: &Cfg, root: NtId, max_count: usize) -> Option<Vec<Vec<u8>>> {
+    if is_infinite(g, root) {
+        return None;
+    }
+    let (t, new_root) = g.trimmed(root);
+    // Fixpoint enumeration: grammar cycles may exist even for a finite
+    // language (e.g. unit-production cycles left by a transducer image),
+    // so sets are grown monotonically until stable.
+    let n = t.num_nonterminals();
+    let mut sets: Vec<HashSet<Vec<u8>>> = vec![HashSet::new(); n];
+    loop {
+        let mut changed = false;
+        for (lhs, rhs) in t.iter_productions() {
+            let mut partial: Vec<Vec<u8>> = vec![Vec::new()];
+            let mut ok = true;
+            for s in rhs {
+                match s {
+                    Symbol::T(b) => {
+                        for p in partial.iter_mut() {
+                            p.push(*b);
+                        }
+                    }
+                    Symbol::N(sub) => {
+                        let subs = &sets[sub.index()];
+                        if subs.is_empty() {
+                            ok = false;
+                            break;
+                        }
+                        let mut next = Vec::new();
+                        for p in &partial {
+                            for s in subs {
+                                let mut w = p.clone();
+                                w.extend_from_slice(s);
+                                next.push(w);
+                                if next.len() > max_count {
+                                    return None;
+                                }
+                            }
+                        }
+                        partial = next;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            for w in partial {
+                if sets[lhs.index()].insert(w) {
+                    changed = true;
+                }
+            }
+            if sets[lhs.index()].len() > max_count {
+                return None;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut v: Vec<Vec<u8>> = sets[new_root.index()].iter().cloned().collect();
+    v.sort();
+    v.dedup();
+    Some(v)
+}
+
+/// Enumerates up to `max_count` strings of length at most `max_len`
+/// derivable from `root`, even when the language is infinite.
+///
+/// Breadth-first over sentential forms; intended for tests and for
+/// sampling witness strings.
+pub fn sample_strings(g: &Cfg, root: NtId, max_len: usize, max_count: usize) -> Vec<Vec<u8>> {
+    use std::collections::VecDeque;
+    let mut results: Vec<Vec<u8>> = Vec::new();
+    let mut seen: HashSet<Vec<Symbol>> = HashSet::new();
+    let mut queue: VecDeque<Vec<Symbol>> = VecDeque::new();
+    queue.push_back(vec![Symbol::N(root)]);
+    let budget = max_count * 200 + 1000; // exploration cap
+    let mut explored = 0usize;
+    while let Some(form) = queue.pop_front() {
+        explored += 1;
+        if explored > budget || results.len() >= max_count {
+            break;
+        }
+        // Count terminals; prune overly long forms.
+        let terminal_len = form.iter().filter(|s| matches!(s, Symbol::T(_))).count();
+        if terminal_len > max_len {
+            continue;
+        }
+        // Find leftmost nonterminal.
+        match form.iter().position(|s| matches!(s, Symbol::N(_))) {
+            None => {
+                let s: Vec<u8> = form
+                    .iter()
+                    .map(|s| s.as_terminal().expect("all terminals"))
+                    .collect();
+                if !results.contains(&s) {
+                    results.push(s);
+                }
+            }
+            Some(pos) => {
+                let Symbol::N(id) = form[pos] else { unreachable!() };
+                for rhs in g.productions(id) {
+                    let mut next = Vec::with_capacity(form.len() + rhs.len());
+                    next.extend_from_slice(&form[..pos]);
+                    next.extend_from_slice(rhs);
+                    next.extend_from_slice(&form[pos + 1..]);
+                    if next.len() <= max_len * 2 + 16 && seen.insert(next.clone()) {
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Symbol as S;
+
+    fn simple() -> (Cfg, NtId) {
+        let mut g = Cfg::new();
+        let a = g.add_nonterminal("A");
+        g.add_literal_production(a, b"one");
+        g.add_literal_production(a, b"two22");
+        (g, a)
+    }
+
+    #[test]
+    fn finite_language_detected() {
+        let (g, a) = simple();
+        assert!(!is_infinite(&g, a));
+        let lang = bounded_language(&g, a, 10).unwrap();
+        assert_eq!(lang, vec![b"one".to_vec(), b"two22".to_vec()]);
+    }
+
+    #[test]
+    fn infinite_language_detected() {
+        let mut g = Cfg::new();
+        let a = g.add_nonterminal("A");
+        g.add_production(a, vec![S::T(b'x'), S::N(a)]);
+        g.add_production(a, vec![]);
+        assert!(is_infinite(&g, a));
+        assert!(bounded_language(&g, a, 100).is_none());
+    }
+
+    #[test]
+    fn unproductive_cycles_do_not_count() {
+        // A -> 'x' | B; B -> B  (B is unproductive, cycle is dead)
+        let mut g = Cfg::new();
+        let a = g.add_nonterminal("A");
+        let b = g.add_nonterminal("B");
+        g.add_literal_production(a, b"x");
+        g.add_production(a, vec![S::N(b)]);
+        g.add_production(b, vec![S::N(b)]);
+        assert!(!is_infinite(&g, a));
+        assert_eq!(bounded_language(&g, a, 10).unwrap(), vec![b"x".to_vec()]);
+    }
+
+    #[test]
+    fn shortest_string_picks_minimum() {
+        let (g, a) = simple();
+        assert_eq!(shortest_string(&g, a), Some(b"one".to_vec()));
+        let mut g2 = Cfg::new();
+        let b = g2.add_nonterminal("B");
+        g2.add_production(b, vec![S::N(b)]); // empty language
+        assert_eq!(shortest_string(&g2, b), None);
+    }
+
+    #[test]
+    fn shortest_string_through_recursion() {
+        // A -> '(' A ')' | ε  — shortest is ""
+        let mut g = Cfg::new();
+        let a = g.add_nonterminal("A");
+        g.add_production(a, vec![S::T(b'('), S::N(a), S::T(b')')]);
+        g.add_production(a, vec![]);
+        assert_eq!(shortest_string(&g, a), Some(Vec::new()));
+    }
+
+    #[test]
+    fn bounded_language_respects_cap() {
+        // 2^4 = 16 strings
+        let mut g = Cfg::new();
+        let bit = g.add_nonterminal("bit");
+        g.add_literal_production(bit, b"0");
+        g.add_literal_production(bit, b"1");
+        let word = g.add_nonterminal("word");
+        g.add_production(word, vec![S::N(bit), S::N(bit), S::N(bit), S::N(bit)]);
+        assert_eq!(bounded_language(&g, word, 16).unwrap().len(), 16);
+        assert!(bounded_language(&g, word, 15).is_none());
+    }
+
+    #[test]
+    fn sampling_infinite_language() {
+        let mut g = Cfg::new();
+        let a = g.add_nonterminal("A");
+        g.add_production(a, vec![S::T(b'x'), S::N(a)]);
+        g.add_production(a, vec![]);
+        let samples = sample_strings(&g, a, 5, 4);
+        assert!(samples.contains(&b"".to_vec()));
+        assert!(samples.contains(&b"x".to_vec()));
+        assert!(samples.len() >= 3);
+    }
+}

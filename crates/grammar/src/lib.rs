@@ -1,0 +1,54 @@
+//! Context-free grammars with taint labels: the string-analysis core of
+//! **strtaint**.
+//!
+//! The paper (*Sound and Precise Analysis of Web Applications for
+//! Injection Vulnerabilities*, Wassermann & Su, PLDI 2007) represents
+//! the set of SQL query strings a PHP program can build as an annotated
+//! CFG. This crate provides:
+//!
+//! - [`Cfg`]: the grammar arena, with [`Taint`] labels on nonterminals
+//!   marking `direct`/`indirect` user influence (paper §2.2);
+//! - [`normal::normalize`]: the paper's `NORMALIZE` (Fig. 7);
+//! - [`intersect::intersect`]: CFG–FSA intersection with taint
+//!   propagation — the paper's Fig. 7 algorithm with `TAINTIF`;
+//! - [`image::image`]: the image of a CFG under a finite-state
+//!   transducer, modeling PHP string functions (§3.1.2);
+//! - [`approx::overapproximate`]: regular over-approximation used to cut
+//!   transducer cycles and for derivability scaffolding;
+//! - [`lang`]: finiteness, enumeration and witness extraction, used for
+//!   dynamic-include resolution (§4) and bug reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use strtaint_grammar::{Cfg, Symbol, Taint, intersect::intersect};
+//! use strtaint_automata::Regex;
+//!
+//! // userid is a GET parameter filtered by eregi('[0-9]+', ·) — the
+//! // unanchored filter of the paper's Figure 2.
+//! let mut g = Cfg::new();
+//! let userid = g.add_nonterminal("userid");
+//! g.set_taint(userid, Taint::DIRECT);
+//! g.add_literal_production(userid, b"1"); // honest user
+//! g.add_literal_production(userid, b"1'; DROP TABLE unp_user; --"); // attacker
+//!
+//! let filter = Regex::new("[0-9]+").unwrap().match_dfa();
+//! let (refined, root) = intersect(&g, userid, &filter);
+//! // The attack string contains a digit, so the filter keeps it:
+//! assert!(refined.derives(root, b"1'; DROP TABLE unp_user; --"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod approx;
+pub mod cfg;
+pub mod earley;
+pub mod image;
+pub mod intersect;
+pub mod lang;
+pub mod normal;
+pub mod symbol;
+
+pub use cfg::Cfg;
+pub use symbol::{NtId, Symbol, Taint};

@@ -1,0 +1,112 @@
+//! Binary normal form (the paper's `NORMALIZE`, Fig. 7).
+//!
+//! Rewrites every production to have a right-hand side of length at most
+//! two by introducing chain nonterminals, preserving the language, the
+//! taint labels, and the identity of the original nonterminals (ids
+//! `0..n` of the input grammar map to the same ids of the output).
+
+use crate::cfg::Cfg;
+use crate::symbol::{NtId, Symbol};
+
+/// Returns an equivalent grammar whose productions all have `|rhs| ≤ 2`.
+///
+/// Original nonterminal ids are preserved; helper nonterminals are
+/// appended after them, named `<name>#<k>`, untainted (they are interior
+/// chain links — taint lives on the original nonterminal, exactly as the
+/// paper's Fig. 7 `NORMALIZE` leaves labels untouched).
+pub fn normalize(g: &Cfg) -> Cfg {
+    let mut out = Cfg::new();
+    for id in g.nonterminals() {
+        let n = out.add_nonterminal(g.name(id));
+        out.set_taint(n, g.taint(id));
+        debug_assert_eq!(n, id);
+    }
+    for (lhs, rhs) in g.iter_productions() {
+        if rhs.len() <= 2 {
+            out.add_production(lhs, rhs.to_vec());
+            continue;
+        }
+        // lhs -> s0 H0, H0 -> s1 H1, ..., H(k) -> s(n-2) s(n-1)
+        let mut current = lhs;
+        for (k, sym) in rhs[..rhs.len() - 2].iter().enumerate() {
+            let helper = out.add_nonterminal(format!("{}#{}", g.name(lhs), k));
+            out.add_production(current, vec![*sym, Symbol::N(helper)]);
+            current = helper;
+        }
+        out.add_production(current, vec![rhs[rhs.len() - 2], rhs[rhs.len() - 1]]);
+    }
+    out
+}
+
+/// Returns `true` if every production of `g` has `|rhs| ≤ 2`.
+pub fn is_normalized(g: &Cfg) -> bool {
+    g.iter_productions().all(|(_, rhs)| rhs.len() <= 2)
+}
+
+/// Checks whether `id` is an original nonterminal of the grammar that
+/// was normalized into `g` (as opposed to an introduced helper).
+pub fn is_original(original: &Cfg, id: NtId) -> bool {
+    id.index() < original.num_nonterminals()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::{Symbol as S, Taint};
+
+    #[test]
+    fn short_rules_untouched() {
+        let mut g = Cfg::new();
+        let a = g.add_nonterminal("A");
+        g.add_production(a, vec![S::T(b'x'), S::N(a)]);
+        g.add_production(a, vec![]);
+        let n = normalize(&g);
+        assert!(is_normalized(&n));
+        assert_eq!(n.num_productions(), 2);
+        assert_eq!(n.num_nonterminals(), 1);
+    }
+
+    #[test]
+    fn long_rules_chained() {
+        let mut g = Cfg::new();
+        let a = g.add_nonterminal("A");
+        g.add_literal_production(a, b"hello");
+        let n = normalize(&g);
+        assert!(is_normalized(&n));
+        // "hello" (5 symbols) becomes 4 binary productions.
+        assert_eq!(n.num_productions(), 4);
+        assert!(n.derives(a, b"hello"));
+        assert!(!n.derives(a, b"hell"));
+    }
+
+    #[test]
+    fn language_preserved_with_recursion() {
+        let mut g = Cfg::new();
+        let a = g.add_nonterminal("A");
+        // A -> 'x' A 'y' A 'z' | ε
+        g.add_production(
+            a,
+            vec![S::T(b'x'), S::N(a), S::T(b'y'), S::N(a), S::T(b'z')],
+        );
+        g.add_production(a, vec![]);
+        let n = normalize(&g);
+        assert!(is_normalized(&n));
+        for s in [&b""[..], b"xyz", b"xxyzyz", b"xyxyzz"] {
+            assert_eq!(g.derives(a, s), n.derives(a, s), "{:?}", s);
+        }
+        assert!(!n.derives(a, b"xy"));
+    }
+
+    #[test]
+    fn taint_preserved_on_originals_only() {
+        let mut g = Cfg::new();
+        let a = g.add_nonterminal("A");
+        g.set_taint(a, Taint::DIRECT);
+        g.add_literal_production(a, b"abcd");
+        let n = normalize(&g);
+        assert_eq!(n.taint(a), Taint::DIRECT);
+        for id in n.nonterminals().skip(1) {
+            assert!(n.taint(id).is_empty(), "helper {} tainted", n.name(id));
+        }
+    }
+}

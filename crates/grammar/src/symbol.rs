@@ -1,0 +1,169 @@
+//! Grammar symbols and taint labels.
+
+use std::fmt;
+
+/// Identifier of a nonterminal (index into a [`crate::Cfg`] arena).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NtId(pub u32);
+
+impl NtId {
+    /// Returns the arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// A grammar symbol: a terminal byte or a nonterminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Symbol {
+    /// A terminal byte.
+    T(u8),
+    /// A nonterminal reference.
+    N(NtId),
+}
+
+impl Symbol {
+    /// Returns the nonterminal id if this symbol is a nonterminal.
+    pub fn as_nt(self) -> Option<NtId> {
+        match self {
+            Symbol::N(id) => Some(id),
+            Symbol::T(_) => None,
+        }
+    }
+
+    /// Returns the terminal byte if this symbol is a terminal.
+    pub fn as_terminal(self) -> Option<u8> {
+        match self {
+            Symbol::T(b) => Some(b),
+            Symbol::N(_) => None,
+        }
+    }
+}
+
+impl From<NtId> for Symbol {
+    fn from(id: NtId) -> Symbol {
+        Symbol::N(id)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Symbol::T(b) if (0x20..=0x7e).contains(b) => write!(f, "'{}'", *b as char),
+            Symbol::T(b) => write!(f, "'\\x{b:02x}'"),
+            Symbol::N(id) => write!(f, "{id}"),
+        }
+    }
+}
+
+/// Taint labels on a nonterminal (paper §2.2).
+///
+/// A nonterminal is labeled `direct` if every string it derives comes
+/// from a source the user influences directly (GET/POST parameters,
+/// cookies) and `indirect` if the source is influenced indirectly
+/// (database results, session data). Labels combine monotonically under
+/// [`Taint::union`], mirroring the paper's `TAINTIF` (Fig. 7).
+///
+/// # Examples
+///
+/// ```
+/// use strtaint_grammar::Taint;
+///
+/// let t = Taint::DIRECT.union(Taint::INDIRECT);
+/// assert!(t.is_direct() && t.is_indirect());
+/// assert!(Taint::NONE.is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Taint {
+    bits: u8,
+}
+
+impl Taint {
+    /// No taint.
+    pub const NONE: Taint = Taint { bits: 0 };
+    /// Directly user-controlled (GET/POST/cookie).
+    pub const DIRECT: Taint = Taint { bits: 1 };
+    /// Indirectly user-controlled (database, session).
+    pub const INDIRECT: Taint = Taint { bits: 2 };
+
+    /// Returns the union of two label sets.
+    #[must_use]
+    pub fn union(self, other: Taint) -> Taint {
+        Taint {
+            bits: self.bits | other.bits,
+        }
+    }
+
+    /// Returns `true` if no label is set.
+    pub fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Returns `true` if the `direct` label is set.
+    pub fn is_direct(self) -> bool {
+        self.bits & 1 != 0
+    }
+
+    /// Returns `true` if the `indirect` label is set.
+    pub fn is_indirect(self) -> bool {
+        self.bits & 2 != 0
+    }
+}
+
+impl fmt::Display for Taint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.is_direct(), self.is_indirect()) {
+            (false, false) => write!(f, "untainted"),
+            (true, false) => write!(f, "direct"),
+            (false, true) => write!(f, "indirect"),
+            (true, true) => write!(f, "direct+indirect"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taint_union_is_monotone() {
+        assert_eq!(Taint::NONE.union(Taint::DIRECT), Taint::DIRECT);
+        assert_eq!(Taint::DIRECT.union(Taint::DIRECT), Taint::DIRECT);
+        let both = Taint::DIRECT.union(Taint::INDIRECT);
+        assert!(both.is_direct() && both.is_indirect());
+        assert_eq!(both.union(Taint::NONE), both);
+    }
+
+    #[test]
+    fn taint_display() {
+        assert_eq!(Taint::NONE.to_string(), "untainted");
+        assert_eq!(Taint::DIRECT.to_string(), "direct");
+        assert_eq!(Taint::INDIRECT.to_string(), "indirect");
+        assert_eq!(
+            Taint::DIRECT.union(Taint::INDIRECT).to_string(),
+            "direct+indirect"
+        );
+    }
+
+    #[test]
+    fn symbol_accessors() {
+        assert_eq!(Symbol::T(b'a').as_terminal(), Some(b'a'));
+        assert_eq!(Symbol::T(b'a').as_nt(), None);
+        let n = NtId(3);
+        assert_eq!(Symbol::N(n).as_nt(), Some(n));
+        assert_eq!(Symbol::from(n), Symbol::N(n));
+    }
+
+    #[test]
+    fn symbol_display() {
+        assert_eq!(Symbol::T(b'a').to_string(), "'a'");
+        assert_eq!(Symbol::T(0x01).to_string(), "'\\x01'");
+        assert_eq!(Symbol::N(NtId(7)).to_string(), "N7");
+    }
+}

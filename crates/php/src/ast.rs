@@ -1,0 +1,314 @@
+//! Abstract syntax for the analyzed PHP subset.
+
+use std::fmt;
+
+use crate::span::Span;
+use crate::token::StrPart;
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `!`
+    Not,
+    /// Unary `-`
+    Neg,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `.` string concatenation — the central operator of the analysis.
+    Concat,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `==`
+    Eq,
+    /// `===`
+    Identical,
+    /// `!=`
+    Neq,
+    /// `!==`
+    NotIdentical,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `&&` / `and`
+    And,
+    /// `||` / `or`
+    Or,
+}
+
+/// Cast kinds (PHP `(int)$x` etc.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CastKind {
+    /// `(int)` / `(integer)`
+    Int,
+    /// `(float)` / `(double)`
+    Float,
+    /// `(string)`
+    Str,
+    /// `(bool)` / `(boolean)`
+    Bool,
+    /// `(array)`
+    Array,
+}
+
+/// Include flavors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncludeKind {
+    /// `include`
+    Include,
+    /// `include_once`
+    IncludeOnce,
+    /// `require`
+    Require,
+    /// `require_once`
+    RequireOnce,
+}
+
+/// An expression with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression kind.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Expr {
+    /// Creates an expression.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Resolved string literal (single-quoted or escape-free).
+    Str(Vec<u8>),
+    /// Interpolated double-quoted string.
+    Interp(Vec<StrPart>),
+    /// `$name`
+    Var(String),
+    /// Bare constant (e.g. `PHP_EOL`, `MY_TABLE_PREFIX`).
+    ConstFetch(String),
+    /// `base[index]`; `index` may be absent (`$a[] = ...` push form).
+    Index(Box<Expr>, Option<Box<Expr>>),
+    /// `$obj->prop`
+    Prop(Box<Expr>, String),
+    /// Unary operator application.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operator application.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Assignment; the operator is `Some` for compound assignment
+    /// (`.=`, `+=`, …).
+    Assign(Box<Expr>, Option<BinOp>, Box<Expr>),
+    /// `cond ? then : else`; `then` is `None` for the `?:` shorthand.
+    Ternary(Box<Expr>, Option<Box<Expr>>, Box<Expr>),
+    /// Function call by name.
+    Call(String, Vec<Expr>),
+    /// Method call `$obj->m(args)`.
+    MethodCall(Box<Expr>, String, Vec<Expr>),
+    /// Object construction `new C(args)`.
+    New(String, Vec<Expr>),
+    /// `isset(...)`
+    Isset(Vec<Expr>),
+    /// `empty(...)`
+    Empty(Box<Expr>),
+    /// `array(k => v, ...)` / `[...]`
+    Array(Vec<(Option<Expr>, Expr)>),
+    /// Cast.
+    Cast(CastKind, Box<Expr>),
+    /// `@expr`
+    Suppress(Box<Expr>),
+    /// `++$x` / `$x++` / `--$x` / `$x--`; `pre` and `inc` flags.
+    IncDec {
+        /// The modified lvalue.
+        target: Box<Expr>,
+        /// Prefix (`++$x`) vs postfix (`$x++`).
+        pre: bool,
+        /// Increment vs decrement.
+        inc: bool,
+    },
+}
+
+/// A statement with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// The statement kind.
+    pub kind: StmtKind,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Stmt {
+    /// Creates a statement.
+    pub fn new(kind: StmtKind, span: Span) -> Self {
+        Stmt { kind, span }
+    }
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// Expression statement.
+    Expr(Expr),
+    /// `echo e1, e2, ...;`
+    Echo(Vec<Expr>),
+    /// `if` with `elseif` chain and optional `else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// `elseif` branches.
+        elifs: Vec<(Expr, Vec<Stmt>)>,
+        /// `else` branch.
+        els: Option<Vec<Stmt>>,
+    },
+    /// `while`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `do { } while (cond);`
+    DoWhile {
+        /// Body.
+        body: Vec<Stmt>,
+        /// Condition.
+        cond: Expr,
+    },
+    /// `for (init; cond; step)`
+    For {
+        /// Initializers.
+        init: Vec<Expr>,
+        /// Condition (empty = true).
+        cond: Option<Expr>,
+        /// Step expressions.
+        step: Vec<Expr>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `foreach ($subject as $key => $value)`
+    Foreach {
+        /// Iterated expression.
+        subject: Expr,
+        /// Key variable, if destructured.
+        key: Option<String>,
+        /// Value variable.
+        value: String,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `switch`
+    Switch {
+        /// Scrutinee.
+        subject: Expr,
+        /// `(case-expr, body)`; `None` = `default`.
+        cases: Vec<(Option<Expr>, Vec<Stmt>)>,
+    },
+    /// `return e?;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `exit;` / `die(...)`.
+    Exit(Option<Expr>),
+    /// Function declaration.
+    FuncDecl(FuncDecl),
+    /// Class declaration (methods only; properties are ignored by the
+    /// analysis, which dispatches method calls by name).
+    ClassDecl(ClassDecl),
+    /// `global $a, $b;`
+    Global(Vec<String>),
+    /// `include`/`require` with an argument expression — the dynamic
+    /// include construct the paper resolves via the filesystem layout.
+    Include {
+        /// Which include flavor.
+        kind: IncludeKind,
+        /// The path expression.
+        arg: Expr,
+    },
+    /// Raw HTML between PHP regions.
+    InlineHtml(Vec<u8>),
+    /// `unset(...)`.
+    Unset(Vec<Expr>),
+    /// `{ ... }`
+    Block(Vec<Stmt>),
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name (without `$`).
+    pub name: String,
+    /// Default value.
+    pub default: Option<Expr>,
+    /// Declared by-reference (`&$x`).
+    pub by_ref: bool,
+}
+
+/// A class declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDecl {
+    /// Class name (stored lowercased).
+    pub name: String,
+    /// Parent class, if any (`extends`).
+    pub parent: Option<String>,
+    /// Method declarations.
+    pub methods: Vec<FuncDecl>,
+    /// Declaration site.
+    pub span: Span,
+}
+
+/// A function declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Function name (PHP function names are case-insensitive; stored
+    /// lowercased).
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Declaration site.
+    pub span: Span,
+}
+
+/// A parsed PHP source file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct File {
+    /// Top-level statements (function declarations included in order).
+    pub stmts: Vec<Stmt>,
+}
+
+impl fmt::Display for File {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<php file: {} top-level statements>", self.stmts.len())
+    }
+}

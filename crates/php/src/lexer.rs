@@ -1,0 +1,962 @@
+//! PHP lexer for the analyzed subset.
+//!
+//! Handles `<?php ... ?>` regions, line and block comments, variables,
+//! numbers, and both string flavors — including the double-quoted
+//! interpolation forms (`"WHERE userid='$userid'"`,
+//! `"... {$row['name']} ..."`) that dominate query construction in real
+//! web applications.
+
+use std::fmt;
+
+use crate::span::Span;
+use crate::token::{SpannedTok, StrPart, Tok};
+
+/// Lexer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexPhpError {
+    /// Human-readable message.
+    pub message: String,
+    /// Where the error occurred.
+    pub span: Span,
+}
+
+impl fmt::Display for LexPhpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LexPhpError {}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    in_php: bool,
+}
+
+/// Tokenizes a PHP source file.
+///
+/// # Errors
+///
+/// Returns a [`LexPhpError`] on unterminated strings/comments or
+/// unsupported bytes inside PHP code.
+pub fn lex(src: &[u8]) -> Result<Vec<SpannedTok>, LexPhpError> {
+    let mut lx = Lexer {
+        src,
+        pos: 0,
+        line: 1,
+        col: 1,
+        in_php: false,
+    };
+    let mut out = Vec::new();
+    loop {
+        let t = lx.next_token()?;
+        let eof = t.tok == Tok::Eof;
+        out.push(t);
+        if eof {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+impl<'a> Lexer<'a> {
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn err(&self, message: impl Into<String>) -> LexPhpError {
+        LexPhpError {
+            message: message.into(),
+            span: self.span(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &[u8]) -> bool {
+        self.src[self.pos..].starts_with(s)
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn next_token(&mut self) -> Result<SpannedTok, LexPhpError> {
+        if !self.in_php {
+            // Collect inline HTML until <?php or EOF.
+            let span = self.span();
+            let mut html = Vec::new();
+            loop {
+                if self.pos >= self.src.len() {
+                    break;
+                }
+                if self.starts_with(b"<?php") {
+                    self.bump_n(5);
+                    self.in_php = true;
+                    break;
+                }
+                if self.starts_with(b"<?=") {
+                    // echo shorthand: treat as entering PHP with an echo —
+                    // approximate by entering PHP mode.
+                    self.bump_n(3);
+                    self.in_php = true;
+                    break;
+                }
+                html.push(self.bump().expect("not at EOF"));
+            }
+            if !html.is_empty() {
+                return Ok(SpannedTok {
+                    tok: Tok::InlineHtml(html),
+                    span,
+                });
+            }
+            if self.pos >= self.src.len() {
+                return Ok(SpannedTok {
+                    tok: Tok::Eof,
+                    span: self.span(),
+                });
+            }
+            // Fall through into PHP mode.
+        }
+
+        // Skip whitespace and comments.
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n') => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        // `?>` ends the comment and PHP mode.
+                        if b == b'?' && self.peek2() == Some(b'>') {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'#') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    self.bump_n(2);
+                    loop {
+                        if self.pos >= self.src.len() {
+                            return Err(self.err("unterminated block comment"));
+                        }
+                        if self.starts_with(b"*/") {
+                            self.bump_n(2);
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+
+        let span = self.span();
+        if self.starts_with(b"?>") {
+            self.bump_n(2);
+            self.in_php = false;
+            // Statement separator semantics of ?> in PHP.
+            return Ok(SpannedTok {
+                tok: Tok::Semi,
+                span,
+            });
+        }
+        let Some(b) = self.peek() else {
+            return Ok(SpannedTok {
+                tok: Tok::Eof,
+                span,
+            });
+        };
+
+        let tok = match b {
+            b'$' => {
+                self.bump();
+                let name = self.ident_text()?;
+                Tok::Variable(name)
+            }
+            b'\'' => {
+                self.bump();
+                let mut s = Vec::new();
+                loop {
+                    match self.bump() {
+                        None => return Err(self.err("unterminated single-quoted string")),
+                        Some(b'\\') => match self.bump() {
+                            Some(b'\'') => s.push(b'\''),
+                            Some(b'\\') => s.push(b'\\'),
+                            Some(other) => {
+                                s.push(b'\\');
+                                s.push(other);
+                            }
+                            None => return Err(self.err("unterminated string escape")),
+                        },
+                        Some(b'\'') => break,
+                        Some(other) => s.push(other),
+                    }
+                }
+                Tok::Str(s)
+            }
+            b'"' => {
+                self.bump();
+                Tok::InterpStr(self.interp_string()?)
+            }
+            b'0'..=b'9' => {
+                let mut text = String::new();
+                let mut is_float = false;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c as char);
+                        self.bump();
+                    } else if c == b'.'
+                        && self.peek2().is_some_and(|d| d.is_ascii_digit())
+                        && !is_float
+                    {
+                        is_float = true;
+                        text.push('.');
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if is_float {
+                    Tok::Float(text.parse().map_err(|_| self.err("bad float literal"))?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| self.err("bad int literal"))?)
+                }
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => Tok::Ident(self.ident_text()?),
+            _ => {
+                self.bump();
+                match b {
+                    b'(' => Tok::LParen,
+                    b')' => Tok::RParen,
+                    b'{' => Tok::LBrace,
+                    b'}' => Tok::RBrace,
+                    b'[' => Tok::LBracket,
+                    b']' => Tok::RBracket,
+                    b';' => Tok::Semi,
+                    b',' => Tok::Comma,
+                    b'@' => Tok::At,
+                    b'.' => {
+                        if self.peek() == Some(b'=') {
+                            self.bump();
+                            Tok::DotEq
+                        } else {
+                            Tok::Dot
+                        }
+                    }
+                    b'=' => match self.peek() {
+                        Some(b'=') => {
+                            self.bump();
+                            if self.peek() == Some(b'=') {
+                                self.bump();
+                                Tok::EqEqEq
+                            } else {
+                                Tok::EqEq
+                            }
+                        }
+                        Some(b'>') => {
+                            self.bump();
+                            Tok::FatArrow
+                        }
+                        _ => Tok::Eq,
+                    },
+                    b'!' => match self.peek() {
+                        Some(b'=') => {
+                            self.bump();
+                            if self.peek() == Some(b'=') {
+                                self.bump();
+                                Tok::NotEqEq
+                            } else {
+                                Tok::NotEq
+                            }
+                        }
+                        _ => Tok::Bang,
+                    },
+                    b'<' => match self.peek() {
+                        Some(b'=') => {
+                            self.bump();
+                            Tok::Le
+                        }
+                        Some(b'>') => {
+                            self.bump();
+                            Tok::NotEq
+                        }
+                        Some(b'<') if self.peek2() == Some(b'<') => {
+                            self.bump_n(2);
+                            self.heredoc()?
+                        }
+                        _ => Tok::Lt,
+                    },
+                    b'>' => match self.peek() {
+                        Some(b'=') => {
+                            self.bump();
+                            Tok::Ge
+                        }
+                        _ => Tok::Gt,
+                    },
+                    b'+' => match self.peek() {
+                        Some(b'=') => {
+                            self.bump();
+                            Tok::PlusEq
+                        }
+                        Some(b'+') => {
+                            self.bump();
+                            Tok::Inc
+                        }
+                        _ => Tok::Plus,
+                    },
+                    b'-' => match self.peek() {
+                        Some(b'=') => {
+                            self.bump();
+                            Tok::MinusEq
+                        }
+                        Some(b'-') => {
+                            self.bump();
+                            Tok::Dec
+                        }
+                        Some(b'>') => {
+                            self.bump();
+                            Tok::Arrow
+                        }
+                        _ => Tok::Minus,
+                    },
+                    b'*' => match self.peek() {
+                        Some(b'=') => {
+                            self.bump();
+                            Tok::StarEq
+                        }
+                        _ => Tok::Star,
+                    },
+                    b'/' => match self.peek() {
+                        Some(b'=') => {
+                            self.bump();
+                            Tok::SlashEq
+                        }
+                        _ => Tok::Slash,
+                    },
+                    b'%' => Tok::Percent,
+                    b'&' => match self.peek() {
+                        Some(b'&') => {
+                            self.bump();
+                            Tok::AndAnd
+                        }
+                        _ => Tok::Amp,
+                    },
+                    b'|' => match self.peek() {
+                        Some(b'|') => {
+                            self.bump();
+                            Tok::OrOr
+                        }
+                        other => {
+                            return Err(
+                                self.err(format!("unsupported byte after '|': {other:?}"))
+                            )
+                        }
+                    },
+                    b'?' => Tok::Question,
+                    b':' => Tok::Colon,
+                    other => {
+                        return Err(self.err(format!(
+                            "unsupported byte 0x{other:02x} ({:?}) in PHP code",
+                            other as char
+                        )))
+                    }
+                }
+            }
+        };
+        Ok(SpannedTok { tok, span })
+    }
+
+    /// Lexes a heredoc (`<<<EOT … EOT;`) or nowdoc (`<<<'EOT' …`) body;
+    /// the `<<<` has already been consumed. Heredoc bodies interpolate
+    /// like double-quoted strings; nowdoc bodies are literal.
+    fn heredoc(&mut self) -> Result<Tok, LexPhpError> {
+        // Optional quoting of the marker.
+        let (nowdoc, quote) = match self.peek() {
+            Some(b'\'') => (true, true),
+            Some(b'"') => (false, true),
+            _ => (false, false),
+        };
+        if quote {
+            self.bump();
+        }
+        let marker = self.ident_text()?;
+        if quote {
+            let close = self.bump();
+            let expected = if nowdoc { Some(b'\'') } else { Some(b'"') };
+            if close != expected {
+                return Err(self.err("malformed heredoc marker"));
+            }
+        }
+        // Consume to end of line.
+        while let Some(c) = self.peek() {
+            self.bump();
+            if c == b'\n' {
+                break;
+            }
+        }
+        // Collect lines until one whose (whitespace-trimmed) content is
+        // the marker, optionally followed by ';' or ','.
+        let mut body: Vec<u8> = Vec::new();
+        loop {
+            if self.pos >= self.src.len() {
+                return Err(self.err(format!("unterminated heredoc <<<{marker}")));
+            }
+            let line_start = self.pos;
+            let mut line_end = line_start;
+            while line_end < self.src.len() && self.src[line_end] != b'\n' {
+                line_end += 1;
+            }
+            let line = &self.src[line_start..line_end];
+            let trimmed = line
+                .iter()
+                .position(|b| !b.is_ascii_whitespace())
+                .map(|i| &line[i..])
+                .unwrap_or(&[]);
+            let is_terminator = trimmed.starts_with(marker.as_bytes())
+                && matches!(
+                    trimmed.get(marker.len()),
+                    None | Some(b';') | Some(b',') | Some(b'\r')
+                );
+            if is_terminator {
+                // Consume up to and including the marker text, leaving
+                // any ';' for the ordinary lexer.
+                let indent = line.len() - trimmed.len();
+                self.bump_n(indent + marker.len());
+                // Drop the newline that precedes the terminator line.
+                if body.last() == Some(&b'\n') {
+                    body.pop();
+                }
+                break;
+            }
+            self.bump_n(line_end - line_start);
+            body.extend_from_slice(line);
+            if self.peek() == Some(b'\n') {
+                self.bump();
+                body.push(b'\n');
+            }
+        }
+        if nowdoc {
+            Ok(Tok::Str(body))
+        } else {
+            Ok(Tok::InterpStr(interp_slice(&body, self.line, self.col)?))
+        }
+    }
+
+    fn ident_text(&mut self) -> Result<String, LexPhpError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    /// Parses the body of a double-quoted string (opening quote already
+    /// consumed), resolving escapes and interpolation.
+    fn interp_string(&mut self) -> Result<Vec<StrPart>, LexPhpError> {
+        let mut parts: Vec<StrPart> = Vec::new();
+        let mut lit: Vec<u8> = Vec::new();
+        macro_rules! flush {
+            () => {
+                if !lit.is_empty() {
+                    parts.push(StrPart::Lit(std::mem::take(&mut lit)));
+                }
+            };
+        }
+        loop {
+            let Some(b) = self.bump() else {
+                return Err(self.err("unterminated double-quoted string"));
+            };
+            match b {
+                b'"' => break,
+                b'\\' => match self.bump() {
+                    Some(b'n') => lit.push(b'\n'),
+                    Some(b't') => lit.push(b'\t'),
+                    Some(b'r') => lit.push(b'\r'),
+                    Some(b'0') => lit.push(0),
+                    Some(b'"') => lit.push(b'"'),
+                    Some(b'\\') => lit.push(b'\\'),
+                    Some(b'$') => lit.push(b'$'),
+                    Some(b'\'') => {
+                        lit.push(b'\\');
+                        lit.push(b'\'');
+                    }
+                    Some(other) => {
+                        lit.push(b'\\');
+                        lit.push(other);
+                    }
+                    None => return Err(self.err("unterminated string escape")),
+                },
+                b'$' => {
+                    if self
+                        .peek()
+                        .is_some_and(|c| c.is_ascii_alphabetic() || c == b'_')
+                    {
+                        flush!();
+                        let name = self.ident_text()?;
+                        // `$name[key]` (unquoted or quoted key, no nesting).
+                        if self.peek() == Some(b'[') {
+                            self.bump();
+                            let mut key = Vec::new();
+                            let quoted = matches!(self.peek(), Some(b'\'') | Some(b'"'));
+                            if quoted {
+                                self.bump();
+                            }
+                            loop {
+                                match self.peek() {
+                                    Some(b']') => break,
+                                    Some(b'\'') | Some(b'"') if quoted => {
+                                        self.bump();
+                                    }
+                                    Some(c) => {
+                                        key.push(c);
+                                        self.bump();
+                                    }
+                                    None => {
+                                        return Err(
+                                            self.err("unterminated interpolated index")
+                                        )
+                                    }
+                                }
+                            }
+                            self.bump(); // ]
+                            parts.push(StrPart::Index(name, key));
+                        } else if self.peek() == Some(b'-') && self.peek2() == Some(b'>') {
+                            self.bump_n(2);
+                            let prop = self.ident_text()?;
+                            parts.push(StrPart::Prop(name, prop));
+                        } else {
+                            parts.push(StrPart::Var(name));
+                        }
+                    } else {
+                        lit.push(b'$');
+                    }
+                }
+                b'{' => {
+                    if self.peek() == Some(b'$') {
+                        flush!();
+                        self.bump(); // $
+                        let name = self.ident_text()?;
+                        match self.peek() {
+                            Some(b'[') => {
+                                self.bump();
+                                let quoted = matches!(self.peek(), Some(b'\'') | Some(b'"'));
+                                if quoted {
+                                    self.bump();
+                                }
+                                let mut key = Vec::new();
+                                loop {
+                                    match self.peek() {
+                                        Some(b']') => break,
+                                        Some(b'\'') | Some(b'"') if quoted => {
+                                            self.bump();
+                                        }
+                                        Some(c) => {
+                                            key.push(c);
+                                            self.bump();
+                                        }
+                                        None => {
+                                            return Err(self
+                                                .err("unterminated interpolated index"))
+                                        }
+                                    }
+                                }
+                                self.bump(); // ]
+                                if self.bump() != Some(b'}') {
+                                    return Err(self.err("expected '}' after interpolation"));
+                                }
+                                parts.push(StrPart::Index(name, key));
+                            }
+                            Some(b'-') if self.peek2() == Some(b'>') => {
+                                self.bump_n(2);
+                                let prop = self.ident_text()?;
+                                if self.bump() != Some(b'}') {
+                                    return Err(self.err("expected '}' after interpolation"));
+                                }
+                                parts.push(StrPart::Prop(name, prop));
+                            }
+                            Some(b'}') => {
+                                self.bump();
+                                parts.push(StrPart::Var(name));
+                            }
+                            _ => return Err(self.err("unsupported {$...} interpolation")),
+                        }
+                    } else {
+                        lit.push(b'{');
+                    }
+                }
+                other => lit.push(other),
+            }
+        }
+        if !lit.is_empty() {
+            parts.push(StrPart::Lit(lit));
+        }
+        Ok(parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src.as_bytes())
+            .unwrap()
+            .into_iter()
+            .map(|t| t.tok)
+            .collect()
+    }
+
+    #[test]
+    fn basic_assignment() {
+        let t = toks("<?php $x = 'hi'; ?>");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Variable("x".into()),
+                Tok::Eq,
+                Tok::Str(b"hi".to_vec()),
+                Tok::Semi,
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn inline_html_then_php() {
+        let t = toks("<html><?php echo 1;");
+        assert!(matches!(&t[0], Tok::InlineHtml(h) if h == b"<html>"));
+        assert_eq!(t[1], Tok::Ident("echo".into()));
+    }
+
+    #[test]
+    fn interpolation_variants() {
+        let t = toks(r#"<?php $q = "WHERE userid='$userid' AND x={$row['name']} p=$obj->id";"#);
+        let Tok::InterpStr(parts) = &t[2] else {
+            panic!("expected interp string, got {:?}", t[2])
+        };
+        assert_eq!(
+            parts,
+            &vec![
+                StrPart::Lit(b"WHERE userid='".to_vec()),
+                StrPart::Var("userid".into()),
+                StrPart::Lit(b"' AND x=".to_vec()),
+                StrPart::Index("row".into(), b"name".to_vec()),
+                StrPart::Lit(b" p=".to_vec()),
+                StrPart::Prop("obj".into(), "id".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn dollar_index_without_braces() {
+        let t = toks(r#"<?php $q = "id=$_GET[userid]";"#);
+        let Tok::InterpStr(parts) = &t[2] else { panic!() };
+        assert_eq!(
+            parts,
+            &vec![
+                StrPart::Lit(b"id=".to_vec()),
+                StrPart::Index("_GET".into(), b"userid".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = toks("<?php // line\n# hash\n/* block */ $x;");
+        assert_eq!(t[0], Tok::Variable("x".into()));
+    }
+
+    #[test]
+    fn operators() {
+        let t = toks("<?php $a .= $b . $c; $d === $e; $f != $g; $h->i(); $j ? $k : $l;");
+        assert!(t.contains(&Tok::DotEq));
+        assert!(t.contains(&Tok::Dot));
+        assert!(t.contains(&Tok::EqEqEq));
+        assert!(t.contains(&Tok::NotEq));
+        assert!(t.contains(&Tok::Arrow));
+        assert!(t.contains(&Tok::Question));
+    }
+
+    #[test]
+    fn numbers() {
+        let t = toks("<?php $a = 42; $b = 3.5;");
+        assert!(t.contains(&Tok::Int(42)));
+        assert!(t.contains(&Tok::Float(3.5)));
+    }
+
+    #[test]
+    fn single_quote_escapes() {
+        let t = toks(r"<?php $s = 'it\'s \\ \n';");
+        // \n is literal backslash-n in single quotes.
+        assert!(t.contains(&Tok::Str(b"it's \\ \\n".to_vec())));
+    }
+
+    #[test]
+    fn error_on_unterminated_string() {
+        assert!(lex(b"<?php $s = 'oops").is_err());
+        assert!(lex(b"<?php $s = \"oops").is_err());
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let toks = lex(b"<?php\n$a = 1;\n$b = 2;").unwrap();
+        let b_tok = toks
+            .iter()
+            .find(|t| t.tok == Tok::Variable("b".into()))
+            .unwrap();
+        assert_eq!(b_tok.span.line, 3);
+    }
+
+    #[test]
+    fn close_tag_acts_as_semicolon() {
+        let t = toks("<?php echo $x ?> tail");
+        assert!(t.contains(&Tok::Semi));
+        assert!(t.iter().any(|t| matches!(t, Tok::InlineHtml(h) if h == b" tail")));
+    }
+}
+
+/// Parses heredoc body bytes into interpolation parts (the
+/// double-quoted-string rules minus the quote terminator).
+fn interp_slice(body: &[u8], line: u32, col: u32) -> Result<Vec<StrPart>, LexPhpError> {
+    let err = |message: &str| LexPhpError {
+        message: message.to_owned(),
+        span: Span::new(line, col),
+    };
+    let mut parts: Vec<StrPart> = Vec::new();
+    let mut lit: Vec<u8> = Vec::new();
+    let mut i = 0usize;
+    let n = body.len();
+    let is_ident_start = |b: u8| b.is_ascii_alphabetic() || b == b'_';
+    let is_ident_cont = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let read_ident = |bytes: &[u8], mut j: usize| -> (String, usize) {
+        let start = j;
+        while j < bytes.len() && is_ident_cont(bytes[j]) {
+            j += 1;
+        }
+        (
+            String::from_utf8_lossy(&bytes[start..j]).into_owned(),
+            j,
+        )
+    };
+    macro_rules! flush {
+        () => {
+            if !lit.is_empty() {
+                parts.push(StrPart::Lit(std::mem::take(&mut lit)));
+            }
+        };
+    }
+    while i < n {
+        match body[i] {
+            b'\\' if i + 1 < n => {
+                let c = body[i + 1];
+                match c {
+                    b'n' => lit.push(b'\n'),
+                    b't' => lit.push(b'\t'),
+                    b'r' => lit.push(b'\r'),
+                    b'\\' => lit.push(b'\\'),
+                    b'$' => lit.push(b'$'),
+                    other => {
+                        lit.push(b'\\');
+                        lit.push(other);
+                    }
+                }
+                i += 2;
+            }
+            b'$' if i + 1 < n && is_ident_start(body[i + 1]) => {
+                flush!();
+                let (name, j) = read_ident(body, i + 1);
+                i = j;
+                if i < n && body[i] == b'[' {
+                    let mut k = i + 1;
+                    let quoted = k < n && (body[k] == b'\'' || body[k] == b'"');
+                    if quoted {
+                        k += 1;
+                    }
+                    let key_start = k;
+                    while k < n && body[k] != b']' && body[k] != b'\'' && body[k] != b'"' {
+                        k += 1;
+                    }
+                    let key = body[key_start..k].to_vec();
+                    if quoted && k < n {
+                        k += 1;
+                    }
+                    if k >= n || body[k] != b']' {
+                        return Err(err("unterminated interpolated index in heredoc"));
+                    }
+                    i = k + 1;
+                    parts.push(StrPart::Index(name, key));
+                } else if i + 1 < n && body[i] == b'-' && body[i + 1] == b'>' {
+                    let (prop, j) = read_ident(body, i + 2);
+                    i = j;
+                    parts.push(StrPart::Prop(name, prop));
+                } else {
+                    parts.push(StrPart::Var(name));
+                }
+            }
+            b'{' if i + 1 < n && body[i + 1] == b'$' => {
+                flush!();
+                let (name, j) = read_ident(body, i + 2);
+                let mut k = j;
+                if k < n && body[k] == b'[' {
+                    let mut m = k + 1;
+                    let quoted = m < n && (body[m] == b'\'' || body[m] == b'"');
+                    if quoted {
+                        m += 1;
+                    }
+                    let key_start = m;
+                    while m < n && body[m] != b']' && body[m] != b'\'' && body[m] != b'"' {
+                        m += 1;
+                    }
+                    let key = body[key_start..m].to_vec();
+                    if quoted && m < n {
+                        m += 1;
+                    }
+                    if m >= n || body[m] != b']' {
+                        return Err(err("unterminated interpolated index in heredoc"));
+                    }
+                    k = m + 1;
+                    if k >= n || body[k] != b'}' {
+                        return Err(err("expected '}' in heredoc interpolation"));
+                    }
+                    i = k + 1;
+                    parts.push(StrPart::Index(name, key));
+                } else if k < n && body[k] == b'}' {
+                    i = k + 1;
+                    parts.push(StrPart::Var(name));
+                } else if k + 1 < n && body[k] == b'-' && body[k + 1] == b'>' {
+                    let (prop, j2) = read_ident(body, k + 2);
+                    if j2 >= n || body[j2] != b'}' {
+                        return Err(err("expected '}' in heredoc interpolation"));
+                    }
+                    i = j2 + 1;
+                    parts.push(StrPart::Prop(name, prop));
+                } else {
+                    return Err(err("unsupported heredoc interpolation"));
+                }
+            }
+            other => {
+                lit.push(other);
+                i += 1;
+            }
+        }
+    }
+    if !lit.is_empty() {
+        parts.push(StrPart::Lit(lit));
+    }
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod heredoc_tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src.as_bytes())
+            .unwrap()
+            .into_iter()
+            .map(|t| t.tok)
+            .collect()
+    }
+
+    #[test]
+    fn heredoc_with_interpolation() {
+        let t = toks("<?php $q = <<<EOT\nSELECT * FROM t WHERE id='$id'\nEOT;\n");
+        let Tok::InterpStr(parts) = &t[2] else {
+            panic!("expected heredoc interp, got {:?}", t[2]);
+        };
+        assert_eq!(
+            parts,
+            &vec![
+                StrPart::Lit(b"SELECT * FROM t WHERE id='".to_vec()),
+                StrPart::Var("id".into()),
+                StrPart::Lit(b"'".to_vec()),
+            ]
+        );
+        assert_eq!(t[3], Tok::Semi);
+    }
+
+    #[test]
+    fn heredoc_multiline_body() {
+        let t = toks("<?php $h = <<<HTML\n<div>\n  line two\n</div>\nHTML;\n");
+        let Tok::InterpStr(parts) = &t[2] else { panic!() };
+        assert_eq!(
+            parts,
+            &vec![StrPart::Lit(b"<div>\n  line two\n</div>".to_vec())]
+        );
+    }
+
+    #[test]
+    fn nowdoc_is_literal() {
+        let t = toks("<?php $s = <<<'EOT'\nno $interp here\nEOT;\n");
+        assert_eq!(t[2], Tok::Str(b"no $interp here".to_vec()));
+    }
+
+    #[test]
+    fn double_quoted_marker() {
+        let t = toks("<?php $s = <<<\"EOT\"\nhi $name\nEOT;\n");
+        let Tok::InterpStr(parts) = &t[2] else { panic!() };
+        assert_eq!(parts.len(), 2);
+    }
+
+    #[test]
+    fn unterminated_heredoc_errors() {
+        assert!(lex(b"<?php $q = <<<EOT\nnever closed\n").is_err());
+    }
+
+    #[test]
+    fn heredoc_with_braced_index() {
+        let t = toks("<?php $q = <<<EOT\nv={$row['name']}!\nEOT;\n");
+        let Tok::InterpStr(parts) = &t[2] else { panic!() };
+        assert_eq!(
+            parts,
+            &vec![
+                StrPart::Lit(b"v=".to_vec()),
+                StrPart::Index("row".into(), b"name".to_vec()),
+                StrPart::Lit(b"!".to_vec()),
+            ]
+        );
+    }
+}

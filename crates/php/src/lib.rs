@@ -1,0 +1,38 @@
+//! PHP frontend for **strtaint**: lexer, parser, and AST for the PHP
+//! subset the analysis consumes.
+//!
+//! The paper's implementation reused Minamide's PHP string analyzer; we
+//! build the frontend from scratch. The subset covers what
+//! database-backed PHP applications of the era use for query
+//! construction: assignments and concatenation, interpolated strings,
+//! `if`/`while`/`for`/`foreach`/`switch`, function declarations and
+//! calls, method calls (`$DB->query(...)`), superglobal array access,
+//! and `include`/`require` with dynamically computed paths.
+//!
+//! # Examples
+//!
+//! ```
+//! use strtaint_php::parse;
+//!
+//! let file = parse(br#"<?php
+//! $id = $_GET['id'];
+//! $q = "SELECT * FROM users WHERE id='$id'";
+//! $res = $DB->query($q);
+//! "#).unwrap();
+//! assert_eq!(file.stmts.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod span;
+pub mod token;
+
+pub use ast::{BinOp, CastKind, Expr, ExprKind, File, FuncDecl, IncludeKind, Param, Stmt, StmtKind, UnaryOp};
+pub use lexer::{lex, LexPhpError};
+pub use parser::{parse, ParsePhpError};
+pub use span::Span;
+pub use token::{SpannedTok, StrPart, Tok};

@@ -1,0 +1,1243 @@
+//! Recursive-descent parser for the analyzed PHP subset.
+
+use std::fmt;
+
+use crate::ast::*;
+use crate::lexer::{lex, LexPhpError};
+use crate::span::Span;
+use crate::token::{SpannedTok, Tok};
+
+/// Parser errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsePhpError {
+    /// Human-readable message.
+    pub message: String,
+    /// Where it occurred.
+    pub span: Span,
+}
+
+impl fmt::Display for ParsePhpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParsePhpError {}
+
+impl From<LexPhpError> for ParsePhpError {
+    fn from(e: LexPhpError) -> Self {
+        ParsePhpError {
+            message: e.message,
+            span: e.span,
+        }
+    }
+}
+
+/// Parses a PHP source file.
+///
+/// # Errors
+///
+/// Returns a [`ParsePhpError`] on any lexical or syntactic problem;
+/// the error's span points at the offending token.
+pub fn parse(src: &[u8]) -> Result<File, ParsePhpError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    while !p.at_eof() {
+        stmts.push(p.statement()?);
+    }
+    Ok(File { stmts })
+}
+
+struct Parser {
+    tokens: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn cur(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn cur_span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.cur(), Tok::Eof)
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParsePhpError {
+        ParsePhpError {
+            message: msg.into(),
+            span: self.cur_span(),
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), ParsePhpError> {
+        if self.cur() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {tok}, found {}", self.cur())))
+        }
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.cur(), Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    // ---------------- statements ----------------
+
+    fn statement(&mut self) -> Result<Stmt, ParsePhpError> {
+        let span = self.cur_span();
+        // Skip stray semicolons.
+        if matches!(self.cur(), Tok::Semi) {
+            self.bump();
+            return Ok(Stmt::new(StmtKind::Block(Vec::new()), span));
+        }
+        if let Tok::InlineHtml(h) = self.cur().clone() {
+            self.bump();
+            return Ok(Stmt::new(StmtKind::InlineHtml(h), span));
+        }
+        if self.is_kw("if") {
+            return self.if_stmt();
+        }
+        if self.is_kw("while") {
+            self.bump();
+            self.expect(&Tok::LParen)?;
+            let cond = self.expr()?;
+            self.expect(&Tok::RParen)?;
+            let body = if matches!(self.cur(), Tok::Colon) {
+                self.bump();
+                let b = self.stmts_until_kw(&["endwhile"])?;
+                self.expect_end_kw("endwhile")?;
+                b
+            } else {
+                self.block_or_single()?
+            };
+            return Ok(Stmt::new(StmtKind::While { cond, body }, span));
+        }
+        if self.is_kw("do") {
+            self.bump();
+            let body = self.block_or_single()?;
+            if !self.eat_kw("while") {
+                return Err(self.err("expected 'while' after do-block"));
+            }
+            self.expect(&Tok::LParen)?;
+            let cond = self.expr()?;
+            self.expect(&Tok::RParen)?;
+            self.expect(&Tok::Semi)?;
+            return Ok(Stmt::new(StmtKind::DoWhile { body, cond }, span));
+        }
+        if self.is_kw("for") {
+            self.bump();
+            self.expect(&Tok::LParen)?;
+            let init = self.expr_list_until(&Tok::Semi)?;
+            self.expect(&Tok::Semi)?;
+            let cond = if matches!(self.cur(), Tok::Semi) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect(&Tok::Semi)?;
+            let step = self.expr_list_until(&Tok::RParen)?;
+            self.expect(&Tok::RParen)?;
+            let body = if matches!(self.cur(), Tok::Colon) {
+                self.bump();
+                let b = self.stmts_until_kw(&["endfor"])?;
+                self.expect_end_kw("endfor")?;
+                b
+            } else {
+                self.block_or_single()?
+            };
+            return Ok(Stmt::new(
+                StmtKind::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                },
+                span,
+            ));
+        }
+        if self.is_kw("foreach") {
+            self.bump();
+            self.expect(&Tok::LParen)?;
+            let subject = self.expr()?;
+            if !self.eat_kw("as") {
+                return Err(self.err("expected 'as' in foreach"));
+            }
+            let first = match self.bump() {
+                Tok::Variable(v) => v,
+                other => return Err(self.err(format!("expected variable, found {other}"))),
+            };
+            let (key, value) = if matches!(self.cur(), Tok::FatArrow) {
+                self.bump();
+                match self.bump() {
+                    Tok::Variable(v) => (Some(first), v),
+                    other => {
+                        return Err(self.err(format!("expected variable, found {other}")))
+                    }
+                }
+            } else {
+                (None, first)
+            };
+            self.expect(&Tok::RParen)?;
+            let body = if matches!(self.cur(), Tok::Colon) {
+                self.bump();
+                let b = self.stmts_until_kw(&["endforeach"])?;
+                self.expect_end_kw("endforeach")?;
+                b
+            } else {
+                self.block_or_single()?
+            };
+            return Ok(Stmt::new(
+                StmtKind::Foreach {
+                    subject,
+                    key,
+                    value,
+                    body,
+                },
+                span,
+            ));
+        }
+        if self.is_kw("switch") {
+            return self.switch_stmt();
+        }
+        if self.is_kw("function") {
+            return self.func_decl();
+        }
+        if self.is_kw("class") {
+            return self.class_decl();
+        }
+        if self.is_kw("return") {
+            self.bump();
+            let value = if matches!(self.cur(), Tok::Semi) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect(&Tok::Semi)?;
+            return Ok(Stmt::new(StmtKind::Return(value), span));
+        }
+        if self.is_kw("break") {
+            self.bump();
+            // Optional level argument, ignored.
+            if let Tok::Int(_) = self.cur() {
+                self.bump();
+            }
+            self.expect(&Tok::Semi)?;
+            return Ok(Stmt::new(StmtKind::Break, span));
+        }
+        if self.is_kw("continue") {
+            self.bump();
+            if let Tok::Int(_) = self.cur() {
+                self.bump();
+            }
+            self.expect(&Tok::Semi)?;
+            return Ok(Stmt::new(StmtKind::Continue, span));
+        }
+        if self.is_kw("echo") || self.is_kw("print") {
+            self.bump();
+            let mut args = vec![self.expr()?];
+            while matches!(self.cur(), Tok::Comma) {
+                self.bump();
+                args.push(self.expr()?);
+            }
+            self.expect(&Tok::Semi)?;
+            return Ok(Stmt::new(StmtKind::Echo(args), span));
+        }
+        if self.is_kw("global") {
+            self.bump();
+            let mut names = Vec::new();
+            loop {
+                match self.bump() {
+                    Tok::Variable(v) => names.push(v),
+                    other => return Err(self.err(format!("expected variable, found {other}"))),
+                }
+                if matches!(self.cur(), Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(&Tok::Semi)?;
+            return Ok(Stmt::new(StmtKind::Global(names), span));
+        }
+        if self.is_kw("unset") {
+            self.bump();
+            self.expect(&Tok::LParen)?;
+            let args = self.expr_list_until(&Tok::RParen)?;
+            self.expect(&Tok::RParen)?;
+            self.expect(&Tok::Semi)?;
+            return Ok(Stmt::new(StmtKind::Unset(args), span));
+        }
+        if self.is_kw("exit") || self.is_kw("die") {
+            self.bump();
+            let arg = if matches!(self.cur(), Tok::LParen) {
+                self.bump();
+                let a = if matches!(self.cur(), Tok::RParen) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&Tok::RParen)?;
+                a
+            } else {
+                None
+            };
+            self.expect(&Tok::Semi)?;
+            return Ok(Stmt::new(StmtKind::Exit(arg), span));
+        }
+        for (kw, kind) in [
+            ("include", IncludeKind::Include),
+            ("include_once", IncludeKind::IncludeOnce),
+            ("require", IncludeKind::Require),
+            ("require_once", IncludeKind::RequireOnce),
+        ] {
+            if self.is_kw(kw) {
+                self.bump();
+                // Parenthesized or bare argument.
+                let arg = if matches!(self.cur(), Tok::LParen) {
+                    self.bump();
+                    let e = self.expr()?;
+                    self.expect(&Tok::RParen)?;
+                    e
+                } else {
+                    self.expr()?
+                };
+                self.expect(&Tok::Semi)?;
+                return Ok(Stmt::new(StmtKind::Include { kind, arg }, span));
+            }
+        }
+        if matches!(self.cur(), Tok::LBrace) {
+            let body = self.block()?;
+            return Ok(Stmt::new(StmtKind::Block(body), span));
+        }
+        // Expression statement.
+        let e = self.expr()?;
+        self.expect(&Tok::Semi)?;
+        Ok(Stmt::new(StmtKind::Expr(e), span))
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParsePhpError> {
+        let span = self.cur_span();
+        self.bump(); // if
+        self.expect(&Tok::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&Tok::RParen)?;
+        // PHP alternative (template) syntax: `if (...): ... endif;`
+        if matches!(self.cur(), Tok::Colon) {
+            self.bump();
+            let then = self.stmts_until_kw(&["elseif", "else", "endif"])?;
+            let mut elifs = Vec::new();
+            let mut els = None;
+            loop {
+                if self.is_kw("elseif") {
+                    self.bump();
+                    self.expect(&Tok::LParen)?;
+                    let c = self.expr()?;
+                    self.expect(&Tok::RParen)?;
+                    self.expect(&Tok::Colon)?;
+                    let b = self.stmts_until_kw(&["elseif", "else", "endif"])?;
+                    elifs.push((c, b));
+                } else if self.is_kw("else") {
+                    self.bump();
+                    self.expect(&Tok::Colon)?;
+                    els = Some(self.stmts_until_kw(&["endif"])?);
+                } else {
+                    break;
+                }
+            }
+            self.expect_end_kw("endif")?;
+            return Ok(Stmt::new(
+                StmtKind::If {
+                    cond,
+                    then,
+                    elifs,
+                    els,
+                },
+                span,
+            ));
+        }
+        let then = self.block_or_single()?;
+        let mut elifs = Vec::new();
+        let mut els = None;
+        loop {
+            if self.is_kw("elseif") {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let c = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let b = self.block_or_single()?;
+                elifs.push((c, b));
+            } else if self.is_kw("else") {
+                self.bump();
+                if self.is_kw("if") {
+                    // `else if` — parse as nested if inside else.
+                    let nested = self.if_stmt()?;
+                    els = Some(vec![nested]);
+                } else {
+                    els = Some(self.block_or_single()?);
+                }
+                break;
+            } else {
+                break;
+            }
+        }
+        Ok(Stmt::new(
+            StmtKind::If {
+                cond,
+                then,
+                elifs,
+                els,
+            },
+            span,
+        ))
+    }
+
+    fn switch_stmt(&mut self) -> Result<Stmt, ParsePhpError> {
+        let span = self.cur_span();
+        self.bump(); // switch
+        self.expect(&Tok::LParen)?;
+        let subject = self.expr()?;
+        self.expect(&Tok::RParen)?;
+        self.expect(&Tok::LBrace)?;
+        let mut cases = Vec::new();
+        while !matches!(self.cur(), Tok::RBrace) {
+            let label = if self.eat_kw("case") {
+                let e = self.expr()?;
+                Some(e)
+            } else if self.eat_kw("default") {
+                None
+            } else {
+                return Err(self.err("expected 'case' or 'default' in switch"));
+            };
+            // `case x:` or `case x;`
+            if matches!(self.cur(), Tok::Colon | Tok::Semi) {
+                self.bump();
+            } else {
+                return Err(self.err("expected ':' after case label"));
+            }
+            let mut body = Vec::new();
+            while !matches!(self.cur(), Tok::RBrace)
+                && !self.is_kw("case")
+                && !self.is_kw("default")
+            {
+                body.push(self.statement()?);
+            }
+            cases.push((label, body));
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(Stmt::new(StmtKind::Switch { subject, cases }, span))
+    }
+
+    fn func_decl(&mut self) -> Result<Stmt, ParsePhpError> {
+        let span = self.cur_span();
+        self.bump(); // function
+        let name = match self.bump() {
+            Tok::Ident(s) => s.to_ascii_lowercase(),
+            other => return Err(self.err(format!("expected function name, found {other}"))),
+        };
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        while !matches!(self.cur(), Tok::RParen) {
+            let by_ref = if matches!(self.cur(), Tok::Amp) {
+                self.bump();
+                true
+            } else {
+                false
+            };
+            let pname = match self.bump() {
+                Tok::Variable(v) => v,
+                other => return Err(self.err(format!("expected parameter, found {other}"))),
+            };
+            let default = if matches!(self.cur(), Tok::Eq) {
+                self.bump();
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            params.push(Param {
+                name: pname,
+                default,
+                by_ref,
+            });
+            if matches!(self.cur(), Tok::Comma) {
+                self.bump();
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        let body = self.block()?;
+        Ok(Stmt::new(
+            StmtKind::FuncDecl(FuncDecl {
+                name,
+                params,
+                body,
+                span,
+            }),
+            span,
+        ))
+    }
+
+    fn class_decl(&mut self) -> Result<Stmt, ParsePhpError> {
+        let span = self.cur_span();
+        self.bump(); // class
+        let name = match self.bump() {
+            Tok::Ident(s) => s.to_ascii_lowercase(),
+            other => return Err(self.err(format!("expected class name, found {other}"))),
+        };
+        let parent = if self.eat_kw("extends") {
+            match self.bump() {
+                Tok::Ident(s) => Some(s.to_ascii_lowercase()),
+                other => {
+                    return Err(self.err(format!("expected parent class, found {other}")))
+                }
+            }
+        } else {
+            None
+        };
+        self.expect(&Tok::LBrace)?;
+        let mut methods = Vec::new();
+        while !matches!(self.cur(), Tok::RBrace) {
+            if self.at_eof() {
+                return Err(self.err("unterminated class body"));
+            }
+            // Visibility/static modifiers are ignored.
+            while self.is_kw("public")
+                || self.is_kw("private")
+                || self.is_kw("protected")
+                || self.is_kw("static")
+            {
+                self.bump();
+            }
+            if self.is_kw("var") {
+                // Property declaration: `var $x = default;`
+                self.bump();
+                let _ = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                continue;
+            }
+            if self.is_kw("function") {
+                let decl = self.func_decl()?;
+                let StmtKind::FuncDecl(d) = decl.kind else {
+                    unreachable!("func_decl returns FuncDecl")
+                };
+                methods.push(d);
+                continue;
+            }
+            if matches!(self.cur(), Tok::Variable(_)) {
+                // Typed/untyped property without `var`.
+                let _ = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                continue;
+            }
+            return Err(self.err(format!("unexpected token {} in class body", self.cur())));
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(Stmt::new(
+            StmtKind::ClassDecl(ClassDecl {
+                name,
+                parent,
+                methods,
+                span,
+            }),
+            span,
+        ))
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParsePhpError> {
+        self.expect(&Tok::LBrace)?;
+        let mut out = Vec::new();
+        while !matches!(self.cur(), Tok::RBrace) {
+            if self.at_eof() {
+                return Err(self.err("unterminated block"));
+            }
+            out.push(self.statement()?);
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(out)
+    }
+
+    fn block_or_single(&mut self) -> Result<Vec<Stmt>, ParsePhpError> {
+        if matches!(self.cur(), Tok::LBrace) {
+            self.block()
+        } else {
+            Ok(vec![self.statement()?])
+        }
+    }
+
+    /// Parses statements until one of the given keywords is the current
+    /// token (PHP alternative syntax bodies: `if: … endif;`).
+    fn stmts_until_kw(&mut self, kws: &[&str]) -> Result<Vec<Stmt>, ParsePhpError> {
+        let mut out = Vec::new();
+        loop {
+            if self.at_eof() {
+                return Err(self.err(format!("expected one of {kws:?} before end of file")));
+            }
+            if kws.iter().any(|k| self.is_kw(k)) {
+                return Ok(out);
+            }
+            out.push(self.statement()?);
+        }
+    }
+
+    /// After an alternative-syntax body, consumes the closing keyword
+    /// and its statement terminator.
+    fn expect_end_kw(&mut self, kw: &str) -> Result<(), ParsePhpError> {
+        if !self.eat_kw(kw) {
+            return Err(self.err(format!("expected '{kw}'")));
+        }
+        if matches!(self.cur(), Tok::Semi) {
+            self.bump();
+        }
+        Ok(())
+    }
+
+    fn expr_list_until(&mut self, end: &Tok) -> Result<Vec<Expr>, ParsePhpError> {
+        let mut out = Vec::new();
+        if self.cur() == end {
+            return Ok(out);
+        }
+        out.push(self.expr()?);
+        while matches!(self.cur(), Tok::Comma) {
+            self.bump();
+            out.push(self.expr()?);
+        }
+        Ok(out)
+    }
+
+    // ---------------- expressions ----------------
+    // Precedence (low to high):
+    //   or  |  and  |  assignment  |  ?:  |  ||  |  &&  |  equality  |
+    //   relational  |  additive (+ - .)  |  multiplicative  |  unary  |
+    //   postfix  |  atom
+
+    fn expr(&mut self) -> Result<Expr, ParsePhpError> {
+        self.or_keyword()
+    }
+
+    fn or_keyword(&mut self) -> Result<Expr, ParsePhpError> {
+        let mut lhs = self.and_keyword()?;
+        while self.is_kw("or") {
+            let span = self.cur_span();
+            self.bump();
+            let rhs = self.and_keyword()?;
+            lhs = Expr::new(ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)), span);
+        }
+        Ok(lhs)
+    }
+
+    fn and_keyword(&mut self) -> Result<Expr, ParsePhpError> {
+        let mut lhs = self.assignment()?;
+        while self.is_kw("and") {
+            let span = self.cur_span();
+            self.bump();
+            let rhs = self.assignment()?;
+            lhs = Expr::new(
+                ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)),
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn assignment(&mut self) -> Result<Expr, ParsePhpError> {
+        let lhs = self.ternary()?;
+        let op = match self.cur() {
+            Tok::Eq => None,
+            Tok::DotEq => Some(BinOp::Concat),
+            Tok::PlusEq => Some(BinOp::Add),
+            Tok::MinusEq => Some(BinOp::Sub),
+            Tok::StarEq => Some(BinOp::Mul),
+            Tok::SlashEq => Some(BinOp::Div),
+            _ => return Ok(lhs),
+        };
+        let span = self.cur_span();
+        self.bump();
+        // Right-associative.
+        let rhs = self.assignment()?;
+        Ok(Expr::new(
+            ExprKind::Assign(Box::new(lhs), op, Box::new(rhs)),
+            span,
+        ))
+    }
+
+    fn ternary(&mut self) -> Result<Expr, ParsePhpError> {
+        let cond = self.logical_or()?;
+        if matches!(self.cur(), Tok::Question) {
+            let span = self.cur_span();
+            self.bump();
+            let then = if matches!(self.cur(), Tok::Colon) {
+                None
+            } else {
+                Some(Box::new(self.expr()?))
+            };
+            self.expect(&Tok::Colon)?;
+            // The else operand admits assignment, matching PHP's
+            // handling of the common `cond ? $a = x : $a = y;` idiom
+            // (the paper's Figure 2, lines 01-02).
+            let els = self.assignment()?;
+            return Ok(Expr::new(
+                ExprKind::Ternary(Box::new(cond), then, Box::new(els)),
+                span,
+            ));
+        }
+        Ok(cond)
+    }
+
+    fn logical_or(&mut self) -> Result<Expr, ParsePhpError> {
+        let mut lhs = self.logical_and()?;
+        while matches!(self.cur(), Tok::OrOr) {
+            let span = self.cur_span();
+            self.bump();
+            let rhs = self.logical_and()?;
+            lhs = Expr::new(ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)), span);
+        }
+        Ok(lhs)
+    }
+
+    fn logical_and(&mut self) -> Result<Expr, ParsePhpError> {
+        let mut lhs = self.equality()?;
+        while matches!(self.cur(), Tok::AndAnd) {
+            let span = self.cur_span();
+            self.bump();
+            let rhs = self.equality()?;
+            lhs = Expr::new(
+                ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)),
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParsePhpError> {
+        let mut lhs = self.relational()?;
+        loop {
+            let op = match self.cur() {
+                Tok::EqEq => BinOp::Eq,
+                Tok::EqEqEq => BinOp::Identical,
+                Tok::NotEq => BinOp::Neq,
+                Tok::NotEqEq => BinOp::NotIdentical,
+                _ => break,
+            };
+            let span = self.cur_span();
+            self.bump();
+            let rhs = self.relational()?;
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+        Ok(lhs)
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParsePhpError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.cur() {
+                Tok::Lt => BinOp::Lt,
+                Tok::Gt => BinOp::Gt,
+                Tok::Le => BinOp::Le,
+                Tok::Ge => BinOp::Ge,
+                _ => break,
+            };
+            let span = self.cur_span();
+            self.bump();
+            let rhs = self.additive()?;
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParsePhpError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.cur() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                Tok::Dot => BinOp::Concat,
+                _ => break,
+            };
+            let span = self.cur_span();
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParsePhpError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.cur() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => break,
+            };
+            let span = self.cur_span();
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParsePhpError> {
+        let span = self.cur_span();
+        match self.cur().clone() {
+            Tok::Bang => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr::new(ExprKind::Unary(UnaryOp::Not, Box::new(e)), span))
+            }
+            Tok::Minus => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr::new(ExprKind::Unary(UnaryOp::Neg, Box::new(e)), span))
+            }
+            Tok::At => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr::new(ExprKind::Suppress(Box::new(e)), span))
+            }
+            Tok::Inc | Tok::Dec => {
+                let inc = matches!(self.cur(), Tok::Inc);
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr::new(
+                    ExprKind::IncDec {
+                        target: Box::new(e),
+                        pre: true,
+                        inc,
+                    },
+                    span,
+                ))
+            }
+            Tok::LParen => {
+                // Cast or parenthesized expression.
+                if let Tok::Ident(name) = self.tokens[self.pos + 1].tok.clone() {
+                    let cast = match name.to_ascii_lowercase().as_str() {
+                        "int" | "integer" => Some(CastKind::Int),
+                        "float" | "double" => Some(CastKind::Float),
+                        "string" => Some(CastKind::Str),
+                        "bool" | "boolean" => Some(CastKind::Bool),
+                        "array" => Some(CastKind::Array),
+                        _ => None,
+                    };
+                    if let Some(kind) = cast {
+                        if self.tokens[self.pos + 2].tok == Tok::RParen {
+                            self.bump(); // (
+                            self.bump(); // ident
+                            self.bump(); // )
+                            let e = self.unary()?;
+                            return Ok(Expr::new(ExprKind::Cast(kind, Box::new(e)), span));
+                        }
+                    }
+                }
+                self.postfix()
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParsePhpError> {
+        let mut e = self.atom()?;
+        loop {
+            let span = self.cur_span();
+            match self.cur().clone() {
+                Tok::LBracket => {
+                    self.bump();
+                    if matches!(self.cur(), Tok::RBracket) {
+                        self.bump();
+                        e = Expr::new(ExprKind::Index(Box::new(e), None), span);
+                    } else {
+                        let idx = self.expr()?;
+                        self.expect(&Tok::RBracket)?;
+                        e = Expr::new(ExprKind::Index(Box::new(e), Some(Box::new(idx))), span);
+                    }
+                }
+                Tok::Arrow => {
+                    self.bump();
+                    let name = match self.bump() {
+                        Tok::Ident(s) => s,
+                        other => {
+                            return Err(self.err(format!("expected member name, found {other}")))
+                        }
+                    };
+                    if matches!(self.cur(), Tok::LParen) {
+                        self.bump();
+                        let args = self.expr_list_until(&Tok::RParen)?;
+                        self.expect(&Tok::RParen)?;
+                        e = Expr::new(
+                            ExprKind::MethodCall(Box::new(e), name.to_ascii_lowercase(), args),
+                            span,
+                        );
+                    } else {
+                        e = Expr::new(ExprKind::Prop(Box::new(e), name), span);
+                    }
+                }
+                Tok::Inc | Tok::Dec => {
+                    let inc = matches!(self.cur(), Tok::Inc);
+                    self.bump();
+                    e = Expr::new(
+                        ExprKind::IncDec {
+                            target: Box::new(e),
+                            pre: false,
+                            inc,
+                        },
+                        span,
+                    );
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParsePhpError> {
+        let span = self.cur_span();
+        match self.bump() {
+            Tok::Variable(v) => Ok(Expr::new(ExprKind::Var(v), span)),
+            Tok::Int(i) => Ok(Expr::new(ExprKind::Int(i), span)),
+            Tok::Float(x) => Ok(Expr::new(ExprKind::Float(x), span)),
+            Tok::Str(s) => Ok(Expr::new(ExprKind::Str(s), span)),
+            Tok::InterpStr(parts) => Ok(Expr::new(ExprKind::Interp(parts), span)),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                let lower = name.to_ascii_lowercase();
+                match lower.as_str() {
+                    "true" => return Ok(Expr::new(ExprKind::Bool(true), span)),
+                    "false" => return Ok(Expr::new(ExprKind::Bool(false), span)),
+                    "null" => return Ok(Expr::new(ExprKind::Null, span)),
+                    "isset" => {
+                        self.expect(&Tok::LParen)?;
+                        let args = self.expr_list_until(&Tok::RParen)?;
+                        self.expect(&Tok::RParen)?;
+                        return Ok(Expr::new(ExprKind::Isset(args), span));
+                    }
+                    "empty" => {
+                        self.expect(&Tok::LParen)?;
+                        let e = self.expr()?;
+                        self.expect(&Tok::RParen)?;
+                        return Ok(Expr::new(ExprKind::Empty(Box::new(e)), span));
+                    }
+                    "list" => {
+                        self.expect(&Tok::LParen)?;
+                        let args = self.expr_list_until(&Tok::RParen)?;
+                        self.expect(&Tok::RParen)?;
+                        return Ok(Expr::new(ExprKind::Call("list".into(), args), span));
+                    }
+                    "array" => {
+                        if matches!(self.cur(), Tok::LParen) {
+                            self.bump();
+                            let items = self.array_items(&Tok::RParen)?;
+                            self.expect(&Tok::RParen)?;
+                            return Ok(Expr::new(ExprKind::Array(items), span));
+                        }
+                        return Ok(Expr::new(ExprKind::ConstFetch(name), span));
+                    }
+                    "new" => {
+                        let cls = match self.bump() {
+                            Tok::Ident(s) => s.to_ascii_lowercase(),
+                            other => {
+                                return Err(
+                                    self.err(format!("expected class name, found {other}"))
+                                )
+                            }
+                        };
+                        let args = if matches!(self.cur(), Tok::LParen) {
+                            self.bump();
+                            let a = self.expr_list_until(&Tok::RParen)?;
+                            self.expect(&Tok::RParen)?;
+                            a
+                        } else {
+                            Vec::new()
+                        };
+                        return Ok(Expr::new(ExprKind::New(cls, args), span));
+                    }
+                    "exit" | "die" => {
+                        // exit/die in expression position.
+                        let arg = if matches!(self.cur(), Tok::LParen) {
+                            self.bump();
+                            let a = if matches!(self.cur(), Tok::RParen) {
+                                None
+                            } else {
+                                Some(self.expr()?)
+                            };
+                            self.expect(&Tok::RParen)?;
+                            a
+                        } else {
+                            None
+                        };
+                        let args = arg.map(|a| vec![a]).unwrap_or_default();
+                        return Ok(Expr::new(ExprKind::Call("exit".into(), args), span));
+                    }
+                    _ => {}
+                }
+                if matches!(self.cur(), Tok::LParen) {
+                    self.bump();
+                    let args = self.expr_list_until(&Tok::RParen)?;
+                    self.expect(&Tok::RParen)?;
+                    Ok(Expr::new(ExprKind::Call(lower, args), span))
+                } else {
+                    Ok(Expr::new(ExprKind::ConstFetch(name), span))
+                }
+            }
+            Tok::LBracket => {
+                let items = self.array_items(&Tok::RBracket)?;
+                self.expect(&Tok::RBracket)?;
+                Ok(Expr::new(ExprKind::Array(items), span))
+            }
+            other => Err(ParsePhpError {
+                message: format!("unexpected token {other} in expression"),
+                span,
+            }),
+        }
+    }
+
+    fn array_items(
+        &mut self,
+        end: &Tok,
+    ) -> Result<Vec<(Option<Expr>, Expr)>, ParsePhpError> {
+        let mut items = Vec::new();
+        while self.cur() != end {
+            let first = self.expr()?;
+            if matches!(self.cur(), Tok::FatArrow) {
+                self.bump();
+                let value = self.expr()?;
+                items.push((Some(first), value));
+            } else {
+                items.push((None, first));
+            }
+            if matches!(self.cur(), Tok::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> File {
+        parse(src.as_bytes()).unwrap_or_else(|e| panic!("{src}: {e}"))
+    }
+
+    #[test]
+    fn parses_figure2() {
+        // The paper's Figure 2, verbatim modulo whitespace.
+        let f = parse_ok(
+            r#"<?php
+isset($_GET['userid']) ?
+    $userid = $_GET['userid'] : $userid = '';
+if ($USER['groupid'] != 1)
+{
+    unp_msg($gp_permserror);
+    exit;
+}
+if ($userid == '')
+{
+    unp_msg($gp_invalidrequest);
+    exit;
+}
+if (!eregi('[0-9]+', $userid))
+{
+    unp_msg('You entered an invalid user ID.');
+    exit;
+}
+$getuser = $DB->query("SELECT * FROM `unp_user` WHERE userid='$userid'");
+if (!$DB->is_single_row($getuser))
+{
+    unp_msg('You entered an invalid user ID.');
+    exit;
+}
+"#,
+        );
+        assert!(f.stmts.len() >= 5);
+        // The hotspot is a method-call assignment.
+        let q = f.stmts.iter().find_map(|s| match &s.kind {
+            StmtKind::Expr(e) => match &e.kind {
+                ExprKind::Assign(lhs, None, rhs) => match (&lhs.kind, &rhs.kind) {
+                    (ExprKind::Var(v), ExprKind::MethodCall(_, m, _))
+                        if v == "getuser" && m == "query" =>
+                    {
+                        Some(rhs.clone())
+                    }
+                    _ => None,
+                },
+                _ => None,
+            },
+            _ => None,
+        });
+        assert!(q.is_some(), "hotspot assignment found");
+    }
+
+    #[test]
+    fn precedence_concat_vs_compare() {
+        let f = parse_ok("<?php $x = 'a' . $b == 'c';");
+        let StmtKind::Expr(e) = &f.stmts[0].kind else { panic!() };
+        let ExprKind::Assign(_, None, rhs) = &e.kind else { panic!() };
+        // `.` binds tighter than `==`.
+        assert!(matches!(&rhs.kind, ExprKind::Binary(BinOp::Eq, _, _)));
+    }
+
+    #[test]
+    fn function_declaration() {
+        let f = parse_ok(
+            "<?php function unp_clean($in, $mode = 1) { return addslashes($in); }",
+        );
+        let StmtKind::FuncDecl(d) = &f.stmts[0].kind else { panic!() };
+        assert_eq!(d.name, "unp_clean");
+        assert_eq!(d.params.len(), 2);
+        assert!(d.params[1].default.is_some());
+    }
+
+    #[test]
+    fn control_flow_forms() {
+        parse_ok("<?php if ($a) $b = 1; elseif ($c) $d = 2; else { $e = 3; }");
+        parse_ok("<?php while ($i < 10) { $i++; }");
+        parse_ok("<?php for ($i = 0; $i < 10; $i++) echo $i;");
+        parse_ok("<?php foreach ($rows as $k => $v) { echo $v; }");
+        parse_ok("<?php do { $i--; } while ($i);");
+        parse_ok(
+            "<?php switch ($x) { case 'a': $y = 1; break; default: $y = 2; }",
+        );
+    }
+
+    #[test]
+    fn includes() {
+        let f = parse_ok("<?php include('header.php'); require_once \"lib/\" . $mod . \".php\";");
+        assert!(matches!(
+            &f.stmts[0].kind,
+            StmtKind::Include {
+                kind: IncludeKind::Include,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &f.stmts[1].kind,
+            StmtKind::Include {
+                kind: IncludeKind::RequireOnce,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn ternary_shorthand_and_nested_index() {
+        parse_ok("<?php $x = $_GET['a'] ? $_GET['a'] : 'd';");
+        parse_ok("<?php $x = $arr['a']['b'];");
+        parse_ok("<?php $x = isset($_POST['a']) ? $_POST['a'] : '';");
+    }
+
+    #[test]
+    fn method_and_prop() {
+        let f = parse_ok("<?php $r = $DB->query($q); $n = $row->name;");
+        let StmtKind::Expr(e) = &f.stmts[0].kind else { panic!() };
+        let ExprKind::Assign(_, None, rhs) = &e.kind else { panic!() };
+        assert!(matches!(&rhs.kind, ExprKind::MethodCall(_, m, _) if m == "query"));
+        let StmtKind::Expr(e) = &f.stmts[1].kind else { panic!() };
+        let ExprKind::Assign(_, None, rhs) = &e.kind else { panic!() };
+        assert!(matches!(&rhs.kind, ExprKind::Prop(_, p) if p == "name"));
+    }
+
+    #[test]
+    fn casts() {
+        let f = parse_ok("<?php $n = (int)$_GET['id']; $s = (string) $x;");
+        let StmtKind::Expr(e) = &f.stmts[0].kind else { panic!() };
+        let ExprKind::Assign(_, None, rhs) = &e.kind else { panic!() };
+        assert!(matches!(&rhs.kind, ExprKind::Cast(CastKind::Int, _)));
+    }
+
+    #[test]
+    fn arrays() {
+        parse_ok("<?php $a = array('x' => 1, 'y' => 2); $b = ['p', 'q'];");
+    }
+
+    #[test]
+    fn error_has_span() {
+        let e = parse(b"<?php\n\n$x = ;").unwrap_err();
+        assert_eq!(e.span.line, 3);
+    }
+
+    #[test]
+    fn keyword_logical_ops() {
+        parse_ok("<?php $ok = $a and $b; $y = $c or die('x');");
+    }
+}
+
+#[cfg(test)]
+mod alt_syntax_tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> File {
+        parse(src.as_bytes()).unwrap_or_else(|e| panic!("{src}: {e}"))
+    }
+
+    #[test]
+    fn alternative_if_syntax() {
+        let f = parse_ok(
+            "<?php if ($a): $x = 1; elseif ($b): $x = 2; else: $x = 3; endif;",
+        );
+        let StmtKind::If { elifs, els, .. } = &f.stmts[0].kind else {
+            panic!()
+        };
+        assert_eq!(elifs.len(), 1);
+        assert!(els.is_some());
+    }
+
+    #[test]
+    fn alternative_if_with_inline_html() {
+        // The template idiom the alternative syntax exists for.
+        let f = parse_ok("<?php if ($ok): ?><b>yes</b><?php else: ?><i>no</i><?php endif;");
+        let StmtKind::If { then, els, .. } = &f.stmts[0].kind else {
+            panic!()
+        };
+        // `?>` closes PHP mode (lexed as a statement separator), so the
+        // HTML lands inside the then-branch.
+        assert!(then
+            .iter()
+            .any(|s| matches!(s.kind, StmtKind::InlineHtml(_))));
+        assert!(els.is_some());
+    }
+
+    #[test]
+    fn alternative_loops() {
+        parse_ok("<?php while ($i): $i = $i - 1; endwhile;");
+        parse_ok("<?php for ($i = 0; $i < 3; $i++): echo $i; endfor;");
+        parse_ok("<?php foreach ($rows as $r): echo $r; endforeach;");
+    }
+
+    #[test]
+    fn list_destructuring() {
+        let f = parse_ok("<?php list($a, $b) = explode(':', $v);");
+        let StmtKind::Expr(e) = &f.stmts[0].kind else { panic!() };
+        let ExprKind::Assign(lhs, None, _) = &e.kind else { panic!() };
+        assert!(matches!(&lhs.kind, ExprKind::Call(n, args) if n == "list" && args.len() == 2));
+    }
+}

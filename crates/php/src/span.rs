@@ -1,0 +1,40 @@
+//! Source positions for diagnostics.
+
+use std::fmt;
+
+/// A source location: 1-based line and column.
+///
+/// The paper lists "track line numbers from PHP source files through to
+/// the grammar's nonterminals" as planned work; we carry spans from the
+/// lexer through the grammar builder so every bug report can point at
+/// the originating statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_line_col() {
+        assert_eq!(Span::new(14, 5).to_string(), "14:5");
+    }
+}

@@ -1,0 +1,180 @@
+//! PHP tokens.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// A fragment of an interpolated (double-quoted) string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrPart {
+    /// Literal bytes.
+    Lit(Vec<u8>),
+    /// `$name` interpolation.
+    Var(String),
+    /// `$name[key]` or `{$name['key']}` interpolation.
+    Index(String, Vec<u8>),
+    /// `{$obj->prop}` or `$obj->prop` interpolation.
+    Prop(String, String),
+}
+
+/// A PHP token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Raw HTML outside `<?php ... ?>`.
+    InlineHtml(Vec<u8>),
+    /// `$name`.
+    Variable(String),
+    /// Identifier (function name, constant, keyword — keywords are
+    /// recognized by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string (escapes resolved).
+    Str(Vec<u8>),
+    /// Double-quoted string with interpolation parts.
+    InterpStr(Vec<StrPart>),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `.=`
+    DotEq,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `===`
+    EqEqEq,
+    /// `!=` or `<>`
+    NotEq,
+    /// `!==`
+    NotEqEq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `+=`
+    PlusEq,
+    /// `-`
+    Minus,
+    /// `-=`
+    MinusEq,
+    /// `*`
+    Star,
+    /// `*=`
+    StarEq,
+    /// `/`
+    Slash,
+    /// `/=`
+    SlashEq,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `&`
+    Amp,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// `->`
+    Arrow,
+    /// `=>`
+    FatArrow,
+    /// `++`
+    Inc,
+    /// `--`
+    Dec,
+    /// `@`
+    At,
+    /// End of file.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::InlineHtml(_) => write!(f, "<html>"),
+            Tok::Variable(v) => write!(f, "${v}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Float(x) => write!(f, "{x}"),
+            Tok::Str(_) | Tok::InterpStr(_) => write!(f, "<string>"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Semi => write!(f, ";"),
+            Tok::Comma => write!(f, ","),
+            Tok::Dot => write!(f, "."),
+            Tok::DotEq => write!(f, ".="),
+            Tok::Eq => write!(f, "="),
+            Tok::EqEq => write!(f, "=="),
+            Tok::EqEqEq => write!(f, "==="),
+            Tok::NotEq => write!(f, "!="),
+            Tok::NotEqEq => write!(f, "!=="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Gt => write!(f, ">"),
+            Tok::Le => write!(f, "<="),
+            Tok::Ge => write!(f, ">="),
+            Tok::Plus => write!(f, "+"),
+            Tok::PlusEq => write!(f, "+="),
+            Tok::Minus => write!(f, "-"),
+            Tok::MinusEq => write!(f, "-="),
+            Tok::Star => write!(f, "*"),
+            Tok::StarEq => write!(f, "*="),
+            Tok::Slash => write!(f, "/"),
+            Tok::SlashEq => write!(f, "/="),
+            Tok::Percent => write!(f, "%"),
+            Tok::Bang => write!(f, "!"),
+            Tok::AndAnd => write!(f, "&&"),
+            Tok::OrOr => write!(f, "||"),
+            Tok::Amp => write!(f, "&"),
+            Tok::Question => write!(f, "?"),
+            Tok::Colon => write!(f, ":"),
+            Tok::Arrow => write!(f, "->"),
+            Tok::FatArrow => write!(f, "=>"),
+            Tok::Inc => write!(f, "++"),
+            Tok::Dec => write!(f, "--"),
+            Tok::At => write!(f, "@"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub span: Span,
+}

@@ -1,0 +1,95 @@
+//! Parser robustness: the frontend must either parse or return a
+//! structured error — never panic — and spans must stay meaningful.
+
+use proptest::prelude::*;
+
+use strtaint_php::{parse, StmtKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Total on arbitrary printable input (fuzz-light).
+    #[test]
+    fn parser_never_panics(src in "[ -~\\n]{0,120}") {
+        let _ = parse(src.as_bytes());
+        let mut with_tag = String::from("<?php ");
+        with_tag.push_str(&src);
+        let _ = parse(with_tag.as_bytes());
+    }
+
+    /// Well-formed assignments always parse, whatever the payload.
+    #[test]
+    fn assignments_parse(name in "[a-z_][a-z0-9_]{0,8}", value in "[a-zA-Z0-9 _.,:!-]{0,20}") {
+        let src = format!("<?php ${name} = '{value}';");
+        let f = parse(src.as_bytes()).unwrap();
+        prop_assert_eq!(f.stmts.len(), 1);
+    }
+
+    /// Interpolation round-trip: a double-quoted string with one
+    /// variable yields exactly lit-var-lit parts.
+    #[test]
+    fn interpolation_shape(pre in "[a-z =]{0,10}", var in "[a-z][a-z0-9_]{0,6}", post in "[a-z =]{0,10}") {
+        let src = format!("<?php $q = \"{pre}${var}{post}\";");
+        let f = parse(src.as_bytes()).unwrap();
+        let StmtKind::Expr(e) = &f.stmts[0].kind else { panic!() };
+        let strtaint_php::ExprKind::Assign(_, None, rhs) = &e.kind else { panic!() };
+        match &rhs.kind {
+            strtaint_php::ExprKind::Interp(parts) => {
+                let vars = parts
+                    .iter()
+                    .filter(|p| matches!(p, strtaint_php::StrPart::Var(_)))
+                    .count();
+                prop_assert_eq!(vars, 1);
+            }
+            other => prop_assert!(false, "expected interp, got {:?}", other),
+        }
+    }
+
+    /// Nested control flow parses at depth.
+    #[test]
+    fn nesting_depth(depth in 1usize..12) {
+        let mut src = String::from("<?php ");
+        for _ in 0..depth {
+            src.push_str("if ($x) { ");
+        }
+        src.push_str("$y = 1; ");
+        for _ in 0..depth {
+            src.push_str("} ");
+        }
+        prop_assert!(parse(src.as_bytes()).is_ok(), "{}", src);
+    }
+
+    /// Error spans point inside the file.
+    #[test]
+    fn error_spans_in_bounds(junk in "[;)(]{1,6}") {
+        let src = format!("<?php\n$x = {junk};\n");
+        if let Err(e) = parse(src.as_bytes()) {
+            let lines = src.lines().count() as u32;
+            prop_assert!(e.span.line >= 1 && e.span.line <= lines + 1, "{e}");
+        }
+    }
+}
+
+#[test]
+fn deep_expression_nesting() {
+    let mut src = String::from("<?php $x = ");
+    for _ in 0..64 {
+        src.push('(');
+    }
+    src.push('1');
+    for _ in 0..64 {
+        src.push(')');
+    }
+    src.push(';');
+    assert!(parse(src.as_bytes()).is_ok());
+}
+
+#[test]
+fn long_concat_chain() {
+    let mut src = String::from("<?php $q = 'a'");
+    for i in 0..500 {
+        src.push_str(&format!(" . 'p{i}'"));
+    }
+    src.push(';');
+    assert!(parse(src.as_bytes()).is_ok());
+}

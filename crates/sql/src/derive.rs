@@ -1,0 +1,162 @@
+//! Derivability checking (paper §3.2.2, Definition 3.2).
+//!
+//! For a tainted nonterminal `X` that the literal-position checks could
+//! not classify, the checker asks: in every query context, can the
+//! strings of `L(X)` be derived from a single symbol of the reference
+//! SQL grammar? We decompose this per Definition 2.2:
+//!
+//! 1. **Context**: for each enumerated context form (the query with `X`
+//!    held by a marker), find the token kinds `k` such that the form
+//!    with the marker replaced by `k` is a sentential form of the SQL
+//!    grammar ([`context_candidates`]).
+//! 2. **Containment**: verify `L(X) ⊆` the lexeme language of some such
+//!    `k` ([`lexeme_dfa`] gives the regular lexeme languages; the
+//!    caller checks containment with grammar-automaton intersection).
+//!
+//! Failure at any step makes the checker report — conservative and
+//! sound (Theorem 3.4).
+
+use strtaint_automata::{Dfa, Regex};
+
+use crate::grammar::{SqlGrammar, SqlNt, TSym};
+use crate::lexer::LexedForm;
+use crate::token::TokenKind;
+
+/// Token kinds a tainted substring may stand for in a query.
+pub const CANDIDATE_KINDS: &[TokenKind] = &[
+    TokenKind::NumberLit,
+    TokenKind::StringLit,
+    TokenKind::Ident,
+];
+
+/// Returns the candidate kinds `k` for which the lexed context form,
+/// with every bare `Var` token replaced by `k`, is a sentential form of
+/// the grammar (all occurrences of the variable are substituted
+/// consistently).
+///
+/// Returns an empty vector when the form has no bare variable (nothing
+/// to check) or no candidate parses.
+pub fn context_candidates(g: &SqlGrammar, form: &LexedForm) -> Vec<TokenKind> {
+    let has_var = form
+        .tokens
+        .iter()
+        .any(|t| t.kind == TokenKind::Var);
+    if !has_var {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for &k in CANDIDATE_KINDS {
+        let syms: Vec<TSym> = form
+            .tokens
+            .iter()
+            .map(|t| {
+                if t.kind == TokenKind::Var {
+                    TSym::T(k)
+                } else {
+                    TSym::T(t.kind)
+                }
+            })
+            .collect();
+        if crate::earley::derives_sentential(g, SqlNt::Query, &syms) {
+            out.push(k);
+        }
+    }
+    out
+}
+
+/// Returns a DFA for the lexeme language of a candidate token kind:
+/// the exact set of byte strings that lex as one token of that kind.
+///
+/// # Panics
+///
+/// Panics if called with a kind outside [`CANDIDATE_KINDS`].
+pub fn lexeme_dfa(kind: TokenKind) -> Dfa {
+    let pattern = match kind {
+        // MySQL-ish numeric literal.
+        TokenKind::NumberLit => r"^[0-9]+(\.[0-9]+)?$",
+        // A complete single-quoted string literal with escaped quotes.
+        TokenKind::StringLit => r"^'([^'\\]|\\.|'')*'$",
+        // A bare identifier (keywords excluded conservatively by the
+        // caller if needed) or a backquoted one.
+        TokenKind::Ident => r"^([A-Za-z_][A-Za-z0-9_]*|`[^`]+`)$",
+        other => panic!("no lexeme language for {other:?}"),
+    };
+    Regex::new(pattern)
+        .expect("lexeme patterns are valid")
+        .match_dfa()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex_form, VAR_MARKER};
+
+    fn form(prefix: &[u8], suffix: &[u8]) -> LexedForm {
+        let mut q = prefix.to_vec();
+        q.push(VAR_MARKER);
+        q.extend_from_slice(suffix);
+        lex_form(&q).unwrap()
+    }
+
+    #[test]
+    fn numeric_position_candidates() {
+        let g = SqlGrammar::standard();
+        // SELECT * FROM t WHERE id=⟨X⟩ — number, string, or column name
+        // are all grammatical here.
+        let c = context_candidates(&g, &form(b"SELECT * FROM t WHERE id=", b""));
+        assert!(c.contains(&TokenKind::NumberLit));
+        assert!(c.contains(&TokenKind::StringLit));
+        assert!(c.contains(&TokenKind::Ident));
+    }
+
+    #[test]
+    fn limit_position_is_numeric_only() {
+        let g = SqlGrammar::standard();
+        let c = context_candidates(&g, &form(b"SELECT * FROM t LIMIT ", b""));
+        assert_eq!(c, vec![TokenKind::NumberLit]);
+    }
+
+    #[test]
+    fn table_position_is_ident_only() {
+        let g = SqlGrammar::standard();
+        let c = context_candidates(&g, &form(b"SELECT * FROM ", b" WHERE id=1"));
+        assert_eq!(c, vec![TokenKind::Ident]);
+    }
+
+    #[test]
+    fn broken_context_has_no_candidates() {
+        let g = SqlGrammar::standard();
+        // ⟨X⟩ directly after WHERE '=' chain is fine, but after a
+        // complete statement it is not.
+        let c = context_candidates(&g, &form(b"SELECT * FROM t WHERE id=1 ", b""));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn lexeme_languages() {
+        let num = lexeme_dfa(TokenKind::NumberLit);
+        assert!(num.accepts(b"42") && num.accepts(b"3.14"));
+        assert!(!num.accepts(b"4x") && !num.accepts(b""));
+        let ident = lexeme_dfa(TokenKind::Ident);
+        assert!(ident.accepts(b"users") && ident.accepts(b"`weird name`"));
+        assert!(!ident.accepts(b"1abc"));
+        assert!(!ident.accepts(b"a b"));
+        let s = lexeme_dfa(TokenKind::StringLit);
+        assert!(s.accepts(b"'abc'") && s.accepts(br"'it\'s'"));
+        assert!(!s.accepts(b"'unterminated"));
+        assert!(!s.accepts(b"'a' OR '1'='1'"));
+    }
+
+    #[test]
+    fn consistent_substitution_for_repeated_var() {
+        let g = SqlGrammar::standard();
+        // X appears twice: WHERE a=⟨X⟩ OR b=⟨X⟩
+        let mut q = b"SELECT * FROM t WHERE a=".to_vec();
+        q.push(VAR_MARKER);
+        q.extend_from_slice(b" OR b=");
+        q.push(VAR_MARKER);
+        let f = lex_form(&q).unwrap();
+        let c = context_candidates(&g, &f);
+        assert!(c.contains(&TokenKind::NumberLit));
+    }
+}

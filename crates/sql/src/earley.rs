@@ -1,0 +1,314 @@
+//! Earley recognition of *sentential forms* against the reference SQL
+//! grammar (the extension of Earley's algorithm described in paper
+//! §3.2.2, after Thiemann).
+//!
+//! The input is a sequence of grammar symbols — token kinds and/or SQL
+//! nonterminals — and the question is whether `root ⇒* input` holds,
+//! i.e. whether the form is derivable *as a sentential form* (input
+//! nonterminals are matched, not expanded). An input nonterminal `N`
+//! matches an expected nonterminal `M` when `M ⇒* N` (everything else
+//! in `M`'s expansion erased), which the grammar's unit closure
+//! precomputes.
+
+use std::collections::HashSet;
+
+use crate::grammar::{SqlGrammar, SqlNt, TSym};
+use crate::token::TokenKind;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Item {
+    prod: u32,
+    dot: u32,
+    origin: u32,
+}
+
+/// Returns `true` if `root ⇒* input` in the sentential-form sense.
+pub fn derives_sentential(g: &SqlGrammar, root: SqlNt, input: &[TSym]) -> bool {
+    let reach = g.unit_closure();
+    // Nullable nonterminals for the Aycock–Horspool advance.
+    let nullable = {
+        let n = SqlNt::ALL.len();
+        let mut nl = vec![false; n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (lhs, rhs) in g.productions() {
+                if nl[lhs.index()] {
+                    continue;
+                }
+                let ok = rhs.iter().all(|s| match s {
+                    TSym::T(_) => false,
+                    TSym::N(x) => nl[x.index()],
+                });
+                if ok {
+                    nl[lhs.index()] = true;
+                    changed = true;
+                }
+            }
+        }
+        nl
+    };
+
+    let n = input.len();
+    let mut sets: Vec<Vec<Item>> = vec![Vec::new(); n + 1];
+    let mut seen: Vec<HashSet<Item>> = vec![HashSet::new(); n + 1];
+    let push = |sets: &mut Vec<Vec<Item>>, seen: &mut Vec<HashSet<Item>>, pos: usize, it: Item| {
+        if seen[pos].insert(it) {
+            sets[pos].push(it);
+        }
+    };
+
+    for &pi in g.productions_of(root) {
+        push(
+            &mut sets,
+            &mut seen,
+            0,
+            Item {
+                prod: pi as u32,
+                dot: 0,
+                origin: 0,
+            },
+        );
+    }
+
+    for pos in 0..=n {
+        let mut idx = 0;
+        while idx < sets[pos].len() {
+            let it = sets[pos][idx];
+            idx += 1;
+            let (_, rhs) = g.production(it.prod as usize);
+            if (it.dot as usize) < rhs.len() {
+                let expected = rhs[it.dot as usize];
+                // Scan: terminal-vs-terminal or NT-vs-NT via unit closure.
+                if pos < n {
+                    let matches = match (expected, input[pos]) {
+                        (TSym::T(a), TSym::T(b)) => a == b,
+                        (TSym::N(m), TSym::N(x)) => reach[m.index()][x.index()],
+                        _ => false,
+                    };
+                    if matches {
+                        push(
+                            &mut sets,
+                            &mut seen,
+                            pos + 1,
+                            Item {
+                                dot: it.dot + 1,
+                                ..it
+                            },
+                        );
+                    }
+                }
+                if let TSym::N(x) = expected {
+                    // Predict.
+                    for &pi in g.productions_of(x) {
+                        push(
+                            &mut sets,
+                            &mut seen,
+                            pos,
+                            Item {
+                                prod: pi as u32,
+                                dot: 0,
+                                origin: pos as u32,
+                            },
+                        );
+                    }
+                    if nullable[x.index()] {
+                        push(
+                            &mut sets,
+                            &mut seen,
+                            pos,
+                            Item {
+                                dot: it.dot + 1,
+                                ..it
+                            },
+                        );
+                    }
+                }
+            } else {
+                // Complete.
+                let (lhs, _) = g.production(it.prod as usize);
+                let lhs = *lhs;
+                let origin = it.origin as usize;
+                let snapshot: Vec<Item> = sets[origin].clone();
+                for parent in snapshot {
+                    let (_, prhs) = g.production(parent.prod as usize);
+                    if (parent.dot as usize) < prhs.len() {
+                        if let TSym::N(e) = prhs[parent.dot as usize] {
+                            if e == lhs {
+                                push(
+                                    &mut sets,
+                                    &mut seen,
+                                    pos,
+                                    Item {
+                                        dot: parent.dot + 1,
+                                        ..parent
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    sets[n].iter().any(|it| {
+        let (lhs, rhs) = g.production(it.prod as usize);
+        *lhs == root && it.origin == 0 && (it.dot as usize) == rhs.len()
+    })
+}
+
+/// Convenience: recognizes a pure token sequence as a complete query.
+pub fn recognizes_tokens(g: &SqlGrammar, kinds: &[TokenKind]) -> bool {
+    let syms: Vec<TSym> = kinds.iter().map(|&k| TSym::T(k)).collect();
+    derives_sentential(g, SqlNt::Query, &syms)
+}
+
+/// Convenience: lexes and recognizes a byte string as a complete query.
+///
+/// Returns `false` for strings that do not lex.
+pub fn recognizes_query(g: &SqlGrammar, input: &[u8]) -> bool {
+    match crate::lexer::lex(input) {
+        Ok(tokens) => {
+            let kinds: Vec<TokenKind> = tokens.iter().map(|t| t.kind).collect();
+            recognizes_tokens(g, &kinds)
+        }
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> SqlGrammar {
+        SqlGrammar::standard()
+    }
+
+    #[test]
+    fn recognizes_valid_queries() {
+        let g = g();
+        for q in [
+            &b"SELECT * FROM `unp_user` WHERE userid='1'"[..],
+            b"SELECT name, email FROM users WHERE id = 7 ORDER BY name DESC LIMIT 10",
+            b"INSERT INTO `unp_news` (`date`, `subject`) VALUES ('now', 'hi')",
+            b"UPDATE users SET name = 'bob', age = 4 WHERE id = 3",
+            b"DELETE FROM sessions WHERE expires < 123456",
+            b"SELECT COUNT(*) FROM t",
+            b"SELECT a.x, b.y FROM a JOIN b ON a.id = b.id WHERE a.x LIKE '%q%'",
+            b"SELECT * FROM t WHERE id IN (1, 2, 3) AND NOT deleted = 1",
+            b"SELECT * FROM t WHERE x IS NOT NULL GROUP BY y",
+            b"SELECT * FROM t WHERE a BETWEEN 1 AND 2 OR -b > 3 + 4 * 5",
+        ] {
+            assert!(
+                recognizes_query(&g, q),
+                "should parse: {}",
+                String::from_utf8_lossy(q)
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_stacked_queries() {
+        let g = g();
+        // The paper's attack: a second statement after ';' is not a
+        // single query of the reference grammar.
+        assert!(!recognizes_query(
+            &g,
+            b"SELECT * FROM `unp_user` WHERE userid='1'; DROP TABLE unp_user; --'"
+        ));
+        assert!(!recognizes_query(&g, b"SELECT"));
+        assert!(!recognizes_query(&g, b"WHERE x = 1"));
+    }
+
+    #[test]
+    fn rejects_tautology_shapes_that_are_invalid() {
+        let g = g();
+        // "OR 1=1" dangling.
+        assert!(!recognizes_query(&g, b"SELECT * FROM t WHERE OR 1=1"));
+        // But a complete tautology IS grammatical (the policy catches it
+        // by confinement, not by grammaticality).
+        assert!(recognizes_query(&g, b"SELECT * FROM t WHERE a='' OR 1=1"));
+    }
+
+    #[test]
+    fn sentential_forms_with_nonterminals() {
+        use crate::token::TokenKind as K;
+        use TSym::{N, T};
+        let g = g();
+        // SELECT * FROM t WHERE <Expr>
+        let form = [
+            T(K::Select),
+            T(K::Star),
+            T(K::From),
+            T(K::Ident),
+            T(K::Where),
+            N(SqlNt::Expr),
+        ];
+        assert!(derives_sentential(&g, SqlNt::Query, &form));
+        // SELECT * FROM t WHERE id = <Literal>
+        let form = [
+            T(K::Select),
+            T(K::Star),
+            T(K::From),
+            T(K::Ident),
+            T(K::Where),
+            T(K::Ident),
+            T(K::Eq),
+            N(SqlNt::Literal),
+        ];
+        assert!(derives_sentential(&g, SqlNt::Query, &form));
+        // A WhereClause cannot appear where an expression is expected.
+        let form = [
+            T(K::Select),
+            T(K::Star),
+            T(K::From),
+            T(K::Ident),
+            T(K::Where),
+            T(K::Ident),
+            T(K::Eq),
+            N(SqlNt::WhereClause),
+        ];
+        assert!(!derives_sentential(&g, SqlNt::Query, &form));
+    }
+
+    #[test]
+    fn unit_closure_matching_is_used() {
+        use crate::token::TokenKind as K;
+        use TSym::{N, T};
+        let g = g();
+        // WHERE expects Expr; an input `CmpExpr` is reachable via the
+        // precedence chain, so the form derives.
+        let form = [
+            T(K::Select),
+            T(K::Star),
+            T(K::From),
+            T(K::Ident),
+            T(K::Where),
+            N(SqlNt::CmpExpr),
+        ];
+        assert!(derives_sentential(&g, SqlNt::Query, &form));
+    }
+
+    #[test]
+    fn insert_values_tail() {
+        let g = g();
+        assert!(recognizes_query(
+            &g,
+            b"INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')"
+        ));
+    }
+
+    #[test]
+    fn union_select() {
+        let g = g();
+        assert!(recognizes_query(
+            &g,
+            b"SELECT a FROM t UNION SELECT b FROM u"
+        ));
+        assert!(recognizes_query(
+            &g,
+            b"SELECT a FROM t UNION ALL SELECT b FROM u WHERE x = 1"
+        ));
+    }
+}

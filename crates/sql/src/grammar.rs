@@ -1,0 +1,473 @@
+//! The reference SQL grammar (token level).
+//!
+//! This is the grammar `G` of the paper's Definition 2.2: a query is
+//! attack-free iff every tainted substring is derivable from a single
+//! nonterminal of this grammar in context. The subset covers the query
+//! shapes that PHP web applications generate — `SELECT`/`INSERT`/
+//! `UPDATE`/`DELETE` with boolean/arithmetic expressions — and
+//! deliberately admits only a *single* statement, so stacked-query
+//! injections (`…; DROP TABLE …`) are outside the language.
+
+use std::fmt;
+
+use crate::token::TokenKind;
+
+/// Nonterminals of the reference SQL grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum SqlNt {
+    Query,
+    Stmt,
+    SelectStmt,
+    SelectCore,
+    FromOpt,
+    WhereOpt,
+    GroupOpt,
+    OrderOpt,
+    LimitOpt,
+    SelectList,
+    SelectItem,
+    FromClause,
+    TableRef,
+    JoinTail,
+    WhereClause,
+    GroupClause,
+    OrderClause,
+    OrderList,
+    OrderItem,
+    LimitClause,
+    InsertStmt,
+    ColList,
+    IdentList,
+    ValuesTail,
+    UpdateStmt,
+    AssignList,
+    Assign,
+    DeleteStmt,
+    Expr,
+    OrExpr,
+    AndExpr,
+    NotExpr,
+    CmpExpr,
+    AddExpr,
+    MulExpr,
+    UnaryExpr,
+    Primary,
+    FuncCall,
+    ColRef,
+    Literal,
+    ExprList,
+}
+
+impl SqlNt {
+    /// All nonterminals, for iteration.
+    pub const ALL: &'static [SqlNt] = &[
+        SqlNt::Query,
+        SqlNt::Stmt,
+        SqlNt::SelectStmt,
+        SqlNt::SelectCore,
+        SqlNt::FromOpt,
+        SqlNt::WhereOpt,
+        SqlNt::GroupOpt,
+        SqlNt::OrderOpt,
+        SqlNt::LimitOpt,
+        SqlNt::SelectList,
+        SqlNt::SelectItem,
+        SqlNt::FromClause,
+        SqlNt::TableRef,
+        SqlNt::JoinTail,
+        SqlNt::WhereClause,
+        SqlNt::GroupClause,
+        SqlNt::OrderClause,
+        SqlNt::OrderList,
+        SqlNt::OrderItem,
+        SqlNt::LimitClause,
+        SqlNt::InsertStmt,
+        SqlNt::ColList,
+        SqlNt::IdentList,
+        SqlNt::ValuesTail,
+        SqlNt::UpdateStmt,
+        SqlNt::AssignList,
+        SqlNt::Assign,
+        SqlNt::DeleteStmt,
+        SqlNt::Expr,
+        SqlNt::OrExpr,
+        SqlNt::AndExpr,
+        SqlNt::NotExpr,
+        SqlNt::CmpExpr,
+        SqlNt::AddExpr,
+        SqlNt::MulExpr,
+        SqlNt::UnaryExpr,
+        SqlNt::Primary,
+        SqlNt::FuncCall,
+        SqlNt::ColRef,
+        SqlNt::Literal,
+        SqlNt::ExprList,
+    ];
+
+    /// Dense index for table lookups.
+    pub fn index(self) -> usize {
+        SqlNt::ALL
+            .iter()
+            .position(|&n| n == self)
+            .expect("ALL is exhaustive")
+    }
+}
+
+impl fmt::Display for SqlNt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A symbol of the token-level SQL grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TSym {
+    /// Terminal: a token kind.
+    T(TokenKind),
+    /// Nonterminal.
+    N(SqlNt),
+}
+
+/// The reference grammar: productions over [`TSym`].
+#[derive(Debug, Clone)]
+pub struct SqlGrammar {
+    prods: Vec<(SqlNt, Vec<TSym>)>,
+    by_lhs: Vec<Vec<usize>>,
+}
+
+impl SqlGrammar {
+    /// Builds the standard reference grammar.
+    pub fn standard() -> Self {
+        use SqlNt::*;
+        use TokenKind as K;
+        let t = TSym::T;
+        let n = TSym::N;
+        let rules: Vec<(SqlNt, Vec<TSym>)> = vec![
+            (Query, vec![n(Stmt)]),
+            (Stmt, vec![n(SelectStmt)]),
+            (Stmt, vec![n(InsertStmt)]),
+            (Stmt, vec![n(UpdateStmt)]),
+            (Stmt, vec![n(DeleteStmt)]),
+            // SELECT
+            (SelectStmt, vec![n(SelectCore)]),
+            (SelectStmt, vec![n(SelectCore), t(K::Union), n(SelectStmt)]),
+            (SelectStmt, vec![n(SelectCore), t(K::Union), t(K::All), n(SelectStmt)]),
+            (
+                SelectCore,
+                vec![
+                    t(K::Select),
+                    n(SelectList),
+                    n(FromOpt),
+                    n(WhereOpt),
+                    n(GroupOpt),
+                    n(OrderOpt),
+                    n(LimitOpt),
+                ],
+            ),
+            (
+                SelectCore,
+                vec![
+                    t(K::Select),
+                    t(K::Distinct),
+                    n(SelectList),
+                    n(FromOpt),
+                    n(WhereOpt),
+                    n(GroupOpt),
+                    n(OrderOpt),
+                    n(LimitOpt),
+                ],
+            ),
+            (FromOpt, vec![]),
+            (FromOpt, vec![n(FromClause)]),
+            (WhereOpt, vec![]),
+            (WhereOpt, vec![n(WhereClause)]),
+            (GroupOpt, vec![]),
+            (GroupOpt, vec![n(GroupClause)]),
+            (OrderOpt, vec![]),
+            (OrderOpt, vec![n(OrderClause)]),
+            (LimitOpt, vec![]),
+            (LimitOpt, vec![n(LimitClause)]),
+            (SelectList, vec![t(K::Star)]),
+            (SelectList, vec![n(SelectItem)]),
+            (SelectList, vec![n(SelectItem), t(K::Comma), n(SelectList)]),
+            (SelectItem, vec![n(Expr)]),
+            (SelectItem, vec![n(Expr), t(K::As), t(K::Ident)]),
+            (FromClause, vec![t(K::From), n(TableRef)]),
+            (FromClause, vec![t(K::From), n(TableRef), t(K::Comma), n(TableRef)]),
+            (FromClause, vec![t(K::From), n(TableRef), n(JoinTail)]),
+            (TableRef, vec![t(K::Ident)]),
+            (TableRef, vec![t(K::Ident), t(K::Ident)]),
+            (TableRef, vec![t(K::Ident), t(K::As), t(K::Ident)]),
+            (JoinTail, vec![t(K::Join), n(TableRef), t(K::On), n(Expr)]),
+            (
+                JoinTail,
+                vec![t(K::Inner), t(K::Join), n(TableRef), t(K::On), n(Expr)],
+            ),
+            (
+                JoinTail,
+                vec![t(K::Left), t(K::Join), n(TableRef), t(K::On), n(Expr)],
+            ),
+            (JoinTail, vec![n(JoinTail), n(JoinTail)]),
+            (WhereClause, vec![t(K::Where), n(Expr)]),
+            (GroupClause, vec![t(K::Group), t(K::By), n(ExprList)]),
+            (GroupClause, vec![t(K::Group), t(K::By), n(ExprList), t(K::Having), n(Expr)]),
+            (OrderClause, vec![t(K::Order), t(K::By), n(OrderList)]),
+            (OrderList, vec![n(OrderItem)]),
+            (OrderList, vec![n(OrderItem), t(K::Comma), n(OrderList)]),
+            (OrderItem, vec![n(Expr)]),
+            (OrderItem, vec![n(Expr), t(K::Asc)]),
+            (OrderItem, vec![n(Expr), t(K::Desc)]),
+            (LimitClause, vec![t(K::Limit), t(K::NumberLit)]),
+            (
+                LimitClause,
+                vec![t(K::Limit), t(K::NumberLit), t(K::Comma), t(K::NumberLit)],
+            ),
+            (
+                LimitClause,
+                vec![t(K::Limit), t(K::NumberLit), t(K::Offset), t(K::NumberLit)],
+            ),
+            // INSERT
+            (
+                InsertStmt,
+                vec![
+                    t(K::Insert),
+                    t(K::Into),
+                    t(K::Ident),
+                    n(ColList),
+                    t(K::Values),
+                    t(K::LParen),
+                    n(ExprList),
+                    t(K::RParen),
+                    n(ValuesTail),
+                ],
+            ),
+            (
+                InsertStmt,
+                vec![
+                    t(K::Insert),
+                    t(K::Into),
+                    t(K::Ident),
+                    t(K::Values),
+                    t(K::LParen),
+                    n(ExprList),
+                    t(K::RParen),
+                    n(ValuesTail),
+                ],
+            ),
+            (ValuesTail, vec![]),
+            (
+                ValuesTail,
+                vec![t(K::Comma), t(K::LParen), n(ExprList), t(K::RParen), n(ValuesTail)],
+            ),
+            (ColList, vec![t(K::LParen), n(IdentList), t(K::RParen)]),
+            (IdentList, vec![t(K::Ident)]),
+            (IdentList, vec![t(K::Ident), t(K::Comma), n(IdentList)]),
+            // UPDATE
+            (
+                UpdateStmt,
+                vec![t(K::Update), t(K::Ident), t(K::Set), n(AssignList)],
+            ),
+            (
+                UpdateStmt,
+                vec![
+                    t(K::Update),
+                    t(K::Ident),
+                    t(K::Set),
+                    n(AssignList),
+                    n(WhereClause),
+                ],
+            ),
+            (AssignList, vec![n(Assign)]),
+            (AssignList, vec![n(Assign), t(K::Comma), n(AssignList)]),
+            (Assign, vec![n(ColRef), t(K::Eq), n(Expr)]),
+            // DELETE
+            (DeleteStmt, vec![t(K::Delete), t(K::From), t(K::Ident)]),
+            (
+                DeleteStmt,
+                vec![t(K::Delete), t(K::From), t(K::Ident), n(WhereClause)],
+            ),
+            // Expressions
+            (Expr, vec![n(OrExpr)]),
+            (OrExpr, vec![n(AndExpr)]),
+            (OrExpr, vec![n(OrExpr), t(K::Or), n(AndExpr)]),
+            (AndExpr, vec![n(NotExpr)]),
+            (AndExpr, vec![n(AndExpr), t(K::And), n(NotExpr)]),
+            (NotExpr, vec![n(CmpExpr)]),
+            (NotExpr, vec![t(K::Not), n(NotExpr)]),
+            (CmpExpr, vec![n(AddExpr)]),
+            (CmpExpr, vec![n(AddExpr), t(K::Eq), n(AddExpr)]),
+            (CmpExpr, vec![n(AddExpr), t(K::Neq), n(AddExpr)]),
+            (CmpExpr, vec![n(AddExpr), t(K::Lt), n(AddExpr)]),
+            (CmpExpr, vec![n(AddExpr), t(K::Gt), n(AddExpr)]),
+            (CmpExpr, vec![n(AddExpr), t(K::Le), n(AddExpr)]),
+            (CmpExpr, vec![n(AddExpr), t(K::Ge), n(AddExpr)]),
+            (CmpExpr, vec![n(AddExpr), t(K::Like), n(AddExpr)]),
+            (CmpExpr, vec![n(AddExpr), t(K::Not), t(K::Like), n(AddExpr)]),
+            (CmpExpr, vec![n(AddExpr), t(K::Is), t(K::Null)]),
+            (CmpExpr, vec![n(AddExpr), t(K::Is), t(K::Not), t(K::Null)]),
+            (
+                CmpExpr,
+                vec![n(AddExpr), t(K::In), t(K::LParen), n(ExprList), t(K::RParen)],
+            ),
+            (
+                CmpExpr,
+                vec![
+                    n(AddExpr),
+                    t(K::Not),
+                    t(K::In),
+                    t(K::LParen),
+                    n(ExprList),
+                    t(K::RParen),
+                ],
+            ),
+            (
+                CmpExpr,
+                vec![n(AddExpr), t(K::Between), n(AddExpr), t(K::And), n(AddExpr)],
+            ),
+            (AddExpr, vec![n(MulExpr)]),
+            (AddExpr, vec![n(AddExpr), t(K::Plus), n(MulExpr)]),
+            (AddExpr, vec![n(AddExpr), t(K::Minus), n(MulExpr)]),
+            (MulExpr, vec![n(UnaryExpr)]),
+            (MulExpr, vec![n(MulExpr), t(K::Star), n(UnaryExpr)]),
+            (MulExpr, vec![n(MulExpr), t(K::Slash), n(UnaryExpr)]),
+            (MulExpr, vec![n(MulExpr), t(K::Percent), n(UnaryExpr)]),
+            (UnaryExpr, vec![n(Primary)]),
+            (UnaryExpr, vec![t(K::Minus), n(UnaryExpr)]),
+            (Primary, vec![n(Literal)]),
+            (Primary, vec![n(ColRef)]),
+            (Primary, vec![n(FuncCall)]),
+            (Primary, vec![t(K::LParen), n(Expr), t(K::RParen)]),
+            (Primary, vec![t(K::LParen), n(SelectStmt), t(K::RParen)]),
+            (FuncCall, vec![t(K::Ident), t(K::LParen), t(K::RParen)]),
+            (FuncCall, vec![t(K::Ident), t(K::LParen), n(ExprList), t(K::RParen)]),
+            (FuncCall, vec![t(K::Ident), t(K::LParen), t(K::Star), t(K::RParen)]),
+            (ColRef, vec![t(K::Ident)]),
+            (ColRef, vec![t(K::Ident), t(K::Dot), t(K::Ident)]),
+            (Literal, vec![t(K::StringLit)]),
+            (Literal, vec![t(K::NumberLit)]),
+            (Literal, vec![t(K::Null)]),
+            (ExprList, vec![n(Expr)]),
+            (ExprList, vec![n(Expr), t(K::Comma), n(ExprList)]),
+        ];
+        let mut by_lhs = vec![Vec::new(); SqlNt::ALL.len()];
+        for (i, (lhs, _)) in rules.iter().enumerate() {
+            by_lhs[lhs.index()].push(i);
+        }
+        SqlGrammar {
+            prods: rules,
+            by_lhs,
+        }
+    }
+
+    /// Returns all productions.
+    pub fn productions(&self) -> &[(SqlNt, Vec<TSym>)] {
+        &self.prods
+    }
+
+    /// Returns the production indexes of `lhs`.
+    pub fn productions_of(&self, lhs: SqlNt) -> &[usize] {
+        &self.by_lhs[lhs.index()]
+    }
+
+    /// Returns production `i`.
+    pub fn production(&self, i: usize) -> (&SqlNt, &[TSym]) {
+        let (lhs, rhs) = &self.prods[i];
+        (lhs, rhs)
+    }
+
+    /// Computes the "derives-to-single-symbol" closure:
+    /// `reaches[m][n] == true` iff `M ⇒* N` as a full sentential form
+    /// (i.e. `N` alone, everything else erased). Includes reflexivity.
+    pub fn unit_closure(&self) -> Vec<Vec<bool>> {
+        let n = SqlNt::ALL.len();
+        // Our grammar's only nullable nonterminal is ValuesTail; compute
+        // nullables generically anyway.
+        let mut nullable = vec![false; n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (lhs, rhs) in &self.prods {
+                if nullable[lhs.index()] {
+                    continue;
+                }
+                let ok = rhs.iter().all(|s| match s {
+                    TSym::T(_) => false,
+                    TSym::N(x) => nullable[x.index()],
+                });
+                if ok {
+                    nullable[lhs.index()] = true;
+                    changed = true;
+                }
+            }
+        }
+        let mut reach = vec![vec![false; n]; n];
+        for i in 0..n {
+            reach[i][i] = true;
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (lhs, rhs) in &self.prods {
+                // lhs =>* X if rhs is (nullables)* X (nullables)* and X
+                // reaches the target.
+                let non_null: Vec<&TSym> = rhs
+                    .iter()
+                    .filter(|s| match s {
+                        TSym::T(_) => true,
+                        TSym::N(x) => !nullable[x.index()],
+                    })
+                    .collect();
+                if non_null.len() == 1 {
+                    if let TSym::N(x) = non_null[0] {
+                        for k in 0..n {
+                            if reach[x.index()][k] && !reach[lhs.index()][k] {
+                                reach[lhs.index()][k] = true;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        reach
+    }
+}
+
+impl Default for SqlGrammar {
+    fn default() -> Self {
+        SqlGrammar::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_is_well_formed() {
+        let g = SqlGrammar::standard();
+        assert!(g.productions().len() > 80);
+        for nt in SqlNt::ALL {
+            // Every nonterminal except pure-helper tails has productions.
+            assert!(
+                !g.productions_of(*nt).is_empty(),
+                "no productions for {nt}"
+            );
+        }
+    }
+
+    #[test]
+    fn unit_closure_reflexive_and_chains() {
+        let g = SqlGrammar::standard();
+        let reach = g.unit_closure();
+        let q = SqlNt::Query.index();
+        assert!(reach[q][q]);
+        // Query =>* SelectStmt via Stmt.
+        assert!(reach[q][SqlNt::SelectStmt.index()]);
+        // Expr =>* Literal via the precedence chain.
+        assert!(reach[SqlNt::Expr.index()][SqlNt::Literal.index()]);
+        // But Literal does not reach Expr.
+        assert!(!reach[SqlNt::Literal.index()][SqlNt::Expr.index()]);
+    }
+}

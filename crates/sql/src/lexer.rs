@@ -1,0 +1,379 @@
+//! SQL lexer, including marker-aware lexing of sentential context
+//! forms.
+//!
+//! The policy-conformance checker enumerates query *context strings* in
+//! which a tainted nonterminal's position is held by a reserved marker
+//! byte; [`lex_form`] turns such a string into a token sequence with a
+//! [`TokenKind::Var`] token, recording whether the marker sat inside a
+//! string literal or backquoted identifier (those cases are handled by
+//! the literal checks instead of derivability).
+
+use std::fmt;
+
+use crate::token::{keyword, SqlToken, TokenKind};
+
+/// The reserved marker byte standing for a tainted nonterminal in a
+/// context string. 0x1A (SUB) cannot be produced by the corpus PHP
+/// sources.
+pub const VAR_MARKER: u8 = 0x1a;
+
+/// Where a variable marker occurred during lexing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarPosition {
+    /// The marker was a free-standing token.
+    Bare,
+    /// The marker occurred inside a single- or double-quoted string
+    /// literal.
+    InString,
+    /// The marker occurred inside a backquoted identifier.
+    InBackquotes,
+    /// The marker was glued to identifier/number characters
+    /// (e.g. `WHERE id=ab⟨X⟩`), so token boundaries are ambiguous.
+    Glued,
+}
+
+/// Lexer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LexSqlError {
+    /// Unterminated string literal.
+    UnterminatedString,
+    /// Unterminated backquoted identifier.
+    UnterminatedBackquote,
+    /// Unterminated block comment.
+    UnterminatedComment,
+    /// A byte that cannot begin any token.
+    BadByte(u8),
+}
+
+impl fmt::Display for LexSqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LexSqlError::UnterminatedString => write!(f, "unterminated string literal"),
+            LexSqlError::UnterminatedBackquote => {
+                write!(f, "unterminated backquoted identifier")
+            }
+            LexSqlError::UnterminatedComment => write!(f, "unterminated block comment"),
+            LexSqlError::BadByte(b) => write!(f, "unexpected byte 0x{b:02x}"),
+        }
+    }
+}
+
+impl std::error::Error for LexSqlError {}
+
+/// A lexed sentential form: tokens plus the positions of any variable
+/// markers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexedForm {
+    /// The token sequence; markers appear as [`TokenKind::Var`] tokens
+    /// when bare.
+    pub tokens: Vec<SqlToken>,
+    /// One entry per marker occurrence, in source order.
+    pub vars: Vec<VarPosition>,
+}
+
+/// Tokenizes a complete SQL byte string (no markers).
+///
+/// # Errors
+///
+/// Returns a [`LexSqlError`] for unterminated literals/comments or
+/// un-tokenizable bytes.
+pub fn lex(input: &[u8]) -> Result<Vec<SqlToken>, LexSqlError> {
+    let form = lex_form(input)?;
+    Ok(form.tokens)
+}
+
+/// Tokenizes a sentential context form that may contain [`VAR_MARKER`]
+/// bytes.
+///
+/// # Errors
+///
+/// Returns a [`LexSqlError`] for unterminated literals/comments or
+/// un-tokenizable bytes.
+pub fn lex_form(input: &[u8]) -> Result<LexedForm, LexSqlError> {
+    let mut tokens = Vec::new();
+    let mut vars = Vec::new();
+    let mut i = 0usize;
+    let n = input.len();
+    let is_ident_start = |b: u8| b.is_ascii_alphabetic() || b == b'_';
+    let is_ident_cont = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+
+    while i < n {
+        let b = input[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            VAR_MARKER => {
+                // Glued to an identifier/number on either side?
+                let glued_left = i > 0 && (is_ident_cont(input[i - 1]) || input[i-1] == VAR_MARKER);
+                let glued_right = i + 1 < n && (is_ident_cont(input[i + 1]) || input[i+1] == VAR_MARKER);
+                if glued_left || glued_right {
+                    vars.push(VarPosition::Glued);
+                } else {
+                    vars.push(VarPosition::Bare);
+                }
+                tokens.push(SqlToken::new(TokenKind::Var, vec![VAR_MARKER]));
+                i += 1;
+            }
+            b'\'' | b'"' => {
+                let quote = b;
+                let start = i;
+                i += 1;
+                let mut saw_var = false;
+                loop {
+                    if i >= n {
+                        return Err(LexSqlError::UnterminatedString);
+                    }
+                    let c = input[i];
+                    if c == b'\\' && i + 1 < n {
+                        if input[i + 1] == VAR_MARKER {
+                            saw_var = true;
+                        }
+                        i += 2;
+                        continue;
+                    }
+                    if c == quote {
+                        // Doubled quote escape ('' inside '...').
+                        if i + 1 < n && input[i + 1] == quote {
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        break;
+                    }
+                    if c == VAR_MARKER {
+                        saw_var = true;
+                    }
+                    i += 1;
+                }
+                if saw_var {
+                    vars.push(VarPosition::InString);
+                }
+                tokens.push(SqlToken::new(TokenKind::StringLit, &input[start..i]));
+            }
+            b'`' => {
+                let start = i;
+                i += 1;
+                let mut saw_var = false;
+                loop {
+                    if i >= n {
+                        return Err(LexSqlError::UnterminatedBackquote);
+                    }
+                    let c = input[i];
+                    if c == b'`' {
+                        i += 1;
+                        break;
+                    }
+                    if c == VAR_MARKER {
+                        saw_var = true;
+                    }
+                    i += 1;
+                }
+                if saw_var {
+                    vars.push(VarPosition::InBackquotes);
+                }
+                tokens.push(SqlToken::new(TokenKind::Ident, &input[start..i]));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < n && (input[i].is_ascii_digit() || input[i] == b'.') {
+                    i += 1;
+                }
+                tokens.push(SqlToken::new(TokenKind::NumberLit, &input[start..i]));
+            }
+            _ if is_ident_start(b) => {
+                let start = i;
+                while i < n && is_ident_cont(input[i]) {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let kind = keyword(text).unwrap_or(TokenKind::Ident);
+                tokens.push(SqlToken::new(kind, text));
+            }
+            b'-' => {
+                if i + 1 < n && input[i + 1] == b'-' {
+                    // Line comment.
+                    while i < n && input[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    tokens.push(SqlToken::new(TokenKind::Minus, "-"));
+                    i += 1;
+                }
+            }
+            b'#' => {
+                while i < n && input[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' => {
+                if i + 1 < n && input[i + 1] == b'*' {
+                    let mut j = i + 2;
+                    loop {
+                        if j + 1 >= n {
+                            return Err(LexSqlError::UnterminatedComment);
+                        }
+                        if input[j] == b'*' && input[j + 1] == b'/' {
+                            break;
+                        }
+                        j += 1;
+                    }
+                    i = j + 2;
+                } else {
+                    tokens.push(SqlToken::new(TokenKind::Slash, "/"));
+                    i += 1;
+                }
+            }
+            b'<' => {
+                if i + 1 < n && input[i + 1] == b'=' {
+                    tokens.push(SqlToken::new(TokenKind::Le, "<="));
+                    i += 2;
+                } else if i + 1 < n && input[i + 1] == b'>' {
+                    tokens.push(SqlToken::new(TokenKind::Neq, "<>"));
+                    i += 2;
+                } else {
+                    tokens.push(SqlToken::new(TokenKind::Lt, "<"));
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < n && input[i + 1] == b'=' {
+                    tokens.push(SqlToken::new(TokenKind::Ge, ">="));
+                    i += 2;
+                } else {
+                    tokens.push(SqlToken::new(TokenKind::Gt, ">"));
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if i + 1 < n && input[i + 1] == b'=' {
+                    tokens.push(SqlToken::new(TokenKind::Neq, "!="));
+                    i += 2;
+                } else {
+                    return Err(LexSqlError::BadByte(b));
+                }
+            }
+            b'*' => {
+                tokens.push(SqlToken::new(TokenKind::Star, "*"));
+                i += 1;
+            }
+            b',' => {
+                tokens.push(SqlToken::new(TokenKind::Comma, ","));
+                i += 1;
+            }
+            b'.' => {
+                tokens.push(SqlToken::new(TokenKind::Dot, "."));
+                i += 1;
+            }
+            b'(' => {
+                tokens.push(SqlToken::new(TokenKind::LParen, "("));
+                i += 1;
+            }
+            b')' => {
+                tokens.push(SqlToken::new(TokenKind::RParen, ")"));
+                i += 1;
+            }
+            b';' => {
+                tokens.push(SqlToken::new(TokenKind::Semi, ";"));
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(SqlToken::new(TokenKind::Eq, "="));
+                i += 1;
+            }
+            b'+' => {
+                tokens.push(SqlToken::new(TokenKind::Plus, "+"));
+                i += 1;
+            }
+            b'%' => {
+                tokens.push(SqlToken::new(TokenKind::Percent, "%"));
+                i += 1;
+            }
+            other => return Err(LexSqlError::BadByte(other)),
+        }
+    }
+    Ok(LexedForm { tokens, vars })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &[u8]) -> Vec<TokenKind> {
+        lex(s).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_select() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds(b"SELECT * FROM `unp_user` WHERE userid='1'"),
+            vec![Select, Star, From, Ident, Where, Ident, Eq, StringLit]
+        );
+    }
+
+    #[test]
+    fn lex_numbers_and_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds(b"a >= 10 AND b <> 3.5 OR c != 0"),
+            vec![Ident, Ge, NumberLit, And, Ident, Neq, NumberLit, Or, Ident, Neq, NumberLit]
+        );
+    }
+
+    #[test]
+    fn lex_comments() {
+        use TokenKind::*;
+        assert_eq!(kinds(b"SELECT 1 -- trailing"), vec![Select, NumberLit]);
+        assert_eq!(kinds(b"SELECT /* x */ 1"), vec![Select, NumberLit]);
+        assert_eq!(kinds(b"SELECT 1 # hash"), vec![Select, NumberLit]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let t = lex(br"SELECT 'it\'s ok'").unwrap();
+        assert_eq!(t[1].kind, TokenKind::StringLit);
+        let t = lex(b"SELECT 'a''b'").unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert_eq!(lex(b"SELECT 'oops"), Err(LexSqlError::UnterminatedString));
+        assert_eq!(lex(b"SELECT `oops"), Err(LexSqlError::UnterminatedBackquote));
+    }
+
+    #[test]
+    fn marker_positions() {
+        let mut q = b"SELECT * FROM t WHERE id=".to_vec();
+        q.push(VAR_MARKER);
+        let form = lex_form(&q).unwrap();
+        assert_eq!(form.vars, vec![VarPosition::Bare]);
+        assert_eq!(form.tokens.last().unwrap().kind, TokenKind::Var);
+
+        let mut q = b"SELECT * FROM t WHERE id='".to_vec();
+        q.push(VAR_MARKER);
+        q.extend_from_slice(b"'");
+        let form = lex_form(&q).unwrap();
+        assert_eq!(form.vars, vec![VarPosition::InString]);
+
+        let mut q = b"SELECT * FROM t ORDER BY `".to_vec();
+        q.push(VAR_MARKER);
+        q.extend_from_slice(b"`");
+        let form = lex_form(&q).unwrap();
+        assert_eq!(form.vars, vec![VarPosition::InBackquotes]);
+
+        let mut q = b"SELECT * FROM t WHERE id=ab".to_vec();
+        q.push(VAR_MARKER);
+        let form = lex_form(&q).unwrap();
+        assert_eq!(form.vars, vec![VarPosition::Glued]);
+    }
+
+    #[test]
+    fn attack_query_lexes_as_two_statements() {
+        use TokenKind::*;
+        let k = kinds(b"SELECT * FROM `unp_user` WHERE userid='1'; DROP TABLE unp_user; --'");
+        // DROP and TABLE are plain identifiers; the trailing --' is a comment.
+        assert!(k.contains(&Semi));
+        assert_eq!(k.iter().filter(|&&t| t == Semi).count(), 2);
+        assert!(k.ends_with(&[Ident, Ident, Semi]));
+    }
+}

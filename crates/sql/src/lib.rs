@@ -1,0 +1,48 @@
+//! Reference SQL grammar, lexer, and sentential-form derivability for
+//! the **strtaint** policy-conformance checker.
+//!
+//! The paper defines SQL command injection (Definition 2.3) relative to
+//! a reference SQL grammar: a query is an attack when some tainted
+//! substring is not *syntactically confined* — derivable from a single
+//! nonterminal in context. This crate supplies everything the checker
+//! needs on the SQL side:
+//!
+//! - [`TokenKind`]/[`lexer`]: a SQL lexer, marker-aware so that query
+//!   *context forms* (with a tainted nonterminal's position held by
+//!   [`lexer::VAR_MARKER`]) lex to token sequences containing a
+//!   [`TokenKind::Var`] token;
+//! - [`SqlGrammar`]: the reference grammar (single statements only —
+//!   stacked queries are outside the language by construction);
+//! - [`earley::derives_sentential`]: the Earley extension that parses
+//!   *sentential forms*, treating nonterminals in the input as
+//!   matchable symbols (paper §3.2.2, after Thiemann);
+//! - [`mod@derive`]: candidate token kinds per context and the regular
+//!   lexeme languages used for the containment side of derivability.
+//!
+//! # Examples
+//!
+//! ```
+//! use strtaint_sql::{SqlGrammar, earley::recognizes_query};
+//!
+//! let g = SqlGrammar::standard();
+//! assert!(recognizes_query(&g, b"SELECT * FROM users WHERE id='7'"));
+//! // The paper's Figure 2 attack is two statements — not a query:
+//! assert!(!recognizes_query(
+//!     &g,
+//!     b"SELECT * FROM `unp_user` WHERE userid='1'; DROP TABLE unp_user; --'",
+//! ));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod derive;
+pub mod earley;
+pub mod grammar;
+pub mod lexer;
+pub mod runtime;
+pub mod token;
+
+pub use grammar::{SqlGrammar, SqlNt, TSym};
+pub use lexer::{lex, lex_form, LexSqlError, LexedForm, VarPosition, VAR_MARKER};
+pub use token::{SqlToken, TokenKind};

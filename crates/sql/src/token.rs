@@ -1,0 +1,261 @@
+//! SQL tokens.
+
+use std::fmt;
+
+/// The kind of a SQL token. This is the terminal alphabet of the
+/// reference SQL grammar used by the policy-conformance checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TokenKind {
+    // Keywords.
+    /// `SELECT`
+    Select,
+    /// `INSERT`
+    Insert,
+    /// `UPDATE`
+    Update,
+    /// `DELETE`
+    Delete,
+    /// `FROM`
+    From,
+    /// `WHERE`
+    Where,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `NOT`
+    Not,
+    /// `INTO`
+    Into,
+    /// `VALUES`
+    Values,
+    /// `SET`
+    Set,
+    /// `ORDER`
+    Order,
+    /// `GROUP`
+    Group,
+    /// `BY`
+    By,
+    /// `HAVING`
+    Having,
+    /// `LIMIT`
+    Limit,
+    /// `OFFSET`
+    Offset,
+    /// `ASC`
+    Asc,
+    /// `DESC`
+    Desc,
+    /// `AS`
+    As,
+    /// `DISTINCT`
+    Distinct,
+    /// `LIKE`
+    Like,
+    /// `IN`
+    In,
+    /// `IS`
+    Is,
+    /// `NULL`
+    Null,
+    /// `BETWEEN`
+    Between,
+    /// `JOIN`
+    Join,
+    /// `INNER`
+    Inner,
+    /// `LEFT`
+    Left,
+    /// `ON`
+    On,
+    /// `UNION`
+    Union,
+    /// `ALL`
+    All,
+    // Lexical classes.
+    /// Identifier (bare or backquoted).
+    Ident,
+    /// String literal (single- or double-quoted).
+    StringLit,
+    /// Numeric literal.
+    NumberLit,
+    // Punctuation and operators.
+    /// `*`
+    Star,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// The opaque variable marker used in sentential forms
+    /// (a tainted nonterminal's position in a context string).
+    Var,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TokenKind::Select => "SELECT",
+            TokenKind::Insert => "INSERT",
+            TokenKind::Update => "UPDATE",
+            TokenKind::Delete => "DELETE",
+            TokenKind::From => "FROM",
+            TokenKind::Where => "WHERE",
+            TokenKind::And => "AND",
+            TokenKind::Or => "OR",
+            TokenKind::Not => "NOT",
+            TokenKind::Into => "INTO",
+            TokenKind::Values => "VALUES",
+            TokenKind::Set => "SET",
+            TokenKind::Order => "ORDER",
+            TokenKind::Group => "GROUP",
+            TokenKind::By => "BY",
+            TokenKind::Having => "HAVING",
+            TokenKind::Limit => "LIMIT",
+            TokenKind::Offset => "OFFSET",
+            TokenKind::Asc => "ASC",
+            TokenKind::Desc => "DESC",
+            TokenKind::As => "AS",
+            TokenKind::Distinct => "DISTINCT",
+            TokenKind::Like => "LIKE",
+            TokenKind::In => "IN",
+            TokenKind::Is => "IS",
+            TokenKind::Null => "NULL",
+            TokenKind::Between => "BETWEEN",
+            TokenKind::Join => "JOIN",
+            TokenKind::Inner => "INNER",
+            TokenKind::Left => "LEFT",
+            TokenKind::On => "ON",
+            TokenKind::Union => "UNION",
+            TokenKind::All => "ALL",
+            TokenKind::Ident => "<ident>",
+            TokenKind::StringLit => "<string>",
+            TokenKind::NumberLit => "<number>",
+            TokenKind::Star => "*",
+            TokenKind::Comma => ",",
+            TokenKind::Dot => ".",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::Semi => ";",
+            TokenKind::Eq => "=",
+            TokenKind::Neq => "!=",
+            TokenKind::Lt => "<",
+            TokenKind::Gt => ">",
+            TokenKind::Le => "<=",
+            TokenKind::Ge => ">=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::Var => "⟨X⟩",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Looks up the keyword kind for an identifier, if any
+/// (case-insensitive).
+pub fn keyword(text: &[u8]) -> Option<TokenKind> {
+    let up: Vec<u8> = text.iter().map(|b| b.to_ascii_uppercase()).collect();
+    Some(match up.as_slice() {
+        b"SELECT" => TokenKind::Select,
+        b"INSERT" => TokenKind::Insert,
+        b"UPDATE" => TokenKind::Update,
+        b"DELETE" => TokenKind::Delete,
+        b"FROM" => TokenKind::From,
+        b"WHERE" => TokenKind::Where,
+        b"AND" => TokenKind::And,
+        b"OR" => TokenKind::Or,
+        b"NOT" => TokenKind::Not,
+        b"INTO" => TokenKind::Into,
+        b"VALUES" => TokenKind::Values,
+        b"SET" => TokenKind::Set,
+        b"ORDER" => TokenKind::Order,
+        b"GROUP" => TokenKind::Group,
+        b"BY" => TokenKind::By,
+        b"HAVING" => TokenKind::Having,
+        b"LIMIT" => TokenKind::Limit,
+        b"OFFSET" => TokenKind::Offset,
+        b"ASC" => TokenKind::Asc,
+        b"DESC" => TokenKind::Desc,
+        b"AS" => TokenKind::As,
+        b"DISTINCT" => TokenKind::Distinct,
+        b"LIKE" => TokenKind::Like,
+        b"IN" => TokenKind::In,
+        b"IS" => TokenKind::Is,
+        b"NULL" => TokenKind::Null,
+        b"BETWEEN" => TokenKind::Between,
+        b"JOIN" => TokenKind::Join,
+        b"INNER" => TokenKind::Inner,
+        b"LEFT" => TokenKind::Left,
+        b"ON" => TokenKind::On,
+        b"UNION" => TokenKind::Union,
+        b"ALL" => TokenKind::All,
+        _ => return None,
+    })
+}
+
+/// A lexed SQL token: kind plus source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlToken {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Raw source text (for string literals, includes the quotes).
+    pub text: Vec<u8>,
+}
+
+impl SqlToken {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, text: impl Into<Vec<u8>>) -> Self {
+        SqlToken {
+            kind,
+            text: text.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(keyword(b"select"), Some(TokenKind::Select));
+        assert_eq!(keyword(b"SeLeCt"), Some(TokenKind::Select));
+        assert_eq!(keyword(b"selects"), None);
+        assert_eq!(keyword(b"drop"), None, "DROP is not in the reference grammar");
+    }
+
+    #[test]
+    fn display_roundtrip_samples() {
+        assert_eq!(TokenKind::Select.to_string(), "SELECT");
+        assert_eq!(TokenKind::Neq.to_string(), "!=");
+        assert_eq!(TokenKind::Ident.to_string(), "<ident>");
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the SQL lexer and sentential-form recognizer.
+
+use proptest::prelude::*;
+
+use strtaint_sql::earley::{derives_sentential, recognizes_query};
+use strtaint_sql::{lex, SqlGrammar, SqlNt, TSym, TokenKind};
+
+/// Strategy generating syntactically valid queries from templates.
+fn valid_query() -> impl Strategy<Value = String> {
+    // Random words can collide with SQL keywords ("as", "in", "is", …),
+    // which would make the template ungrammatical — filter them out.
+    let ident = "[a-z]{1,6}".prop_filter("not a keyword", |w| {
+        strtaint_sql::token::keyword(w.as_bytes()).is_none()
+    });
+    let num = "[0-9]{1,4}";
+    (ident.clone(), ident, num, "[a-z]{1,6}").prop_flat_map(|(t, c, n, v)| {
+        prop_oneof![
+            Just(format!("SELECT * FROM {t} WHERE {c} = {n}")),
+            Just(format!("SELECT {c} FROM {t} WHERE {c} = '{v}' ORDER BY {c} DESC")),
+            Just(format!("INSERT INTO {t} ({c}) VALUES ({n})")),
+            Just(format!("UPDATE {t} SET {c} = '{v}' WHERE {c} = {n}")),
+            Just(format!("DELETE FROM {t} WHERE {c} < {n}")),
+            Just(format!("SELECT COUNT(*) FROM {t} GROUP BY {c}")),
+            Just(format!("SELECT * FROM {t} WHERE {c} LIKE '%{v}%' LIMIT {n}")),
+            Just(format!("SELECT * FROM {t} WHERE {c} IS NOT NULL AND {c} != {n}")),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn valid_queries_lex_and_parse(q in valid_query()) {
+        let g = SqlGrammar::standard();
+        prop_assert!(lex(q.as_bytes()).is_ok(), "{q}");
+        prop_assert!(recognizes_query(&g, q.as_bytes()), "{q}");
+    }
+
+    #[test]
+    fn stacking_a_statement_breaks_recognition(q in valid_query()) {
+        let g = SqlGrammar::standard();
+        let attacked = format!("{q}; DROP TABLE users; --");
+        prop_assert!(!recognizes_query(&g, attacked.as_bytes()), "{attacked}");
+    }
+
+    #[test]
+    fn lexer_is_total_on_printable_ascii(s in "[ -~]{0,32}") {
+        // The lexer either produces tokens or a structured error; it
+        // must never panic.
+        let _ = lex(s.as_bytes());
+    }
+
+    #[test]
+    fn keywords_roundtrip_case(kw in prop_oneof![
+        Just("select"), Just("from"), Just("where"), Just("order"), Just("union")
+    ], upper in proptest::bool::ANY) {
+        let text = if upper { kw.to_uppercase() } else { kw.to_string() };
+        let toks = lex(text.as_bytes()).unwrap();
+        prop_assert_eq!(toks.len(), 1);
+        prop_assert_ne!(toks[0].kind, TokenKind::Ident, "{} must lex as keyword", text);
+    }
+
+    #[test]
+    fn sentential_forms_generalize_strings(q in valid_query()) {
+        // Replacing any literal token with the Literal nonterminal keeps
+        // the form derivable.
+        let g = SqlGrammar::standard();
+        let toks = lex(q.as_bytes()).unwrap();
+        let mut syms: Vec<TSym> = toks.iter().map(|t| TSym::T(t.kind)).collect();
+        prop_assert!(derives_sentential(&g, SqlNt::Query, &syms), "{q}");
+        for i in 0..syms.len() {
+            // LIMIT/OFFSET positions take bare numbers, not general
+            // literals — skip them.
+            let in_limit = i >= 1
+                && matches!(
+                    syms[i - 1],
+                    TSym::T(TokenKind::Limit | TokenKind::Offset | TokenKind::Comma)
+                )
+                && syms[..i]
+                    .iter()
+                    .any(|s| matches!(s, TSym::T(TokenKind::Limit)));
+            if !in_limit
+                && matches!(syms[i], TSym::T(TokenKind::NumberLit | TokenKind::StringLit))
+            {
+                let saved = syms[i];
+                syms[i] = TSym::N(SqlNt::Literal);
+                prop_assert!(
+                    derives_sentential(&g, SqlNt::Query, &syms),
+                    "{q} with token {i} abstracted"
+                );
+                syms[i] = saved;
+            }
+        }
+    }
+}

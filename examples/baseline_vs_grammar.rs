@@ -1,0 +1,105 @@
+//! Side-by-side comparison with a classic binary taint analysis on the
+//! paper's motivating cases (§1.1).
+//!
+//! ```text
+//! cargo run --example baseline_vs_grammar
+//! ```
+
+use strtaint::{analyze_page, Config, Vfs};
+use strtaint_baseline::taint_analyze;
+
+struct Case {
+    name: &'static str,
+    src: &'static str,
+    actually_vulnerable: bool,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        name: "raw GET in quoted position",
+        src: r#"<?php
+$v = $_GET['v'];
+$DB->query("SELECT * FROM t WHERE v='$v'");
+"#,
+        actually_vulnerable: true,
+    },
+    Case {
+        name: "addslashes, quoted (safe)",
+        src: r#"<?php
+$v = addslashes($_GET['v']);
+$DB->query("SELECT * FROM t WHERE v='$v'");
+"#,
+        actually_vulnerable: false,
+    },
+    Case {
+        name: "addslashes, UNQUOTED numeric position (the paper's blind spot)",
+        src: r#"<?php
+$v = addslashes($_GET['v']);
+$DB->query("SELECT * FROM t WHERE id=$v");
+"#,
+        actually_vulnerable: true,
+    },
+    Case {
+        name: "anchored numeric check (safe)",
+        src: r#"<?php
+$v = $_GET['v'];
+if (!preg_match('/^[0-9]+$/', $v)) { exit; }
+$DB->query("SELECT * FROM t WHERE id='$v'");
+"#,
+        actually_vulnerable: false,
+    },
+    Case {
+        name: "UNANCHORED numeric check (Figure 2)",
+        src: r#"<?php
+$v = $_GET['v'];
+if (!eregi('[0-9]+', $v)) { exit; }
+$DB->query("SELECT * FROM t WHERE id='$v'");
+"#,
+        actually_vulnerable: true,
+    },
+];
+
+fn main() {
+    println!(
+        "{:<60} {:>10} {:>9} {:>9}",
+        "case", "truth", "taint", "grammar"
+    );
+    let mut taint_correct = 0;
+    let mut grammar_correct = 0;
+    for case in CASES {
+        let mut vfs = Vfs::new();
+        vfs.add("p.php", case.src);
+        let taint_flags = !taint_analyze(&vfs, "p.php").findings.is_empty();
+        let grammar_flags = !analyze_page(&vfs, "p.php", &Config::default())
+            .unwrap()
+            .is_verified();
+        let mark = |flagged: bool| {
+            if flagged == case.actually_vulnerable {
+                "ok"
+            } else if flagged {
+                "FP"
+            } else {
+                "MISS"
+            }
+        };
+        if taint_flags == case.actually_vulnerable {
+            taint_correct += 1;
+        }
+        if grammar_flags == case.actually_vulnerable {
+            grammar_correct += 1;
+        }
+        println!(
+            "{:<60} {:>10} {:>9} {:>9}",
+            case.name,
+            if case.actually_vulnerable { "vulnerable" } else { "safe" },
+            mark(taint_flags),
+            mark(grammar_flags),
+        );
+    }
+    println!(
+        "\nbinary taint: {taint_correct}/{} correct; grammar-based: {grammar_correct}/{} correct",
+        CASES.len(),
+        CASES.len()
+    );
+    assert_eq!(grammar_correct, CASES.len(), "the grammar analysis nails all cases");
+}

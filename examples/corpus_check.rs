@@ -1,0 +1,30 @@
+//! Diagnostic: run the analyzer over the corpus and print finding counts.
+use strtaint::{analyze_app, Config};
+
+fn main() {
+    let verbose = std::env::args().any(|a| a == "-v");
+    let filter: Option<String> = std::env::args().nth(1).filter(|a| a != "-v");
+    for app in strtaint_corpus::apps::all() {
+        if let Some(f) = &filter {
+            if !app.name.to_lowercase().contains(&f.to_lowercase()) { continue; }
+        }
+        let t0 = std::time::Instant::now();
+        let report = analyze_app(app.name, &app.vfs, &app.entry_refs(), &Config::default());
+        let d = report.direct_findings();
+        let i = report.indirect_findings();
+        println!(
+            "{:<40} direct {} (want {}), indirect {} (want {})  [{:?}]",
+            app.name, d.len(), app.truth.direct_total(), i.len(), app.truth.indirect, t0.elapsed()
+        );
+        if verbose || d.len() != app.truth.direct_total() || i.len() != app.truth.indirect {
+            for (h, f) in report.distinct_findings() {
+                println!("   {} @ {}:{} :: {}", h.label, h.file, h.span, f);
+            }
+            for p in &report.pages {
+                for w in &p.warnings {
+                    println!("   WARN[{}]: {}", p.entry, w);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Sanitizer laboratory: inspect the transducer models (paper Fig. 6)
+//! and their effect on languages.
+//!
+//! ```text
+//! cargo run --example sanitizer_lab
+//! ```
+
+use strtaint_automata::fst::builders;
+use strtaint_grammar::image::image;
+use strtaint_grammar::lang::{bounded_language, sample_strings};
+use strtaint_grammar::{Cfg, Taint};
+
+fn main() {
+    // The paper's Figure 6: str_replace("''", "'", ·).
+    let fig6 = builders::figure6();
+    println!("Figure 6 transducer: str_replace(\"''\", \"'\", ·)");
+    for input in [&b"a''b"[..], b"''''", b"'", b"no quotes"] {
+        let out = fig6.transduce_unique(input).unwrap();
+        println!(
+            "  {:?} -> {:?}",
+            String::from_utf8_lossy(input),
+            String::from_utf8_lossy(&out)
+        );
+    }
+
+    // addslashes applied to a *language*, not a string: the image of a
+    // grammar under the FST (the heart of §3.1.2).
+    let mut g = Cfg::new();
+    let attacker = g.add_nonterminal("attacker input");
+    g.set_taint(attacker, Taint::DIRECT);
+    g.add_literal_production(attacker, b"alice");
+    g.add_literal_production(attacker, b"o'brien");
+    g.add_literal_production(attacker, b"1' OR '1'='1");
+    let (escaped, escaped_root) = image(&g, attacker, &builders::addslashes());
+    println!("\naddslashes image of the attacker language:");
+    for s in bounded_language(&escaped, escaped_root, 10).unwrap() {
+        println!("  {:?}", String::from_utf8_lossy(&s));
+    }
+
+    // An infinite language through a replacement chain.
+    let mut g2 = Cfg::new();
+    let rec = g2.add_nonterminal("bbcode");
+    g2.add_production(rec, {
+        let mut v = g2.literal_symbols(b"[b]hi[/b]");
+        v.push(strtaint_grammar::Symbol::N(rec));
+        v
+    });
+    g2.add_production(rec, vec![]);
+    let open = builders::replace_literal(b"[b]", b"<b>");
+    let close = builders::replace_literal(b"[/b]", b"</b>");
+    let (step1, r1) = image(&g2, rec, &open);
+    let (step2, r2) = image(&step1, r1, &close);
+    println!("\nBBCode replacement chain on ([b]hi[/b])*:");
+    for s in sample_strings(&step2, r2, 40, 4) {
+        println!("  {:?}", String::from_utf8_lossy(&s));
+    }
+    println!(
+        "grammar growth: {} -> {} -> {} productions (the §5.3 blow-up)",
+        g2.num_productions(),
+        step1.num_productions(),
+        step2.num_productions()
+    );
+}

@@ -1,0 +1,6 @@
+//! Umbrella crate for the **strtaint** workspace: hosts the
+//! cross-crate integration tests (`tests/`) and runnable examples
+//! (`examples/`). The library API lives in the [`strtaint`] crate;
+//! see the workspace README for the tour.
+
+pub use strtaint;

@@ -1,0 +1,96 @@
+//! The backward query-relevance slice (paper §7 future work): with
+//! `Config::backward_slice` on, display-only string work is widened,
+//! query findings are unchanged, and Tiger-style pages analyze much
+//! faster.
+
+
+
+use strtaint::{analyze_app, analyze_page, Config, Vfs};
+
+fn sliced() -> Config {
+    Config {
+        backward_slice: true,
+        ..Config::default()
+    }
+}
+
+#[test]
+fn findings_unchanged_on_corpus_apps() {
+    for app in [
+        strtaint_corpus::apps::eve::build(),
+        strtaint_corpus::apps::utopia::build(),
+        strtaint_corpus::apps::warp::build(),
+    ] {
+        let plain = analyze_app(app.name, &app.vfs, &app.entry_refs(), &Config::default());
+        let fast = analyze_app(app.name, &app.vfs, &app.entry_refs(), &sliced());
+        assert_eq!(
+            plain.direct_findings().len(),
+            fast.direct_findings().len(),
+            "{}: direct findings must not change",
+            app.name
+        );
+        assert_eq!(
+            plain.indirect_findings().len(),
+            fast.indirect_findings().len(),
+            "{}: indirect findings must not change",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn tiger_forum_speedup() {
+    // The forum page runs BBCode chains on both a query-relevant value
+    // (the cached body) and a display-only one (the preview). The
+    // slice must keep the former precise (same findings) and skip the
+    // latter.
+    let app = strtaint_corpus::apps::tiger::build();
+    let plain = analyze_page(&app.vfs, "forum.php", &Config::default()).unwrap();
+    let fast = analyze_page(&app.vfs, "forum.php", &sliced()).unwrap();
+    assert_eq!(
+        plain.findings().count(),
+        fast.findings().count(),
+        "query findings preserved"
+    );
+    // The slice targets the string-analysis phase (the paper's took
+    // hours on Tiger); the display-only chain must be skipped.
+    assert!(
+        fast.analysis_time < plain.analysis_time,
+        "analysis must speed up: {:?} vs {:?}",
+        fast.analysis_time,
+        plain.analysis_time
+    );
+}
+
+#[test]
+fn display_chain_widened_but_query_precise() {
+    let mut vfs = Vfs::new();
+    vfs.add(
+        "p.php",
+        r#"<?php
+$pv = str_replace('[b]', '<b>', $_POST['preview']);
+echo $pv;
+$v = addslashes($_POST['v']);
+$DB->query("SELECT * FROM t WHERE v='$v'");
+"#,
+    );
+    let r = analyze_page(&vfs, "p.php", &sliced()).unwrap();
+    // The sanitizer on the query path stays precise: page verifies.
+    assert!(r.is_verified(), "{r}");
+}
+
+#[test]
+fn slice_is_sound_not_laundering() {
+    // A vulnerable flow must still be reported with the slice on, even
+    // through a display-looking helper.
+    let mut vfs = Vfs::new();
+    vfs.add(
+        "p.php",
+        r#"<?php
+$x = str_replace('[b]', '<b>', $_GET['x']);
+$DB->query("SELECT * FROM t WHERE x='$x'");
+"#,
+    );
+    let r = analyze_page(&vfs, "p.php", &sliced()).unwrap();
+    assert!(!r.is_verified(), "slice must not launder taint");
+}

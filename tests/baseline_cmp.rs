@@ -1,0 +1,93 @@
+//! Grammar analysis vs. binary taint baseline — the comparison behind
+//! the paper's §1.1 critique of taint-only tools.
+
+use strtaint::{analyze_page, Config, Vfs};
+use strtaint_baseline::taint_analyze;
+
+fn both(src: &str) -> (bool, bool) {
+    let mut vfs = Vfs::new();
+    vfs.add("p.php", src);
+    let baseline_flags = !taint_analyze(&vfs, "p.php").findings.is_empty();
+    let grammar_flags = !analyze_page(&vfs, "p.php", &Config::default())
+        .unwrap()
+        .is_verified();
+    (baseline_flags, grammar_flags)
+}
+
+#[test]
+fn baseline_misses_numeric_context_bug() {
+    // The paper's escape_quotes example: sanitizer credited blindly.
+    let (baseline, grammar) = both(
+        r#"<?php
+$id = addslashes($_GET['id']);
+$r = $DB->query("SELECT * FROM t WHERE id=$id");
+"#,
+    );
+    assert!(!baseline, "binary taint trusts addslashes");
+    assert!(grammar, "grammar analysis sees the unquoted context");
+}
+
+#[test]
+fn baseline_false_positive_on_checked_input() {
+    let (baseline, grammar) = both(
+        r#"<?php
+$id = $_GET['id'];
+if (!preg_match('/^[0-9]+$/', $id)) { exit; }
+$r = $DB->query("SELECT * FROM t WHERE id='$id'");
+"#,
+    );
+    assert!(baseline, "binary taint cannot credit a check");
+    assert!(!grammar, "grammar analysis verifies the check");
+}
+
+#[test]
+fn both_agree_on_plain_cases() {
+    // Raw flow: both flag.
+    let (b, g) = both(
+        r#"<?php
+$v = $_GET['v'];
+$r = $DB->query("SELECT * FROM t WHERE v='$v'");
+"#,
+    );
+    assert!(b && g);
+    // Constant query: both verify.
+    let (b, g) = both(r#"<?php $r = $DB->query("SELECT * FROM t WHERE v=1");"#);
+    assert!(!b && !g);
+    // Escaped + quoted: both verify.
+    let (b, g) = both(
+        r#"<?php
+$v = addslashes($_GET['v']);
+$r = $DB->query("SELECT * FROM t WHERE v='$v'");
+"#,
+    );
+    assert!(!b && !g);
+}
+
+#[test]
+fn corpus_disagreements_match_design() {
+    // On the Warp corpus app (all sanitized), the grammar analysis
+    // verifies everything while the baseline still flags the
+    // whitelist-checked ORDER BY page.
+    let app = strtaint_corpus::apps::warp::build();
+    let mut baseline_flagged = 0usize;
+    for e in app.entries.iter() {
+        baseline_flagged += taint_analyze(&app.vfs, e).findings.len();
+    }
+    assert!(
+        baseline_flagged > 0,
+        "baseline cannot verify Warp's in_array whitelist"
+    );
+    let report = strtaint::analyze_app(app.name, &app.vfs, &app.entry_refs(), &Config::default());
+    assert!(report.distinct_findings().is_empty());
+}
+
+#[test]
+fn corpus_misses_match_design() {
+    // On the EVE app, the baseline misses the escaped-but-unquoted
+    // killmail bug that the grammar analysis reports.
+    let app = strtaint_corpus::apps::eve::build();
+    let base = taint_analyze(&app.vfs, "killmail.php");
+    assert!(base.findings.is_empty(), "baseline misses killmail.php");
+    let r = analyze_page(&app.vfs, "killmail.php", &Config::default()).unwrap();
+    assert!(!r.is_verified());
+}

@@ -1,0 +1,67 @@
+//! XSS analysis over the corpus: the synthetic subjects were designed
+//! for the SQLCIV evaluation, but their echo sinks exercise the XSS
+//! checker on realistic pages.
+
+use strtaint::{analyze_page_xss, Config, Vfs};
+
+#[test]
+fn utopia_escaped_messages_are_xss_safe() {
+    // unp_msg() routes everything through htmlspecialchars.
+    let app = strtaint_corpus::apps::utopia::build();
+    let r = analyze_page_xss(&app.vfs, "search.php", &Config::default()).unwrap();
+    for (h, f) in r.findings() {
+        // The only tolerated finding source would be raw fetch echoes;
+        // search.php has none.
+        panic!("unexpected XSS finding on search.php: {} {}", h.label, f);
+    }
+}
+
+#[test]
+fn utopia_raw_row_echo_is_stored_xss() {
+    // news.php echoes a fetched subject without escaping — a stored
+    // XSS with the indirect label, exactly the paper's §7 scenario.
+    let app = strtaint_corpus::apps::utopia::build();
+    let r = analyze_page_xss(&app.vfs, "news.php", &Config::default()).unwrap();
+    let findings: Vec<_> = r.findings().collect();
+    assert!(
+        findings.iter().any(|(_, f)| f.taint.is_indirect()),
+        "expected a stored-XSS report: {r}"
+    );
+}
+
+#[test]
+fn xss_checker_runs_on_every_corpus_page() {
+    // Robustness: no panics, deterministic outcome on repeat.
+    for app in [
+        strtaint_corpus::apps::eve::build(),
+        strtaint_corpus::apps::warp::build(),
+    ] {
+        for e in &app.entries {
+            let a = analyze_page_xss(&app.vfs, e, &Config::default()).unwrap();
+            let b = analyze_page_xss(&app.vfs, e, &Config::default()).unwrap();
+            assert_eq!(
+                a.findings().count(),
+                b.findings().count(),
+                "{}: nondeterministic XSS result",
+                e
+            );
+        }
+    }
+}
+
+#[test]
+fn mixed_page_sql_safe_xss_unsafe() {
+    let mut vfs = Vfs::new();
+    vfs.add(
+        "p.php",
+        r#"<?php
+$q = intval($_GET['q']);
+$r = $DB->query("SELECT * FROM t WHERE id=$q");
+echo "<h1>Search: " . $_GET['q'] . "</h1>";
+"#,
+    );
+    let sql = strtaint::analyze_page(&vfs, "p.php", &Config::default()).unwrap();
+    let xss = analyze_page_xss(&vfs, "p.php", &Config::default()).unwrap();
+    assert!(sql.is_verified());
+    assert!(!xss.is_verified());
+}

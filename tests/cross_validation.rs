@@ -1,0 +1,68 @@
+//! Cross-validation of the two phases that share Definition 2.2: the
+//! static checker's witnesses, executed as concrete queries, must be
+//! flagged by the runtime syntactic-confinement monitor (the SqlCheck
+//! approach of the paper's companion POPL 2006 work, §6.3).
+
+use strtaint::{analyze_app, Config};
+use strtaint_sql::runtime::{check_query, RuntimeVerdict};
+use strtaint_sql::SqlGrammar;
+
+#[test]
+fn static_witnesses_are_runtime_attacks() {
+    let g = SqlGrammar::standard();
+    let mut validated = 0usize;
+    for app in [
+        strtaint_corpus::apps::eve::build(),
+        strtaint_corpus::apps::utopia::build(),
+        strtaint_corpus::apps::e107::build(),
+    ] {
+        let report = analyze_app(app.name, &app.vfs, &app.entry_refs(), &Config::default());
+        for (hotspot, finding) in report.distinct_findings() {
+            let (Some(witness), Some(query)) = (&finding.witness, &finding.example_query)
+            else {
+                continue;
+            };
+            // Locate the witness inside the example query.
+            let Some(pos) = query
+                .windows(witness.len().max(1))
+                .position(|w| w == witness.as_slice())
+            else {
+                continue;
+            };
+            let span = (pos, pos + witness.len());
+            let verdict = check_query(&g, query, span);
+            assert!(
+                !matches!(verdict, RuntimeVerdict::Confined(_)),
+                "{} @ {}: static witness {:?} in {:?} judged confined at runtime",
+                hotspot.label,
+                hotspot.file,
+                String::from_utf8_lossy(witness),
+                String::from_utf8_lossy(query),
+            );
+            validated += 1;
+        }
+    }
+    assert!(
+        validated >= 15,
+        "expected to cross-validate many findings, got {validated}"
+    );
+}
+
+#[test]
+fn honest_inputs_pass_both_phases() {
+    // A verified page's queries, executed with honest inputs, pass the
+    // runtime monitor too.
+    let g = SqlGrammar::standard();
+    let honest = [
+        (&b"SELECT * FROM `unp_user` WHERE userid='42'"[..], 39usize, 41usize),
+        (b"SELECT * FROM t WHERE id=7", 25, 26),
+        (b"SELECT * FROM t WHERE name='bob'", 28, 31),
+    ];
+    for (q, lo, hi) in honest {
+        assert!(
+            matches!(check_query(&g, q, (lo, hi)), RuntimeVerdict::Confined(_)),
+            "{:?}",
+            String::from_utf8_lossy(q)
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Reproduces the paper's Figure 2 (the Utopia News Pro `userid`
+//! vulnerability) and Figure 4 (the generated grammar), end to end.
+
+use strtaint::{analyze_page, CheckKind, Config, Vfs};
+
+const FIGURE2: &str = r#"<?php
+isset($_GET['userid']) ?
+    $userid = $_GET['userid'] : $userid = '';
+if ($USER['groupid'] != 1)
+{
+    unp_msg($gp_permserror);
+    exit;
+}
+if ($userid == '')
+{
+    unp_msg($gp_invalidrequest);
+    exit;
+}
+if (!eregi('[0-9]+', $userid))
+{
+    unp_msg('You entered an invalid user ID.');
+    exit;
+}
+$getuser = $DB->query("SELECT * FROM `unp_user`"
+    . " WHERE userid='$userid'");
+if (!$DB->is_single_row($getuser))
+{
+    unp_msg('You entered an invalid user ID.');
+    exit;
+}
+"#;
+
+fn vfs_with(src: &str) -> Vfs {
+    let mut vfs = Vfs::new();
+    vfs.add("useredit.php", src);
+    vfs
+}
+
+#[test]
+fn figure2_vulnerability_is_reported() {
+    let report = analyze_page(&vfs_with(FIGURE2), "useredit.php", &Config::default()).unwrap();
+    assert_eq!(report.hotspots.len(), 1);
+    assert!(!report.is_verified(), "{report}");
+    let findings: Vec<_> = report.findings().collect();
+    assert_eq!(findings.len(), 1);
+    let (_, f) = findings[0];
+    assert!(f.taint.is_direct());
+    assert_eq!(f.kind, CheckKind::OddQuotes);
+    assert_eq!(f.name, "_GET[userid]");
+    // The witness must pass the broken filter (contain a digit) and
+    // carry an odd number of unescaped quotes.
+    let w = f.witness.as_ref().expect("witness extracted");
+    assert!(w.iter().any(|b| b.is_ascii_digit()), "witness passes eregi: {w:?}");
+    assert!(w.contains(&b'\''));
+}
+
+#[test]
+fn figure2_attack_query_is_derivable() {
+    // The exact query the paper shows the attacker producing.
+    let mut vfs = vfs_with(FIGURE2);
+    vfs.add("x.php", ""); // unrelated
+    let analysis =
+        strtaint_analysis::analyze(&vfs, "useredit.php", &Config::default()).unwrap();
+    let root = analysis.hotspots[0].root;
+    let attack =
+        b"SELECT * FROM `unp_user` WHERE userid='1'; DROP TABLE unp_user; --'";
+    assert!(
+        analysis.cfg.derives(root, attack),
+        "the generated grammar must derive the paper's attack query"
+    );
+    // And the honest query too.
+    assert!(analysis
+        .cfg
+        .derives(root, b"SELECT * FROM `unp_user` WHERE userid='42'"));
+    // But not arbitrary garbage (the grammar is not Σ*: the constant
+    // skeleton is fixed).
+    assert!(!analysis.cfg.derives(root, b"DELETE FROM unp_user"));
+}
+
+#[test]
+fn figure4_grammar_shape() {
+    // Figure 4: the query grammar has a direct-labeled nonterminal for
+    // the GET parameter whose language reflects the eregi filter.
+    let analysis =
+        strtaint_analysis::analyze(&vfs_with(FIGURE2), "useredit.php", &Config::default())
+            .unwrap();
+    let root = analysis.hotspots[0].root;
+    let labeled = strtaint_checker::abstraction::maximal_labeled(&analysis.cfg, root);
+    assert_eq!(labeled.len(), 1);
+    let x = labeled[0];
+    assert!(analysis.cfg.taint(x).is_direct());
+    assert_eq!(analysis.cfg.name(x), "_GET[userid]");
+    // The filter admits any string containing a digit:
+    assert!(analysis.cfg.derives(x, b"123"));
+    assert!(analysis.cfg.derives(x, b"1'; DROP TABLE unp_user; --"));
+    // ... but not digit-free strings (eregi must match):
+    assert!(!analysis.cfg.derives(x, b"abc"));
+    // ... and not the empty string (line 09's check):
+    assert!(!analysis.cfg.derives(x, b""));
+}
+
+#[test]
+fn anchored_fix_verifies() {
+    let fixed = FIGURE2.replace("eregi('[0-9]+', $userid)", "preg_match('/^[\\d]+$/', $userid)");
+    let report = analyze_page(&vfs_with(&fixed), "useredit.php", &Config::default()).unwrap();
+    assert!(report.is_verified(), "{report}");
+}
+
+#[test]
+fn fully_anchored_ereg_also_verifies() {
+    let fixed = FIGURE2.replace("eregi('[0-9]+', $userid)", "eregi('^[0-9]+$', $userid)");
+    let report = analyze_page(&vfs_with(&fixed), "useredit.php", &Config::default()).unwrap();
+    assert!(report.is_verified(), "{report}");
+}
+
+#[test]
+fn start_anchor_alone_is_insufficient() {
+    let still_broken = FIGURE2.replace("eregi('[0-9]+', $userid)", "eregi('^[0-9]+', $userid)");
+    let report =
+        analyze_page(&vfs_with(&still_broken), "useredit.php", &Config::default()).unwrap();
+    assert!(!report.is_verified(), "prefix-anchored filter still admits attacks");
+}
+
+#[test]
+fn finding_carries_example_attack_query() {
+    let report = analyze_page(&vfs_with(FIGURE2), "useredit.php", &Config::default()).unwrap();
+    let (_, f) = report.findings().next().unwrap();
+    let q = f.example_query.as_ref().expect("example query constructed");
+    let q = String::from_utf8_lossy(q);
+    assert!(
+        q.starts_with("SELECT * FROM `unp_user` WHERE userid='"),
+        "{q}"
+    );
+    // The witness sits inside the query skeleton.
+    let w = String::from_utf8_lossy(f.witness.as_ref().unwrap()).into_owned();
+    assert!(q.contains(&w), "{q} must contain {w}");
+}

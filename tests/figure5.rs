@@ -1,0 +1,64 @@
+//! Reproduces the paper's Figure 5: "Grammar reflects dataflow" — the
+//! contrived branch program whose generated grammar mirrors the SSA
+//! form (5b) as productions (5c).
+
+use strtaint::{Config, Vfs};
+
+#[test]
+fn figure5_join_productions() {
+    // Figure 5a, with the hotspot appended so the grammar is observable:
+    //   $X = $UNTRUSTED;
+    //   if ($A) { $X = $X . "s"; } else { $X = $X . "s"; }
+    //   $Z = $X;
+    let mut vfs = Vfs::new();
+    vfs.add(
+        "p.php",
+        r#"<?php
+$X = $_GET['u'];
+if ($A) {
+    $X = $X . "s";
+} else {
+    $X = $X . "s";
+}
+$Z = $X;
+$DB->query($Z);
+"#,
+    );
+    let a = strtaint_analysis::analyze(&vfs, "p.php", &Config::default()).unwrap();
+    let root = a.hotspots[0].root;
+    // Both branches append "s": every derivable string ends in 's', and
+    // the untrusted prefix is unconstrained (UNTRUSTED → Σ*).
+    assert!(a.cfg.derives(root, b"s"));
+    assert!(a.cfg.derives(root, b"anything at all s"));
+    assert!(a.cfg.derives(root, b"abcs"));
+    assert!(!a.cfg.derives(root, b"abc"), "strings not ending in 's' excluded");
+    assert!(!a.cfg.derives(root, b""), "the append is unconditional");
+    // The dataflow is visible in the grammar: Z's nonterminal reaches a
+    // direct-labeled source (X1 ← UNTRUSTED in the figure).
+    let labeled = strtaint_checker::abstraction::maximal_labeled(&a.cfg, root);
+    assert_eq!(labeled.len(), 1);
+    assert!(a.cfg.taint(labeled[0]).is_direct());
+}
+
+#[test]
+fn figure5_branches_with_different_suffixes() {
+    // Variant showing the join keeps *both* alternatives (X4 → X2 | X3).
+    let mut vfs = Vfs::new();
+    vfs.add(
+        "p.php",
+        r#"<?php
+$X = $_GET['u'];
+if ($A) {
+    $X = $X . "a";
+} else {
+    $X = $X . "b";
+}
+$DB->query($X);
+"#,
+    );
+    let a = strtaint_analysis::analyze(&vfs, "p.php", &Config::default()).unwrap();
+    let root = a.hotspots[0].root;
+    assert!(a.cfg.derives(root, b"xa"));
+    assert!(a.cfg.derives(root, b"xb"));
+    assert!(!a.cfg.derives(root, b"xc"));
+}
