@@ -14,8 +14,9 @@ use std::fmt;
 use std::rc::Rc;
 
 use strtaint_automata::{Dfa, Fst, Nfa, Regex};
-use strtaint_grammar::intersect::intersect;
-use strtaint_grammar::image::image;
+use strtaint_grammar::budget::{Budget, BudgetExceeded, DegradeAction, Degradation};
+use strtaint_grammar::intersect::intersect_with;
+use strtaint_grammar::image::image_with;
 use strtaint_grammar::lang::bounded_language;
 use strtaint_grammar::{Cfg, NtId, Symbol, Taint};
 use strtaint_php::ast::*;
@@ -60,6 +61,11 @@ pub struct Analysis {
     /// Number of files analyzed (including re-analysis through
     /// repeated includes, as in the paper's tool).
     pub files_analyzed: usize,
+    /// Precision losses from budget trips during grammar construction
+    /// (widened transducer images, skipped refinements, unresolved
+    /// includes). Each is sound: the degraded grammar derives a
+    /// superset of the precise one.
+    pub degradations: Vec<Degradation>,
 }
 
 /// Fatal analysis errors.
@@ -90,7 +96,23 @@ impl std::error::Error for AnalyzeError {}
 /// parse; problems in *included* files are demoted to warnings, like
 /// the paper's tool.
 pub fn analyze(vfs: &Vfs, entry: &str, config: &Config) -> Result<Analysis, AnalyzeError> {
-    let mut a = Analyzer::new(vfs, config);
+    analyze_with(vfs, entry, config, &config.page_budget())
+}
+
+/// Budgeted form of [`analyze`]: grammar-level operations charge
+/// `budget`, and on exhaustion degrade soundly (tainted-Σ* widening,
+/// skipped refinement, unresolved include) with a record in
+/// [`Analysis::degradations`].
+///
+/// The same budget should be passed on to the checker so one page has
+/// one resource envelope.
+pub fn analyze_with(
+    vfs: &Vfs,
+    entry: &str,
+    config: &Config,
+    budget: &Budget,
+) -> Result<Analysis, AnalyzeError> {
+    let mut a = Analyzer::new(vfs, config, budget.clone());
     if config.backward_slice {
         a.relevance = Some(relevance::compute(vfs, config));
     }
@@ -112,6 +134,7 @@ pub fn analyze(vfs: &Vfs, entry: &str, config: &Config) -> Result<Analysis, Anal
         warnings: a.warnings,
         unmodeled: a.unmodeled,
         files_analyzed: a.files_analyzed,
+        degradations: a.degradations,
     })
 }
 
@@ -154,6 +177,10 @@ pub(crate) struct Analyzer<'a> {
     cur_file: String,
     files_analyzed: usize,
     layout: Option<Rc<Dfa>>,
+    /// Shared resource budget for this page's grammar operations.
+    budget: Budget,
+    /// Sound precision losses from budget trips.
+    degradations: Vec<Degradation>,
     /// Backward-slice facts (None when `Config::backward_slice` is off).
     relevance: Option<Relevance>,
     /// Relevance hints for the expression currently being evaluated;
@@ -162,7 +189,7 @@ pub(crate) struct Analyzer<'a> {
 }
 
 impl<'a> Analyzer<'a> {
-    fn new(vfs: &'a Vfs, config: &'a Config) -> Self {
+    fn new(vfs: &'a Vfs, config: &'a Config, budget: Budget) -> Self {
         let mut cfg = Cfg::new();
         let any_nt = cfg.any_string_nt();
         let empty_nt = cfg.add_nonterminal("ε");
@@ -192,6 +219,8 @@ impl<'a> Analyzer<'a> {
             cur_file: String::new(),
             files_analyzed: 0,
             layout: None,
+            budget,
+            degradations: Vec::new(),
             relevance: None,
             hint_stack: Vec::new(),
         }
@@ -199,6 +228,17 @@ impl<'a> Analyzer<'a> {
 
     fn warn(&mut self, msg: impl Into<String>) {
         self.warnings.push(format!("{}: {}", self.cur_file, msg.into()));
+    }
+
+    /// Records a budget trip and the sound fallback applied at `what`.
+    fn degrade(&mut self, err: BudgetExceeded, what: &str, action: DegradeAction) {
+        let site = format!("{}@{}", what, self.cur_file);
+        self.warn(format!("{what}: {err}; {action}"));
+        self.degradations.push(Degradation {
+            resource: err.resource,
+            site,
+            action,
+        });
     }
 
     // ------------------------------------------------------ helpers
@@ -399,8 +439,17 @@ impl<'a> Analyzer<'a> {
             ));
             return self.any_with_taint(what, t);
         }
-        let (g2, r2) = image(&self.cfg, nt, fst);
-        self.cfg.import_from(&g2, r2)
+        let budget = self.budget.clone();
+        match image_with(&self.cfg, nt, fst, &budget) {
+            Ok((g2, r2)) => self.cfg.import_from(&g2, r2),
+            Err(err) => {
+                // Sound widening: Σ* with the operand's taint is a
+                // superset of any transducer image of it.
+                let t = self.reachable_taint(nt);
+                self.degrade(err, what, DegradeAction::WidenedToAny);
+                self.any_with_taint(what, t)
+            }
+        }
     }
 
     /// Intersects the grammar rooted at `nt` with a DFA, splicing the
@@ -411,8 +460,16 @@ impl<'a> Analyzer<'a> {
             self.warn(format!("{what} refinement on loop-carried value skipped"));
             return nt;
         }
-        let (g2, r2) = intersect(&self.cfg, nt, dfa);
-        self.cfg.import_from(&g2, r2)
+        let budget = self.budget.clone();
+        match intersect_with(&self.cfg, nt, dfa, &budget) {
+            Ok((g2, r2)) => self.cfg.import_from(&g2, r2),
+            Err(err) => {
+                // Sound: the unrefined language is a superset of the
+                // intersection.
+                self.degrade(err, what, DegradeAction::KeptUnrefined);
+                nt
+            }
+        }
     }
 
     // ------------------------------------------- structure traversal
@@ -1710,8 +1767,22 @@ impl<'a> Analyzer<'a> {
                     // §4: intersect with the filesystem layout, treating
                     // the directory tree as part of the specification.
                     let layout = self.layout_dfa();
-                    let (g2, r2) = intersect(&self.cfg, nt, &layout);
-                    bounded_language(&g2, r2, self.config.max_include_fanout)
+                    let budget = self.budget.clone();
+                    match intersect_with(&self.cfg, nt, &layout, &budget) {
+                        Ok((g2, r2)) => {
+                            bounded_language(&g2, r2, self.config.max_include_fanout)
+                        }
+                        Err(err) => {
+                            self.degrade(
+                                err,
+                                &format!("include@{site}"),
+                                DegradeAction::KeptUnrefined,
+                            );
+                            // Fall through to the unresolved-include
+                            // warning below.
+                            None
+                        }
+                    }
                 }
             };
             match lang {

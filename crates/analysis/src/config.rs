@@ -1,6 +1,7 @@
 //! Analyzer configuration.
 
 use std::collections::HashMap;
+use std::time::Duration;
 
 /// Configuration of sources, sinks, and analysis limits.
 ///
@@ -46,6 +47,14 @@ pub struct Config {
     /// the multiplicative blow-up of chained `str_replace` calls (paper
     /// §5.3, the Tiger PHP News System effect).
     pub max_transducer_grammar: usize,
+    /// Wall-clock deadline for analyzing and checking one page. `None`
+    /// = unlimited. On expiry, in-flight grammar operations degrade
+    /// soundly (widening / unverified findings — never a silent
+    /// "verified").
+    pub timeout: Option<Duration>,
+    /// Step-fuel budget (worklist pops, Earley items) for one page.
+    /// `None` = unlimited. Exhaustion degrades exactly like `timeout`.
+    pub fuel: Option<u64>,
 }
 
 impl Default for Config {
@@ -83,7 +92,18 @@ impl Default for Config {
             max_include_fanout: 64,
             backward_slice: false,
             max_transducer_grammar: 100_000,
+            timeout: None,
+            fuel: None,
         }
+    }
+}
+
+impl Config {
+    /// Builds the per-page [`strtaint_grammar::Budget`] these limits
+    /// describe. The deadline clock starts now, so call this once per
+    /// page, right before analysis begins.
+    pub fn page_budget(&self) -> strtaint_grammar::Budget {
+        strtaint_grammar::Budget::new(self.timeout, self.fuel, None)
     }
 }
 

@@ -48,7 +48,7 @@ mod refine;
 pub mod relevance;
 pub mod vfs;
 
-pub use builder::{analyze, Analysis, AnalyzeError, Hotspot};
+pub use builder::{analyze, analyze_with, Analysis, AnalyzeError, Hotspot};
 pub use config::Config;
 pub use env::Env;
 pub use vfs::Vfs;

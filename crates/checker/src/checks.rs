@@ -20,10 +20,11 @@
 
 use std::collections::HashMap;
 
-use strtaint_grammar::intersect::{intersect, is_intersection_empty};
+use strtaint_grammar::budget::{Budget, BudgetExceeded, DegradeAction};
+use strtaint_grammar::intersect::{intersect_with, is_intersection_empty_with};
 use strtaint_grammar::lang::{bounded_language, shortest_string};
 use strtaint_grammar::{Cfg, NtId};
-use strtaint_sql::derive::{context_candidates, lexeme_dfa};
+use strtaint_sql::derive::{context_candidates_with, lexeme_dfa};
 use strtaint_sql::{lex_form, SqlGrammar, TokenKind, VarPosition};
 
 use crate::abstraction::{marked_grammar, maximal_labeled};
@@ -94,13 +95,39 @@ impl Checker {
     /// Checks one hotspot: `root` must derive every query string the
     /// hotspot can send.
     pub fn check_hotspot(&self, cfg: &Cfg, root: NtId) -> HotspotReport {
+        self.check_hotspot_with(cfg, root, &Budget::unlimited())
+    }
+
+    /// Budgeted form of [`Checker::check_hotspot`].
+    ///
+    /// A budget trip while checking a labeled nonterminal yields a
+    /// [`CheckKind::BudgetExhausted`] finding and a degradation record —
+    /// the nonterminal is *never* counted verified. This is the sound
+    /// direction: exhaustion can only add false positives.
+    pub fn check_hotspot_with(&self, cfg: &Cfg, root: NtId, budget: &Budget) -> HotspotReport {
         let mut report = HotspotReport::default();
         let candidates = maximal_labeled(cfg, root);
         report.checked = candidates.len();
         for &x in &candidates {
-            match self.check_one(cfg, root, x, &candidates) {
-                None => report.verified += 1,
-                Some(finding) => report.findings.push(finding),
+            match self.check_one(cfg, root, x, &candidates, budget) {
+                Ok(None) => report.verified += 1,
+                Ok(Some(finding)) => report.findings.push(finding),
+                Err(err) => {
+                    report.degradations.push(budget.degradation(
+                        err,
+                        format!("check:{}", cfg.name(x)),
+                        DegradeAction::MarkedUnverified,
+                    ));
+                    report.findings.push(Finding {
+                        nonterminal: x,
+                        name: cfg.name(x).to_owned(),
+                        taint: cfg.taint(x),
+                        kind: CheckKind::BudgetExhausted,
+                        witness: None,
+                        example_query: None,
+                        detail: err.to_string(),
+                    });
+                }
             }
         }
         report
@@ -141,12 +168,13 @@ impl Checker {
         cfg: &Cfg,
         x: NtId,
         dfa: &strtaint_automata::Dfa,
+        budget: &Budget,
     ) -> Option<Vec<u8>> {
         const WITNESS_BUDGET: usize = 50_000;
         if cfg.count_reachable_productions(x, WITNESS_BUDGET) > WITNESS_BUDGET {
             return None;
         }
-        let (g, r) = intersect(cfg, x, dfa);
+        let (g, r) = intersect_with(cfg, x, dfa, budget).ok()?;
         shortest_string(&g, r)
     }
 
@@ -156,12 +184,13 @@ impl Checker {
         root: NtId,
         x: NtId,
         all: &[NtId],
-    ) -> Option<Finding> {
+        budget: &Budget,
+    ) -> Result<Option<Finding>, BudgetExceeded> {
         let finding = |kind: CheckKind, witness: Option<Vec<u8>>, detail: String| {
             let example_query = witness
                 .as_deref()
                 .and_then(|w| self.example_query(cfg, root, x, w));
-            Some(Finding {
+            Ok(Some(Finding {
                 nonterminal: x,
                 name: cfg.name(x).to_owned(),
                 taint: cfg.taint(x),
@@ -169,44 +198,44 @@ impl Checker {
                 witness,
                 example_query,
                 detail,
-            })
+            }))
         };
         if cfg.is_empty_language(x) {
-            return None;
+            return Ok(None);
         }
 
         // C1: odd number of unescaped quotes.
-        if !is_intersection_empty(cfg, x, &self.odd_quotes) {
+        if !is_intersection_empty_with(cfg, x, &self.odd_quotes, budget)? {
             return finding(
                 CheckKind::OddQuotes,
-                self.witness_of(cfg, x, &self.odd_quotes),
+                self.witness_of(cfg, x, &self.odd_quotes, budget),
                 String::new(),
             );
         }
 
         // C2: always in string-literal position?
         let (marked, mroot) = marked_grammar(cfg, root, x, &HashMap::new());
-        if is_intersection_empty(&marked, mroot, &self.marker_outside) {
-            if !is_intersection_empty(cfg, x, &self.has_quote) {
+        if is_intersection_empty_with(&marked, mroot, &self.marker_outside, budget)? {
+            if !is_intersection_empty_with(cfg, x, &self.has_quote, budget)? {
                 return finding(
                     CheckKind::EscapesLiteral,
-                    self.witness_of(cfg, x, &self.has_quote),
+                    self.witness_of(cfg, x, &self.has_quote, budget),
                     String::new(),
                 );
             }
-            return None; // confined within a string literal
+            return Ok(None); // confined within a string literal
         }
 
         // C3: numeric-only language is confined anywhere a literal fits.
-        if is_intersection_empty(cfg, x, &self.non_numeric) {
-            return None;
+        if is_intersection_empty_with(cfg, x, &self.non_numeric, budget)? {
+            return Ok(None);
         }
 
         // C4: known attack fragments confirm a vulnerability.
-        if !is_intersection_empty(cfg, x, &self.attack) {
+        if !is_intersection_empty_with(cfg, x, &self.attack, budget)? {
             return finding(
                 CheckKind::AttackString,
-                self.witness_of(cfg, x, &self.attack),
+                self.witness_of(cfg, x, &self.attack, budget),
                 String::new(),
             );
         }
@@ -232,19 +261,20 @@ impl Checker {
         };
         // Subset checks for L(X), computed lazily once.
         let mut fits: HashMap<TokenKind, bool> = HashMap::new();
-        let mut fits_kind = |kind: TokenKind| -> bool {
-            *fits.entry(kind).or_insert_with(|| {
-                let lex = lexeme_dfa(kind).complement();
-                if !is_intersection_empty(cfg, x, &lex) {
-                    return false;
-                }
-                if kind == TokenKind::Ident
-                    && !is_intersection_empty(cfg, x, &self.keywords)
-                {
-                    return false;
-                }
-                true
-            })
+        let mut fits_kind = |kind: TokenKind| -> Result<bool, BudgetExceeded> {
+            if let Some(&v) = fits.get(&kind) {
+                return Ok(v);
+            }
+            let lex = lexeme_dfa(kind).complement();
+            let mut v = is_intersection_empty_with(cfg, x, &lex, budget)?;
+            if v
+                && kind == TokenKind::Ident
+                && !is_intersection_empty_with(cfg, x, &self.keywords, budget)?
+            {
+                v = false;
+            }
+            fits.insert(kind, v);
+            Ok(v)
         };
         for ctx in &contexts {
             let Ok(form) = lex_form(ctx) else {
@@ -266,7 +296,7 @@ impl Checker {
             }
             if form.vars.iter().any(|v| *v == VarPosition::InString) {
                 // Inside a literal in this context: no unescaped quotes.
-                if !is_intersection_empty(cfg, x, &self.has_quote) {
+                if !is_intersection_empty_with(cfg, x, &self.has_quote, budget)? {
                     return finding(
                         CheckKind::EscapesLiteral,
                         shortest_string(cfg, x),
@@ -275,7 +305,7 @@ impl Checker {
                 }
             }
             if form.vars.iter().any(|v| *v == VarPosition::InBackquotes)
-                && !is_intersection_empty(cfg, x, &self.backquote)
+                && !is_intersection_empty_with(cfg, x, &self.backquote, budget)?
             {
                 return finding(
                     CheckKind::EscapesLiteral,
@@ -288,8 +318,14 @@ impl Checker {
                 .iter()
                 .any(|v| *v == VarPosition::Bare)
             {
-                let candidates = context_candidates(&self.sql, &form);
-                let ok = candidates.iter().any(|&k| fits_kind(k));
+                let candidates = context_candidates_with(&self.sql, &form, budget)?;
+                let mut ok = false;
+                for &k in &candidates {
+                    if fits_kind(k)? {
+                        ok = true;
+                        break;
+                    }
+                }
                 if !ok {
                     return finding(
                         CheckKind::NotDerivable,
@@ -303,7 +339,7 @@ impl Checker {
                 }
             }
         }
-        None
+        Ok(None)
     }
 }
 
@@ -456,6 +492,34 @@ mod tests {
         let r = c.check_hotspot(&g, root);
         assert!(r.is_safe());
         assert_eq!(r.checked, 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_conservative() {
+        // A hotspot that verifies under an unlimited budget must, under
+        // a tiny budget, be reported BudgetExhausted — a false positive
+        // is acceptable, a silent "verified" is not.
+        let (g, root, _) = harness(b"'", &[b"1", b"42"], b"'");
+        let c = Checker::new();
+        assert!(c.check_hotspot(&g, root).is_safe());
+
+        let tiny = Budget::new(None, Some(5), None);
+        let r = c.check_hotspot_with(&g, root, &tiny);
+        assert!(!r.is_safe(), "exhausted budget must not verify: {r}");
+        assert!(r
+            .findings
+            .iter()
+            .all(|f| f.kind == CheckKind::BudgetExhausted));
+        assert_eq!(r.verified, 0);
+        assert!(!r.degradations.is_empty());
+
+        // And a vulnerable hotspot stays flagged under any budget.
+        let (g2, root2, _) = harness(b"'", &[b"1", b"1'; DROP TABLE t; --"], b"'");
+        for fuel in [1u64, 10, 100, 10_000] {
+            let b = Budget::new(None, Some(fuel), None);
+            let r = c.check_hotspot_with(&g2, root2, &b);
+            assert!(!r.is_safe(), "fuel={fuel} must not verify a vulnerable hotspot");
+        }
     }
 
     #[test]

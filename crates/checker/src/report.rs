@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use strtaint_grammar::{NtId, Taint};
+use strtaint_grammar::{Degradation, NtId, Taint};
 
 /// Which check classified the finding (paper §3.2.1–3.2.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,6 +25,11 @@ pub enum CheckKind {
     /// The checker could not enumerate the query contexts (infinite or
     /// too many); reported conservatively.
     Unresolved,
+    /// The analysis budget (deadline, fuel, or grammar cap) ran out
+    /// before the hotspot could be verified; reported conservatively —
+    /// a budget trip may cause a false positive, never a silent
+    /// "verified".
+    BudgetExhausted,
 }
 
 impl fmt::Display for CheckKind {
@@ -36,6 +41,7 @@ impl fmt::Display for CheckKind {
             CheckKind::NotDerivable => "not derivable from the SQL grammar in context",
             CheckKind::GluedContext => "attacker-controlled token boundary",
             CheckKind::Unresolved => "contexts could not be enumerated",
+            CheckKind::BudgetExhausted => "analysis budget exhausted before verification",
         };
         write!(f, "{s}")
     }
@@ -88,6 +94,10 @@ pub struct HotspotReport {
     pub checked: usize,
     /// Number verified syntactically confined.
     pub verified: usize,
+    /// Precision losses from budget trips while checking this hotspot.
+    /// Nonempty `degradations` with empty `findings` cannot happen: a
+    /// trip always yields a [`CheckKind::BudgetExhausted`] finding.
+    pub degradations: Vec<Degradation>,
 }
 
 impl HotspotReport {
@@ -100,14 +110,17 @@ impl HotspotReport {
 impl fmt::Display for HotspotReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_safe() {
-            write!(f, "verified ({} labeled nonterminals)", self.checked)
+            write!(f, "verified ({} labeled nonterminals)", self.checked)?;
         } else {
             writeln!(f, "{} finding(s):", self.findings.len())?;
             for finding in &self.findings {
                 writeln!(f, "  - {finding}")?;
             }
-            Ok(())
         }
+        for d in &self.degradations {
+            writeln!(f, "  ~ degraded: {d}")?;
+        }
+        Ok(())
     }
 }
 
@@ -139,6 +152,7 @@ mod tests {
             findings: vec![],
             checked: 2,
             verified: 2,
+            degradations: vec![],
         };
         assert!(r.is_safe());
         assert!(r.to_string().contains("verified"));

@@ -18,7 +18,8 @@
 //!   word.
 
 use strtaint_automata::{ByteSet, Dfa, Nfa};
-use strtaint_grammar::intersect::is_intersection_empty;
+use strtaint_grammar::budget::{Budget, BudgetExceeded, DegradeAction};
+use strtaint_grammar::intersect::is_intersection_empty_with;
 use strtaint_grammar::lang::shortest_string;
 use strtaint_grammar::{Cfg, NtId};
 use strtaint_sql::VAR_MARKER;
@@ -136,24 +137,53 @@ impl XssChecker {
     /// Checks one `echo` sink whose emitted language is rooted at
     /// `root`.
     pub fn check_echo(&self, cfg: &Cfg, root: NtId) -> HotspotReport {
+        self.check_echo_with(cfg, root, &Budget::unlimited())
+    }
+
+    /// Like [`XssChecker::check_echo`] under a resource budget. A
+    /// budget trip marks the nonterminal unverified (a conservative
+    /// [`CheckKind::BudgetExhausted`] finding), never verified.
+    pub fn check_echo_with(&self, cfg: &Cfg, root: NtId, budget: &Budget) -> HotspotReport {
         let mut report = HotspotReport::default();
         let candidates = maximal_labeled(cfg, root);
         report.checked = candidates.len();
         for x in candidates {
-            match self.check_one(cfg, root, x) {
-                None => report.verified += 1,
-                Some(f) => report.findings.push(f),
+            match self.check_one(cfg, root, x, budget) {
+                Ok(None) => report.verified += 1,
+                Ok(Some(f)) => report.findings.push(f),
+                Err(err) => {
+                    report.degradations.push(budget.degradation(
+                        err,
+                        format!("xss-check:{}", cfg.name(x)),
+                        DegradeAction::MarkedUnverified,
+                    ));
+                    report.findings.push(Finding {
+                        nonterminal: x,
+                        name: cfg.name(x).to_owned(),
+                        taint: cfg.taint(x),
+                        kind: CheckKind::BudgetExhausted,
+                        witness: None,
+                        example_query: None,
+                        detail: err.to_string(),
+                    });
+                }
             }
         }
         report
     }
 
-    fn check_one(&self, cfg: &Cfg, root: NtId, x: NtId) -> Option<Finding> {
+    fn check_one(
+        &self,
+        cfg: &Cfg,
+        root: NtId,
+        x: NtId,
+        budget: &Budget,
+    ) -> Result<Option<Finding>, BudgetExceeded> {
         if cfg.is_empty_language(x) {
-            return None;
+            return Ok(None);
         }
         let finding = |detail: &str, witness: Option<Vec<u8>>| {
-            Some(Finding {
+            Ok(Some(Finding {
                 nonterminal: x,
                 name: cfg.name(x).to_owned(),
                 taint: cfg.taint(x),
@@ -161,26 +191,26 @@ impl XssChecker {
                 witness,
                 example_query: None,
                 detail: format!("XSS: {detail}"),
-            })
+            }))
         };
         let (marked, mroot) = marked_grammar(cfg, root, x, &Default::default());
         // Text context: a `<` opens attacker markup.
-        if !is_intersection_empty(&marked, mroot, &self.in_text)
-            && !is_intersection_empty(cfg, x, &self.has_lt)
+        if !is_intersection_empty_with(&marked, mroot, &self.in_text, budget)?
+            && !is_intersection_empty_with(cfg, x, &self.has_lt, budget)?
         {
             return finding("can open a tag in text context", shortest_string(cfg, x));
         }
         // Quoted attribute contexts: the closing quote escapes.
-        if !is_intersection_empty(&marked, mroot, &self.in_attr_dq)
-            && !is_intersection_empty(cfg, x, &self.has_dq)
+        if !is_intersection_empty_with(&marked, mroot, &self.in_attr_dq, budget)?
+            && !is_intersection_empty_with(cfg, x, &self.has_dq, budget)?
         {
             return finding(
                 "can close its double-quoted attribute",
                 shortest_string(cfg, x),
             );
         }
-        if !is_intersection_empty(&marked, mroot, &self.in_attr_sq)
-            && !is_intersection_empty(cfg, x, &self.has_sq)
+        if !is_intersection_empty_with(&marked, mroot, &self.in_attr_sq, budget)?
+            && !is_intersection_empty_with(cfg, x, &self.has_sq, budget)?
         {
             return finding(
                 "can close its single-quoted attribute",
@@ -188,15 +218,15 @@ impl XssChecker {
             );
         }
         // Raw tag-interior position: only bare words are tolerable.
-        if !is_intersection_empty(&marked, mroot, &self.in_tag)
-            && !is_intersection_empty(cfg, x, &self.non_word)
+        if !is_intersection_empty_with(&marked, mroot, &self.in_tag, budget)?
+            && !is_intersection_empty_with(cfg, x, &self.non_word, budget)?
         {
             return finding(
                 "controls tag-interior tokens",
                 shortest_string(cfg, x),
             );
         }
-        None
+        Ok(None)
     }
 }
 

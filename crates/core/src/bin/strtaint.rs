@@ -10,14 +10,26 @@
 //!   --sarif         SARIF 2.1.0 output (for CI annotation)
 //!   --include A=B   resolve the dynamic include at site A (file:line)
 //!                   to file B (repeatable)
+//!   --timeout SECS  wall-clock budget per page; on expiry the analysis
+//!                   degrades soundly (widened grammars / unverified
+//!                   hotspots reported as findings — never a silent
+//!                   "verified")
+//!   --fuel N        step budget per page (worklist pops, Earley items);
+//!                   exhaustion degrades exactly like --timeout
 //! ```
 //!
-//! Exit code: 0 = verified, 1 = findings reported, 2 = usage/IO error.
+//! Exit code: 0 = verified, 1 = findings reported (including
+//! budget-exhaustion findings: a degraded run exits 1, it never
+//! upgrades to 0), 2 = usage/IO error.
 
 use std::path::Path;
 use std::process::ExitCode;
 
 use strtaint::{analyze_page_with, analyze_page_xss, Checker, Config, PageReport, Vfs};
+
+const USAGE: &str = "usage: strtaint [--xss] [--slice] [--json] [--sarif] \
+                     [--include SITE=FILE] [--timeout SECS] [--fuel N] \
+                     <dir> <entry.php>...";
 
 struct Options {
     xss: bool,
@@ -27,6 +39,8 @@ struct Options {
     dir: String,
     entries: Vec<String>,
     includes: Vec<(String, String)>,
+    timeout: Option<std::time::Duration>,
+    fuel: Option<u64>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -38,6 +52,8 @@ fn parse_args() -> Result<Options, String> {
         dir: String::new(),
         entries: Vec::new(),
         includes: Vec::new(),
+        timeout: None,
+        fuel: None,
     };
     let mut positional = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -54,11 +70,25 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or("--include argument must be SITE=FILE")?;
                 opts.includes.push((site.to_owned(), file.to_owned()));
             }
-            "--help" | "-h" => {
-                return Err("usage: strtaint [--xss] [--slice] [--json] \
-                            [--include SITE=FILE] <dir> <entry.php>..."
-                    .to_owned())
+            "--timeout" => {
+                let v = args.next().ok_or("--timeout requires SECS")?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--timeout: not a number: {v}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!("--timeout: must be positive: {v}"));
+                }
+                opts.timeout = Some(std::time::Duration::from_secs_f64(secs));
             }
+            "--fuel" => {
+                let v = args.next().ok_or("--fuel requires N")?;
+                let n: u64 = v.parse().map_err(|_| format!("--fuel: not a number: {v}"))?;
+                if n == 0 {
+                    return Err("--fuel: must be positive".to_owned());
+                }
+                opts.fuel = Some(n);
+            }
+            "--help" | "-h" => return Err(USAGE.to_owned()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option {other}"))
             }
@@ -66,9 +96,7 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     if positional.len() < 2 {
-        return Err("usage: strtaint [--xss] [--slice] [--json] \
-                    [--include SITE=FILE] <dir> <entry.php>..."
-            .to_owned());
+        return Err(USAGE.to_owned());
     }
     opts.dir = positional.remove(0);
     opts.entries = positional;
@@ -97,6 +125,14 @@ fn emit_json(reports: &[PageReport]) {
         println!("  {{");
         println!("    \"entry\": \"{}\",", json_escape(&p.entry));
         println!("    \"verified\": {},", p.is_verified());
+        println!("    \"degraded\": {},", p.is_degraded());
+        println!(
+            "    \"skipped\": {},",
+            p.skipped
+                .as_deref()
+                .map(|s| format!("\"{}\"", json_escape(s)))
+                .unwrap_or_else(|| "null".to_owned())
+        );
         println!("    \"grammar_nonterminals\": {},", p.grammar_nonterminals);
         println!("    \"grammar_productions\": {},", p.grammar_productions);
         println!(
@@ -127,6 +163,18 @@ fn emit_json(reports: &[PageReport]) {
             );
         }
         println!("    ],");
+        println!("    \"degradations\": [");
+        let degs: Vec<_> = p.all_degradations().collect();
+        for (di, d) in degs.iter().enumerate() {
+            println!(
+                "      {{\"site\": \"{}\", \"resource\": \"{}\", \"action\": \"{}\"}}{}",
+                json_escape(&d.site),
+                d.resource,
+                d.action,
+                if di + 1 < degs.len() { "," } else { "" }
+            );
+        }
+        println!("    ],");
         println!("    \"warnings\": [");
         for (wi, w) in p.warnings.iter().enumerate() {
             println!(
@@ -153,6 +201,7 @@ fn emit_sarif(reports: &[PageReport]) {
             NotDerivable => "strtaint/not-derivable",
             GluedContext => "strtaint/glued-context",
             Unresolved => "strtaint/unresolved",
+            BudgetExhausted => "strtaint/budget-exhausted",
         }
     };
     println!("{{");
@@ -214,6 +263,8 @@ fn main() -> ExitCode {
     };
     let mut config = Config {
         backward_slice: opts.slice,
+        timeout: opts.timeout,
+        fuel: opts.fuel,
         ..Config::default()
     };
     for (site, file) in &opts.includes {
@@ -250,6 +301,8 @@ fn main() -> ExitCode {
     } else if opts.json {
         emit_json(&reports);
     } else {
+        // Degradations are rendered by the PageReport/HotspotReport
+        // Display impls (`~ degraded:` lines).
         for r in &reports {
             print!("{r}");
             for w in &r.warnings {
@@ -257,10 +310,17 @@ fn main() -> ExitCode {
             }
         }
         let total: usize = reports.iter().map(|r| r.findings().count()).sum();
+        let degraded = reports.iter().filter(|r| r.is_degraded()).count();
         if any_findings {
             println!("\n{total} finding(s).");
         } else {
             println!("\nAll pages verified.");
+        }
+        if degraded > 0 {
+            println!(
+                "{degraded} page(s) degraded by resource budgets — \
+                 results are conservative, not complete."
+            );
         }
     }
     if any_findings {

@@ -59,7 +59,7 @@ use std::time::Instant;
 
 pub use strtaint_analysis::{AnalyzeError, Config, Hotspot, Vfs};
 pub use strtaint_checker::{CheckKind, CheckOptions, Checker, Finding, HotspotReport};
-pub use strtaint_grammar::{Cfg, NtId, Taint};
+pub use strtaint_grammar::{Budget, Cfg, DegradeAction, Degradation, NtId, Resource, Taint};
 
 pub use report::{AppReport, PageReport};
 
@@ -90,14 +90,17 @@ pub fn analyze_page_with(
     config: &Config,
     checker: &Checker,
 ) -> Result<PageReport, AnalyzeError> {
+    // One budget covers both phases: the deadline clock starts here and
+    // the fuel pool is shared between analysis and checking.
+    let budget = config.page_budget();
     let t0 = Instant::now();
-    let analysis = strtaint_analysis::analyze(vfs, entry, config)?;
+    let analysis = strtaint_analysis::analyze_with(vfs, entry, config, &budget)?;
     let analysis_time = t0.elapsed();
 
     let t1 = Instant::now();
     let mut hotspots = Vec::new();
     for h in &analysis.hotspots {
-        let r = checker.check_hotspot(&analysis.cfg, h.root);
+        let r = checker.check_hotspot_with(&analysis.cfg, h.root, &budget);
         hotspots.push((h.clone(), r));
     }
     let check_time = t1.elapsed();
@@ -127,6 +130,8 @@ pub fn analyze_page_with(
         warnings: analysis.warnings,
         unmodeled: analysis.unmodeled.into_iter().collect(),
         files_analyzed: analysis.files_analyzed,
+        degradations: analysis.degradations,
+        skipped: None,
     })
 }
 
@@ -145,15 +150,16 @@ pub fn analyze_page_xss(
     entry: &str,
     config: &Config,
 ) -> Result<PageReport, AnalyzeError> {
+    let budget = config.page_budget();
     let t0 = Instant::now();
-    let analysis = strtaint_analysis::analyze(vfs, entry, config)?;
+    let analysis = strtaint_analysis::analyze_with(vfs, entry, config, &budget)?;
     let analysis_time = t0.elapsed();
 
     let t1 = Instant::now();
     let checker = strtaint_checker::XssChecker::new();
     let mut hotspots = Vec::new();
     for h in &analysis.echo_sinks {
-        let r = checker.check_echo(&analysis.cfg, h.root);
+        let r = checker.check_echo_with(&analysis.cfg, h.root, &budget);
         hotspots.push((h.clone(), r));
     }
     let check_time = t1.elapsed();
@@ -182,32 +188,54 @@ pub fn analyze_page_xss(
         warnings: analysis.warnings,
         unmodeled: analysis.unmodeled.into_iter().collect(),
         files_analyzed: analysis.files_analyzed,
+        degradations: analysis.degradations,
+        skipped: None,
     })
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs one page analysis with panic isolation: a panic inside the
+/// analyzer or checker becomes a skipped page, not a crashed run.
+fn isolated<F>(entry: &str, analyze: F) -> PageReport
+where
+    F: FnOnce() -> Result<PageReport, AnalyzeError> + std::panic::UnwindSafe,
+{
+    match std::panic::catch_unwind(analyze) {
+        Ok(Ok(p)) => p,
+        Ok(Err(err)) => PageReport::skipped_page(entry, format!("page skipped: {err}")),
+        Err(payload) => PageReport::skipped_page(
+            entry,
+            format!("page skipped: analyzer panicked: {}", panic_message(&*payload)),
+        ),
+    }
 }
 
 /// Analyzes a whole application: each entry is a page's top-level file
 /// (the paper analyzes every page of each subject).
 ///
-/// Pages that fail to parse are skipped with a synthetic warning page.
+/// Pages that fail to parse — or whose analysis panics — are skipped
+/// with a synthetic report ([`PageReport::skipped_page`]); skipped
+/// pages are never counted verified.
 pub fn analyze_app(name: &str, vfs: &Vfs, entries: &[&str], config: &Config) -> AppReport {
     let checker = Checker::new();
-    let mut pages = Vec::new();
-    for &e in entries {
-        match analyze_page_with(vfs, e, config, &checker) {
-            Ok(p) => pages.push(p),
-            Err(err) => pages.push(PageReport {
-                entry: e.to_owned(),
-                hotspots: Vec::new(),
-                grammar_nonterminals: 0,
-                grammar_productions: 0,
-                analysis_time: Default::default(),
-                check_time: Default::default(),
-                warnings: vec![format!("page skipped: {err}")],
-                unmodeled: Vec::new(),
-                files_analyzed: 0,
-            }),
-        }
-    }
+    let pages = entries
+        .iter()
+        .map(|&e| {
+            isolated(e, std::panic::AssertUnwindSafe(|| {
+                analyze_page_with(vfs, e, config, &checker)
+            }))
+        })
+        .collect();
     AppReport {
         name: name.to_owned(),
         files: vfs.len(),
@@ -219,6 +247,12 @@ pub fn analyze_app(name: &str, vfs: &Vfs, entries: &[&str], config: &Config) -> 
 /// Like [`analyze_app`], analyzing pages on worker threads — the
 /// "concurrent executions of the analyzer" speedup the paper suggests
 /// in §5.3 (pages are independent; each re-analyzes its includes).
+///
+/// Fault isolation: each page runs under `catch_unwind`, so a panic in
+/// one page yields a skipped [`PageReport`] for that page while every
+/// other page completes normally. No lock is held across page analyses
+/// (workers buffer results locally), so a worker fault can never poison
+/// shared state.
 pub fn analyze_app_parallel(
     name: &str,
     vfs: &Vfs,
@@ -227,44 +261,75 @@ pub fn analyze_app_parallel(
     workers: usize,
 ) -> AppReport {
     let checker = Checker::new();
+    analyze_app_parallel_with(name, vfs, entries, workers, |vfs, entry| {
+        analyze_page_with(vfs, entry, config, &checker)
+    })
+}
+
+/// The engine behind [`analyze_app_parallel`], generic over the
+/// per-page analysis so callers (and fault-injection tests) can
+/// substitute their own. `analyze` runs under `catch_unwind`; a panic
+/// or error produces a skipped page report in that page's slot.
+pub fn analyze_app_parallel_with<F>(
+    name: &str,
+    vfs: &Vfs,
+    entries: &[&str],
+    workers: usize,
+    analyze: F,
+) -> AppReport
+where
+    F: Fn(&Vfs, &str) -> Result<PageReport, AnalyzeError> + Sync,
+{
     let workers = workers.max(1).min(entries.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<PageReport>> = Vec::new();
-    slots.resize_with(entries.len(), || None);
-    let slots = std::sync::Mutex::new(slots);
+    let analyze = &analyze;
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= entries.len() {
-                    break;
-                }
-                let page = match analyze_page_with(vfs, entries[i], config, &checker) {
-                    Ok(p) => p,
-                    Err(err) => PageReport {
-                        entry: entries[i].to_owned(),
-                        hotspots: Vec::new(),
-                        grammar_nonterminals: 0,
-                        grammar_productions: 0,
-                        analysis_time: Default::default(),
-                        check_time: Default::default(),
-                        warnings: vec![format!("page skipped: {err}")],
-                        unmodeled: Vec::new(),
-                        files_analyzed: 0,
-                    },
-                };
-                slots.lock().expect("no panics while holding the lock")[i] = Some(page);
-            });
-        }
+    // Workers buffer (index, report) pairs locally; results are merged
+    // after joining. No shared mutable state, hence nothing to poison.
+    let mut produced: Vec<(usize, PageReport)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= entries.len() {
+                            break;
+                        }
+                        let page = isolated(
+                            entries[i],
+                            std::panic::AssertUnwindSafe(|| analyze(vfs, entries[i])),
+                        );
+                        local.push((i, page));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            // A worker death is unreachable in practice (pages are
+            // caught individually), but must not take down the run:
+            // its pages fall through to the skipped-page backfill.
+            .flat_map(|h| h.join().unwrap_or_default())
+            .collect()
     });
 
-    let pages = slots
-        .into_inner()
-        .expect("workers finished")
-        .into_iter()
-        .map(|p| p.expect("every slot filled"))
-        .collect();
+    produced.sort_by_key(|&(i, _)| i);
+    let mut pages: Vec<PageReport> = Vec::with_capacity(entries.len());
+    let mut produced = produced.into_iter().peekable();
+    for (i, &entry) in entries.iter().enumerate() {
+        match produced.peek() {
+            Some(&(j, _)) if j == i => {
+                pages.push(produced.next().map(|(_, p)| p).expect("peeked entry exists"));
+            }
+            _ => pages.push(PageReport::skipped_page(
+                entry,
+                "page skipped: worker thread terminated abnormally".to_owned(),
+            )),
+        }
+    }
+
     AppReport {
         name: name.to_owned(),
         files: vfs.len(),
@@ -370,5 +435,75 @@ $u = get_user($_GET['id']);
         assert_eq!(app.distinct_findings().len(), 1);
         assert_eq!(app.direct_findings().len(), 1);
         assert!(app.indirect_findings().is_empty());
+    }
+
+    #[test]
+    fn missing_page_is_skipped_not_verified() {
+        let mut vfs = Vfs::new();
+        vfs.add("ok.php", "<?php $r = $DB->query(\"SELECT 1\");");
+        let app = analyze_app("demo", &vfs, &["ok.php", "nope.php"], &Config::default());
+        assert_eq!(app.pages.len(), 2);
+        assert!(app.pages[0].is_verified());
+        assert!(app.pages[1].skipped.is_some());
+        assert!(!app.pages[1].is_verified(), "skipped is never verified");
+        assert_eq!(app.skipped_pages(), 1);
+        assert_eq!(app.files_analyzed(), 1, "skipped pages analyze no files");
+    }
+
+    #[test]
+    fn worker_panic_isolated_to_its_page() {
+        let mut vfs = Vfs::new();
+        for p in ["a.php", "b.php", "c.php"] {
+            vfs.add(p, "<?php $r = $DB->query(\"SELECT 1\");");
+        }
+        let config = Config::default();
+        let checker = Checker::new();
+        let app = analyze_app_parallel_with(
+            "demo",
+            &vfs,
+            &["a.php", "b.php", "c.php"],
+            2,
+            |vfs, entry| {
+                if entry == "b.php" {
+                    panic!("injected fault for {entry}");
+                }
+                analyze_page_with(vfs, entry, &config, &checker)
+            },
+        );
+        assert_eq!(app.pages.len(), 3);
+        assert!(app.pages[0].is_verified());
+        assert!(app.pages[2].is_verified());
+        let skipped = app.pages[1].skipped.as_deref().expect("b.php skipped");
+        assert!(skipped.contains("injected fault"), "{skipped}");
+        assert!(!app.pages[1].is_verified());
+        assert_eq!(app.skipped_pages(), 1);
+    }
+
+    #[test]
+    fn fuel_exhaustion_never_verifies() {
+        // This page verifies under an unlimited budget (see
+        // `addslashes_in_quotes_verifies`); proving it costs fuel, so a
+        // tiny budget trips mid-proof.
+        let mut vfs = Vfs::new();
+        vfs.add(
+            "a.php",
+            r#"<?php
+$name = addslashes($_POST['name']);
+$r = $DB->query("SELECT * FROM u WHERE name='$name'");
+"#,
+        );
+        let config = Config {
+            fuel: Some(5),
+            ..Config::default()
+        };
+        let r = analyze_page(&vfs, "a.php", &config).unwrap();
+        // The page is actually safe, but fuel ran out before the proof
+        // finished: it must NOT be reported verified.
+        assert!(!r.is_verified(), "budget trip must not claim verified");
+        assert!(r.is_degraded(), "exhaustion must surface as a degradation");
+        assert!(
+            r.findings().count() > 0,
+            "an unproven hotspot must carry a conservative finding"
+        );
     }
 }

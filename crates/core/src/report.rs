@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use strtaint_analysis::Hotspot;
 use strtaint_checker::{Finding, HotspotReport};
+use strtaint_grammar::Degradation;
 
 /// Analysis + checking results for one web page (one top-level PHP
 /// file, the unit of analysis in the paper §5.3).
@@ -29,12 +30,57 @@ pub struct PageReport {
     pub unmodeled: Vec<String>,
     /// Files traversed (recounting repeated includes).
     pub files_analyzed: usize,
+    /// Precision losses from budget trips during grammar construction
+    /// (hotspot-level losses live on each [`HotspotReport`]).
+    pub degradations: Vec<Degradation>,
+    /// `Some(reason)` when the page could not be analyzed at all
+    /// (parse error, missing entry, analyzer panic). A skipped page is
+    /// **never** verified.
+    pub skipped: Option<String>,
 }
 
 impl PageReport {
-    /// `true` if every hotspot on the page was verified.
+    /// A synthetic report for a page that could not be analyzed.
+    ///
+    /// The page carries the reason in both `skipped` and `warnings`,
+    /// counts zero files analyzed, and reports `is_verified() == false`
+    /// — skipping may only lose precision, never soundness.
+    pub fn skipped_page(entry: &str, reason: String) -> PageReport {
+        PageReport {
+            entry: entry.to_owned(),
+            hotspots: Vec::new(),
+            grammar_nonterminals: 0,
+            grammar_productions: 0,
+            analysis_time: Duration::default(),
+            check_time: Duration::default(),
+            warnings: vec![reason.clone()],
+            unmodeled: Vec::new(),
+            files_analyzed: 0,
+            degradations: Vec::new(),
+            skipped: Some(reason),
+        }
+    }
+
+    /// `true` if the page was analyzed and every hotspot was verified.
+    ///
+    /// Skipped pages are *not* verified — nothing was proven about
+    /// them.
     pub fn is_verified(&self) -> bool {
-        self.hotspots.iter().all(|(_, r)| r.is_safe())
+        self.skipped.is_none() && self.hotspots.iter().all(|(_, r)| r.is_safe())
+    }
+
+    /// `true` if any precision was lost to budget trips, on the page
+    /// or inside any of its hotspot checks.
+    pub fn is_degraded(&self) -> bool {
+        !self.degradations.is_empty()
+            || self.hotspots.iter().any(|(_, r)| !r.degradations.is_empty())
+    }
+
+    /// All degradations: page-level, then per-hotspot.
+    pub fn all_degradations(&self) -> impl Iterator<Item = &Degradation> {
+        self.degradations
+            .iter()
+            .chain(self.hotspots.iter().flat_map(|(_, r)| r.degradations.iter()))
     }
 
     /// Iterates over all findings with their hotspots.
@@ -57,12 +103,18 @@ impl fmt::Display for PageReport {
             self.analysis_time,
             self.check_time
         )?;
+        if let Some(reason) = &self.skipped {
+            writeln!(f, "  SKIPPED: {reason}")?;
+        }
         for (h, r) in &self.hotspots {
             if r.is_safe() {
                 writeln!(f, "  {} @ {}:{} — verified", h.label, h.file, h.span)?;
             } else {
                 writeln!(f, "  {} @ {}:{} — {}", h.label, h.file, h.span, r)?;
             }
+        }
+        for d in &self.degradations {
+            writeln!(f, "  ~ degraded: {d}")?;
         }
         Ok(())
     }
@@ -134,6 +186,24 @@ impl AppReport {
     pub fn check_time(&self) -> Duration {
         self.pages.iter().map(|p| p.check_time).sum()
     }
+
+    /// Number of pages that could not be analyzed (parse error, panic,
+    /// missing entry). These pages are never counted verified.
+    pub fn skipped_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.skipped.is_some()).count()
+    }
+
+    /// Number of pages whose results lost precision to budget trips.
+    pub fn degraded_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_degraded()).count()
+    }
+
+    /// Files actually traversed by the analyzer, summed over pages
+    /// (repeated includes recounted, skipped pages contributing zero) —
+    /// unlike `files`, which counts every file in the project tree.
+    pub fn files_analyzed(&self) -> usize {
+        self.pages.iter().map(|p| p.files_analyzed).sum()
+    }
 }
 
 impl fmt::Display for AppReport {
@@ -153,6 +223,14 @@ impl fmt::Display for AppReport {
             "  direct findings: {}, indirect findings: {}",
             self.direct_findings().len(),
             self.indirect_findings().len()
-        )
+        )?;
+        let (skipped, degraded) = (self.skipped_pages(), self.degraded_pages());
+        if skipped > 0 || degraded > 0 {
+            writeln!(
+                f,
+                "  pages skipped: {skipped}, pages degraded: {degraded} (neither counts verified)"
+            )?;
+        }
+        Ok(())
     }
 }

@@ -1,0 +1,380 @@
+//! Resource budgets and the sound-degradation vocabulary.
+//!
+//! The language-theoretic core — CFG∩FSA intersection, FST image, and
+//! Earley derivability — is worst-case super-linear in grammar × DFA
+//! size, and real PHP pages can drive it there (deep `str_replace`
+//! chains, wide concatenations, alternation-heavy filters). A
+//! [`Budget`] makes every such loop *cooperatively preemptible*: hot
+//! loops charge fuel as they work and bail out with a structured
+//! [`BudgetExceeded`] when the page's wall-clock deadline passes, its
+//! step fuel runs out, or an intermediate grammar outgrows its cap.
+//!
+//! The contract callers must uphold is **degradation may only lose
+//! precision, never soundness**: when a budgeted operation trips, the
+//! caller replaces its result with an over-approximation (widening a
+//! language to tainted Σ*, keeping a nonterminal unrefined) or reports
+//! the hotspot *unverified*. A budget trip can therefore cause a false
+//! positive, never a silent "verified". Each such event is recorded as
+//! a [`Degradation`] so reports can show exactly where and why
+//! precision was lost.
+//!
+//! Budgets are cheap to clone (`Arc` inside) and thread-safe, so one
+//! budget can govern a whole page analysis across helper calls. Fuel is
+//! a shared atomic counter; the wall-clock deadline is checked on an
+//! amortized schedule (every [`DEADLINE_CHECK_INTERVAL`] charges) to
+//! keep `Instant::now` off the per-step path.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many fuel charges elapse between wall-clock deadline checks.
+pub const DEADLINE_CHECK_INTERVAL: u64 = 1024;
+
+/// Which resource a [`Budget`] ran out of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The step-fuel counter reached zero.
+    Fuel,
+    /// An intermediate grammar exceeded the size cap.
+    GrammarSize,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Deadline => write!(f, "deadline"),
+            Resource::Fuel => write!(f, "fuel"),
+            Resource::GrammarSize => write!(f, "grammar-size"),
+        }
+    }
+}
+
+/// Error returned by budgeted operations when a resource is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// The resource that ran out.
+    pub resource: Resource,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "analysis budget exceeded: {}", self.resource)
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// The sound fallback a caller applied after a budget trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeAction {
+    /// A language was widened to tainted Σ* (a superset — sound).
+    WidenedToAny,
+    /// A refinement (filter intersection) was skipped, keeping the
+    /// unrefined language (a superset — sound).
+    KeptUnrefined,
+    /// A hotspot check could not complete and was reported unverified
+    /// (a possible false positive — sound).
+    MarkedUnverified,
+    /// A whole page was skipped (reported, never counted verified).
+    SkippedPage,
+}
+
+impl fmt::Display for DegradeAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradeAction::WidenedToAny => write!(f, "widened to tainted Σ*"),
+            DegradeAction::KeptUnrefined => write!(f, "kept unrefined language"),
+            DegradeAction::MarkedUnverified => write!(f, "marked unverified"),
+            DegradeAction::SkippedPage => write!(f, "skipped page"),
+        }
+    }
+}
+
+/// A record of one precision loss caused by a budget trip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// The resource that tripped.
+    pub resource: Resource,
+    /// Where in the analysis the trip happened (e.g. a string-function
+    /// application site or a hotspot name).
+    pub site: String,
+    /// The sound fallback that was applied.
+    pub action: DegradeAction,
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} exhausted, {}", self.site, self.resource, self.action)
+    }
+}
+
+struct BudgetInner {
+    deadline: Option<Instant>,
+    /// Remaining fuel. Irrelevant when `unlimited_fuel`.
+    fuel: AtomicU64,
+    unlimited_fuel: bool,
+    /// Cap on intermediate grammar size (nonterminal count).
+    max_grammar: Option<usize>,
+    /// Charge counter driving the amortized deadline check.
+    ticks: AtomicU64,
+    /// Latched once any resource trips, so later charges fail fast and
+    /// a fuel-counter underflow race cannot "un-exhaust" the budget.
+    exhausted: AtomicBool,
+    /// Which resource tripped first (0 = none, else Resource as u64+1).
+    tripped: AtomicU64,
+}
+
+/// A shared, thread-safe resource budget for one analysis task.
+///
+/// See the [module docs](self) for the degradation contract.
+#[derive(Clone)]
+pub struct Budget {
+    inner: Arc<BudgetInner>,
+}
+
+impl fmt::Debug for Budget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Budget")
+            .field("deadline", &self.inner.deadline)
+            .field(
+                "fuel",
+                &if self.inner.unlimited_fuel {
+                    None
+                } else {
+                    Some(self.inner.fuel.load(Ordering::Relaxed))
+                },
+            )
+            .field("max_grammar", &self.inner.max_grammar)
+            .field("exhausted", &self.inner.exhausted.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Budget {
+    /// A budget that never trips. Budgeted operations called with it
+    /// behave exactly like their unbudgeted counterparts.
+    pub fn unlimited() -> Self {
+        Budget::new(None, None, None)
+    }
+
+    /// Builds a budget from optional limits; `None` means unlimited for
+    /// that resource.
+    ///
+    /// * `timeout` — wall-clock allowance from *now*.
+    /// * `fuel` — number of analysis steps (worklist pops, Earley items,
+    ///   reconstruction rows) allowed.
+    /// * `max_grammar` — cap on intermediate grammar nonterminal count.
+    pub fn new(timeout: Option<Duration>, fuel: Option<u64>, max_grammar: Option<usize>) -> Self {
+        Budget {
+            inner: Arc::new(BudgetInner {
+                deadline: timeout.map(|t| Instant::now() + t),
+                fuel: AtomicU64::new(fuel.unwrap_or(u64::MAX)),
+                unlimited_fuel: fuel.is_none(),
+                max_grammar,
+                ticks: AtomicU64::new(0),
+                exhausted: AtomicBool::new(false),
+                tripped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// True if no limit is set on any resource.
+    pub fn is_unlimited(&self) -> bool {
+        self.inner.deadline.is_none()
+            && self.inner.unlimited_fuel
+            && self.inner.max_grammar.is_none()
+    }
+
+    /// Remaining fuel, or `None` if fuel is unlimited.
+    pub fn fuel_left(&self) -> Option<u64> {
+        if self.inner.unlimited_fuel {
+            None
+        } else {
+            Some(self.inner.fuel.load(Ordering::Relaxed))
+        }
+    }
+
+    fn trip(&self, resource: Resource) -> BudgetExceeded {
+        self.inner.exhausted.store(true, Ordering::Relaxed);
+        let code = match resource {
+            Resource::Deadline => 1,
+            Resource::Fuel => 2,
+            Resource::GrammarSize => 3,
+        };
+        // Keep the first trip; later trips of other kinds don't matter.
+        let _ = self
+            .inner
+            .tripped
+            .compare_exchange(0, code, Ordering::Relaxed, Ordering::Relaxed);
+        BudgetExceeded {
+            resource: self.tripped_resource().unwrap_or(resource),
+        }
+    }
+
+    fn tripped_resource(&self) -> Option<Resource> {
+        match self.inner.tripped.load(Ordering::Relaxed) {
+            1 => Some(Resource::Deadline),
+            2 => Some(Resource::Fuel),
+            3 => Some(Resource::GrammarSize),
+            _ => None,
+        }
+    }
+
+    /// Charges `n` units of work against the budget.
+    ///
+    /// Returns `Err` if the budget is (or becomes) exhausted. The
+    /// wall-clock deadline is only consulted once every
+    /// [`DEADLINE_CHECK_INTERVAL`] charges, so very small fuel amounts
+    /// can outlive the deadline by a bounded slop.
+    #[inline]
+    pub fn charge(&self, n: u64) -> Result<(), BudgetExceeded> {
+        let inner = &*self.inner;
+        if inner.exhausted.load(Ordering::Relaxed) {
+            return Err(BudgetExceeded {
+                resource: self.tripped_resource().unwrap_or(Resource::Fuel),
+            });
+        }
+        if !inner.unlimited_fuel {
+            let prev = inner.fuel.fetch_sub(n, Ordering::Relaxed);
+            if prev < n {
+                return Err(self.trip(Resource::Fuel));
+            }
+        }
+        if let Some(deadline) = inner.deadline {
+            let t = inner.ticks.fetch_add(1, Ordering::Relaxed);
+            if t % DEADLINE_CHECK_INTERVAL == 0 && Instant::now() >= deadline {
+                return Err(self.trip(Resource::Deadline));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks an intermediate grammar size (nonterminal or triple
+    /// count) against the cap.
+    #[inline]
+    pub fn check_grammar_size(&self, size: usize) -> Result<(), BudgetExceeded> {
+        match self.inner.max_grammar {
+            Some(cap) if size > cap => Err(self.trip(Resource::GrammarSize)),
+            _ => Ok(()),
+        }
+    }
+
+    /// Forces the wall-clock check immediately, regardless of the
+    /// amortization interval. Useful between phases.
+    pub fn check_deadline(&self) -> Result<(), BudgetExceeded> {
+        if self.inner.exhausted.load(Ordering::Relaxed) {
+            return Err(BudgetExceeded {
+                resource: self.tripped_resource().unwrap_or(Resource::Deadline),
+            });
+        }
+        match self.inner.deadline {
+            Some(d) if Instant::now() >= d => Err(self.trip(Resource::Deadline)),
+            _ => Ok(()),
+        }
+    }
+
+    /// Builds the [`Degradation`] record for a trip observed at `site`.
+    pub fn degradation(
+        &self,
+        err: BudgetExceeded,
+        site: impl Into<String>,
+        action: DegradeAction,
+    ) -> Degradation {
+        Degradation {
+            resource: err.resource,
+            site: site.into(),
+            action,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        for _ in 0..10_000 {
+            b.charge(1_000_000).unwrap();
+        }
+        b.check_grammar_size(usize::MAX).unwrap();
+        b.check_deadline().unwrap();
+    }
+
+    #[test]
+    fn fuel_runs_out_and_latches() {
+        let b = Budget::new(None, Some(10), None);
+        assert_eq!(b.fuel_left(), Some(10));
+        for _ in 0..10 {
+            b.charge(1).unwrap();
+        }
+        let err = b.charge(1).unwrap_err();
+        assert_eq!(err.resource, Resource::Fuel);
+        // Latched: every later charge fails too, with the same resource.
+        assert_eq!(b.charge(1).unwrap_err().resource, Resource::Fuel);
+        assert_eq!(b.check_deadline().unwrap_err().resource, Resource::Fuel);
+    }
+
+    #[test]
+    fn big_charge_trips_at_once() {
+        let b = Budget::new(None, Some(5), None);
+        assert_eq!(b.charge(100).unwrap_err().resource, Resource::Fuel);
+    }
+
+    #[test]
+    fn deadline_trips() {
+        let b = Budget::new(Some(Duration::from_millis(0)), None, None);
+        assert_eq!(b.check_deadline().unwrap_err().resource, Resource::Deadline);
+        // charge() observes the latched state.
+        assert_eq!(b.charge(1).unwrap_err().resource, Resource::Deadline);
+    }
+
+    #[test]
+    fn deadline_amortized_check_fires() {
+        let b = Budget::new(Some(Duration::from_millis(0)), None, None);
+        let mut tripped = false;
+        for _ in 0..=DEADLINE_CHECK_INTERVAL {
+            if b.charge(1).is_err() {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "amortized deadline check never fired");
+    }
+
+    #[test]
+    fn grammar_cap_trips() {
+        let b = Budget::new(None, None, Some(100));
+        b.check_grammar_size(100).unwrap();
+        assert_eq!(
+            b.check_grammar_size(101).unwrap_err().resource,
+            Resource::GrammarSize
+        );
+    }
+
+    #[test]
+    fn clone_shares_fuel() {
+        let a = Budget::new(None, Some(4), None);
+        let b = a.clone();
+        a.charge(2).unwrap();
+        b.charge(2).unwrap();
+        assert!(a.charge(1).is_err());
+        assert!(b.charge(1).is_err());
+    }
+
+    #[test]
+    fn degradation_display() {
+        let b = Budget::new(None, Some(0), None);
+        let err = b.charge(1).unwrap_err();
+        let d = b.degradation(err, "str_replace@page.php", DegradeAction::WidenedToAny);
+        let s = d.to_string();
+        assert!(s.contains("fuel"), "{s}");
+        assert!(s.contains("str_replace@page.php"), "{s}");
+    }
+}

@@ -6,6 +6,7 @@
 
 use std::collections::HashSet;
 
+use crate::budget::{Budget, BudgetExceeded};
 use crate::cfg::Cfg;
 use crate::symbol::{NtId, Symbol};
 
@@ -44,6 +45,22 @@ pub fn nullable_set(g: &Cfg) -> Vec<bool> {
 
 /// Returns `true` if `root` derives exactly `input`.
 pub fn recognize(g: &Cfg, root: NtId, input: &[u8]) -> bool {
+    recognize_with(g, root, input, &Budget::unlimited())
+        .expect("an unlimited budget cannot be exceeded")
+}
+
+/// Budgeted form of [`recognize`], charging one unit per processed
+/// Earley item.
+///
+/// On exhaustion the membership question is unanswered; callers must
+/// not conclude non-membership (the sound direction depends on the
+/// check — see [`crate::budget`]).
+pub fn recognize_with(
+    g: &Cfg,
+    root: NtId,
+    input: &[u8],
+    budget: &Budget,
+) -> Result<bool, BudgetExceeded> {
     let nullable = nullable_set(g);
     let n = input.len();
     let mut sets: Vec<Vec<Item>> = vec![Vec::new(); n + 1];
@@ -73,6 +90,7 @@ pub fn recognize(g: &Cfg, root: NtId, input: &[u8]) -> bool {
     for pos in 0..=n {
         let mut idx = 0;
         while idx < sets[pos].len() {
+            budget.charge(1)?;
             let it = sets[pos][idx];
             idx += 1;
             let rhs = &g.productions(NtId(it.lhs))[it.prod as usize];
@@ -148,11 +166,11 @@ pub fn recognize(g: &Cfg, root: NtId, input: &[u8]) -> bool {
         }
     }
 
-    sets[n].iter().any(|it| {
+    Ok(sets[n].iter().any(|it| {
         it.lhs == root.0
             && it.origin == 0
             && (it.dot as usize) == g.productions(NtId(it.lhs))[it.prod as usize].len()
-    })
+    }))
 }
 
 #[cfg(test)]

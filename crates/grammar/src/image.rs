@@ -14,6 +14,7 @@ use std::collections::HashMap;
 use strtaint_automata::fst::{resolve_output, Fst};
 use strtaint_automata::StateId;
 
+use crate::budget::{Budget, BudgetExceeded};
 use crate::cfg::Cfg;
 use crate::normal::normalize;
 use crate::symbol::{NtId, Symbol};
@@ -29,6 +30,22 @@ use crate::symbol::{NtId, Symbol};
 /// [`Fst::remove_input_epsilons`] first (all builders in
 /// `strtaint-automata` produce epsilon-free transducers).
 pub fn image(g: &Cfg, root: NtId, fst: &Fst) -> (Cfg, NtId) {
+    image_with(g, root, fst, &Budget::unlimited())
+        .expect("an unlimited budget cannot be exceeded")
+}
+
+/// Budgeted form of [`image`].
+///
+/// Charges `budget` as the worklist fixpoint and reconstruction run; on
+/// exhaustion returns [`BudgetExceeded`] and the caller must apply a
+/// sound fallback, typically widening to tainted Σ* (see
+/// [`crate::budget`]).
+pub fn image_with(
+    g: &Cfg,
+    root: NtId,
+    fst: &Fst,
+    budget: &Budget,
+) -> Result<(Cfg, NtId), BudgetExceeded> {
     assert!(
         !fst.has_input_epsilons(),
         "image requires an input-epsilon-free transducer"
@@ -69,14 +86,18 @@ pub fn image(g: &Cfg, root: NtId, fst: &Fst) -> (Cfg, NtId) {
     let mut by_start: Vec<HashMap<u32, Vec<u32>>> = vec![HashMap::new(); nv];
     let mut by_end: Vec<HashMap<u32, Vec<u32>>> = vec![HashMap::new(); nv];
     let mut worklist: Vec<(NtId, u32, u32)> = Vec::new();
+    let mut triples: usize = 0;
 
     macro_rules! discover {
         ($x:expr, $i:expr, $j:expr) => {{
+            budget.charge(1)?;
             let (x, i, j): (NtId, u32, u32) = ($x, $i, $j);
             let ends = by_start[x.index()].entry(i).or_default();
             if !ends.contains(&j) {
                 ends.push(j);
                 by_end[x.index()].entry(j).or_default().push(i);
+                triples += 1;
+                budget.check_grammar_size(triples)?;
                 worklist.push((x, i, j));
             }
         }};
@@ -145,6 +166,7 @@ pub fn image(g: &Cfg, root: NtId, fst: &Fst) -> (Cfg, NtId) {
     }
 
     while let Some((x, i, j)) = worklist.pop() {
+        budget.charge(1)?;
         for &(lhs, _) in occ_unit[x.index()].clone().iter() {
             discover!(lhs, i, j);
         }
@@ -204,6 +226,7 @@ pub fn image(g: &Cfg, root: NtId, fst: &Fst) -> (Cfg, NtId) {
     for x in norm.nonterminals() {
         for (&i, ends) in &by_start[x.index()] {
             for &j in ends {
+                budget.charge(1)?;
                 let lhs = map[&(x.0, i, j)];
                 for rhs in norm.productions(x) {
                     match rhs.as_slice() {
@@ -293,7 +316,7 @@ pub fn image(g: &Cfg, root: NtId, fst: &Fst) -> (Cfg, NtId) {
             }
         }
     }
-    (out, out_root)
+    Ok((out, out_root))
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@ use std::collections::HashMap;
 
 use strtaint_automata::Dfa;
 
+use crate::budget::{Budget, BudgetExceeded};
 use crate::cfg::Cfg;
 use crate::normal::normalize;
 use crate::symbol::{NtId, Symbol};
@@ -34,8 +35,9 @@ impl Fixpoint {
     }
 }
 
-/// Runs the Bar-Hillel worklist fixpoint.
-fn fixpoint(g: &Cfg, root: NtId, dfa: &Dfa) -> Fixpoint {
+/// Runs the Bar-Hillel worklist fixpoint, charging `budget` one unit
+/// per discovery attempt and capping the realized-triple count.
+fn fixpoint(g: &Cfg, root: NtId, dfa: &Dfa, budget: &Budget) -> Result<Fixpoint, BudgetExceeded> {
     let (trimmed, troot) = g.trimmed(root);
     let norm = normalize(&trimmed);
     let nv = norm.num_nonterminals();
@@ -120,14 +122,18 @@ fn fixpoint(g: &Cfg, root: NtId, dfa: &Dfa) -> Fixpoint {
         by_end: vec![HashMap::new(); nv],
     };
     let mut worklist: Vec<(NtId, u32, u32)> = Vec::new();
+    let mut triples: usize = 0;
 
     macro_rules! discover {
         ($x:expr, $i:expr, $j:expr) => {{
+            budget.charge(1)?;
             let (x, i, j) = ($x, $i, $j);
             let ends = fx.by_start[x.index()].entry(i).or_default();
             if !ends.contains(&j) {
                 ends.push(j);
                 fx.by_end[x.index()].entry(j).or_default().push(i);
+                triples += 1;
+                budget.check_grammar_size(triples)?;
                 worklist.push((x, i, j));
             }
         }};
@@ -160,6 +166,7 @@ fn fixpoint(g: &Cfg, root: NtId, dfa: &Dfa) -> Fixpoint {
 
     // Propagate.
     while let Some((x, i, j)) = worklist.pop() {
+        budget.charge(1)?;
         for &pid in &occ_unit[x.index()] {
             let (lhs, _) = prods[pid];
             discover!(lhs, i, j);
@@ -204,7 +211,7 @@ fn fixpoint(g: &Cfg, root: NtId, dfa: &Dfa) -> Fixpoint {
             }
         }
     }
-    fx
+    Ok(fx)
 }
 
 /// Computes a grammar for `L(g, root) ∩ L(dfa)` with taint labels
@@ -213,7 +220,22 @@ fn fixpoint(g: &Cfg, root: NtId, dfa: &Dfa) -> Fixpoint {
 /// Returns the new grammar and its root; the root derives the empty
 /// language when the intersection is empty.
 pub fn intersect(g: &Cfg, root: NtId, dfa: &Dfa) -> (Cfg, NtId) {
-    let fx = fixpoint(g, root, dfa);
+    intersect_with(g, root, dfa, &Budget::unlimited())
+        .expect("an unlimited budget cannot be exceeded")
+}
+
+/// Budgeted form of [`intersect`].
+///
+/// Charges `budget` as the Bar-Hillel fixpoint and reconstruction run;
+/// on exhaustion returns [`BudgetExceeded`] and the caller must apply a
+/// sound fallback (see [`crate::budget`]).
+pub fn intersect_with(
+    g: &Cfg,
+    root: NtId,
+    dfa: &Dfa,
+    budget: &Budget,
+) -> Result<(Cfg, NtId), BudgetExceeded> {
+    let fx = fixpoint(g, root, dfa, budget)?;
     let norm = &fx.norm;
 
     let mut out = Cfg::new();
@@ -236,6 +258,7 @@ pub fn intersect(g: &Cfg, root: NtId, dfa: &Dfa) -> (Cfg, NtId) {
     for x in norm.nonterminals() {
         for (&i, ends) in &fx.by_start[x.index()] {
             for &j in ends {
+                budget.charge(1)?;
                 let lhs = map[&(x.0, i, j)];
                 for rhs in norm.productions(x) {
                     match rhs.as_slice() {
@@ -309,7 +332,7 @@ pub fn intersect(g: &Cfg, root: NtId, dfa: &Dfa) -> (Cfg, NtId) {
             }
         }
     }
-    (out, out_root)
+    Ok((out, out_root))
 }
 
 /// Returns `true` if `L(g, root) ∩ L(dfa)` is empty.
@@ -317,14 +340,28 @@ pub fn intersect(g: &Cfg, root: NtId, dfa: &Dfa) -> (Cfg, NtId) {
 /// Runs the same fixpoint as [`intersect`] but skips grammar
 /// reconstruction.
 pub fn is_intersection_empty(g: &Cfg, root: NtId, dfa: &Dfa) -> bool {
-    let fx = fixpoint(g, root, dfa);
+    is_intersection_empty_with(g, root, dfa, &Budget::unlimited())
+        .expect("an unlimited budget cannot be exceeded")
+}
+
+/// Budgeted form of [`is_intersection_empty`].
+///
+/// On exhaustion the emptiness question is unanswered; callers must
+/// treat the language as possibly nonempty (the sound direction).
+pub fn is_intersection_empty_with(
+    g: &Cfg,
+    root: NtId,
+    dfa: &Dfa,
+    budget: &Budget,
+) -> Result<bool, BudgetExceeded> {
+    let fx = fixpoint(g, root, dfa, budget)?;
     let q0 = dfa.start();
     for qf in 0..dfa.num_states() as u32 {
         if dfa.is_accepting(qf) && fx.realized(fx.norm_root, q0, qf) {
-            return false;
+            return Ok(false);
         }
     }
-    true
+    Ok(true)
 }
 
 #[cfg(test)]
@@ -422,6 +459,35 @@ mod tests {
         }
         assert!(!out.derives(root, b"ba"));
         assert!(!out.derives(root, b"aab"));
+    }
+
+    #[test]
+    fn budget_trips_and_unlimited_agrees() {
+        use crate::budget::{Budget, Resource};
+        let mut g = Cfg::new();
+        let a = g.add_nonterminal("A");
+        g.add_production(a, vec![S::T(b'('), S::N(a), S::T(b')')]);
+        g.add_literal_production(a, b"x");
+        let d = dfa(r"^\(\(.*$");
+
+        // Tiny fuel: the fixpoint must bail with a structured error.
+        let tiny = Budget::new(None, Some(3), None);
+        let err = intersect_with(&g, a, &d, &tiny).unwrap_err();
+        assert_eq!(err.resource, Resource::Fuel);
+        assert!(is_intersection_empty_with(&g, a, &d, &tiny).is_err());
+
+        // Tiny grammar cap trips on triple count.
+        let capped = Budget::new(None, None, Some(2));
+        let err = intersect_with(&g, a, &d, &capped).unwrap_err();
+        assert_eq!(err.resource, Resource::GrammarSize);
+
+        // Unlimited budget matches the infallible API exactly.
+        let (out, root) = intersect_with(&g, a, &d, &Budget::unlimited()).unwrap();
+        let (out2, root2) = intersect(&g, a, &d);
+        assert_eq!(
+            crate::lang::shortest_string(&out, root),
+            crate::lang::shortest_string(&out2, root2)
+        );
     }
 
     #[test]

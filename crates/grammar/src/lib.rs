@@ -42,6 +42,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod approx;
+pub mod budget;
 pub mod cfg;
 pub mod earley;
 pub mod image;
@@ -50,5 +51,6 @@ pub mod lang;
 pub mod normal;
 pub mod symbol;
 
+pub use budget::{Budget, BudgetExceeded, DegradeAction, Degradation, Resource};
 pub use cfg::Cfg;
 pub use symbol::{NtId, Symbol, Taint};

@@ -17,6 +17,7 @@
 //! sound (Theorem 3.4).
 
 use strtaint_automata::{Dfa, Regex};
+use strtaint_grammar::budget::{Budget, BudgetExceeded};
 
 use crate::grammar::{SqlGrammar, SqlNt, TSym};
 use crate::lexer::LexedForm;
@@ -37,12 +38,25 @@ pub const CANDIDATE_KINDS: &[TokenKind] = &[
 /// Returns an empty vector when the form has no bare variable (nothing
 /// to check) or no candidate parses.
 pub fn context_candidates(g: &SqlGrammar, form: &LexedForm) -> Vec<TokenKind> {
+    context_candidates_with(g, form, &Budget::unlimited())
+        .expect("an unlimited budget cannot be exceeded")
+}
+
+/// Budgeted form of [`context_candidates`].
+///
+/// On exhaustion the candidate set is unknown; callers must report the
+/// hotspot unverified rather than assume any candidate fits.
+pub fn context_candidates_with(
+    g: &SqlGrammar,
+    form: &LexedForm,
+    budget: &Budget,
+) -> Result<Vec<TokenKind>, BudgetExceeded> {
     let has_var = form
         .tokens
         .iter()
         .any(|t| t.kind == TokenKind::Var);
     if !has_var {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let mut out = Vec::new();
     for &k in CANDIDATE_KINDS {
@@ -57,11 +71,11 @@ pub fn context_candidates(g: &SqlGrammar, form: &LexedForm) -> Vec<TokenKind> {
                 }
             })
             .collect();
-        if crate::earley::derives_sentential(g, SqlNt::Query, &syms) {
+        if crate::earley::derives_sentential_with(g, SqlNt::Query, &syms, budget)? {
             out.push(k);
         }
     }
-    out
+    Ok(out)
 }
 
 /// Returns a DFA for the lexeme language of a candidate token kind:

@@ -12,6 +12,8 @@
 
 use std::collections::HashSet;
 
+use strtaint_grammar::budget::{Budget, BudgetExceeded};
+
 use crate::grammar::{SqlGrammar, SqlNt, TSym};
 use crate::token::TokenKind;
 
@@ -24,6 +26,22 @@ struct Item {
 
 /// Returns `true` if `root ⇒* input` in the sentential-form sense.
 pub fn derives_sentential(g: &SqlGrammar, root: SqlNt, input: &[TSym]) -> bool {
+    derives_sentential_with(g, root, input, &Budget::unlimited())
+        .expect("an unlimited budget cannot be exceeded")
+}
+
+/// Budgeted form of [`derives_sentential`], charging one unit per
+/// processed Earley item.
+///
+/// On exhaustion derivability is unanswered; callers must treat the
+/// form as *not shown derivable* and report the hotspot unverified
+/// (the sound direction — see [`strtaint_grammar::budget`]).
+pub fn derives_sentential_with(
+    g: &SqlGrammar,
+    root: SqlNt,
+    input: &[TSym],
+    budget: &Budget,
+) -> Result<bool, BudgetExceeded> {
     let reach = g.unit_closure();
     // Nullable nonterminals for the Aycock–Horspool advance.
     let nullable = {
@@ -74,6 +92,7 @@ pub fn derives_sentential(g: &SqlGrammar, root: SqlNt, input: &[TSym]) -> bool {
     for pos in 0..=n {
         let mut idx = 0;
         while idx < sets[pos].len() {
+            budget.charge(1)?;
             let it = sets[pos][idx];
             idx += 1;
             let (_, rhs) = g.production(it.prod as usize);
@@ -152,10 +171,10 @@ pub fn derives_sentential(g: &SqlGrammar, root: SqlNt, input: &[TSym]) -> bool {
         }
     }
 
-    sets[n].iter().any(|it| {
+    Ok(sets[n].iter().any(|it| {
         let (lhs, rhs) = g.production(it.prod as usize);
         *lhs == root && it.origin == 0 && (it.dot as usize) == rhs.len()
-    })
+    }))
 }
 
 /// Convenience: recognizes a pure token sequence as a complete query.
@@ -288,6 +307,21 @@ mod tests {
             N(SqlNt::CmpExpr),
         ];
         assert!(derives_sentential(&g, SqlNt::Query, &form));
+    }
+
+    #[test]
+    fn budget_trips_on_tiny_fuel() {
+        use strtaint_grammar::budget::Resource;
+        let g = g();
+        let tokens = crate::lexer::lex(b"SELECT * FROM t WHERE id = 1").unwrap();
+        let syms: Vec<TSym> = tokens.iter().map(|t| TSym::T(t.kind)).collect();
+        let tiny = Budget::new(None, Some(1), None);
+        let err = derives_sentential_with(&g, SqlNt::Query, &syms, &tiny).unwrap_err();
+        assert_eq!(err.resource, Resource::Fuel);
+        // Unlimited budget agrees with the infallible API.
+        let ok = derives_sentential_with(&g, SqlNt::Query, &syms, &Budget::unlimited()).unwrap();
+        assert_eq!(ok, derives_sentential(&g, SqlNt::Query, &syms));
+        assert!(ok);
     }
 
     #[test]

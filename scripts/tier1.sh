@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Tier-1 gate: the checks every change must keep green, runnable fully
+# offline (all dev-dependencies are vendored in-tree under vendor/).
+#
+#   sh scripts/tier1.sh
+#
+# Mirrors .github/workflows/ci.yml.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "tier-1 OK"

@@ -1,0 +1,208 @@
+//! A hermetic, minimal stand-in for the `criterion` crate.
+//!
+//! The workspace's tier-1 gate must pass offline, so registry
+//! dependencies are replaced by in-tree shims. This harness covers only
+//! the API surface the `strtaint-bench` crate uses: `Criterion`,
+//! `benchmark_group` with `sample_size` / `measurement_time` /
+//! `bench_with_input` / `bench_function` / `finish`, `Bencher::iter`,
+//! `BenchmarkId`, and the `criterion_group!` / `criterion_main!`
+//! macros. It runs each benchmark a few times and prints the median
+//! wall-clock time — enough to compare runs by hand, with no stats,
+//! plotting, or CLI parsing.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into().label, 10, &mut f);
+        self
+    }
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; this harness times a fixed
+    /// number of samples rather than a target duration.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark that closes over `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_bench(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_bench(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to benchmark closures; `iter` times the hot loop.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times one execution of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed = start.elapsed();
+        drop(out);
+    }
+}
+
+/// A benchmark label, possibly parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` label.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Label from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+fn run_bench<F>(label: &str, samples: usize, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher::default();
+        f(&mut b);
+        times.push(b.elapsed);
+    }
+    times.sort();
+    let median = times[times.len() / 2];
+    println!("bench {label:<60} median {median:>12.3?} ({samples} samples)");
+}
+
+/// Prevents the compiler from optimizing a value away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench-harness entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).measurement_time(Duration::from_millis(1));
+        let mut ran = 0usize;
+        group.bench_with_input(BenchmarkId::new("add", 2), &2u32, |b, n| {
+            b.iter(|| {
+                ran += 1;
+                n + 1
+            })
+        });
+        group.bench_function("plain", |b| b.iter(|| 41 + 1));
+        group.finish();
+        drop(group);
+        c.bench_function("top", |b| b.iter(|| black_box(7) * 6));
+        assert_eq!(ran, 3);
+    }
+}

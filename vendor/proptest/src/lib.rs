@@ -1,0 +1,441 @@
+//! A hermetic, deterministic stand-in for the `proptest` crate.
+//!
+//! The workspace's tier-1 gate (`cargo build --release && cargo test -q`)
+//! must pass with **no network access**, so registry dependencies are
+//! replaced by in-tree shims. This crate implements the subset of the
+//! proptest API that the workspace's property tests use:
+//!
+//! - the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//!   `prop_filter`;
+//! - [`Just`], tuple strategies, [`collection::vec`], `bool::ANY`,
+//!   integer ranges, and `&str` regex-subset string patterns
+//!   (`"[a-z]{1,8}"`-style: concatenations of character classes with
+//!   bounded repetition);
+//! - the [`proptest!`], [`prop_oneof!`], and `prop_assert*` macros;
+//! - [`ProptestConfig::with_cases`].
+//!
+//! Differences from real proptest, by design: generation is fully
+//! deterministic (seeded from the test name and case index, so CI
+//! failures reproduce exactly), and there is **no shrinking** — a
+//! failing case panics with the assertion's own message.
+
+use std::ops::Range;
+
+pub mod strategy;
+
+pub use strategy::{Just, Strategy, Union};
+
+/// Per-test configuration. Only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Deterministic splitmix64 generator; quality is ample for test-case
+/// diversity and the determinism makes failures reproducible.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform boolean.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// FNV-1a hash of the test name, mixed into per-case seeds so distinct
+/// properties explore distinct sequences.
+pub fn seed_for(test_name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h.wrapping_add(0x51_7cc1_b727_220a_95u64.wrapping_mul(case as u64 + 1))
+}
+
+/// Generators for `bool`.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing arbitrary booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Arbitrary booleans (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool()
+        }
+    }
+}
+
+/// Generators for collections.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of `elem` with length in `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` strategy with length drawn from `size` (half-open, like the
+    /// `Range` it is written as).
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end - self.size.start;
+            let len = self.size.start + rng.below(span);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// String generation from the regex subset used as proptest patterns.
+pub mod string {
+    use super::TestRng;
+
+    enum Piece {
+        /// Allowed bytes, repetition min..=max.
+        Class(Vec<u8>, usize, usize),
+    }
+
+    /// Compiles a pattern like `"[a-z_][a-z0-9_]{0,8}"` into pieces.
+    ///
+    /// Supported: character classes (ranges, `^` negation over printable
+    /// ASCII + `\n`, `\\`/`\n`/`\t`/`\r` escapes, literal `-` at the
+    /// edges), bare literal characters, and `{n}` / `{m,n}` repetition.
+    fn compile(pattern: &str) -> Vec<Piece> {
+        let bytes = pattern.as_bytes();
+        let mut i = 0;
+        let mut pieces = Vec::new();
+        while i < bytes.len() {
+            let set: Vec<u8> = match bytes[i] {
+                b'[' => {
+                    i += 1;
+                    let mut negate = false;
+                    if i < bytes.len() && bytes[i] == b'^' {
+                        negate = true;
+                        i += 1;
+                    }
+                    let mut members: Vec<u8> = Vec::new();
+                    while i < bytes.len() && bytes[i] != b']' {
+                        let c = match bytes[i] {
+                            b'\\' => {
+                                i += 1;
+                                match bytes.get(i) {
+                                    Some(b'n') => b'\n',
+                                    Some(b't') => b'\t',
+                                    Some(b'r') => b'\r',
+                                    Some(&c) => c,
+                                    None => panic!("dangling escape in {pattern:?}"),
+                                }
+                            }
+                            c => c,
+                        };
+                        i += 1;
+                        // Range `c-d` when `-` is not the class terminator.
+                        if i + 1 < bytes.len() && bytes[i] == b'-' && bytes[i + 1] != b']' {
+                            i += 1;
+                            let hi = match bytes[i] {
+                                b'\\' => {
+                                    i += 1;
+                                    bytes[i]
+                                }
+                                c => c,
+                            };
+                            i += 1;
+                            members.extend(c..=hi);
+                        } else {
+                            members.push(c);
+                        }
+                    }
+                    assert!(
+                        i < bytes.len(),
+                        "unterminated character class in {pattern:?}"
+                    );
+                    i += 1; // ']'
+                    if negate {
+                        (0x20u8..=0x7e)
+                            .chain(std::iter::once(b'\n'))
+                            .filter(|b| !members.contains(b))
+                            .collect()
+                    } else {
+                        members
+                    }
+                }
+                b'\\' => {
+                    i += 1;
+                    let c = match bytes[i] {
+                        b'n' => b'\n',
+                        b't' => b'\t',
+                        c => c,
+                    };
+                    i += 1;
+                    vec![c]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            assert!(!set.is_empty(), "empty character class in {pattern:?}");
+            // Optional repetition.
+            let (min, max) = if i < bytes.len() && bytes[i] == b'{' {
+                let close = bytes[i..]
+                    .iter()
+                    .position(|&b| b == b'}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unterminated repetition in {pattern:?}"));
+                let body = std::str::from_utf8(&bytes[i + 1..close]).unwrap();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().unwrap(),
+                        hi.trim().parse().unwrap(),
+                    ),
+                    None => {
+                        let n: usize = body.trim().parse().unwrap();
+                        (n, n)
+                    }
+                }
+            } else if i < bytes.len() && bytes[i] == b'*' {
+                i += 1;
+                (0, 8)
+            } else if i < bytes.len() && bytes[i] == b'+' {
+                i += 1;
+                (1, 8)
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece::Class(set, min, max));
+        }
+        pieces
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = Vec::new();
+        for Piece::Class(set, min, max) in compile(pattern) {
+            let len = min + rng.below(max - min + 1);
+            for _ in 0..len {
+                out.push(set[rng.below(set.len())]);
+            }
+        }
+        String::from_utf8(out).expect("patterns generate ASCII")
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::generate(self, rng)
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl Strategy for Range<u32> {
+    type Value = u32;
+    fn generate(&self, rng: &mut TestRng) -> u32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below((self.end - self.start) as usize) as u32
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy, Union};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig,
+    };
+}
+
+/// Asserts a condition inside a property (no shrinking: plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when the assumption fails.
+///
+/// The shim has no case-rejection bookkeeping; an unmet assumption just
+/// returns from the case body early via `return`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Picks uniformly among same-valued strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Union::arm($arm)),+])
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            // Strategies are built once; generation draws fresh values
+            // per case from a per-case deterministic seed.
+            for __case in 0..config.cases {
+                let mut __rng =
+                    $crate::TestRng::new($crate::seed_for(stringify!($name), __case));
+                (|| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                })();
+            }
+        }
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_patterns_respect_shape() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..200 {
+            let s = crate::string::generate("[a-z_][a-z0-9_]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s}");
+            let first = s.as_bytes()[0];
+            assert!(first == b'_' || first.is_ascii_lowercase());
+        }
+        for _ in 0..200 {
+            let s = crate::string::generate("[ -~]{0,32}", &mut rng);
+            assert!(s.len() <= 32);
+            assert!(s.bytes().all(|b| (0x20..=0x7e).contains(&b)));
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = crate::TestRng::new(crate::seed_for("x", 3));
+        let mut b = crate::TestRng::new(crate::seed_for("x", 3));
+        let s = "[a-zA-Z0-9 _.,:!-]{0,20}";
+        assert_eq!(
+            crate::string::generate(s, &mut a),
+            crate::string::generate(s, &mut b)
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro front end: tuples, oneof, filters, flat_map.
+        #[test]
+        fn macro_round_trip(
+            (n, w) in (1usize..5, "[ab]{1,4}"),
+            pick in prop_oneof![Just(1u32), Just(2), Just(3)],
+            v in prop::collection::vec(0usize..10, 1..4),
+            f in "[0-9]{1,3}".prop_filter("nonempty", |s| !s.is_empty()),
+            d in (0usize..3).prop_flat_map(|k| prop::collection::vec(Just(k), 1..3)),
+            b in prop::bool::ANY,
+        ) {
+            prop_assert!(n >= 1 && n < 5);
+            prop_assert!(!w.is_empty() && w.len() <= 4);
+            prop_assert!((1..=3).contains(&pick));
+            prop_assert!(!v.is_empty() && v.len() <= 3);
+            prop_assert!(f.bytes().all(|c| c.is_ascii_digit()));
+            prop_assert!(!d.is_empty());
+            prop_assert_eq!(b || !b, true);
+            prop_assert_ne!(d.len(), 0);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! A hermetic, deterministic stand-in for the `rand` crate.
+//!
+//! The workspace's tier-1 gate must pass offline, so registry
+//! dependencies are replaced by in-tree shims. Only the API surface the
+//! workspace uses is provided: [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], and [`Rng::gen_range`] /
+//! [`Rng::gen_bool`]. The generator is splitmix64 — statistically fine
+//! for corpus synthesis, and deterministic across platforms.
+
+use std::ops::Range;
+
+/// Types that can be seeded from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The sampling methods the workspace uses.
+pub trait Rng {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `usize` in the half-open `range`.
+    fn gen_range(&mut self, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "gen_range on empty range");
+        range.start + (self.next_u64() % (range.end - range.start) as u64) as usize
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    /// Deterministic splitmix64 generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x = a.gen_range(3..17);
+            assert_eq!(x, b.gen_range(3..17));
+            assert!((3..17).contains(&x));
+        }
+    }
+}
