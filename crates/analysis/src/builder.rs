@@ -1,33 +1,44 @@
-//! The string-taint analysis: PHP AST → annotated CFG (paper §3.1).
+//! Analysis entry points and result types (the pipeline's front door).
 //!
-//! The walker evaluates every string expression to a grammar
-//! nonterminal, maintaining a flow-sensitive [`Env`]. Assignments and
-//! concatenation become grammar productions (paper Fig. 5); control
-//! flow joins become alternative productions; loops become recursive
-//! productions closed after one body pass; string library calls apply
-//! transducer images; regex conditionals intersect grammars
-//! (§3.1.2); `include` statements are resolved through the grammar of
-//! their argument and the filesystem layout (§4).
+//! The analysis itself is a staged pipeline (see DESIGN.md §Pipeline):
+//!
+//! 1. [`crate::lower`] — AST → dataflow IR (control-flow shape, loop
+//!    φ-sets, condition refinements, prepared transducers);
+//! 2. [`crate::summary`] — per-file IR summaries memoized by content
+//!    hash so shared includes lower once per app, not once per page;
+//! 3. [`crate::emit`] — IR → annotated CFG productions (paper §3.1),
+//!    owning every grammar, budget, and configuration interaction.
+//!
+//! This module keeps the stable public surface: [`analyze`] /
+//! [`analyze_with`] for single pages (private summary cache), and
+//! [`analyze_cached`] for app drivers that share a [`SummaryCache`]
+//! across pages.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
 use std::fmt;
-use std::rc::Rc;
 
-use strtaint_automata::{Dfa, Fst, Nfa, Regex};
-use strtaint_grammar::budget::{Budget, BudgetExceeded, DegradeAction, Degradation};
-use strtaint_grammar::intersect::intersect_with;
-use strtaint_grammar::image::image_with;
-use strtaint_grammar::lang::bounded_language;
-use strtaint_grammar::{Cfg, NtId, Symbol, Taint};
-use strtaint_php::ast::*;
-use strtaint_php::token::StrPart;
-use strtaint_php::{parse, Span};
+use strtaint_grammar::budget::{Budget, Degradation};
+use strtaint_grammar::{Cfg, NtId};
+use strtaint_php::Span;
 
-use crate::builtins::{self, Model};
 use crate::config::Config;
-use crate::env::{Env, KEY_SEP};
-use crate::relevance::{self, Relevance};
+use crate::emit::Emitter;
+use crate::env::Env;
+use crate::relevance;
+use crate::summary::SummaryCache;
 use crate::vfs::{normalize, Vfs};
+
+/// Where a hotspot's grammar came from in the staged pipeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Provenance {
+    /// Content hash of the file summary whose IR contained the sink —
+    /// the [`crate::summary`] cache key component, letting reports tie
+    /// a finding back to the exact file revision analyzed.
+    pub summary: u64,
+    /// Span of the sink's first argument (the query expression itself),
+    /// finer-grained than the call span for finding locations.
+    pub arg_span: Option<Span>,
+}
 
 /// A query-construction site and the grammar root for the values that
 /// flow into it.
@@ -41,6 +52,8 @@ pub struct Hotspot {
     pub label: String,
     /// Grammar root deriving every query string this site may send.
     pub root: NtId,
+    /// IR provenance (summary hash + argument span).
+    pub provenance: Provenance,
 }
 
 /// Result of the string-taint analysis phase.
@@ -112,1970 +125,45 @@ pub fn analyze_with(
     config: &Config,
     budget: &Budget,
 ) -> Result<Analysis, AnalyzeError> {
-    let mut a = Analyzer::new(vfs, config, budget.clone());
+    let summaries = SummaryCache::new();
+    analyze_cached(vfs, entry, config, budget, &summaries)
+}
+
+/// [`analyze_with`], sharing a caller-owned [`SummaryCache`] so the
+/// AST→IR lowering of files reached by many pages (shared includes,
+/// helper libraries) happens once per app instead of once per page.
+///
+/// The emitted grammar is identical to the uncached path — summaries
+/// are path- and configuration-free IR, and every config-dependent
+/// decision is replayed at emission.
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError`] if the entry file is missing or does not
+/// parse. Entry parse failures are never cached, so retrying after an
+/// edit behaves identically to the uncached path.
+pub fn analyze_cached(
+    vfs: &Vfs,
+    entry: &str,
+    config: &Config,
+    budget: &Budget,
+    summaries: &SummaryCache,
+) -> Result<Analysis, AnalyzeError> {
+    let mut em = Emitter::new(vfs, config, budget.clone(), summaries);
     if config.backward_slice {
-        a.relevance = Some(relevance::compute(vfs, config));
+        em.relevance = Some(relevance::compute(vfs, config));
     }
     let src = vfs
         .get(entry)
         .ok_or_else(|| AnalyzeError::EntryNotFound(entry.to_owned()))?;
-    let file = parse(src).map_err(AnalyzeError::Parse)?;
-    let file = Rc::new(file);
-    a.parsed.insert(normalize(entry), Rc::clone(&file));
+    let summary = summaries
+        .get_or_lower(src, config)
+        .map_err(AnalyzeError::Parse)?;
     let mut env = Env::new();
-    a.cur_file = normalize(entry);
-    a.files_analyzed += 1;
-    a.register_functions(&file.stmts);
-    a.analyze_stmts(&file.stmts, &mut env);
-    Ok(Analysis {
-        cfg: a.cfg,
-        hotspots: a.hotspots,
-        echo_sinks: a.echo_sinks,
-        warnings: a.warnings,
-        unmodeled: a.unmodeled,
-        files_analyzed: a.files_analyzed,
-        degradations: a.degradations,
-    })
-}
-
-/// Control flow outcome of a statement sequence.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Flow {
-    /// Falls through.
-    Cont,
-    /// Terminates (exit/return) — the branch's environment does not
-    /// join back. This is what makes `if (!check($x)) exit;` refine
-    /// `$x` on the fall-through path (crucial for Figure 2 precision).
-    Term,
-}
-
-pub(crate) struct Analyzer<'a> {
-    vfs: &'a Vfs,
-    pub(crate) config: &'a Config,
-    pub(crate) cfg: Cfg,
-    functions: HashMap<String, (Rc<FuncDecl>, String)>,
-    /// Class methods, dispatched by bare method name (classless
-    /// over-approximation; clashes merge conservatively by first
-    /// registration).
-    methods: HashMap<String, (Rc<FuncDecl>, String)>,
-    parsed: HashMap<String, Rc<strtaint_php::File>>,
-    hotspots: Vec<Hotspot>,
-    echo_sinks: Vec<Hotspot>,
-    pub(crate) warnings: Vec<String>,
-    unmodeled: BTreeSet<String>,
-    lit_cache: HashMap<Vec<u8>, NtId>,
-    lang_cache: HashMap<&'static str, NtId>,
-    pub(crate) any_nt: NtId,
-    pub(crate) empty_nt: NtId,
-    include_once: HashSet<String>,
-    call_stack: Vec<String>,
-    return_stack: Vec<Vec<NtId>>,
-    declared_globals: Vec<HashSet<String>>,
-    pub(crate) open_headers: Vec<NtId>,
-    global_sets: HashMap<String, Vec<NtId>>,
-    constants: HashMap<String, NtId>,
-    cur_file: String,
-    files_analyzed: usize,
-    layout: Option<Rc<Dfa>>,
-    /// Shared resource budget for this page's grammar operations.
-    budget: Budget,
-    /// Sound precision losses from budget trips.
-    degradations: Vec<Degradation>,
-    /// Backward-slice facts (None when `Config::backward_slice` is off).
-    relevance: Option<Relevance>,
-    /// Relevance hints for the expression currently being evaluated;
-    /// `true` (or empty stack) = may reach a query, keep precision.
-    hint_stack: Vec<bool>,
-}
-
-impl<'a> Analyzer<'a> {
-    fn new(vfs: &'a Vfs, config: &'a Config, budget: Budget) -> Self {
-        let mut cfg = Cfg::new();
-        let any_nt = cfg.any_string_nt();
-        let empty_nt = cfg.add_nonterminal("ε");
-        cfg.add_production(empty_nt, vec![]);
-        Analyzer {
-            vfs,
-            config,
-            cfg,
-            functions: HashMap::new(),
-            methods: HashMap::new(),
-            parsed: HashMap::new(),
-            hotspots: Vec::new(),
-            echo_sinks: Vec::new(),
-            warnings: Vec::new(),
-            unmodeled: BTreeSet::new(),
-            lit_cache: HashMap::new(),
-            lang_cache: HashMap::new(),
-            any_nt,
-            empty_nt,
-            include_once: HashSet::new(),
-            call_stack: Vec::new(),
-            return_stack: Vec::new(),
-            declared_globals: Vec::new(),
-            open_headers: Vec::new(),
-            global_sets: HashMap::new(),
-            constants: HashMap::new(),
-            cur_file: String::new(),
-            files_analyzed: 0,
-            layout: None,
-            budget,
-            degradations: Vec::new(),
-            relevance: None,
-            hint_stack: Vec::new(),
-        }
-    }
-
-    fn warn(&mut self, msg: impl Into<String>) {
-        self.warnings.push(format!("{}: {}", self.cur_file, msg.into()));
-    }
-
-    /// Records a budget trip and the sound fallback applied at `what`.
-    fn degrade(&mut self, err: BudgetExceeded, what: &str, action: DegradeAction) {
-        let site = format!("{}@{}", what, self.cur_file);
-        self.warn(format!("{what}: {err}; {action}"));
-        self.degradations.push(Degradation {
-            resource: err.resource,
-            site,
-            action,
-        });
-    }
-
-    // ------------------------------------------------------ helpers
-
-    pub(crate) fn literal_nt(&mut self, bytes: &[u8]) -> NtId {
-        if let Some(&nt) = self.lit_cache.get(bytes) {
-            return nt;
-        }
-        let name = format!("lit:{:.12}", String::from_utf8_lossy(bytes));
-        let nt = self.cfg.add_nonterminal(name);
-        self.cfg.add_literal_production(nt, bytes);
-        self.lit_cache.insert(bytes.to_vec(), nt);
-        nt
-    }
-
-    /// A nonterminal for a fixed regular "result language" such as
-    /// numeric literals; cached per language.
-    fn lang_nt(&mut self, key: &'static str) -> NtId {
-        if let Some(&nt) = self.lang_cache.get(key) {
-            return nt;
-        }
-        let nt = match key {
-            "num" => {
-                // -? digits (. digits)?
-                let digits = self.cfg.add_nonterminal("digits");
-                for b in b'0'..=b'9' {
-                    self.cfg.add_production(digits, vec![Symbol::T(b)]);
-                    self.cfg
-                        .add_production(digits, vec![Symbol::T(b), Symbol::N(digits)]);
-                }
-                let num = self.cfg.add_nonterminal("NUM");
-                self.cfg.add_production(num, vec![Symbol::N(digits)]);
-                self.cfg
-                    .add_production(num, vec![Symbol::T(b'-'), Symbol::N(digits)]);
-                self.cfg.add_production(
-                    num,
-                    vec![Symbol::N(digits), Symbol::T(b'.'), Symbol::N(digits)],
-                );
-                self.cfg.add_production(
-                    num,
-                    vec![
-                        Symbol::T(b'-'),
-                        Symbol::N(digits),
-                        Symbol::T(b'.'),
-                        Symbol::N(digits),
-                    ],
-                );
-                num
-            }
-            "hex" => self.charset_star_nt("HEX", |b| {
-                b.is_ascii_digit() || (b'a'..=b'f').contains(&b)
-            }),
-            "b64" => self.charset_star_nt("B64", |b| {
-                b.is_ascii_alphanumeric() || b == b'+' || b == b'/' || b == b'='
-            }),
-            "urlsafe" => self.charset_star_nt("URLSAFE", |b| {
-                b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'%' | b'+')
-            }),
-            "bool" => {
-                let nt = self.cfg.add_nonterminal("BOOL");
-                self.cfg.add_production(nt, vec![]);
-                self.cfg.add_production(nt, vec![Symbol::T(b'1')]);
-                nt
-            }
-            _ => unreachable!("unknown language key {key}"),
-        };
-        self.lang_cache.insert(key, nt);
-        nt
-    }
-
-    fn charset_star_nt(&mut self, name: &str, allow: impl Fn(u8) -> bool) -> NtId {
-        let nt = self.cfg.add_nonterminal(name);
-        self.cfg.add_production(nt, vec![]);
-        for b in 0..=255u8 {
-            if allow(b) {
-                self.cfg.add_production(nt, vec![Symbol::T(b), Symbol::N(nt)]);
-            }
-        }
-        nt
-    }
-
-    /// A fresh source nonterminal deriving Σ* with the given taint.
-    fn source_nt(&mut self, name: String, taint: Taint) -> NtId {
-        let nt = self.cfg.add_nonterminal(name);
-        self.cfg.add_production(nt, vec![Symbol::N(self.any_nt)]);
-        self.cfg.set_taint(nt, taint);
-        nt
-    }
-
-    /// Union of taints of all nonterminals reachable from `nt`
-    /// (walk proportional to the reachable subgraph, with early exit).
-    pub(crate) fn reachable_taint(&self, nt: NtId) -> Taint {
-        let mut seen: HashSet<NtId> = HashSet::new();
-        let mut stack = vec![nt];
-        seen.insert(nt);
-        let mut t = Taint::NONE;
-        while let Some(id) = stack.pop() {
-            t = t.union(self.cfg.taint(id));
-            if t.is_direct() && t.is_indirect() {
-                break;
-            }
-            for rhs in self.cfg.productions(id) {
-                for s in rhs {
-                    if let Symbol::N(sub) = s {
-                        if seen.insert(*sub) {
-                            stack.push(*sub);
-                        }
-                    }
-                }
-            }
-        }
-        t
-    }
-
-    fn args_taint(&self, args: &[NtId]) -> Taint {
-        let mut t = Taint::NONE;
-        for &a in args {
-            t = t.union(self.reachable_taint(a));
-        }
-        t
-    }
-
-    /// Σ* with the union of the given argument taints — the sound
-    /// fallback result.
-    pub(crate) fn any_with_taint(&mut self, name: &str, taint: Taint) -> NtId {
-        if taint.is_empty() {
-            return self.any_nt;
-        }
-        let nt = self.source_nt(format!("widened:{name}"), taint);
-        nt
-    }
-
-    /// `true` if `nt` can reach a loop header whose back-productions
-    /// are not yet closed; transducing or intersecting such a grammar
-    /// would under-approximate, so callers must widen instead (this is
-    /// the paper's "string operations in cycles must be approximated").
-    pub(crate) fn reaches_open_header(&self, nt: NtId) -> bool {
-        if self.open_headers.is_empty() {
-            return false;
-        }
-        let mut seen: HashSet<NtId> = HashSet::new();
-        let mut stack = vec![nt];
-        seen.insert(nt);
-        while let Some(id) = stack.pop() {
-            if self.open_headers.contains(&id) {
-                return true;
-            }
-            for rhs in self.cfg.productions(id) {
-                for s in rhs {
-                    if let Symbol::N(sub) = s {
-                        if seen.insert(*sub) {
-                            stack.push(*sub);
-                        }
-                    }
-                }
-            }
-        }
-        false
-    }
-
-    fn hint(&self) -> bool {
-        self.hint_stack.last().copied().unwrap_or(true)
-    }
-
-    fn push_hint_for_lvalue(&mut self, key: &str) {
-        // A context already known irrelevant stays irrelevant inside
-        // callees (name-based relevance alone cannot distinguish call
-        // sites of a shared helper).
-        let h = self.hint()
-            && match &self.relevance {
-                None => true,
-                Some(r) => r.var(Self::root_var(key)),
-            };
-        self.hint_stack.push(h);
-    }
-
-    /// Applies a transducer to the grammar rooted at `nt`, splicing the
-    /// image into the arena. Falls back to tainted Σ* inside open loops,
-    /// in contexts the backward slice proves query-irrelevant,
-    /// or when the operand grammar exceeds the configured size budget
-    /// (chained replacements otherwise blow up multiplicatively — the
-    /// effect the paper describes for Tiger PHP News System in §5.3).
-    pub(crate) fn apply_fst(&mut self, nt: NtId, fst: &Fst, what: &str) -> NtId {
-        if self.relevance.is_some() && !self.hint() {
-            let t = self.reachable_taint(nt);
-            return self.any_with_taint(what, t);
-        }
-        if self.reaches_open_header(nt) {
-            let t = self.reachable_taint(nt);
-            self.warn(format!("{what} applied to loop-carried value; widened"));
-            return self.any_with_taint(what, t);
-        }
-        let cap = self.config.max_transducer_grammar;
-        if self.cfg.count_reachable_productions(nt, cap) > cap {
-            let t = self.reachable_taint(nt);
-            self.warn(format!(
-                "{what} operand grammar exceeds {cap} productions; widened"
-            ));
-            return self.any_with_taint(what, t);
-        }
-        let budget = self.budget.clone();
-        match image_with(&self.cfg, nt, fst, &budget) {
-            Ok((g2, r2)) => self.cfg.import_from(&g2, r2),
-            Err(err) => {
-                // Sound widening: Σ* with the operand's taint is a
-                // superset of any transducer image of it.
-                let t = self.reachable_taint(nt);
-                self.degrade(err, what, DegradeAction::WidenedToAny);
-                self.any_with_taint(what, t)
-            }
-        }
-    }
-
-    /// Intersects the grammar rooted at `nt` with a DFA, splicing the
-    /// result into the arena. Inside open loops, returns `nt`
-    /// unrefined (sound).
-    pub(crate) fn intersect_nt(&mut self, nt: NtId, dfa: &Dfa, what: &str) -> NtId {
-        if self.reaches_open_header(nt) {
-            self.warn(format!("{what} refinement on loop-carried value skipped"));
-            return nt;
-        }
-        let budget = self.budget.clone();
-        match intersect_with(&self.cfg, nt, dfa, &budget) {
-            Ok((g2, r2)) => self.cfg.import_from(&g2, r2),
-            Err(err) => {
-                // Sound: the unrefined language is a superset of the
-                // intersection.
-                self.degrade(err, what, DegradeAction::KeptUnrefined);
-                nt
-            }
-        }
-    }
-
-    // ------------------------------------------- structure traversal
-
-    fn register_functions(&mut self, stmts: &[Stmt]) {
-        for s in stmts {
-            match &s.kind {
-                StmtKind::FuncDecl(d) => {
-                    let file = self.cur_file.clone();
-                    self.functions
-                        .entry(d.name.clone())
-                        .or_insert_with(|| (Rc::new(d.clone()), file));
-                }
-                StmtKind::ClassDecl(c) => {
-                    for m in &c.methods {
-                        let file = self.cur_file.clone();
-                        self.methods
-                            .entry(m.name.clone())
-                            .or_insert_with(|| (Rc::new(m.clone()), file));
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-
-    pub(crate) fn analyze_stmts(&mut self, stmts: &[Stmt], env: &mut Env) -> Flow {
-        for s in stmts {
-            if self.analyze_stmt(s, env) == Flow::Term {
-                return Flow::Term;
-            }
-        }
-        Flow::Cont
-    }
-
-    fn analyze_stmt(&mut self, stmt: &Stmt, env: &mut Env) -> Flow {
-        match &stmt.kind {
-            StmtKind::Expr(e) => {
-                self.eval(e, env);
-                Flow::Cont
-            }
-            StmtKind::Echo(args) => {
-                if self.relevance.is_some() {
-                    self.hint_stack.push(false);
-                }
-                for a in args {
-                    let nt = self.eval(a, env);
-                    let file = self.cur_file.clone();
-                    self.echo_sinks.push(Hotspot {
-                        file,
-                        span: stmt.span,
-                        label: "echo".to_owned(),
-                        root: nt,
-                    });
-                }
-                if self.relevance.is_some() {
-                    self.hint_stack.pop();
-                }
-                Flow::Cont
-            }
-            StmtKind::InlineHtml(_) => Flow::Cont,
-            StmtKind::Block(body) => self.analyze_stmts(body, env),
-            StmtKind::If {
-                cond,
-                then,
-                elifs,
-                els,
-            } => {
-                self.eval(cond, env);
-                let mut branches: Vec<Env> = Vec::new();
-                let mut then_env = env.clone();
-                self.refine(cond, &mut then_env, true);
-                if self.analyze_stmts(then, &mut then_env) == Flow::Cont {
-                    branches.push(then_env);
-                }
-                let mut rest = env.clone();
-                self.refine(cond, &mut rest, false);
-                for (c, body) in elifs {
-                    self.eval(c, &mut rest);
-                    let mut b_env = rest.clone();
-                    self.refine(c, &mut b_env, true);
-                    if self.analyze_stmts(body, &mut b_env) == Flow::Cont {
-                        branches.push(b_env);
-                    }
-                    self.refine(c, &mut rest, false);
-                }
-                match els {
-                    Some(body) => {
-                        if self.analyze_stmts(body, &mut rest) == Flow::Cont {
-                            branches.push(rest);
-                        }
-                    }
-                    None => branches.push(rest),
-                }
-                if branches.is_empty() {
-                    return Flow::Term;
-                }
-                *env = Env::join_all(&mut self.cfg, &branches, self.empty_nt);
-                Flow::Cont
-            }
-            StmtKind::While { cond, body } => {
-                self.loop_body(env, Some(cond), body, &[], None);
-                Flow::Cont
-            }
-            StmtKind::DoWhile { body, cond } => {
-                self.loop_body(env, Some(cond), body, &[], None);
-                Flow::Cont
-            }
-            StmtKind::For {
-                init,
-                cond,
-                step,
-                body,
-            } => {
-                for e in init {
-                    self.eval(e, env);
-                }
-                self.loop_body(env, cond.as_ref(), body, step, None);
-                Flow::Cont
-            }
-            StmtKind::Foreach {
-                subject,
-                key,
-                value,
-                body,
-            } => {
-                let elems = self.elements_of(subject, env);
-                let subj_taint = self.reachable_taint(elems);
-                if let Some(k) = key {
-                    let key_nt = self.any_with_taint("foreach-key", subj_taint);
-                    env.set(k.clone(), key_nt);
-                }
-                // The value variable is re-bound to an element on every
-                // iteration — it is not loop-carried, so it gets no
-                // widening header (bodies that *reassign* it are caught
-                // by the assigned-variable pre-scan).
-                env.set(value.clone(), elems);
-                self.loop_body(env, None, body, &[], None);
-                Flow::Cont
-            }
-            StmtKind::Switch { subject, cases } => {
-                self.eval(subject, env);
-                let mut branches: Vec<Env> = Vec::new();
-                let mut has_default = false;
-                for (label, body) in cases {
-                    let mut c_env = env.clone();
-                    match label {
-                        Some(l) => {
-                            self.eval(l, &mut c_env);
-                            self.refine_case(subject, l, &mut c_env);
-                        }
-                        None => has_default = true,
-                    }
-                    if self.analyze_stmts(body, &mut c_env) == Flow::Cont {
-                        branches.push(c_env);
-                    }
-                }
-                if !has_default {
-                    branches.push(env.clone());
-                }
-                if branches.is_empty() {
-                    return Flow::Term;
-                }
-                *env = Env::join_all(&mut self.cfg, &branches, self.empty_nt);
-                Flow::Cont
-            }
-            StmtKind::Return(v) => {
-                let nt = match v {
-                    Some(e) => self.eval(e, env),
-                    None => self.empty_nt,
-                };
-                if let Some(frame) = self.return_stack.last_mut() {
-                    frame.push(nt);
-                }
-                Flow::Term
-            }
-            StmtKind::Break | StmtKind::Continue => Flow::Cont,
-            StmtKind::Exit(v) => {
-                if let Some(e) = v {
-                    self.eval(e, env);
-                }
-                Flow::Term
-            }
-            StmtKind::FuncDecl(d) => {
-                let file = self.cur_file.clone();
-                self.functions
-                    .entry(d.name.clone())
-                    .or_insert_with(|| (Rc::new(d.clone()), file));
-                Flow::Cont
-            }
-            StmtKind::ClassDecl(c) => {
-                for m in &c.methods {
-                    let file = self.cur_file.clone();
-                    self.methods
-                        .entry(m.name.clone())
-                        .or_insert_with(|| (Rc::new(m.clone()), file));
-                }
-                Flow::Cont
-            }
-            StmtKind::Global(names) => {
-                for n in names {
-                    let sets = self.global_sets.get(n).cloned().unwrap_or_default();
-                    let nt = match sets.as_slice() {
-                        [] => self.empty_nt,
-                        [one] => *one,
-                        many => {
-                            let j = self.cfg.add_nonterminal(format!("global:{n}"));
-                            for &m in many {
-                                self.cfg.add_production(j, vec![Symbol::N(m)]);
-                            }
-                            j
-                        }
-                    };
-                    env.set(n.clone(), nt);
-                    if let Some(declared) = self.declared_globals.last_mut() {
-                        declared.insert(n.clone());
-                    }
-                }
-                Flow::Cont
-            }
-            StmtKind::Unset(args) => {
-                for a in args {
-                    if let Some(key) = self.lvalue_key(a) {
-                        env.unset(&key);
-                    }
-                }
-                Flow::Cont
-            }
-            StmtKind::Include { kind, arg } => {
-                self.handle_include(*kind, arg, stmt.span, env);
-                Flow::Cont
-            }
-        }
-    }
-
-    /// Analyzes a loop: creates header nonterminals for variables
-    /// assigned in the body, runs one body pass, and closes the
-    /// recursion with back-productions.
-    fn loop_body(
-        &mut self,
-        env: &mut Env,
-        cond: Option<&Expr>,
-        body: &[Stmt],
-        step: &[Expr],
-        extra_var: Option<&str>,
-    ) {
-        let mut assigned: BTreeSet<String> = BTreeSet::new();
-        collect_assigned(body, &mut assigned);
-        for e in step {
-            collect_assigned_expr(e, &mut assigned);
-        }
-        if let Some(v) = extra_var {
-            assigned.insert(v.to_owned());
-        }
-        // Create headers.
-        let mut headers: Vec<(String, NtId)> = Vec::new();
-        for var in &assigned {
-            let pre = env.get(var).unwrap_or(self.empty_nt);
-            let h = self.cfg.add_nonterminal(format!("{var}@loop"));
-            self.cfg.add_production(h, vec![Symbol::N(pre)]);
-            env.set(var.clone(), h);
-            headers.push((var.clone(), h));
-            self.open_headers.push(h);
-        }
-        if let Some(c) = cond {
-            self.eval(c, env);
-        }
-        let mut body_env = env.clone();
-        if let Some(c) = cond {
-            self.refine(c, &mut body_env, true);
-        }
-        let flow = self.analyze_stmts(body, &mut body_env);
-        if flow == Flow::Cont {
-            for e in step {
-                self.eval(e, &mut body_env);
-            }
-        }
-        // Close the recursion.
-        for (var, h) in &headers {
-            let end = body_env.get(var).unwrap_or(self.empty_nt);
-            if end != *h {
-                self.cfg.add_production(*h, vec![Symbol::N(end)]);
-            }
-        }
-        for _ in &headers {
-            self.open_headers.pop();
-        }
-        // After the loop the header binding stands for "any number of
-        // iterations"; refine with the negated condition.
-        if let Some(c) = cond {
-            self.refine(c, env, false);
-        }
-    }
-
-    fn elements_of(&mut self, subject: &Expr, env: &mut Env) -> NtId {
-        let nt = self.eval(subject, env);
-        if let ExprKind::Var(name) = &subject.kind {
-            let keys = env.element_keys(name);
-            if !keys.is_empty() {
-                let mut parts: Vec<NtId> =
-                    keys.iter().filter_map(|k| env.get(k)).collect();
-                if env.get(name).is_some() {
-                    parts.push(nt);
-                }
-                parts.sort();
-                parts.dedup();
-                if parts.len() == 1 {
-                    return parts[0];
-                }
-                let j = self.cfg.add_nonterminal(format!("elems:{name}"));
-                for p in parts {
-                    self.cfg.add_production(j, vec![Symbol::N(p)]);
-                }
-                return j;
-            }
-        }
-        nt
-    }
-
-    // ------------------------------------------------- expressions
-
-    /// Canonical environment key for an lvalue expression, if it has
-    /// one.
-    pub(crate) fn lvalue_key(&self, e: &Expr) -> Option<String> {
-        match &e.kind {
-            ExprKind::Var(v) => Some(v.clone()),
-            ExprKind::Index(base, idx) => {
-                let base_key = self.lvalue_key(base)?;
-                let key = match idx {
-                    None => "*".to_owned(),
-                    Some(i) => match const_bytes_static(i) {
-                        Some(b) => String::from_utf8_lossy(&b).into_owned(),
-                        None => "*".to_owned(),
-                    },
-                };
-                Some(format!("{base_key}{KEY_SEP}{key}"))
-            }
-            ExprKind::Prop(base, p) => {
-                let base_key = self.lvalue_key(base)?;
-                Some(format!("{base_key}->{p}"))
-            }
-            _ => None,
-        }
-    }
-
-    fn root_var(key: &str) -> &str {
-        key.split(KEY_SEP)
-            .next()
-            .unwrap_or(key)
-            .split("->")
-            .next()
-            .unwrap_or(key)
-    }
-
-    pub(crate) fn eval(&mut self, e: &Expr, env: &mut Env) -> NtId {
-        match &e.kind {
-            ExprKind::Null => self.empty_nt,
-            ExprKind::Bool(true) => self.literal_nt(b"1"),
-            ExprKind::Bool(false) => self.empty_nt,
-            ExprKind::Int(i) => {
-                let s = i.to_string();
-                self.literal_nt(s.as_bytes())
-            }
-            ExprKind::Float(x) => {
-                let s = format!("{x}");
-                self.literal_nt(s.as_bytes())
-            }
-            ExprKind::Str(s) => self.literal_nt(s),
-            ExprKind::Interp(parts) => {
-                let mut rhs: Vec<Symbol> = Vec::new();
-                for p in parts {
-                    match p {
-                        StrPart::Lit(bytes) => {
-                            rhs.extend(bytes.iter().map(|&b| Symbol::T(b)));
-                        }
-                        StrPart::Var(v) => {
-                            let span = e.span;
-                            let sub = Expr::new(ExprKind::Var(v.clone()), span);
-                            let nt = self.eval(&sub, env);
-                            rhs.push(Symbol::N(nt));
-                        }
-                        StrPart::Index(v, key) => {
-                            let span = e.span;
-                            let sub = Expr::new(
-                                ExprKind::Index(
-                                    Box::new(Expr::new(ExprKind::Var(v.clone()), span)),
-                                    Some(Box::new(Expr::new(
-                                        ExprKind::Str(key.clone()),
-                                        span,
-                                    ))),
-                                ),
-                                span,
-                            );
-                            let nt = self.eval(&sub, env);
-                            rhs.push(Symbol::N(nt));
-                        }
-                        StrPart::Prop(v, p) => {
-                            let span = e.span;
-                            let sub = Expr::new(
-                                ExprKind::Prop(
-                                    Box::new(Expr::new(ExprKind::Var(v.clone()), span)),
-                                    p.clone(),
-                                ),
-                                span,
-                            );
-                            let nt = self.eval(&sub, env);
-                            rhs.push(Symbol::N(nt));
-                        }
-                    }
-                }
-                let nt = self.cfg.add_nonterminal("interp");
-                self.cfg.add_production(nt, rhs);
-                nt
-            }
-            ExprKind::Var(v) => {
-                if let Some(nt) = env.get(v) {
-                    return nt;
-                }
-                if self.config.direct_superglobals.iter().any(|s| s == v) {
-                    let nt = self.source_nt(format!("{v}[*]"), Taint::DIRECT);
-                    env.set(v.clone(), nt);
-                    return nt;
-                }
-                if self.config.indirect_globals.iter().any(|s| s == v) {
-                    let nt = self.source_nt(format!("{v}[*]"), Taint::INDIRECT);
-                    env.set(v.clone(), nt);
-                    return nt;
-                }
-                self.empty_nt
-            }
-            ExprKind::ConstFetch(name) => {
-                if let Some(&nt) = self.constants.get(name) {
-                    return nt;
-                }
-                match name.as_str() {
-                    "PHP_EOL" => self.literal_nt(b"\n"),
-                    _ => self.literal_nt(name.as_bytes()),
-                }
-            }
-            ExprKind::Index(base, idx) => {
-                if let Some(i) = idx {
-                    // Evaluate dynamic indexes for side effects.
-                    if const_bytes_static(i).is_none() {
-                        self.eval(i, env);
-                    }
-                }
-                if let Some(key) = self.lvalue_key(e) {
-                    if let Some(nt) = env.get(&key) {
-                        return nt;
-                    }
-                    let root = Self::root_var(&key);
-                    if self.config.direct_superglobals.iter().any(|s| s == root) {
-                        let display = crate::env::clean_key(&key);
-                        let nt = self.source_nt(display, Taint::DIRECT);
-                        env.set(key, nt);
-                        return nt;
-                    }
-                    if self.config.indirect_globals.iter().any(|s| s == root) {
-                        let display = crate::env::clean_key(&key);
-                        let nt = self.source_nt(display, Taint::INDIRECT);
-                        env.set(key, nt);
-                        return nt;
-                    }
-                    // Unknown element of a known array: join all known
-                    // elements plus the array binding.
-                    if key.ends_with(&format!("{KEY_SEP}*")) {
-                        let sub = self.elements_of(base, env);
-                        return sub;
-                    }
-                    // Element of an array-valued binding (fetch rows,
-                    // explode results): the collapsed representation
-                    // stores the element language on the array variable.
-                    if let Some(base_key) = self.lvalue_key(base) {
-                        if let Some(base_nt) = env.get(&base_key) {
-                            if base_nt != self.empty_nt {
-                                env.set(key, base_nt);
-                                return base_nt;
-                            }
-                        }
-                    }
-                    return self.empty_nt;
-                }
-                // Indexing a computed value: keep taint, widen.
-                let base_nt = self.eval(base, env);
-                let t = self.reachable_taint(base_nt);
-                self.any_with_taint("index", t)
-            }
-            ExprKind::Prop(base, _) => {
-                if let Some(key) = self.lvalue_key(e) {
-                    if let Some(nt) = env.get(&key) {
-                        return nt;
-                    }
-                    let root = Self::root_var(&key);
-                    if self.config.indirect_globals.iter().any(|s| s == root) {
-                        let nt = self.source_nt(key.clone(), Taint::INDIRECT);
-                        env.set(key, nt);
-                        return nt;
-                    }
-                    return self.empty_nt;
-                }
-                let base_nt = self.eval(base, env);
-                let t = self.reachable_taint(base_nt);
-                self.any_with_taint("prop", t)
-            }
-            ExprKind::Assign(lhs, op, rhs) => {
-                // list($a, $b) = expr — each variable receives the
-                // collapsed element language (array order is lost, as
-                // with explode, paper §3.1.3).
-                if op.is_none() {
-                    if let ExprKind::Call(name, vars) = &lhs.kind {
-                        if name == "list" {
-                            let vars = vars.clone();
-                            let rv = self.eval(rhs, env);
-                            for v in &vars {
-                                if let Some(key) = self.lvalue_key(v) {
-                                    env.set(key, rv);
-                                }
-                            }
-                            return rv;
-                        }
-                    }
-                }
-                // Array-literal assignment distributes over elements.
-                if op.is_none() {
-                    if let (ExprKind::Array(items), Some(base_key)) =
-                        (&rhs.kind, self.lvalue_key(lhs))
-                    {
-                        let items = items.clone();
-                        return self.assign_array_literal(&base_key, &items, env, e.span);
-                    }
-                }
-                // Relevance hint: expensive operations in the RHS keep
-                // precision only when the assigned variable may reach a
-                // query (paper §7 backward slice).
-                let pushed = if self.relevance.is_some() {
-                    match self.lvalue_key(lhs) {
-                        Some(key) => {
-                            self.push_hint_for_lvalue(&key);
-                            true
-                        }
-                        None => false,
-                    }
-                } else {
-                    false
-                };
-                let rv = self.eval(rhs, env);
-                if pushed {
-                    self.hint_stack.pop();
-                }
-                let value = match op {
-                    None => rv,
-                    Some(BinOp::Concat) => {
-                        let old = match self.lvalue_key(lhs) {
-                            Some(k) => env.get(&k).unwrap_or(self.empty_nt),
-                            None => self.empty_nt,
-                        };
-                        let nt = self.cfg.add_nonterminal("concat=");
-                        self.cfg
-                            .add_production(nt, vec![Symbol::N(old), Symbol::N(rv)]);
-                        nt
-                    }
-                    Some(_) => {
-                        let t = self.reachable_taint(rv);
-                        self.numeric_result(t)
-                    }
-                };
-                self.assign_lvalue(lhs, value, env);
-                value
-            }
-            ExprKind::Ternary(cond, then, els) => {
-                let cond_nt = self.eval(cond, env);
-                let mut t_env = env.clone();
-                self.refine(cond, &mut t_env, true);
-                let t_nt = match then {
-                    Some(t) => self.eval(t, &mut t_env),
-                    None => cond_nt,
-                };
-                let mut e_env = env.clone();
-                self.refine(cond, &mut e_env, false);
-                let e_nt = self.eval(els, &mut e_env);
-                *env = Env::join(&mut self.cfg, &t_env, &e_env, self.empty_nt);
-                if t_nt == e_nt {
-                    t_nt
-                } else {
-                    let j = self.cfg.add_nonterminal("ternary");
-                    self.cfg.add_production(j, vec![Symbol::N(t_nt)]);
-                    self.cfg.add_production(j, vec![Symbol::N(e_nt)]);
-                    j
-                }
-            }
-            ExprKind::Binary(op, a, b) => {
-                let na = self.eval(a, env);
-                let nb = self.eval(b, env);
-                match op {
-                    BinOp::Concat => {
-                        let nt = self.cfg.add_nonterminal("concat");
-                        self.cfg
-                            .add_production(nt, vec![Symbol::N(na), Symbol::N(nb)]);
-                        nt
-                    }
-                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
-                        let t = self.args_taint(&[na, nb]);
-                        self.numeric_result(t)
-                    }
-                    _ => self.lang_nt("bool"),
-                }
-            }
-            ExprKind::Unary(op, inner) => {
-                let nt = self.eval(inner, env);
-                match op {
-                    UnaryOp::Not => self.lang_nt("bool"),
-                    UnaryOp::Neg => {
-                        let t = self.reachable_taint(nt);
-                        self.numeric_result(t)
-                    }
-                }
-            }
-            ExprKind::Cast(kind, inner) => {
-                let nt = self.eval(inner, env);
-                match kind {
-                    CastKind::Int | CastKind::Float => {
-                        let t = self.reachable_taint(nt);
-                        self.numeric_result(t)
-                    }
-                    CastKind::Str => nt,
-                    CastKind::Bool => self.lang_nt("bool"),
-                    CastKind::Array => nt,
-                }
-            }
-            ExprKind::Suppress(inner) => self.eval(inner, env),
-            ExprKind::IncDec { target, .. } => {
-                let t = match self.lvalue_key(target) {
-                    Some(k) => env
-                        .get(&k)
-                        .map(|nt| self.reachable_taint(nt))
-                        .unwrap_or(Taint::NONE),
-                    None => Taint::NONE,
-                };
-                let nt = self.numeric_result(t);
-                self.assign_lvalue(target, nt, env);
-                nt
-            }
-            ExprKind::Isset(args) => {
-                for a in args {
-                    self.eval(a, env);
-                }
-                self.lang_nt("bool")
-            }
-            ExprKind::Empty(inner) => {
-                self.eval(inner, env);
-                self.lang_nt("bool")
-            }
-            ExprKind::Array(items) => {
-                let mut parts: Vec<NtId> = Vec::new();
-                for (k, v) in items {
-                    if let Some(key) = k {
-                        self.eval(key, env);
-                    }
-                    parts.push(self.eval(v, env));
-                }
-                parts.sort();
-                parts.dedup();
-                match parts.as_slice() {
-                    [] => self.empty_nt,
-                    [one] => *one,
-                    many => {
-                        let j = self.cfg.add_nonterminal("array");
-                        for &p in many {
-                            self.cfg.add_production(j, vec![Symbol::N(p)]);
-                        }
-                        j
-                    }
-                }
-            }
-            ExprKind::New(_, args) => {
-                // Constructors are not inlined; the object value itself
-                // carries no string language.
-                for a in args {
-                    self.eval(a, env);
-                }
-                self.any_nt
-            }
-            ExprKind::Call(name, args) => self.eval_call(name, args, e.span, env),
-            ExprKind::MethodCall(obj, m, args) => {
-                self.eval(obj, env);
-                self.eval_sink_or_fetch(&format!("->{m}"), m, args, e.span, env)
-            }
-        }
-    }
-
-    fn numeric_result(&mut self, taint: Taint) -> NtId {
-        let num = self.lang_nt("num");
-        if taint.is_empty() {
-            return num;
-        }
-        let nt = self.cfg.add_nonterminal("num†");
-        self.cfg.add_production(nt, vec![Symbol::N(num)]);
-        self.cfg.set_taint(nt, taint);
-        nt
-    }
-
-    fn assign_array_literal(
-        &mut self,
-        base_key: &str,
-        items: &[(Option<Expr>, Expr)],
-        env: &mut Env,
-        span: Span,
-    ) -> NtId {
-        // Clear prior elements.
-        for k in env.element_keys(base_key) {
-            env.unset(&k);
-        }
-        env.unset(base_key);
-        let mut parts: Vec<NtId> = Vec::new();
-        let mut auto = 0usize;
-        for (k, v) in items {
-            let nt = self.eval(v, env);
-            parts.push(nt);
-            let key = match k {
-                Some(ke) => match const_bytes_static(ke) {
-                    Some(b) => String::from_utf8_lossy(&b).into_owned(),
-                    None => "*".to_owned(),
-                },
-                None => {
-                    let k = auto.to_string();
-                    auto += 1;
-                    k
-                }
-            };
-            env.set(format!("{base_key}{KEY_SEP}{key}"), nt);
-        }
-        let _ = span;
-        parts.sort();
-        parts.dedup();
-        let joined = match parts.as_slice() {
-            [] => self.empty_nt,
-            [one] => *one,
-            many => {
-                let j = self.cfg.add_nonterminal(format!("arraylit:{base_key}"));
-                for &p in many {
-                    self.cfg.add_production(j, vec![Symbol::N(p)]);
-                }
-                j
-            }
-        };
-        if self.call_stack.is_empty() {
-            self.global_sets
-                .entry(base_key.to_owned())
-                .or_default()
-                .push(joined);
-        }
-        joined
-    }
-
-    pub(crate) fn assign_lvalue(&mut self, lhs: &Expr, value: NtId, env: &mut Env) {
-        let Some(key) = self.lvalue_key(lhs) else {
-            self.warn("assignment to unsupported lvalue ignored");
-            return;
-        };
-        // `$a[] = v` / `$a[$dyn] = v` accumulate rather than replace.
-        if key.ends_with(&format!("{KEY_SEP}*")) {
-            let prior = env.get(&key);
-            let nt = match prior {
-                Some(p) if p != value => {
-                    let j = self.cfg.add_nonterminal("accum");
-                    self.cfg.add_production(j, vec![Symbol::N(p)]);
-                    self.cfg.add_production(j, vec![Symbol::N(value)]);
-                    j
-                }
-                _ => value,
-            };
-            env.set(key.clone(), nt);
-        } else {
-            env.set(key.clone(), value);
-        }
-        // Record global bindings for `global` declarations in functions.
-        let at_top = self.call_stack.is_empty();
-        let declared = self
-            .declared_globals
-            .last()
-            .is_some_and(|d| d.contains(Self::root_var(&key)));
-        if at_top || declared {
-            self.global_sets.entry(key).or_default().push(value);
-        }
-    }
-
-    // ------------------------------------------------------ calls
-
-    fn eval_call(
-        &mut self,
-        name: &str,
-        args: &[Expr],
-        span: Span,
-        env: &mut Env,
-    ) -> NtId {
-        // define() tracks program constants.
-        if name == "define" && args.len() >= 2 {
-            if let Some(cname) = const_bytes_static(&args[0]) {
-                let nt = self.eval(&args[1], env);
-                self.constants
-                    .insert(String::from_utf8_lossy(&cname).into_owned(), nt);
-                return self.lang_nt("bool");
-            }
-        }
-        // User-defined functions take precedence over builtins, as in
-        // PHP (redefinition of builtins is an error, so order rarely
-        // matters; applications define helpers like unp_msg()).
-        if let Some((decl, file)) = self.functions.get(name).cloned() {
-            return self.eval_user_call(&decl, &file, args, env);
-        }
-        self.eval_sink_or_fetch(name, name, args, span, env)
-    }
-
-    /// Shared path for free functions and method calls: hotspots,
-    /// fetch sources, then builtins.
-    fn eval_sink_or_fetch(
-        &mut self,
-        label: &str,
-        bare: &str,
-        args: &[Expr],
-        span: Span,
-        env: &mut Env,
-    ) -> NtId {
-        let is_hotspot = if label.starts_with("->") {
-            self.config.hotspot_methods.iter().any(|m| m == bare)
-        } else {
-            self.config.hotspot_functions.iter().any(|m| m == bare)
-        };
-        if is_hotspot {
-            // Query arguments are always relevance-precise.
-            self.hint_stack.push(true);
-            let arg_nts: Vec<NtId> = args.iter().map(|a| self.eval(a, env)).collect();
-            self.hint_stack.pop();
-            if let Some(&q) = arg_nts.first() {
-                let file = self.cur_file.clone();
-                self.hotspots.push(Hotspot {
-                    file,
-                    span,
-                    label: label.to_owned(),
-                    root: q,
-                });
-            }
-            return self.cfg.add_nonterminal("dbresult");
-        }
-        if self.config.fetch_functions.iter().any(|m| m == bare) {
-            for a in args {
-                self.eval(a, env);
-            }
-            return self.source_nt(format!("fetch:{label}"), Taint::INDIRECT);
-        }
-        if label.starts_with("->") {
-            // Application-defined methods: dispatch by bare name (the
-            // classless over-approximation; real receivers are rarely
-            // ambiguous in this code base style).
-            if let Some((decl, file)) = self.methods.get(bare).cloned() {
-                return self.eval_user_call(&decl, &file, args, env);
-            }
-            for a in args {
-                self.eval(a, env);
-            }
-            // Unknown method: widen, untainted (configured methods cover
-            // the DB layer; others are application objects).
-            self.unmodeled.insert(label.to_owned());
-            return self.any_nt;
-        }
-        self.eval_builtin(bare, args, env)
-    }
-
-    fn eval_user_call(
-        &mut self,
-        decl: &Rc<FuncDecl>,
-        decl_file: &str,
-        args: &[Expr],
-        env: &mut Env,
-    ) -> NtId {
-        if self.call_stack.len() >= self.config.max_call_depth
-            || self.call_stack.iter().any(|n| n == &decl.name)
-        {
-            let arg_nts: Vec<NtId> = args.iter().map(|a| self.eval(a, env)).collect();
-            let t = self.args_taint(&arg_nts);
-            self.warn(format!(
-                "call to {} widened (recursion or depth limit)",
-                decl.name
-            ));
-            return self.any_with_taint(&decl.name, t);
-        }
-        let mut callee_env = Env::new();
-        let mut ref_backs: Vec<(usize, String)> = Vec::new();
-        for (i, p) in decl.params.iter().enumerate() {
-            let nt = match args.get(i) {
-                Some(a) => {
-                    let nt = self.eval(a, env);
-                    if p.by_ref {
-                        if let Some(k) = self.lvalue_key(a) {
-                            ref_backs.push((i, k));
-                        }
-                    }
-                    nt
-                }
-                None => match &p.default {
-                    Some(d) => self.eval(d, env),
-                    None => self.empty_nt,
-                },
-            };
-            callee_env.set(p.name.clone(), nt);
-        }
-        // Extra args evaluated for effects.
-        for a in args.iter().skip(decl.params.len()) {
-            self.eval(a, env);
-        }
-        self.call_stack.push(decl.name.clone());
-        self.return_stack.push(Vec::new());
-        self.declared_globals.push(HashSet::new());
-        // Hotspots inside the body belong to the file that defines the
-        // function, not the calling page.
-        let prev_file = std::mem::replace(&mut self.cur_file, decl_file.to_owned());
-        self.analyze_stmts(&decl.body, &mut callee_env);
-        self.cur_file = prev_file;
-        self.declared_globals.pop();
-        let returns = self.return_stack.pop().expect("frame pushed");
-        self.call_stack.pop();
-        for (i, key) in ref_backs {
-            if let Some(nt) = callee_env.get(&decl.params[i].name) {
-                env.set(key, nt);
-            }
-        }
-        match returns.as_slice() {
-            [] => self.empty_nt,
-            [one] => *one,
-            many => {
-                let j = self.cfg.add_nonterminal(format!("ret:{}", decl.name));
-                let mut uniq = many.to_vec();
-                uniq.sort();
-                uniq.dedup();
-                for nt in uniq {
-                    self.cfg.add_production(j, vec![Symbol::N(nt)]);
-                }
-                j
-            }
-        }
-    }
-
-    fn eval_builtin(&mut self, name: &str, args: &[Expr], env: &mut Env) -> NtId {
-        let model = builtins::lookup(name);
-        let Some(model) = model else {
-            let arg_nts: Vec<NtId> = args.iter().map(|a| self.eval(a, env)).collect();
-            let t = self.args_taint(&arg_nts);
-            self.unmodeled.insert(name.to_owned());
-            return self.any_with_taint(name, t);
-        };
-        match model {
-            Model::Identity => match args.first() {
-                Some(a) => self.eval(a, env),
-                None => self.empty_nt,
-            },
-            Model::Transducer(kind) => {
-                let nt = match args.first() {
-                    Some(a) => self.eval(a, env),
-                    None => self.empty_nt,
-                };
-                for a in args.iter().skip(1) {
-                    self.eval(a, env);
-                }
-                let fst = builtins::transducer_fst(kind);
-                self.apply_fst(nt, &fst, name)
-            }
-            Model::Numeric => {
-                let arg_nts: Vec<NtId> = args.iter().map(|a| self.eval(a, env)).collect();
-                let t = self.args_taint(&arg_nts);
-                self.numeric_result(t)
-            }
-            Model::HexToken => {
-                let arg_nts: Vec<NtId> = args.iter().map(|a| self.eval(a, env)).collect();
-                let t = self.args_taint(&arg_nts);
-                let hex = self.lang_nt("hex");
-                self.wrap_lang(hex, t, "hex†")
-            }
-            Model::Base64 => {
-                let arg_nts: Vec<NtId> = args.iter().map(|a| self.eval(a, env)).collect();
-                let t = self.args_taint(&arg_nts);
-                let b = self.lang_nt("b64");
-                self.wrap_lang(b, t, "b64†")
-            }
-            Model::UrlSafe => {
-                let arg_nts: Vec<NtId> = args.iter().map(|a| self.eval(a, env)).collect();
-                let t = self.args_taint(&arg_nts);
-                let u = self.lang_nt("urlsafe");
-                self.wrap_lang(u, t, "urlsafe†")
-            }
-            Model::AnyKeepTaint => {
-                let arg_nts: Vec<NtId> = args.iter().map(|a| self.eval(a, env)).collect();
-                let t = self.args_taint(&arg_nts);
-                self.any_with_taint(name, t)
-            }
-            Model::AnyUntainted => {
-                for a in args {
-                    self.eval(a, env);
-                }
-                self.any_nt
-            }
-            Model::ConstEmpty => {
-                for a in args {
-                    self.eval(a, env);
-                }
-                self.empty_nt
-            }
-            Model::Bool => {
-                for a in args {
-                    self.eval(a, env);
-                }
-                self.lang_nt("bool")
-            }
-            Model::StrReplace => self.eval_str_replace(args, env),
-            Model::PregReplace { posix_ci, delimited } => {
-                self.eval_preg_replace(args, env, posix_ci, delimited)
-            }
-            Model::Sprintf => self.eval_sprintf(args, env),
-            Model::Implode => self.eval_implode(args, env),
-            Model::Explode => self.eval_explode(args, env),
-            Model::StrRepeat => self.eval_str_repeat(args, env),
-        }
-    }
-
-    fn eval_str_repeat(&mut self, args: &[Expr], env: &mut Env) -> NtId {
-        if args.len() < 2 {
-            return self.empty_nt;
-        }
-        let base = self.eval(&args[0], env);
-        // Constant small counts unroll exactly; anything else becomes
-        // "any number of repetitions" (a recursive production) — an
-        // over-approximation that preserves the alphabet and taint.
-        let count = const_bytes_static(&args[1])
-            .and_then(|b| String::from_utf8_lossy(&b).parse::<usize>().ok());
-        match count {
-            Some(n) if n <= 16 => {
-                let nt = self.cfg.add_nonterminal("str_repeat");
-                self.cfg
-                    .add_production(nt, vec![Symbol::N(base); n]);
-                nt
-            }
-            _ => {
-                self.eval(&args[1], env);
-                let nt = self.cfg.add_nonterminal("str_repeat*");
-                self.cfg.add_production(nt, vec![]);
-                self.cfg
-                    .add_production(nt, vec![Symbol::N(base), Symbol::N(nt)]);
-                nt
-            }
-        }
-    }
-
-    fn wrap_lang(&mut self, lang: NtId, taint: Taint, name: &str) -> NtId {
-        if taint.is_empty() {
-            return lang;
-        }
-        let nt = self.cfg.add_nonterminal(name);
-        self.cfg.add_production(nt, vec![Symbol::N(lang)]);
-        self.cfg.set_taint(nt, taint);
-        nt
-    }
-
-    fn eval_str_replace(&mut self, args: &[Expr], env: &mut Env) -> NtId {
-        if args.len() < 3 {
-            return self.empty_nt;
-        }
-        let subj = self.eval(&args[2], env);
-        // Scalar or array-of-literal pattern/replacement.
-        let pats: Option<Vec<Vec<u8>>> = const_list(&args[0]);
-        let reps: Option<Vec<Vec<u8>>> = const_list(&args[1]);
-        if let (Some(pats), Some(reps)) = (pats, reps) {
-            if !pats.is_empty() && pats.iter().all(|p| !p.is_empty()) {
-                // PHP semantics: pattern i is replaced by replacement i
-                // (or "" / the scalar). Apply sequentially.
-                let mut cur = subj;
-                for (i, pat) in pats.iter().enumerate() {
-                    let rep = if reps.len() == 1 {
-                        reps[0].clone()
-                    } else {
-                        reps.get(i).cloned().unwrap_or_default()
-                    };
-                    let fst = strtaint_automata::fst::builders::replace_literal(pat, &rep);
-                    cur = self.apply_fst(cur, &fst, "str_replace");
-                }
-                return cur;
-            }
-        }
-        self.eval(&args[0], env);
-        self.eval(&args[1], env);
-        let t = self.reachable_taint(subj);
-        self.any_with_taint("str_replace", t)
-    }
-
-    fn eval_preg_replace(
-        &mut self,
-        args: &[Expr],
-        env: &mut Env,
-        posix_ci: bool,
-        delimited: bool,
-    ) -> NtId {
-        if args.len() < 3 {
-            return self.empty_nt;
-        }
-        let subj = self.eval(&args[2], env);
-        let pat = const_bytes_static(&args[0]);
-        let rep = const_bytes_static(&args[1]);
-        if let (Some(pat), Some(rep)) = (pat, rep) {
-            let pat_str = String::from_utf8_lossy(&pat).into_owned();
-            let re = if delimited {
-                Regex::new_delimited(&pat_str)
-            } else {
-                Regex::with_flags(&pat_str, posix_ci)
-            };
-            let has_backref = rep.windows(2).any(|w| {
-                (w[0] == b'\\' || w[0] == b'$') && w[1].is_ascii_digit()
-            });
-            if let Ok(re) = re {
-                use strtaint_automata::regex::Anchoring;
-                if !has_backref && re.ast().anchoring() == Anchoring::None {
-                    let dfa = Dfa::from_nfa(&re.anchored_nfa()).minimize();
-                    let fst = strtaint_automata::fst::builders::replace_regex(&dfa, &rep);
-                    return self.apply_fst(subj, &fst, "preg_replace");
-                }
-            }
-        }
-        self.eval(&args[0], env);
-        self.eval(&args[1], env);
-        let t = self.reachable_taint(subj);
-        self.any_with_taint("preg_replace", t)
-    }
-
-    fn eval_sprintf(&mut self, args: &[Expr], env: &mut Env) -> NtId {
-        let Some(fmt) = args.first().and_then(const_bytes_static) else {
-            let nts: Vec<NtId> = args.iter().map(|a| self.eval(a, env)).collect();
-            let t = self.args_taint(&nts);
-            return self.any_with_taint("sprintf", t);
-        };
-        let mut rhs: Vec<Symbol> = Vec::new();
-        let mut arg_idx = 1usize;
-        let mut i = 0usize;
-        let mut ok = true;
-        while i < fmt.len() {
-            let b = fmt[i];
-            if b != b'%' {
-                rhs.push(Symbol::T(b));
-                i += 1;
-                continue;
-            }
-            i += 1;
-            if i >= fmt.len() {
-                break;
-            }
-            // Skip flags/width/precision.
-            while i < fmt.len()
-                && (fmt[i].is_ascii_digit()
-                    || matches!(fmt[i], b'-' | b'+' | b' ' | b'0' | b'.' | b'\''))
-            {
-                i += 1;
-            }
-            if i >= fmt.len() {
-                ok = false;
-                break;
-            }
-            match fmt[i] {
-                b'%' => rhs.push(Symbol::T(b'%')),
-                b's' => {
-                    let nt = match args.get(arg_idx) {
-                        Some(a) => self.eval(a, env),
-                        None => self.empty_nt,
-                    };
-                    arg_idx += 1;
-                    rhs.push(Symbol::N(nt));
-                }
-                b'd' | b'u' | b'i' | b'f' | b'F' | b'e' | b'g' => {
-                    let t = match args.get(arg_idx) {
-                        Some(a) => {
-                            let nt = self.eval(a, env);
-                            self.reachable_taint(nt)
-                        }
-                        None => Taint::NONE,
-                    };
-                    arg_idx += 1;
-                    let nt = self.numeric_result(t);
-                    rhs.push(Symbol::N(nt));
-                }
-                b'x' | b'X' | b'o' | b'b' => {
-                    let _ = args.get(arg_idx).map(|a| self.eval(a, env));
-                    arg_idx += 1;
-                    let nt = self.lang_nt("hex");
-                    rhs.push(Symbol::N(nt));
-                }
-                _ => {
-                    ok = false;
-                    break;
-                }
-            }
-            i += 1;
-        }
-        if !ok {
-            let nts: Vec<NtId> = args.iter().map(|a| self.eval(a, env)).collect();
-            let t = self.args_taint(&nts);
-            return self.any_with_taint("sprintf", t);
-        }
-        // Remaining args: evaluate for effects.
-        for a in args.iter().skip(arg_idx.max(1)) {
-            self.eval(a, env);
-        }
-        let nt = self.cfg.add_nonterminal("sprintf");
-        self.cfg.add_production(nt, rhs);
-        nt
-    }
-
-    fn eval_implode(&mut self, args: &[Expr], env: &mut Env) -> NtId {
-        if args.len() < 2 {
-            if let Some(a) = args.first() {
-                let nt = self.eval(a, env);
-                let t = self.reachable_taint(nt);
-                return self.any_with_taint("implode", t);
-            }
-            return self.empty_nt;
-        }
-        let glue = const_bytes_static(&args[0]);
-        let elems = self.elements_of(&args[1], env);
-        let Some(glue) = glue else {
-            self.eval(&args[0], env);
-            let t = self.reachable_taint(elems);
-            return self.any_with_taint("implode", t);
-        };
-        // R → E | E glue R  (any count, order lost — like the paper's
-        // explode treatment).
-        let r = self.cfg.add_nonterminal("implode");
-        self.cfg.add_production(r, vec![Symbol::N(elems)]);
-        let mut rhs = vec![Symbol::N(elems)];
-        rhs.extend(glue.iter().map(|&b| Symbol::T(b)));
-        rhs.push(Symbol::N(r));
-        self.cfg.add_production(r, rhs);
-        r
-    }
-
-    fn eval_explode(&mut self, args: &[Expr], env: &mut Env) -> NtId {
-        if args.len() < 2 {
-            return self.empty_nt;
-        }
-        let subj = self.eval(&args[1], env);
-        let delim = const_bytes_static(&args[0]);
-        let Some(delim) = delim else {
-            self.eval(&args[0], env);
-            let t = self.reachable_taint(subj);
-            return self.any_with_taint("explode", t);
-        };
-        // Piece transducer: skip a prefix, copy a piece, skip the rest
-        // (paper Fig. 8 / Minamide's two-FST construction; the order of
-        // the returned array is lost, exactly as the paper notes).
-        let fst = explode_piece_fst(&delim);
-        self.apply_fst(subj, &fst, "explode")
-    }
-
-    // ---------------------------------------------------- includes
-
-    fn layout_dfa(&mut self) -> Rc<Dfa> {
-        if let Some(d) = &self.layout {
-            return Rc::clone(d);
-        }
-        let mut nfa = Nfa::empty();
-        for p in self.vfs.paths() {
-            nfa = nfa.union(&Nfa::literal(p.as_bytes()));
-            // Also accept the common "./path" spelling.
-            let dotted = format!("./{p}");
-            nfa = nfa.union(&Nfa::literal(dotted.as_bytes()));
-        }
-        let d = Rc::new(Dfa::from_nfa(&nfa).minimize());
-        self.layout = Some(Rc::clone(&d));
-        d
-    }
-
-    fn handle_include(
-        &mut self,
-        kind: IncludeKind,
-        arg: &Expr,
-        span: Span,
-        env: &mut Env,
-    ) {
-        let nt = self.eval(arg, env);
-        let site = format!("{}:{}", self.cur_file, span.line);
-        let paths: Vec<String> = if let Some(ovr) = self.config.include_overrides.get(&site)
-        {
-            ovr.clone()
-        } else if self.reaches_open_header(nt) {
-            self.warn(format!("dynamic include at {site} inside loop skipped"));
-            return;
-        } else {
-            let direct = bounded_language(&self.cfg, nt, self.config.max_include_fanout);
-            let lang = match direct {
-                Some(l) => Some(l),
-                None => {
-                    // §4: intersect with the filesystem layout, treating
-                    // the directory tree as part of the specification.
-                    let layout = self.layout_dfa();
-                    let budget = self.budget.clone();
-                    match intersect_with(&self.cfg, nt, &layout, &budget) {
-                        Ok((g2, r2)) => {
-                            bounded_language(&g2, r2, self.config.max_include_fanout)
-                        }
-                        Err(err) => {
-                            self.degrade(
-                                err,
-                                &format!("include@{site}"),
-                                DegradeAction::KeptUnrefined,
-                            );
-                            // Fall through to the unresolved-include
-                            // warning below.
-                            None
-                        }
-                    }
-                }
-            };
-            match lang {
-                Some(l) if !l.is_empty() => l
-                    .into_iter()
-                    .map(|b| String::from_utf8_lossy(&b).into_owned())
-                    .collect(),
-                Some(_) => {
-                    self.warn(format!(
-                        "dynamic include at {site} matches no file in the layout"
-                    ));
-                    return;
-                }
-                None => {
-                    self.warn(format!(
-                        "dynamic include at {site} unresolved (provide an override)"
-                    ));
-                    return;
-                }
-            }
-        };
-        for p in paths {
-            self.include_file(&p, kind, env);
-        }
-    }
-
-    fn include_file(&mut self, path: &str, kind: IncludeKind, env: &mut Env) {
-        let norm = normalize(path);
-        let once = matches!(kind, IncludeKind::IncludeOnce | IncludeKind::RequireOnce);
-        if once && self.include_once.contains(&norm) {
-            return;
-        }
-        let Some(src) = self.vfs.get(&norm) else {
-            self.warn(format!("included file not found: {norm}"));
-            return;
-        };
-        if once {
-            self.include_once.insert(norm.clone());
-        }
-        let file = match self.parsed.get(&norm) {
-            Some(f) => Rc::clone(f),
-            None => match parse(src) {
-                Ok(f) => {
-                    let rc = Rc::new(f);
-                    self.parsed.insert(norm.clone(), Rc::clone(&rc));
-                    rc
-                }
-                Err(e) => {
-                    self.warn(format!("included file {norm} failed to parse: {e}"));
-                    return;
-                }
-            },
-        };
-        let prev = std::mem::replace(&mut self.cur_file, norm);
-        self.files_analyzed += 1;
-        self.register_functions(&file.stmts);
-        self.analyze_stmts(&file.stmts, env);
-        self.cur_file = prev;
-    }
-}
-
-/// Builds the `explode` piece transducer for a delimiter: relates the
-/// subject to each returned array element (superset when the delimiter
-/// is multi-byte).
-pub(crate) fn explode_piece_fst(delim: &[u8]) -> Fst {
-    use strtaint_automata::{ByteSet, OutSym};
-    let mut f = Fst::new();
-    let skip_pre = f.start();
-    let piece = f.add_state();
-    let skip_post = f.add_state();
-    f.add_arc(skip_pre, ByteSet::FULL, Vec::new(), skip_pre);
-    let copyable = if delim.len() == 1 {
-        ByteSet::singleton(delim[0]).complement()
-    } else {
-        ByteSet::FULL
-    };
-    // Enter the piece by copying its first byte.
-    f.add_arc(skip_pre, copyable, vec![OutSym::Copy], piece);
-    f.add_arc(piece, copyable, vec![OutSym::Copy], piece);
-    // Leave the piece on a delimiter-ish byte.
-    let leave = if delim.len() == 1 {
-        ByteSet::singleton(delim[0])
-    } else {
-        ByteSet::FULL
-    };
-    f.add_arc(piece, leave, Vec::new(), skip_post);
-    f.add_arc(skip_post, ByteSet::FULL, Vec::new(), skip_post);
-    // Empty piece (delimiter at the edge) and full-piece cases.
-    f.set_final(skip_pre, Vec::new());
-    f.set_final(piece, Vec::new());
-    f.set_final(skip_post, Vec::new());
-    f
-}
-
-/// Constant-folds an expression to bytes when it is a literal (string,
-/// int, float, escape-free interpolation, or concatenation of such).
-pub(crate) fn const_bytes_static(e: &Expr) -> Option<Vec<u8>> {
-    match &e.kind {
-        ExprKind::Str(s) => Some(s.clone()),
-        ExprKind::Int(i) => Some(i.to_string().into_bytes()),
-        ExprKind::Float(x) => Some(format!("{x}").into_bytes()),
-        ExprKind::Bool(true) => Some(b"1".to_vec()),
-        ExprKind::Bool(false) | ExprKind::Null => Some(Vec::new()),
-        ExprKind::Interp(parts) => {
-            let mut out = Vec::new();
-            for p in parts {
-                match p {
-                    StrPart::Lit(b) => out.extend_from_slice(b),
-                    _ => return None,
-                }
-            }
-            Some(out)
-        }
-        ExprKind::Binary(BinOp::Concat, a, b) => {
-            let mut out = const_bytes_static(a)?;
-            out.extend(const_bytes_static(b)?);
-            Some(out)
-        }
-        _ => None,
-    }
-}
-
-/// Constant-folds either a scalar literal (one-element list) or an
-/// `array(...)` of literals.
-fn const_list(e: &Expr) -> Option<Vec<Vec<u8>>> {
-    if let ExprKind::Array(items) = &e.kind {
-        let mut out = Vec::new();
-        for (_, v) in items {
-            out.push(const_bytes_static(v)?);
-        }
-        return Some(out);
-    }
-    const_bytes_static(e).map(|b| vec![b])
-}
-
-/// Collects the environment keys assigned anywhere in a statement list
-/// (loop pre-scan for header creation).
-fn collect_assigned(stmts: &[Stmt], out: &mut BTreeSet<String>) {
-    for s in stmts {
-        match &s.kind {
-            StmtKind::Expr(e) | StmtKind::Return(Some(e)) | StmtKind::Exit(Some(e)) => {
-                collect_assigned_expr(e, out)
-            }
-            StmtKind::Echo(es) | StmtKind::Unset(es) => {
-                for e in es {
-                    collect_assigned_expr(e, out);
-                }
-            }
-            StmtKind::If {
-                cond,
-                then,
-                elifs,
-                els,
-            } => {
-                collect_assigned_expr(cond, out);
-                collect_assigned(then, out);
-                for (c, b) in elifs {
-                    collect_assigned_expr(c, out);
-                    collect_assigned(b, out);
-                }
-                if let Some(b) = els {
-                    collect_assigned(b, out);
-                }
-            }
-            StmtKind::While { cond, body } => {
-                collect_assigned_expr(cond, out);
-                collect_assigned(body, out);
-            }
-            StmtKind::DoWhile { body, cond } => {
-                collect_assigned(body, out);
-                collect_assigned_expr(cond, out);
-            }
-            StmtKind::For {
-                init,
-                cond,
-                step,
-                body,
-            } => {
-                for e in init.iter().chain(step.iter()) {
-                    collect_assigned_expr(e, out);
-                }
-                if let Some(c) = cond {
-                    collect_assigned_expr(c, out);
-                }
-                collect_assigned(body, out);
-            }
-            StmtKind::Foreach {
-                subject,
-                key,
-                value,
-                body,
-            } => {
-                collect_assigned_expr(subject, out);
-                if let Some(k) = key {
-                    out.insert(k.clone());
-                }
-                out.insert(value.clone());
-                collect_assigned(body, out);
-            }
-            StmtKind::Switch { subject, cases } => {
-                collect_assigned_expr(subject, out);
-                for (l, b) in cases {
-                    if let Some(l) = l {
-                        collect_assigned_expr(l, out);
-                    }
-                    collect_assigned(b, out);
-                }
-            }
-            StmtKind::Block(b) => collect_assigned(b, out),
-            StmtKind::Global(names) => {
-                for n in names {
-                    out.insert(n.clone());
-                }
-            }
-            StmtKind::Include { arg, .. } => collect_assigned_expr(arg, out),
-            _ => {}
-        }
-    }
-}
-
-fn collect_assigned_expr(e: &Expr, out: &mut BTreeSet<String>) {
-    match &e.kind {
-        ExprKind::Assign(lhs, _, rhs) => {
-            if let Some(key) = lvalue_key_static(lhs) {
-                out.insert(key);
-            }
-            collect_assigned_expr(rhs, out);
-        }
-        ExprKind::IncDec { target, .. } => {
-            if let Some(key) = lvalue_key_static(target) {
-                out.insert(key);
-            }
-        }
-        ExprKind::Binary(_, a, b) => {
-            collect_assigned_expr(a, out);
-            collect_assigned_expr(b, out);
-        }
-        ExprKind::Unary(_, a) | ExprKind::Suppress(a) | ExprKind::Empty(a) => {
-            collect_assigned_expr(a, out)
-        }
-        ExprKind::Cast(_, a) => collect_assigned_expr(a, out),
-        ExprKind::Ternary(c, t, f) => {
-            collect_assigned_expr(c, out);
-            if let Some(t) = t {
-                collect_assigned_expr(t, out);
-            }
-            collect_assigned_expr(f, out);
-        }
-        ExprKind::Call(_, args) | ExprKind::Isset(args) | ExprKind::New(_, args) => {
-            for a in args {
-                collect_assigned_expr(a, out);
-            }
-        }
-        ExprKind::MethodCall(obj, _, args) => {
-            collect_assigned_expr(obj, out);
-            for a in args {
-                collect_assigned_expr(a, out);
-            }
-        }
-        ExprKind::Index(b, i) => {
-            collect_assigned_expr(b, out);
-            if let Some(i) = i {
-                collect_assigned_expr(i, out);
-            }
-        }
-        ExprKind::Array(items) => {
-            for (k, v) in items {
-                if let Some(k) = k {
-                    collect_assigned_expr(k, out);
-                }
-                collect_assigned_expr(v, out);
-            }
-        }
-        _ => {}
-    }
-}
-
-/// Static (analyzer-free) version of lvalue keying for the pre-scan.
-fn lvalue_key_static(e: &Expr) -> Option<String> {
-    match &e.kind {
-        ExprKind::Var(v) => Some(v.clone()),
-        ExprKind::Index(base, idx) => {
-            let b = lvalue_key_static(base)?;
-            let key = match idx {
-                None => "*".to_owned(),
-                Some(i) => match const_bytes_static(i) {
-                    Some(bytes) => String::from_utf8_lossy(&bytes).into_owned(),
-                    None => "*".to_owned(),
-                },
-            };
-            Some(format!("{b}{KEY_SEP}{key}"))
-        }
-        ExprKind::Prop(base, p) => Some(format!("{}->{}", lvalue_key_static(base)?, p)),
-        _ => None,
-    }
+    em.cur_file = normalize(entry);
+    em.cur_summary = summary.content_hash;
+    em.files_analyzed += 1;
+    em.register_functions(&summary.body);
+    em.emit_stmts(&summary.body, &mut env);
+    Ok(em.into_analysis())
 }

@@ -7,10 +7,15 @@
 //! labeled `direct`/`indirect` where the derived strings come from
 //! user-controlled sources.
 //!
-//! Key pieces:
+//! Key pieces (a staged pipeline — see DESIGN.md §Pipeline):
 //!
-//! - [`builder::analyze`]: the flow-sensitive walker (assignments,
-//!   joins, loop fixpoints, interprocedural inlining);
+//! - [`lower`]: AST → dataflow IR (control-flow shape, loop φ-sets,
+//!   condition refinements, prepared transducers);
+//! - [`summary`]: per-file IR summaries memoized by content hash, so
+//!   shared includes lower once per app instead of once per page;
+//! - [`emit`](crate::builder): IR → grammar productions — assignments,
+//!   joins, loop fixpoints, interprocedural inlining — reached through
+//!   [`builder::analyze`] / [`builder::analyze_cached`];
 //! - [`builtins`]: models for ~250 PHP library functions, with precise
 //!   transducers for the sanitization-relevant ones;
 //! - condition refinement (paper §3.1.2): regex conditionals intersect
@@ -43,12 +48,20 @@
 pub mod builder;
 pub mod builtins;
 pub mod config;
+mod emit;
+mod emit_expr;
 pub mod env;
+pub mod ir;
+pub mod lower;
 mod refine;
 pub mod relevance;
+pub mod summary;
 pub mod vfs;
 
-pub use builder::{analyze, analyze_with, Analysis, AnalyzeError, Hotspot};
+pub use builder::{
+    analyze, analyze_cached, analyze_with, Analysis, AnalyzeError, Hotspot, Provenance,
+};
+pub use summary::SummaryCache;
 pub use config::Config;
 pub use env::Env;
 pub use vfs::Vfs;

@@ -7,125 +7,98 @@
 //! lets the analyzer *prove* code safe when the filter is right
 //! (`preg_match('/^[\d]+$/', $id)`) and *keep the attack strings* when
 //! it is not (`eregi('[0-9]+', $id)`, the paper's Figure 2 bug).
+//!
+//! The condition's *shape* — which variable is constrained and by what
+//! language — is recognized once at lowering into a [`Refine`] tree;
+//! this module interprets that tree against the current environment,
+//! building the branch-polarity DFA and performing the grammar
+//! intersection (the only parts that need the emitter's state).
 
-use strtaint_automata::{Dfa, Nfa, Regex};
-use strtaint_grammar::Taint;
-use strtaint_php::ast::*;
+use strtaint_automata::{Dfa, Nfa};
+use strtaint_grammar::Symbol;
 
-use crate::builder::{const_bytes_static, Analyzer};
+use crate::emit::Emitter;
 use crate::env::Env;
+use crate::ir::{IrExpr, Refine};
 
-impl Analyzer<'_> {
-    /// Refines `env` under the assumption that `cond` evaluated to
-    /// `positive`. Unrecognized conditions refine nothing (sound).
-    pub(crate) fn refine(&mut self, cond: &Expr, env: &mut Env, positive: bool) {
-        match &cond.kind {
-            ExprKind::Unary(UnaryOp::Not, inner) => self.refine(inner, env, !positive),
-            ExprKind::Suppress(inner) => self.refine(inner, env, positive),
-            ExprKind::Binary(BinOp::And, a, b) => {
+impl Emitter<'_> {
+    /// Refines `env` under the assumption that the condition carrying
+    /// `r` evaluated to `positive`. `Refine::None` refines nothing
+    /// (sound).
+    pub(crate) fn apply_refine(&mut self, r: &Refine, env: &mut Env, positive: bool) {
+        match r {
+            Refine::None => {}
+            Refine::Not(inner) => self.apply_refine(inner, env, !positive),
+            Refine::AndPos(a, b) => {
                 if positive {
-                    self.refine(a, env, true);
-                    self.refine(b, env, true);
+                    self.apply_refine(a, env, true);
+                    self.apply_refine(b, env, true);
                 }
                 // ¬(a ∧ b) is a disjunction — no single-env refinement.
                 // (This is exactly the imprecision behind the paper's
                 // Figure 9 false positive.)
             }
-            ExprKind::Binary(BinOp::Or, a, b) => {
+            Refine::OrNeg(a, b) => {
                 if !positive {
-                    self.refine(a, env, false);
-                    self.refine(b, env, false);
+                    self.apply_refine(a, env, false);
+                    self.apply_refine(b, env, false);
                 }
             }
-            ExprKind::Binary(op @ (BinOp::Eq | BinOp::Identical), a, b) => {
-                self.refine_equality(a, b, env, positive, *op);
+            Refine::Truthy {
+                key,
+                target,
+                invert,
+            } => {
+                let truthy = positive != *invert;
+                self.refine_truthiness(key, target, env, truthy);
             }
-            ExprKind::Binary(op @ (BinOp::Neq | BinOp::NotIdentical), a, b) => {
-                let eq_op = if *op == BinOp::Neq {
-                    BinOp::Eq
+            Refine::EqLit { key, target, bytes } => {
+                if positive {
+                    self.refine_to_literal(key, bytes, env);
                 } else {
-                    BinOp::Identical
-                };
-                self.refine_equality(a, b, env, !positive, eq_op);
+                    // Intersect with the complement of {bytes}.
+                    let lit_dfa = Dfa::from_nfa(&Nfa::literal(bytes)).complement();
+                    self.refine_with_dfa(key, target, &lit_dfa, env, "≠literal");
+                }
             }
-            ExprKind::Call(name, args) => self.refine_call(name, args, env, positive),
-            ExprKind::Var(_) | ExprKind::Index(..) | ExprKind::Prop(..) => {
-                // Truthiness: falsy strings are "" and "0".
-                self.refine_truthiness(cond, env, positive);
+            Refine::Dfa {
+                key,
+                target,
+                dfa,
+                pos_what,
+                neg_what,
+            } => {
+                if positive {
+                    self.refine_with_dfa(key, target, dfa, env, pos_what);
+                } else {
+                    let c = dfa.complement();
+                    self.refine_with_dfa(key, target, &c, env, neg_what);
+                }
             }
-            ExprKind::Assign(lhs, None, _) => {
-                // `if ($r = f(...))` — refine the assigned variable's
-                // truthiness.
-                self.refine_truthiness(lhs, env, positive);
-            }
-            _ => {}
         }
     }
 
-    /// `case` label refinement in `switch`.
-    pub(crate) fn refine_case(&mut self, subject: &Expr, label: &Expr, env: &mut Env) {
-        if let Some(bytes) = const_bytes_static(label) {
-            self.refine_to_literal(subject, &bytes, env);
-        }
-    }
-
-    fn refine_equality(
-        &mut self,
-        a: &Expr,
-        b: &Expr,
-        env: &mut Env,
-        equal: bool,
-        _op: BinOp,
-    ) {
-        // Normalize so the variable is on the left.
-        let (var_side, const_side) = match (const_bytes_static(a), const_bytes_static(b)) {
-            (None, Some(c)) => (a, Some(c)),
-            (Some(c), None) => (b, Some(c)),
-            _ => (a, None),
-        };
-        // Comparisons against boolean literals are truthiness tests.
-        if matches!(
-            (&a.kind, &b.kind),
-            (_, ExprKind::Bool(_)) | (ExprKind::Bool(_), _)
-        ) {
-            let bool_val = match (&a.kind, &b.kind) {
-                (_, ExprKind::Bool(v)) | (ExprKind::Bool(v), _) => *v,
-                _ => unreachable!(),
-            };
-            let var = if matches!(b.kind, ExprKind::Bool(_)) { a } else { b };
-            self.refine_truthiness(var, env, equal == bool_val);
-            return;
-        }
-        let Some(c) = const_side else { return };
-        if equal {
-            self.refine_to_literal(var_side, &c, env);
-        } else {
-            // Intersect with the complement of {c}.
-            let lit_dfa = Dfa::from_nfa(&Nfa::literal(&c)).complement();
-            self.refine_with_dfa(var_side, &lit_dfa, env, "≠literal");
-        }
-    }
-
-    fn refine_to_literal(&mut self, var: &Expr, bytes: &[u8], env: &mut Env) {
-        let Some(key) = self.lvalue_key(var) else { return };
-        let Some(old) = env.get(&key) else { return };
+    /// Narrows `key`'s binding to a constant (`case` labels, `==`
+    /// against a literal). Reads the existing binding only — a missing
+    /// binding (an unread superglobal, say) refines nothing.
+    pub(crate) fn refine_to_literal(&mut self, key: &str, bytes: &[u8], env: &mut Env) {
+        let Some(old) = env.get(key) else { return };
         // The refined value is the constant, but it still carries the
         // variable's taint (a user-chosen value that happens to equal
         // the constant).
         let taint = self.reachable_taint(old);
         let lit = self.literal_nt(bytes);
         if taint.is_empty() {
-            env.set(key, lit);
+            env.set(key.to_owned(), lit);
         } else {
             let nt = self.cfg.add_nonterminal(format!("{key}=lit"));
-            self.cfg
-                .add_production(nt, vec![strtaint_grammar::Symbol::N(lit)]);
+            self.cfg.add_production(nt, vec![Symbol::N(lit)]);
             self.cfg.set_taint(nt, taint);
-            env.set(key, nt);
+            env.set(key.to_owned(), nt);
         }
     }
 
-    fn refine_truthiness(&mut self, var: &Expr, env: &mut Env, truthy: bool) {
+    fn refine_truthiness(&mut self, key: &str, target: &IrExpr, env: &mut Env, truthy: bool) {
         // Falsy strings: "" and "0".
         let falsy = Nfa::literal(b"").union(&Nfa::literal(b"0"));
         let dfa = if truthy {
@@ -133,96 +106,26 @@ impl Analyzer<'_> {
         } else {
             Dfa::from_nfa(&falsy)
         };
-        self.refine_with_dfa(var, &dfa, env, "truthiness");
+        self.refine_with_dfa(key, target, &dfa, env, "truthiness");
     }
 
-    fn refine_call(&mut self, name: &str, args: &[Expr], env: &mut Env, positive: bool) {
-        match name {
-            "preg_match" if args.len() >= 2 => {
-                if let Some(pat) = const_bytes_static(&args[0]) {
-                    let pat = String::from_utf8_lossy(&pat).into_owned();
-                    if let Ok(re) = Regex::new_delimited(&pat) {
-                        self.refine_regex(&args[1], &re, env, positive);
-                    }
-                }
-            }
-            "ereg" | "eregi" if args.len() >= 2 => {
-                if let Some(pat) = const_bytes_static(&args[0]) {
-                    let pat = String::from_utf8_lossy(&pat).into_owned();
-                    if let Ok(re) = Regex::with_flags(&pat, name == "eregi") {
-                        self.refine_regex(&args[1], &re, env, positive);
-                    }
-                }
-            }
-            "is_numeric" if !args.is_empty() => {
-                self.refine_pattern(&args[0], r"^\s*-?[0-9]+(\.[0-9]+)?\s*$", env, positive);
-            }
-            "ctype_digit" if !args.is_empty() => {
-                self.refine_pattern(&args[0], "^[0-9]+$", env, positive);
-            }
-            "ctype_alpha" if !args.is_empty() => {
-                self.refine_pattern(&args[0], "^[A-Za-z]+$", env, positive);
-            }
-            "ctype_alnum" if !args.is_empty() => {
-                self.refine_pattern(&args[0], "^[A-Za-z0-9]+$", env, positive);
-            }
-            "ctype_xdigit" if !args.is_empty() => {
-                self.refine_pattern(&args[0], "^[0-9A-Fa-f]+$", env, positive);
-            }
-            "empty" if !args.is_empty() => {
-                self.refine_truthiness(&args[0], env, !positive);
-            }
-            "in_array" if args.len() >= 2 => {
-                if let ExprKind::Array(items) = &args[1].kind {
-                    let mut lits: Vec<Vec<u8>> = Vec::new();
-                    for (_, v) in items {
-                        match const_bytes_static(v) {
-                            Some(b) => lits.push(b),
-                            None => return,
-                        }
-                    }
-                    let mut nfa = Nfa::empty();
-                    for l in &lits {
-                        nfa = nfa.union(&Nfa::literal(l));
-                    }
-                    let dfa = Dfa::from_nfa(&nfa);
-                    let dfa = if positive { dfa } else { dfa.complement() };
-                    self.refine_with_dfa(&args[0], &dfa, env, "in_array");
-                }
-            }
-            _ => {}
-        }
-    }
-
-    fn refine_pattern(&mut self, var: &Expr, pattern: &str, env: &mut Env, positive: bool) {
-        let re = Regex::new(pattern).expect("builtin refinement patterns are valid");
-        self.refine_regex(var, &re, env, positive);
-    }
-
-    fn refine_regex(&mut self, var: &Expr, re: &Regex, env: &mut Env, positive: bool) {
-        let dfa = re.match_dfa();
-        let dfa = if positive { dfa } else { dfa.complement() };
-        let what = if positive { "regex" } else { "¬regex" };
-        self.refine_with_dfa(var, &dfa, env, what);
-    }
-
-    fn refine_with_dfa(&mut self, var: &Expr, dfa: &Dfa, env: &mut Env, what: &str) {
-        let Some(key) = self.lvalue_key(var) else { return };
+    fn refine_with_dfa(
+        &mut self,
+        key: &str,
+        target: &IrExpr,
+        dfa: &Dfa,
+        env: &mut Env,
+        what: &str,
+    ) {
         // Materialize superglobal reads so the refinement has a binding
         // to narrow.
-        if env.get(&key).is_none() {
+        if env.get(key).is_none() {
             let mut scratch = env.clone();
-            let _ = self.eval(var, &mut scratch);
+            let _ = self.eval(target, &mut scratch);
             *env = scratch;
         }
-        let Some(old) = env.get(&key) else { return };
+        let Some(old) = env.get(key) else { return };
         let new = self.intersect_nt(old, dfa, what);
-        env.set(key, new);
+        env.set(key.to_owned(), new);
     }
-}
-
-/// Used by tests to check taint plumbing without running refinement.
-#[allow(dead_code)]
-fn _taint_witness() -> Taint {
-    Taint::DIRECT
 }

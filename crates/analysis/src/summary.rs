@@ -1,0 +1,128 @@
+//! Per-file IR summaries keyed by content hash.
+//!
+//! A [`SummaryCache`] memoizes [AST→IR lowering](crate::lower) so a
+//! file shared by many pages (a common `config.php` include, say) is
+//! parsed and lowered once per app analysis instead of once per page.
+//! The cache key is `(content_hash, config_fingerprint)`:
+//!
+//! - **content hash** — a hash of the raw file bytes, so any edit
+//!   invalidates the summary;
+//! - **config fingerprint** — a hash of every [`crate::Config`] field
+//!   that lowering *could* observe. Lowering is deliberately
+//!   config-independent today (all config consultation happens at
+//!   emit), so the fingerprint is defensive: if lowering ever grows a
+//!   config dependency, the fingerprint must cover that field or the
+//!   cache would serve stale IR across configs.
+//!
+//! Summaries are path-free (an include records only its source line;
+//! the path is supplied by the emitter), which is what makes one
+//! summary valid for every page and every include site that mentions
+//! the file. Parse *failures* are not cached: the original analyzer
+//! re-parses (and re-warns) at every include occurrence, and the warm
+//! path must be warning-identical to the cold path.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::config::Config;
+use crate::ir::FileSummary;
+use crate::lower;
+
+/// Hashes raw file bytes into a summary-cache content key.
+pub fn content_hash(src: &[u8]) -> u64 {
+    let mut h = DefaultHasher::new();
+    src.hash(&mut h);
+    h.finish()
+}
+
+/// Hashes the config fields that lowering could observe (see module
+/// docs — currently none are actually read during lowering, but the
+/// name lists below are the ones adjacent passes consume and are the
+/// plausible candidates for a future lowering dependency).
+pub fn config_fingerprint(config: &Config) -> u64 {
+    let mut h = DefaultHasher::new();
+    let mut sorted: Vec<&String>;
+    macro_rules! hash_names {
+        ($set:expr) => {
+            sorted = $set.iter().collect();
+            sorted.sort();
+            sorted.hash(&mut h);
+        };
+    }
+    hash_names!(&config.direct_superglobals);
+    hash_names!(&config.indirect_globals);
+    hash_names!(&config.hotspot_functions);
+    hash_names!(&config.hotspot_methods);
+    hash_names!(&config.fetch_functions);
+    h.finish()
+}
+
+/// A shared, thread-safe cache of lowered file summaries.
+///
+/// One cache is created per app analysis (or handed in by the caller
+/// via the `*_cached` entry points) and shared across worker threads;
+/// pages analyzed against the same cache reuse each other's lowering
+/// work. Hit/miss counters feed `AppReport` and the ≥30%-fewer-
+/// lowerings acceptance test.
+#[derive(Debug, Default)]
+pub struct SummaryCache {
+    map: Mutex<HashMap<(u64, u64), Arc<FileSummary>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SummaryCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the lowered summary for `src`, lowering (and caching)
+    /// it on a miss. Parse errors are returned verbatim and never
+    /// cached.
+    pub fn get_or_lower(
+        &self,
+        src: &[u8],
+        config: &Config,
+    ) -> Result<Arc<FileSummary>, strtaint_php::ParsePhpError> {
+        let key = (content_hash(src), config_fingerprint(config));
+        if let Some(hit) = self
+            .map
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&key)
+            .cloned()
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        // Parse + lower outside the lock: lowering a large file must
+        // not serialize the other worker threads. Two threads may race
+        // to lower the same file; both produce identical summaries and
+        // the second insert is a harmless overwrite.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let file = strtaint_php::parse(src)?;
+        let summary = Arc::new(FileSummary {
+            body: lower::lower_file(&file),
+            content_hash: key.0,
+        });
+        self.map
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(key, Arc::clone(&summary));
+        Ok(summary)
+    }
+
+    /// Number of cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of cache misses (files actually lowered) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}

@@ -126,6 +126,7 @@ impl Checker {
                         witness: None,
                         example_query: None,
                         detail: err.to_string(),
+                        at: None,
                     });
                 }
             }
@@ -198,6 +199,7 @@ impl Checker {
                 witness,
                 example_query,
                 detail,
+                at: None,
             }))
         };
         if cfg.is_empty_language(x) {

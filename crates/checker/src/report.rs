@@ -67,6 +67,10 @@ pub struct Finding {
     pub example_query: Option<Vec<u8>>,
     /// Free-form detail.
     pub detail: String,
+    /// Source location `(line, col)` of the sink argument the finding
+    /// belongs to, when the analysis supplied IR provenance for the
+    /// hotspot (finer than the hotspot's call span).
+    pub at: Option<(u32, u32)>,
 }
 
 impl fmt::Display for Finding {
@@ -138,6 +142,7 @@ mod tests {
             witness: Some(b"1'".to_vec()),
             example_query: None,
             detail: String::new(),
+            at: None,
         };
         let s = f.to_string();
         assert!(s.contains("direct"));

@@ -165,6 +165,7 @@ impl XssChecker {
                         witness: None,
                         example_query: None,
                         detail: err.to_string(),
+                        at: None,
                     });
                 }
             }
@@ -191,6 +192,7 @@ impl XssChecker {
                 witness,
                 example_query: None,
                 detail: format!("XSS: {detail}"),
+                at: None,
             }))
         };
         let (marked, mroot) = marked_grammar(cfg, root, x, &Default::default());

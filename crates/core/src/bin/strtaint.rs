@@ -16,6 +16,10 @@
 //!                   "verified")
 //!   --fuel N        step budget per page (worklist pops, Earley items);
 //!                   exhaustion degrades exactly like --timeout
+//!   --no-summary-cache
+//!                   lower every file per page instead of sharing one
+//!                   AST→IR summary cache across entries (escape hatch
+//!                   for isolating cache bugs; results are identical)
 //! ```
 //!
 //! Exit code: 0 = verified, 1 = findings reported (including
@@ -25,17 +29,21 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use strtaint::{analyze_page_with, analyze_page_xss, Checker, Config, PageReport, Vfs};
+use strtaint::{
+    analyze_page_cached, analyze_page_with, analyze_page_xss, analyze_page_xss_cached, Checker,
+    Config, PageReport, SummaryCache, Vfs,
+};
 
 const USAGE: &str = "usage: strtaint [--xss] [--slice] [--json] [--sarif] \
                      [--include SITE=FILE] [--timeout SECS] [--fuel N] \
-                     <dir> <entry.php>...";
+                     [--no-summary-cache] <dir> <entry.php>...";
 
 struct Options {
     xss: bool,
     slice: bool,
     json: bool,
     sarif: bool,
+    no_summary_cache: bool,
     dir: String,
     entries: Vec<String>,
     includes: Vec<(String, String)>,
@@ -49,6 +57,7 @@ fn parse_args() -> Result<Options, String> {
         slice: false,
         json: false,
         sarif: false,
+        no_summary_cache: false,
         dir: String::new(),
         entries: Vec::new(),
         includes: Vec::new(),
@@ -63,6 +72,7 @@ fn parse_args() -> Result<Options, String> {
             "--slice" => opts.slice = true,
             "--json" => opts.json = true,
             "--sarif" => opts.sarif = true,
+            "--no-summary-cache" => opts.no_summary_cache = true,
             "--include" => {
                 let v = args.next().ok_or("--include requires SITE=FILE")?;
                 let (site, file) = v
@@ -230,8 +240,12 @@ fn emit_sarif(reports: &[PageReport]) {
             "        \"message\": {{\"text\": \"{}\"}},",
             json_escape(&msg)
         );
-        println!("        \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]",
-            json_escape(&h.file), h.span.line, h.span.col);
+        // Prefer the finding's IR provenance (the sink *argument*'s
+        // span) over the hotspot's call span when the analysis
+        // supplied one.
+        let (line, col) = f.at.unwrap_or((h.span.line, h.span.col));
+        println!("        \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {line}, \"startColumn\": {col}}}}}}}]",
+            json_escape(&h.file));
         println!(
             "      }}{}",
             if i + 1 < all.len() { "," } else { "" }
@@ -275,14 +289,16 @@ fn main() -> ExitCode {
             .push(file.clone());
     }
     let checker = Checker::new();
+    let summaries = SummaryCache::new();
 
     let mut reports = Vec::new();
     let mut any_findings = false;
     for entry in &opts.entries {
-        let result = if opts.xss {
-            analyze_page_xss(&vfs, entry, &config)
-        } else {
-            analyze_page_with(&vfs, entry, &config, &checker)
+        let result = match (opts.xss, opts.no_summary_cache) {
+            (true, true) => analyze_page_xss(&vfs, entry, &config),
+            (true, false) => analyze_page_xss_cached(&vfs, entry, &config, &summaries),
+            (false, true) => analyze_page_with(&vfs, entry, &config, &checker),
+            (false, false) => analyze_page_cached(&vfs, entry, &config, &checker, &summaries),
         };
         match result {
             Ok(r) => {

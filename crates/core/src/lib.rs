@@ -57,7 +57,7 @@ pub mod report;
 
 use std::time::Instant;
 
-pub use strtaint_analysis::{AnalyzeError, Config, Hotspot, Vfs};
+pub use strtaint_analysis::{AnalyzeError, Config, Hotspot, Provenance, SummaryCache, Vfs};
 pub use strtaint_checker::{CheckKind, CheckOptions, Checker, Finding, HotspotReport};
 pub use strtaint_grammar::{Budget, Cfg, DegradeAction, Degradation, NtId, Resource, Taint};
 
@@ -90,17 +90,43 @@ pub fn analyze_page_with(
     config: &Config,
     checker: &Checker,
 ) -> Result<PageReport, AnalyzeError> {
+    let summaries = SummaryCache::new();
+    analyze_page_cached(vfs, entry, config, checker, &summaries)
+}
+
+/// Like [`analyze_page_with`], sharing a caller-owned [`SummaryCache`]
+/// so AST→IR lowering of files reached by many pages (shared includes)
+/// happens once per app instead of once per page. The app drivers
+/// ([`analyze_app`], [`analyze_app_parallel`]) use this internally; the
+/// reports are identical to the uncached path.
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError`] if the entry file is missing or fails to
+/// parse.
+pub fn analyze_page_cached(
+    vfs: &Vfs,
+    entry: &str,
+    config: &Config,
+    checker: &Checker,
+    summaries: &SummaryCache,
+) -> Result<PageReport, AnalyzeError> {
     // One budget covers both phases: the deadline clock starts here and
     // the fuel pool is shared between analysis and checking.
     let budget = config.page_budget();
     let t0 = Instant::now();
-    let analysis = strtaint_analysis::analyze_with(vfs, entry, config, &budget)?;
+    let analysis = strtaint_analysis::analyze_cached(vfs, entry, config, &budget, summaries)?;
     let analysis_time = t0.elapsed();
 
     let t1 = Instant::now();
     let mut hotspots = Vec::new();
     for h in &analysis.hotspots {
-        let r = checker.check_hotspot_with(&analysis.cfg, h.root, &budget);
+        let mut r = checker.check_hotspot_with(&analysis.cfg, h.root, &budget);
+        if let Some(span) = h.provenance.arg_span {
+            for f in &mut r.findings {
+                f.at = Some((span.line, span.col));
+            }
+        }
         hotspots.push((h.clone(), r));
     }
     let check_time = t1.elapsed();
@@ -150,16 +176,38 @@ pub fn analyze_page_xss(
     entry: &str,
     config: &Config,
 ) -> Result<PageReport, AnalyzeError> {
+    let summaries = SummaryCache::new();
+    analyze_page_xss_cached(vfs, entry, config, &summaries)
+}
+
+/// Like [`analyze_page_xss`], sharing a caller-owned [`SummaryCache`]
+/// across pages.
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError`] if the entry file is missing or fails to
+/// parse.
+pub fn analyze_page_xss_cached(
+    vfs: &Vfs,
+    entry: &str,
+    config: &Config,
+    summaries: &SummaryCache,
+) -> Result<PageReport, AnalyzeError> {
     let budget = config.page_budget();
     let t0 = Instant::now();
-    let analysis = strtaint_analysis::analyze_with(vfs, entry, config, &budget)?;
+    let analysis = strtaint_analysis::analyze_cached(vfs, entry, config, &budget, summaries)?;
     let analysis_time = t0.elapsed();
 
     let t1 = Instant::now();
     let checker = strtaint_checker::XssChecker::new();
     let mut hotspots = Vec::new();
     for h in &analysis.echo_sinks {
-        let r = checker.check_echo_with(&analysis.cfg, h.root, &budget);
+        let mut r = checker.check_echo_with(&analysis.cfg, h.root, &budget);
+        if let Some(span) = h.provenance.arg_span {
+            for f in &mut r.findings {
+                f.at = Some((span.line, span.col));
+            }
+        }
         hotspots.push((h.clone(), r));
     }
     let check_time = t1.elapsed();
@@ -228,11 +276,12 @@ where
 /// pages are never counted verified.
 pub fn analyze_app(name: &str, vfs: &Vfs, entries: &[&str], config: &Config) -> AppReport {
     let checker = Checker::new();
+    let summaries = SummaryCache::new();
     let pages = entries
         .iter()
         .map(|&e| {
             isolated(e, std::panic::AssertUnwindSafe(|| {
-                analyze_page_with(vfs, e, config, &checker)
+                analyze_page_cached(vfs, e, config, &checker, &summaries)
             }))
         })
         .collect();
@@ -241,6 +290,8 @@ pub fn analyze_app(name: &str, vfs: &Vfs, entries: &[&str], config: &Config) -> 
         files: vfs.len(),
         lines: vfs.total_lines(),
         pages,
+        summary_hits: summaries.hits(),
+        summary_misses: summaries.misses(),
     }
 }
 
@@ -260,10 +311,30 @@ pub fn analyze_app_parallel(
     config: &Config,
     workers: usize,
 ) -> AppReport {
+    let summaries = SummaryCache::new();
+    analyze_app_parallel_cached(name, vfs, entries, config, workers, &summaries)
+}
+
+/// Like [`analyze_app_parallel`], sharing a caller-owned
+/// [`SummaryCache`]: each file reached from several pages is parsed and
+/// lowered to IR once, then instantiated per page. The cache is
+/// thread-safe (lowering happens outside its lock), and the report's
+/// `summary_hits`/`summary_misses` expose its effectiveness.
+pub fn analyze_app_parallel_cached(
+    name: &str,
+    vfs: &Vfs,
+    entries: &[&str],
+    config: &Config,
+    workers: usize,
+    summaries: &SummaryCache,
+) -> AppReport {
     let checker = Checker::new();
-    analyze_app_parallel_with(name, vfs, entries, workers, |vfs, entry| {
-        analyze_page_with(vfs, entry, config, &checker)
-    })
+    let mut app = analyze_app_parallel_with(name, vfs, entries, workers, |vfs, entry| {
+        analyze_page_cached(vfs, entry, config, &checker, summaries)
+    });
+    app.summary_hits = summaries.hits();
+    app.summary_misses = summaries.misses();
+    app
 }
 
 /// The engine behind [`analyze_app_parallel`], generic over the
@@ -335,6 +406,8 @@ where
         files: vfs.len(),
         lines: vfs.total_lines(),
         pages,
+        summary_hits: 0,
+        summary_misses: 0,
     }
 }
 

@@ -132,6 +132,12 @@ pub struct AppReport {
     pub lines: usize,
     /// Per-page reports.
     pub pages: Vec<PageReport>,
+    /// Summary-cache hits: pages that reused another page's AST→IR
+    /// lowering for a file (shared includes). Zero when the driver did
+    /// not share a cache.
+    pub summary_hits: u64,
+    /// Summary-cache misses: files actually parsed and lowered.
+    pub summary_misses: u64,
 }
 
 impl AppReport {
@@ -229,6 +235,13 @@ impl fmt::Display for AppReport {
             writeln!(
                 f,
                 "  pages skipped: {skipped}, pages degraded: {degraded} (neither counts verified)"
+            )?;
+        }
+        if self.summary_hits > 0 || self.summary_misses > 0 {
+            writeln!(
+                f,
+                "  summary cache: {} hit(s), {} lowering(s)",
+                self.summary_hits, self.summary_misses
             )?;
         }
         Ok(())

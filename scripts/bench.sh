@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Runs the cold-vs-warm summary-cache benchmark and records the medians
+# as JSON, so cache-effectiveness regressions show up in review:
+#
+#   sh scripts/bench.sh            # writes BENCH_analyze.json
+#
+# Fully offline: the criterion harness is the in-tree shim under
+# vendor/criterion (median wall-clock over a fixed sample count).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_analyze.json
+raw=$(cargo bench -p strtaint-bench --bench analyze 2>/dev/null | grep '^bench ')
+echo "$raw"
+
+{
+    printf '{\n  "bench": "analyze",\n  "results": [\n'
+    first=1
+    echo "$raw" | while IFS= read -r line; do
+        # shellcheck disable=SC2086  # intentional word splitting
+        set -- $line
+        name=$2
+        median=$4
+        if [ "$first" -eq 1 ]; then
+            first=0
+        else
+            printf ',\n'
+        fi
+        printf '    {"name": "%s", "median": "%s"}' "$name" "$median"
+    done
+    printf '\n  ]\n}\n'
+} > "$out"
+
+echo "wrote $out"

@@ -9,6 +9,18 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "==> module size lint (crates/analysis/src <= 900 lines/file)"
+# The analysis crate is split into pipeline stages on purpose
+# (ir/lower/summary/emit); a file regrowing past 900 lines means a
+# stage is reabsorbing its neighbours.
+for f in $(find crates/analysis/src -name '*.rs'); do
+    lines=$(wc -l < "$f")
+    if [ "$lines" -gt 900 ]; then
+        echo "FAIL: $f has $lines lines (limit 900)" >&2
+        exit 1
+    fi
+done
+
 echo "==> cargo build --release"
 cargo build --release
 
