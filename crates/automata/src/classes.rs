@@ -1,0 +1,201 @@
+//! Byte-equivalence-class compression of a [`Dfa`].
+//!
+//! Two bytes are *equivalent* for a DFA when no state distinguishes
+//! them: every transition label either contains both or neither. The
+//! policy-check automata (quote parity, attack fragments, lexeme
+//! shapes) distinguish only a handful of bytes, so the 256-byte
+//! alphabet collapses to a few classes — typically 3–8 — and a step
+//! table indexed per class fits in cache where a per-byte table (or the
+//! arc-list scan [`Dfa::step`] performs) does not.
+//!
+//! [`ClassDfa`] precomputes the class partition once per DFA via
+//! [`refine_partition`] and stores a dense `states × classes` table, so
+//! stepping is two array loads. The CFG∩FSA engine
+//! (`strtaint_grammar::prepared`) builds its per-terminal step tables
+//! per *class* instead of per raw byte, which both shrinks the tables
+//! and deduplicates work across terminals sharing a class.
+//!
+//! **Soundness**: [`refine_partition`] guarantees every transition
+//! label of every state is a union of blocks, so for any two bytes in
+//! the same block the successor is identical from *every* state;
+//! stepping by class is therefore exact, not an approximation (a test
+//! below checks `step_byte` against [`Dfa::step`] exhaustively).
+
+use crate::byteset::{refine_partition, ByteSet};
+use crate::dfa::Dfa;
+use crate::nfa::StateId;
+
+/// A [`Dfa`] re-indexed by byte equivalence classes.
+///
+/// # Examples
+///
+/// ```
+/// use strtaint_automata::{ClassDfa, Dfa, Nfa};
+///
+/// let d = Dfa::from_nfa(&Nfa::literal(b"ok"));
+/// let c = ClassDfa::new(&d);
+/// // "o", "k", and everything-else: the alphabet collapses hard.
+/// assert!(c.num_classes() <= 3);
+/// assert!(c.accepts(b"ok"));
+/// assert!(!c.accepts(b"no"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassDfa {
+    /// Class id per byte.
+    class_of: Vec<u16>,
+    num_classes: u16,
+    /// Dense step table: `table[state * num_classes + class]`.
+    table: Vec<StateId>,
+    start: StateId,
+    accepting: Vec<bool>,
+}
+
+impl ClassDfa {
+    /// Compresses `dfa` by its byte equivalence classes.
+    pub fn new(dfa: &Dfa) -> Self {
+        let mut labels: Vec<ByteSet> = Vec::new();
+        for s in 0..dfa.num_states() as StateId {
+            for (set, _) in dfa.arcs(s) {
+                labels.push(*set);
+            }
+        }
+        labels.sort_unstable();
+        labels.dedup();
+        let blocks = refine_partition(&labels);
+
+        let mut class_of = vec![0u16; 256];
+        let mut reps = Vec::with_capacity(blocks.len());
+        for (c, block) in blocks.iter().enumerate() {
+            for b in block.iter() {
+                class_of[b as usize] = c as u16;
+            }
+            reps.push(block.first_byte().expect("partition blocks are nonempty"));
+        }
+
+        let num_classes = blocks.len() as u16;
+        let n = dfa.num_states();
+        let mut table = Vec::with_capacity(n * blocks.len());
+        for s in 0..n as StateId {
+            for &rep in &reps {
+                table.push(dfa.step(s, rep));
+            }
+        }
+
+        ClassDfa {
+            class_of,
+            num_classes,
+            table,
+            start: dfa.start(),
+            accepting: (0..n as StateId).map(|s| dfa.is_accepting(s)).collect(),
+        }
+    }
+
+    /// Returns the number of states.
+    pub fn num_states(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// Returns the number of byte equivalence classes (1..=256).
+    pub fn num_classes(&self) -> u16 {
+        self.num_classes
+    }
+
+    /// Returns the start state.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Returns `true` if `s` is accepting.
+    pub fn is_accepting(&self, s: StateId) -> bool {
+        self.accepting[s as usize]
+    }
+
+    /// Returns the equivalence class of byte `b`.
+    pub fn class_of(&self, b: u8) -> u16 {
+        self.class_of[b as usize]
+    }
+
+    /// Returns the successor of `s` on any byte of class `c`.
+    pub fn step_class(&self, s: StateId, c: u16) -> StateId {
+        self.table[s as usize * self.num_classes as usize + c as usize]
+    }
+
+    /// Returns the successor of `s` on byte `b` (two array loads).
+    pub fn step_byte(&self, s: StateId, b: u8) -> StateId {
+        self.step_class(s, self.class_of[b as usize])
+    }
+
+    /// Tests membership of `input` in the language.
+    pub fn accepts(&self, input: &[u8]) -> bool {
+        let mut s = self.start;
+        for &b in input {
+            s = self.step_byte(s, b);
+        }
+        self.is_accepting(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+    use crate::regex::Regex;
+
+    fn check_agrees(dfa: &Dfa) {
+        let c = ClassDfa::new(dfa);
+        assert_eq!(c.num_states(), dfa.num_states());
+        assert_eq!(c.start(), dfa.start());
+        for s in 0..dfa.num_states() as StateId {
+            assert_eq!(c.is_accepting(s), dfa.is_accepting(s));
+            for b in 0..=255u8 {
+                assert_eq!(c.step_byte(s, b), dfa.step(s, b), "state {s} byte {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn step_agrees_with_dfa_exhaustively() {
+        for pattern in [
+            "^a.*$",
+            "^[0-9]+$",
+            "^[^']*('[^']*'[^']*)*'[^']*$",
+            "^(select|union)$",
+            ".*--.*",
+        ] {
+            let d = Regex::new(pattern).expect("static pattern").match_dfa();
+            check_agrees(&d);
+            check_agrees(&d.complement());
+            check_agrees(&d.minimize());
+        }
+    }
+
+    #[test]
+    fn degenerate_automata() {
+        check_agrees(&Dfa::empty());
+        check_agrees(&Dfa::any_string());
+        let c = ClassDfa::new(&Dfa::any_string());
+        assert_eq!(c.num_classes(), 1);
+        assert!(c.accepts(b"") && c.accepts(b"anything"));
+    }
+
+    #[test]
+    fn classes_are_few_for_check_automata() {
+        // The quote-parity shape distinguishes quote, backslash, rest.
+        let d = Regex::new(r"^([^'\\]|\\.)*$").expect("static pattern").match_dfa();
+        let c = ClassDfa::new(&d);
+        assert!(c.num_classes() <= 4, "got {} classes", c.num_classes());
+    }
+
+    #[test]
+    fn accepts_matches_dfa_on_samples() {
+        let d = Dfa::from_nfa(
+            &Nfa::any_string()
+                .concat(&Nfa::literal(b"--"))
+                .concat(&Nfa::any_string()),
+        );
+        let c = ClassDfa::new(&d);
+        for s in [&b""[..], b"-", b"--", b"a--b", b"- -", b"xy"] {
+            assert_eq!(c.accepts(s), d.accepts(s), "{s:?}");
+        }
+    }
+}

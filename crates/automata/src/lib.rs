@@ -31,6 +31,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod byteset;
+pub mod classes;
 pub mod dfa;
 pub mod dot;
 pub mod fst;
@@ -38,6 +39,7 @@ pub mod nfa;
 pub mod regex;
 
 pub use byteset::ByteSet;
+pub use classes::ClassDfa;
 pub use dfa::Dfa;
 pub use fst::{Fst, OutSym};
 pub use nfa::{Nfa, StateId};

@@ -1,0 +1,97 @@
+//! Cold vs. prepared intersection-engine benchmark over the synthetic
+//! corpus (checking phase only — pages are analyzed once up front).
+//!
+//! Three configurations over the same 30-page, 3-sinks-per-page
+//! application:
+//!
+//! * `cold` — the naive reference engine, one hotspot at a time: every
+//!   emptiness query re-trims, re-normalizes, and runs the full
+//!   Bar-Hillel fixpoint on raw byte alphabets.
+//! * `serial` — the prepared engine without parallelism: grammars
+//!   trimmed/normalized once per root, byte-class DFAs, early-exit
+//!   fixpoints.
+//! * `prepared` — the full overhaul: prepared engine plus a shared
+//!   preparation cache and the parallel hotspot driver.
+//!
+//! `scripts/bench.sh` merges this output into `BENCH_analyze.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use strtaint_analysis::{analyze, Config};
+use strtaint_checker::{CheckOptions, Checker};
+use strtaint_corpus::synth::{synth_app, SynthConfig};
+use strtaint_grammar::Budget;
+
+fn bench_check(c: &mut Criterion) {
+    let config = Config::default();
+    let mut group = c.benchmark_group("check");
+    group.sample_size(10);
+
+    let pages = 30usize;
+    let app = synth_app(&SynthConfig {
+        pages,
+        sinks_per_page: 3,
+        replace_chain: 2,
+        ..SynthConfig::default()
+    });
+    // Analysis runs once outside the measured region: these benches
+    // isolate the checking phase the engine overhaul targets.
+    let analyses: Vec<_> = app
+        .entry_refs()
+        .iter()
+        .map(|e| analyze(&app.vfs, e, &config).expect("synth pages parse"))
+        .collect();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let cold = Checker::with_options(CheckOptions {
+        naive_engine: true,
+        ..CheckOptions::default()
+    });
+    group.bench_function(format!("cold/{pages}pages"), |b| {
+        b.iter(|| {
+            let mut findings = 0usize;
+            for a in &analyses {
+                for h in &a.hotspots {
+                    let r = cold.check_hotspot_with(&a.cfg, h.root, &Budget::unlimited());
+                    findings += r.findings.len();
+                }
+            }
+            std::hint::black_box(findings)
+        })
+    });
+
+    let prepared = Checker::new();
+    group.bench_function(format!("serial/{pages}pages"), |b| {
+        b.iter(|| {
+            let mut findings = 0usize;
+            for a in &analyses {
+                for h in &a.hotspots {
+                    let r = prepared.check_hotspot_with(&a.cfg, h.root, &Budget::unlimited());
+                    findings += r.findings.len();
+                }
+            }
+            std::hint::black_box(findings)
+        })
+    });
+
+    group.bench_function(format!("prepared/{pages}pages"), |b| {
+        b.iter(|| {
+            let mut findings = 0usize;
+            for a in &analyses {
+                let roots: Vec<_> = a.hotspots.iter().map(|h| h.root).collect();
+                let reports =
+                    prepared.check_hotspots_with(&a.cfg, &roots, &Budget::unlimited(), workers);
+                for r in reports {
+                    findings += r.findings.len();
+                }
+            }
+            std::hint::black_box(findings)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_check);
+criterion_main!(benches);

@@ -21,14 +21,15 @@
 use std::collections::HashMap;
 
 use strtaint_grammar::budget::{Budget, BudgetExceeded, DegradeAction};
-use strtaint_grammar::intersect::{intersect_with, is_intersection_empty_with};
 use strtaint_grammar::lang::{bounded_language, shortest_string};
+use strtaint_grammar::prepared::PreparedCache;
 use strtaint_grammar::{Cfg, NtId};
 use strtaint_sql::derive::{context_candidates_with, lexeme_dfa};
 use strtaint_sql::{lex_form, SqlGrammar, TokenKind, VarPosition};
 
 use crate::abstraction::{marked_grammar, maximal_labeled};
 use crate::dfas;
+use crate::engine::{run_parallel, Engine, Qdfa};
 use crate::report::{CheckKind, Finding, HotspotReport};
 
 /// Tunables for the conformance checker.
@@ -37,11 +38,19 @@ pub struct CheckOptions {
     /// Maximum number of query context strings enumerated for the
     /// derivability check before reporting `Unresolved`.
     pub max_contexts: usize,
+    /// Route every intersection through the naive reference engine
+    /// (re-trim + re-normalize per query) instead of the prepared one.
+    /// The cold baseline for benches and equivalence tests; verdicts
+    /// are identical either way.
+    pub naive_engine: bool,
 }
 
 impl Default for CheckOptions {
     fn default() -> Self {
-        CheckOptions { max_contexts: 256 }
+        CheckOptions {
+            max_contexts: 256,
+            naive_engine: false,
+        }
     }
 }
 
@@ -49,13 +58,13 @@ impl Default for CheckOptions {
 #[derive(Debug, Clone)]
 pub struct Checker {
     sql: SqlGrammar,
-    odd_quotes: strtaint_automata::Dfa,
-    has_quote: strtaint_automata::Dfa,
-    marker_outside: strtaint_automata::Dfa,
-    non_numeric: strtaint_automata::Dfa,
-    keywords: strtaint_automata::Dfa,
-    attack: strtaint_automata::Dfa,
-    backquote: strtaint_automata::Dfa,
+    odd_quotes: Qdfa,
+    has_quote: Qdfa,
+    marker_outside: Qdfa,
+    non_numeric: Qdfa,
+    keywords: Qdfa,
+    attack: Qdfa,
+    backquote: Qdfa,
     opts: CheckOptions,
 }
 
@@ -76,13 +85,13 @@ impl Checker {
         .minimize();
         Checker {
             sql: SqlGrammar::standard(),
-            odd_quotes: dfas::odd_unescaped_quotes(),
-            has_quote: dfas::contains_unescaped_quote(),
-            marker_outside: dfas::marker_outside_literal(),
-            non_numeric: dfas::numeric_literal().complement(),
-            keywords: dfas::sql_keywords(),
-            attack: dfas::attack_fragments(),
-            backquote,
+            odd_quotes: Qdfa::new(dfas::odd_unescaped_quotes()),
+            has_quote: Qdfa::new(dfas::contains_unescaped_quote()),
+            marker_outside: Qdfa::new(dfas::marker_outside_literal()),
+            non_numeric: Qdfa::new(dfas::numeric_literal().complement()),
+            keywords: Qdfa::new(dfas::sql_keywords()),
+            attack: Qdfa::new(dfas::attack_fragments()),
+            backquote: Qdfa::new(backquote),
             opts,
         }
     }
@@ -105,11 +114,27 @@ impl Checker {
     /// the nonterminal is *never* counted verified. This is the sound
     /// direction: exhaustion can only add false positives.
     pub fn check_hotspot_with(&self, cfg: &Cfg, root: NtId, budget: &Budget) -> HotspotReport {
+        self.check_hotspot_cached(cfg, root, budget, &PreparedCache::new())
+    }
+
+    /// Like [`Checker::check_hotspot_with`], sharing `cache` so
+    /// prepared grammars are reused across the hotspots of one page.
+    ///
+    /// `cache` must be scoped to `cfg`: it is keyed by root [`NtId`]
+    /// only, and ids from different grammars collide.
+    pub fn check_hotspot_cached(
+        &self,
+        cfg: &Cfg,
+        root: NtId,
+        budget: &Budget,
+        cache: &PreparedCache,
+    ) -> HotspotReport {
         let mut report = HotspotReport::default();
         let candidates = maximal_labeled(cfg, root);
         report.checked = candidates.len();
+        let mut engine = Engine::new(cache, self.opts.naive_engine);
         for &x in &candidates {
-            match self.check_one(cfg, root, x, &candidates, budget) {
+            match self.check_one(cfg, root, x, &candidates, budget, &mut engine) {
                 Ok(None) => report.verified += 1,
                 Ok(Some(finding)) => report.findings.push(finding),
                 Err(err) => {
@@ -131,7 +156,29 @@ impl Checker {
                 }
             }
         }
+        report.engine = engine.stats;
         report
+    }
+
+    /// Checks every hotspot root of one page, on up to `workers`
+    /// threads, returning reports in input order.
+    ///
+    /// Hotspots are independent given the immutable `cfg`; a shared
+    /// [`PreparedCache`] lets them reuse each other's prepared
+    /// grammars (sinks frequently share roots or labeled sources). A
+    /// worker panic propagates to the caller unchanged, so page-level
+    /// fault isolation behaves exactly as in the serial loop.
+    pub fn check_hotspots_with(
+        &self,
+        cfg: &Cfg,
+        roots: &[NtId],
+        budget: &Budget,
+        workers: usize,
+    ) -> Vec<HotspotReport> {
+        let cache = PreparedCache::new();
+        run_parallel(roots, workers, |root| {
+            self.check_hotspot_cached(cfg, root, budget, &cache)
+        })
     }
 
     /// Splices a witness tainted substring into the shortest query
@@ -161,24 +208,6 @@ impl Checker {
         Some(out)
     }
 
-    /// Builds a witness for a failed intersection check, skipping the
-    /// (expensive) witness-grammar construction for very large
-    /// subgrammars.
-    fn witness_of(
-        &self,
-        cfg: &Cfg,
-        x: NtId,
-        dfa: &strtaint_automata::Dfa,
-        budget: &Budget,
-    ) -> Option<Vec<u8>> {
-        const WITNESS_BUDGET: usize = 50_000;
-        if cfg.count_reachable_productions(x, WITNESS_BUDGET) > WITNESS_BUDGET {
-            return None;
-        }
-        let (g, r) = intersect_with(cfg, x, dfa, budget).ok()?;
-        shortest_string(&g, r)
-    }
-
     fn check_one(
         &self,
         cfg: &Cfg,
@@ -186,6 +215,7 @@ impl Checker {
         x: NtId,
         all: &[NtId],
         budget: &Budget,
+        engine: &mut Engine<'_>,
     ) -> Result<Option<Finding>, BudgetExceeded> {
         let finding = |kind: CheckKind, witness: Option<Vec<u8>>, detail: String| {
             let example_query = witness
@@ -205,41 +235,40 @@ impl Checker {
         if cfg.is_empty_language(x) {
             return Ok(None);
         }
+        // One prepared grammar serves every (cfg, x) query below —
+        // C1 through C5 — and, via the shared cache, any other hotspot
+        // whose checks reach the same labeled nonterminal.
+        let mut tx = engine.target(cfg, x);
 
         // C1: odd number of unescaped quotes.
-        if !is_intersection_empty_with(cfg, x, &self.odd_quotes, budget)? {
-            return finding(
-                CheckKind::OddQuotes,
-                self.witness_of(cfg, x, &self.odd_quotes, budget),
-                String::new(),
-            );
+        let (empty, witness) =
+            engine.is_empty_or_witness(&mut tx, &self.odd_quotes, budget, (cfg, x))?;
+        if !empty {
+            return finding(CheckKind::OddQuotes, witness, String::new());
         }
 
         // C2: always in string-literal position?
         let (marked, mroot) = marked_grammar(cfg, root, x, &HashMap::new());
-        if is_intersection_empty_with(&marked, mroot, &self.marker_outside, budget)? {
-            if !is_intersection_empty_with(cfg, x, &self.has_quote, budget)? {
-                return finding(
-                    CheckKind::EscapesLiteral,
-                    self.witness_of(cfg, x, &self.has_quote, budget),
-                    String::new(),
-                );
+        let mut tm = engine.target_local(&marked, mroot);
+        if engine.is_empty(&mut tm, &self.marker_outside, budget)? {
+            let (empty, witness) =
+                engine.is_empty_or_witness(&mut tx, &self.has_quote, budget, (cfg, x))?;
+            if !empty {
+                return finding(CheckKind::EscapesLiteral, witness, String::new());
             }
             return Ok(None); // confined within a string literal
         }
 
         // C3: numeric-only language is confined anywhere a literal fits.
-        if is_intersection_empty_with(cfg, x, &self.non_numeric, budget)? {
+        if engine.is_empty(&mut tx, &self.non_numeric, budget)? {
             return Ok(None);
         }
 
         // C4: known attack fragments confirm a vulnerability.
-        if !is_intersection_empty_with(cfg, x, &self.attack, budget)? {
-            return finding(
-                CheckKind::AttackString,
-                self.witness_of(cfg, x, &self.attack, budget),
-                String::new(),
-            );
+        let (empty, witness) =
+            engine.is_empty_or_witness(&mut tx, &self.attack, budget, (cfg, x))?;
+        if !empty {
+            return finding(CheckKind::AttackString, witness, String::new());
         }
 
         // C5: derivability in context. Sibling tainted subgrammars are
@@ -261,23 +290,8 @@ impl Checker {
                 "query contexts are unbounded".into(),
             );
         };
-        // Subset checks for L(X), computed lazily once.
+        // Subset checks for L(X), computed lazily once per token kind.
         let mut fits: HashMap<TokenKind, bool> = HashMap::new();
-        let mut fits_kind = |kind: TokenKind| -> Result<bool, BudgetExceeded> {
-            if let Some(&v) = fits.get(&kind) {
-                return Ok(v);
-            }
-            let lex = lexeme_dfa(kind).complement();
-            let mut v = is_intersection_empty_with(cfg, x, &lex, budget)?;
-            if v
-                && kind == TokenKind::Ident
-                && !is_intersection_empty_with(cfg, x, &self.keywords, budget)?
-            {
-                v = false;
-            }
-            fits.insert(kind, v);
-            Ok(v)
-        };
         for ctx in &contexts {
             let Ok(form) = lex_form(ctx) else {
                 return finding(
@@ -298,7 +312,7 @@ impl Checker {
             }
             if form.vars.iter().any(|v| *v == VarPosition::InString) {
                 // Inside a literal in this context: no unescaped quotes.
-                if !is_intersection_empty_with(cfg, x, &self.has_quote, budget)? {
+                if !engine.is_empty(&mut tx, &self.has_quote, budget)? {
                     return finding(
                         CheckKind::EscapesLiteral,
                         shortest_string(cfg, x),
@@ -307,7 +321,7 @@ impl Checker {
                 }
             }
             if form.vars.iter().any(|v| *v == VarPosition::InBackquotes)
-                && !is_intersection_empty_with(cfg, x, &self.backquote, budget)?
+                && !engine.is_empty(&mut tx, &self.backquote, budget)?
             {
                 return finding(
                     CheckKind::EscapesLiteral,
@@ -323,7 +337,22 @@ impl Checker {
                 let candidates = context_candidates_with(&self.sql, &form, budget)?;
                 let mut ok = false;
                 for &k in &candidates {
-                    if fits_kind(k)? {
+                    let v = match fits.get(&k) {
+                        Some(&v) => v,
+                        None => {
+                            let lex = Qdfa::new(lexeme_dfa(k).complement());
+                            let mut v = engine.is_empty(&mut tx, &lex, budget)?;
+                            if v
+                                && k == TokenKind::Ident
+                                && !engine.is_empty(&mut tx, &self.keywords, budget)?
+                            {
+                                v = false;
+                            }
+                            fits.insert(k, v);
+                            v
+                        }
+                    };
+                    if v {
                         ok = true;
                         break;
                     }
@@ -521,6 +550,69 @@ mod tests {
             let b = Budget::new(None, Some(fuel), None);
             let r = c.check_hotspot_with(&g2, root2, &b);
             assert!(!r.is_safe(), "fuel={fuel} must not verify a vulnerable hotspot");
+        }
+    }
+
+    #[test]
+    fn parallel_hotspots_match_serial_and_count_engine_work() {
+        // Two hotspots in one grammar, sharing the tainted source X —
+        // the shape the prepared cache exists for.
+        let mut g = Cfg::new();
+        let x = g.add_nonterminal("_GET[id]");
+        g.set_taint(x, Taint::DIRECT);
+        g.add_literal_production(x, b"1");
+        g.add_literal_production(x, b"1'; DROP TABLE t; --");
+        let safe_x = g.add_nonterminal("_GET[n]");
+        g.set_taint(safe_x, Taint::DIRECT);
+        g.add_literal_production(safe_x, b"42");
+        let mk = |g: &mut Cfg, x, pre: &[u8], post: &[u8]| {
+            let root = g.add_nonterminal("query");
+            let mut rhs = g.literal_symbols(pre);
+            rhs.push(Symbol::N(x));
+            rhs.extend(g.literal_symbols(post));
+            g.add_production(root, rhs);
+            root
+        };
+        let r1 = mk(&mut g, x, b"SELECT * FROM t WHERE id='", b"'");
+        let r2 = mk(&mut g, x, b"DELETE FROM t WHERE id='", b"'");
+        let r3 = mk(&mut g, safe_x, b"SELECT * FROM t WHERE n=", b"");
+        let roots = [r1, r2, r3];
+
+        let c = Checker::new();
+        let budget = Budget::unlimited();
+        let serial: Vec<_> = roots
+            .iter()
+            .map(|&r| c.check_hotspot_with(&g, r, &budget))
+            .collect();
+        let parallel = c.check_hotspots_with(&g, &roots, &budget, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.checked, p.checked);
+            assert_eq!(s.verified, p.verified);
+            assert_eq!(s.findings.len(), p.findings.len());
+            for (sf, pf) in s.findings.iter().zip(&p.findings) {
+                assert_eq!(sf.kind, pf.kind);
+                assert_eq!(sf.name, pf.name);
+                assert_eq!(sf.witness, pf.witness);
+            }
+        }
+        // The shared cache means the second hotspot reuses X's
+        // preparation: across all three reports some query must have
+        // been served without a fresh normalization.
+        let saved: u64 = parallel.iter().map(|r| r.engine.normalizations_saved).sum();
+        assert!(saved > 0, "no prepared-grammar reuse recorded");
+        let queries: u64 = parallel.iter().map(|r| r.engine.queries).sum();
+        assert!(queries > 0);
+
+        // The naive engine produces the same verdicts.
+        let naive = Checker::with_options(CheckOptions {
+            naive_engine: true,
+            ..CheckOptions::default()
+        });
+        for (&r, s) in roots.iter().zip(&serial) {
+            let n = naive.check_hotspot_with(&g, r, &budget);
+            assert_eq!(n.findings.len(), s.findings.len());
+            assert_eq!(n.verified, s.verified);
         }
     }
 

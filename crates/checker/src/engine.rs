@@ -1,0 +1,246 @@
+//! Checker-side façade over the prepared intersection engine.
+//!
+//! Every C1–C5 (and XSS-context) check is an emptiness question about
+//! `L(G, x) ∩ L(D)`. This module owns the plumbing both checkers share:
+//!
+//! - [`Qdfa`]: a check automaton compiled once into its raw [`Dfa`]
+//!   *and* its byte-class form ([`ClassDfa`]) at `Checker`
+//!   construction, so per-query DFA work is two array loads per step;
+//! - [`Engine`]: a per-hotspot session that routes queries either
+//!   through the prepared engine (a [`PreparedCache`] shared by every
+//!   check of the page) or through the naive reference path
+//!   (`CheckOptions::naive_engine`, the cold baseline for benches and
+//!   equivalence tests), while accumulating [`EngineStats`];
+//! - [`run_parallel`]: the lock-free worker loop that fans hotspot
+//!   checks of one page across threads — hotspots are independent given
+//!   the immutable `Cfg`, and the cache is thread-safe, so workers
+//!   share preparations.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use strtaint_automata::{ClassDfa, Dfa};
+use strtaint_grammar::budget::{Budget, BudgetExceeded};
+use strtaint_grammar::intersect::{intersect_with, is_intersection_empty_with};
+use strtaint_grammar::lang::shortest_string;
+use strtaint_grammar::prepared::{EngineStats, PreparedCache, PreparedGrammar, QueryMode};
+use strtaint_grammar::{Cfg, NtId};
+
+use crate::report::HotspotReport;
+
+/// A check automaton in both raw and byte-class-compressed form.
+#[derive(Debug, Clone)]
+pub(crate) struct Qdfa {
+    /// The raw DFA, used by the naive reference path.
+    pub dfa: Dfa,
+    /// Byte-class compressed form, used by the prepared engine.
+    pub classes: ClassDfa,
+}
+
+impl Qdfa {
+    pub(crate) fn new(dfa: Dfa) -> Self {
+        let classes = ClassDfa::new(&dfa);
+        Qdfa { dfa, classes }
+    }
+}
+
+/// What a query runs against: a `(cfg, root)` pair on the naive path,
+/// or a prepared grammar (cached or check-local) on the fast path.
+pub(crate) enum Target<'a> {
+    Naive {
+        cfg: &'a Cfg,
+        root: NtId,
+    },
+    Prepared {
+        prep: Arc<PreparedGrammar>,
+        /// Whether a query has already used this preparation (drives
+        /// the `normalizations_saved` counter).
+        used: bool,
+    },
+}
+
+/// Per-hotspot query session: routes intersections through the
+/// prepared engine or the naive path, and counts engine work.
+pub(crate) struct Engine<'a> {
+    cache: &'a PreparedCache,
+    naive: bool,
+    pub(crate) stats: EngineStats,
+}
+
+/// Production-count guard above which witness-grammar reconstruction is
+/// skipped (the finding is still reported, just without a witness).
+const WITNESS_BUDGET: usize = 50_000;
+
+impl<'a> Engine<'a> {
+    pub(crate) fn new(cache: &'a PreparedCache, naive: bool) -> Self {
+        Engine {
+            cache,
+            naive,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Target for a root of the page grammar — shared via the cache
+    /// across all checks of the page (and across worker threads).
+    pub(crate) fn target<'t>(&mut self, cfg: &'t Cfg, root: NtId) -> Target<'t> {
+        if self.naive {
+            return Target::Naive { cfg, root };
+        }
+        let (prep, hit) = self.cache.prepared(cfg, root);
+        if !hit {
+            self.stats.normalizations += 1;
+        }
+        Target::Prepared { prep, used: hit }
+    }
+
+    /// Target for a check-local grammar (e.g. a marked grammar built
+    /// for this candidate only). Never cached: marked grammars are
+    /// fresh `Cfg`s whose `NtId`s would collide in the root-keyed
+    /// cache.
+    pub(crate) fn target_local<'t>(&mut self, cfg: &'t Cfg, root: NtId) -> Target<'t> {
+        if self.naive {
+            return Target::Naive { cfg, root };
+        }
+        self.stats.normalizations += 1;
+        Target::Prepared {
+            prep: Arc::new(PreparedGrammar::new(cfg, root)),
+            used: false,
+        }
+    }
+
+    /// `true` if `L(target) ∩ L(q)` is empty (early-exit fixpoint on
+    /// the prepared path).
+    pub(crate) fn is_empty(
+        &mut self,
+        target: &mut Target<'_>,
+        q: &Qdfa,
+        budget: &Budget,
+    ) -> Result<bool, BudgetExceeded> {
+        self.stats.queries += 1;
+        match target {
+            Target::Naive { cfg, root } => {
+                self.stats.normalizations += 1;
+                is_intersection_empty_with(cfg, *root, &q.dfa, budget)
+            }
+            Target::Prepared { prep, used } => {
+                if *used {
+                    self.stats.normalizations_saved += 1;
+                } else {
+                    *used = true;
+                }
+                let ix = prep.query(&q.classes, budget, QueryMode::EarlyExit)?;
+                self.stats.realized_triples += ix.triples() as u64;
+                if ix.exited_early() {
+                    self.stats.early_exits += 1;
+                }
+                Ok(ix.is_empty())
+            }
+        }
+    }
+
+    /// Emptiness plus, when nonempty, a shortest witness string.
+    ///
+    /// On the prepared path the suspended emptiness fixpoint is resumed
+    /// for reconstruction instead of re-running from scratch. `guard`
+    /// is the `(cfg, x)` whose reachable-production count gates the
+    /// (expensive) reconstruction, exactly as the old `witness_of`;
+    /// a budget trip during witness extraction degrades to a missing
+    /// witness, not a failed check.
+    pub(crate) fn is_empty_or_witness(
+        &mut self,
+        target: &mut Target<'_>,
+        q: &Qdfa,
+        budget: &Budget,
+        guard: (&Cfg, NtId),
+    ) -> Result<(bool, Option<Vec<u8>>), BudgetExceeded> {
+        self.stats.queries += 1;
+        let (gcfg, gx) = guard;
+        match target {
+            Target::Naive { cfg, root } => {
+                self.stats.normalizations += 1;
+                if is_intersection_empty_with(cfg, *root, &q.dfa, budget)? {
+                    return Ok((true, None));
+                }
+                if gcfg.count_reachable_productions(gx, WITNESS_BUDGET) > WITNESS_BUDGET {
+                    return Ok((false, None));
+                }
+                // The naive path pays a second full fixpoint here.
+                self.stats.queries += 1;
+                self.stats.normalizations += 1;
+                let witness = intersect_with(cfg, *root, &q.dfa, budget)
+                    .ok()
+                    .and_then(|(g, r)| shortest_string(&g, r));
+                Ok((false, witness))
+            }
+            Target::Prepared { prep, used } => {
+                if *used {
+                    self.stats.normalizations_saved += 1;
+                } else {
+                    *used = true;
+                }
+                let mut ix = prep.query(&q.classes, budget, QueryMode::EarlyExit)?;
+                if ix.exited_early() {
+                    self.stats.early_exits += 1;
+                }
+                if ix.is_empty() {
+                    self.stats.realized_triples += ix.triples() as u64;
+                    return Ok((true, None));
+                }
+                if gcfg.count_reachable_productions(gx, WITNESS_BUDGET) > WITNESS_BUDGET {
+                    self.stats.realized_triples += ix.triples() as u64;
+                    return Ok((false, None));
+                }
+                let witness = ix.witness(budget).ok().flatten();
+                self.stats.realized_triples += ix.triples() as u64;
+                Ok((false, witness))
+            }
+        }
+    }
+}
+
+/// Checks `roots[i]` with `check` on up to `workers` threads and
+/// returns the reports in input order.
+///
+/// Lock-free work distribution (shared atomic index, per-worker result
+/// buffers, sorted merge) mirroring `analyze_app_parallel_with` in
+/// `strtaint-core`. A worker panic is re-raised on the calling thread
+/// so page-level fault isolation sees it exactly as a serial panic.
+pub(crate) fn run_parallel<F>(roots: &[NtId], workers: usize, check: F) -> Vec<HotspotReport>
+where
+    F: Fn(NtId) -> HotspotReport + Sync,
+{
+    let workers = workers.max(1).min(roots.len());
+    if workers <= 1 {
+        return roots.iter().map(|&r| check(r)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut merged: Vec<(usize, HotspotReport)> = Vec::with_capacity(roots.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let check = &check;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, HotspotReport)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= roots.len() {
+                            break;
+                        }
+                        local.push((i, check(roots[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(local) => merged.extend(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    merged.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(merged.len(), roots.len());
+    merged.into_iter().map(|(_, r)| r).collect()
+}

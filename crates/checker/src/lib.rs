@@ -37,9 +37,11 @@
 pub mod abstraction;
 pub mod checks;
 pub mod dfas;
+mod engine;
 pub mod report;
 pub mod xss;
 
 pub use checks::{CheckOptions, Checker};
 pub use report::{CheckKind, Finding, HotspotReport};
+pub use strtaint_grammar::prepared::{EngineStats, PreparedCache};
 pub use xss::XssChecker;

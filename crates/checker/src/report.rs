@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use strtaint_grammar::{Degradation, NtId, Taint};
+use strtaint_grammar::{Degradation, EngineStats, NtId, Taint};
 
 /// Which check classified the finding (paper §3.2.1–3.2.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -102,6 +102,8 @@ pub struct HotspotReport {
     /// Nonempty `degradations` with empty `findings` cannot happen: a
     /// trip always yields a [`CheckKind::BudgetExhausted`] finding.
     pub degradations: Vec<Degradation>,
+    /// Intersection-engine work counters for this hotspot's checks.
+    pub engine: EngineStats,
 }
 
 impl HotspotReport {
@@ -158,6 +160,7 @@ mod tests {
             checked: 2,
             verified: 2,
             degradations: vec![],
+            engine: EngineStats::default(),
         };
         assert!(r.is_safe());
         assert!(r.to_string().contains("verified"));

@@ -19,12 +19,13 @@
 
 use strtaint_automata::{ByteSet, Dfa, Nfa};
 use strtaint_grammar::budget::{Budget, BudgetExceeded, DegradeAction};
-use strtaint_grammar::intersect::is_intersection_empty_with;
 use strtaint_grammar::lang::shortest_string;
+use strtaint_grammar::prepared::PreparedCache;
 use strtaint_grammar::{Cfg, NtId};
 use strtaint_sql::VAR_MARKER;
 
 use crate::abstraction::{marked_grammar, maximal_labeled};
+use crate::engine::{run_parallel, Engine, Qdfa};
 use crate::report::{CheckKind, Finding, HotspotReport};
 
 /// HTML contexts a marker can occur in.
@@ -98,19 +99,27 @@ fn marker_in_context(ctx: HtmlCtx) -> Dfa {
 /// The XSS conformance checker (precompiled automata).
 #[derive(Debug, Clone)]
 pub struct XssChecker {
-    in_text: Dfa,
-    in_tag: Dfa,
-    in_attr_dq: Dfa,
-    in_attr_sq: Dfa,
-    has_lt: Dfa,
-    has_dq: Dfa,
-    has_sq: Dfa,
-    non_word: Dfa,
+    in_text: Qdfa,
+    in_tag: Qdfa,
+    in_attr_dq: Qdfa,
+    in_attr_sq: Qdfa,
+    has_lt: Qdfa,
+    has_dq: Qdfa,
+    has_sq: Qdfa,
+    non_word: Qdfa,
+    naive_engine: bool,
 }
 
 impl XssChecker {
     /// Builds the checker.
     pub fn new() -> Self {
+        Self::with_naive_engine(false)
+    }
+
+    /// Builds the checker, optionally routing every intersection
+    /// through the naive reference engine (see
+    /// [`crate::CheckOptions::naive_engine`]).
+    pub fn with_naive_engine(naive_engine: bool) -> Self {
         let contains = |b: u8| {
             Dfa::from_nfa(
                 &Nfa::any_string()
@@ -120,17 +129,20 @@ impl XssChecker {
             .minimize()
         };
         XssChecker {
-            in_text: marker_in_context(HtmlCtx::Text),
-            in_tag: marker_in_context(HtmlCtx::Tag),
-            in_attr_dq: marker_in_context(HtmlCtx::AttrDq),
-            in_attr_sq: marker_in_context(HtmlCtx::AttrSq),
-            has_lt: contains(b'<'),
-            has_dq: contains(b'"'),
-            has_sq: contains(b'\''),
-            non_word: strtaint_automata::Regex::new("^[A-Za-z0-9_-]*$")
-                .expect("static pattern")
-                .match_dfa()
-                .complement(),
+            in_text: Qdfa::new(marker_in_context(HtmlCtx::Text)),
+            in_tag: Qdfa::new(marker_in_context(HtmlCtx::Tag)),
+            in_attr_dq: Qdfa::new(marker_in_context(HtmlCtx::AttrDq)),
+            in_attr_sq: Qdfa::new(marker_in_context(HtmlCtx::AttrSq)),
+            has_lt: Qdfa::new(contains(b'<')),
+            has_dq: Qdfa::new(contains(b'"')),
+            has_sq: Qdfa::new(contains(b'\'')),
+            non_word: Qdfa::new(
+                strtaint_automata::Regex::new("^[A-Za-z0-9_-]*$")
+                    .expect("static pattern")
+                    .match_dfa()
+                    .complement(),
+            ),
+            naive_engine,
         }
     }
 
@@ -144,11 +156,25 @@ impl XssChecker {
     /// budget trip marks the nonterminal unverified (a conservative
     /// [`CheckKind::BudgetExhausted`] finding), never verified.
     pub fn check_echo_with(&self, cfg: &Cfg, root: NtId, budget: &Budget) -> HotspotReport {
+        self.check_echo_cached(cfg, root, budget, &PreparedCache::new())
+    }
+
+    /// Like [`XssChecker::check_echo_with`], sharing `cache` across the
+    /// echo sinks of one page (cache scoping rules as in
+    /// [`crate::Checker::check_hotspot_cached`]).
+    pub fn check_echo_cached(
+        &self,
+        cfg: &Cfg,
+        root: NtId,
+        budget: &Budget,
+        cache: &PreparedCache,
+    ) -> HotspotReport {
         let mut report = HotspotReport::default();
         let candidates = maximal_labeled(cfg, root);
         report.checked = candidates.len();
+        let mut engine = Engine::new(cache, self.naive_engine);
         for x in candidates {
-            match self.check_one(cfg, root, x, budget) {
+            match self.check_one(cfg, root, x, budget, &mut engine) {
                 Ok(None) => report.verified += 1,
                 Ok(Some(f)) => report.findings.push(f),
                 Err(err) => {
@@ -170,7 +196,24 @@ impl XssChecker {
                 }
             }
         }
+        report.engine = engine.stats;
         report
+    }
+
+    /// Checks every echo-sink root of one page, on up to `workers`
+    /// threads, returning reports in input order (see
+    /// [`crate::Checker::check_hotspots_with`]).
+    pub fn check_echoes_with(
+        &self,
+        cfg: &Cfg,
+        roots: &[NtId],
+        budget: &Budget,
+        workers: usize,
+    ) -> Vec<HotspotReport> {
+        let cache = PreparedCache::new();
+        run_parallel(roots, workers, |root| {
+            self.check_echo_cached(cfg, root, budget, &cache)
+        })
     }
 
     fn check_one(
@@ -179,6 +222,7 @@ impl XssChecker {
         root: NtId,
         x: NtId,
         budget: &Budget,
+        engine: &mut Engine<'_>,
     ) -> Result<Option<Finding>, BudgetExceeded> {
         if cfg.is_empty_language(x) {
             return Ok(None);
@@ -196,23 +240,28 @@ impl XssChecker {
             }))
         };
         let (marked, mroot) = marked_grammar(cfg, root, x, &Default::default());
+        // One preparation of the marked grammar serves all four context
+        // queries; one preparation of (cfg, x) serves all four
+        // containment queries (shared with other sinks via the cache).
+        let mut tm = engine.target_local(&marked, mroot);
+        let mut tx = engine.target(cfg, x);
         // Text context: a `<` opens attacker markup.
-        if !is_intersection_empty_with(&marked, mroot, &self.in_text, budget)?
-            && !is_intersection_empty_with(cfg, x, &self.has_lt, budget)?
+        if !engine.is_empty(&mut tm, &self.in_text, budget)?
+            && !engine.is_empty(&mut tx, &self.has_lt, budget)?
         {
             return finding("can open a tag in text context", shortest_string(cfg, x));
         }
         // Quoted attribute contexts: the closing quote escapes.
-        if !is_intersection_empty_with(&marked, mroot, &self.in_attr_dq, budget)?
-            && !is_intersection_empty_with(cfg, x, &self.has_dq, budget)?
+        if !engine.is_empty(&mut tm, &self.in_attr_dq, budget)?
+            && !engine.is_empty(&mut tx, &self.has_dq, budget)?
         {
             return finding(
                 "can close its double-quoted attribute",
                 shortest_string(cfg, x),
             );
         }
-        if !is_intersection_empty_with(&marked, mroot, &self.in_attr_sq, budget)?
-            && !is_intersection_empty_with(cfg, x, &self.has_sq, budget)?
+        if !engine.is_empty(&mut tm, &self.in_attr_sq, budget)?
+            && !engine.is_empty(&mut tx, &self.has_sq, budget)?
         {
             return finding(
                 "can close its single-quoted attribute",
@@ -220,8 +269,8 @@ impl XssChecker {
             );
         }
         // Raw tag-interior position: only bare words are tolerable.
-        if !is_intersection_empty_with(&marked, mroot, &self.in_tag, budget)?
-            && !is_intersection_empty_with(cfg, x, &self.non_word, budget)?
+        if !engine.is_empty(&mut tm, &self.in_tag, budget)?
+            && !engine.is_empty(&mut tx, &self.non_word, budget)?
         {
             return finding(
                 "controls tag-interior tokens",

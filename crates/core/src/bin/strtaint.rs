@@ -20,6 +20,9 @@
 //!                   lower every file per page instead of sharing one
 //!                   AST→IR summary cache across entries (escape hatch
 //!                   for isolating cache bugs; results are identical)
+//!   --stats         print aggregate intersection-engine counters
+//!                   (queries, normalizations saved, realized triples,
+//!                   early exits) after the text report
 //! ```
 //!
 //! Exit code: 0 = verified, 1 = findings reported (including
@@ -36,7 +39,7 @@ use strtaint::{
 
 const USAGE: &str = "usage: strtaint [--xss] [--slice] [--json] [--sarif] \
                      [--include SITE=FILE] [--timeout SECS] [--fuel N] \
-                     [--no-summary-cache] <dir> <entry.php>...";
+                     [--no-summary-cache] [--stats] <dir> <entry.php>...";
 
 struct Options {
     xss: bool,
@@ -44,6 +47,7 @@ struct Options {
     json: bool,
     sarif: bool,
     no_summary_cache: bool,
+    stats: bool,
     dir: String,
     entries: Vec<String>,
     includes: Vec<(String, String)>,
@@ -58,6 +62,7 @@ fn parse_args() -> Result<Options, String> {
         json: false,
         sarif: false,
         no_summary_cache: false,
+        stats: false,
         dir: String::new(),
         entries: Vec::new(),
         includes: Vec::new(),
@@ -73,6 +78,7 @@ fn parse_args() -> Result<Options, String> {
             "--json" => opts.json = true,
             "--sarif" => opts.sarif = true,
             "--no-summary-cache" => opts.no_summary_cache = true,
+            "--stats" => opts.stats = true,
             "--include" => {
                 let v = args.next().ok_or("--include requires SITE=FILE")?;
                 let (site, file) = v
@@ -337,6 +343,13 @@ fn main() -> ExitCode {
                 "{degraded} page(s) degraded by resource budgets — \
                  results are conservative, not complete."
             );
+        }
+        if opts.stats {
+            let mut engine = strtaint::EngineStats::default();
+            for r in &reports {
+                engine.merge(&r.engine_stats());
+            }
+            println!("engine: {engine}");
         }
     }
     if any_findings {

@@ -58,8 +58,19 @@ pub mod report;
 use std::time::Instant;
 
 pub use strtaint_analysis::{AnalyzeError, Config, Hotspot, Provenance, SummaryCache, Vfs};
-pub use strtaint_checker::{CheckKind, CheckOptions, Checker, Finding, HotspotReport};
+pub use strtaint_checker::{
+    CheckKind, CheckOptions, Checker, EngineStats, Finding, HotspotReport,
+};
 pub use strtaint_grammar::{Budget, Cfg, DegradeAction, Degradation, NtId, Resource, Taint};
+
+/// Worker-thread count for checking the hotspots of one page — the
+/// machine's available parallelism (hotspots are independent given the
+/// immutable grammar; see `Checker::check_hotspots_with`).
+fn hotspot_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 pub use report::{AppReport, PageReport};
 
@@ -119,9 +130,13 @@ pub fn analyze_page_cached(
     let analysis_time = t0.elapsed();
 
     let t1 = Instant::now();
+    // All hotspots of the page are checked in one parallel batch
+    // sharing a prepared-grammar cache; reports come back in program
+    // order, identical to the serial loop.
+    let roots: Vec<NtId> = analysis.hotspots.iter().map(|h| h.root).collect();
+    let reports = checker.check_hotspots_with(&analysis.cfg, &roots, &budget, hotspot_workers());
     let mut hotspots = Vec::new();
-    for h in &analysis.hotspots {
-        let mut r = checker.check_hotspot_with(&analysis.cfg, h.root, &budget);
+    for (h, mut r) in analysis.hotspots.iter().zip(reports) {
         if let Some(span) = h.provenance.arg_span {
             for f in &mut r.findings {
                 f.at = Some((span.line, span.col));
@@ -200,9 +215,10 @@ pub fn analyze_page_xss_cached(
 
     let t1 = Instant::now();
     let checker = strtaint_checker::XssChecker::new();
+    let roots: Vec<NtId> = analysis.echo_sinks.iter().map(|h| h.root).collect();
+    let reports = checker.check_echoes_with(&analysis.cfg, &roots, &budget, hotspot_workers());
     let mut hotspots = Vec::new();
-    for h in &analysis.echo_sinks {
-        let mut r = checker.check_echo_with(&analysis.cfg, h.root, &budget);
+    for (h, mut r) in analysis.echo_sinks.iter().zip(reports) {
         if let Some(span) = h.provenance.arg_span {
             for f in &mut r.findings {
                 f.at = Some((span.line, span.col));

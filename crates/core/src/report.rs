@@ -4,7 +4,7 @@ use std::fmt;
 use std::time::Duration;
 
 use strtaint_analysis::Hotspot;
-use strtaint_checker::{Finding, HotspotReport};
+use strtaint_checker::{EngineStats, Finding, HotspotReport};
 use strtaint_grammar::Degradation;
 
 /// Analysis + checking results for one web page (one top-level PHP
@@ -81,6 +81,16 @@ impl PageReport {
         self.degradations
             .iter()
             .chain(self.hotspots.iter().flat_map(|(_, r)| r.degradations.iter()))
+    }
+
+    /// Intersection-engine work counters summed over the page's
+    /// hotspots.
+    pub fn engine_stats(&self) -> EngineStats {
+        let mut acc = EngineStats::default();
+        for (_, r) in &self.hotspots {
+            acc.merge(&r.engine);
+        }
+        acc
     }
 
     /// Iterates over all findings with their hotspots.
@@ -209,6 +219,15 @@ impl AppReport {
     /// unlike `files`, which counts every file in the project tree.
     pub fn files_analyzed(&self) -> usize {
         self.pages.iter().map(|p| p.files_analyzed).sum()
+    }
+
+    /// Intersection-engine work counters summed over all pages.
+    pub fn engine_stats(&self) -> EngineStats {
+        let mut acc = EngineStats::default();
+        for p in &self.pages {
+            acc.merge(&p.engine_stats());
+        }
+        acc
     }
 }
 

@@ -29,6 +29,11 @@ pub struct SynthConfig {
     /// Length of a `str_replace` chain applied to user input on each
     /// page (the §5.3 grammar blow-up knob).
     pub replace_chain: usize,
+    /// Query sinks per page, all reading the same user input (values
+    /// above 1 give the checker several hotspots per page that share a
+    /// tainted nonterminal — the prepared-engine reuse case). Treated
+    /// as 1 when 0.
+    pub sinks_per_page: usize,
     /// RNG seed (tables/params are shuffled deterministically).
     pub seed: u64,
 }
@@ -41,6 +46,7 @@ impl Default for SynthConfig {
             filler_lines: 60,
             vuln_every: 3,
             replace_chain: 0,
+            sinks_per_page: 1,
             seed: 7,
         }
     }
@@ -79,15 +85,32 @@ function s_clean($v)
                 "$v = str_replace('[t{i}]', '<t{i}>', $v);\n"
             ));
         }
-        if vulnerable {
-            seeded += 1;
-            body.push_str(&format!(
-                "$r = $DB->query(\"SELECT * FROM {table} WHERE {param}='$v'\");\n"
-            ));
-        } else {
+        let sinks = cfg.sinks_per_page.max(1);
+        if !vulnerable {
             body.push_str("$v = s_clean($v);\n");
+        }
+        for s in 0..sinks {
+            // Sink 0 reuses the page's table/param draws so the
+            // default (one sink) emits byte-identical sources to
+            // earlier generator versions.
+            let (t, pa) = if s == 0 {
+                (table, param)
+            } else {
+                (
+                    tables[rng.gen_range(0..tables.len())],
+                    params[rng.gen_range(0..params.len())],
+                )
+            };
+            let var = if s == 0 {
+                "$r".to_owned()
+            } else {
+                format!("$r{s}")
+            };
+            if vulnerable {
+                seeded += 1;
+            }
             body.push_str(&format!(
-                "$r = $DB->query(\"SELECT * FROM {table} WHERE {param}='$v'\");\n"
+                "{var} = $DB->query(\"SELECT * FROM {t} WHERE {pa}='$v'\");\n"
             ));
         }
         body.push_str("?>\n");
@@ -149,6 +172,31 @@ mod tests {
             ..SynthConfig::default()
         });
         assert_eq!(safe.truth.direct_real, 0);
+    }
+
+    #[test]
+    fn sinks_per_page_emitted() {
+        let app = synth_app(&SynthConfig {
+            pages: 1,
+            vuln_every: 1,
+            sinks_per_page: 3,
+            ..SynthConfig::default()
+        });
+        let src = app.vfs.get("page0.php").unwrap();
+        assert_eq!(
+            String::from_utf8_lossy(src).matches("$DB->query").count(),
+            3
+        );
+        assert_eq!(app.truth.direct_real, 3);
+        // The default (one sink) is byte-identical to sinks_per_page=1.
+        let a = synth_app(&SynthConfig::default());
+        let b = synth_app(&SynthConfig {
+            sinks_per_page: 1,
+            ..SynthConfig::default()
+        });
+        for p in a.vfs.paths() {
+            assert_eq!(a.vfs.get(p), b.vfs.get(p), "{p}");
+        }
     }
 
     #[test]

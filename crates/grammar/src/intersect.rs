@@ -6,6 +6,12 @@
 //! the DFA from state `i` to state `j`. The paper's `TAINTIF` is the
 //! `taint` copy when result nonterminals are created: `X_{ij}` inherits
 //! the labels of `X`, which is exactly what Theorem 3.1 requires.
+//!
+//! This module is the *reference* engine: each call re-trims and
+//! re-normalizes the grammar and steps the DFA byte-by-byte. The hot
+//! path uses [`crate::prepared`], which amortizes that setup across
+//! queries and compresses DFAs by byte class; property tests assert the
+//! two agree.
 
 use std::collections::HashMap;
 
@@ -31,7 +37,7 @@ impl Fixpoint {
     fn realized(&self, x: NtId, i: u32, j: u32) -> bool {
         self.by_start[x.index()]
             .get(&i)
-            .is_some_and(|v| v.contains(&j))
+            .is_some_and(|v| v.binary_search(&j).is_ok())
     }
 }
 
@@ -129,9 +135,14 @@ fn fixpoint(g: &Cfg, root: NtId, dfa: &Dfa, budget: &Budget) -> Result<Fixpoint,
             budget.charge(1)?;
             let (x, i, j) = ($x, $i, $j);
             let ends = fx.by_start[x.index()].entry(i).or_default();
-            if !ends.contains(&j) {
-                ends.push(j);
-                fx.by_end[x.index()].entry(j).or_default().push(i);
+            debug_assert!(ends.windows(2).all(|w| w[0] < w[1]), "ends not sorted");
+            if let Err(pos) = ends.binary_search(&j) {
+                ends.insert(pos, j);
+                let starts = fx.by_end[x.index()].entry(j).or_default();
+                debug_assert!(starts.windows(2).all(|w| w[0] < w[1]), "starts not sorted");
+                if let Err(spos) = starts.binary_search(&i) {
+                    starts.insert(spos, i);
+                }
                 triples += 1;
                 budget.check_grammar_size(triples)?;
                 worklist.push((x, i, j));

@@ -49,8 +49,10 @@ pub mod image;
 pub mod intersect;
 pub mod lang;
 pub mod normal;
+pub mod prepared;
 pub mod symbol;
 
 pub use budget::{Budget, BudgetExceeded, DegradeAction, Degradation, Resource};
+pub use prepared::{EngineStats, Intersection, PreparedCache, PreparedGrammar, QueryMode};
 pub use cfg::Cfg;
 pub use symbol::{NtId, Symbol, Taint};

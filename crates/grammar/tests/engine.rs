@@ -1,0 +1,162 @@
+//! Property-based equivalence between the reference intersection
+//! engine (`strtaint_grammar::intersect`) and the prepared engine
+//! (`strtaint_grammar::prepared`): random CFGs crossed with random
+//! regex DFAs must agree on emptiness, witness length, and the
+//! language of the reconstructed intersection grammar, in both
+//! early-exit and full query modes.
+
+use proptest::prelude::*;
+
+use strtaint_automata::{ClassDfa, Regex};
+use strtaint_grammar::intersect::{intersect, is_intersection_empty};
+use strtaint_grammar::lang::{sample_strings, shortest_string};
+use strtaint_grammar::prepared::{PreparedGrammar, QueryMode};
+use strtaint_grammar::{Budget, Cfg, NtId, Symbol};
+
+/// A small random grammar: literals, concatenations, alternations, and
+/// an optional self-recursive wrap (same shape as tests/properties.rs).
+fn grammar() -> impl Strategy<Value = (Cfg, NtId)> {
+    let lit = prop_oneof![
+        Just(b"a".to_vec()),
+        Just(b"bb".to_vec()),
+        Just(b"a'c".to_vec()),
+        Just(b"12".to_vec()),
+        Just(b"".to_vec()),
+    ];
+    (
+        proptest::collection::vec(lit, 1..4),
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(lits, recursive, wrap)| {
+            let mut g = Cfg::new();
+            let leaf = g.add_nonterminal("leaf");
+            for l in &lits {
+                g.add_literal_production(leaf, l);
+            }
+            let root = g.add_nonterminal("root");
+            if wrap {
+                let mut rhs = g.literal_symbols(b"[");
+                rhs.push(Symbol::N(leaf));
+                rhs.extend(g.literal_symbols(b"]"));
+                g.add_production(root, rhs);
+            } else {
+                g.add_production(root, vec![Symbol::N(leaf)]);
+            }
+            if recursive {
+                // root -> root leaf (left recursion)
+                g.add_production(root, vec![Symbol::N(root), Symbol::N(leaf)]);
+            }
+            (g, root)
+        })
+}
+
+/// Random byte strings mixing pattern-relevant and arbitrary bytes.
+fn byte_string() -> impl Strategy<Value = Vec<u8>> {
+    let byte = prop_oneof![
+        Just(b'a'),
+        Just(b'b'),
+        Just(b'c'),
+        Just(b'\''),
+        Just(b'0'),
+        Just(b'9'),
+        Just(b'['),
+        Just(b']'),
+        Just(b'z'),
+        Just(0u8),
+        Just(0xffu8),
+    ];
+    proptest::collection::vec(byte, 0..12)
+}
+
+/// Regexes covering empty-ish, universal-ish, and structured patterns.
+fn pattern() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("'"),
+        Just("a"),
+        Just("[ab]*"),
+        Just("a'c"),
+        Just("[0-9][0-9]*"),
+        Just("\\[a*\\]"),
+        Just("zzz"),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prepared_agrees_with_naive((g, root) in grammar(), pat in pattern()) {
+        let dfa = Regex::new(pat).unwrap().match_dfa();
+        let classes = ClassDfa::new(&dfa);
+        let budget = Budget::unlimited();
+        let prep = PreparedGrammar::new(&g, root);
+
+        // Emptiness: early-exit prepared query vs the naive engine.
+        let naive_empty = is_intersection_empty(&g, root, &dfa);
+        let mut ix = prep
+            .query(&classes, &budget, QueryMode::EarlyExit)
+            .expect("unlimited budget");
+        prop_assert_eq!(ix.is_empty(), naive_empty, "pattern {}", pat);
+
+        // Witness: both engines must find one iff nonempty, and both
+        // must be shortest (so their lengths agree even though the
+        // strings may differ).
+        let naive_witness = {
+            let (gx, rx) = intersect(&g, root, &dfa);
+            shortest_string(&gx, rx)
+        };
+        let prep_witness = ix.witness(&budget).expect("unlimited budget");
+        prop_assert_eq!(naive_witness.is_some(), prep_witness.is_some());
+        if let (Some(nw), Some(pw)) = (&naive_witness, &prep_witness) {
+            prop_assert_eq!(nw.len(), pw.len());
+            prop_assert!(g.derives(root, pw), "witness {:?} not derivable", pw);
+            prop_assert!(dfa.accepts(pw), "witness {:?} rejected by DFA", pw);
+        }
+    }
+
+    #[test]
+    fn full_mode_reconstruction_is_exact((g, root) in grammar(), pat in pattern()) {
+        let dfa = Regex::new(pat).unwrap().match_dfa();
+        let classes = ClassDfa::new(&dfa);
+        let budget = Budget::unlimited();
+        let prep = PreparedGrammar::new(&g, root);
+
+        let mut ix = prep
+            .query(&classes, &budget, QueryMode::Full)
+            .expect("unlimited budget");
+        prop_assert!(!ix.exited_early());
+        let (out, new_root) = ix.grammar(&budget).expect("unlimited budget");
+        // The reconstructed grammar recognizes exactly L(g) ∩ L(dfa)
+        // on samples from g.
+        for s in sample_strings(&g, root, 10, 16) {
+            prop_assert_eq!(out.derives(new_root, &s), dfa.accepts(&s), "{:?}", s);
+        }
+        prop_assert_eq!(out.is_empty_language(new_root), ix.is_empty());
+    }
+
+    #[test]
+    fn early_exit_matches_full_emptiness((g, root) in grammar(), pat in pattern()) {
+        let dfa = Regex::new(pat).unwrap().match_dfa();
+        let classes = ClassDfa::new(&dfa);
+        let budget = Budget::unlimited();
+        let prep = PreparedGrammar::new(&g, root);
+
+        let early = prep
+            .query(&classes, &budget, QueryMode::EarlyExit)
+            .expect("unlimited budget");
+        let full = prep
+            .query(&classes, &budget, QueryMode::Full)
+            .expect("unlimited budget");
+        prop_assert_eq!(early.is_empty(), full.is_empty());
+        // An early exit never does more work than the full run.
+        prop_assert!(early.triples() <= full.triples());
+    }
+
+    #[test]
+    fn class_dfa_steps_like_dfa(pat in pattern(), bytes in byte_string()) {
+        let dfa = Regex::new(pat).unwrap().match_dfa();
+        let classes = ClassDfa::new(&dfa);
+        prop_assert_eq!(classes.accepts(&bytes), dfa.accepts(&bytes));
+    }
+}

@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
-# Runs the cold-vs-warm summary-cache benchmark and records the medians
-# as JSON, so cache-effectiveness regressions show up in review:
+# Runs the cold-vs-warm summary-cache benchmark and the cold-vs-prepared
+# intersection-engine benchmark, and records the medians as JSON, so
+# cache- and engine-effectiveness regressions show up in review:
 #
 #   sh scripts/bench.sh            # writes BENCH_analyze.json
 #
@@ -11,11 +12,14 @@ set -eu
 cd "$(dirname "$0")/.."
 
 out=BENCH_analyze.json
-raw=$(cargo bench -p strtaint-bench --bench analyze 2>/dev/null | grep '^bench ')
+raw=$(
+    cargo bench -p strtaint-bench --bench analyze 2>/dev/null | grep '^bench '
+    cargo bench -p strtaint-bench --bench check 2>/dev/null | grep '^bench '
+)
 echo "$raw"
 
 {
-    printf '{\n  "bench": "analyze",\n  "results": [\n'
+    printf '{\n  "bench": "analyze+check",\n  "results": [\n'
     first=1
     echo "$raw" | while IFS= read -r line; do
         # shellcheck disable=SC2086  # intentional word splitting

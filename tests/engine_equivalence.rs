@@ -1,0 +1,122 @@
+//! Engine equivalence on the corpus: the prepared intersection engine
+//! (byte-class DFAs, early-exit fixpoint, shared preparations) and the
+//! parallel hotspot driver must produce exactly the verdicts of the
+//! naive reference engine on real application pages. Any divergence
+//! here is a soundness or precision bug in the overhauled engine, so
+//! the comparison is per-hotspot and per-finding, not aggregate.
+
+use strtaint_analysis::{analyze, Config};
+use strtaint_checker::{CheckOptions, Checker, HotspotReport};
+use strtaint_corpus::{apps, synth::synth_app, synth::SynthConfig, App};
+use strtaint_grammar::Budget;
+
+/// A comparable verdict for one hotspot: safety, counts, and every
+/// finding's identity. Witness *bytes* are excluded — both engines
+/// produce shortest witnesses, but tie-breaking among equally short
+/// strings follows reconstruction order, which is not part of the
+/// verdict.
+#[derive(Debug, PartialEq, Eq)]
+struct Verdict {
+    safe: bool,
+    checked: usize,
+    verified: usize,
+    findings: Vec<(String, String, bool)>, // (kind, source name, has witness)
+}
+
+fn verdict(r: &HotspotReport) -> Verdict {
+    let mut findings: Vec<_> = r
+        .findings
+        .iter()
+        .map(|f| (format!("{:?}", f.kind), f.name.clone(), f.witness.is_some()))
+        .collect();
+    findings.sort();
+    Verdict {
+        safe: r.is_safe(),
+        checked: r.checked,
+        verified: r.verified,
+        findings,
+    }
+}
+
+/// Checks every page of `app` three ways — naive serial, prepared
+/// serial, prepared parallel with a shared cache — and asserts the
+/// verdicts are identical hotspot by hotspot.
+fn assert_engines_agree(app: &App) {
+    let config = Config::default();
+    let naive = Checker::with_options(CheckOptions {
+        naive_engine: true,
+        ..CheckOptions::default()
+    });
+    let prepared = Checker::new();
+
+    let mut hotspots_seen = 0usize;
+    for entry in app.entry_refs() {
+        let analysis = match analyze(&app.vfs, entry, &config) {
+            Ok(a) => a,
+            Err(_) => continue, // skipped pages have no hotspots to compare
+        };
+        let roots: Vec<_> = analysis.hotspots.iter().map(|h| h.root).collect();
+        hotspots_seen += roots.len();
+
+        let naive_reports: Vec<_> = roots
+            .iter()
+            .map(|&r| naive.check_hotspot_with(&analysis.cfg, r, &Budget::unlimited()))
+            .collect();
+        let serial_reports: Vec<_> = roots
+            .iter()
+            .map(|&r| prepared.check_hotspot_with(&analysis.cfg, r, &Budget::unlimited()))
+            .collect();
+        let parallel_reports =
+            prepared.check_hotspots_with(&analysis.cfg, &roots, &Budget::unlimited(), 4);
+
+        assert_eq!(parallel_reports.len(), roots.len());
+        for (i, ((n, s), p)) in naive_reports
+            .iter()
+            .zip(&serial_reports)
+            .zip(&parallel_reports)
+            .enumerate()
+        {
+            let (vn, vs, vp) = (verdict(n), verdict(s), verdict(p));
+            assert_eq!(
+                vn, vs,
+                "{}: {}: hotspot {i}: naive vs prepared-serial verdicts differ",
+                app.name, entry
+            );
+            assert_eq!(
+                vs, vp,
+                "{}: {}: hotspot {i}: serial vs parallel verdicts differ",
+                app.name, entry
+            );
+            // The prepared engines run the identical reconstruction,
+            // so their witnesses must match byte for byte.
+            for (fs, fp) in s.findings.iter().zip(&p.findings) {
+                assert_eq!(
+                    fs.witness, fp.witness,
+                    "{}: {}: hotspot {i}: serial vs parallel witness bytes differ",
+                    app.name, entry
+                );
+            }
+        }
+    }
+    assert!(hotspots_seen > 0, "{}: corpus app had no hotspots", app.name);
+}
+
+#[test]
+fn eve_verdicts_identical_across_engines() {
+    assert_engines_agree(&apps::eve::build());
+}
+
+#[test]
+fn utopia_verdicts_identical_across_engines() {
+    assert_engines_agree(&apps::utopia::build());
+}
+
+#[test]
+fn synth_verdicts_identical_across_engines() {
+    let app = synth_app(&SynthConfig {
+        pages: 6,
+        replace_chain: 2,
+        ..SynthConfig::default()
+    });
+    assert_engines_agree(&app);
+}
