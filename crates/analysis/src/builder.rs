@@ -74,6 +74,15 @@ pub struct Analysis {
     /// Number of files analyzed (including re-analysis through
     /// repeated includes, as in the paper's tool).
     pub files_analyzed: usize,
+    /// Distinct files whose *contents* this analysis read (entry plus
+    /// every resolved include, each counted once). This is the page's
+    /// transitive input set: the emitted grammar is a function of these
+    /// files' bytes, the project path layout (dynamic include
+    /// resolution), and the [`crate::Config`] — which is what the
+    /// analysis daemon keys verdict replay on. Under
+    /// `Config::backward_slice` the relevance pre-pass reads the whole
+    /// tree, so consumers must widen this set to every file.
+    pub inputs: BTreeSet<String>,
     /// Precision losses from budget trips during grammar construction
     /// (widened transducer images, skipped refinements, unresolved
     /// includes). Each is sound: the degraded grammar derives a
@@ -163,6 +172,7 @@ pub fn analyze_cached(
     em.cur_file = normalize(entry);
     em.cur_summary = summary.content_hash;
     em.files_analyzed += 1;
+    em.inputs.insert(em.cur_file.clone());
     em.register_functions(&summary.body);
     em.emit_stmts(&summary.body, &mut env);
     Ok(em.into_analysis())

@@ -105,6 +105,43 @@ impl Config {
     pub fn page_budget(&self) -> strtaint_grammar::Budget {
         strtaint_grammar::Budget::new(self.timeout, self.fuel, None)
     }
+
+    /// Hashes **every** field that can influence an analysis result —
+    /// sources, sinks, include overrides, inlining limits, budgets.
+    /// This is the whole-config fingerprint the analysis daemon keys
+    /// cached verdicts on (coarser than
+    /// [`crate::summary::config_fingerprint`], which covers only the
+    /// fields lowering could observe): two configs with equal
+    /// fingerprints produce identical reports for identical inputs, so
+    /// a verdict may only be replayed when the fingerprint matches.
+    ///
+    /// The hash is [`std::collections::hash_map::DefaultHasher`],
+    /// which is deterministic across processes but not guaranteed
+    /// stable across Rust releases — acceptable because every consumer
+    /// also keys on the engine version and treats mismatches as cache
+    /// misses, never as errors.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+
+        let mut h = DefaultHasher::new();
+        self.direct_superglobals.hash(&mut h);
+        self.indirect_globals.hash(&mut h);
+        self.hotspot_functions.hash(&mut h);
+        self.hotspot_methods.hash(&mut h);
+        self.fetch_functions.hash(&mut h);
+        let mut overrides: Vec<(&String, &Vec<String>)> =
+            self.include_overrides.iter().collect();
+        overrides.sort();
+        overrides.hash(&mut h);
+        self.max_call_depth.hash(&mut h);
+        self.max_include_fanout.hash(&mut h);
+        self.backward_slice.hash(&mut h);
+        self.max_transducer_grammar.hash(&mut h);
+        self.timeout.hash(&mut h);
+        self.fuel.hash(&mut h);
+        h.finish()
+    }
 }
 
 impl Config {
@@ -117,6 +154,29 @@ impl Config {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fingerprint_tracks_every_analysis_knob() {
+        let base = Config::default();
+        assert_eq!(base.fingerprint(), Config::default().fingerprint());
+
+        let mut c = Config::default();
+        c.hotspot_methods.push("exec_sql".into());
+        assert_ne!(base.fingerprint(), c.fingerprint());
+
+        let mut c = Config::default();
+        c.fuel = Some(1000);
+        assert_ne!(base.fingerprint(), c.fingerprint());
+
+        let mut c = Config::default();
+        c.backward_slice = true;
+        assert_ne!(base.fingerprint(), c.fingerprint());
+
+        let mut c = Config::default();
+        c.include_overrides
+            .insert("a.php:3".into(), vec!["lib.php".into()]);
+        assert_ne!(base.fingerprint(), c.fingerprint());
+    }
 
     #[test]
     fn defaults_cover_paper_sources() {

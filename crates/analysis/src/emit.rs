@@ -81,6 +81,8 @@ pub(crate) struct Emitter<'a> {
     /// provenance for hotspots).
     pub(crate) cur_summary: u64,
     pub(crate) files_analyzed: usize,
+    /// Distinct files read so far (entry + resolved includes).
+    pub(crate) inputs: BTreeSet<String>,
     pub(crate) layout: Option<Rc<Dfa>>,
     /// Shared resource budget for this page's grammar operations.
     pub(crate) budget: Budget,
@@ -139,6 +141,7 @@ impl<'a> Emitter<'a> {
             cur_file: String::new(),
             cur_summary: 0,
             files_analyzed: 0,
+            inputs: BTreeSet::new(),
             layout: None,
             budget,
             degradations: Vec::new(),
@@ -155,6 +158,7 @@ impl<'a> Emitter<'a> {
             warnings: self.warnings,
             unmodeled: self.unmodeled,
             files_analyzed: self.files_analyzed,
+            inputs: self.inputs,
             degradations: self.degradations,
         }
     }
@@ -886,6 +890,7 @@ impl<'a> Emitter<'a> {
         let prev = std::mem::replace(&mut self.cur_file, norm);
         let prev_summary = std::mem::replace(&mut self.cur_summary, summary.content_hash);
         self.files_analyzed += 1;
+        self.inputs.insert(self.cur_file.clone());
         self.register_functions(&summary.body);
         self.emit_stmts(&summary.body, env);
         self.cur_file = prev;

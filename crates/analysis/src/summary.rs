@@ -116,6 +116,17 @@ impl SummaryCache {
         Ok(summary)
     }
 
+    /// Number of summaries currently resident (distinct
+    /// `(content, config)` keys) — surfaced by the daemon's `status`.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// `true` when no summary has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Number of cache hits so far.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)

@@ -44,6 +44,26 @@ impl Vfs {
         self.files.get(&normalize(path)).map(Vec::as_slice)
     }
 
+    /// Applies one incremental change: `Some(contents)` upserts the
+    /// file, `None` removes it. Returns `true` if the tree actually
+    /// changed (an upsert with identical bytes or a removal of a
+    /// missing path is a no-op), so callers — the analysis daemon's
+    /// `invalidate` request — can skip dirty-set work for no-op deltas
+    /// instead of reloading the whole tree through [`Vfs::from_dir`].
+    pub fn apply_delta(&mut self, path: &str, contents: Option<Vec<u8>>) -> bool {
+        let norm = normalize(path);
+        match contents {
+            Some(bytes) => match self.files.get(&norm) {
+                Some(old) if *old == bytes => false,
+                _ => {
+                    self.files.insert(norm, bytes);
+                    true
+                }
+            },
+            None => self.files.remove(&norm).is_some(),
+        }
+    }
+
     /// Iterates over all paths.
     pub fn paths(&self) -> impl Iterator<Item = &str> {
         self.files.keys().map(String::as_str)
@@ -137,6 +157,35 @@ mod tests {
         assert!(v.get("x.php").is_some());
         assert!(v.get("./x.php").is_some());
         assert!(v.get("y.php").is_none());
+    }
+
+    #[test]
+    fn apply_delta_upserts_and_removes() {
+        let mut v = Vfs::new();
+        assert!(v.apply_delta("a.php", Some(b"<?php echo 1;".to_vec())));
+        assert_eq!(v.get("a.php"), Some(b"<?php echo 1;".as_slice()));
+
+        // Identical re-upload is a no-op.
+        assert!(!v.apply_delta("./a.php", Some(b"<?php echo 1;".to_vec())));
+
+        // A real edit is a change.
+        assert!(v.apply_delta("a.php", Some(b"<?php echo 2;".to_vec())));
+        assert_eq!(v.get("a.php"), Some(b"<?php echo 2;".as_slice()));
+
+        // Removal, then removing again is a no-op.
+        assert!(v.apply_delta("a.php", None));
+        assert!(v.get("a.php").is_none());
+        assert!(!v.apply_delta("a.php", None));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn apply_delta_normalizes_paths() {
+        let mut v = Vfs::new();
+        assert!(v.apply_delta("lib/./db.php", Some(b"<?php".to_vec())));
+        assert!(v.get("lib/db.php").is_some());
+        assert!(v.apply_delta("lib//db.php", None));
+        assert!(v.is_empty());
     }
 
     #[test]

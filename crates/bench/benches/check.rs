@@ -13,6 +13,11 @@
 //! * `prepared` — the full overhaul: prepared engine plus a shared
 //!   preparation cache and the parallel hotspot driver.
 //!
+//! A fourth configuration, `daemon-warm`, re-checks the same unchanged
+//! application through a warm [`strtaint_daemon::DaemonState`]: every
+//! page replays its stored verdict (zero intersection queries), so the
+//! row quantifies the incremental daemon's replay win over `cold`.
+//!
 //! `scripts/bench.sh` merges this output into `BENCH_analyze.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -20,6 +25,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use strtaint_analysis::{analyze, Config};
 use strtaint_checker::{CheckOptions, Checker};
 use strtaint_corpus::synth::{synth_app, SynthConfig};
+use strtaint_daemon::{DaemonState, PageOutcome};
 use strtaint_grammar::Budget;
 
 fn bench_check(c: &mut Criterion) {
@@ -88,6 +94,25 @@ fn bench_check(c: &mut Criterion) {
                 }
             }
             std::hint::black_box(findings)
+        })
+    });
+    // Warm-daemon replay: the daemon analyzes every page once during
+    // setup; the measured region re-requests the unchanged pages and
+    // must serve them all from resident verdicts.
+    let daemon = DaemonState::new(app.vfs.clone(), config.clone(), None);
+    let daemon_config = daemon.base_config().clone();
+    for e in app.entry_refs() {
+        daemon.analyze_page(e, false, &daemon_config);
+    }
+    group.bench_function(format!("daemon-warm/{pages}pages"), |b| {
+        b.iter(|| {
+            let mut replayed = 0usize;
+            for e in app.entry_refs() {
+                let (page, outcome) = daemon.analyze_page(e, false, &daemon_config);
+                assert_eq!(outcome, PageOutcome::Replayed, "warm daemon must replay");
+                replayed += usize::from(page.get("entry").is_some());
+            }
+            std::hint::black_box(replayed)
         })
     });
     group.finish();

@@ -32,6 +32,38 @@ pub enum CheckKind {
     BudgetExhausted,
 }
 
+impl CheckKind {
+    /// Stable rule identifier, shared by the SARIF renderer and the
+    /// daemon's serialized verdicts. A compatibility surface: adding a
+    /// variant adds an id, existing ids never change meaning.
+    pub fn rule_id(self) -> &'static str {
+        match self {
+            CheckKind::OddQuotes => "strtaint/odd-quotes",
+            CheckKind::EscapesLiteral => "strtaint/escapes-literal",
+            CheckKind::AttackString => "strtaint/attack-string",
+            CheckKind::NotDerivable => "strtaint/not-derivable",
+            CheckKind::GluedContext => "strtaint/glued-context",
+            CheckKind::Unresolved => "strtaint/unresolved",
+            CheckKind::BudgetExhausted => "strtaint/budget-exhausted",
+        }
+    }
+
+    /// Inverse of [`CheckKind::rule_id`]; `None` for unknown ids
+    /// (version-skewed or corrupt artifacts — treat as invalid).
+    pub fn from_rule_id(id: &str) -> Option<CheckKind> {
+        Some(match id {
+            "strtaint/odd-quotes" => CheckKind::OddQuotes,
+            "strtaint/escapes-literal" => CheckKind::EscapesLiteral,
+            "strtaint/attack-string" => CheckKind::AttackString,
+            "strtaint/not-derivable" => CheckKind::NotDerivable,
+            "strtaint/glued-context" => CheckKind::GluedContext,
+            "strtaint/unresolved" => CheckKind::Unresolved,
+            "strtaint/budget-exhausted" => CheckKind::BudgetExhausted,
+            _ => return None,
+        })
+    }
+}
+
 impl fmt::Display for CheckKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! strtaint [OPTIONS] <PROJECT_DIR> <ENTRY.php>...
+//! strtaint serve --dir <PROJECT_DIR> [serve options]
 //!
 //! OPTIONS:
 //!   --xss           run the XSS checker instead of the SQLCIV checker
@@ -20,10 +21,16 @@
 //!                   lower every file per page instead of sharing one
 //!                   AST→IR summary cache across entries (escape hatch
 //!                   for isolating cache bugs; results are identical)
-//!   --stats         print aggregate intersection-engine counters
-//!                   (queries, normalizations saved, realized triples,
-//!                   early exits) after the text report
+//!   --stats         print one table of engine and summary-cache
+//!                   counters (intersection queries, normalizations
+//!                   saved, realized triples, early exits, cache
+//!                   hits/misses) after the text report, or a "stats"
+//!                   member in --json output
 //! ```
+//!
+//! `strtaint serve` starts the persistent incremental-analysis daemon
+//! (see `strtaint-daemon`); run `strtaint serve --help` for its flags
+//! and wire protocol.
 //!
 //! Exit code: 0 = verified, 1 = findings reported (including
 //! budget-exhaustion findings: a degraded run exits 1, it never
@@ -34,12 +41,13 @@ use std::process::ExitCode;
 
 use strtaint::{
     analyze_page_cached, analyze_page_with, analyze_page_xss, analyze_page_xss_cached, Checker,
-    Config, PageReport, SummaryCache, Vfs,
+    Config, EngineStats, PageReport, SummaryCache, Vfs,
 };
 
 const USAGE: &str = "usage: strtaint [--xss] [--slice] [--json] [--sarif] \
                      [--include SITE=FILE] [--timeout SECS] [--fuel N] \
-                     [--no-summary-cache] [--stats] <dir> <entry.php>...";
+                     [--no-summary-cache] [--stats] <dir> <entry.php>...\n\
+                     \x20      strtaint serve --dir <dir> [options]";
 
 struct Options {
     xss: bool,
@@ -53,6 +61,28 @@ struct Options {
     includes: Vec<(String, String)>,
     timeout: Option<std::time::Duration>,
     fuel: Option<u64>,
+}
+
+/// The unified `--stats` table: aggregate intersection-engine counters
+/// plus the AST→IR summary-cache counters from the same run.
+struct RunStats {
+    engine: EngineStats,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl RunStats {
+    fn rows(&self) -> [(&'static str, u64); 7] {
+        [
+            ("engine.queries", self.engine.queries),
+            ("engine.normalizations", self.engine.normalizations),
+            ("engine.normalizations_saved", self.engine.normalizations_saved),
+            ("engine.realized_triples", self.engine.realized_triples),
+            ("engine.early_exits", self.engine.early_exits),
+            ("summary_cache.hits", self.cache_hits),
+            ("summary_cache.misses", self.cache_misses),
+        ]
+    }
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -135,7 +165,7 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-fn emit_json(reports: &[PageReport]) {
+fn emit_json(reports: &[PageReport], stats: Option<&RunStats>) {
     println!("{{\"pages\": [");
     for (pi, p) in reports.iter().enumerate() {
         println!("  {{");
@@ -202,24 +232,26 @@ fn emit_json(reports: &[PageReport]) {
         println!("    ]");
         println!("  }}{}", if pi + 1 < reports.len() { "," } else { "" });
     }
-    println!("]}}");
+    match stats {
+        None => println!("]}}"),
+        Some(s) => {
+            println!("],");
+            println!("\"stats\": {{");
+            let rows = s.rows();
+            for (i, (name, value)) in rows.iter().enumerate() {
+                println!(
+                    "  \"{name}\": {value}{}",
+                    if i + 1 < rows.len() { "," } else { "" }
+                );
+            }
+            println!("}}}}");
+        }
+    }
 }
 
 /// Minimal SARIF 2.1.0 writer (one run, one result per finding) so
 /// findings annotate pull requests in standard CI tooling.
 fn emit_sarif(reports: &[PageReport]) {
-    let rule_id = |kind: &strtaint::CheckKind| -> &'static str {
-        use strtaint::CheckKind::*;
-        match kind {
-            OddQuotes => "strtaint/odd-quotes",
-            EscapesLiteral => "strtaint/escapes-literal",
-            AttackString => "strtaint/attack-string",
-            NotDerivable => "strtaint/not-derivable",
-            GluedContext => "strtaint/glued-context",
-            Unresolved => "strtaint/unresolved",
-            BudgetExhausted => "strtaint/budget-exhausted",
-        }
-    };
     println!("{{");
     println!("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",");
     println!("  \"version\": \"2.1.0\",");
@@ -240,7 +272,7 @@ fn emit_sarif(reports: &[PageReport]) {
                 .unwrap_or_default()
         );
         println!("      {{");
-        println!("        \"ruleId\": \"{}\",", rule_id(&f.kind));
+        println!("        \"ruleId\": \"{}\",", f.kind.rule_id());
         println!("        \"level\": \"error\",");
         println!(
             "        \"message\": {{\"text\": \"{}\"}},",
@@ -263,6 +295,12 @@ fn emit_sarif(reports: &[PageReport]) {
 }
 
 fn main() -> ExitCode {
+    // Subcommand routing: `strtaint serve ...` starts the daemon.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("serve") {
+        return ExitCode::from(strtaint_daemon::cli_serve(&raw[1..]) as u8);
+    }
+
     let opts = match parse_args() {
         Ok(o) => o,
         Err(msg) => {
@@ -318,10 +356,22 @@ fn main() -> ExitCode {
         }
     }
 
+    let run_stats = opts.stats.then(|| {
+        let mut engine = EngineStats::default();
+        for r in &reports {
+            engine.merge(&r.engine_stats());
+        }
+        RunStats {
+            engine,
+            cache_hits: summaries.hits(),
+            cache_misses: summaries.misses(),
+        }
+    });
+
     if opts.sarif {
         emit_sarif(&reports);
     } else if opts.json {
-        emit_json(&reports);
+        emit_json(&reports, run_stats.as_ref());
     } else {
         // Degradations are rendered by the PageReport/HotspotReport
         // Display impls (`~ degraded:` lines).
@@ -344,12 +394,12 @@ fn main() -> ExitCode {
                  results are conservative, not complete."
             );
         }
-        if opts.stats {
-            let mut engine = strtaint::EngineStats::default();
-            for r in &reports {
-                engine.merge(&r.engine_stats());
+        if let Some(s) = &run_stats {
+            println!("stats:");
+            let width = s.rows().iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+            for (name, value) in s.rows() {
+                println!("  {name:<width$}  {value}");
             }
-            println!("engine: {engine}");
         }
     }
     if any_findings {

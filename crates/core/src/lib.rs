@@ -171,6 +171,7 @@ pub fn analyze_page_cached(
         warnings: analysis.warnings,
         unmodeled: analysis.unmodeled.into_iter().collect(),
         files_analyzed: analysis.files_analyzed,
+        inputs: analysis.inputs.into_iter().collect(),
         degradations: analysis.degradations,
         skipped: None,
     })
@@ -252,6 +253,7 @@ pub fn analyze_page_xss_cached(
         warnings: analysis.warnings,
         unmodeled: analysis.unmodeled.into_iter().collect(),
         files_analyzed: analysis.files_analyzed,
+        inputs: analysis.inputs.into_iter().collect(),
         degradations: analysis.degradations,
         skipped: None,
     })

@@ -30,6 +30,13 @@ pub struct PageReport {
     pub unmodeled: Vec<String>,
     /// Files traversed (recounting repeated includes).
     pub files_analyzed: usize,
+    /// Distinct files whose contents the analysis read (entry plus
+    /// every resolved include), sorted. This is the page's transitive
+    /// input set — what the daemon's verdict cache keys replay on.
+    /// Empty for skipped pages. Under `Config::backward_slice` the
+    /// relevance pre-pass reads the whole tree, so consumers must widen
+    /// this to every project file.
+    pub inputs: Vec<String>,
     /// Precision losses from budget trips during grammar construction
     /// (hotspot-level losses live on each [`HotspotReport`]).
     pub degradations: Vec<Degradation>,
@@ -56,6 +63,7 @@ impl PageReport {
             warnings: vec![reason.clone()],
             unmodeled: Vec::new(),
             files_analyzed: 0,
+            inputs: Vec::new(),
             degradations: Vec::new(),
             skipped: Some(reason),
         }

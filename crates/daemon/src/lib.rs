@@ -1,0 +1,46 @@
+//! `strtaint serve`: a persistent incremental-analysis daemon for
+//! **strtaint** with an on-disk artifact cache (DESIGN.md §5d).
+//!
+//! The batch CLI pays the full cost of every run: load the tree, lower
+//! every file, build and prepare every grammar, answer every Bar-Hillel
+//! intersection query. This crate keeps all of that *resident* in a
+//! long-running process — the [`Vfs`](strtaint::Vfs), the AST→IR
+//! [`SummaryCache`](strtaint::SummaryCache), the prepared reference
+//! automata — and re-checks only pages whose transitive inputs changed.
+//!
+//! The moving parts:
+//!
+//! - [`state::DaemonState`] — the resident state and the incremental
+//!   driver. Every verdict carries its freshness evidence (content hash
+//!   of each input file, the project path-set digest, the full config
+//!   fingerprint); replay happens only when all of it matches the live
+//!   tree, so a replayed answer is byte-identical to what re-analysis
+//!   would produce.
+//! - [`store::ArtifactStore`] — the versioned on-disk cache under
+//!   `.strtaint-cache/`. Advisory by construction: entries are written
+//!   atomically, re-validated on every load, and dropped (never
+//!   trusted) on any corruption or version mismatch. A cold daemon
+//!   start over an unchanged tree replays stored verdicts with zero
+//!   new intersection queries.
+//! - [`protocol`] — newline-delimited JSON requests (`analyze`,
+//!   `invalidate`, `status`, `shutdown`) and their responses.
+//! - [`server`] — the transports: stdin/stdout line loop and a
+//!   concurrent Unix-socket listener, plus the `strtaint serve` flag
+//!   parsing ([`server::cli_serve`]).
+//! - [`json`] — a dependency-free JSON parser and deterministic writer
+//!   whose output is a fixpoint of its parser (the property replay
+//!   byte-identity rests on).
+
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod state;
+pub mod store;
+pub mod verdict;
+
+pub use server::{cli_serve, serve_lines, ServeOptions};
+pub use state::{DaemonState, PageOutcome};
+pub use store::ArtifactStore;

@@ -1,0 +1,289 @@
+//! The daemon's wire protocol: newline-delimited JSON requests and
+//! responses, transport-agnostic.
+//!
+//! One request per line, one response line per request, in order.
+//! Commands:
+//!
+//! | request | response |
+//! |---|---|
+//! | `{"cmd":"analyze","entries":[…],"xss"?,"timeout_ms"?,"fuel"?}` | `{"ok":true,"pages":[…],"computed":n,"replayed":n}` |
+//! | `{"cmd":"invalidate","path":…,"contents"?}` | `{"ok":true,"changed":bool}` (`contents` absent = remove) |
+//! | `{"cmd":"status"}` | `{"ok":true,"engine":{…},"summary_cache":{…},"store":{…},…}` |
+//! | `{"cmd":"shutdown"}` | `{"ok":true,"shutdown":true}`, then the server exits |
+//!
+//! Malformed input never kills the daemon: every failure is an
+//! `{"ok":false,"error":…}` response on the same line slot.
+
+use std::sync::atomic::Ordering;
+
+use crate::json::{self, Json};
+use crate::state::{DaemonState, PageOutcome};
+
+/// The result of handling one request line.
+#[derive(Debug)]
+pub struct Handled {
+    /// The response to write back (always exactly one line).
+    pub response: Json,
+    /// `true` when the request asked the server to stop.
+    pub shutdown: bool,
+}
+
+fn error(message: impl Into<String>) -> Handled {
+    Handled {
+        response: Json::obj(vec![
+            ("ok", Json::Bool(false)),
+            ("error", Json::Str(message.into())),
+        ]),
+        shutdown: false,
+    }
+}
+
+fn ok(mut members: Vec<(&str, Json)>) -> Json {
+    members.insert(0, ("ok", Json::Bool(true)));
+    Json::obj(members)
+}
+
+/// Handles one request line against the resident state, returning the
+/// response line. Never panics on malformed input.
+pub fn handle_line(state: &DaemonState, line: &str) -> Handled {
+    state.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let request = match json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return error(format!("invalid JSON: {e}")),
+    };
+    let cmd = match request.get("cmd").and_then(Json::as_str) {
+        Some(c) => c.to_owned(),
+        None => return error("missing \"cmd\""),
+    };
+    match cmd.as_str() {
+        "analyze" => handle_analyze(state, &request),
+        "invalidate" => handle_invalidate(state, &request),
+        "status" => handle_status(state),
+        "shutdown" => Handled {
+            response: ok(vec![("shutdown", Json::Bool(true))]),
+            shutdown: true,
+        },
+        other => error(format!("unknown cmd {other:?}")),
+    }
+}
+
+fn handle_analyze(state: &DaemonState, request: &Json) -> Handled {
+    let entries: Vec<String> = match request.get("entries").and_then(Json::as_arr) {
+        Some(arr) => {
+            let mut out = Vec::with_capacity(arr.len());
+            for e in arr {
+                match e.as_str() {
+                    Some(s) => out.push(s.to_owned()),
+                    None => return error("\"entries\" must be an array of strings"),
+                }
+            }
+            out
+        }
+        None => return error("\"analyze\" needs \"entries\": [paths]"),
+    };
+    let xss = request.get("xss").and_then(Json::as_bool).unwrap_or(false);
+    let timeout_ms = request.get("timeout_ms").and_then(Json::as_num);
+    let fuel = request.get("fuel").and_then(Json::as_num);
+    let config = state.effective_config(timeout_ms, fuel);
+
+    let mut pages = Vec::with_capacity(entries.len());
+    let mut computed = 0u64;
+    let mut replayed = 0u64;
+    for entry in &entries {
+        // Each page runs with a fresh `Budget` derived from `config`
+        // inside the engine; hotspots within a page fan out onto the
+        // parallel hotspot pool as in batch mode.
+        let (page, outcome) = state.analyze_page(entry, xss, &config);
+        match outcome {
+            PageOutcome::Computed => computed += 1,
+            PageOutcome::Replayed => replayed += 1,
+        }
+        pages.push(page);
+    }
+    Handled {
+        response: ok(vec![
+            ("pages", Json::Arr(pages)),
+            ("computed", Json::Num(computed as f64)),
+            ("replayed", Json::Num(replayed as f64)),
+        ]),
+        shutdown: false,
+    }
+}
+
+fn handle_invalidate(state: &DaemonState, request: &Json) -> Handled {
+    let path = match request.get("path").and_then(Json::as_str) {
+        Some(p) => p.to_owned(),
+        None => return error("\"invalidate\" needs \"path\""),
+    };
+    let contents = match request.get("contents") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(s)) => Some(s.clone().into_bytes()),
+        Some(_) => return error("\"contents\" must be a string (or absent to remove)"),
+    };
+    let changed = state.invalidate(&path, contents);
+    Handled {
+        response: ok(vec![("changed", Json::Bool(changed))]),
+        shutdown: false,
+    }
+}
+
+fn handle_status(state: &DaemonState) -> Handled {
+    let engine = state.engine_stats();
+    let summaries = state.summaries();
+    let (files, lines) = state.tree_size();
+    let mut members = vec![
+        (
+            "engine",
+            Json::obj(vec![
+                ("queries", Json::Num(engine.queries as f64)),
+                ("normalizations", Json::Num(engine.normalizations as f64)),
+                (
+                    "normalizations_saved",
+                    Json::Num(engine.normalizations_saved as f64),
+                ),
+                ("realized_triples", Json::Num(engine.realized_triples as f64)),
+                ("early_exits", Json::Num(engine.early_exits as f64)),
+            ]),
+        ),
+        (
+            "summary_cache",
+            Json::obj(vec![
+                ("hits", Json::Num(summaries.hits() as f64)),
+                ("misses", Json::Num(summaries.misses() as f64)),
+                ("entries", Json::Num(summaries.len() as f64)),
+            ]),
+        ),
+        (
+            "pages_computed",
+            Json::Num(state.counters.pages_computed.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "pages_replayed",
+            Json::Num(state.counters.pages_replayed.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "requests",
+            Json::Num(state.counters.requests.load(Ordering::Relaxed) as f64),
+        ),
+        ("files", Json::Num(files as f64)),
+        ("lines", Json::Num(lines as f64)),
+    ];
+    if let Some(store) = state.store() {
+        members.push((
+            "store",
+            Json::obj(vec![
+                (
+                    "loaded",
+                    Json::Num(store.stats.loaded.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "stored",
+                    Json::Num(store.stats.stored.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "dropped",
+                    Json::Num(store.stats.dropped.load(Ordering::Relaxed) as f64),
+                ),
+            ]),
+        ));
+    }
+    Handled {
+        response: ok(members),
+        shutdown: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strtaint::{Config, Vfs};
+
+    fn state() -> DaemonState {
+        let mut vfs = Vfs::new();
+        // Tainted: guarantees at least one intersection query runs.
+        vfs.add(
+            "a.php",
+            "<?php $id = $_GET['id']; \
+             $r = $DB->query(\"SELECT * FROM t WHERE id='$id'\");",
+        );
+        DaemonState::new(vfs, Config::default(), None)
+    }
+
+    fn roundtrip(state: &DaemonState, line: &str) -> Json {
+        handle_line(state, line).response
+    }
+
+    #[test]
+    fn malformed_lines_become_errors_not_panics() {
+        let s = state();
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            "{\"cmd\":\"frobnicate\"}",
+            "{\"cmd\":\"analyze\"}",
+            "{\"cmd\":\"analyze\",\"entries\":[1]}",
+            "{\"cmd\":\"invalidate\"}",
+            "{\"cmd\":\"invalidate\",\"path\":\"a\",\"contents\":7}",
+        ] {
+            let r = roundtrip(&s, bad);
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false), "{bad}");
+            assert!(r.get("error").and_then(Json::as_str).is_some(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn analyze_then_status_reports_the_work() {
+        let s = state();
+        let r = roundtrip(&s, "{\"cmd\":\"analyze\",\"entries\":[\"a.php\"]}");
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(r.get("computed").and_then(Json::as_num), Some(1.0));
+        assert_eq!(r.get("replayed").and_then(Json::as_num), Some(0.0));
+        let pages = r.get("pages").and_then(Json::as_arr).expect("pages");
+        assert_eq!(pages.len(), 1);
+        assert_eq!(
+            pages[0].get("entry").and_then(Json::as_str),
+            Some("a.php")
+        );
+
+        let st = roundtrip(&s, "{\"cmd\":\"status\"}");
+        assert_eq!(st.get("pages_computed").and_then(Json::as_num), Some(1.0));
+        let engine = st.get("engine").expect("engine stats");
+        assert!(engine.get("queries").and_then(Json::as_num).unwrap_or(0.0) >= 1.0);
+
+        // Replay adds no engine work.
+        let r2 = roundtrip(&s, "{\"cmd\":\"analyze\",\"entries\":[\"a.php\"]}");
+        assert_eq!(r2.get("replayed").and_then(Json::as_num), Some(1.0));
+        let st2 = roundtrip(&s, "{\"cmd\":\"status\"}");
+        assert_eq!(
+            st2.get("engine").and_then(|e| e.get("queries")).and_then(Json::as_num),
+            st.get("engine").and_then(|e| e.get("queries")).and_then(Json::as_num),
+            "replay performs zero intersection queries"
+        );
+    }
+
+    #[test]
+    fn invalidate_applies_deltas() {
+        let s = state();
+        let r = roundtrip(
+            &s,
+            "{\"cmd\":\"invalidate\",\"path\":\"b.php\",\"contents\":\"<?php ?>\"}",
+        );
+        assert_eq!(r.get("changed").and_then(Json::as_bool), Some(true));
+        let st = roundtrip(&s, "{\"cmd\":\"status\"}");
+        assert_eq!(st.get("files").and_then(Json::as_num), Some(2.0));
+        // Removal via absent contents.
+        let r2 = roundtrip(&s, "{\"cmd\":\"invalidate\",\"path\":\"b.php\"}");
+        assert_eq!(r2.get("changed").and_then(Json::as_bool), Some(true));
+        let st2 = roundtrip(&s, "{\"cmd\":\"status\"}");
+        assert_eq!(st2.get("files").and_then(Json::as_num), Some(1.0));
+    }
+
+    #[test]
+    fn shutdown_flags_the_server() {
+        let s = state();
+        let h = handle_line(&s, "{\"cmd\":\"shutdown\"}");
+        assert!(h.shutdown);
+        assert_eq!(h.response.get("ok").and_then(Json::as_bool), Some(true));
+    }
+}

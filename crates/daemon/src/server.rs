@@ -1,0 +1,386 @@
+//! Transports for the daemon: a line loop over any reader/writer pair
+//! (used for stdin/stdout), and a Unix-socket listener that serves
+//! concurrent connections against the same resident state.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use strtaint::{Config, Vfs};
+
+use crate::protocol::handle_line;
+use crate::state::DaemonState;
+use crate::store::ArtifactStore;
+
+/// Serves newline-delimited JSON requests from `input`, writing one
+/// response line per request to `output`. Returns `Ok(true)` when the
+/// client requested shutdown, `Ok(false)` on EOF.
+pub fn serve_lines<R, W>(state: &DaemonState, input: R, mut output: W) -> io::Result<bool>
+where
+    R: BufRead,
+    W: Write,
+{
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let handled = handle_line(state, &line);
+        let mut response = String::new();
+        handled.response.write(&mut response);
+        response.push('\n');
+        output.write_all(response.as_bytes())?;
+        output.flush()?;
+        if handled.shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Serves connections on a Unix-domain socket until any client sends
+/// `shutdown`. Each connection gets its own thread; all of them share
+/// `state`, so concurrent `analyze` requests batch onto the same
+/// summary cache, prepared grammars, and hotspot worker pool.
+///
+/// Shutdown is graceful: in-flight connections drain (the listener
+/// stops accepting, but existing clients are served until they close
+/// their end), so no request is ever cut off mid-response.
+#[cfg(unix)]
+pub fn serve_socket(state: &DaemonState, socket_path: &Path) -> io::Result<()> {
+    use std::os::unix::net::{UnixListener, UnixStream};
+
+    // A stale socket file from a previous run would make bind fail.
+    let _ = std::fs::remove_file(socket_path);
+    let listener = UnixListener::bind(socket_path)?;
+    let shutdown = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for conn in listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let conn = match conn {
+                Ok(c) => c,
+                Err(_) => continue,
+            };
+            let shutdown = &shutdown;
+            scope.spawn(move || {
+                let reader = BufReader::new(match conn.try_clone() {
+                    Ok(c) => c,
+                    Err(_) => return,
+                });
+                if let Ok(true) = serve_lines(state, reader, &conn) {
+                    shutdown.store(true, Ordering::SeqCst);
+                    // Unblock the accept loop so the scope can close.
+                    let _ = UnixStream::connect(socket_path);
+                }
+            });
+        }
+    });
+
+    let _ = std::fs::remove_file(socket_path);
+    Ok(())
+}
+
+/// Options parsed from `strtaint serve` flags.
+#[derive(Debug)]
+pub struct ServeOptions {
+    /// Project root to load into the resident [`Vfs`].
+    pub dir: PathBuf,
+    /// When set, serve a Unix socket at this path instead of stdio.
+    pub socket: Option<PathBuf>,
+    /// Artifact-store root; default `<dir>/.strtaint-cache`.
+    pub cache_dir: PathBuf,
+    /// Disable the on-disk store entirely (memory-only daemon).
+    pub no_disk_cache: bool,
+    /// Base per-page wall-clock budget in milliseconds.
+    pub timeout_ms: Option<f64>,
+    /// Base per-page fuel budget.
+    pub fuel: Option<f64>,
+}
+
+impl ServeOptions {
+    /// Parses the argument list after `serve`. Returns a usage message
+    /// on any unrecognized or incomplete flag.
+    pub fn parse(args: &[String]) -> Result<ServeOptions, String> {
+        let mut dir: Option<PathBuf> = None;
+        let mut socket = None;
+        let mut cache_dir: Option<PathBuf> = None;
+        let mut no_disk_cache = false;
+        let mut timeout_ms = None;
+        let mut fuel = None;
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |flag: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match arg.as_str() {
+                "--dir" => dir = Some(PathBuf::from(value("--dir")?)),
+                "--socket" => socket = Some(PathBuf::from(value("--socket")?)),
+                "--cache-dir" => cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+                "--no-disk-cache" => no_disk_cache = true,
+                "--timeout-ms" => {
+                    timeout_ms = Some(
+                        value("--timeout-ms")?
+                            .parse::<f64>()
+                            .map_err(|e| format!("--timeout-ms: {e}"))?,
+                    )
+                }
+                "--fuel" => {
+                    fuel = Some(
+                        value("--fuel")?
+                            .parse::<f64>()
+                            .map_err(|e| format!("--fuel: {e}"))?,
+                    )
+                }
+                other => return Err(format!("unknown flag {other:?} (see `strtaint serve --help`)")),
+            }
+        }
+        let dir = dir.ok_or("serve needs --dir <project-root>")?;
+        let cache_dir = cache_dir.unwrap_or_else(|| dir.join(".strtaint-cache"));
+        Ok(ServeOptions {
+            dir,
+            socket,
+            cache_dir,
+            no_disk_cache,
+            timeout_ms,
+            fuel,
+        })
+    }
+}
+
+/// Builds the resident state for `opts`: loads the tree, applies base
+/// budget overrides, and opens the artifact store (falling back to a
+/// memory-only daemon, with a warning on `stderr`, when the store
+/// directory cannot be created).
+pub fn build_state(opts: &ServeOptions) -> io::Result<Arc<DaemonState>> {
+    let vfs = Vfs::from_dir(&opts.dir)?;
+    let mut config = Config::default();
+    if let Some(ms) = opts.timeout_ms {
+        if ms.is_finite() && ms > 0.0 {
+            config.timeout = Some(std::time::Duration::from_secs_f64(ms / 1e3));
+        }
+    }
+    if let Some(fuel) = opts.fuel {
+        if fuel.is_finite() && fuel >= 1.0 {
+            config.fuel = Some(fuel as u64);
+        }
+    }
+    let store = if opts.no_disk_cache {
+        None
+    } else {
+        match ArtifactStore::open(&opts.cache_dir) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!(
+                    "strtaint serve: cannot open cache dir {}: {e}; running without persistence",
+                    opts.cache_dir.display()
+                );
+                None
+            }
+        }
+    };
+    Ok(Arc::new(DaemonState::new(vfs, config, store)))
+}
+
+/// Entry point for `strtaint serve <args>`. Returns the process exit
+/// code.
+pub fn cli_serve(args: &[String]) -> i32 {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{}", SERVE_USAGE);
+        return 0;
+    }
+    let opts = match ServeOptions::parse(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("strtaint serve: {e}\n{SERVE_USAGE}");
+            return 2;
+        }
+    };
+    let state = match build_state(&opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("strtaint serve: cannot load {}: {e}", opts.dir.display());
+            return 1;
+        }
+    };
+    let (files, lines) = state.tree_size();
+    eprintln!(
+        "strtaint serve: {files} files / {lines} lines resident; cache {}",
+        if state.store().is_some() {
+            opts.cache_dir.display().to_string()
+        } else {
+            "disabled".to_owned()
+        }
+    );
+
+    #[cfg(unix)]
+    if let Some(socket) = &opts.socket {
+        eprintln!("strtaint serve: listening on {}", socket.display());
+        return match serve_socket(&state, socket) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("strtaint serve: socket error: {e}");
+                1
+            }
+        };
+    }
+    #[cfg(not(unix))]
+    if opts.socket.is_some() {
+        eprintln!("strtaint serve: --socket is only supported on Unix");
+        return 2;
+    }
+
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    match serve_lines(&state, stdin.lock(), stdout.lock()) {
+        Ok(_) => 0,
+        Err(e) => {
+            eprintln!("strtaint serve: I/O error: {e}");
+            1
+        }
+    }
+}
+
+const SERVE_USAGE: &str = "usage: strtaint serve --dir <project-root> [options]
+  --dir <path>        project root to keep resident (required)
+  --socket <path>     serve a Unix socket instead of stdin/stdout
+  --cache-dir <path>  artifact store root (default <dir>/.strtaint-cache)
+  --no-disk-cache     keep all state in memory only
+  --timeout-ms <n>    base per-page wall-clock budget
+  --fuel <n>          base per-page fuel budget
+
+Protocol: one JSON request per input line, one JSON response per line.
+  {\"cmd\":\"analyze\",\"entries\":[\"index.php\"],\"xss\":false}
+  {\"cmd\":\"invalidate\",\"path\":\"lib.php\",\"contents\":\"<?php ...\"}
+  {\"cmd\":\"status\"}
+  {\"cmd\":\"shutdown\"}";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, Json};
+
+    fn state() -> DaemonState {
+        let mut vfs = Vfs::new();
+        vfs.add("a.php", "<?php $r = $DB->query(\"SELECT 1\");");
+        DaemonState::new(vfs, Config::default(), None)
+    }
+
+    #[test]
+    fn line_loop_answers_each_request_and_stops_on_shutdown() {
+        let s = state();
+        let input = "{\"cmd\":\"status\"}\n\n{\"cmd\":\"shutdown\"}\n{\"cmd\":\"status\"}\n";
+        let mut output = Vec::new();
+        let shut = serve_lines(&s, input.as_bytes(), &mut output).expect("serves");
+        assert!(shut, "shutdown honored");
+        let lines: Vec<&str> = std::str::from_utf8(&output)
+            .expect("utf8")
+            .lines()
+            .collect();
+        assert_eq!(lines.len(), 2, "blank line skipped, post-shutdown line unread");
+        let first = json::parse(lines[0]).expect("valid JSON response");
+        assert_eq!(first.get("ok").and_then(Json::as_bool), Some(true));
+        let second = json::parse(lines[1]).expect("valid JSON response");
+        assert_eq!(second.get("shutdown").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn eof_ends_the_loop_cleanly() {
+        let s = state();
+        let mut output = Vec::new();
+        let shut = serve_lines(&s, "{\"cmd\":\"status\"}\n".as_bytes(), &mut output)
+            .expect("serves");
+        assert!(!shut);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn socket_serves_concurrent_clients() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::os::unix::net::UnixStream;
+
+        let s = state();
+        let socket = std::env::temp_dir().join(format!(
+            "strtaint-daemon-test-{}.sock",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&socket);
+        std::thread::scope(|scope| {
+            let sock = socket.clone();
+            let s = &s;
+            let server = scope.spawn(move || serve_socket(s, &sock));
+            // Wait for the listener to come up.
+            let mut conn = None;
+            for _ in 0..100 {
+                match UnixStream::connect(&socket) {
+                    Ok(c) => {
+                        conn = Some(c);
+                        break;
+                    }
+                    Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+                }
+            }
+            let mut conn = conn.expect("socket comes up");
+            let mut conn2 = UnixStream::connect(&socket).expect("second client connects");
+
+            conn.write_all(b"{\"cmd\":\"analyze\",\"entries\":[\"a.php\"]}\n")
+                .expect("write");
+            let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read");
+            let r = json::parse(line.trim()).expect("valid response");
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+
+            conn2
+                .write_all(b"{\"cmd\":\"status\"}\n")
+                .expect("write 2");
+            let mut reader2 = BufReader::new(conn2.try_clone().expect("clone 2"));
+            let mut line2 = String::new();
+            reader2.read_line(&mut line2).expect("read 2");
+            let st = json::parse(line2.trim()).expect("valid status");
+            assert_eq!(st.get("pages_computed").and_then(Json::as_num), Some(1.0));
+
+            // Close the first client before shutdown: the server drains
+            // open connections (waits for their EOF) before exiting.
+            drop(reader);
+            drop(conn);
+            conn2
+                .write_all(b"{\"cmd\":\"shutdown\"}\n")
+                .expect("shutdown write");
+            line2.clear();
+            reader2.read_line(&mut line2).expect("shutdown ack");
+            drop(reader2);
+            drop(conn2);
+            server.join().expect("no panic").expect("clean exit");
+        });
+        assert!(!socket.exists(), "socket file cleaned up");
+    }
+
+    #[test]
+    fn serve_options_parse_and_reject() {
+        let opts = ServeOptions::parse(&[
+            "--dir".into(),
+            "/tmp/app".into(),
+            "--no-disk-cache".into(),
+            "--timeout-ms".into(),
+            "500".into(),
+        ])
+        .expect("parses");
+        assert_eq!(opts.dir, PathBuf::from("/tmp/app"));
+        assert!(opts.no_disk_cache);
+        assert_eq!(opts.timeout_ms, Some(500.0));
+        assert_eq!(opts.cache_dir, PathBuf::from("/tmp/app/.strtaint-cache"));
+
+        assert!(ServeOptions::parse(&[]).is_err(), "--dir required");
+        assert!(ServeOptions::parse(&["--dir".into()]).is_err(), "value required");
+        assert!(
+            ServeOptions::parse(&["--dir".into(), "x".into(), "--bogus".into()]).is_err(),
+            "unknown flags rejected"
+        );
+    }
+}

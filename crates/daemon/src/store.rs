@@ -1,0 +1,331 @@
+//! The on-disk artifact store (`.strtaint-cache/`).
+//!
+//! The store persists what the daemon would otherwise lose on exit:
+//! per-page **check verdicts** (so a cold start over an unchanged tree
+//! replays results instead of re-running Bar-Hillel queries) and the
+//! **file manifest** (the `path → content hash` index of the tree the
+//! verdicts were computed against, which doubles as the persisted view
+//! of the summary-cache key set — the IR summaries themselves are
+//! re-derived in milliseconds and are deliberately *not* serialized;
+//! see DESIGN.md §5d).
+//!
+//! Three invariants, in order of importance:
+//!
+//! 1. **Advisory, never authoritative.** Every load re-validates:
+//!    format version, engine version, config fingerprint, and content
+//!    hashes must all match the live state or the entry is dropped and
+//!    the analysis re-runs. A corrupt or stale cache can cost time,
+//!    never change a verdict.
+//! 2. **Atomic writes.** Artifacts are written to a unique temp file
+//!    in the same directory and `rename`d into place, so a crash
+//!    mid-write leaves either the old artifact or none — never a torn
+//!    one (and a torn one would fail validation anyway).
+//! 3. **Versioned.** [`FORMAT_VERSION`] gates the file syntax; the
+//!    engine version string gates everything semantic (grammar
+//!    construction, checker logic, hasher identity). Either mismatch
+//!    invalidates silently.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::{self, Json};
+
+/// Artifact file-format version. Bump on any change to the JSON shape.
+pub const FORMAT_VERSION: f64 = 1.0;
+
+/// The engine version stamped into artifacts: grammar construction,
+/// checking logic, and the (release-dependent) hasher all live in this
+/// workspace, so the package version is the right granularity.
+pub fn engine_version() -> &'static str {
+    concat!("strtaint-", env!("CARGO_PKG_VERSION"))
+}
+
+/// Counters describing the store's behavior this process lifetime,
+/// surfaced by the daemon's `status` request.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    /// Verdict artifacts successfully loaded and validated.
+    pub loaded: AtomicU64,
+    /// Verdict artifacts written.
+    pub stored: AtomicU64,
+    /// Artifacts dropped: unreadable, unparsable, version-mismatched,
+    /// or failing any validation check.
+    pub dropped: AtomicU64,
+}
+
+impl StoreStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A directory of validated, atomically-written JSON artifacts.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    root: PathBuf,
+    /// Load/store/drop counters (see [`StoreStats`]).
+    pub stats: StoreStats,
+    /// Distinguishes temp files written by concurrent daemons on the
+    /// same cache directory.
+    salt: u64,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) the store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the directory cannot be
+    /// created — the daemon then runs without persistence rather than
+    /// failing.
+    pub fn open(root: &Path) -> io::Result<ArtifactStore> {
+        fs::create_dir_all(root.join("verdicts"))?;
+        let salt = std::process::id() as u64;
+        Ok(ArtifactStore {
+            root: root.to_path_buf(),
+            stats: StoreStats::default(),
+            salt,
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn verdict_path(&self, key: u64) -> PathBuf {
+        self.root.join("verdicts").join(format!("{}.json", json::hex64(key)))
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.root.join("manifest.json")
+    }
+
+    /// Atomically writes `value` to `path` (same-directory temp +
+    /// rename). Failures are reported, not fatal: the store is a cache.
+    fn write_atomic(&self, path: &Path, value: &Json) -> io::Result<()> {
+        let mut body = String::new();
+        value.write(&mut body);
+        body.push('\n');
+        let tmp = path.with_extension(format!("tmp.{}", self.salt));
+        fs::write(&tmp, body.as_bytes())?;
+        match fs::rename(&tmp, path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Never leave temp litter behind a failed rename.
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Reads and parses an artifact file, enforcing the format-version
+    /// and engine-version headers. Any failure drops the artifact file
+    /// (best-effort) and returns `None` — a miss, never an error.
+    fn load_validated(&self, path: &Path) -> Option<Json> {
+        let bytes = fs::read(path).ok()?;
+        let parsed = std::str::from_utf8(&bytes)
+            .ok()
+            .and_then(|text| json::parse(text.trim_end()).ok());
+        let value = match parsed {
+            Some(v) => v,
+            None => {
+                self.drop_artifact(path);
+                return None;
+            }
+        };
+        let format_ok = value.get("format").and_then(Json::as_num) == Some(FORMAT_VERSION);
+        let engine_ok =
+            value.get("engine").and_then(Json::as_str) == Some(engine_version());
+        if !format_ok || !engine_ok {
+            self.drop_artifact(path);
+            return None;
+        }
+        Some(value)
+    }
+
+    /// Removes an invalid artifact so it is never re-examined.
+    fn drop_artifact(&self, path: &Path) {
+        StoreStats::bump(&self.stats.dropped);
+        let _ = fs::remove_file(path);
+    }
+
+    /// Wraps an artifact body with the version headers common to every
+    /// artifact kind.
+    fn with_headers(kind: &str, body: Vec<(String, Json)>) -> Json {
+        let mut members = vec![
+            ("format".to_owned(), Json::Num(FORMAT_VERSION)),
+            ("engine".to_owned(), Json::Str(engine_version().to_owned())),
+            ("kind".to_owned(), Json::Str(kind.to_owned())),
+        ];
+        members.extend(body);
+        Json::Obj(members)
+    }
+
+    /// Persists a verdict artifact under `key` (the verdict cache key
+    /// hash). `body` holds the kind-specific members.
+    pub fn put_verdict(&self, key: u64, body: Vec<(String, Json)>) {
+        let value = Self::with_headers("verdict", body);
+        if self.write_atomic(&self.verdict_path(key), &value).is_ok() {
+            StoreStats::bump(&self.stats.stored);
+        }
+    }
+
+    /// Loads the verdict artifact stored under `key`, if present and
+    /// well-formed (headers validated; semantic validation — hashes,
+    /// fingerprints — is the caller's job since it needs live state).
+    pub fn get_verdict(&self, key: u64) -> Option<Json> {
+        let path = self.verdict_path(key);
+        if !path.exists() {
+            return None;
+        }
+        let v = self.load_validated(&path)?;
+        if v.get("kind").and_then(Json::as_str) != Some("verdict") {
+            self.drop_artifact(&path);
+            return None;
+        }
+        StoreStats::bump(&self.stats.loaded);
+        Some(v)
+    }
+
+    /// Drops a stored verdict (used when semantic validation fails: the
+    /// artifact is well-formed but describes a tree or config we no
+    /// longer have).
+    pub fn invalidate_verdict(&self, key: u64) {
+        let path = self.verdict_path(key);
+        if path.exists() {
+            self.drop_artifact(&path);
+        }
+    }
+
+    /// Persists the file manifest: the `(path, content hash)` index of
+    /// the tree, i.e. the summary-cache key set at save time.
+    pub fn put_manifest(&self, files: &[(String, u64)], config_fp: u64) {
+        let entries: Vec<Json> = files
+            .iter()
+            .map(|(path, hash)| {
+                Json::obj(vec![
+                    ("path", Json::Str(path.clone())),
+                    ("hash", Json::Str(json::hex64(*hash))),
+                ])
+            })
+            .collect();
+        let value = Self::with_headers(
+            "manifest",
+            vec![
+                ("config_fp".to_owned(), Json::Str(json::hex64(config_fp))),
+                ("files".to_owned(), Json::Arr(entries)),
+            ],
+        );
+        let _ = self.write_atomic(&self.manifest_path(), &value);
+    }
+
+    /// Loads the file manifest, if present and well-formed: the
+    /// `(path, hash)` list plus the config fingerprint it was saved
+    /// under.
+    pub fn get_manifest(&self) -> Option<(Vec<(String, u64)>, u64)> {
+        let path = self.manifest_path();
+        if !path.exists() {
+            return None;
+        }
+        let v = self.load_validated(&path)?;
+        let valid = (|| {
+            if v.get("kind")?.as_str()? != "manifest" {
+                return None;
+            }
+            let config_fp = json::parse_hex64(v.get("config_fp")?.as_str()?)?;
+            let mut files = Vec::new();
+            for entry in v.get("files")?.as_arr()? {
+                let path = entry.get("path")?.as_str()?.to_owned();
+                let hash = json::parse_hex64(entry.get("hash")?.as_str()?)?;
+                files.push((path, hash));
+            }
+            Some((files, config_fp))
+        })();
+        if valid.is_none() {
+            self.drop_artifact(&path);
+        }
+        valid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> (PathBuf, ArtifactStore) {
+        let dir = std::env::temp_dir().join(format!(
+            "strtaint-store-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let store = ArtifactStore::open(&dir).expect("temp store opens");
+        (dir, store)
+    }
+
+    #[test]
+    fn verdict_roundtrip() {
+        let (dir, store) = temp_store("roundtrip");
+        store.put_verdict(
+            7,
+            vec![("entry".to_owned(), Json::Str("a.php".to_owned()))],
+        );
+        let v = store.get_verdict(7).expect("stored verdict loads");
+        assert_eq!(v.get("entry").and_then(Json::as_str), Some("a.php"));
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some("verdict"));
+        assert!(store.get_verdict(8).is_none(), "missing key is a miss");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corrupt_artifact_is_dropped_not_trusted() {
+        let (dir, store) = temp_store("corrupt");
+        store.put_verdict(1, vec![]);
+        let path = dir.join("verdicts").join(format!("{}.json", json::hex64(1)));
+        fs::write(&path, b"{\"format\": 1, truncated garba").expect("write garbage");
+        assert!(store.get_verdict(1).is_none());
+        assert!(!path.exists(), "corrupt artifact removed");
+        assert_eq!(store.stats.dropped.load(Ordering::Relaxed), 1);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn version_mismatch_invalidates() {
+        let (dir, store) = temp_store("version");
+        store.put_verdict(2, vec![]);
+        let path = dir.join("verdicts").join(format!("{}.json", json::hex64(2)));
+        // Rewrite with a future format version: must be dropped.
+        fs::write(
+            &path,
+            format!(
+                "{{\"format\":99,\"engine\":\"{}\",\"kind\":\"verdict\"}}",
+                engine_version()
+            ),
+        )
+        .expect("write");
+        assert!(store.get_verdict(2).is_none());
+        // And with a foreign engine version.
+        store.put_verdict(3, vec![]);
+        let path3 = dir.join("verdicts").join(format!("{}.json", json::hex64(3)));
+        fs::write(
+            &path3,
+            "{\"format\":1,\"engine\":\"strtaint-99.0.0\",\"kind\":\"verdict\"}",
+        )
+        .expect("write");
+        assert!(store.get_verdict(3).is_none());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let (dir, store) = temp_store("manifest");
+        assert!(store.get_manifest().is_none());
+        store.put_manifest(&[("a.php".to_owned(), 42), ("b.php".to_owned(), 7)], 99);
+        let (files, fp) = store.get_manifest().expect("manifest loads");
+        assert_eq!(fp, 99);
+        assert_eq!(files, vec![("a.php".to_owned(), 42), ("b.php".to_owned(), 7)]);
+        let _ = fs::remove_dir_all(dir);
+    }
+}

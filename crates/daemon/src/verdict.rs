@@ -1,0 +1,320 @@
+//! Verdict serialization: [`PageReport`] → JSON, and the artifact
+//! envelope the store persists around it.
+//!
+//! The page JSON produced by [`page_to_json`] is the *single* rendering
+//! used both for fresh responses and for replayed ones — a replay
+//! re-serializes the parsed artifact, and the JSON writer is a fixpoint
+//! of `parse` (see [`crate::json`]), so a warm daemon's response is
+//! byte-identical to the cold response the artifact was saved from.
+//!
+//! Replay soundness (DESIGN.md §5d): a stored verdict may substitute
+//! for a fresh analysis only when *all* of the following match the
+//! live state — the engine version and artifact format (checked by the
+//! store), the full config fingerprint, the content hash of every file
+//! the original analysis read, and the project path-set digest (dynamic
+//! include resolution reads the layout, so adding or removing *any*
+//! file conservatively invalidates every verdict). Under those
+//! equalities the original run and a hypothetical re-run are the same
+//! deterministic function of the same inputs, so replay returns exactly
+//! what re-analysis would.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use strtaint::{PageReport, Taint};
+
+use crate::json::{hex64, parse_hex64, Json};
+
+/// Computes the verdict cache key for one page analysis: entry path +
+/// checker mode + full config fingerprint. Tree state is deliberately
+/// *not* part of the key — a re-analysis after an edit overwrites the
+/// stale verdict in place.
+pub fn verdict_key(entry: &str, xss: bool, config_fp: u64) -> u64 {
+    let mut h = DefaultHasher::new();
+    entry.hash(&mut h);
+    xss.hash(&mut h);
+    config_fp.hash(&mut h);
+    h.finish()
+}
+
+/// Digest of the project's *path set* (names only, sorted — contents
+/// are covered per-dependency). Any file addition, removal, or rename
+/// changes this digest and conservatively invalidates every verdict,
+/// because dynamic include resolution intersects the layout.
+pub fn tree_digest<'a>(paths: impl Iterator<Item = &'a str>) -> u64 {
+    let mut h = DefaultHasher::new();
+    for p in paths {
+        p.hash(&mut h);
+    }
+    h.finish()
+}
+
+fn taint_str(t: Taint) -> &'static str {
+    match (t.is_direct(), t.is_indirect()) {
+        (true, true) => "direct+indirect",
+        (true, false) => "direct",
+        (false, true) => "indirect",
+        (false, false) => "none",
+    }
+}
+
+fn opt_str(v: Option<String>) -> Json {
+    v.map(Json::Str).unwrap_or(Json::Null)
+}
+
+/// Renders one [`PageReport`] as the protocol's page object. Everything
+/// the CLI's JSON renderer exposes is here, plus the engine counters
+/// and the transitive input list the daemon keys replay on.
+pub fn page_to_json(report: &PageReport) -> Json {
+    let hotspots: Vec<Json> = report
+        .hotspots
+        .iter()
+        .map(|(h, r)| {
+            let findings: Vec<Json> = r
+                .findings
+                .iter()
+                .map(|f| {
+                    Json::obj(vec![
+                        ("rule", Json::Str(f.kind.rule_id().to_owned())),
+                        ("source", Json::Str(f.name.clone())),
+                        ("taint", Json::Str(taint_str(f.taint).to_owned())),
+                        (
+                            "witness",
+                            opt_str(f.witness.as_deref().map(|w| {
+                                String::from_utf8_lossy(w).into_owned()
+                            })),
+                        ),
+                        (
+                            "example_query",
+                            opt_str(f.example_query.as_deref().map(|q| {
+                                String::from_utf8_lossy(q).into_owned()
+                            })),
+                        ),
+                        ("detail", Json::Str(f.detail.clone())),
+                        (
+                            "at",
+                            f.at.map(|(line, col)| {
+                                Json::Arr(vec![
+                                    Json::Num(f64::from(line)),
+                                    Json::Num(f64::from(col)),
+                                ])
+                            })
+                            .unwrap_or(Json::Null),
+                        ),
+                    ])
+                })
+                .collect();
+            let degradations: Vec<Json> = r
+                .degradations
+                .iter()
+                .map(|d| {
+                    Json::obj(vec![
+                        ("site", Json::Str(d.site.clone())),
+                        ("resource", Json::Str(d.resource.tag().to_owned())),
+                        ("action", Json::Str(d.action.tag().to_owned())),
+                    ])
+                })
+                .collect();
+            Json::obj(vec![
+                ("label", Json::Str(h.label.clone())),
+                ("file", Json::Str(h.file.clone())),
+                ("line", Json::Num(f64::from(h.span.line))),
+                ("col", Json::Num(f64::from(h.span.col))),
+                ("checked", Json::Num(r.checked as f64)),
+                ("verified", Json::Num(r.verified as f64)),
+                ("findings", Json::Arr(findings)),
+                ("degradations", Json::Arr(degradations)),
+                (
+                    "engine",
+                    Json::obj(vec![
+                        ("queries", Json::Num(r.engine.queries as f64)),
+                        ("normalizations", Json::Num(r.engine.normalizations as f64)),
+                        (
+                            "normalizations_saved",
+                            Json::Num(r.engine.normalizations_saved as f64),
+                        ),
+                        (
+                            "realized_triples",
+                            Json::Num(r.engine.realized_triples as f64),
+                        ),
+                        ("early_exits", Json::Num(r.engine.early_exits as f64)),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+
+    let page_degradations: Vec<Json> = report
+        .degradations
+        .iter()
+        .map(|d| {
+            Json::obj(vec![
+                ("site", Json::Str(d.site.clone())),
+                ("resource", Json::Str(d.resource.tag().to_owned())),
+                ("action", Json::Str(d.action.tag().to_owned())),
+            ])
+        })
+        .collect();
+
+    Json::obj(vec![
+        ("entry", Json::Str(report.entry.clone())),
+        ("verified", Json::Bool(report.is_verified())),
+        ("degraded", Json::Bool(report.is_degraded())),
+        ("skipped", opt_str(report.skipped.clone())),
+        (
+            "grammar_nonterminals",
+            Json::Num(report.grammar_nonterminals as f64),
+        ),
+        (
+            "grammar_productions",
+            Json::Num(report.grammar_productions as f64),
+        ),
+        (
+            "analysis_ms",
+            Json::Num(report.analysis_time.as_secs_f64() * 1e3),
+        ),
+        ("check_ms", Json::Num(report.check_time.as_secs_f64() * 1e3)),
+        ("files_analyzed", Json::Num(report.files_analyzed as f64)),
+        (
+            "inputs",
+            Json::Arr(report.inputs.iter().cloned().map(Json::Str).collect()),
+        ),
+        ("hotspots", Json::Arr(hotspots)),
+        ("degradations", Json::Arr(page_degradations)),
+        (
+            "warnings",
+            Json::Arr(report.warnings.iter().cloned().map(Json::Str).collect()),
+        ),
+        (
+            "unmodeled",
+            Json::Arr(report.unmodeled.iter().cloned().map(Json::Str).collect()),
+        ),
+    ])
+}
+
+/// A verdict held resident (and persisted): the rendered page object
+/// plus the freshness evidence replay is conditioned on.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// Page entry path (normalized).
+    pub entry: String,
+    /// Checker mode the verdict was computed under.
+    pub xss: bool,
+    /// Full config fingerprint at computation time.
+    pub config_fp: u64,
+    /// Path-set digest at computation time.
+    pub tree: u64,
+    /// `(path, content hash)` of every file the analysis read.
+    pub deps: Vec<(String, u64)>,
+    /// The rendered page object (the protocol's `pages[i]`).
+    pub page: Json,
+}
+
+impl Verdict {
+    /// The artifact body members (the store adds version headers).
+    pub fn to_artifact_body(&self) -> Vec<(String, Json)> {
+        let deps: Vec<Json> = self
+            .deps
+            .iter()
+            .map(|(path, hash)| {
+                Json::obj(vec![
+                    ("path", Json::Str(path.clone())),
+                    ("hash", Json::Str(hex64(*hash))),
+                ])
+            })
+            .collect();
+        vec![
+            ("entry".to_owned(), Json::Str(self.entry.clone())),
+            ("xss".to_owned(), Json::Bool(self.xss)),
+            ("config_fp".to_owned(), Json::Str(hex64(self.config_fp))),
+            ("tree".to_owned(), Json::Str(hex64(self.tree))),
+            ("deps".to_owned(), Json::Arr(deps)),
+            ("page".to_owned(), self.page.clone()),
+        ]
+    }
+
+    /// Reconstructs a verdict from a loaded artifact. `None` on any
+    /// missing or ill-typed member (a corrupt-but-parsable artifact —
+    /// the caller drops it).
+    pub fn from_artifact(v: &Json) -> Option<Verdict> {
+        let entry = v.get("entry")?.as_str()?.to_owned();
+        let xss = v.get("xss")?.as_bool()?;
+        let config_fp = parse_hex64(v.get("config_fp")?.as_str()?)?;
+        let tree = parse_hex64(v.get("tree")?.as_str()?)?;
+        let mut deps = Vec::new();
+        for d in v.get("deps")?.as_arr()? {
+            let path = d.get("path")?.as_str()?.to_owned();
+            let hash = parse_hex64(d.get("hash")?.as_str()?)?;
+            deps.push((path, hash));
+        }
+        let page = v.get("page")?.clone();
+        // The page object must at least identify the same entry — a
+        // artifact whose body disagrees with its own header is invalid.
+        if page.get("entry")?.as_str()? != entry {
+            return None;
+        }
+        Some(Verdict {
+            entry,
+            xss,
+            config_fp,
+            tree,
+            deps,
+            page,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_key_separates_modes_and_configs() {
+        assert_ne!(verdict_key("a.php", false, 1), verdict_key("a.php", true, 1));
+        assert_ne!(verdict_key("a.php", false, 1), verdict_key("a.php", false, 2));
+        assert_ne!(verdict_key("a.php", false, 1), verdict_key("b.php", false, 1));
+        assert_eq!(verdict_key("a.php", false, 1), verdict_key("a.php", false, 1));
+    }
+
+    #[test]
+    fn tree_digest_tracks_the_path_set() {
+        let d1 = tree_digest(["a.php", "b.php"].into_iter());
+        let d2 = tree_digest(["a.php"].into_iter());
+        let d3 = tree_digest(["a.php", "b.php"].into_iter());
+        assert_ne!(d1, d2);
+        assert_eq!(d1, d3);
+    }
+
+    #[test]
+    fn artifact_roundtrip() {
+        let v = Verdict {
+            entry: "a.php".into(),
+            xss: false,
+            config_fp: 11,
+            tree: 22,
+            deps: vec![("a.php".into(), 1), ("lib.php".into(), 2)],
+            page: Json::obj(vec![("entry", Json::Str("a.php".into()))]),
+        };
+        let body = v.to_artifact_body();
+        let artifact = Json::Obj(body);
+        let back = Verdict::from_artifact(&artifact).expect("roundtrips");
+        assert_eq!(back.entry, "a.php");
+        assert_eq!(back.config_fp, 11);
+        assert_eq!(back.tree, 22);
+        assert_eq!(back.deps, v.deps);
+    }
+
+    #[test]
+    fn mismatched_page_entry_is_rejected() {
+        let v = Verdict {
+            entry: "a.php".into(),
+            xss: false,
+            config_fp: 0,
+            tree: 0,
+            deps: vec![],
+            page: Json::obj(vec![("entry", Json::Str("OTHER.php".into()))]),
+        };
+        let artifact = Json::Obj(v.to_artifact_body());
+        assert!(Verdict::from_artifact(&artifact).is_none());
+    }
+}

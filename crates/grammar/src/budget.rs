@@ -43,13 +43,35 @@ pub enum Resource {
     GrammarSize,
 }
 
+impl Resource {
+    /// Stable machine-readable tag, used wherever a resource is
+    /// serialized (daemon verdict artifacts, JSON reports). Unlike
+    /// `Display` (free prose), tags are a compatibility surface: never
+    /// reuse or repurpose one.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Resource::Deadline => "deadline",
+            Resource::Fuel => "fuel",
+            Resource::GrammarSize => "grammar-size",
+        }
+    }
+
+    /// Inverse of [`Resource::tag`]; `None` for unknown tags (a
+    /// version-skewed or corrupted artifact — callers must treat the
+    /// record as invalid, not guess).
+    pub fn from_tag(tag: &str) -> Option<Resource> {
+        Some(match tag {
+            "deadline" => Resource::Deadline,
+            "fuel" => Resource::Fuel,
+            "grammar-size" => Resource::GrammarSize,
+            _ => return None,
+        })
+    }
+}
+
 impl fmt::Display for Resource {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Resource::Deadline => write!(f, "deadline"),
-            Resource::Fuel => write!(f, "fuel"),
-            Resource::GrammarSize => write!(f, "grammar-size"),
-        }
+        write!(f, "{}", self.tag())
     }
 }
 
@@ -81,6 +103,31 @@ pub enum DegradeAction {
     MarkedUnverified,
     /// A whole page was skipped (reported, never counted verified).
     SkippedPage,
+}
+
+impl DegradeAction {
+    /// Stable machine-readable tag for serialized degradations (daemon
+    /// verdict artifacts). Same compatibility contract as
+    /// [`Resource::tag`].
+    pub fn tag(self) -> &'static str {
+        match self {
+            DegradeAction::WidenedToAny => "widened-to-any",
+            DegradeAction::KeptUnrefined => "kept-unrefined",
+            DegradeAction::MarkedUnverified => "marked-unverified",
+            DegradeAction::SkippedPage => "skipped-page",
+        }
+    }
+
+    /// Inverse of [`DegradeAction::tag`]; `None` for unknown tags.
+    pub fn from_tag(tag: &str) -> Option<DegradeAction> {
+        Some(match tag {
+            "widened-to-any" => DegradeAction::WidenedToAny,
+            "kept-unrefined" => DegradeAction::KeptUnrefined,
+            "marked-unverified" => DegradeAction::MarkedUnverified,
+            "skipped-page" => DegradeAction::SkippedPage,
+            _ => return None,
+        })
+    }
 }
 
 impl fmt::Display for DegradeAction {

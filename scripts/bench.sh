@@ -1,9 +1,16 @@
 #!/usr/bin/env sh
 # Runs the cold-vs-warm summary-cache benchmark and the cold-vs-prepared
-# intersection-engine benchmark, and records the medians as JSON, so
-# cache- and engine-effectiveness regressions show up in review:
+# intersection-engine benchmark (including the warm-daemon replay row),
+# and records the medians as JSON, so cache- and engine-effectiveness
+# regressions show up in review:
 #
 #   sh scripts/bench.sh            # writes BENCH_analyze.json
+#
+# Fails loudly (exit 1) when the bench-name set produced by the bench
+# sources disagrees with the set recorded in the committed
+# BENCH_analyze.json — that means someone added/renamed a bench without
+# regenerating the results file. The file is still rewritten, so
+# committing the regenerated output clears the failure.
 #
 # Fully offline: the criterion harness is the in-tree shim under
 # vendor/criterion (median wall-clock over a fixed sample count).
@@ -12,11 +19,19 @@ set -eu
 cd "$(dirname "$0")/.."
 
 out=BENCH_analyze.json
+
+old_names=""
+if [ -f "$out" ]; then
+    old_names=$(sed -n 's/.*"name": "\([^"]*\)".*/\1/p' "$out" | sort)
+fi
+
 raw=$(
     cargo bench -p strtaint-bench --bench analyze 2>/dev/null | grep '^bench '
     cargo bench -p strtaint-bench --bench check 2>/dev/null | grep '^bench '
 )
 echo "$raw"
+
+new_names=$(echo "$raw" | awk '{print $2}' | sort)
 
 {
     printf '{\n  "bench": "analyze+check",\n  "results": [\n'
@@ -37,3 +52,13 @@ echo "$raw"
 } > "$out"
 
 echo "wrote $out"
+
+if [ -n "$old_names" ] && [ "$old_names" != "$new_names" ]; then
+    echo "error: bench-name set changed — the committed $out was stale." >&2
+    echo "       previously recorded:" >&2
+    echo "$old_names" | sed 's/^/         /' >&2
+    echo "       produced by the bench sources now:" >&2
+    echo "$new_names" | sed 's/^/         /' >&2
+    echo "       $out has been regenerated; commit the update." >&2
+    exit 1
+fi

@@ -1,0 +1,224 @@
+//! Durability round-trip for `strtaint serve` (DESIGN.md §5d): a cold
+//! daemon restart over an unchanged tree must replay the stored
+//! verdicts — byte-identical page JSON, zero new Bar-Hillel queries —
+//! and a corrupted artifact store must degrade to a clean re-run (same
+//! verdicts, only timing lost), never change an answer.
+
+use std::path::PathBuf;
+
+use strtaint_corpus::synth::{synth_app, SynthConfig};
+use strtaint_daemon::json::Json;
+use strtaint_daemon::protocol::handle_line;
+use strtaint_daemon::{ArtifactStore, DaemonState};
+use strtaint_corpus::App;
+
+fn small_app() -> App {
+    // Small enough for debug-profile tier-1, mixed safe/vulnerable.
+    synth_app(&SynthConfig {
+        pages: 4,
+        helpers: 3,
+        filler_lines: 4,
+        vuln_every: 2,
+        replace_chain: 0,
+        sinks_per_page: 1,
+        seed: 11,
+    })
+}
+
+fn temp_cache(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "strtaint-daemon-it-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn boot(app: &App, cache: &PathBuf) -> DaemonState {
+    let store = ArtifactStore::open(cache).expect("cache dir opens");
+    // Rebuild the tree from scratch each boot, as a restarted daemon
+    // would from disk.
+    DaemonState::new(app.vfs.clone(), strtaint::Config::default(), Some(store))
+}
+
+fn request(state: &DaemonState, line: &str) -> Json {
+    let handled = handle_line(state, line);
+    assert_eq!(
+        handled.response.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "request failed: {}",
+        handled.response.to_string()
+    );
+    handled.response
+}
+
+fn analyze_all(state: &DaemonState, app: &App) -> Json {
+    let entries: Vec<String> = app
+        .entries
+        .iter()
+        .map(|e| format!("\"{e}\""))
+        .collect();
+    request(
+        state,
+        &format!("{{\"cmd\":\"analyze\",\"entries\":[{}]}}", entries.join(",")),
+    )
+}
+
+/// The `pages` array serialized exactly as the wire writes it.
+fn pages_bytes(response: &Json) -> String {
+    let mut out = String::new();
+    response.get("pages").expect("pages member").write(&mut out);
+    out
+}
+
+fn num(v: &Json, key: &str) -> f64 {
+    v.get(key).and_then(Json::as_num).unwrap_or(f64::NAN)
+}
+
+fn engine_queries(status: &Json) -> f64 {
+    status
+        .get("engine")
+        .and_then(|e| e.get("queries"))
+        .and_then(Json::as_num)
+        .unwrap_or(f64::NAN)
+}
+
+#[test]
+fn cold_restart_replays_byte_identical_with_zero_new_queries() {
+    let app = small_app();
+    let cache = temp_cache("restart");
+    let n = app.entries.len() as f64;
+
+    // First daemon lifetime: everything computes.
+    let first = boot(&app, &cache);
+    let r1 = analyze_all(&first, &app);
+    assert_eq!(num(&r1, "computed"), n);
+    assert_eq!(num(&r1, "replayed"), 0.0);
+    let s1 = request(&first, "{\"cmd\":\"status\"}");
+    assert!(engine_queries(&s1) > 0.0, "cold run performs engine work");
+    let bytes1 = pages_bytes(&r1);
+    drop(first); // "kill" the daemon
+
+    // Second lifetime over the same cache and an unchanged tree.
+    let second = boot(&app, &cache);
+    let r2 = analyze_all(&second, &app);
+    assert_eq!(num(&r2, "replayed"), n, "warm start replays every page");
+    assert_eq!(num(&r2, "computed"), 0.0);
+    assert_eq!(pages_bytes(&r2), bytes1, "replayed report is byte-identical");
+
+    let s2 = request(&second, "{\"cmd\":\"status\"}");
+    assert_eq!(
+        engine_queries(&s2),
+        0.0,
+        "zero new Bar-Hillel queries on a warm restart"
+    );
+    let loaded = s2
+        .get("store")
+        .and_then(|s| s.get("loaded"))
+        .and_then(Json::as_num)
+        .unwrap_or(0.0);
+    assert_eq!(loaded, n, "every page came from the artifact store");
+
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn corrupt_cache_degrades_to_clean_rerun() {
+    let app = small_app();
+    let cache = temp_cache("corrupt");
+
+    let first = boot(&app, &cache);
+    let r1 = analyze_all(&first, &app);
+    drop(first);
+
+    // Truncate/garble every stored verdict.
+    let verdicts = cache.join("verdicts");
+    let mut mangled = 0;
+    for entry in std::fs::read_dir(&verdicts).expect("verdict dir") {
+        let path = entry.expect("dir entry").path();
+        let bytes = std::fs::read(&path).expect("readable artifact");
+        let mut garbage = bytes[..bytes.len() / 2].to_vec();
+        garbage.extend_from_slice(b"\x00\xffnot json");
+        std::fs::write(&path, garbage).expect("write garbage");
+        mangled += 1;
+    }
+    assert_eq!(mangled, app.entries.len(), "one artifact per page");
+
+    let second = boot(&app, &cache);
+    let r2 = analyze_all(&second, &app);
+    assert_eq!(
+        num(&r2, "computed"),
+        app.entries.len() as f64,
+        "corrupt artifacts are dropped, not trusted: everything recomputes"
+    );
+    let s2 = request(&second, "{\"cmd\":\"status\"}");
+    let dropped = s2
+        .get("store")
+        .and_then(|s| s.get("dropped"))
+        .and_then(Json::as_num)
+        .unwrap_or(0.0);
+    assert!(dropped >= mangled as f64, "mangled artifacts counted as dropped");
+
+    // Verdicts must agree with the original run on everything except
+    // timing (a re-run can't reproduce wall-clock measurements).
+    let p1 = r1.get("pages").and_then(Json::as_arr).expect("pages 1");
+    let p2 = r2.get("pages").and_then(Json::as_arr).expect("pages 2");
+    assert_eq!(p1.len(), p2.len());
+    for (a, b) in p1.iter().zip(p2) {
+        assert_eq!(
+            a.get("entry").and_then(Json::as_str),
+            b.get("entry").and_then(Json::as_str)
+        );
+        assert_eq!(
+            a.get("verified").and_then(Json::as_bool),
+            b.get("verified").and_then(Json::as_bool),
+            "verdict unchanged for {:?}",
+            a.get("entry")
+        );
+        let findings = |p: &Json| {
+            p.get("hotspots")
+                .and_then(Json::as_arr)
+                .map(|hs| {
+                    hs.iter()
+                        .map(|h| {
+                            h.get("findings")
+                                .and_then(Json::as_arr)
+                                .map(|fs| fs.len())
+                                .unwrap_or(0)
+                        })
+                        .sum::<usize>()
+                })
+                .unwrap_or(0)
+        };
+        assert_eq!(findings(a), findings(b), "findings unchanged");
+    }
+
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn editing_one_page_rechecks_only_that_page() {
+    let app = small_app();
+    let cache = temp_cache("delta");
+    let state = boot(&app, &cache);
+    analyze_all(&state, &app);
+
+    // Rewrite one page in place (same path set, new contents).
+    let target = &app.entries[0];
+    let edited = "<?php $id = $_GET['id']; \
+                  $r = $DB->query(\"SELECT x FROM y WHERE id='\" . $id . \"'\");";
+    let r = request(
+        &state,
+        &format!(
+            "{{\"cmd\":\"invalidate\",\"path\":\"{target}\",\"contents\":{}}}",
+            Json::Str(edited.to_owned()).to_string()
+        ),
+    );
+    assert_eq!(r.get("changed").and_then(Json::as_bool), Some(true));
+
+    let r2 = analyze_all(&state, &app);
+    assert_eq!(num(&r2, "computed"), 1.0, "only the edited page recomputes");
+    assert_eq!(num(&r2, "replayed"), (app.entries.len() - 1) as f64);
+
+    let _ = std::fs::remove_dir_all(&cache);
+}
