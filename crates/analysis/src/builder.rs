@@ -173,7 +173,10 @@ pub fn analyze_cached(
     em.cur_summary = summary.content_hash;
     em.files_analyzed += 1;
     em.inputs.insert(em.cur_file.clone());
-    em.register_functions(&summary.body);
-    em.emit_stmts(&summary.body, &mut env);
+    {
+        let _span = strtaint_obs::Span::enter("emit", entry);
+        em.register_functions(&summary.body);
+        em.emit_stmts(&summary.body, &mut env);
+    }
     Ok(em.into_analysis())
 }

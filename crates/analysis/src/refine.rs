@@ -117,6 +117,7 @@ impl Emitter<'_> {
         env: &mut Env,
         what: &str,
     ) {
+        let _span = strtaint_obs::Span::enter_with("refine", || what.to_owned());
         // Materialize superglobal reads so the refinement has a binding
         // to narrow.
         if env.get(key).is_none() {

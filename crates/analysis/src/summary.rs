@@ -88,6 +88,7 @@ impl SummaryCache {
         src: &[u8],
         config: &Config,
     ) -> Result<Arc<FileSummary>, strtaint_php::ParsePhpError> {
+        let _span = strtaint_obs::Span::enter("summary", "");
         let key = (content_hash(src), config_fingerprint(config));
         if let Some(hit) = self
             .map
@@ -104,11 +105,14 @@ impl SummaryCache {
         // to lower the same file; both produce identical summaries and
         // the second insert is a harmless overwrite.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let file = strtaint_php::parse(src)?;
-        let summary = Arc::new(FileSummary {
-            body: lower::lower_file(&file),
-            content_hash: key.0,
-        });
+        let summary = {
+            let _lower = strtaint_obs::Span::enter("lower", "");
+            let file = strtaint_php::parse(src)?;
+            Arc::new(FileSummary {
+                body: lower::lower_file(&file),
+                content_hash: key.0,
+            })
+        };
         self.map
             .lock()
             .unwrap_or_else(|p| p.into_inner())

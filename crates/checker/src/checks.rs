@@ -134,6 +134,7 @@ impl Checker {
         report.checked = candidates.len();
         let mut engine = Engine::new(cache, self.opts.naive_engine);
         for &x in &candidates {
+            let _span = strtaint_obs::Span::enter_with("check", || cfg.name(x).to_owned());
             match self.check_one(cfg, root, x, &candidates, budget, &mut engine) {
                 Ok(None) => report.verified += 1,
                 Ok(Some(finding)) => report.findings.push(finding),
@@ -241,36 +242,49 @@ impl Checker {
         let mut tx = engine.target(cfg, x);
 
         // C1: odd number of unescaped quotes.
-        let (empty, witness) =
-            engine.is_empty_or_witness(&mut tx, &self.odd_quotes, budget, (cfg, x))?;
-        if !empty {
-            return finding(CheckKind::OddQuotes, witness, String::new());
+        {
+            let _c = strtaint_obs::Span::enter("check:C1", "");
+            let (empty, witness) =
+                engine.is_empty_or_witness(&mut tx, &self.odd_quotes, budget, (cfg, x))?;
+            if !empty {
+                return finding(CheckKind::OddQuotes, witness, String::new());
+            }
         }
 
         // C2: always in string-literal position?
-        let (marked, mroot) = marked_grammar(cfg, root, x, &HashMap::new());
-        let mut tm = engine.target_local(&marked, mroot);
-        if engine.is_empty(&mut tm, &self.marker_outside, budget)? {
-            let (empty, witness) =
-                engine.is_empty_or_witness(&mut tx, &self.has_quote, budget, (cfg, x))?;
-            if !empty {
-                return finding(CheckKind::EscapesLiteral, witness, String::new());
+        {
+            let _c = strtaint_obs::Span::enter("check:C2", "");
+            let (marked, mroot) = marked_grammar(cfg, root, x, &HashMap::new());
+            let mut tm = engine.target_local(&marked, mroot);
+            if engine.is_empty(&mut tm, &self.marker_outside, budget)? {
+                let (empty, witness) =
+                    engine.is_empty_or_witness(&mut tx, &self.has_quote, budget, (cfg, x))?;
+                if !empty {
+                    return finding(CheckKind::EscapesLiteral, witness, String::new());
+                }
+                return Ok(None); // confined within a string literal
             }
-            return Ok(None); // confined within a string literal
         }
 
         // C3: numeric-only language is confined anywhere a literal fits.
-        if engine.is_empty(&mut tx, &self.non_numeric, budget)? {
-            return Ok(None);
+        {
+            let _c = strtaint_obs::Span::enter("check:C3", "");
+            if engine.is_empty(&mut tx, &self.non_numeric, budget)? {
+                return Ok(None);
+            }
         }
 
         // C4: known attack fragments confirm a vulnerability.
-        let (empty, witness) =
-            engine.is_empty_or_witness(&mut tx, &self.attack, budget, (cfg, x))?;
-        if !empty {
-            return finding(CheckKind::AttackString, witness, String::new());
+        {
+            let _c = strtaint_obs::Span::enter("check:C4", "");
+            let (empty, witness) =
+                engine.is_empty_or_witness(&mut tx, &self.attack, budget, (cfg, x))?;
+            if !empty {
+                return finding(CheckKind::AttackString, witness, String::new());
+            }
         }
 
+        let _c5 = strtaint_obs::Span::enter("check:C5", "");
         // C5: derivability in context. Sibling tainted subgrammars are
         // spliced as representative strings (computed lazily — only
         // hotspots that reach C5 pay for them).

@@ -174,6 +174,7 @@ impl XssChecker {
         report.checked = candidates.len();
         let mut engine = Engine::new(cache, self.naive_engine);
         for x in candidates {
+            let _span = strtaint_obs::Span::enter_with("check:xss", || cfg.name(x).to_owned());
             match self.check_one(cfg, root, x, budget, &mut engine) {
                 Ok(None) => report.verified += 1,
                 Ok(Some(f)) => report.findings.push(f),

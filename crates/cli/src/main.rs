@@ -24,8 +24,16 @@
 //!   --stats         print one table of engine and summary-cache
 //!                   counters (intersection queries, normalizations
 //!                   saved, realized triples, early exits, cache
-//!                   hits/misses) after the text report, or a "stats"
-//!                   member in --json output
+//!                   hits/misses) plus per-phase timing aggregates
+//!                   (page / lower / emit / check / intersect / ...)
+//!                   after the text report, or a "stats" member in
+//!                   --json output
+//!   --trace-json FILE
+//!                   record a full structured trace of the run and
+//!                   write it to FILE in Chrome trace-event format
+//!                   (load in chrome://tracing or https://ui.perfetto.dev);
+//!                   verdicts and reports are byte-identical with and
+//!                   without this flag
 //! ```
 //!
 //! `strtaint serve` starts the persistent incremental-analysis daemon
@@ -46,7 +54,8 @@ use strtaint::{
 
 const USAGE: &str = "usage: strtaint [--xss] [--slice] [--json] [--sarif] \
                      [--include SITE=FILE] [--timeout SECS] [--fuel N] \
-                     [--no-summary-cache] [--stats] <dir> <entry.php>...\n\
+                     [--no-summary-cache] [--stats] [--trace-json FILE] \
+                     <dir> <entry.php>...\n\
                      \x20      strtaint serve --dir <dir> [options]";
 
 struct Options {
@@ -56,6 +65,7 @@ struct Options {
     sarif: bool,
     no_summary_cache: bool,
     stats: bool,
+    trace_json: Option<String>,
     dir: String,
     entries: Vec<String>,
     includes: Vec<(String, String)>,
@@ -64,24 +74,38 @@ struct Options {
 }
 
 /// The unified `--stats` table: aggregate intersection-engine counters
-/// plus the AST→IR summary-cache counters from the same run.
+/// plus the AST→IR summary-cache counters and the per-phase timing
+/// aggregates (from `strtaint-obs`) of the same run.
 struct RunStats {
     engine: EngineStats,
     cache_hits: u64,
     cache_misses: u64,
+    phases: Vec<strtaint_obs::PhaseStat>,
 }
 
 impl RunStats {
-    fn rows(&self) -> [(&'static str, u64); 7] {
-        [
-            ("engine.queries", self.engine.queries),
-            ("engine.normalizations", self.engine.normalizations),
-            ("engine.normalizations_saved", self.engine.normalizations_saved),
-            ("engine.realized_triples", self.engine.realized_triples),
-            ("engine.early_exits", self.engine.early_exits),
-            ("summary_cache.hits", self.cache_hits),
-            ("summary_cache.misses", self.cache_misses),
-        ]
+    fn rows(&self) -> Vec<(String, u64)> {
+        let mut rows = vec![
+            ("engine.queries".to_owned(), self.engine.queries),
+            ("engine.normalizations".to_owned(), self.engine.normalizations),
+            (
+                "engine.normalizations_saved".to_owned(),
+                self.engine.normalizations_saved,
+            ),
+            (
+                "engine.realized_triples".to_owned(),
+                self.engine.realized_triples,
+            ),
+            ("engine.early_exits".to_owned(), self.engine.early_exits),
+            ("summary_cache.hits".to_owned(), self.cache_hits),
+            ("summary_cache.misses".to_owned(), self.cache_misses),
+        ];
+        for p in &self.phases {
+            rows.push((format!("phase.{}.count", p.name), p.count));
+            rows.push((format!("phase.{}.total_us", p.name), p.total_us));
+            rows.push((format!("phase.{}.max_us", p.name), p.max_us));
+        }
+        rows
     }
 }
 
@@ -93,6 +117,7 @@ fn parse_args() -> Result<Options, String> {
         sarif: false,
         no_summary_cache: false,
         stats: false,
+        trace_json: None,
         dir: String::new(),
         entries: Vec::new(),
         includes: Vec::new(),
@@ -109,6 +134,10 @@ fn parse_args() -> Result<Options, String> {
             "--sarif" => opts.sarif = true,
             "--no-summary-cache" => opts.no_summary_cache = true,
             "--stats" => opts.stats = true,
+            "--trace-json" => {
+                let v = args.next().ok_or("--trace-json requires FILE")?;
+                opts.trace_json = Some(v);
+            }
             "--include" => {
                 let v = args.next().ok_or("--include requires SITE=FILE")?;
                 let (site, file) = v
@@ -149,21 +178,7 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+use strtaint::render::json_escape;
 
 fn emit_json(reports: &[PageReport], stats: Option<&RunStats>) {
     println!("{{\"pages\": [");
@@ -249,49 +264,10 @@ fn emit_json(reports: &[PageReport], stats: Option<&RunStats>) {
     }
 }
 
-/// Minimal SARIF 2.1.0 writer (one run, one result per finding) so
-/// findings annotate pull requests in standard CI tooling.
+/// SARIF 2.1.0 output — the renderer lives in `strtaint::render` so
+/// the differential tests can compare the CLI's exact bytes.
 fn emit_sarif(reports: &[PageReport]) {
-    println!("{{");
-    println!("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",");
-    println!("  \"version\": \"2.1.0\",");
-    println!("  \"runs\": [{{");
-    println!("    \"tool\": {{\"driver\": {{\"name\": \"strtaint\", \"informationUri\": \"https://example.invalid/strtaint\", \"version\": \"0.1.0\"}}}},");
-    println!("    \"results\": [");
-    let all: Vec<_> = reports.iter().flat_map(|p| p.findings()).collect();
-    for (i, (h, f)) in all.iter().enumerate() {
-        let msg = format!(
-            "{} at {}: tainted source {} — {}{}",
-            h.label,
-            h.span,
-            f.name,
-            f.kind,
-            f.witness
-                .as_deref()
-                .map(|w| format!(" (witness: {})", String::from_utf8_lossy(w)))
-                .unwrap_or_default()
-        );
-        println!("      {{");
-        println!("        \"ruleId\": \"{}\",", f.kind.rule_id());
-        println!("        \"level\": \"error\",");
-        println!(
-            "        \"message\": {{\"text\": \"{}\"}},",
-            json_escape(&msg)
-        );
-        // Prefer the finding's IR provenance (the sink *argument*'s
-        // span) over the hotspot's call span when the analysis
-        // supplied one.
-        let (line, col) = f.at.unwrap_or((h.span.line, h.span.col));
-        println!("        \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {line}, \"startColumn\": {col}}}}}}}]",
-            json_escape(&h.file));
-        println!(
-            "      }}{}",
-            if i + 1 < all.len() { "," } else { "" }
-        );
-    }
-    println!("    ]");
-    println!("  }}]");
-    println!("}}");
+    print!("{}", strtaint::render::sarif(reports));
 }
 
 fn main() -> ExitCode {
@@ -332,6 +308,16 @@ fn main() -> ExitCode {
             .or_default()
             .push(file.clone());
     }
+    // Tracing mode: --trace-json needs full span events; --stats only
+    // needs the per-phase aggregates. Verdicts are mode-independent
+    // (pinned by tests/obs_invariance.rs).
+    if opts.trace_json.is_some() {
+        strtaint_obs::set_mode(strtaint_obs::Mode::Full);
+    } else if opts.stats {
+        strtaint_obs::set_mode(strtaint_obs::Mode::Aggregate);
+    }
+    strtaint_obs::reset();
+
     let checker = Checker::new();
     let summaries = SummaryCache::new();
 
@@ -365,8 +351,16 @@ fn main() -> ExitCode {
             engine,
             cache_hits: summaries.hits(),
             cache_misses: summaries.misses(),
+            phases: strtaint_obs::phases(),
         }
     });
+
+    if let Some(path) = &opts.trace_json {
+        if let Err(e) = strtaint_obs::write_chrome_trace(Path::new(path)) {
+            eprintln!("cannot write trace to {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
 
     if opts.sarif {
         emit_sarif(&reports);

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod render;
 pub mod report;
 
 use std::time::Instant;
@@ -124,6 +125,7 @@ pub fn analyze_page_cached(
 ) -> Result<PageReport, AnalyzeError> {
     // One budget covers both phases: the deadline clock starts here and
     // the fuel pool is shared between analysis and checking.
+    let _span = strtaint_obs::Span::enter("page", entry);
     let budget = config.page_budget();
     let t0 = Instant::now();
     let analysis = strtaint_analysis::analyze_cached(vfs, entry, config, &budget, summaries)?;
@@ -209,6 +211,7 @@ pub fn analyze_page_xss_cached(
     config: &Config,
     summaries: &SummaryCache,
 ) -> Result<PageReport, AnalyzeError> {
+    let _span = strtaint_obs::Span::enter("page", entry);
     let budget = config.page_budget();
     let t0 = Instant::now();
     let analysis = strtaint_analysis::analyze_cached(vfs, entry, config, &budget, summaries)?;

@@ -1,0 +1,81 @@
+//! Report renderers shared by the CLI and the test suite.
+//!
+//! The SARIF writer lives here (rather than in the CLI binary) so the
+//! differential test `tests/obs_invariance.rs` can render the same
+//! bytes the CLI would print and compare them across tracing modes.
+
+use crate::report::PageReport;
+use std::fmt::Write as _;
+
+/// Escapes `s` for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `reports` as a SARIF 2.1.0 document (one run, one result
+/// per finding) so findings annotate pull requests in standard CI
+/// tooling. The CLI's `--sarif` prints exactly this string.
+pub fn sarif(reports: &[PageReport]) -> String {
+    let mut out = String::new();
+    let mut line = |s: &str| {
+        out.push_str(s);
+        out.push('\n');
+    };
+    line("{");
+    line("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",");
+    line("  \"version\": \"2.1.0\",");
+    line("  \"runs\": [{");
+    line("    \"tool\": {\"driver\": {\"name\": \"strtaint\", \"informationUri\": \"https://example.invalid/strtaint\", \"version\": \"0.1.0\"}},");
+    line("    \"results\": [");
+    let all: Vec<_> = reports.iter().flat_map(|p| p.findings()).collect();
+    for (i, (h, f)) in all.iter().enumerate() {
+        let msg = format!(
+            "{} at {}: tainted source {} — {}{}",
+            h.label,
+            h.span,
+            f.name,
+            f.kind,
+            f.witness
+                .as_deref()
+                .map(|w| format!(" (witness: {})", String::from_utf8_lossy(w)))
+                .unwrap_or_default()
+        );
+        line("      {");
+        line(&format!("        \"ruleId\": \"{}\",", f.kind.rule_id()));
+        line("        \"level\": \"error\",");
+        line(&format!(
+            "        \"message\": {{\"text\": \"{}\"}},",
+            json_escape(&msg)
+        ));
+        // Prefer the finding's IR provenance (the sink *argument*'s
+        // span) over the hotspot's call span when the analysis
+        // supplied one.
+        let (ln, col) = f.at.unwrap_or((h.span.line, h.span.col));
+        line(&format!(
+            "        \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {ln}, \"startColumn\": {col}}}}}}}]",
+            json_escape(&h.file)
+        ));
+        line(&format!(
+            "      }}{}",
+            if i + 1 < all.len() { "," } else { "" }
+        ));
+    }
+    line("    ]");
+    line("  }]");
+    line("}");
+    out
+}

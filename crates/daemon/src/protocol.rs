@@ -9,6 +9,7 @@
 //! | `{"cmd":"analyze","entries":[…],"xss"?,"timeout_ms"?,"fuel"?}` | `{"ok":true,"pages":[…],"computed":n,"replayed":n}` |
 //! | `{"cmd":"invalidate","path":…,"contents"?}` | `{"ok":true,"changed":bool}` (`contents` absent = remove) |
 //! | `{"cmd":"status"}` | `{"ok":true,"engine":{…},"summary_cache":{…},"store":{…},…}` |
+//! | `{"cmd":"metrics"}` | `{"ok":true,"metrics":{…}}` — the full instance registry: daemon counters, replay/compute latency histograms, engine and summary-cache counters |
 //! | `{"cmd":"shutdown"}` | `{"ok":true,"shutdown":true}`, then the server exits |
 //!
 //! Malformed input never kills the daemon: every failure is an
@@ -46,7 +47,7 @@ fn ok(mut members: Vec<(&str, Json)>) -> Json {
 /// Handles one request line against the resident state, returning the
 /// response line. Never panics on malformed input.
 pub fn handle_line(state: &DaemonState, line: &str) -> Handled {
-    state.counters.requests.fetch_add(1, Ordering::Relaxed);
+    state.counters.requests.inc();
     let request = match json::parse(line) {
         Ok(v) => v,
         Err(e) => return error(format!("invalid JSON: {e}")),
@@ -59,6 +60,10 @@ pub fn handle_line(state: &DaemonState, line: &str) -> Handled {
         "analyze" => handle_analyze(state, &request),
         "invalidate" => handle_invalidate(state, &request),
         "status" => handle_status(state),
+        "metrics" => Handled {
+            response: ok(vec![("metrics", state.metrics_json())]),
+            shutdown: false,
+        },
         "shutdown" => Handled {
             response: ok(vec![("shutdown", Json::Bool(true))]),
             shutdown: true,
@@ -155,15 +160,15 @@ fn handle_status(state: &DaemonState) -> Handled {
         ),
         (
             "pages_computed",
-            Json::Num(state.counters.pages_computed.load(Ordering::Relaxed) as f64),
+            Json::Num(state.counters.pages_computed.get() as f64),
         ),
         (
             "pages_replayed",
-            Json::Num(state.counters.pages_replayed.load(Ordering::Relaxed) as f64),
+            Json::Num(state.counters.pages_replayed.get() as f64),
         ),
         (
             "requests",
-            Json::Num(state.counters.requests.load(Ordering::Relaxed) as f64),
+            Json::Num(state.counters.requests.get() as f64),
         ),
         ("files", Json::Num(files as f64)),
         ("lines", Json::Num(lines as f64)),

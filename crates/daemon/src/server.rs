@@ -258,6 +258,7 @@ Protocol: one JSON request per input line, one JSON response per line.
   {\"cmd\":\"analyze\",\"entries\":[\"index.php\"],\"xss\":false}
   {\"cmd\":\"invalidate\",\"path\":\"lib.php\",\"contents\":\"<?php ...\"}
   {\"cmd\":\"status\"}
+  {\"cmd\":\"metrics\"}
   {\"cmd\":\"shutdown\"}";
 
 #[cfg(test)]

@@ -20,6 +20,7 @@ use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 use strtaint::{
     analyze_page_cached, analyze_page_xss_cached, Checker, Config, EngineStats, PageReport,
@@ -27,6 +28,7 @@ use strtaint::{
 };
 use strtaint_analysis::summary::content_hash;
 use strtaint_analysis::vfs::normalize;
+use strtaint_obs::{Counter, Histogram, MetricSnapshot, Registry, metrics::DURATION_US_BOUNDS};
 
 use crate::json::Json;
 use crate::store::ArtifactStore;
@@ -41,15 +43,31 @@ pub enum PageOutcome {
     Replayed,
 }
 
-/// Lifetime counters surfaced by `status`.
-#[derive(Debug, Default)]
+/// Lifetime counters surfaced by `status` and the `metrics` verb.
+///
+/// Registry-backed: each counter is registered in the daemon's
+/// instance [`Registry`], so the `metrics` verb reports them without a
+/// second bookkeeping path, and a daemon restart (fresh `DaemonState`,
+/// fresh registry) starts them from zero even when the artifact store
+/// replays every verdict.
+#[derive(Debug)]
 pub struct DaemonCounters {
     /// Pages analyzed by running the engine.
-    pub pages_computed: AtomicU64,
+    pub pages_computed: Arc<Counter>,
     /// Pages answered by verdict replay.
-    pub pages_replayed: AtomicU64,
+    pub pages_replayed: Arc<Counter>,
     /// Requests handled (all commands).
-    pub requests: AtomicU64,
+    pub requests: Arc<Counter>,
+}
+
+impl DaemonCounters {
+    fn new(registry: &Registry) -> DaemonCounters {
+        DaemonCounters {
+            pages_computed: registry.counter("daemon.pages_computed"),
+            pages_replayed: registry.counter("daemon.pages_replayed"),
+            requests: registry.counter("daemon.requests"),
+        }
+    }
 }
 
 /// The resident state behind a `strtaint serve` process.
@@ -76,6 +94,12 @@ pub struct DaemonState {
     store: Option<ArtifactStore>,
     /// Engine work performed by *this process* (replays add nothing).
     engine: Mutex<EngineStats>,
+    /// Instance metrics registry behind the `metrics` verb.
+    registry: Registry,
+    /// Request latency, replay path (microseconds).
+    replay_us: Arc<Histogram>,
+    /// Request latency, compute path (microseconds).
+    compute_us: Arc<Histogram>,
     /// Request/page counters.
     pub counters: DaemonCounters,
 }
@@ -100,6 +124,10 @@ impl DaemonState {
             .collect();
         let tree = tree_digest(vfs.paths());
         let config_fp = config.fingerprint();
+        let registry = Registry::new();
+        let counters = DaemonCounters::new(&registry);
+        let replay_us = registry.histogram("daemon.replay_us", DURATION_US_BOUNDS);
+        let compute_us = registry.histogram("daemon.compute_us", DURATION_US_BOUNDS);
         let state = DaemonState {
             vfs: RwLock::new(vfs),
             hashes: RwLock::new(hashes),
@@ -111,7 +139,10 @@ impl DaemonState {
             verdicts: Mutex::new(HashMap::new()),
             store,
             engine: Mutex::new(EngineStats::default()),
-            counters: DaemonCounters::default(),
+            registry,
+            replay_us,
+            compute_us,
+            counters,
         };
         state.persist_manifest();
         state
@@ -207,6 +238,7 @@ impl DaemonState {
         xss: bool,
         config: &Config,
     ) -> (Json, PageOutcome) {
+        let t0 = Instant::now();
         let entry = normalize(entry);
         let config_fp = if std::ptr::eq(config, &self.config) {
             self.config_fp
@@ -220,7 +252,8 @@ impl DaemonState {
             let verdicts = self.verdicts.lock().unwrap_or_else(|p| p.into_inner());
             if let Some(v) = verdicts.get(&key) {
                 if self.is_fresh(v, config_fp) {
-                    self.counters.pages_replayed.fetch_add(1, Ordering::Relaxed);
+                    self.counters.pages_replayed.inc();
+                    self.replay_us.observe(elapsed_us(t0));
                     return (v.page.clone(), PageOutcome::Replayed);
                 }
             }
@@ -240,7 +273,8 @@ impl DaemonState {
                             .lock()
                             .unwrap_or_else(|p| p.into_inner())
                             .insert(key, Arc::clone(&v));
-                        self.counters.pages_replayed.fetch_add(1, Ordering::Relaxed);
+                        self.counters.pages_replayed.inc();
+                        self.replay_us.observe(elapsed_us(t0));
                         return (v.page.clone(), PageOutcome::Replayed);
                     }
                     // Parsable but stale or ill-formed: drop it; the
@@ -261,7 +295,8 @@ impl DaemonState {
         let mut engine = self.engine.lock().unwrap_or_else(|p| p.into_inner());
         engine.merge(&report.engine_stats());
         drop(engine);
-        self.counters.pages_computed.fetch_add(1, Ordering::Relaxed);
+        self.counters.pages_computed.inc();
+        self.compute_us.observe(elapsed_us(t0));
 
         // Skipped pages (parse error, panic) are never cached: the
         // failure may be environmental, and replaying a panic verdict
@@ -354,6 +389,68 @@ impl DaemonState {
     /// The base config (no request overrides).
     pub fn base_config(&self) -> &Config {
         &self.config
+    }
+
+    /// Renders the instance metrics registry as one JSON object — the
+    /// `metrics` verb's payload.
+    ///
+    /// The engine and summary-cache counters (everything the CLI's
+    /// `--stats` table shows) are mirrored into gauges at snapshot
+    /// time, so the verb covers both the daemon's own counters
+    /// (requests, replay/compute latency histograms) and the full
+    /// [`EngineStats`] without a second bookkeeping path.
+    pub fn metrics_json(&self) -> Json {
+        let e = self.engine_stats();
+        let r = &self.registry;
+        r.gauge("engine.queries").set(e.queries);
+        r.gauge("engine.normalizations").set(e.normalizations);
+        r.gauge("engine.normalizations_saved").set(e.normalizations_saved);
+        r.gauge("engine.realized_triples").set(e.realized_triples);
+        r.gauge("engine.early_exits").set(e.early_exits);
+        r.gauge("summary_cache.hits").set(self.summaries.hits());
+        r.gauge("summary_cache.misses").set(self.summaries.misses());
+        r.gauge("summary_cache.entries").set(self.summaries.len() as u64);
+        let members = r
+            .snapshot()
+            .into_iter()
+            .map(|(name, snap)| (name, snapshot_to_json(snap)))
+            .collect();
+        Json::Obj(members)
+    }
+}
+
+/// Elapsed microseconds since `t0`, saturating.
+fn elapsed_us(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// One metric snapshot as wire JSON: counters and gauges become bare
+/// numbers; histograms become `{count, sum, buckets: [{le, n}]}` with
+/// `le: null` for the +∞ overflow bucket.
+fn snapshot_to_json(snap: MetricSnapshot) -> Json {
+    match snap {
+        MetricSnapshot::Counter(v) | MetricSnapshot::Gauge(v) => Json::Num(v as f64),
+        MetricSnapshot::Histogram { count, sum, buckets } => Json::obj(vec![
+            ("count", Json::Num(count as f64)),
+            ("sum", Json::Num(sum as f64)),
+            (
+                "buckets",
+                Json::Arr(
+                    buckets
+                        .into_iter()
+                        .map(|(le, n)| {
+                            Json::obj(vec![
+                                (
+                                    "le",
+                                    le.map(|v| Json::Num(v as f64)).unwrap_or(Json::Null),
+                                ),
+                                ("n", Json::Num(n as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
     }
 }
 

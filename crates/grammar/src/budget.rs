@@ -173,6 +173,14 @@ struct BudgetInner {
     exhausted: AtomicBool,
     /// Which resource tripped first (0 = none, else Resource as u64+1).
     tripped: AtomicU64,
+    /// Observability hook: whether full tracing was recording at
+    /// construction time (charge counting is Full-mode-only — the
+    /// per-charge path is too hot for the aggregate overhead
+    /// contract), cached so the uncounted path pays one branch on a
+    /// plain bool. When set, charges are counted through
+    /// `strtaint_obs::budget_charge` (itself thread-batched — the
+    /// per-charge path never touches a shared atomic).
+    obs_charges: bool,
 }
 
 /// A shared, thread-safe resource budget for one analysis task.
@@ -225,6 +233,7 @@ impl Budget {
                 ticks: AtomicU64::new(0),
                 exhausted: AtomicBool::new(false),
                 tripped: AtomicU64::new(0),
+                obs_charges: strtaint_obs::budget_charges_enabled(),
             }),
         }
     }
@@ -247,6 +256,7 @@ impl Budget {
 
     fn trip(&self, resource: Resource) -> BudgetExceeded {
         self.inner.exhausted.store(true, Ordering::Relaxed);
+        strtaint_obs::budget_exhausted(resource.tag());
         let code = match resource {
             Resource::Deadline => 1,
             Resource::Fuel => 2,
@@ -284,6 +294,9 @@ impl Budget {
             return Err(BudgetExceeded {
                 resource: self.tripped_resource().unwrap_or(Resource::Fuel),
             });
+        }
+        if inner.obs_charges {
+            strtaint_obs::budget_charge(n);
         }
         if !inner.unlimited_fuel {
             let prev = inner.fuel.fetch_sub(n, Ordering::Relaxed);

@@ -101,6 +101,7 @@ impl fmt::Debug for PreparedGrammar {
 impl PreparedGrammar {
     /// Trims and normalizes `(g, root)` and builds the worklist indexes.
     pub fn new(g: &Cfg, root: NtId) -> Self {
+        let _span = strtaint_obs::Span::enter_with("prepare", || g.name(root).to_owned());
         let (trimmed, troot) = g.trimmed(root);
         let norm = normalize(&trimmed);
         let nv = norm.num_nonterminals();
@@ -183,6 +184,7 @@ impl PreparedGrammar {
         budget: &Budget,
         mode: QueryMode,
     ) -> Result<Intersection<'g, 'd>, BudgetExceeded> {
+        let _span = strtaint_obs::Span::enter_with("intersect", || self.root_name.clone());
         let q = dfa.num_states() as u32;
         let nc = dfa.num_classes() as usize;
 
@@ -526,6 +528,7 @@ impl<'g, 'd> Intersection<'g, 'd> {
         if self.is_empty() && self.worklist.is_empty() {
             return Ok(None);
         }
+        let _span = strtaint_obs::Span::enter_with("witness", || self.prep.root_name.clone());
         self.complete(budget)?;
         if self.is_empty() {
             return Ok(None);

@@ -1,0 +1,60 @@
+//! **strtaint-obs** — structured tracing and metrics for the analysis
+//! pipeline, the intersection engine, and the serve daemon.
+//!
+//! The rest of the workspace answers *what* a page's verdict is; this
+//! crate answers *where the time and work went*: how long each
+//! pipeline phase (lower / summary / emit / refine), each grammar
+//! preparation, each Bar-Hillel query, and each policy check took, and
+//! how the engine/cache/budget counters evolved while it happened.
+//!
+//! Design constraints (DESIGN.md §9):
+//!
+//! - **Zero dependencies.** This crate sits below every other crate in
+//!   the workspace; everything instruments through it.
+//! - **Near-zero cost when disabled.** [`Span::enter`] is a single
+//!   relaxed atomic load when the mode is [`Mode::Off`]; no clock is
+//!   read, nothing allocates, no lock is touched.
+//! - **Observation never perturbs analysis.** Spans and counters only
+//!   read monotonic clocks and bump atomics; no report field, verdict
+//!   byte, or grammar decision depends on the mode. The differential
+//!   test `tests/obs_invariance.rs` holds the whole stack to this.
+//!
+//! Three sinks consume what this crate collects:
+//!
+//! 1. the CLI's enriched `--stats` table ([`phases`] aggregates),
+//! 2. `--trace-json` ([`chrome_trace`], loadable in Chrome's
+//!    `about:tracing` / Perfetto),
+//! 3. the daemon's `metrics` verb (a [`metrics::Registry`] snapshot
+//!    rendered as JSON).
+//!
+//! # Example
+//!
+//! ```
+//! use strtaint_obs as obs;
+//!
+//! obs::set_mode(obs::Mode::Full);
+//! obs::reset();
+//! {
+//!     let _page = obs::Span::enter("page", "a.php");
+//!     let _emit = obs::Span::enter("emit", "a.php");
+//! } // guards record on drop
+//! let phases = obs::phases();
+//! assert_eq!(phases.len(), 2);
+//! let trace = obs::chrome_trace();
+//! assert!(trace.contains("\"traceEvents\""));
+//! obs::set_mode(obs::Mode::Off);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod metrics;
+pub mod span;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricSnapshot, Registry};
+pub use span::{
+    budget_charge, budget_charges_enabled, budget_exhausted, events, mode, phases, reset, set_mode,
+    EventKind, Mode, PhaseStat, Span, SpanEvent,
+};
+pub use trace::{chrome_trace, chrome_trace_of, write_chrome_trace};

@@ -1,0 +1,416 @@
+//! The metrics registry: named counters, gauges, and fixed-boundary
+//! histograms with a lock-free hot path.
+//!
+//! Registration (`counter`/`gauge`/`histogram`) takes a short
+//! write-lock once per name; after that, callers hold an `Arc` to the
+//! metric and every update is a single atomic operation. This is what
+//! lets the daemon count requests and the budget count charges without
+//! serializing workers.
+//!
+//! One [`Registry`] can be process-global ([`global`]) for code that
+//! cannot thread a handle (budget charges, exhaustion attribution), or
+//! instance-owned (each `DaemonState` owns one, so a daemon restart
+//! starts its metrics from zero while the artifact cache replays
+//! verdicts — the "reset correctly" half of the durability story).
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Write stripes per [`Counter`]. A handful is enough: stripes only
+/// need to spread *simultaneous* writers, and the engine's worker pool
+/// is sized to the machine's cores.
+const COUNTER_STRIPES: usize = 16;
+
+/// One cache line per stripe, so two threads bumping the same counter
+/// never invalidate each other's line.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct Stripe(AtomicU64);
+
+/// Round-robin stripe assignment, fixed per thread on first use.
+fn stripe_index() -> usize {
+    thread_local! {
+        static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    STRIPE.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            return v;
+        }
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let v = (NEXT.fetch_add(1, Ordering::Relaxed) as usize) % COUNTER_STRIPES;
+        s.set(v);
+        v
+    })
+}
+
+/// A monotonically increasing counter.
+///
+/// Writes are sharded across cache-line-padded stripes (each thread
+/// sticks to one stripe), because counters sit on genuinely hot paths —
+/// the budget charges fuel through one on every worklist pop — where a
+/// single shared atomic would ping-pong its cache line between the
+/// parallel hotspot workers. Reads sum the stripes.
+#[derive(Debug, Default)]
+pub struct Counter {
+    stripes: [Stripe; COUNTER_STRIPES],
+}
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.stripes[stripe_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (sum over stripes).
+    pub fn get(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn reset(&self) {
+        for s in &self.stripes {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A last-write-wins gauge.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    v: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.v.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Default histogram boundaries for microsecond durations: 50µs to
+/// 10s, roughly ×2.5 per step. Fixed boundaries keep merges and
+/// snapshots trivially consistent.
+pub const DURATION_US_BOUNDS: &[u64] = &[
+    50,
+    100,
+    250,
+    500,
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+];
+
+/// A histogram over fixed bucket boundaries.
+///
+/// `bounds` are upper bucket edges, strictly increasing; an implicit
+/// overflow bucket catches everything above the last edge. Buckets
+/// store per-bucket counts; [`Histogram::cumulative`] renders the
+/// Prometheus-style cumulative view (monotone by construction — the
+/// property test in `crates/obs/tests/properties.rs` pins this).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Box<[u64]>,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// Builds a histogram over `bounds` (sorted and deduplicated
+    /// defensively; an empty slice yields a single overflow bucket).
+    pub fn new(bounds: &[u64]) -> Histogram {
+        let mut bounds: Vec<u64> = bounds.to_vec();
+        bounds.sort_unstable();
+        bounds.dedup();
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: bounds.into_boxed_slice(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let i = self.bounds.partition_point(|&b| b < v);
+        self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Bucket boundaries (upper edges, excluding the overflow bucket).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Cumulative `(upper_edge, count_le)` pairs; `None` is the +∞
+    /// overflow edge, whose count equals [`Histogram::count`].
+    pub fn cumulative(&self) -> Vec<(Option<u64>, u64)> {
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for (i, b) in self.buckets.iter().enumerate() {
+            acc += b.load(Ordering::Relaxed);
+            out.push((self.bounds.get(i).copied(), acc));
+        }
+        out
+    }
+
+    fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A point-in-time rendering of one metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricSnapshot {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Histogram: observation count, sum, and cumulative buckets
+    /// (`None` edge = +∞).
+    Histogram {
+        /// Total observations.
+        count: u64,
+        /// Sum of observed values.
+        sum: u64,
+        /// Cumulative `(upper_edge, count_le)` pairs.
+        buckets: Vec<(Option<u64>, u64)>,
+    },
+}
+
+/// A named collection of metrics.
+#[derive(Debug, Default)]
+pub struct Registry {
+    slots: RwLock<BTreeMap<String, Slot>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on
+    /// first use. If `name` is already registered as a different
+    /// metric kind (a programming error), a detached counter is
+    /// returned so updates are lost rather than panicking.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(Slot::Counter(c)) = self.lookup(name) {
+            return c;
+        }
+        let mut slots = self.slots.write().unwrap_or_else(|p| p.into_inner());
+        match slots
+            .entry(name.to_owned())
+            .or_insert_with(|| Slot::Counter(Arc::new(Counter::default())))
+        {
+            Slot::Counter(c) => Arc::clone(c),
+            _ => {
+                debug_assert!(false, "metric {name:?} registered with another kind");
+                Arc::new(Counter::default())
+            }
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first
+    /// use (same kind-mismatch contract as [`Registry::counter`]).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(Slot::Gauge(g)) = self.lookup(name) {
+            return g;
+        }
+        let mut slots = self.slots.write().unwrap_or_else(|p| p.into_inner());
+        match slots
+            .entry(name.to_owned())
+            .or_insert_with(|| Slot::Gauge(Arc::new(Gauge::default())))
+        {
+            Slot::Gauge(g) => Arc::clone(g),
+            _ => {
+                debug_assert!(false, "metric {name:?} registered with another kind");
+                Arc::new(Gauge::default())
+            }
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it over
+    /// `bounds` on first use (same kind-mismatch contract as
+    /// [`Registry::counter`]; bounds of an existing histogram win).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        if let Some(Slot::Histogram(h)) = self.lookup(name) {
+            return h;
+        }
+        let mut slots = self.slots.write().unwrap_or_else(|p| p.into_inner());
+        match slots
+            .entry(name.to_owned())
+            .or_insert_with(|| Slot::Histogram(Arc::new(Histogram::new(bounds))))
+        {
+            Slot::Histogram(h) => Arc::clone(h),
+            _ => {
+                debug_assert!(false, "metric {name:?} registered with another kind");
+                Arc::new(Histogram::new(bounds))
+            }
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<Slot> {
+        self.slots
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(name)
+            .cloned()
+    }
+
+    /// Snapshot of every metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, MetricSnapshot)> {
+        let slots = self.slots.read().unwrap_or_else(|p| p.into_inner());
+        slots
+            .iter()
+            .map(|(name, slot)| {
+                let snap = match slot {
+                    Slot::Counter(c) => MetricSnapshot::Counter(c.get()),
+                    Slot::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                    Slot::Histogram(h) => MetricSnapshot::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                        buckets: h.cumulative(),
+                    },
+                };
+                (name.clone(), snap)
+            })
+            .collect()
+    }
+
+    /// Zeroes every registered metric (names and handed-out `Arc`s
+    /// stay valid).
+    pub fn reset(&self) {
+        let slots = self.slots.read().unwrap_or_else(|p| p.into_inner());
+        for slot in slots.values() {
+            match slot {
+                Slot::Counter(c) => c.reset(),
+                Slot::Gauge(g) => g.v.store(0, Ordering::Relaxed),
+                Slot::Histogram(h) => h.reset(),
+            }
+        }
+    }
+}
+
+/// The process-global registry, for instrumentation that cannot thread
+/// a handle (budget charges, exhaustion attribution).
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("a");
+        c.inc();
+        c.add(2);
+        assert_eq!(r.counter("a").get(), 3, "same name, same counter");
+        let g = r.gauge("b");
+        g.set(7);
+        g.set(4);
+        assert_eq!(r.gauge("b").get(), 4);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let h = Histogram::new(&[10, 100]);
+        for v in [1, 10, 11, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1122);
+        let cum = h.cumulative();
+        assert_eq!(cum, vec![(Some(10), 2), (Some(100), 4), (None, 5)]);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("z").inc();
+        r.gauge("a").set(1);
+        r.histogram("m", &[5]).observe(3);
+        let names: Vec<String> = r.snapshot().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles_live() {
+        let r = Registry::new();
+        let c = r.counter("a");
+        c.add(9);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(r.counter("a").get(), 1);
+    }
+
+    #[test]
+    fn kind_mismatch_degrades_to_detached_metric() {
+        let r = Registry::new();
+        r.counter("x").inc();
+        // Do not panic in release builds; the gauge is detached.
+        #[cfg(not(debug_assertions))]
+        {
+            let g = r.gauge("x");
+            g.set(5);
+            assert_eq!(r.counter("x").get(), 1);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The Chrome-trace sink: renders the collected event stream as a
+//! `chrome://tracing` / Perfetto-compatible JSON document.
+//!
+//! Output contract:
+//!
+//! - valid JSON, and a **parse fixpoint** under the daemon's
+//!   dependency-free parser (`crates/daemon/src/json.rs`): parsing the
+//!   document and re-serializing it through that writer round-trips to
+//!   the same value (property-tested in
+//!   `crates/obs/tests/properties.rs`);
+//! - deterministic given the event stream: events are sorted by
+//!   `(start, tid, depth)` before rendering;
+//! - spans render as complete events (`"ph":"X"`, microsecond `ts` and
+//!   `dur`), budget-exhaustion markers as thread-scoped instants
+//!   (`"ph":"i"`).
+
+use std::io::{self, Write as _};
+use std::path::Path;
+
+use crate::span::{events, EventKind, SpanEvent};
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_event(e: &SpanEvent, out: &mut String) {
+    out.push_str("{\"name\":\"");
+    escape(e.name, out);
+    out.push_str("\",\"cat\":\"strtaint\",\"ph\":\"");
+    match e.kind {
+        EventKind::Span => out.push('X'),
+        EventKind::Instant => out.push('i'),
+    }
+    out.push_str("\",\"ts\":");
+    out.push_str(&e.start_us.to_string());
+    if e.kind == EventKind::Span {
+        out.push_str(",\"dur\":");
+        out.push_str(&e.dur_us.to_string());
+    } else {
+        // Thread-scoped instant marker.
+        out.push_str(",\"s\":\"t\"");
+    }
+    out.push_str(",\"pid\":1,\"tid\":");
+    out.push_str(&e.tid.to_string());
+    out.push_str(",\"args\":{\"detail\":\"");
+    escape(&e.detail, out);
+    out.push_str("\",\"depth\":");
+    out.push_str(&e.depth.to_string());
+    out.push_str("}}");
+}
+
+/// Renders `events` as a Chrome trace document.
+pub fn chrome_trace_of(mut events: Vec<SpanEvent>) -> String {
+    events.sort_by(|a, b| {
+        (a.start_us, a.tid, a.depth, a.name).cmp(&(b.start_us, b.tid, b.depth, b.name))
+    });
+    let mut out = String::with_capacity(events.len() * 128 + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        write_event(e, &mut out);
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Renders the globally collected event stream ([`crate::events`]) as
+/// a Chrome trace document.
+pub fn chrome_trace() -> String {
+    chrome_trace_of(events())
+}
+
+/// Writes [`chrome_trace`] to `path`.
+///
+/// # Errors
+///
+/// Propagates the underlying file I/O error.
+pub fn write_chrome_trace(path: &Path) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(chrome_trace().as_bytes())?;
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(name: &'static str, detail: &str, start: u64, dur: u64) -> SpanEvent {
+        SpanEvent {
+            name,
+            detail: detail.to_owned(),
+            tid: 0,
+            depth: 0,
+            start_us: start,
+            dur_us: dur,
+            kind: EventKind::Span,
+        }
+    }
+
+    #[test]
+    fn renders_sorted_complete_events() {
+        let trace = chrome_trace_of(vec![
+            event("emit", "b.php", 20, 5),
+            event("lower", "a.php", 10, 3),
+        ]);
+        let lower = trace.find("\"name\":\"lower\"").expect("lower present");
+        let emit = trace.find("\"name\":\"emit\"").expect("emit present");
+        assert!(lower < emit, "events sorted by start time");
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("\"dur\":5"));
+    }
+
+    #[test]
+    fn escapes_detail_strings() {
+        let trace = chrome_trace_of(vec![event("check", "a\"b\\c\nd", 0, 1)]);
+        assert!(trace.contains("a\\\"b\\\\c\\nd"));
+    }
+
+    #[test]
+    fn instants_have_scope_not_duration() {
+        let mut e = event("budget_exhausted", "fuel", 7, 0);
+        e.kind = EventKind::Instant;
+        let trace = chrome_trace_of(vec![e]);
+        assert!(trace.contains("\"ph\":\"i\""));
+        assert!(trace.contains("\"s\":\"t\""));
+        assert!(!trace.contains("\"dur\""));
+    }
+
+    #[test]
+    fn empty_stream_is_still_a_document() {
+        let trace = chrome_trace_of(Vec::new());
+        assert!(trace.contains("\"traceEvents\":["));
+        assert!(trace.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,214 @@
+//! Property tests for the observability crate.
+//!
+//! Three contracts are pinned here:
+//!
+//! 1. **Histogram monotonicity** — the cumulative view is monotone
+//!    non-decreasing with the +∞ bucket equal to the observation
+//!    count, for arbitrary boundaries and observations.
+//! 2. **Span nesting well-formedness** — executing an arbitrary span
+//!    tree records one event per span with the tree's exact depth, and
+//!    no two same-thread span intervals strictly interleave.
+//! 3. **Chrome-trace parse fixpoint** — the trace writer's output
+//!    parses under the daemon's dependency-free JSON parser
+//!    (`strtaint_daemon::json`), and re-rendering the parsed value
+//!    round-trips (the writer emits exactly the subset the daemon's
+//!    writer is a fixpoint on), for arbitrary event payloads
+//!    including quotes, backslashes, control bytes, and non-ASCII.
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use strtaint_daemon::json;
+use strtaint_obs as obs;
+use strtaint_obs::{EventKind, SpanEvent};
+
+/// The span tests mutate process-global collector state; hold this
+/// across each case so cases from different `#[test]`s (run on
+/// different threads by the harness) cannot interleave.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+// ---------------------------------------------------------------------
+// 1. Histogram monotonicity
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_cumulative_is_monotone(
+        bounds in proptest::collection::vec(0usize..100_000, 0..8),
+        obs_values in proptest::collection::vec(0usize..5_000_000, 0..64),
+    ) {
+        let bounds: Vec<u64> = bounds.iter().map(|&b| b as u64).collect();
+        let h = obs::Histogram::new(&bounds);
+        let mut expect_sum = 0u64;
+        for &v in &obs_values {
+            h.observe(v as u64);
+            expect_sum += v as u64;
+        }
+        prop_assert_eq!(h.count(), obs_values.len() as u64);
+        prop_assert_eq!(h.sum(), expect_sum);
+
+        // Effective edges are sorted and deduplicated.
+        let edges = h.bounds();
+        prop_assert!(edges.windows(2).all(|w| w[0] < w[1]));
+
+        let cum = h.cumulative();
+        // One entry per edge plus the +∞ overflow bucket.
+        prop_assert_eq!(cum.len(), edges.len() + 1);
+        prop_assert_eq!(cum.last().map(|&(le, _)| le), Some(None));
+        // Monotone non-decreasing, topped by the total count.
+        prop_assert!(cum.windows(2).all(|w| w[0].1 <= w[1].1));
+        prop_assert_eq!(cum.last().map(|&(_, n)| n), Some(h.count()));
+        // Each cumulative bucket counts exactly the observations ≤ edge.
+        for &(le, n) in &cum {
+            let expect = match le {
+                Some(edge) => obs_values.iter().filter(|&&v| v as u64 <= edge).count(),
+                None => obs_values.len(),
+            };
+            prop_assert_eq!(n, expect as u64);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. Span nesting well-formedness
+// ---------------------------------------------------------------------
+
+/// A tiny span-tree program: names drawn from a fixed set, nested by an
+/// explicit arity vector. `shape[d]` children are entered at depth `d`.
+#[derive(Debug, Clone)]
+struct SpanTree {
+    name_picks: Vec<usize>,
+    shape: Vec<usize>,
+}
+
+const NAMES: &[&str] = &["page", "emit", "check", "intersect", "lower"];
+
+fn span_tree() -> impl Strategy<Value = SpanTree> {
+    (
+        proptest::collection::vec(0usize..NAMES.len(), 1..24),
+        proptest::collection::vec(1usize..4, 1..4),
+    )
+        .prop_map(|(name_picks, shape)| SpanTree { name_picks, shape })
+}
+
+/// Executes the tree, recording each entered span's `(name, depth)`.
+fn run_tree(t: &SpanTree, depth: usize, next_name: &mut usize, expected: &mut Vec<(&'static str, u32)>) {
+    if depth >= t.shape.len() {
+        return;
+    }
+    for _ in 0..t.shape[depth] {
+        let name = NAMES[t.name_picks[*next_name % t.name_picks.len()]];
+        *next_name += 1;
+        let _span = obs::Span::enter(name, "");
+        expected.push((name, depth as u32));
+        run_tree(t, depth + 1, next_name, expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn span_events_mirror_the_tree(t in span_tree()) {
+        let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        obs::set_mode(obs::Mode::Full);
+        obs::reset();
+        let mut expected = Vec::new();
+        run_tree(&t, 0, &mut 0, &mut expected);
+        let events = obs::events();
+        obs::set_mode(obs::Mode::Off);
+
+        // One span event per entered span, with the tree's exact depth.
+        prop_assert_eq!(events.len(), expected.len());
+        let mut got: Vec<(&str, u32)> =
+            events.iter().map(|e| (e.name, e.depth)).collect();
+        let mut want = expected.clone();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+
+        // Same-thread span intervals never strictly interleave: for
+        // any two, either one contains the other (ties allowed) or
+        // they are disjoint.
+        for a in &events {
+            for b in &events {
+                if a.tid != b.tid {
+                    continue;
+                }
+                let (a0, a1) = (a.start_us, a.start_us + a.dur_us);
+                let (b0, b1) = (b.start_us, b.start_us + b.dur_us);
+                let strictly_interleaved = a0 < b0 && b0 < a1 && a1 < b1;
+                prop_assert!(
+                    !strictly_interleaved,
+                    "spans {}@{} and {}@{} interleave",
+                    a.name, a0, b.name, b0
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Chrome-trace parse fixpoint under the daemon JSON parser
+// ---------------------------------------------------------------------
+
+fn nasty_string() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        Just("plain.php".to_owned()),
+        Just("with \"quotes\" and \\backslashes\\".to_owned()),
+        Just("line\nbreak\ttab\rreturn".to_owned()),
+        Just("control \u{1} \u{1f} bytes".to_owned()),
+        Just("unicode: λ∩Σ* — écho".to_owned()),
+        Just("</script>{}[],:".to_owned()),
+    ]
+}
+
+fn event() -> impl Strategy<Value = SpanEvent> {
+    (
+        0usize..NAMES.len(),
+        nasty_string(),
+        (0usize..4, 0usize..6),
+        (0usize..1_000_000, 0usize..1_000_000),
+        proptest::bool::ANY,
+    )
+        .prop_map(|(name, detail, (tid, depth), (start, dur), is_span)| SpanEvent {
+            name: NAMES[name],
+            detail,
+            tid: tid as u64,
+            depth: depth as u32,
+            start_us: start as u64,
+            dur_us: dur as u64,
+            kind: if is_span { EventKind::Span } else { EventKind::Instant },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chrome_trace_is_a_parse_fixpoint(
+        events in proptest::collection::vec(event(), 0..12),
+    ) {
+        let n = events.len();
+        let trace = obs::chrome_trace_of(events);
+        let parsed = json::parse(&trace).expect("trace must parse");
+        let arr = parsed
+            .get("traceEvents")
+            .and_then(json::Json::as_arr)
+            .expect("traceEvents array");
+        prop_assert_eq!(arr.len(), n);
+        for e in arr {
+            prop_assert!(e.get("name").and_then(json::Json::as_str).is_some());
+            let ph = e.get("ph").and_then(json::Json::as_str).expect("ph");
+            prop_assert!(ph == "X" || ph == "i");
+        }
+        // Re-rendering the parsed value round-trips: the writer stays
+        // inside the subset the daemon's own writer is a fixpoint on.
+        let rendered = parsed.to_string();
+        let reparsed = json::parse(&rendered).expect("re-render must parse");
+        prop_assert_eq!(parsed, reparsed);
+    }
+}

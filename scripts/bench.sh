@@ -28,6 +28,10 @@ fi
 raw=$(
     cargo bench -p strtaint-bench --bench analyze 2>/dev/null | grep '^bench '
     cargo bench -p strtaint-bench --bench check 2>/dev/null | grep '^bench '
+    # Per-phase time breakdown from the structured tracing layer
+    # (strtaint-obs): one row per pipeline phase, measured over a
+    # corpus run, plus a Chrome-trace artifact in target/.
+    cargo bench -p strtaint-bench --bench trace_phases 2>/dev/null | grep '^bench '
 )
 echo "$raw"
 

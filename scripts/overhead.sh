@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Tracing-overhead smoke check: a warm corpus run with aggregate
+# tracing (the --stats configuration) must stay within 5% of the same
+# run with tracing fully off.
+#
+#   sh scripts/overhead.sh
+#
+# The measurement itself lives in tests/obs_invariance.rs
+# (`aggregate_tracing_overhead_is_within_5_percent`), marked
+# `#[ignore]` so the ordinary test run — often on a noisy laptop —
+# never flakes on it. This script runs it in release mode, where the
+# 5% margin is meaningful; CI gives it a dedicated quiet job.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# Name the test explicitly: the binary also carries an `--ignored`
+# diagnostic (overhead_null_experiment) that must not run concurrently
+# with the measurement on a small machine.
+cargo test --release --test obs_invariance aggregate_tracing_overhead -- --ignored --nocapture
+
+echo "overhead OK (aggregate tracing within 5% of disabled)"

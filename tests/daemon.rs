@@ -222,3 +222,185 @@ fn editing_one_page_rechecks_only_that_page() {
 
     let _ = std::fs::remove_dir_all(&cache);
 }
+
+// ---------------------------------------------------------------------
+// The `metrics` verb (observability layer)
+// ---------------------------------------------------------------------
+
+/// The `metrics` member of a metrics response.
+fn metrics_of(response: &Json) -> &Json {
+    response.get("metrics").expect("metrics member")
+}
+
+/// A plain-number metric (counter or gauge) by registry name.
+fn metric(response: &Json, name: &str) -> f64 {
+    metrics_of(response)
+        .get(name)
+        .and_then(Json::as_num)
+        .unwrap_or(f64::NAN)
+}
+
+/// A histogram metric's observation count by registry name.
+fn histogram_count(response: &Json, name: &str) -> f64 {
+    metrics_of(response)
+        .get(name)
+        .and_then(|h| h.get("count"))
+        .and_then(Json::as_num)
+        .unwrap_or(f64::NAN)
+}
+
+#[test]
+fn metrics_verb_roundtrips_over_stdio() {
+    let app = small_app();
+    let state = DaemonState::new(app.vfs.clone(), strtaint::Config::default(), None);
+    let entries: Vec<String> = app.entries.iter().map(|e| format!("\"{e}\"")).collect();
+    let input = format!(
+        "{{\"cmd\":\"analyze\",\"entries\":[{}]}}\n{{\"cmd\":\"metrics\"}}\n{{\"cmd\":\"shutdown\"}}\n",
+        entries.join(",")
+    );
+    let mut output = Vec::new();
+    let shut = strtaint_daemon::serve_lines(&state, input.as_bytes(), &mut output)
+        .expect("serves");
+    assert!(shut);
+    let lines: Vec<&str> = std::str::from_utf8(&output).expect("utf8").lines().collect();
+    assert_eq!(lines.len(), 3);
+    let m = strtaint_daemon::json::parse(lines[1]).expect("metrics line parses");
+    assert_eq!(m.get("ok").and_then(Json::as_bool), Some(true));
+    // Every EngineStats counter is present, alongside the daemon's own.
+    for name in [
+        "engine.queries",
+        "engine.normalizations",
+        "engine.normalizations_saved",
+        "engine.realized_triples",
+        "engine.early_exits",
+        "summary_cache.hits",
+        "summary_cache.misses",
+    ] {
+        assert!(metric(&m, name).is_finite(), "missing metric {name}");
+    }
+    assert!(metric(&m, "engine.queries") > 0.0, "analyze ran engine work");
+    assert_eq!(metric(&m, "daemon.pages_computed"), app.entries.len() as f64);
+    assert_eq!(metric(&m, "daemon.requests"), 2.0, "analyze + this metrics call");
+    assert_eq!(
+        histogram_count(&m, "daemon.compute_us"),
+        app.entries.len() as f64,
+        "one compute-latency observation per computed page"
+    );
+}
+
+#[cfg(unix)]
+#[test]
+fn metrics_verb_roundtrips_over_unix_socket() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    let app = small_app();
+    let socket = std::env::temp_dir().join(format!(
+        "strtaint-daemon-it-{}-metrics.sock",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&socket);
+    let state = DaemonState::new(app.vfs.clone(), strtaint::Config::default(), None);
+
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| strtaint_daemon::server::serve_socket(&state, &socket));
+
+        // The listener needs a moment to bind; retry the connect.
+        let mut stream = None;
+        for _ in 0..100 {
+            match UnixStream::connect(&socket) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        }
+        let stream = stream.expect("socket accepts connections");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut send = |line: &str| {
+            (&stream).write_all(line.as_bytes()).expect("write");
+            (&stream).write_all(b"\n").expect("write newline");
+            let mut response = String::new();
+            reader.read_line(&mut response).expect("read response");
+            strtaint_daemon::json::parse(&response).expect("response parses")
+        };
+
+        let entry = &app.entries[0];
+        let r = send(&format!("{{\"cmd\":\"analyze\",\"entries\":[\"{entry}\"]}}"));
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        let m = send("{\"cmd\":\"metrics\"}");
+        assert_eq!(m.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(metric(&m, "daemon.pages_computed"), 1.0);
+        assert!(metric(&m, "engine.queries").is_finite());
+        let s = send("{\"cmd\":\"shutdown\"}");
+        assert_eq!(s.get("shutdown").and_then(Json::as_bool), Some(true));
+        server.join().expect("server thread").expect("serve ok");
+    });
+    let _ = std::fs::remove_file(&socket);
+}
+
+#[test]
+fn metrics_counters_increase_monotonically_across_analyzes() {
+    let app = small_app();
+    let state = DaemonState::new(app.vfs.clone(), strtaint::Config::default(), None);
+
+    analyze_all(&state, &app);
+    let m1 = request(&state, "{\"cmd\":\"metrics\"}");
+    analyze_all(&state, &app); // warm: replays, no engine work
+    let m2 = request(&state, "{\"cmd\":\"metrics\"}");
+
+    // Monotone counters move forward, never back.
+    assert!(metric(&m2, "daemon.requests") > metric(&m1, "daemon.requests"));
+    assert_eq!(
+        metric(&m2, "daemon.pages_replayed"),
+        metric(&m1, "daemon.pages_replayed") + app.entries.len() as f64,
+        "second analyze replays every page"
+    );
+    assert_eq!(
+        metric(&m2, "daemon.pages_computed"),
+        metric(&m1, "daemon.pages_computed"),
+        "replay computes nothing"
+    );
+    assert_eq!(
+        metric(&m2, "engine.queries"),
+        metric(&m1, "engine.queries"),
+        "replay adds zero engine queries"
+    );
+    assert_eq!(
+        histogram_count(&m2, "daemon.replay_us"),
+        histogram_count(&m1, "daemon.replay_us") + app.entries.len() as f64,
+        "one replay-latency observation per replayed page"
+    );
+}
+
+#[test]
+fn metrics_reset_across_restart_even_when_verdicts_replay() {
+    let app = small_app();
+    let cache = temp_cache("metrics-restart");
+    let n = app.entries.len() as f64;
+
+    let first = boot(&app, &cache);
+    analyze_all(&first, &app);
+    let m1 = request(&first, "{\"cmd\":\"metrics\"}");
+    assert_eq!(metric(&m1, "daemon.pages_computed"), n);
+    assert!(metric(&m1, "engine.queries") > 0.0);
+    drop(first); // "kill" the daemon
+
+    // Restart over the same store: verdicts replay, metrics start over.
+    let second = boot(&app, &cache);
+    let m2 = request(&second, "{\"cmd\":\"metrics\"}");
+    assert_eq!(metric(&m2, "daemon.pages_computed"), 0.0, "fresh counters");
+    assert_eq!(metric(&m2, "daemon.pages_replayed"), 0.0);
+    assert_eq!(metric(&m2, "engine.queries"), 0.0, "no engine work yet");
+    assert_eq!(metric(&m2, "daemon.requests"), 1.0, "only this metrics call");
+
+    analyze_all(&second, &app);
+    let m3 = request(&second, "{\"cmd\":\"metrics\"}");
+    assert_eq!(metric(&m3, "daemon.pages_replayed"), n, "store replays all");
+    assert_eq!(metric(&m3, "daemon.pages_computed"), 0.0);
+    assert_eq!(metric(&m3, "engine.queries"), 0.0, "replay is engine-free");
+    assert_eq!(histogram_count(&m3, "daemon.replay_us"), n);
+
+    let _ = std::fs::remove_dir_all(&cache);
+}

@@ -235,15 +235,17 @@ pub mod string {
                     .position(|&b| b == b'}')
                     .map(|p| i + p)
                     .unwrap_or_else(|| panic!("unterminated repetition in {pattern:?}"));
-                let body = std::str::from_utf8(&bytes[i + 1..close]).unwrap();
+                let body = std::str::from_utf8(&bytes[i + 1..close])
+                    .expect("repetition bounds are ASCII");
                 i = close + 1;
                 match body.split_once(',') {
                     Some((lo, hi)) => (
-                        lo.trim().parse().unwrap(),
-                        hi.trim().parse().unwrap(),
+                        lo.trim().parse().expect("repetition lower bound is a number"),
+                        hi.trim().parse().expect("repetition upper bound is a number"),
                     ),
                     None => {
-                        let n: usize = body.trim().parse().unwrap();
+                        let n: usize =
+                            body.trim().parse().expect("repetition count is a number");
                         (n, n)
                     }
                 }
