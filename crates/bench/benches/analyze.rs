@@ -12,13 +12,24 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use strtaint::{analyze_page_cached, analyze_page_with, Checker, Config, SummaryCache};
 use strtaint_corpus::synth::{synth_app, SynthConfig};
 
+/// Page-count override from `STRTAINT_BENCH_PAGES` (set by
+/// `scripts/bench.sh --pages N`), so the same bench sources sweep from
+/// the committed baseline up to fleet-scale (1k+) corpora.
+fn pages_override() -> Option<usize> {
+    std::env::var("STRTAINT_BENCH_PAGES").ok()?.parse().ok()
+}
+
 fn bench_analyze(c: &mut Criterion) {
     let config = Config::default();
     let checker = Checker::new();
     let mut group = c.benchmark_group("analyze");
     group.sample_size(10);
 
-    for pages in [10usize, 30] {
+    let page_counts = match pages_override() {
+        Some(p) => vec![p],
+        None => vec![10usize, 30],
+    };
+    for pages in page_counts {
         let app = synth_app(&SynthConfig {
             pages,
             ..SynthConfig::default()

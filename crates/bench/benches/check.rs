@@ -28,12 +28,19 @@ use strtaint_corpus::synth::{synth_app, SynthConfig};
 use strtaint_daemon::{DaemonState, PageOutcome};
 use strtaint_grammar::Budget;
 
+/// Page-count override from `STRTAINT_BENCH_PAGES` (set by
+/// `scripts/bench.sh --pages N`), so the same bench sources sweep from
+/// the committed 30-page baseline up to fleet-scale (1k+) corpora.
+fn pages_override() -> Option<usize> {
+    std::env::var("STRTAINT_BENCH_PAGES").ok()?.parse().ok()
+}
+
 fn bench_check(c: &mut Criterion) {
     let config = Config::default();
     let mut group = c.benchmark_group("check");
     group.sample_size(10);
 
-    let pages = 30usize;
+    let pages = pages_override().unwrap_or(30);
     let app = synth_app(&SynthConfig {
         pages,
         sinks_per_page: 3,

@@ -52,6 +52,24 @@ impl Default for SynthConfig {
     }
 }
 
+impl SynthConfig {
+    /// A fleet-scale preset: `pages` entry points (1k+ is the intended
+    /// range) with filler trimmed so generation and parsing stay cheap
+    /// enough for soak tests and CI benches. Fully determined by
+    /// `(pages, seed)` — two calls produce byte-identical trees.
+    pub fn fleet(pages: usize, seed: u64) -> SynthConfig {
+        SynthConfig {
+            pages,
+            helpers: 10,
+            filler_lines: 8,
+            vuln_every: 5,
+            replace_chain: 0,
+            sinks_per_page: 1,
+            seed,
+        }
+    }
+}
+
 /// Generates a synthetic application.
 pub fn synth_app(cfg: &SynthConfig) -> App {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -157,6 +175,36 @@ mod tests {
         });
         // Same shape, different content selections.
         assert_eq!(a.entries.len(), c.entries.len());
+    }
+
+    #[test]
+    fn fleet_scale_generation_is_deterministic_at_1k_pages() {
+        let a = synth_app(&SynthConfig::fleet(1_024, 11));
+        let b = synth_app(&SynthConfig::fleet(1_024, 11));
+        assert_eq!(a.entries.len(), 1_024);
+        // Byte-identical trees, file by file — soak runs that shard
+        // the same seed across workspaces depend on this.
+        let paths: Vec<&str> = a.vfs.paths().collect();
+        assert_eq!(paths.len(), 1_025, "1024 pages + lib.php");
+        for p in paths {
+            assert_eq!(a.vfs.get(p), b.vfs.get(p), "{p} differs across runs");
+        }
+        // A different seed moves content but not shape.
+        let c = synth_app(&SynthConfig::fleet(1_024, 12));
+        assert_eq!(c.entries.len(), 1_024);
+        assert!(
+            (0..1_024).any(|i| {
+                let p = format!("page{i}.php");
+                a.vfs.get(&p) != c.vfs.get(&p)
+            }),
+            "seed must influence page content"
+        );
+        // Spot-check that scale pages still parse (full-corpus parse
+        // is covered at default size by generated_files_parse).
+        for p in ["page0.php", "page511.php", "page1023.php", "lib.php"] {
+            strtaint_php::parse(a.vfs.get(p).unwrap())
+                .unwrap_or_else(|e| panic!("{p}: {e}"));
+        }
     }
 
     #[test]

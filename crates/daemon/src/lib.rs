@@ -24,9 +24,15 @@
 //!   new intersection queries.
 //! - [`protocol`] — newline-delimited JSON requests (`analyze`,
 //!   `invalidate`, `status`, `shutdown`) and their responses.
-//! - [`server`] — the transports: stdin/stdout line loop and a
-//!   concurrent Unix-socket listener, plus the `strtaint serve` flag
-//!   parsing ([`server::cli_serve`]).
+//! - [`workspace`] — multi-tenant sharding: one daemon, many
+//!   independent workspace roots, each with its own state and locks.
+//! - [`pool`] — the bounded, priority-aware worker pool with
+//!   shed-load backpressure, per-request deadlines, bounded drain,
+//!   and fault-injection hooks for the soak suite.
+//! - [`server`] — routing, the stdin/stdout line loop, and the
+//!   `strtaint serve` flag parsing ([`server::cli_serve`]);
+//!   [`socket`] — the concurrent Unix-socket transport whose request
+//!   execution is bounded by the pool.
 //! - [`json`] — a dependency-free JSON parser and deterministic writer
 //!   whose output is a fixpoint of its parser (the property replay
 //!   byte-identity rests on).
@@ -35,12 +41,20 @@
 #![warn(clippy::unwrap_used)]
 
 pub mod json;
+pub mod pool;
 pub mod protocol;
 pub mod server;
+#[cfg(unix)]
+pub mod socket;
 pub mod state;
 pub mod store;
 pub mod verdict;
+pub mod workspace;
 
-pub use server::{cli_serve, serve_lines, ServeOptions};
+pub use pool::{ExpireReason, PoolFault, StallGate, SubmitError, WorkerPool};
+pub use server::{
+    cli_serve, serve_lines, serve_server_lines, ServeOptions, ServerConfig, ServerState,
+};
 pub use state::{DaemonState, PageOutcome};
 pub use store::ArtifactStore;
+pub use workspace::{canonical_key, WorkspaceLoader, WorkspaceMap};

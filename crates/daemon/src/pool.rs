@@ -1,0 +1,643 @@
+//! The bounded worker pool behind the socket transport.
+//!
+//! Thread-per-connection execution (PR 4) let one slow or hostile
+//! client spawn unbounded concurrent analyses. This module replaces the
+//! *execution* half of that model: connections still get a cheap
+//! reader thread each, but every request that can do real work
+//! (`analyze`, `invalidate`, `batch`) is submitted to one process-wide
+//! [`WorkerPool`] — `--workers` threads fed by a priority-aware bounded
+//! queue (`--queue-depth`).
+//!
+//! The contract, in order of importance:
+//!
+//! 1. **Bounded latency over unbounded queueing.** A full queue rejects
+//!    the submission immediately ([`SubmitError::Overloaded`] with a
+//!    `retry_after_ms` hint) instead of growing without limit; the
+//!    server turns that into a structured shed-load response.
+//! 2. **Deadlines cancel queued work.** A job carrying a deadline that
+//!    expires while queued is *not* run: its [`ExpireReason::Deadline`]
+//!    callback fires instead, so a client that has already given up
+//!    never costs engine time.
+//! 3. **Worker panics are survivable.** Each job runs under
+//!    `catch_unwind`; a panicking job (or an armed [`PoolFault`]) kills
+//!    neither the worker nor the queue. The submitter observes the
+//!    dropped response channel and synthesizes a structured error.
+//! 4. **Drain is bounded.** [`WorkerPool::drain`] stops intake, gives
+//!    in-flight and queued work a deadline, and flushes whatever is
+//!    still queued past it through [`ExpireReason::Shutdown`] callbacks
+//!    — shutdown can be slow, never unbounded.
+//!
+//! Priorities are `0..=9`, higher first; ties execute in submission
+//! order (FIFO), so equal-priority traffic cannot starve.
+
+use std::collections::BinaryHeap;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use strtaint_obs::{Counter, Gauge, Registry};
+
+/// Highest request priority the protocol accepts (`0..=MAX_PRIORITY`).
+pub const MAX_PRIORITY: u8 = 9;
+
+/// Why a job was flushed without running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpireReason {
+    /// The job's own deadline passed while it sat in the queue.
+    Deadline,
+    /// The pool drained past its shutdown deadline with the job still
+    /// queued.
+    Shutdown,
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; retry after the hinted backoff.
+    Overloaded {
+        /// Suggested client backoff, derived from queue depth.
+        retry_after_ms: u64,
+    },
+    /// The pool is draining; no new work is accepted.
+    ShuttingDown,
+}
+
+type Work = Box<dyn FnOnce() + Send + 'static>;
+type ExpireFn = Box<dyn FnOnce(ExpireReason) + Send + 'static>;
+
+struct QueuedJob {
+    priority: u8,
+    seq: u64,
+    deadline: Option<Instant>,
+    run: Work,
+    expired: ExpireFn,
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for QueuedJob {}
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first; within a priority, lower
+        // sequence number (earlier submission) first.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Fault-injection hooks for robustness tests (`tests/daemon_faults.rs`
+/// and the soak suite). Inert unless armed; production code never arms
+/// them.
+#[derive(Debug, Default)]
+pub struct PoolFault {
+    /// Countdown: when it hits 1, the worker panics *instead of*
+    /// running its job (simulating a worker dying mid-request).
+    panic_after: AtomicU64,
+    /// When set, the next job holds its worker until released
+    /// (deterministically saturates the queue in tests).
+    stall: Mutex<Option<Arc<StallGate>>>,
+}
+
+/// A gate a stalled worker waits on; see [`PoolFault::arm_stall_next`].
+#[derive(Debug, Default)]
+pub struct StallGate {
+    released: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl StallGate {
+    /// Creates an unreleased gate.
+    pub fn new() -> Arc<StallGate> {
+        Arc::new(StallGate::default())
+    }
+
+    /// Releases every worker waiting on the gate.
+    pub fn release(&self) {
+        *self.released.lock().unwrap_or_else(|p| p.into_inner()) = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut released = self.released.lock().unwrap_or_else(|p| p.into_inner());
+        while !*released {
+            // Time-boxed so a test that forgets to release cannot hang
+            // the suite forever.
+            let (guard, timeout) = self
+                .cv
+                .wait_timeout(released, Duration::from_secs(30))
+                .unwrap_or_else(|p| p.into_inner());
+            released = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+    }
+}
+
+impl PoolFault {
+    /// Arms a panic on the `n`-th job executed from now (1 = next).
+    pub fn arm_panic_after(&self, n: u64) {
+        self.panic_after.store(n, Ordering::SeqCst);
+    }
+
+    /// Stalls the next executed job on `gate` until released.
+    pub fn arm_stall_next(&self, gate: Arc<StallGate>) {
+        *self.stall.lock().unwrap_or_else(|p| p.into_inner()) = Some(gate);
+    }
+
+    /// Applied by workers at job start. Panics when armed to.
+    fn on_job_start(&self) {
+        if let Some(gate) = self
+            .stall
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take()
+        {
+            gate.wait();
+        }
+        // Countdown without underflow: only decrement while armed.
+        let mut v = self.panic_after.load(Ordering::SeqCst);
+        while v > 0 {
+            match self.panic_after.compare_exchange(
+                v,
+                v - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    if v == 1 {
+                        panic!("PoolFault: injected worker panic");
+                    }
+                    return;
+                }
+                Err(cur) => v = cur,
+            }
+        }
+    }
+}
+
+/// Pool metrics, registered in the server's [`Registry`].
+#[derive(Debug)]
+struct PoolMetrics {
+    queue_depth: Arc<Gauge>,
+    shed: Arc<Counter>,
+    executed: Arc<Counter>,
+    cancelled: Arc<Counter>,
+    worker_panics: Arc<Counter>,
+}
+
+struct QueueState {
+    heap: BinaryHeap<QueuedJob>,
+    seq: u64,
+    /// Accepting new submissions.
+    open: bool,
+    /// Workers should exit once the heap is empty.
+    terminate: bool,
+    /// Jobs currently executing.
+    active: usize,
+}
+
+struct Shared {
+    q: Mutex<QueueState>,
+    cv: Condvar,
+    cap: usize,
+    metrics: PoolMetrics,
+    fault: PoolFault,
+}
+
+/// A fixed set of worker threads over one bounded priority queue.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .field("cap", &self.shared.cap)
+            .finish()
+    }
+}
+
+/// The default worker count: `min(cores, 8)`.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (min 1) over a queue bounded at
+    /// `queue_depth` (min 1), registering `daemon.queue_depth`,
+    /// `daemon.shed`, `daemon.jobs_executed`, `daemon.jobs_cancelled`,
+    /// and `daemon.worker_panics` in `registry`.
+    pub fn new(workers: usize, queue_depth: usize, registry: &Registry) -> WorkerPool {
+        let workers = workers.max(1);
+        let metrics = PoolMetrics {
+            queue_depth: registry.gauge("daemon.queue_depth"),
+            shed: registry.counter("daemon.shed"),
+            executed: registry.counter("daemon.jobs_executed"),
+            cancelled: registry.counter("daemon.jobs_cancelled"),
+            worker_panics: registry.counter("daemon.worker_panics"),
+        };
+        let shared = Arc::new(Shared {
+            q: Mutex::new(QueueState {
+                heap: BinaryHeap::new(),
+                seq: 0,
+                open: true,
+                terminate: false,
+                active: 0,
+            }),
+            cv: Condvar::new(),
+            cap: queue_depth.max(1),
+            metrics,
+            fault: PoolFault::default(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("strtaint-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .unwrap_or_else(|e| panic!("cannot spawn worker thread: {e}"))
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            workers,
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The queue capacity.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.cap
+    }
+
+    /// The fault-injection hooks (inert unless armed by tests).
+    pub fn fault(&self) -> &PoolFault {
+        &self.shared.fault
+    }
+
+    /// Submits a job, or rejects it when the queue is full or the pool
+    /// is draining. `run` executes on a worker; `expired` fires instead
+    /// when the job is cancelled (deadline passed while queued, or
+    /// drain flushed it).
+    pub fn try_submit(
+        &self,
+        priority: u8,
+        deadline: Option<Instant>,
+        run: impl FnOnce() + Send + 'static,
+        expired: impl FnOnce(ExpireReason) + Send + 'static,
+    ) -> Result<(), SubmitError> {
+        let mut q = self.shared.q.lock().unwrap_or_else(|p| p.into_inner());
+        if !q.open {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if q.heap.len() >= self.shared.cap {
+            self.shared.metrics.shed.inc();
+            // Backoff hint: proportional to the backlog each worker
+            // would have to clear, floor 10ms, cap 1s. Coarse on
+            // purpose — it spreads a thundering herd, nothing more.
+            let per_worker = (q.heap.len() + q.active) / self.workers.max(1);
+            let retry_after_ms = (per_worker as u64 * 20).clamp(10, 1_000);
+            return Err(SubmitError::Overloaded { retry_after_ms });
+        }
+        q.seq += 1;
+        let job = QueuedJob {
+            priority: priority.min(MAX_PRIORITY),
+            seq: q.seq,
+            deadline,
+            run: Box::new(run),
+            expired: Box::new(expired),
+        };
+        q.heap.push(job);
+        self.shared.metrics.queue_depth.set(q.heap.len() as u64);
+        drop(q);
+        self.shared.cv.notify_one();
+        Ok(())
+    }
+
+    /// Stops intake and waits up to `deadline` for queued and active
+    /// work to finish. Whatever is still *queued* past the deadline is
+    /// flushed through its `expired` callback with
+    /// [`ExpireReason::Shutdown`]; active jobs are allowed to finish
+    /// (they already hold a worker). Returns the number of flushed
+    /// jobs.
+    pub fn drain(&self, deadline: Duration) -> usize {
+        let end = Instant::now() + deadline;
+        {
+            let mut q = self.shared.q.lock().unwrap_or_else(|p| p.into_inner());
+            q.open = false;
+        }
+        self.shared.cv.notify_all();
+        // Phase 1: bounded wait for the backlog to clear naturally.
+        {
+            let mut q = self.shared.q.lock().unwrap_or_else(|p| p.into_inner());
+            while (!q.heap.is_empty() || q.active > 0) && Instant::now() < end {
+                let wait = end.saturating_duration_since(Instant::now());
+                let (guard, _) = self
+                    .shared
+                    .cv
+                    .wait_timeout(q, wait.min(Duration::from_millis(50)))
+                    .unwrap_or_else(|p| p.into_inner());
+                q = guard;
+            }
+        }
+        // Phase 2: flush whatever is still queued.
+        let mut flushed = Vec::new();
+        {
+            let mut q = self.shared.q.lock().unwrap_or_else(|p| p.into_inner());
+            while let Some(job) = q.heap.pop() {
+                flushed.push(job);
+            }
+            q.terminate = true;
+            self.shared.metrics.queue_depth.set(0);
+        }
+        self.shared.cv.notify_all();
+        let n = flushed.len();
+        for job in flushed {
+            self.shared.metrics.cancelled.inc();
+            run_quiet(|| (job.expired)(ExpireReason::Shutdown));
+        }
+        n
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Idempotent with an explicit drain() — the queue is already
+        // closed and flushed, so this only signals termination.
+        self.drain(Duration::from_millis(0));
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Runs `f`, swallowing panics (used for cancellation callbacks — a
+/// panicking callback must not poison the drain loop).
+fn run_quiet(f: impl FnOnce()) {
+    let _ = std::panic::catch_unwind(AssertUnwindSafe(f));
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.q.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(job) = q.heap.pop() {
+                    q.active += 1;
+                    shared.metrics.queue_depth.set(q.heap.len() as u64);
+                    break Some(job);
+                }
+                if q.terminate {
+                    break None;
+                }
+                q = shared
+                    .cv
+                    .wait(q)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        let Some(job) = job else { return };
+
+        if job.deadline.is_some_and(|d| Instant::now() > d) {
+            shared.metrics.cancelled.inc();
+            run_quiet(|| (job.expired)(ExpireReason::Deadline));
+        } else {
+            let run = job.run;
+            let fault = &shared.fault;
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                fault.on_job_start();
+                run();
+            }));
+            match outcome {
+                Ok(()) => shared.metrics.executed.inc(),
+                Err(_) => shared.metrics.worker_panics.inc(),
+            }
+        }
+
+        let mut q = shared.q.lock().unwrap_or_else(|p| p.into_inner());
+        q.active -= 1;
+        drop(q);
+        // Wake drain waiters (and idle peers, harmlessly).
+        shared.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn pool(workers: usize, depth: usize) -> WorkerPool {
+        WorkerPool::new(workers, depth, &Registry::new())
+    }
+
+    #[test]
+    fn executes_submitted_jobs() {
+        let p = pool(2, 8);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..5 {
+            let tx = tx.clone();
+            p.try_submit(0, None, move || tx.send(i).expect("send"), |_| {})
+                .expect("fits");
+        }
+        let mut got: Vec<i32> = (0..5).map(|_| rx.recv().expect("recv")).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn priority_orders_queued_work() {
+        // One worker, held at a gate while we queue behind it: the
+        // queued jobs must then run highest-priority first, FIFO
+        // within a priority.
+        let p = pool(1, 16);
+        let gate = StallGate::new();
+        p.fault().arm_stall_next(Arc::clone(&gate));
+        let (tx, rx) = mpsc::channel();
+        {
+            let tx = tx.clone();
+            p.try_submit(0, None, move || tx.send("hold").expect("send"), |_| {})
+                .expect("fits");
+        }
+        // Give the worker a moment to pick up the holding job, so the
+        // rest all queue.
+        std::thread::sleep(Duration::from_millis(50));
+        for (prio, tag) in [(1u8, "low-a"), (5, "mid"), (9, "high"), (1, "low-b")] {
+            let tx = tx.clone();
+            p.try_submit(prio, None, move || tx.send(tag).expect("send"), |_| {})
+                .expect("fits");
+        }
+        gate.release();
+        let order: Vec<&str> = (0..5).map(|_| rx.recv().expect("recv")).collect();
+        assert_eq!(order, vec!["hold", "high", "mid", "low-a", "low-b"]);
+    }
+
+    #[test]
+    fn full_queue_sheds_with_backoff_hint() {
+        let p = pool(1, 2);
+        let gate = StallGate::new();
+        p.fault().arm_stall_next(Arc::clone(&gate));
+        let (tx, rx) = mpsc::channel();
+        // 1 running (stalled) + 2 queued = full.
+        for _ in 0..3 {
+            let tx = tx.clone();
+            p.try_submit(0, None, move || tx.send(()).expect("send"), |_| {})
+                .expect("accepted");
+            // Ensure the first job is picked up before the queue fills.
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        match p.try_submit(0, None, || {}, |_| {}) {
+            Err(SubmitError::Overloaded { retry_after_ms }) => {
+                assert!((10..=1_000).contains(&retry_after_ms));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        gate.release();
+        for _ in 0..3 {
+            rx.recv().expect("queued jobs still run");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_cancels_queued_job() {
+        let p = pool(1, 8);
+        let gate = StallGate::new();
+        p.fault().arm_stall_next(Arc::clone(&gate));
+        let (tx, rx) = mpsc::channel();
+        {
+            let tx = tx.clone();
+            p.try_submit(0, None, move || tx.send("ran").expect("send"), |_| {})
+                .expect("fits");
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        // Queued behind the stalled worker with an already-tiny budget:
+        // by the time the gate opens, the deadline has passed.
+        let deadline = Instant::now() + Duration::from_millis(1);
+        {
+            let run_tx = tx.clone();
+            let expire_tx = tx.clone();
+            p.try_submit(
+                0,
+                Some(deadline),
+                move || run_tx.send("must not run").expect("send"),
+                move |reason| {
+                    assert_eq!(reason, ExpireReason::Deadline);
+                    expire_tx.send("expired").expect("send");
+                },
+            )
+            .expect("fits");
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        gate.release();
+        assert_eq!(rx.recv().expect("first"), "ran");
+        assert_eq!(rx.recv().expect("second"), "expired");
+    }
+
+    #[test]
+    fn worker_panic_does_not_kill_the_pool() {
+        let p = pool(1, 8);
+        let (tx, rx) = mpsc::channel();
+        p.fault().arm_panic_after(1);
+        {
+            let tx = tx.clone();
+            // The panic fires before run(); the sender is dropped, so
+            // the receiver sees disconnection — exactly what the
+            // server's response synthesis keys on.
+            p.try_submit(0, None, move || tx.send("a").expect("send"), |_| {})
+                .expect("fits");
+        }
+        // The job's sender clone must be dropped by the panic.
+        drop(tx);
+        assert!(rx.recv().is_err(), "panicked job never responds");
+        // The pool is still alive: a fresh job runs on the same worker.
+        let (tx2, rx2) = mpsc::channel();
+        p.try_submit(0, None, move || tx2.send("b").expect("send"), |_| {})
+            .expect("pool still accepts");
+        assert_eq!(rx2.recv().expect("pool still runs"), "b");
+    }
+
+    #[test]
+    fn drain_flushes_queued_jobs_past_deadline() {
+        let p = pool(1, 8);
+        let gate = StallGate::new();
+        p.fault().arm_stall_next(Arc::clone(&gate));
+        let (tx, rx) = mpsc::channel();
+        {
+            let tx = tx.clone();
+            p.try_submit(0, None, move || tx.send("held").expect("send"), |_| {})
+                .expect("fits");
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        for _ in 0..3 {
+            let tx = tx.clone();
+            p.try_submit(
+                0,
+                None,
+                || panic!("flushed jobs must not run"),
+                move |reason| {
+                    assert_eq!(reason, ExpireReason::Shutdown);
+                    tx.send("flushed").expect("send");
+                },
+            )
+            .expect("fits");
+        }
+        // Worker is stalled: the 0ms drain flushes all queued jobs.
+        let draining = std::thread::spawn({
+            let gate = Arc::clone(&gate);
+            move || {
+                std::thread::sleep(Duration::from_millis(100));
+                gate.release();
+            }
+        });
+        let flushed = p.drain(Duration::from_millis(10));
+        assert_eq!(flushed, 3);
+        for _ in 0..3 {
+            assert_eq!(rx.recv().expect("recv"), "flushed");
+        }
+        draining.join().expect("releaser");
+        assert_eq!(rx.recv().expect("held job finishes"), "held");
+        assert!(matches!(
+            p.try_submit(0, None, || {}, |_| {}),
+            Err(SubmitError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let p = pool(4, 8);
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..8 {
+            let tx = tx.clone();
+            p.try_submit(0, None, move || tx.send(()).expect("send"), |_| {})
+                .expect("fits");
+        }
+        drop(tx);
+        // Drop without explicit drain: queued jobs either ran or were
+        // flushed; either way drop returns (no deadlock, no leak).
+        drop(p);
+        // All 8 ran or their senders were dropped — drain to EOF.
+        while rx.recv().is_ok() {}
+    }
+}

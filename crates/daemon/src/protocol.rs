@@ -8,17 +8,39 @@
 //! |---|---|
 //! | `{"cmd":"analyze","entries":[…],"xss"?,"timeout_ms"?,"fuel"?}` | `{"ok":true,"pages":[…],"computed":n,"replayed":n}` |
 //! | `{"cmd":"invalidate","path":…,"contents"?}` | `{"ok":true,"changed":bool}` (`contents` absent = remove) |
+//! | `{"cmd":"batch","ops":[{…},…]}` | `{"ok":true,"results":[…]}` — applies N `analyze`/`invalidate`/`status` ops in order, one round-trip |
 //! | `{"cmd":"status"}` | `{"ok":true,"engine":{…},"summary_cache":{…},"store":{…},…}` |
 //! | `{"cmd":"metrics"}` | `{"ok":true,"metrics":{…}}` — the full instance registry: daemon counters, replay/compute latency histograms, engine and summary-cache counters |
 //! | `{"cmd":"shutdown"}` | `{"ok":true,"shutdown":true}`, then the server exits |
 //!
+//! Every request additionally accepts three routing fields, read by
+//! the multi-workspace server envelope (`server.rs`): `"workspace"`
+//! selects the shard (default: the `--dir` workspace), `"priority"`
+//! (0–9, higher first) orders the bounded queue, and `"deadline_ms"`
+//! cancels the request if it is still queued when the budget elapses.
+//!
 //! Malformed input never kills the daemon: every failure is an
-//! `{"ok":false,"error":…}` response on the same line slot.
+//! `{"ok":false,"error":…}` response on the same line slot. Requests
+//! are size-capped ([`MAX_LINE_BYTES`], [`MAX_BATCH_OPS`],
+//! [`MAX_ENTRIES`]) so an oversized field is a structured error, not
+//! an allocation storm.
 
 use std::sync::atomic::Ordering;
 
 use crate::json::{self, Json};
 use crate::state::{DaemonState, PageOutcome};
+
+/// Hard cap on one request line. Invalidations carry whole file
+/// contents, so the cap is generous; anything larger is hostile or a
+/// framing bug, and either way a structured error beats an allocation
+/// storm.
+pub const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
+
+/// Hard cap on `batch` ops per request.
+pub const MAX_BATCH_OPS: usize = 1_024;
+
+/// Hard cap on `analyze` entries per request.
+pub const MAX_ENTRIES: usize = 4_096;
 
 /// The result of handling one request line.
 #[derive(Debug)]
@@ -44,21 +66,77 @@ fn ok(mut members: Vec<(&str, Json)>) -> Json {
     Json::obj(members)
 }
 
+/// Parses one request line into its JSON value and command name,
+/// enforcing the size cap. Shared by the single-workspace loop and the
+/// multi-workspace server envelope.
+pub fn parse_request(line: &str) -> Result<(Json, String), Handled> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(error(format!(
+            "request too large ({} bytes, limit {MAX_LINE_BYTES})",
+            line.len()
+        )));
+    }
+    let request = match json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return Err(error(format!("invalid JSON: {e}"))),
+    };
+    let cmd = match request.get("cmd").and_then(Json::as_str) {
+        Some(c) => c.to_owned(),
+        None => return Err(error("missing \"cmd\"")),
+    };
+    Ok((request, cmd))
+}
+
+/// The request's `priority` field, clamped to 0–9 (default 0). A
+/// non-numeric value is a structured error.
+pub fn request_priority(request: &Json) -> Result<u8, Handled> {
+    match request.get("priority") {
+        None | Some(Json::Null) => Ok(0),
+        Some(Json::Num(n)) if n.is_finite() && *n >= 0.0 => Ok((*n as u64).min(9) as u8),
+        Some(_) => Err(error("\"priority\" must be a number in 0..=9")),
+    }
+}
+
+/// The request's `deadline_ms` field as a duration (default none). A
+/// non-numeric or non-positive value is a structured error.
+pub fn request_deadline(request: &Json) -> Result<Option<std::time::Duration>, Handled> {
+    match request.get("deadline_ms") {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Num(n)) if n.is_finite() && *n > 0.0 => {
+            Ok(Some(std::time::Duration::from_secs_f64(n / 1e3)))
+        }
+        Some(_) => Err(error("\"deadline_ms\" must be a positive number")),
+    }
+}
+
 /// Handles one request line against the resident state, returning the
 /// response line. Never panics on malformed input.
 pub fn handle_line(state: &DaemonState, line: &str) -> Handled {
     state.counters.requests.inc();
-    let request = match json::parse(line) {
-        Ok(v) => v,
-        Err(e) => return error(format!("invalid JSON: {e}")),
+    let (request, cmd) = match parse_request(line) {
+        Ok(parsed) => parsed,
+        Err(handled) => return handled,
     };
-    let cmd = match request.get("cmd").and_then(Json::as_str) {
-        Some(c) => c.to_owned(),
-        None => return error("missing \"cmd\""),
-    };
-    match cmd.as_str() {
-        "analyze" => handle_analyze(state, &request),
-        "invalidate" => handle_invalidate(state, &request),
+    // Routing fields are validated even where they are not acted on
+    // (the stdio loop has no queue): a typo'd priority should fail
+    // loudly, not be silently ignored.
+    if let Err(h) = request_priority(&request) {
+        return h;
+    }
+    if let Err(h) = request_deadline(&request) {
+        return h;
+    }
+    dispatch_cmd(state, &cmd, &request)
+}
+
+/// Dispatches one parsed request against one workspace's state. This
+/// is the workspace-verb core shared by [`handle_line`] and the
+/// multi-workspace server (which resolves the shard first).
+pub fn dispatch_cmd(state: &DaemonState, cmd: &str, request: &Json) -> Handled {
+    match cmd {
+        "analyze" => handle_analyze(state, request),
+        "invalidate" => handle_invalidate(state, request),
+        "batch" => handle_batch(state, request),
         "status" => handle_status(state),
         "metrics" => Handled {
             response: ok(vec![("metrics", state.metrics_json())]),
@@ -72,9 +150,51 @@ pub fn handle_line(state: &DaemonState, line: &str) -> Handled {
     }
 }
 
+/// Applies a `batch` request: `ops` is an array of `analyze` /
+/// `invalidate` / `status` objects executed in order against one
+/// workspace, answered with one `results` array in the same order —
+/// N deltas plus a re-analysis in a single round-trip. Per-op
+/// failures occupy their result slot as `{"ok":false,…}` without
+/// aborting the rest of the batch.
+fn handle_batch(state: &DaemonState, request: &Json) -> Handled {
+    let ops = match request.get("ops").and_then(Json::as_arr) {
+        Some(arr) => arr,
+        None => return error("\"batch\" needs \"ops\": [requests]"),
+    };
+    if ops.len() > MAX_BATCH_OPS {
+        return error(format!(
+            "batch too large ({} ops, limit {MAX_BATCH_OPS})",
+            ops.len()
+        ));
+    }
+    let mut results = Vec::with_capacity(ops.len());
+    for op in ops {
+        let result = match op.get("cmd").and_then(Json::as_str) {
+            Some(cmd @ ("analyze" | "invalidate" | "status")) => {
+                dispatch_cmd(state, cmd, op).response
+            }
+            Some(other) => {
+                error(format!("op {other:?} not allowed in batch")).response
+            }
+            None => error("batch op missing \"cmd\"").response,
+        };
+        results.push(result);
+    }
+    Handled {
+        response: ok(vec![("results", Json::Arr(results))]),
+        shutdown: false,
+    }
+}
+
 fn handle_analyze(state: &DaemonState, request: &Json) -> Handled {
     let entries: Vec<String> = match request.get("entries").and_then(Json::as_arr) {
         Some(arr) => {
+            if arr.len() > MAX_ENTRIES {
+                return error(format!(
+                    "too many entries ({}, limit {MAX_ENTRIES})",
+                    arr.len()
+                ));
+            }
             let mut out = Vec::with_capacity(arr.len());
             for e in arr {
                 match e.as_str() {
@@ -282,6 +402,70 @@ mod tests {
         assert_eq!(r2.get("changed").and_then(Json::as_bool), Some(true));
         let st2 = roundtrip(&s, "{\"cmd\":\"status\"}");
         assert_eq!(st2.get("files").and_then(Json::as_num), Some(1.0));
+    }
+
+    #[test]
+    fn batch_applies_ops_in_order_in_one_round_trip() {
+        let s = state();
+        let r = roundtrip(
+            &s,
+            "{\"cmd\":\"batch\",\"ops\":[\
+             {\"cmd\":\"invalidate\",\"path\":\"b.php\",\"contents\":\"<?php ?>\"},\
+             {\"cmd\":\"analyze\",\"entries\":[\"a.php\"]},\
+             {\"cmd\":\"status\"},\
+             {\"cmd\":\"shutdown\"},\
+             {\"cmd\":\"invalidate\",\"path\":\"b.php\"}]}",
+        );
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        let results = r.get("results").and_then(Json::as_arr).expect("results");
+        assert_eq!(results.len(), 5);
+        assert_eq!(results[0].get("changed").and_then(Json::as_bool), Some(true));
+        assert_eq!(results[1].get("computed").and_then(Json::as_num), Some(1.0));
+        assert_eq!(results[2].get("files").and_then(Json::as_num), Some(2.0));
+        // shutdown is not allowed inside a batch: its slot errors, the
+        // rest of the batch still runs.
+        assert_eq!(results[3].get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(results[4].get("changed").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn oversized_requests_get_structured_errors() {
+        let s = state();
+        // Line too long.
+        let huge = format!(
+            "{{\"cmd\":\"analyze\",\"entries\":[\"{}\"]}}",
+            "x".repeat(MAX_LINE_BYTES)
+        );
+        let r = roundtrip(&s, &huge);
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
+        // Too many batch ops.
+        let ops: Vec<String> = (0..MAX_BATCH_OPS + 1)
+            .map(|_| "{\"cmd\":\"status\"}".to_owned())
+            .collect();
+        let r = roundtrip(&s, &format!("{{\"cmd\":\"batch\",\"ops\":[{}]}}", ops.join(",")));
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(r
+            .get("error")
+            .and_then(Json::as_str)
+            .expect("error text")
+            .contains("batch too large"));
+    }
+
+    #[test]
+    fn routing_fields_are_validated() {
+        let s = state();
+        for bad in [
+            "{\"cmd\":\"status\",\"priority\":\"high\"}",
+            "{\"cmd\":\"status\",\"priority\":-1}",
+            "{\"cmd\":\"status\",\"deadline_ms\":\"soon\"}",
+            "{\"cmd\":\"status\",\"deadline_ms\":0}",
+        ] {
+            let r = roundtrip(&s, bad);
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false), "{bad}");
+        }
+        // Valid values pass through.
+        let r = roundtrip(&s, "{\"cmd\":\"status\",\"priority\":9,\"deadline_ms\":50}");
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
     }
 
     #[test]

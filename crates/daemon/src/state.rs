@@ -427,7 +427,7 @@ fn elapsed_us(t0: Instant) -> u64 {
 /// One metric snapshot as wire JSON: counters and gauges become bare
 /// numbers; histograms become `{count, sum, buckets: [{le, n}]}` with
 /// `le: null` for the +∞ overflow bucket.
-fn snapshot_to_json(snap: MetricSnapshot) -> Json {
+pub(crate) fn snapshot_to_json(snap: MetricSnapshot) -> Json {
     match snap {
         MetricSnapshot::Counter(v) | MetricSnapshot::Gauge(v) => Json::Num(v as f64),
         MetricSnapshot::Histogram { count, sum, buckets } => Json::obj(vec![

@@ -29,6 +29,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, SystemTime};
 
 use crate::json::{self, Json};
 
@@ -53,6 +54,9 @@ pub struct StoreStats {
     /// Artifacts dropped: unreadable, unparsable, version-mismatched,
     /// or failing any validation check.
     pub dropped: AtomicU64,
+    /// Stale `*.tmp.*` files garbage-collected at open (litter from
+    /// daemons that crashed mid-write).
+    pub temp_collected: AtomicU64,
 }
 
 impl StoreStats {
@@ -61,12 +65,54 @@ impl StoreStats {
     }
 }
 
+/// Fault-injection hooks for the soak/fault suite: simulates torn
+/// artifact reads without touching the disk format. Inert (all zero)
+/// in production.
+#[derive(Debug, Default)]
+pub struct StoreFault {
+    corrupt_reads: AtomicU64,
+}
+
+impl StoreFault {
+    /// Arms the next `n` verdict reads to behave as if the artifact on
+    /// disk were torn: the read is treated as corrupt, the file is
+    /// dropped, and the caller sees a miss (forcing a clean recompute —
+    /// exactly the contract a real torn artifact must hit).
+    pub fn arm_corrupt_reads(&self, n: u64) {
+        self.corrupt_reads.store(n, Ordering::SeqCst);
+    }
+
+    /// Consumes one armed corruption; `true` when this read must fail.
+    fn take_corrupt(&self) -> bool {
+        let mut current = self.corrupt_reads.load(Ordering::SeqCst);
+        while current > 0 {
+            match self.corrupt_reads.compare_exchange(
+                current,
+                current - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => current = actual,
+            }
+        }
+        false
+    }
+}
+
+/// How long a temp file must sit untouched before open-time GC removes
+/// it: long enough that a concurrent daemon mid-write is never raced,
+/// short enough that crash litter does not accumulate across runs.
+const TEMP_GRACE: Duration = Duration::from_secs(60);
+
 /// A directory of validated, atomically-written JSON artifacts.
 #[derive(Debug)]
 pub struct ArtifactStore {
     root: PathBuf,
     /// Load/store/drop counters (see [`StoreStats`]).
     pub stats: StoreStats,
+    /// Fault-injection hooks (inert in production).
+    pub fault: StoreFault,
     /// Distinguishes temp files written by concurrent daemons on the
     /// same cache directory.
     salt: u64,
@@ -83,16 +129,60 @@ impl ArtifactStore {
     pub fn open(root: &Path) -> io::Result<ArtifactStore> {
         fs::create_dir_all(root.join("verdicts"))?;
         let salt = std::process::id() as u64;
-        Ok(ArtifactStore {
+        let store = ArtifactStore {
             root: root.to_path_buf(),
             stats: StoreStats::default(),
+            fault: StoreFault::default(),
             salt,
-        })
+        };
+        // Crashed daemons leave `*.tmp.*` files behind forever (the
+        // rename never happened). Collect anything old enough that no
+        // live writer can still own it.
+        let cutoff = SystemTime::now()
+            .checked_sub(TEMP_GRACE)
+            .unwrap_or(SystemTime::UNIX_EPOCH);
+        store.gc_stale_temp_files(cutoff);
+        Ok(store)
     }
 
     /// The store's root directory.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// Removes temp files (`*.tmp.<salt>` names from [`write_atomic`])
+    /// last modified before `cutoff`, in the store root and the
+    /// verdicts directory. Returns how many were collected. Called from
+    /// [`ArtifactStore::open`] with a grace window; public so tests can
+    /// drive it with an explicit cutoff.
+    ///
+    /// [`write_atomic`]: ArtifactStore::write_atomic
+    pub fn gc_stale_temp_files(&self, cutoff: SystemTime) -> usize {
+        let mut collected = 0;
+        for dir in [self.root.clone(), self.root.join("verdicts")] {
+            let Ok(entries) = fs::read_dir(&dir) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let is_temp = name
+                    .to_str()
+                    .is_some_and(|n| n.contains(".tmp."));
+                if !is_temp {
+                    continue;
+                }
+                let stale = entry
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .map(|mtime| mtime < cutoff)
+                    .unwrap_or(false);
+                if stale && fs::remove_file(entry.path()).is_ok() {
+                    collected += 1;
+                    StoreStats::bump(&self.stats.temp_collected);
+                }
+            }
+        }
+        collected
     }
 
     fn verdict_path(&self, key: u64) -> PathBuf {
@@ -179,6 +269,12 @@ impl ArtifactStore {
     pub fn get_verdict(&self, key: u64) -> Option<Json> {
         let path = self.verdict_path(key);
         if !path.exists() {
+            return None;
+        }
+        if self.fault.take_corrupt() {
+            // Injected torn read: same path a real corrupt artifact
+            // takes — drop it and report a miss.
+            self.drop_artifact(&path);
             return None;
         }
         let v = self.load_validated(&path)?;
@@ -315,6 +411,51 @@ mod tests {
         )
         .expect("write");
         assert!(store.get_verdict(3).is_none());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn stale_temp_files_are_collected_fresh_ones_kept() {
+        let (dir, store) = temp_store("tempgc");
+        // Litter from a "crashed" writer, in both store directories.
+        let stale_root = dir.join("manifest.tmp.99999");
+        let stale_verdict = dir.join("verdicts").join("abcd.tmp.99999");
+        fs::write(&stale_root, b"torn").expect("write");
+        fs::write(&stale_verdict, b"torn").expect("write");
+        // A real artifact and a non-temp file must survive any cutoff.
+        store.put_verdict(5, vec![]);
+        let keep = dir.join("verdicts").join(format!("{}.json", json::hex64(5)));
+
+        // Future cutoff: everything .tmp.* is "stale".
+        let cutoff = SystemTime::now() + Duration::from_secs(3600);
+        let collected = store.gc_stale_temp_files(cutoff);
+        assert_eq!(collected, 2);
+        assert!(!stale_root.exists() && !stale_verdict.exists());
+        assert!(keep.exists(), "real artifacts untouched");
+        assert_eq!(store.stats.temp_collected.load(Ordering::Relaxed), 2);
+
+        // Freshly written temp files survive the open-time grace
+        // window (a concurrent writer may still own them).
+        fs::write(&stale_root, b"in-flight").expect("write");
+        let reopened = ArtifactStore::open(&dir).expect("reopen");
+        assert!(stale_root.exists(), "fresh temp file kept at open");
+        assert_eq!(reopened.stats.temp_collected.load(Ordering::Relaxed), 0);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn injected_corrupt_read_degrades_to_a_miss() {
+        let (dir, store) = temp_store("fault");
+        store.put_verdict(9, vec![]);
+        store.fault.arm_corrupt_reads(1);
+        assert!(
+            store.get_verdict(9).is_none(),
+            "injected torn read is a miss, never a bad verdict"
+        );
+        assert_eq!(store.stats.dropped.load(Ordering::Relaxed), 1);
+        // The poisoned artifact is gone; the store keeps working.
+        store.put_verdict(9, vec![]);
+        assert!(store.get_verdict(9).is_some(), "recovers after recompute");
         let _ = fs::remove_dir_all(dir);
     }
 

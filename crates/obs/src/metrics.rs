@@ -195,6 +195,28 @@ impl Histogram {
         out
     }
 
+    /// Upper bound on the `q`-quantile (0.0–1.0) of the observed
+    /// distribution: the smallest bucket edge whose cumulative count
+    /// covers `q` of the observations. `None` when the histogram is
+    /// empty or the quantile falls in the +∞ overflow bucket. Bucket
+    /// resolution bounds the error — the true quantile lies at or
+    /// below the returned edge; this is what the daemon reports as p99
+    /// request latency.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        // ceil(q * total) observations must fall at or below the edge.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        for (edge, count_le) in self.cumulative() {
+            if count_le >= rank {
+                return edge;
+            }
+        }
+        None
+    }
+
     fn reset(&self) {
         for b in self.buckets.iter() {
             b.store(0, Ordering::Relaxed);
@@ -378,6 +400,20 @@ mod tests {
         assert_eq!(h.sum(), 1122);
         let cum = h.cumulative();
         assert_eq!(cum, vec![(Some(10), 2), (Some(100), 4), (None, 5)]);
+    }
+
+    #[test]
+    fn quantile_reports_bucket_upper_bounds() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        assert_eq!(h.quantile(0.99), None, "empty histogram has no quantile");
+        for v in [1, 2, 3, 50, 60, 70, 80, 90, 500, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(10), "min falls in the first bucket");
+        assert_eq!(h.quantile(0.5), Some(100));
+        assert_eq!(h.quantile(0.9), Some(1000));
+        assert_eq!(h.quantile(0.99), None, "p99 is the overflow observation");
+        assert_eq!(h.quantile(1.5), None, "out-of-range q rejected");
     }
 
     #[test]

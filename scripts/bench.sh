@@ -5,6 +5,15 @@
 # regressions show up in review:
 #
 #   sh scripts/bench.sh            # writes BENCH_analyze.json
+#   sh scripts/bench.sh --pages 1024
+#                                  # fleet-scale sweep: overrides the
+#                                  # corpus page count via
+#                                  # STRTAINT_BENCH_PAGES and writes
+#                                  # BENCH_analyze.<N>p.json (the
+#                                  # committed baseline is untouched
+#                                  # and the stale-name check is
+#                                  # skipped, since the name set is
+#                                  # expected to differ)
 #
 # Fails loudly (exit 1) when the bench-name set produced by the bench
 # sources disagrees with the set recorded in the committed
@@ -19,9 +28,28 @@ set -eu
 cd "$(dirname "$0")/.."
 
 out=BENCH_analyze.json
+pages=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --pages)
+            shift
+            pages="${1:?--pages needs a value}"
+            ;;
+        *)
+            echo "usage: sh scripts/bench.sh [--pages N]" >&2
+            exit 2
+            ;;
+    esac
+    shift
+done
+if [ -n "$pages" ]; then
+    STRTAINT_BENCH_PAGES="$pages"
+    export STRTAINT_BENCH_PAGES
+    out="BENCH_analyze.${pages}p.json"
+fi
 
 old_names=""
-if [ -f "$out" ]; then
+if [ -z "$pages" ] && [ -f "$out" ]; then
     old_names=$(sed -n 's/.*"name": "\([^"]*\)".*/\1/p' "$out" | sort)
 fi
 

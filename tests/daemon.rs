@@ -301,9 +301,11 @@ fn metrics_verb_roundtrips_over_unix_socket() {
     ));
     let _ = std::fs::remove_file(&socket);
     let state = DaemonState::new(app.vfs.clone(), strtaint::Config::default(), None);
+    let server_state = strtaint_daemon::ServerState::single("ws0", state);
 
     std::thread::scope(|scope| {
-        let server = scope.spawn(|| strtaint_daemon::server::serve_socket(&state, &socket));
+        let server =
+            scope.spawn(|| strtaint_daemon::server::serve_socket(&server_state, &socket));
 
         // The listener needs a moment to bind; retry the connect.
         let mut stream = None;

@@ -1,0 +1,204 @@
+//! Property tests hammering the daemon protocol layer with hostile
+//! input (ISSUE 6 satellite): malformed JSON, truncated requests,
+//! wrong-typed fields, oversized payloads, and garbage bytes. The
+//! contract under test is uniform — every input line yields exactly one
+//! structured JSON response (`ok:true`, or `ok:false` with an `error`
+//! string); nothing panics, nothing hangs, nothing closes the loop
+//! early except an explicit `shutdown`.
+
+use proptest::prelude::*;
+
+use strtaint_daemon::json::{self, Json};
+use strtaint_daemon::protocol::handle_line;
+use strtaint_daemon::{DaemonState, ServerConfig, ServerState, WorkspaceMap};
+use strtaint::{Config, Vfs};
+
+fn state() -> DaemonState {
+    let mut vfs = Vfs::new();
+    vfs.add("a.php", "<?php $r = $DB->query(\"SELECT 1\");");
+    DaemonState::new(vfs, Config::default(), None)
+}
+
+fn server() -> ServerState {
+    ServerState::new(
+        WorkspaceMap::new("ws0", std::sync::Arc::new(state())),
+        ServerConfig {
+            workers: 1,
+            queue_depth: 4,
+            drain: std::time::Duration::from_millis(200),
+        },
+    )
+}
+
+/// The uniform response contract: structured JSON, an `ok` member,
+/// and on failure a non-empty `error` string.
+fn assert_structured(line: &str, response: &Json) {
+    let reparsed = json::parse(&response.to_string())
+        .unwrap_or_else(|e| panic!("response not valid JSON for input {line:?}: {e}"));
+    assert_eq!(&reparsed, response, "writer/parser fixpoint holds");
+    match response.get("ok").and_then(Json::as_bool) {
+        Some(true) => {}
+        Some(false) => {
+            let err = response.get("error").and_then(Json::as_str).unwrap_or("");
+            assert!(!err.is_empty(), "failure without error for input {line:?}");
+        }
+        None => panic!("no ok member for input {line:?}: {}", response.to_string()),
+    }
+}
+
+/// A syntactically valid request whose field values are hostile.
+fn hostile_request(cmd: &str, field: &str, value: &str) -> String {
+    format!("{{\"cmd\":{cmd},{field}:{value}}}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn garbage_bytes_get_structured_errors(
+        line in "[ -~]{0,120}",
+    ) {
+        let s = state();
+        let handled = handle_line(&s, &line);
+        assert_structured(&line, &handled.response);
+        // Only a well-formed shutdown request may stop the loop.
+        if handled.shutdown {
+            let parsed = json::parse(line.trim()).expect("shutdown only from valid JSON");
+            assert_eq!(parsed.get("cmd").and_then(Json::as_str), Some("shutdown"));
+        }
+    }
+
+    #[test]
+    fn truncated_valid_requests_never_panic(
+        cut in 0usize..90,
+        entries in prop::collection::vec("[a-z][a-z0-9]{0,6}\\.php", 0..4),
+    ) {
+        let quoted: Vec<String> = entries.iter().map(|e| format!("\"{e}\"")).collect();
+        let full = format!(
+            "{{\"cmd\":\"analyze\",\"entries\":[{}],\"priority\":3,\"deadline_ms\":50}}",
+            quoted.join(",")
+        );
+        // Truncate on a char boundary (all-ASCII input, any index works).
+        let cut = cut.min(full.len());
+        let line = &full[..cut];
+        let s = state();
+        let handled = handle_line(&s, line);
+        assert_structured(line, &handled.response);
+        assert!(!handled.shutdown, "truncated analyze cannot shut down");
+    }
+
+    #[test]
+    fn wrong_typed_fields_get_structured_errors(
+        cmd in prop_oneof![
+            Just("\"analyze\""), Just("\"invalidate\""), Just("\"batch\""),
+            Just("\"status\""), Just("17"), Just("null"), Just("[]"),
+        ],
+        field in prop_oneof![
+            Just("\"entries\""), Just("\"priority\""), Just("\"deadline_ms\""),
+            Just("\"workspace\""), Just("\"ops\""), Just("\"path\""),
+        ],
+        value in prop_oneof![
+            Just("17"), Just("-3"), Just("\"ten\""), Just("{}"),
+            Just("[[[[]]]]"), Just("null"), Just("true"), Just("3.5"),
+            Just("{\"cmd\":\"analyze\"}"), Just("[0,1,2]"),
+        ],
+    ) {
+        let line = hostile_request(cmd, field, value);
+        // Through the bare protocol layer…
+        let s = state();
+        let handled = handle_line(&s, &line);
+        assert_structured(&line, &handled.response);
+        // …and through the routing/server layer (workspace resolution,
+        // priority/deadline validation) executed inline.
+        let srv = server();
+        let handled = srv.handle_inline(&line);
+        assert_structured(&line, &handled.response);
+        assert!(!handled.shutdown);
+    }
+
+    #[test]
+    fn hostile_batches_fail_per_op_not_per_connection(
+        ops in prop::collection::vec(
+            prop_oneof![
+                Just("{\"cmd\":\"status\"}".to_owned()),
+                Just("{\"cmd\":\"shutdown\"}".to_owned()),
+                Just("{\"cmd\":\"batch\",\"ops\":[]}".to_owned()),
+                Just("{\"cmd\":\"analyze\",\"entries\":\"nope\"}".to_owned()),
+                Just("{\"cmd\":\"analyze\",\"entries\":[\"a.php\"]}".to_owned()),
+                Just("{}".to_owned()),
+                Just("17".to_owned()),
+            ],
+            0..6,
+        ),
+    ) {
+        let line = format!("{{\"cmd\":\"batch\",\"ops\":[{}]}}", ops.join(","));
+        let s = state();
+        let handled = handle_line(&s, &line);
+        assert_structured(&line, &handled.response);
+        assert!(!handled.shutdown, "a batch can never smuggle a shutdown");
+        if handled.response.get("ok").and_then(Json::as_bool) == Some(true) {
+            let results = handled
+                .response
+                .get("results")
+                .and_then(Json::as_arr)
+                .expect("ok batch has results");
+            assert_eq!(results.len(), ops.len(), "one result slot per op");
+            for r in results {
+                assert_structured(&line, r);
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_line_is_rejected_without_buffering() {
+    let s = state();
+    // Just past the protocol cap: one giant (syntactically valid) line.
+    let line = format!(
+        "{{\"cmd\":\"analyze\",\"pad\":\"{}\"}}",
+        "x".repeat(strtaint_daemon::protocol::MAX_LINE_BYTES)
+    );
+    let handled = handle_line(&s, &line);
+    assert_structured(&line, &handled.response);
+    assert_eq!(
+        handled.response.get("ok").and_then(Json::as_bool),
+        Some(false),
+        "oversized requests are refused"
+    );
+}
+
+#[test]
+fn deeply_nested_json_is_rejected_not_stack_overflowed() {
+    let s = state();
+    let line = format!("{}{}", "[".repeat(4_000), "]".repeat(4_000));
+    let handled = handle_line(&s, &line);
+    assert_structured(&line, &handled.response);
+    assert_eq!(handled.response.get("ok").and_then(Json::as_bool), Some(false));
+}
+
+#[test]
+fn stdio_loop_answers_every_hostile_line_and_survives() {
+    use strtaint_daemon::serve_server_lines;
+
+    let srv = server();
+    let input = "not json\n\
+                 {\"cmd\":\"analyze\",\"entries\":[\"a.php\"],\"workspace\":9}\n\
+                 {\"cmd\":\"analyze\",\"entries\":[\"a.php\"]}\n\
+                 {truncated\n\
+                 \n\
+                 {\"cmd\":\"nope\"}\n";
+    let mut output = Vec::new();
+    let shut = serve_server_lines(&srv, input.as_bytes(), &mut output).expect("serves");
+    assert!(!shut, "no shutdown requested");
+    let lines: Vec<Json> = std::str::from_utf8(&output)
+        .expect("utf8")
+        .lines()
+        .map(|l| json::parse(l).expect("every response parses"))
+        .collect();
+    assert_eq!(lines.len(), 5, "one response per non-empty line");
+    // The well-formed analyze in the middle still succeeded.
+    assert_eq!(lines[2].get("ok").and_then(Json::as_bool), Some(true));
+    for (line, response) in input.lines().filter(|l| !l.trim().is_empty()).zip(&lines) {
+        assert_structured(line, response);
+    }
+}
