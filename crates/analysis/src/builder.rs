@@ -52,6 +52,11 @@ pub struct Hotspot {
     pub label: String,
     /// Grammar root deriving every query string this site may send.
     pub root: NtId,
+    /// Id of the policy this sink belongs to (`"sql"`, `"xss"`,
+    /// `"shell"`, …) — the dispatch key multi-policy checkers use. Sink
+    /// recognition is a table lookup against the `strtaint-policy`
+    /// registry, so the analysis layer never hard-codes a class.
+    pub policy: String,
     /// IR provenance (summary hash + argument span).
     pub provenance: Provenance,
 }

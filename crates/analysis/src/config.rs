@@ -26,6 +26,16 @@ pub struct Config {
     /// Method/function names whose result is a row fetched from the
     /// database (an indirect source).
     pub fetch_functions: Vec<String>,
+    /// Enabled policy ids (see `strtaint-policy`): which vulnerability
+    /// classes sink recognition and checking run for. The default is
+    /// `["sql"]` — the paper's SQLCIV analysis, with the sink tables
+    /// sourced from `hotspot_functions`/`hotspot_methods` above. Adding
+    /// `"shell"`, `"path"`, or `"eval"` arms the corresponding registry
+    /// sink tables; `"xss"` routes `echo` sinks through the XSS checker
+    /// in multi-policy drivers. Part of [`Config::fingerprint`]: a
+    /// cached verdict can never be replayed under a different policy
+    /// selection.
+    pub policies: Vec<String>,
     /// Manual resolutions for dynamic includes the layout intersection
     /// cannot settle (the paper needed two of these for e107): maps the
     /// include-site label `file:line` to the list of files to include.
@@ -87,6 +97,7 @@ impl Default for Config {
             ]
             .map(String::from)
             .to_vec(),
+            policies: vec!["sql".to_string()],
             include_overrides: HashMap::new(),
             max_call_depth: 8,
             max_include_fanout: 64,
@@ -130,6 +141,7 @@ impl Config {
         self.hotspot_functions.hash(&mut h);
         self.hotspot_methods.hash(&mut h);
         self.fetch_functions.hash(&mut h);
+        self.policies.hash(&mut h);
         let mut overrides: Vec<(&String, &Vec<String>)> =
             self.include_overrides.iter().collect();
         overrides.sort();
@@ -175,6 +187,16 @@ mod tests {
         let mut c = Config::default();
         c.include_overrides
             .insert("a.php:3".into(), vec!["lib.php".into()]);
+        assert_ne!(base.fingerprint(), c.fingerprint());
+
+        // Flipping the enabled-policy set must invalidate cached
+        // verdicts: shell findings are not SQL findings.
+        let mut c = Config::default();
+        c.policies.push("shell".into());
+        assert_ne!(base.fingerprint(), c.fingerprint());
+
+        let mut c = Config::default();
+        c.policies = vec!["shell".into(), "path".into(), "eval".into()];
         assert_ne!(base.fingerprint(), c.fingerprint());
     }
 

@@ -15,21 +15,20 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::Arc;
 
-use strtaint_automata::{Dfa, Fst, Nfa};
+use strtaint_automata::{Dfa, Fst};
 use strtaint_grammar::budget::{Budget, BudgetExceeded, DegradeAction, Degradation};
 use strtaint_grammar::intersect::intersect_with;
 use strtaint_grammar::image::image_with;
-use strtaint_grammar::lang::bounded_language;
 use strtaint_grammar::{Cfg, NtId, Symbol, Taint};
-use strtaint_php::ast::IncludeKind;
 
 use crate::builder::{Analysis, Hotspot, Provenance};
 use crate::config::Config;
 use crate::env::{Env, KEY_SEP};
 use crate::ir::*;
 use crate::relevance::Relevance;
+use crate::sinks::SinkTable;
 use crate::summary::SummaryCache;
-use crate::vfs::{normalize, Vfs};
+use crate::vfs::Vfs;
 
 /// Control flow outcome of a statement sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +53,9 @@ pub(crate) struct FnEntry {
 pub(crate) struct Emitter<'a> {
     pub(crate) vfs: &'a Vfs,
     pub(crate) config: &'a Config,
+    /// Policy-driven sink recognition (built once from the config's
+    /// enabled-policy set and the `strtaint-policy` registry).
+    pub(crate) sinks: SinkTable,
     pub(crate) cfg: Cfg,
     pub(crate) summaries: &'a SummaryCache,
     pub(crate) functions: HashMap<String, FnEntry>,
@@ -119,6 +121,7 @@ impl<'a> Emitter<'a> {
         Emitter {
             vfs,
             config,
+            sinks: SinkTable::new(config),
             cfg,
             summaries,
             functions: HashMap::new(),
@@ -465,6 +468,7 @@ impl<'a> Emitter<'a> {
                         span: *span,
                         label: "echo".to_owned(),
                         root: nt,
+                        policy: "xss".to_owned(),
                         provenance: Provenance {
                             summary: self.cur_summary,
                             arg_span: Some(*arg_span),
@@ -786,114 +790,6 @@ impl<'a> Emitter<'a> {
         }
     }
 
-    // ---------------------------------------------------- includes
-
-    fn layout_dfa(&mut self) -> Rc<Dfa> {
-        if let Some(d) = &self.layout {
-            return Rc::clone(d);
-        }
-        let mut nfa = Nfa::empty();
-        for p in self.vfs.paths() {
-            nfa = nfa.union(&Nfa::literal(p.as_bytes()));
-            // Also accept the common "./path" spelling.
-            let dotted = format!("./{p}");
-            nfa = nfa.union(&Nfa::literal(dotted.as_bytes()));
-        }
-        let d = Rc::new(Dfa::from_nfa(&nfa).minimize());
-        self.layout = Some(Rc::clone(&d));
-        d
-    }
-
-    fn handle_include(&mut self, kind: IncludeKind, arg: &IrExpr, line: u32, env: &mut Env) {
-        let nt = self.eval(arg, env);
-        let site = format!("{}:{}", self.cur_file, line);
-        let paths: Vec<String> = if let Some(ovr) = self.config.include_overrides.get(&site)
-        {
-            ovr.clone()
-        } else if self.reaches_open_header(nt) {
-            self.warn(format!("dynamic include at {site} inside loop skipped"));
-            return;
-        } else {
-            let direct = bounded_language(&self.cfg, nt, self.config.max_include_fanout);
-            let lang = match direct {
-                Some(l) => Some(l),
-                None => {
-                    // §4: intersect with the filesystem layout, treating
-                    // the directory tree as part of the specification.
-                    let layout = self.layout_dfa();
-                    let budget = self.budget.clone();
-                    match intersect_with(&self.cfg, nt, &layout, &budget) {
-                        Ok((g2, r2)) => {
-                            bounded_language(&g2, r2, self.config.max_include_fanout)
-                        }
-                        Err(err) => {
-                            self.degrade(
-                                err,
-                                &format!("include@{site}"),
-                                DegradeAction::KeptUnrefined,
-                            );
-                            // Fall through to the unresolved-include
-                            // warning below.
-                            None
-                        }
-                    }
-                }
-            };
-            match lang {
-                Some(l) if !l.is_empty() => l
-                    .into_iter()
-                    .map(|b| String::from_utf8_lossy(&b).into_owned())
-                    .collect(),
-                Some(_) => {
-                    self.warn(format!(
-                        "dynamic include at {site} matches no file in the layout"
-                    ));
-                    return;
-                }
-                None => {
-                    self.warn(format!(
-                        "dynamic include at {site} unresolved (provide an override)"
-                    ));
-                    return;
-                }
-            }
-        };
-        for p in paths {
-            self.include_file(&p, kind, env);
-        }
-    }
-
-    fn include_file(&mut self, path: &str, kind: IncludeKind, env: &mut Env) {
-        let norm = normalize(path);
-        let once = matches!(kind, IncludeKind::IncludeOnce | IncludeKind::RequireOnce);
-        if once && self.include_once.contains(&norm) {
-            return;
-        }
-        let Some(src) = self.vfs.get(&norm) else {
-            self.warn(format!("included file not found: {norm}"));
-            return;
-        };
-        if once {
-            self.include_once.insert(norm.clone());
-        }
-        // The summary cache replaces the per-analyzer parse cache: a
-        // repeated include re-emits the shared IR instead of re-walking
-        // a re-parsed AST. Parse failures are not cached and re-warn on
-        // every occurrence, exactly like the single-pass builder.
-        let summary = match self.summaries.get_or_lower(src, self.config) {
-            Ok(s) => s,
-            Err(e) => {
-                self.warn(format!("included file {norm} failed to parse: {e}"));
-                return;
-            }
-        };
-        let prev = std::mem::replace(&mut self.cur_file, norm);
-        let prev_summary = std::mem::replace(&mut self.cur_summary, summary.content_hash);
-        self.files_analyzed += 1;
-        self.inputs.insert(self.cur_file.clone());
-        self.register_functions(&summary.body);
-        self.emit_stmts(&summary.body, env);
-        self.cur_file = prev;
-        self.cur_summary = prev_summary;
-    }
+    // Include handling (layout intersection, overrides, once-guards,
+    // and the path-policy include sink) lives in `crate::emit_include`.
 }

@@ -360,30 +360,46 @@ impl Emitter<'_> {
         prep: Option<&CallPrep>,
         env: &mut Env,
     ) -> NtId {
-        let is_hotspot = if label.starts_with("->") {
-            self.config.hotspot_methods.iter().any(|m| m == bare)
-        } else {
-            self.config.hotspot_functions.iter().any(|m| m == bare)
-        };
-        if is_hotspot {
-            // Query arguments are always relevance-precise.
+        if let Some(entry) = self.sinks.lookup(label.starts_with("->"), bare) {
+            // Sink arguments are always relevance-precise.
             self.hint_stack.push(true);
             let arg_nts: Vec<NtId> = args.iter().map(|a| self.eval(a, env)).collect();
             self.hint_stack.pop();
-            if let Some(&q) = arg_nts.first() {
+            if entry.policy == strtaint_policy::SQL_POLICY {
+                if let Some(&q) = arg_nts.first() {
+                    let file = self.cur_file.clone();
+                    self.hotspots.push(Hotspot {
+                        file,
+                        span,
+                        label: label.to_owned(),
+                        root: q,
+                        policy: entry.policy.to_owned(),
+                        provenance: Provenance {
+                            summary: self.cur_summary,
+                            arg_span,
+                        },
+                    });
+                }
+                return self.cfg.add_nonterminal("dbresult");
+            }
+            if let Some(&q) = arg_nts.get(entry.arg) {
                 let file = self.cur_file.clone();
                 self.hotspots.push(Hotspot {
                     file,
                     span,
                     label: label.to_owned(),
                     root: q,
+                    policy: entry.policy.to_owned(),
                     provenance: Provenance {
                         summary: self.cur_summary,
                         arg_span,
                     },
                 });
             }
-            return self.cfg.add_nonterminal("dbresult");
+            // Non-SQL sinks return shell output / file contents / eval
+            // results: widen, keeping the arguments' taint.
+            let t = self.args_taint(&arg_nts);
+            return self.any_with_taint(bare, t);
         }
         if self.config.fetch_functions.iter().any(|m| m == bare) {
             for a in args {
@@ -406,7 +422,7 @@ impl Emitter<'_> {
             self.unmodeled.insert(label.to_owned());
             return self.any_nt;
         }
-        self.eval_builtin(bare, args, prep, env)
+        self.eval_builtin(bare, args, prep, span, env)
     }
 
     fn eval_user_call(
@@ -491,6 +507,7 @@ impl Emitter<'_> {
         name: &str,
         args: &[IrExpr],
         prep: Option<&CallPrep>,
+        span: Span,
         env: &mut Env,
     ) -> NtId {
         let model = builtins::lookup(name);
@@ -573,7 +590,7 @@ impl Emitter<'_> {
                 self.lang_nt("bool")
             }
             Model::StrReplace => self.eval_str_replace(args, prep, env),
-            Model::PregReplace { .. } => self.eval_preg_replace(args, prep, env),
+            Model::PregReplace { .. } => self.eval_preg_replace(args, prep, span, env),
             Model::Sprintf => self.eval_sprintf(args, prep, env),
             Model::Implode => self.eval_implode(args, prep, env),
             Model::Explode => self.eval_explode(args, prep, env),
@@ -611,12 +628,33 @@ impl Emitter<'_> {
         &mut self,
         args: &[IrExpr],
         prep: Option<&CallPrep>,
+        span: Span,
         env: &mut Env,
     ) -> NtId {
         if args.len() < 3 {
             return self.empty_nt;
         }
         let subj = self.eval(&args[2], env);
+        // The deprecated `/e` modifier evaluates the replacement as PHP
+        // with match captures substituted in — an eval-class sink on the
+        // subject string (only when the eval policy is enabled).
+        if let Some(policy) = self.sinks.preg_replace_e {
+            if let IrExpr::Const(pat) = &args[0] {
+                if crate::sinks::pattern_has_e_modifier(pat) {
+                    self.hotspots.push(Hotspot {
+                        file: self.cur_file.clone(),
+                        span,
+                        label: "preg_replace/e".to_owned(),
+                        root: subj,
+                        policy: policy.to_owned(),
+                        provenance: Provenance {
+                            summary: self.cur_summary,
+                            arg_span: None,
+                        },
+                    });
+                }
+            }
+        }
         if let Some(CallPrep::RegexReplace(Some(fst))) = prep {
             return self.apply_fst(subj, &Arc::clone(fst), "preg_replace");
         }

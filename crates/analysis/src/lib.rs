@@ -50,11 +50,13 @@ pub mod builtins;
 pub mod config;
 mod emit;
 mod emit_expr;
+mod emit_include;
 pub mod env;
 pub mod ir;
 pub mod lower;
 mod refine;
 pub mod relevance;
+mod sinks;
 pub mod summary;
 pub mod vfs;
 

@@ -20,6 +20,7 @@ use strtaint_corpus::{synth_app, SynthConfig};
 fn chain_app(chain: usize) -> strtaint_corpus::App {
     synth_app(&SynthConfig {
         pages: 2,
+        sinks_per_page: 1,
         helpers: 4,
         filler_lines: 10,
         vuln_every: 0,

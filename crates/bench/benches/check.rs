@@ -18,12 +18,18 @@
 //! page replays its stored verdict (zero intersection queries), so the
 //! row quantifies the incremental daemon's replay win over `cold`.
 //!
+//! A fifth, `policies`, re-analyzes the corpus with **every** built-in
+//! policy enabled and drives all recognized sinks (SQL hotspots, shell/
+//! path/eval sinks, echo sinks) through the [`PolicyChecker`] in one
+//! parallel batch per page — the cost of the full multi-class sweep.
+//!
 //! `scripts/bench.sh` merges this output into `BENCH_analyze.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use strtaint_analysis::{analyze, Config};
-use strtaint_checker::{CheckOptions, Checker};
+use strtaint_checker::{CheckOptions, Checker, PolicyChecker};
+use strtaint_grammar::NtId;
 use strtaint_corpus::synth::{synth_app, SynthConfig};
 use strtaint_daemon::{DaemonState, PageOutcome};
 use strtaint_grammar::Budget;
@@ -120,6 +126,41 @@ fn bench_check(c: &mut Criterion) {
                 replayed += usize::from(page.get("entry").is_some());
             }
             std::hint::black_box(replayed)
+        })
+    });
+
+    // Full multi-class sweep: every built-in policy armed, all sinks
+    // (SQL + shell/path/eval + echo) checked through the PolicyChecker.
+    let policy_config = Config {
+        policies: strtaint_policy::builtin()
+            .iter()
+            .map(|p| p.id.to_owned())
+            .collect(),
+        ..config.clone()
+    };
+    let policy_analyses: Vec<_> = app
+        .entry_refs()
+        .iter()
+        .map(|e| analyze(&app.vfs, e, &policy_config).expect("synth pages parse"))
+        .collect();
+    let pchecker = PolicyChecker::new();
+    group.bench_function(format!("policies/{pages}pages"), |b| {
+        b.iter(|| {
+            let mut findings = 0usize;
+            for a in &policy_analyses {
+                let mut items: Vec<(NtId, String)> = a
+                    .hotspots
+                    .iter()
+                    .map(|h| (h.root, h.policy.clone()))
+                    .collect();
+                items.extend(a.echo_sinks.iter().map(|h| (h.root, h.policy.clone())));
+                let reports =
+                    pchecker.check_hotspots_with(&a.cfg, &items, &Budget::unlimited(), workers);
+                for r in reports {
+                    findings += r.findings.len();
+                }
+            }
+            std::hint::black_box(findings)
         })
     });
     group.finish();

@@ -43,6 +43,13 @@ pub struct CheckOptions {
     /// The cold baseline for benches and equivalence tests; verdicts
     /// are identical either way.
     pub naive_engine: bool,
+    /// Run the sub-millisecond C3 prover (numeric-only language) ahead
+    /// of the C1/C2 refuters and short-circuit on its verdict. Verdicts
+    /// are unchanged — a numeric-only `L(X)` contains no quote byte, so
+    /// C1 (odd quotes) and the C2 escape arm (needs a quote) can never
+    /// fire on it — only the engine work order moves. Off reproduces
+    /// the paper's published C1→C5 order for equivalence tests.
+    pub cheap_first: bool,
 }
 
 impl Default for CheckOptions {
@@ -50,6 +57,7 @@ impl Default for CheckOptions {
         CheckOptions {
             max_contexts: 256,
             naive_engine: false,
+            cheap_first: true,
         }
     }
 }
@@ -177,7 +185,7 @@ impl Checker {
         workers: usize,
     ) -> Vec<HotspotReport> {
         let cache = PreparedCache::new();
-        run_parallel(roots, workers, |root| {
+        run_parallel(roots, workers, |&root| {
             self.check_hotspot_cached(cfg, root, budget, &cache)
         })
     }
@@ -191,22 +199,7 @@ impl Checker {
         x: NtId,
         witness: &[u8],
     ) -> Option<Vec<u8>> {
-        const BUDGET: usize = 50_000;
-        if cfg.count_reachable_productions(root, BUDGET) > BUDGET {
-            return None;
-        }
-        let (marked, mroot) =
-            crate::abstraction::marked_grammar(cfg, root, x, &HashMap::new());
-        let skeleton = shortest_string(&marked, mroot)?;
-        let mut out = Vec::with_capacity(skeleton.len() + witness.len());
-        for b in skeleton {
-            if b == strtaint_sql::VAR_MARKER {
-                out.extend_from_slice(witness);
-            } else {
-                out.push(b);
-            }
-        }
-        Some(out)
+        splice_example(cfg, root, x, witness)
     }
 
     fn check_one(
@@ -241,6 +234,17 @@ impl Checker {
         // whose checks reach the same labeled nonterminal.
         let mut tx = engine.target(cfg, x);
 
+        // Cheap-first: hoist the C3 prover (one early-exit emptiness
+        // query against a tiny numeric DFA) ahead of the refuters. See
+        // `CheckOptions::cheap_first` for the verdict-preservation
+        // argument.
+        if self.opts.cheap_first {
+            let _c = strtaint_obs::Span::enter("check:C3", "");
+            if engine.is_empty(&mut tx, &self.non_numeric, budget)? {
+                return Ok(None);
+            }
+        }
+
         // C1: odd number of unescaped quotes.
         {
             let _c = strtaint_obs::Span::enter("check:C1", "");
@@ -266,8 +270,9 @@ impl Checker {
             }
         }
 
-        // C3: numeric-only language is confined anywhere a literal fits.
-        {
+        // C3: numeric-only language is confined anywhere a literal
+        // fits (already decided up front when `cheap_first` is on).
+        if !self.opts.cheap_first {
             let _c = strtaint_obs::Span::enter("check:C3", "");
             if engine.is_empty(&mut tx, &self.non_numeric, budget)? {
                 return Ok(None);
@@ -392,6 +397,35 @@ impl Default for Checker {
     fn default() -> Self {
         Checker::new()
     }
+}
+
+/// Splices a witness tainted substring into the shortest query context
+/// (the marked-grammar skeleton with [`strtaint_sql::VAR_MARKER`] at
+/// the tainted position), producing the full payload the downstream
+/// interpreter would receive. Shared by the SQL checker and the
+/// generic policy driver; `None` when the grammar is too large for
+/// reconstruction to be worth it.
+pub(crate) fn splice_example(
+    cfg: &Cfg,
+    root: NtId,
+    x: NtId,
+    witness: &[u8],
+) -> Option<Vec<u8>> {
+    const BUDGET: usize = 50_000;
+    if cfg.count_reachable_productions(root, BUDGET) > BUDGET {
+        return None;
+    }
+    let (marked, mroot) = crate::abstraction::marked_grammar(cfg, root, x, &HashMap::new());
+    let skeleton = shortest_string(&marked, mroot)?;
+    let mut out = Vec::with_capacity(skeleton.len() + witness.len());
+    for b in skeleton {
+        if b == strtaint_sql::VAR_MARKER {
+            out.extend_from_slice(witness);
+        } else {
+            out.push(b);
+        }
+    }
+    Some(out)
 }
 
 #[cfg(test)]
@@ -627,6 +661,53 @@ mod tests {
             let n = naive.check_hotspot_with(&g, r, &budget);
             assert_eq!(n.findings.len(), s.findings.len());
             assert_eq!(n.verified, s.verified);
+        }
+    }
+
+    #[test]
+    fn cheap_first_preserves_verdicts() {
+        // Every harness shape from the suite, checked with the C3
+        // prover hoisted and with the paper's published order: the
+        // findings (kind, witness) and verified counts must agree
+        // exactly — only the engine work order may differ.
+        let shapes: Vec<(Cfg, NtId)> = vec![
+            {
+                let (g, r, _) = harness(b"'", &[b"1", b"1'; DROP TABLE t; --"], b"'");
+                (g, r)
+            },
+            {
+                let (g, r, _) = harness(b"'", &[b"1", b"42", b"007"], b"'");
+                (g, r)
+            },
+            {
+                let (g, r, _) = harness(b"'", &[b"ok", b"a' OR 'b"], b"'");
+                (g, r)
+            },
+            {
+                let (g, r, _) = harness(b"", &[b"1", b"42"], b"");
+                (g, r)
+            },
+            {
+                let (g, r, _) = harness(b"", &[b"1", b"1 OR 1=1 -- x"], b"");
+                (g, r)
+            },
+        ];
+        let fast = Checker::new();
+        let slow = Checker::with_options(CheckOptions {
+            cheap_first: false,
+            ..CheckOptions::default()
+        });
+        for (g, root) in &shapes {
+            let a = fast.check_hotspot(g, *root);
+            let b = slow.check_hotspot(g, *root);
+            assert_eq!(a.checked, b.checked);
+            assert_eq!(a.verified, b.verified);
+            assert_eq!(a.findings.len(), b.findings.len());
+            for (fa, fb) in a.findings.iter().zip(&b.findings) {
+                assert_eq!(fa.kind, fb.kind);
+                assert_eq!(fa.witness, fb.witness);
+                assert_eq!(fa.example_query, fb.example_query);
+            }
         }
     }
 

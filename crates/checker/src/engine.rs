@@ -198,23 +198,26 @@ impl<'a> Engine<'a> {
     }
 }
 
-/// Checks `roots[i]` with `check` on up to `workers` threads and
+/// Checks `items[i]` with `check` on up to `workers` threads and
 /// returns the reports in input order.
 ///
-/// Lock-free work distribution (shared atomic index, per-worker result
-/// buffers, sorted merge) mirroring `analyze_app_parallel_with` in
+/// Generic over the work item so the same loop drives plain hotspot
+/// roots (`NtId`) and policy-tagged roots (`(NtId, policy)`). Lock-free
+/// work distribution (shared atomic index, per-worker result buffers,
+/// sorted merge) mirroring `analyze_app_parallel_with` in
 /// `strtaint-core`. A worker panic is re-raised on the calling thread
 /// so page-level fault isolation sees it exactly as a serial panic.
-pub(crate) fn run_parallel<F>(roots: &[NtId], workers: usize, check: F) -> Vec<HotspotReport>
+pub(crate) fn run_parallel<T, F>(items: &[T], workers: usize, check: F) -> Vec<HotspotReport>
 where
-    F: Fn(NtId) -> HotspotReport + Sync,
+    T: Sync,
+    F: Fn(&T) -> HotspotReport + Sync,
 {
-    let workers = workers.max(1).min(roots.len());
+    let workers = workers.max(1).min(items.len());
     if workers <= 1 {
-        return roots.iter().map(|&r| check(r)).collect();
+        return items.iter().map(&check).collect();
     }
     let next = AtomicUsize::new(0);
-    let mut merged: Vec<(usize, HotspotReport)> = Vec::with_capacity(roots.len());
+    let mut merged: Vec<(usize, HotspotReport)> = Vec::with_capacity(items.len());
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -224,10 +227,10 @@ where
                     let mut local: Vec<(usize, HotspotReport)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= roots.len() {
+                        if i >= items.len() {
                             break;
                         }
-                        local.push((i, check(roots[i])));
+                        local.push((i, check(&items[i])));
                     }
                     local
                 })
@@ -241,6 +244,6 @@ where
         }
     });
     merged.sort_by_key(|(i, _)| *i);
-    debug_assert_eq!(merged.len(), roots.len());
+    debug_assert_eq!(merged.len(), items.len());
     merged.into_iter().map(|(_, r)| r).collect()
 }

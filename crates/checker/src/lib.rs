@@ -38,10 +38,12 @@ pub mod abstraction;
 pub mod checks;
 pub mod dfas;
 mod engine;
+pub mod policy_driver;
 pub mod report;
 pub mod xss;
 
 pub use checks::{CheckOptions, Checker};
+pub use policy_driver::{GenericChecker, PolicyChecker};
 pub use report::{CheckKind, Finding, HotspotReport};
 pub use strtaint_grammar::prepared::{EngineStats, PreparedCache};
 pub use xss::XssChecker;

@@ -1,0 +1,412 @@
+//! The generic policy driver: runs any data-defined [`Cascade`] from
+//! the `strtaint-policy` registry through the prepared intersection
+//! engine, and multiplexes the hand-built SQL/XSS checkers with the
+//! data-defined ones behind one [`PolicyChecker`] façade.
+//!
+//! The driver is the registry's executable semantics (see the cascade
+//! contract in `strtaint_policy::registry`): for each maximal labeled
+//! nonterminal `X` of a hotspot, steps run in order against `L(X)`;
+//! a `VerifyIfEmpty` step with an empty intersection verifies `X`,
+//! a `ReportIfNonEmpty` step with a non-empty intersection reports its
+//! witness, and the residual decides anything that falls through. The
+//! budget discipline is identical to the SQL checker: a trip yields a
+//! conservative `BudgetExhausted` finding, never a silent "verified".
+
+use strtaint_grammar::budget::{Budget, BudgetExceeded, DegradeAction};
+use strtaint_grammar::lang::shortest_string;
+use strtaint_grammar::prepared::PreparedCache;
+use strtaint_grammar::{Cfg, NtId};
+use strtaint_policy::{Cascade, CheckKind, Policy, PolicyKind, Residual, StepAction};
+
+use crate::abstraction::maximal_labeled;
+use crate::checks::{splice_example, CheckOptions, Checker};
+use crate::engine::{run_parallel, Engine, Qdfa};
+use crate::report::{Finding, HotspotReport};
+use crate::xss::XssChecker;
+
+/// A data-defined policy compiled for the intersection engine: every
+/// cascade DFA in byte-class form, built once per checker.
+#[derive(Debug, Clone)]
+pub struct GenericChecker {
+    id: &'static str,
+    steps: Vec<(Qdfa, StepAction)>,
+    residual: Residual,
+    naive_engine: bool,
+}
+
+impl GenericChecker {
+    fn new(policy: &Policy, cascade: &Cascade, naive_engine: bool) -> Self {
+        GenericChecker {
+            id: policy.id,
+            steps: cascade
+                .steps
+                .iter()
+                .map(|s| (Qdfa::new(s.dfa.clone()), s.action.clone()))
+                .collect(),
+            residual: cascade.residual.clone(),
+            naive_engine,
+        }
+    }
+
+    /// Policy id this checker runs.
+    pub fn id(&self) -> &'static str {
+        self.id
+    }
+
+    /// Checks one hotspot of this policy, sharing `cache` across the
+    /// page (cache scoping rules as in
+    /// [`Checker::check_hotspot_cached`]).
+    pub fn check_hotspot_cached(
+        &self,
+        cfg: &Cfg,
+        root: NtId,
+        budget: &Budget,
+        cache: &PreparedCache,
+    ) -> HotspotReport {
+        let mut report = HotspotReport::default();
+        let candidates = maximal_labeled(cfg, root);
+        report.checked = candidates.len();
+        let mut engine = Engine::new(cache, self.naive_engine);
+        for &x in &candidates {
+            let _span = strtaint_obs::Span::enter_with("check", || cfg.name(x).to_owned());
+            match self.check_one(cfg, root, x, budget, &mut engine) {
+                Ok(None) => report.verified += 1,
+                Ok(Some(finding)) => report.findings.push(finding),
+                Err(err) => {
+                    report.degradations.push(budget.degradation(
+                        err,
+                        format!("{}-check:{}", self.id, cfg.name(x)),
+                        DegradeAction::MarkedUnverified,
+                    ));
+                    report.findings.push(Finding {
+                        nonterminal: x,
+                        name: cfg.name(x).to_owned(),
+                        taint: cfg.taint(x),
+                        kind: CheckKind::BudgetExhausted,
+                        witness: None,
+                        example_query: None,
+                        detail: err.to_string(),
+                        at: None,
+                    });
+                }
+            }
+        }
+        report.engine = engine.stats;
+        report
+    }
+
+    fn check_one(
+        &self,
+        cfg: &Cfg,
+        root: NtId,
+        x: NtId,
+        budget: &Budget,
+        engine: &mut Engine<'_>,
+    ) -> Result<Option<Finding>, BudgetExceeded> {
+        let finding = |kind: CheckKind, witness: Option<Vec<u8>>, detail: &str| {
+            let example_query = witness
+                .as_deref()
+                .and_then(|w| splice_example(cfg, root, x, w));
+            Ok(Some(Finding {
+                nonterminal: x,
+                name: cfg.name(x).to_owned(),
+                taint: cfg.taint(x),
+                kind,
+                witness,
+                example_query,
+                detail: detail.to_owned(),
+                at: None,
+            }))
+        };
+        if cfg.is_empty_language(x) {
+            return Ok(None);
+        }
+        // One prepared grammar serves every step of the cascade and,
+        // via the shared cache, any other hotspot reaching `x`.
+        let mut tx = engine.target(cfg, x);
+        for (q, action) in &self.steps {
+            match action {
+                StepAction::VerifyIfEmpty => {
+                    if engine.is_empty(&mut tx, q, budget)? {
+                        return Ok(None);
+                    }
+                }
+                StepAction::ReportIfNonEmpty { kind, detail } => {
+                    let (empty, witness) =
+                        engine.is_empty_or_witness(&mut tx, q, budget, (cfg, x))?;
+                    if !empty {
+                        return finding(*kind, witness, detail);
+                    }
+                }
+            }
+        }
+        match &self.residual {
+            Residual::Verified => Ok(None),
+            Residual::Report { kind, detail } => {
+                finding(*kind, shortest_string(cfg, x), detail)
+            }
+        }
+    }
+}
+
+/// One checker for every enabled policy: the hand-built SQL (C1–C5)
+/// and XSS cascades plus a [`GenericChecker`] per data-defined policy,
+/// dispatched by the policy id each hotspot carries.
+#[derive(Debug, Clone)]
+pub struct PolicyChecker {
+    sql: Checker,
+    xss: XssChecker,
+    generic: Vec<GenericChecker>,
+}
+
+impl PolicyChecker {
+    /// Builds a checker for every built-in policy with default options.
+    pub fn new() -> Self {
+        Self::with_options(CheckOptions::default())
+    }
+
+    /// Builds a checker for every built-in policy; `opts` applies to
+    /// the SQL cascade, and `opts.naive_engine` to all of them.
+    pub fn with_options(opts: CheckOptions) -> Self {
+        let naive = opts.naive_engine;
+        let generic = strtaint_policy::builtin()
+            .iter()
+            .filter_map(|p| match &p.kind {
+                PolicyKind::Cascade(c) => Some(GenericChecker::new(p, c, naive)),
+                PolicyKind::SqlCiv | PolicyKind::Xss => None,
+            })
+            .collect();
+        PolicyChecker {
+            sql: Checker::with_options(opts),
+            xss: XssChecker::with_naive_engine(naive),
+            generic,
+        }
+    }
+
+    /// The hand-built SQL checker — the exact object the single-policy
+    /// pipeline uses, so SQL-only runs stay byte-identical.
+    pub fn sql(&self) -> &Checker {
+        &self.sql
+    }
+
+    /// The hand-built XSS checker.
+    pub fn xss(&self) -> &XssChecker {
+        &self.xss
+    }
+
+    /// Checks one hotspot under the named policy. Unknown ids fall
+    /// back to the SQL cascade (cannot happen for hotspots produced by
+    /// the analysis layer, which only tags registry ids; the fallback
+    /// keeps the driver total without a panic path).
+    pub fn check_hotspot_cached(
+        &self,
+        policy: &str,
+        cfg: &Cfg,
+        root: NtId,
+        budget: &Budget,
+        cache: &PreparedCache,
+    ) -> HotspotReport {
+        if policy == strtaint_policy::XSS_POLICY {
+            return self.xss.check_echo_cached(cfg, root, budget, cache);
+        }
+        if let Some(g) = self.generic.iter().find(|g| g.id == policy) {
+            return g.check_hotspot_cached(cfg, root, budget, cache);
+        }
+        self.sql.check_hotspot_cached(cfg, root, budget, cache)
+    }
+
+    /// Checks every `(root, policy)` hotspot of one page, on up to
+    /// `workers` threads, returning reports in input order — the
+    /// multi-policy analogue of [`Checker::check_hotspots_with`], on
+    /// the same lock-free worker loop and shared prepared cache.
+    pub fn check_hotspots_with(
+        &self,
+        cfg: &Cfg,
+        items: &[(NtId, String)],
+        budget: &Budget,
+        workers: usize,
+    ) -> Vec<HotspotReport> {
+        let cache = PreparedCache::new();
+        run_parallel(items, workers, |(root, policy)| {
+            self.check_hotspot_cached(policy, cfg, *root, budget, &cache)
+        })
+    }
+}
+
+impl Default for PolicyChecker {
+    fn default() -> Self {
+        PolicyChecker::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strtaint_grammar::{Symbol, Taint};
+
+    /// `root -> pre X post` with `X` tainted over `strings`.
+    fn harness(pre: &[u8], strings: &[&[u8]], post: &[u8]) -> (Cfg, NtId) {
+        let mut g = Cfg::new();
+        let x = g.add_nonterminal("_GET[v]");
+        g.set_taint(x, Taint::DIRECT);
+        for s in strings {
+            g.add_literal_production(x, s);
+        }
+        let root = g.add_nonterminal("arg");
+        let mut rhs = g.literal_symbols(pre);
+        rhs.push(Symbol::N(x));
+        rhs.extend(g.literal_symbols(post));
+        g.add_production(root, rhs);
+        (g, root)
+    }
+
+    fn check(policy: &str, g: &Cfg, root: NtId) -> HotspotReport {
+        PolicyChecker::new().check_hotspot_cached(
+            policy,
+            g,
+            root,
+            &Budget::unlimited(),
+            &PreparedCache::new(),
+        )
+    }
+
+    #[test]
+    fn shell_metachar_reported_with_example() {
+        let (g, root) = harness(b"convert thumb/", &[b"a.png", b"x; rm -rf ~"], b" out.png");
+        let r = check("shell", &g, root);
+        assert_eq!(r.findings.len(), 1, "{r}");
+        assert_eq!(r.findings[0].kind, CheckKind::ShellMetachar);
+        assert!(r.findings[0].witness.is_some());
+        // The witness splices into the full command skeleton.
+        let eg = r.findings[0].example_query.as_deref().expect("example");
+        assert!(eg.starts_with(b"convert thumb/"), "{:?}", String::from_utf8_lossy(eg));
+    }
+
+    #[test]
+    fn shell_word_confined_verifies() {
+        let (g, root) = harness(b"convert thumb/", &[b"a.png", b"b_2.png"], b" out.png");
+        let r = check("shell", &g, root);
+        assert!(r.is_safe(), "{r}");
+        assert_eq!(r.verified, 1);
+    }
+
+    #[test]
+    fn shell_whitespace_hits_residual() {
+        let (g, root) = harness(b"ls ", &[b"a b"], b"");
+        let r = check("shell", &g, root);
+        assert_eq!(r.findings.len(), 1, "{r}");
+        assert_eq!(r.findings[0].kind, CheckKind::ShellUnconfined);
+    }
+
+    #[test]
+    fn path_traversal_and_absolute_reported() {
+        let (g, root) = harness(b"pages/", &[b"home.php", b"../../etc/passwd"], b"");
+        let r = check("path", &g, root);
+        assert_eq!(r.findings.len(), 1, "{r}");
+        assert_eq!(r.findings[0].kind, CheckKind::PathTraversal);
+
+        let (g, root) = harness(b"", &[b"/etc/passwd"], b"");
+        let r = check("path", &g, root);
+        assert_eq!(r.findings.len(), 1, "{r}");
+        assert_eq!(r.findings[0].kind, CheckKind::PathAbsolute);
+    }
+
+    #[test]
+    fn path_relative_verifies() {
+        let (g, root) = harness(b"pages/", &[b"home", b"about_us"], b".php");
+        let r = check("path", &g, root);
+        assert!(r.is_safe(), "{r}");
+    }
+
+    #[test]
+    fn eval_code_tokens_reported_identifier_verifies() {
+        let (g, root) = harness(b"$x = ", &[b"1", b"phpinfo()"], b";");
+        let r = check("eval", &g, root);
+        assert_eq!(r.findings.len(), 1, "{r}");
+        assert_eq!(r.findings[0].kind, CheckKind::CodeInjection);
+
+        let (g, root) = harness(b"$x = ", &[b"price", b"name_2"], b";");
+        let r = check("eval", &g, root);
+        assert!(r.is_safe(), "{r}");
+    }
+
+    #[test]
+    fn budget_trip_is_conservative_for_generic_policies() {
+        let (g, root) = harness(b"ls ", &[b"a", b"b; id"], b"");
+        let pc = PolicyChecker::new();
+        let tiny = Budget::new(None, Some(1), None);
+        let r = pc.check_hotspot_cached("shell", &g, root, &tiny, &PreparedCache::new());
+        assert!(!r.is_safe(), "exhausted budget must not verify: {r}");
+        assert!(r.findings.iter().all(|f| f.kind == CheckKind::BudgetExhausted));
+        assert!(!r.degradations.is_empty());
+    }
+
+    #[test]
+    fn dispatch_matches_dedicated_checkers() {
+        // SQL and XSS hotspots routed through the façade must produce
+        // the same reports as the dedicated checkers (same objects).
+        let pc = PolicyChecker::new();
+        let mut g = Cfg::new();
+        let x = g.add_nonterminal("_GET[id]");
+        g.set_taint(x, Taint::DIRECT);
+        g.add_literal_production(x, b"1'; DROP TABLE t; --");
+        let root = g.add_nonterminal("query");
+        let mut rhs = g.literal_symbols(b"SELECT * FROM t WHERE id='");
+        rhs.push(Symbol::N(x));
+        rhs.extend(g.literal_symbols(b"'"));
+        g.add_production(root, rhs);
+
+        let budget = Budget::unlimited();
+        let a = pc.check_hotspot_cached("sql", &g, root, &budget, &PreparedCache::new());
+        let b = pc.sql().check_hotspot_with(&g, root, &budget);
+        assert_eq!(a.findings.len(), b.findings.len());
+        assert_eq!(a.findings[0].kind, b.findings[0].kind);
+        assert_eq!(a.findings[0].witness, b.findings[0].witness);
+
+        let (h, hroot) = harness(b"<p>", &[b"<script>x</script>"], b"</p>");
+        let a = pc.check_hotspot_cached("xss", &h, hroot, &budget, &PreparedCache::new());
+        let b = pc.xss().check_echo_with(&h, hroot, &budget);
+        assert_eq!(a.findings.len(), b.findings.len());
+        assert_eq!(a.findings[0].detail, b.findings[0].detail);
+    }
+
+    #[test]
+    fn parallel_multi_policy_matches_serial() {
+        let mut g = Cfg::new();
+        let x = g.add_nonterminal("_GET[f]");
+        g.set_taint(x, Taint::DIRECT);
+        g.add_literal_production(x, b"ok");
+        g.add_literal_production(x, b"../secret");
+        let mk = |g: &mut Cfg, pre: &[u8]| {
+            let root = g.add_nonterminal("arg");
+            let mut rhs = g.literal_symbols(pre);
+            rhs.push(Symbol::N(x));
+            g.add_production(root, rhs);
+            root
+        };
+        let r1 = mk(&mut g, b"cat ");
+        let r2 = mk(&mut g, b"pages/");
+        let r3 = mk(&mut g, b"");
+        let items = vec![
+            (r1, "shell".to_string()),
+            (r2, "path".to_string()),
+            (r3, "eval".to_string()),
+        ];
+        let pc = PolicyChecker::new();
+        let budget = Budget::unlimited();
+        let serial: Vec<_> = items
+            .iter()
+            .map(|(r, p)| pc.check_hotspot_cached(p, &g, *r, &budget, &PreparedCache::new()))
+            .collect();
+        let parallel = pc.check_hotspots_with(&g, &items, &budget, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.findings.len(), p.findings.len());
+            assert_eq!(s.verified, p.verified);
+            for (sf, pf) in s.findings.iter().zip(&p.findings) {
+                assert_eq!(sf.kind, pf.kind);
+                assert_eq!(sf.witness, pf.witness);
+            }
+        }
+    }
+}

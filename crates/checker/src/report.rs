@@ -4,80 +4,10 @@ use std::fmt;
 
 use strtaint_grammar::{Degradation, EngineStats, NtId, Taint};
 
-/// Which check classified the finding (paper §3.2.1–3.2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum CheckKind {
-    /// C1: the tainted substring can contain an odd number of
-    /// unescaped quotes — not confinable in any query.
-    OddQuotes,
-    /// C2: the substring always sits inside a string literal but can
-    /// contain an unescaped quote, escaping the literal.
-    EscapesLiteral,
-    /// C4: the substring can contain a known non-confinable attack
-    /// fragment (`DROP TABLE`, `--`, `;`, …) outside quotes.
-    AttackString,
-    /// C5: the substring is not derivable from any single symbol of
-    /// the reference SQL grammar in its context.
-    NotDerivable,
-    /// C5: the substring's position glues onto adjacent tokens, so
-    /// token boundaries are attacker-controlled.
-    GluedContext,
-    /// The checker could not enumerate the query contexts (infinite or
-    /// too many); reported conservatively.
-    Unresolved,
-    /// The analysis budget (deadline, fuel, or grammar cap) ran out
-    /// before the hotspot could be verified; reported conservatively —
-    /// a budget trip may cause a false positive, never a silent
-    /// "verified".
-    BudgetExhausted,
-}
-
-impl CheckKind {
-    /// Stable rule identifier, shared by the SARIF renderer and the
-    /// daemon's serialized verdicts. A compatibility surface: adding a
-    /// variant adds an id, existing ids never change meaning.
-    pub fn rule_id(self) -> &'static str {
-        match self {
-            CheckKind::OddQuotes => "strtaint/odd-quotes",
-            CheckKind::EscapesLiteral => "strtaint/escapes-literal",
-            CheckKind::AttackString => "strtaint/attack-string",
-            CheckKind::NotDerivable => "strtaint/not-derivable",
-            CheckKind::GluedContext => "strtaint/glued-context",
-            CheckKind::Unresolved => "strtaint/unresolved",
-            CheckKind::BudgetExhausted => "strtaint/budget-exhausted",
-        }
-    }
-
-    /// Inverse of [`CheckKind::rule_id`]; `None` for unknown ids
-    /// (version-skewed or corrupt artifacts — treat as invalid).
-    pub fn from_rule_id(id: &str) -> Option<CheckKind> {
-        Some(match id {
-            "strtaint/odd-quotes" => CheckKind::OddQuotes,
-            "strtaint/escapes-literal" => CheckKind::EscapesLiteral,
-            "strtaint/attack-string" => CheckKind::AttackString,
-            "strtaint/not-derivable" => CheckKind::NotDerivable,
-            "strtaint/glued-context" => CheckKind::GluedContext,
-            "strtaint/unresolved" => CheckKind::Unresolved,
-            "strtaint/budget-exhausted" => CheckKind::BudgetExhausted,
-            _ => return None,
-        })
-    }
-}
-
-impl fmt::Display for CheckKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            CheckKind::OddQuotes => "odd number of unescaped quotes",
-            CheckKind::EscapesLiteral => "can escape its string literal",
-            CheckKind::AttackString => "derives a known attack fragment",
-            CheckKind::NotDerivable => "not derivable from the SQL grammar in context",
-            CheckKind::GluedContext => "attacker-controlled token boundary",
-            CheckKind::Unresolved => "contexts could not be enumerated",
-            CheckKind::BudgetExhausted => "analysis budget exhausted before verification",
-        };
-        write!(f, "{s}")
-    }
-}
+// `CheckKind` moved to `strtaint-policy` (the registry names the kinds
+// a cascade emits); re-exported here so every existing consumer keeps
+// compiling and the rule-id/display strings stay byte-identical.
+pub use strtaint_policy::CheckKind;
 
 /// A policy violation for one labeled nonterminal at one hotspot.
 #[derive(Debug, Clone)]

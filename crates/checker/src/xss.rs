@@ -212,7 +212,7 @@ impl XssChecker {
         workers: usize,
     ) -> Vec<HotspotReport> {
         let cache = PreparedCache::new();
-        run_parallel(roots, workers, |root| {
+        run_parallel(roots, workers, |&root| {
             self.check_echo_cached(cfg, root, budget, &cache)
         })
     }

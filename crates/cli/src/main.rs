@@ -6,6 +6,11 @@
 //!
 //! OPTIONS:
 //!   --xss           run the XSS checker instead of the SQLCIV checker
+//!   --policy LIST   comma-separated policy ids to enable (see
+//!                   --list-policies); sinks of every enabled policy
+//!                   are recognized and checked in one run
+//!   --list-policies print the built-in policy registry (id, severity,
+//!                   name, description) and exit
 //!   --slice         enable the backward query-relevance slice (faster)
 //!   --json          machine-readable output
 //!   --sarif         SARIF 2.1.0 output (for CI annotation)
@@ -48,18 +53,21 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use strtaint::{
-    analyze_page_cached, analyze_page_with, analyze_page_xss, analyze_page_xss_cached, Checker,
-    Config, EngineStats, PageReport, SummaryCache, Vfs,
+    analyze_page_cached, analyze_page_policies_cached, analyze_page_with, analyze_page_xss,
+    analyze_page_xss_cached, Checker, Config, EngineStats, PageReport, PolicyChecker,
+    SummaryCache, Vfs,
 };
 
-const USAGE: &str = "usage: strtaint [--xss] [--slice] [--json] [--sarif] \
+const USAGE: &str = "usage: strtaint [--xss] [--policy LIST] [--slice] [--json] [--sarif] \
                      [--include SITE=FILE] [--timeout SECS] [--fuel N] \
                      [--no-summary-cache] [--stats] [--trace-json FILE] \
                      <dir> <entry.php>...\n\
+                     \x20      strtaint --list-policies\n\
                      \x20      strtaint serve --dir <dir> [options]";
 
 struct Options {
     xss: bool,
+    policies: Option<Vec<String>>,
     slice: bool,
     json: bool,
     sarif: bool,
@@ -112,6 +120,7 @@ impl RunStats {
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         xss: false,
+        policies: None,
         slice: false,
         json: false,
         sarif: false,
@@ -129,6 +138,26 @@ fn parse_args() -> Result<Options, String> {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--xss" => opts.xss = true,
+            "--policy" => {
+                let v = args.next().ok_or("--policy requires a policy list")?;
+                let sel = strtaint::policy::parse_selection(&v)
+                    .map_err(|e| format!("--policy: {e}"))?;
+                opts.policies = Some(sel);
+            }
+            "--list-policies" => {
+                let mut out = String::new();
+                for p in strtaint::policy::builtin() {
+                    out.push_str(&format!(
+                        "{:<6} {:<9} {:<26} {}\n",
+                        p.id,
+                        p.severity.as_str(),
+                        p.name,
+                        p.description
+                    ));
+                }
+                print!("{out}");
+                std::process::exit(0);
+            }
             "--slice" => opts.slice = true,
             "--json" => opts.json = true,
             "--sarif" => opts.sarif = true,
@@ -169,6 +198,9 @@ fn parse_args() -> Result<Options, String> {
             }
             other => positional.push(other.to_owned()),
         }
+    }
+    if opts.xss && opts.policies.is_some() {
+        return Err("--xss and --policy are mutually exclusive (use --policy xss)".to_owned());
     }
     if positional.len() < 2 {
         return Err(USAGE.to_owned());
@@ -301,6 +333,9 @@ fn main() -> ExitCode {
         fuel: opts.fuel,
         ..Config::default()
     };
+    if let Some(policies) = &opts.policies {
+        config.policies = policies.clone();
+    }
     for (site, file) in &opts.includes {
         config
             .include_overrides
@@ -319,16 +354,30 @@ fn main() -> ExitCode {
     strtaint_obs::reset();
 
     let checker = Checker::new();
+    let policy_checker = opts.policies.as_ref().map(|_| PolicyChecker::new());
     let summaries = SummaryCache::new();
 
     let mut reports = Vec::new();
     let mut any_findings = false;
     for entry in &opts.entries {
-        let result = match (opts.xss, opts.no_summary_cache) {
-            (true, true) => analyze_page_xss(&vfs, entry, &config),
-            (true, false) => analyze_page_xss_cached(&vfs, entry, &config, &summaries),
-            (false, true) => analyze_page_with(&vfs, entry, &config, &checker),
-            (false, false) => analyze_page_cached(&vfs, entry, &config, &checker, &summaries),
+        let result = if let Some(pc) = &policy_checker {
+            // --policy routes through the policy-driven pipeline; the
+            // summary-cache escape hatch applies by passing a fresh
+            // cache per page.
+            if opts.no_summary_cache {
+                analyze_page_policies_cached(&vfs, entry, &config, pc, &SummaryCache::new())
+            } else {
+                analyze_page_policies_cached(&vfs, entry, &config, pc, &summaries)
+            }
+        } else {
+            match (opts.xss, opts.no_summary_cache) {
+                (true, true) => analyze_page_xss(&vfs, entry, &config),
+                (true, false) => analyze_page_xss_cached(&vfs, entry, &config, &summaries),
+                (false, true) => analyze_page_with(&vfs, entry, &config, &checker),
+                (false, false) => {
+                    analyze_page_cached(&vfs, entry, &config, &checker, &summaries)
+                }
+            }
         };
         match result {
             Ok(r) => {

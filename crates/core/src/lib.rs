@@ -60,9 +60,10 @@ use std::time::Instant;
 
 pub use strtaint_analysis::{AnalyzeError, Config, Hotspot, Provenance, SummaryCache, Vfs};
 pub use strtaint_checker::{
-    CheckKind, CheckOptions, Checker, EngineStats, Finding, HotspotReport,
+    CheckKind, CheckOptions, Checker, EngineStats, Finding, HotspotReport, PolicyChecker,
 };
 pub use strtaint_grammar::{Budget, Cfg, DegradeAction, Degradation, NtId, Resource, Taint};
+pub use strtaint_policy as policy;
 
 /// Worker-thread count for checking the hotspots of one page — the
 /// machine's available parallelism (hotspots are independent given the
@@ -151,6 +152,97 @@ pub fn analyze_page_cached(
     // Grammar size restricted to the query grammars (Table 1 columns).
     let mut reachable = vec![false; analysis.cfg.num_nonterminals()];
     for h in &analysis.hotspots {
+        for (i, r) in analysis.cfg.reachable(h.root).into_iter().enumerate() {
+            reachable[i] = reachable[i] || r;
+        }
+    }
+    let grammar_nonterminals = reachable.iter().filter(|&&b| b).count();
+    let grammar_productions = analysis
+        .cfg
+        .nonterminals()
+        .filter(|id| reachable[id.index()])
+        .map(|id| analysis.cfg.productions(id).len())
+        .sum();
+
+    Ok(PageReport {
+        entry: entry.to_owned(),
+        hotspots,
+        grammar_nonterminals,
+        grammar_productions,
+        analysis_time,
+        check_time,
+        warnings: analysis.warnings,
+        unmodeled: analysis.unmodeled.into_iter().collect(),
+        files_analyzed: analysis.files_analyzed,
+        inputs: analysis.inputs.into_iter().collect(),
+        degradations: analysis.degradations,
+        skipped: None,
+    })
+}
+
+/// Analyzes one web page against the **enabled policy set**
+/// (`Config::policies`): every sink the analysis recognized — SQL
+/// hotspots, shell/path/eval sinks, and (when the `xss` policy is
+/// enabled) `echo` sinks — is checked by the cascade its policy
+/// defines, all in one parallel batch. With the default policy set
+/// (`["sql"]`) this matches [`analyze_page`] finding for finding.
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError`] if the entry file is missing or fails to
+/// parse.
+pub fn analyze_page_policies(
+    vfs: &Vfs,
+    entry: &str,
+    config: &Config,
+) -> Result<PageReport, AnalyzeError> {
+    let summaries = SummaryCache::new();
+    analyze_page_policies_cached(vfs, entry, config, &PolicyChecker::new(), &summaries)
+}
+
+/// Like [`analyze_page_policies`], reusing a prebuilt [`PolicyChecker`]
+/// and a caller-owned [`SummaryCache`] across pages.
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError`] if the entry file is missing or fails to
+/// parse.
+pub fn analyze_page_policies_cached(
+    vfs: &Vfs,
+    entry: &str,
+    config: &Config,
+    checker: &PolicyChecker,
+    summaries: &SummaryCache,
+) -> Result<PageReport, AnalyzeError> {
+    let _span = strtaint_obs::Span::enter("page", entry);
+    let budget = config.page_budget();
+    let t0 = Instant::now();
+    let analysis = strtaint_analysis::analyze_cached(vfs, entry, config, &budget, summaries)?;
+    let analysis_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    // Sink sites in program order, echo sinks after (they are collected
+    // separately by the analysis and only checked when `xss` is on).
+    let mut sites: Vec<Hotspot> = analysis.hotspots.clone();
+    if config.policies.iter().any(|p| p == policy::XSS_POLICY) {
+        sites.extend(analysis.echo_sinks.iter().cloned());
+    }
+    let items: Vec<(NtId, String)> =
+        sites.iter().map(|h| (h.root, h.policy.clone())).collect();
+    let reports = checker.check_hotspots_with(&analysis.cfg, &items, &budget, hotspot_workers());
+    let mut hotspots = Vec::new();
+    for (h, mut r) in sites.iter().zip(reports) {
+        if let Some(span) = h.provenance.arg_span {
+            for f in &mut r.findings {
+                f.at = Some((span.line, span.col));
+            }
+        }
+        hotspots.push((h.clone(), r));
+    }
+    let check_time = t1.elapsed();
+
+    let mut reachable = vec![false; analysis.cfg.num_nonterminals()];
+    for h in &sites {
         for (i, r) in analysis.cfg.reachable(h.root).into_iter().enumerate() {
             reachable[i] = reachable[i] || r;
         }

@@ -28,6 +28,7 @@
 pub mod app;
 pub mod apps;
 pub mod filler;
+pub mod policies;
 pub mod synth;
 
 pub use app::{App, Truth};

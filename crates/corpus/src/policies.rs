@@ -1,0 +1,143 @@
+//! Seeded ground-truth pages for the non-SQL policies.
+//!
+//! One vulnerable page and one sanitized variant per vulnerability
+//! class (shell command injection, path traversal, eval/code
+//! injection), plus a `preg_replace/e` construct-sink page. The
+//! soundness tests assert that every vulnerable page reports a finding
+//! with the class's rule id and that every sanitized variant verifies
+//! clean — the same shape as the SQLCIV corpus ground truth, one tier
+//! down in size.
+
+use strtaint_analysis::Vfs;
+
+/// One seeded page with its expected outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct Seeded {
+    /// Page entry path in [`vfs`].
+    pub entry: &'static str,
+    /// The policy that must be enabled to see the sink.
+    pub policy: &'static str,
+    /// `true`: the page must produce at least one finding whose rule id
+    /// is `rule`. `false`: the page must verify with zero findings.
+    pub vulnerable: bool,
+    /// Expected SARIF rule id for vulnerable pages.
+    pub rule: &'static str,
+}
+
+/// The seeded pages and their expected outcomes.
+pub fn seeds() -> Vec<Seeded> {
+    vec![
+        Seeded {
+            entry: "shell_vuln.php",
+            policy: "shell",
+            vulnerable: true,
+            rule: "strtaint/shell-metachar",
+        },
+        Seeded {
+            entry: "shell_safe.php",
+            policy: "shell",
+            vulnerable: false,
+            rule: "",
+        },
+        Seeded {
+            entry: "path_vuln.php",
+            policy: "path",
+            vulnerable: true,
+            rule: "strtaint/path-traversal",
+        },
+        Seeded {
+            entry: "path_safe.php",
+            policy: "path",
+            vulnerable: false,
+            rule: "",
+        },
+        Seeded {
+            entry: "eval_vuln.php",
+            policy: "eval",
+            vulnerable: true,
+            rule: "strtaint/code-injection",
+        },
+        Seeded {
+            entry: "eval_safe.php",
+            policy: "eval",
+            vulnerable: false,
+            rule: "",
+        },
+        Seeded {
+            entry: "preg_replace_e.php",
+            policy: "eval",
+            vulnerable: true,
+            rule: "strtaint/code-injection",
+        },
+    ]
+}
+
+/// The project tree holding every seeded page.
+pub fn vfs() -> Vfs {
+    let mut vfs = Vfs::new();
+    // Shell: a thumbnail converter building a command line from the
+    // request — the textbook `system()` injection.
+    vfs.add(
+        "shell_vuln.php",
+        r#"<?php
+$f = $_GET['f'];
+system("convert thumb/" . $f . " out.png");
+"#,
+    );
+    // The anchored allowlist confines the argument to one shell word.
+    vfs.add(
+        "shell_safe.php",
+        r#"<?php
+$f = $_GET['f'];
+if (!preg_match('/^[a-zA-Z0-9_]+$/', $f)) {
+    exit;
+}
+system("convert thumb/" . $f . " out.png");
+"#,
+    );
+    // Path: a page dispatcher including a request-named file.
+    vfs.add(
+        "path_vuln.php",
+        r#"<?php
+include('pages/' . $_GET['page'] . '.php');
+"#,
+    );
+    vfs.add(
+        "path_safe.php",
+        r#"<?php
+$page = $_GET['page'];
+if (!preg_match('/^[a-z]+$/', $page)) {
+    exit;
+}
+include('pages/' . $page . '.php');
+"#,
+    );
+    // The layout target the safe dispatcher can resolve to.
+    vfs.add("pages/home.php", "<?php echo \"home\";\n");
+    // Eval: a calculator evaluating a request-supplied expression.
+    vfs.add(
+        "eval_vuln.php",
+        r#"<?php
+eval('$result = ' . $_GET['op'] . ';');
+"#,
+    );
+    vfs.add(
+        "eval_safe.php",
+        r#"<?php
+$op = $_GET['op'];
+if (!preg_match('/^[0-9]+$/', $op)) {
+    exit;
+}
+eval('$result = ' . $op . ';');
+"#,
+    );
+    // The deprecated /e modifier: the replacement is evaluated as PHP
+    // over the (tainted) subject's captures.
+    vfs.add(
+        "preg_replace_e.php",
+        r#"<?php
+echo preg_replace('/x/e', 'strtoupper("$0")', $_GET['t']);
+"#,
+    );
+    vfs
+}

@@ -6,7 +6,7 @@
 //!
 //! | request | response |
 //! |---|---|
-//! | `{"cmd":"analyze","entries":[…],"xss"?,"timeout_ms"?,"fuel"?}` | `{"ok":true,"pages":[…],"computed":n,"replayed":n}` |
+//! | `{"cmd":"analyze","entries":[…],"xss"?,"policies"?,"timeout_ms"?,"fuel"?}` | `{"ok":true,"pages":[…],"computed":n,"replayed":n}` (`policies`: array of registry ids, default `["sql"]`) |
 //! | `{"cmd":"invalidate","path":…,"contents"?}` | `{"ok":true,"changed":bool}` (`contents` absent = remove) |
 //! | `{"cmd":"batch","ops":[{…},…]}` | `{"ok":true,"results":[…]}` — applies N `analyze`/`invalidate`/`status` ops in order, one round-trip |
 //! | `{"cmd":"status"}` | `{"ok":true,"engine":{…},"summary_cache":{…},"store":{…},…}` |
@@ -209,7 +209,30 @@ fn handle_analyze(state: &DaemonState, request: &Json) -> Handled {
     let xss = request.get("xss").and_then(Json::as_bool).unwrap_or(false);
     let timeout_ms = request.get("timeout_ms").and_then(Json::as_num);
     let fuel = request.get("fuel").and_then(Json::as_num);
-    let config = state.effective_config(timeout_ms, fuel);
+    let policies = match request.get("policies") {
+        None | Some(Json::Null) => None,
+        Some(Json::Arr(arr)) => {
+            let mut ids = Vec::with_capacity(arr.len());
+            for p in arr {
+                match p.as_str() {
+                    Some(id) if strtaint::policy::find(id).is_some() => {
+                        ids.push(id.to_owned());
+                    }
+                    Some(id) => return error(format!("unknown policy {id:?}")),
+                    None => return error("\"policies\" must be an array of strings"),
+                }
+            }
+            if ids.is_empty() {
+                return error("\"policies\" must name at least one policy");
+            }
+            Some(ids)
+        }
+        Some(_) => return error("\"policies\" must be an array of strings"),
+    };
+    if xss && policies.is_some() {
+        return error("\"xss\" and \"policies\" are mutually exclusive (use [\"xss\"])");
+    }
+    let config = state.effective_config(timeout_ms, fuel, policies);
 
     let mut pages = Vec::with_capacity(entries.len());
     let mut computed = 0u64;
@@ -466,6 +489,40 @@ mod tests {
         // Valid values pass through.
         let r = roundtrip(&s, "{\"cmd\":\"status\",\"priority\":9,\"deadline_ms\":50}");
         assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn analyze_accepts_and_validates_policies() {
+        let s = state();
+        // Shell page: vulnerable only when the shell policy is on.
+        roundtrip(
+            &s,
+            "{\"cmd\":\"invalidate\",\"path\":\"sh.php\",\
+             \"contents\":\"<?php system(\\\"ls \\\" . $_GET['d']);\"}",
+        );
+        let r = roundtrip(
+            &s,
+            "{\"cmd\":\"analyze\",\"entries\":[\"sh.php\"],\
+             \"policies\":[\"sql\",\"shell\"]}",
+        );
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        let pages = r.get("pages").and_then(Json::as_arr).expect("pages");
+        assert_eq!(pages[0].get("verified").and_then(Json::as_bool), Some(false));
+        // Default policy set does not see the shell sink.
+        let r2 = roundtrip(&s, "{\"cmd\":\"analyze\",\"entries\":[\"sh.php\"]}");
+        let pages2 = r2.get("pages").and_then(Json::as_arr).expect("pages");
+        assert_eq!(pages2[0].get("verified").and_then(Json::as_bool), Some(true));
+        // Validation: unknown ids, wrong types, empty sets, xss clash.
+        for bad in [
+            "{\"cmd\":\"analyze\",\"entries\":[\"sh.php\"],\"policies\":[\"bogus\"]}",
+            "{\"cmd\":\"analyze\",\"entries\":[\"sh.php\"],\"policies\":[1]}",
+            "{\"cmd\":\"analyze\",\"entries\":[\"sh.php\"],\"policies\":\"sql\"}",
+            "{\"cmd\":\"analyze\",\"entries\":[\"sh.php\"],\"policies\":[]}",
+            "{\"cmd\":\"analyze\",\"entries\":[\"sh.php\"],\"xss\":true,\"policies\":[\"sql\"]}",
+        ] {
+            let r = roundtrip(&s, bad);
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false), "{bad}");
+        }
     }
 
     #[test]

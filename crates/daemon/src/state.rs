@@ -23,8 +23,8 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use strtaint::{
-    analyze_page_cached, analyze_page_xss_cached, Checker, Config, EngineStats, PageReport,
-    SummaryCache, Vfs,
+    analyze_page_cached, analyze_page_policies_cached, analyze_page_xss_cached, Config,
+    EngineStats, PageReport, PolicyChecker, SummaryCache, Vfs,
 };
 use strtaint_analysis::summary::content_hash;
 use strtaint_analysis::vfs::normalize;
@@ -83,8 +83,8 @@ pub struct DaemonState {
     config: Config,
     /// `config.fingerprint()`, cached.
     config_fp: u64,
-    /// Prepared SQL/policy automata, page-independent.
-    checker: Checker,
+    /// Prepared automata for every built-in policy, page-independent.
+    checker: PolicyChecker,
     /// Shared AST→IR summary cache (content-hash keyed, so edits
     /// invalidate themselves).
     summaries: SummaryCache,
@@ -134,7 +134,7 @@ impl DaemonState {
             tree: AtomicU64::new(tree),
             config,
             config_fp,
-            checker: Checker::new(),
+            checker: PolicyChecker::new(),
             summaries: SummaryCache::new(),
             verdicts: Mutex::new(HashMap::new()),
             store,
@@ -306,6 +306,7 @@ impl DaemonState {
             let verdict = Arc::new(Verdict {
                 entry: entry.clone(),
                 xss,
+                policies: config.policies.clone(),
                 config_fp,
                 tree: self.tree.load(Ordering::Relaxed),
                 deps,
@@ -351,8 +352,12 @@ impl DaemonState {
         let run = || {
             if xss {
                 analyze_page_xss_cached(vfs, entry, config, &self.summaries)
+            } else if config.policies == [strtaint::policy::SQL_POLICY] {
+                // Default policy set: the dedicated SQLCIV path, so
+                // daemon responses stay byte-identical to the seed.
+                analyze_page_cached(vfs, entry, config, self.checker.sql(), &self.summaries)
             } else {
-                analyze_page_cached(vfs, entry, config, &self.checker, &self.summaries)
+                analyze_page_policies_cached(vfs, entry, config, &self.checker, &self.summaries)
             }
         };
         match std::panic::catch_unwind(AssertUnwindSafe(run)) {
@@ -371,6 +376,7 @@ impl DaemonState {
         &self,
         timeout_ms: Option<f64>,
         fuel: Option<f64>,
+        policies: Option<Vec<String>>,
     ) -> Config {
         let mut config = self.config.clone();
         if let Some(ms) = timeout_ms {
@@ -382,6 +388,11 @@ impl DaemonState {
             if fuel.is_finite() && fuel >= 1.0 {
                 config.fuel = Some(fuel as u64);
             }
+        }
+        if let Some(p) = policies {
+            // A different policy set is a different config fingerprint,
+            // so stored verdicts never cross-contaminate.
+            config.policies = p;
         }
         config
     }
@@ -533,13 +544,44 @@ mod tests {
         );
         let base = state.base_config().clone();
         state.analyze_page("a.php", false, &base);
-        let tight = state.effective_config(None, Some(5.0));
+        let tight = state.effective_config(None, Some(5.0), None);
         let (_, o) = state.analyze_page("a.php", false, &tight);
         assert_eq!(
             o,
             PageOutcome::Computed,
             "a different budget is a different config fingerprint"
         );
+    }
+
+    #[test]
+    fn policy_set_change_does_not_reuse_verdicts() {
+        const SHELL: &str = "<?php system(\"ls \" . $_GET['d']);";
+        let state = DaemonState::new(
+            vfs_with(&[("a.php", SHELL)]),
+            Config::default(),
+            None,
+        );
+        let base = state.base_config().clone();
+        let (p1, o1) = state.analyze_page("a.php", false, &base);
+        assert_eq!(o1, PageOutcome::Computed);
+        // Under the default ["sql"] set the system() call is no sink.
+        assert_eq!(p1.get("verified").and_then(Json::as_bool), Some(true));
+
+        let shell =
+            state.effective_config(None, None, Some(vec!["sql".into(), "shell".into()]));
+        let (p2, o2) = state.analyze_page("a.php", false, &shell);
+        assert_eq!(
+            o2,
+            PageOutcome::Computed,
+            "a different policy set is a different config fingerprint"
+        );
+        assert_eq!(p2.get("verified").and_then(Json::as_bool), Some(false));
+
+        // Both verdicts stay resident under their own keys.
+        let (_, o3) = state.analyze_page("a.php", false, &base);
+        let (_, o4) = state.analyze_page("a.php", false, &shell);
+        assert_eq!(o3, PageOutcome::Replayed);
+        assert_eq!(o4, PageOutcome::Replayed);
     }
 
     #[test]

@@ -200,6 +200,12 @@ pub struct Verdict {
     pub entry: String,
     /// Checker mode the verdict was computed under.
     pub xss: bool,
+    /// The enabled policy set the verdict was computed under. Already
+    /// covered by `config_fp` (policies are fingerprinted), but stored
+    /// explicitly as replay evidence so an artifact is self-describing
+    /// — and so pre-policy artifacts (missing this member) are dropped
+    /// rather than replayed under the wrong semantics.
+    pub policies: Vec<String>,
     /// Full config fingerprint at computation time.
     pub config_fp: u64,
     /// Path-set digest at computation time.
@@ -226,6 +232,10 @@ impl Verdict {
         vec![
             ("entry".to_owned(), Json::Str(self.entry.clone())),
             ("xss".to_owned(), Json::Bool(self.xss)),
+            (
+                "policies".to_owned(),
+                Json::Arr(self.policies.iter().cloned().map(Json::Str).collect()),
+            ),
             ("config_fp".to_owned(), Json::Str(hex64(self.config_fp))),
             ("tree".to_owned(), Json::Str(hex64(self.tree))),
             ("deps".to_owned(), Json::Arr(deps)),
@@ -239,6 +249,10 @@ impl Verdict {
     pub fn from_artifact(v: &Json) -> Option<Verdict> {
         let entry = v.get("entry")?.as_str()?.to_owned();
         let xss = v.get("xss")?.as_bool()?;
+        let mut policies = Vec::new();
+        for p in v.get("policies")?.as_arr()? {
+            policies.push(p.as_str()?.to_owned());
+        }
         let config_fp = parse_hex64(v.get("config_fp")?.as_str()?)?;
         let tree = parse_hex64(v.get("tree")?.as_str()?)?;
         let mut deps = Vec::new();
@@ -256,6 +270,7 @@ impl Verdict {
         Some(Verdict {
             entry,
             xss,
+            policies,
             config_fp,
             tree,
             deps,
@@ -290,6 +305,7 @@ mod tests {
         let v = Verdict {
             entry: "a.php".into(),
             xss: false,
+            policies: vec!["sql".into(), "shell".into()],
             config_fp: 11,
             tree: 22,
             deps: vec![("a.php".into(), 1), ("lib.php".into(), 2)],
@@ -299,9 +315,31 @@ mod tests {
         let artifact = Json::Obj(body);
         let back = Verdict::from_artifact(&artifact).expect("roundtrips");
         assert_eq!(back.entry, "a.php");
+        assert_eq!(back.policies, v.policies);
         assert_eq!(back.config_fp, 11);
         assert_eq!(back.tree, 22);
         assert_eq!(back.deps, v.deps);
+    }
+
+    #[test]
+    fn artifact_without_policy_evidence_is_rejected() {
+        // Pre-policy artifacts lack the `policies` member; they must be
+        // dropped (recomputed), never replayed.
+        let v = Verdict {
+            entry: "a.php".into(),
+            xss: false,
+            policies: vec!["sql".into()],
+            config_fp: 0,
+            tree: 0,
+            deps: vec![],
+            page: Json::obj(vec![("entry", Json::Str("a.php".into()))]),
+        };
+        let body: Vec<(String, Json)> = v
+            .to_artifact_body()
+            .into_iter()
+            .filter(|(k, _)| k != "policies")
+            .collect();
+        assert!(Verdict::from_artifact(&Json::Obj(body)).is_none());
     }
 
     #[test]
@@ -309,6 +347,7 @@ mod tests {
         let v = Verdict {
             entry: "a.php".into(),
             xss: false,
+            policies: vec!["sql".into()],
             config_fp: 0,
             tree: 0,
             deps: vec![],

@@ -1,0 +1,185 @@
+//! Finding classification, shared by every policy.
+//!
+//! Moved here from `strtaint-checker` so the registry can name the
+//! kinds a cascade emits without a dependency cycle. The rule-id and
+//! display strings for the original seven variants are a compatibility
+//! surface (SARIF output, serialized daemon verdicts) and must never
+//! change; new policies append variants with fresh ids.
+
+use std::fmt;
+
+/// Which check classified the finding (paper §3.2.1–3.2.2 for the SQL
+/// cascade; the XSS and data-defined cascades reuse the same space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CheckKind {
+    /// C1: the tainted substring can contain an odd number of
+    /// unescaped quotes — not confinable in any query.
+    OddQuotes,
+    /// C2: the substring always sits inside a string literal but can
+    /// contain an unescaped quote, escaping the literal.
+    EscapesLiteral,
+    /// C4: the substring can contain a known non-confinable attack
+    /// fragment (`DROP TABLE`, `--`, `;`, …) outside quotes.
+    AttackString,
+    /// C5: the substring is not derivable from any single symbol of
+    /// the reference SQL grammar in its context.
+    NotDerivable,
+    /// C5: the substring's position glues onto adjacent tokens, so
+    /// token boundaries are attacker-controlled.
+    GluedContext,
+    /// The checker could not enumerate the query contexts (infinite or
+    /// too many); reported conservatively.
+    Unresolved,
+    /// The analysis budget (deadline, fuel, or grammar cap) ran out
+    /// before the hotspot could be verified; reported conservatively —
+    /// a budget trip may cause a false positive, never a silent
+    /// "verified".
+    BudgetExhausted,
+    /// Shell policy: the substring can contain a shell metacharacter
+    /// (`;`, `|`, `` ` ``, `$`, quotes, redirection, …), so it can
+    /// terminate or extend the command.
+    ShellMetachar,
+    /// Shell policy: the substring is not confined to a single shell
+    /// word (e.g. it can contain whitespace, splitting into extra
+    /// arguments) even though no metacharacter was derivable.
+    ShellUnconfined,
+    /// Path policy: the substring can contain a `..` segment, escaping
+    /// the intended directory.
+    PathTraversal,
+    /// Path policy: the substring can start with a path separator,
+    /// rebasing the access to an absolute path.
+    PathAbsolute,
+    /// Path policy: the substring is not confined to a safe relative
+    /// path alphabet (NUL bytes, backslashes, wrappers, …).
+    PathUnconfined,
+    /// Eval policy: the substring can contain PHP code tokens
+    /// (statement separators, call parentheses, variable sigils, …),
+    /// so it can inject code into the evaluated string.
+    CodeInjection,
+    /// Eval policy: the substring is not confined to a single bare
+    /// identifier/number token even though no code token was derivable.
+    CodeUnconfined,
+}
+
+impl CheckKind {
+    /// Stable rule identifier, shared by the SARIF renderer and the
+    /// daemon's serialized verdicts. A compatibility surface: adding a
+    /// variant adds an id, existing ids never change meaning.
+    pub fn rule_id(self) -> &'static str {
+        match self {
+            CheckKind::OddQuotes => "strtaint/odd-quotes",
+            CheckKind::EscapesLiteral => "strtaint/escapes-literal",
+            CheckKind::AttackString => "strtaint/attack-string",
+            CheckKind::NotDerivable => "strtaint/not-derivable",
+            CheckKind::GluedContext => "strtaint/glued-context",
+            CheckKind::Unresolved => "strtaint/unresolved",
+            CheckKind::BudgetExhausted => "strtaint/budget-exhausted",
+            CheckKind::ShellMetachar => "strtaint/shell-metachar",
+            CheckKind::ShellUnconfined => "strtaint/shell-unconfined",
+            CheckKind::PathTraversal => "strtaint/path-traversal",
+            CheckKind::PathAbsolute => "strtaint/path-absolute",
+            CheckKind::PathUnconfined => "strtaint/path-unconfined",
+            CheckKind::CodeInjection => "strtaint/code-injection",
+            CheckKind::CodeUnconfined => "strtaint/code-unconfined",
+        }
+    }
+
+    /// Inverse of [`CheckKind::rule_id`]; `None` for unknown ids
+    /// (version-skewed or corrupt artifacts — treat as invalid).
+    pub fn from_rule_id(id: &str) -> Option<CheckKind> {
+        Some(match id {
+            "strtaint/odd-quotes" => CheckKind::OddQuotes,
+            "strtaint/escapes-literal" => CheckKind::EscapesLiteral,
+            "strtaint/attack-string" => CheckKind::AttackString,
+            "strtaint/not-derivable" => CheckKind::NotDerivable,
+            "strtaint/glued-context" => CheckKind::GluedContext,
+            "strtaint/unresolved" => CheckKind::Unresolved,
+            "strtaint/budget-exhausted" => CheckKind::BudgetExhausted,
+            "strtaint/shell-metachar" => CheckKind::ShellMetachar,
+            "strtaint/shell-unconfined" => CheckKind::ShellUnconfined,
+            "strtaint/path-traversal" => CheckKind::PathTraversal,
+            "strtaint/path-absolute" => CheckKind::PathAbsolute,
+            "strtaint/path-unconfined" => CheckKind::PathUnconfined,
+            "strtaint/code-injection" => CheckKind::CodeInjection,
+            "strtaint/code-unconfined" => CheckKind::CodeUnconfined,
+            _ => return None,
+        })
+    }
+
+    /// Every variant, in declaration order — drives the rule-id
+    /// stability snapshot and doc generation.
+    pub fn all() -> &'static [CheckKind] {
+        &[
+            CheckKind::OddQuotes,
+            CheckKind::EscapesLiteral,
+            CheckKind::AttackString,
+            CheckKind::NotDerivable,
+            CheckKind::GluedContext,
+            CheckKind::Unresolved,
+            CheckKind::BudgetExhausted,
+            CheckKind::ShellMetachar,
+            CheckKind::ShellUnconfined,
+            CheckKind::PathTraversal,
+            CheckKind::PathAbsolute,
+            CheckKind::PathUnconfined,
+            CheckKind::CodeInjection,
+            CheckKind::CodeUnconfined,
+        ]
+    }
+}
+
+impl fmt::Display for CheckKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CheckKind::OddQuotes => "odd number of unescaped quotes",
+            CheckKind::EscapesLiteral => "can escape its string literal",
+            CheckKind::AttackString => "derives a known attack fragment",
+            CheckKind::NotDerivable => "not derivable from the SQL grammar in context",
+            CheckKind::GluedContext => "attacker-controlled token boundary",
+            CheckKind::Unresolved => "contexts could not be enumerated",
+            CheckKind::BudgetExhausted => "analysis budget exhausted before verification",
+            CheckKind::ShellMetachar => "derives a shell metacharacter",
+            CheckKind::ShellUnconfined => "not confined to a single shell word",
+            CheckKind::PathTraversal => "derives a .. path segment",
+            CheckKind::PathAbsolute => "can rebase to an absolute path",
+            CheckKind::PathUnconfined => "not confined to a safe relative path",
+            CheckKind::CodeInjection => "derives a PHP code token",
+            CheckKind::CodeUnconfined => "not confined to a single code token",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for &k in CheckKind::all() {
+            assert_eq!(CheckKind::from_rule_id(k.rule_id()), Some(k));
+        }
+        assert_eq!(CheckKind::from_rule_id("strtaint/unknown"), None);
+    }
+
+    #[test]
+    fn rule_ids_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for &k in CheckKind::all() {
+            assert!(seen.insert(k.rule_id()), "duplicate rule id {}", k.rule_id());
+        }
+    }
+
+    #[test]
+    fn legacy_ids_unchanged() {
+        // Compatibility pin: these exact strings appear in serialized
+        // daemon verdicts and committed SARIF baselines.
+        assert_eq!(CheckKind::OddQuotes.rule_id(), "strtaint/odd-quotes");
+        assert_eq!(CheckKind::EscapesLiteral.rule_id(), "strtaint/escapes-literal");
+        assert_eq!(CheckKind::AttackString.rule_id(), "strtaint/attack-string");
+        assert_eq!(CheckKind::NotDerivable.rule_id(), "strtaint/not-derivable");
+        assert_eq!(CheckKind::GluedContext.rule_id(), "strtaint/glued-context");
+        assert_eq!(CheckKind::Unresolved.rule_id(), "strtaint/unresolved");
+        assert_eq!(CheckKind::BudgetExhausted.rule_id(), "strtaint/budget-exhausted");
+    }
+}

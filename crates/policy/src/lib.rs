@@ -1,0 +1,40 @@
+//! Data-driven injection-policy registry.
+//!
+//! The paper's checking recipe is generic: a sink is safe iff the CFG
+//! of its tainted argument fragment, intersected with a policy
+//! automaton, is empty (plus derivability-based confinement for the
+//! harder cases). This crate captures that genericity as data. A
+//! [`Policy`] names a vulnerability class — its stable id, the sink
+//! functions/methods (with the checked argument position), the policy
+//! automata built from the byte-class DFA toolkit in
+//! `strtaint-automata`, the confinement cascade that orders provers
+//! and refuters, a severity, and the SARIF rule ids it can emit.
+//!
+//! The two historical classes, SQL command-injection (SQLCIV, checks
+//! C1–C5) and XSS, are re-expressed as the first two registry entries;
+//! their cascades stay hand-built inside `strtaint-checker` (they need
+//! marked-grammar machinery beyond a DFA pipeline) and are referenced
+//! here by [`PolicyKind::SqlCiv`] / [`PolicyKind::Xss`] so their
+//! verdicts remain byte-identical. Three further classes — shell
+//! command injection, path traversal, and eval/code injection — are
+//! defined entirely as data: a [`Cascade`] of DFA steps any generic
+//! driver can run.
+//!
+//! Layering: this crate depends only on `strtaint-automata`. The
+//! analysis crate consumes the sink tables, the checker crate consumes
+//! the cascades, and neither needs the other to agree on anything but
+//! the policy id carried on each hotspot.
+
+mod kinds;
+pub mod registry;
+
+pub use kinds::CheckKind;
+pub use registry::{
+    builtin, find, parse_selection, Cascade, Policy, PolicyKind, Residual, Severity, Step,
+    StepAction,
+};
+
+/// Policy id of the default SQL command-injection policy.
+pub const SQL_POLICY: &str = "sql";
+/// Policy id of the cross-site-scripting policy.
+pub const XSS_POLICY: &str = "xss";

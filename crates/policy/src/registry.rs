@@ -1,0 +1,489 @@
+//! The built-in policy registry.
+//!
+//! A [`Policy`] bundles everything a vulnerability class needs across
+//! the pipeline: the analysis layer reads the sink tables to decide
+//! which calls become hotspots (and which argument is the sink
+//! argument), the checker layer compiles the [`Cascade`] into prepared
+//! intersection queries, and the rendering layer reads the rule ids.
+//!
+//! ## Cascade semantics
+//!
+//! A cascade is run against `L(X)` — the language of one maximal
+//! tainted nonterminal, *not* the whole sink argument, exactly as the
+//! paper prescribes — one [`Step`] at a time, in order:
+//!
+//! * [`StepAction::VerifyIfEmpty`] is a **prover**: if
+//!   `L(X) ∩ L(step.dfa)` is empty the hotspot fragment is verified
+//!   confined and the cascade short-circuits with no finding. (The
+//!   DFA is the *complement* of the safe language, so emptiness means
+//!   "everything the attacker can produce is confined".)
+//! * [`StepAction::ReportIfNonEmpty`] is a **refuter**: if
+//!   `L(X) ∩ L(step.dfa)` is non-empty the intersection witness is
+//!   reported with the step's [`CheckKind`] and the cascade
+//!   short-circuits with a finding.
+//!
+//! If no step fires, the [`Residual`] decides: `Verified` for
+//! complete cascades, `Report` for conservative ones (sound default —
+//! a fragment neither proven confined nor matched by a refuter is
+//! still attacker-shaped). Cheap provers are listed first by
+//! construction, so every data-defined cascade is "cheap-first".
+
+use strtaint_automata::{ByteSet, Dfa, Nfa};
+
+use crate::kinds::CheckKind;
+
+/// How bad a confirmed finding of this class typically is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Low,
+    Medium,
+    High,
+    Critical,
+}
+
+impl Severity {
+    /// Lowercase label for CLI/daemon output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Low => "low",
+            Severity::Medium => "medium",
+            Severity::High => "high",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+/// What a cascade step does with its intersection result.
+#[derive(Debug, Clone)]
+pub enum StepAction {
+    /// Prover: empty intersection ⇒ fragment verified, stop.
+    VerifyIfEmpty,
+    /// Refuter: non-empty intersection ⇒ report `kind`, stop.
+    ReportIfNonEmpty {
+        kind: CheckKind,
+        detail: &'static str,
+    },
+}
+
+/// One prepared-intersection query in a policy's cascade.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// The policy automaton intersected with `L(X)`.
+    pub dfa: Dfa,
+    /// Prover or refuter.
+    pub action: StepAction,
+}
+
+/// Verdict when no cascade step fires.
+#[derive(Debug, Clone)]
+pub enum Residual {
+    /// The steps are exhaustive: nothing fired ⇒ verified.
+    Verified,
+    /// Conservative: nothing fired ⇒ still report `kind`.
+    Report {
+        kind: CheckKind,
+        detail: &'static str,
+    },
+}
+
+/// An ordered prover/refuter pipeline over byte-class DFAs.
+#[derive(Debug, Clone)]
+pub struct Cascade {
+    pub steps: Vec<Step>,
+    pub residual: Residual,
+}
+
+/// How a policy's verdicts are computed.
+#[derive(Debug, Clone)]
+pub enum PolicyKind {
+    /// The hand-built SQLCIV C1–C5 cascade in `strtaint-checker`
+    /// (needs marked grammars and SQL-context derivability).
+    SqlCiv,
+    /// The hand-built HTML-context XSS checks in `strtaint-checker`
+    /// (needs marked grammars for context gating).
+    Xss,
+    /// A fully data-defined DFA cascade run by the generic driver.
+    Cascade(Cascade),
+}
+
+/// One vulnerability class, end to end.
+#[derive(Debug, Clone)]
+pub struct Policy {
+    /// Stable id: names the class in `--policy`, `Config::policies`,
+    /// daemon requests, and replay evidence. Never reused.
+    pub id: &'static str,
+    /// Human-readable one-liner for `--list-policies`.
+    pub name: &'static str,
+    /// What the class means and what the cascade proves.
+    pub description: &'static str,
+    pub severity: Severity,
+    /// Sink functions as `(name, checked-argument-index)`.
+    pub sink_functions: &'static [(&'static str, usize)],
+    /// Sink methods (called as `$obj->m(..)`), same shape.
+    pub sink_methods: &'static [(&'static str, usize)],
+    /// Language constructs (not plain calls) that act as sinks for
+    /// this policy: `"echo"`, `"include"`, `"preg_replace/e"`.
+    pub sink_constructs: &'static [&'static str],
+    /// Every SARIF rule id findings of this policy can carry.
+    pub rule_ids: &'static [&'static str],
+    pub kind: PolicyKind,
+}
+
+/// `Σ* · [set] · Σ*` — strings containing any byte of `set`.
+fn contains_any(set: ByteSet) -> Dfa {
+    let any = Nfa::any_string();
+    Dfa::from_nfa(&any.concat(&Nfa::class(set)).concat(&any)).minimize()
+}
+
+/// `Σ* · lit · Σ*` — strings containing the literal `lit`.
+fn contains_literal(lit: &[u8]) -> Dfa {
+    let any = Nfa::any_string();
+    Dfa::from_nfa(&any.concat(&Nfa::literal(lit)).concat(&any)).minimize()
+}
+
+/// `[set] · Σ*` — strings starting with a byte of `set` (rejects ε).
+fn starts_with(set: ByteSet) -> Dfa {
+    Dfa::from_nfa(&Nfa::class(set).concat(&Nfa::any_string())).minimize()
+}
+
+/// Complement of `[set]*` — strings *not* confined to the alphabet
+/// `set`. Empty intersection with this proves charset confinement.
+fn not_confined_to(set: ByteSet) -> Dfa {
+    Dfa::from_nfa(&Nfa::class(set).star()).minimize().complement()
+}
+
+fn alnum() -> ByteSet {
+    ByteSet::range(b'A', b'Z')
+        .union(&ByteSet::range(b'a', b'z'))
+        .union(&ByteSet::range(b'0', b'9'))
+}
+
+/// Bytes that are always safe inside a single shell word: no
+/// whitespace, no quoting, no expansion, no redirection, no globbing.
+fn shell_word_safe() -> ByteSet {
+    alnum().union(&ByteSet::from_bytes(*b"_-./:=@%+,"))
+}
+
+/// Shell metacharacters: bytes that terminate the word or command, or
+/// trigger expansion — deriving any one of these refutes confinement.
+fn shell_metachars() -> ByteSet {
+    ByteSet::from_bytes(*b";|&$`<>(){}[]*?~!'\"\\\n\r")
+}
+
+/// Safe relative-path alphabet (dots and slashes allowed; the `..`
+/// and leading-`/` refuters have already run when this is consulted).
+fn path_safe() -> ByteSet {
+    alnum().union(&ByteSet::from_bytes(*b"_-./"))
+}
+
+/// PHP code tokens for the eval policy: any of these inside an
+/// evaluated string lets the attacker leave the intended expression.
+fn code_tokens() -> ByteSet {
+    ByteSet::from_bytes(*b";(){}$'\"`=<>[]\\#&|+-*/")
+}
+
+fn shell_policy() -> Policy {
+    Policy {
+        id: "shell",
+        name: "shell command injection",
+        description: "tainted data reaches a command-execution sink; verified only when \
+                      confined to a single shell word with no metacharacters",
+        severity: Severity::Critical,
+        sink_functions: &[
+            ("exec", 0),
+            ("system", 0),
+            ("shell_exec", 0),
+            ("passthru", 0),
+            ("popen", 0),
+            ("proc_open", 0),
+        ],
+        sink_methods: &[],
+        sink_constructs: &["backtick"],
+        rule_ids: &["strtaint/shell-metachar", "strtaint/shell-unconfined"],
+        kind: PolicyKind::Cascade(Cascade {
+            steps: vec![
+                // Prover first (cheap-first): confined to one word.
+                Step {
+                    dfa: not_confined_to(shell_word_safe()),
+                    action: StepAction::VerifyIfEmpty,
+                },
+                Step {
+                    dfa: contains_any(shell_metachars()),
+                    action: StepAction::ReportIfNonEmpty {
+                        kind: CheckKind::ShellMetachar,
+                        detail: "shell: can terminate or extend the command",
+                    },
+                },
+            ],
+            // Whitespace and other non-word bytes split arguments —
+            // argument injection — so the residual stays a report.
+            residual: Residual::Report {
+                kind: CheckKind::ShellUnconfined,
+                detail: "shell: can split into additional arguments",
+            },
+        }),
+    }
+}
+
+fn path_policy() -> Policy {
+    Policy {
+        id: "path",
+        name: "path traversal",
+        description: "tainted data reaches a filesystem path sink; verified only when \
+                      confined to a relative path with no .. segments",
+        severity: Severity::High,
+        sink_functions: &[
+            ("fopen", 0),
+            ("file_get_contents", 0),
+            ("file_put_contents", 0),
+            ("readfile", 0),
+            ("unlink", 0),
+            ("opendir", 0),
+        ],
+        sink_methods: &[],
+        sink_constructs: &["include"],
+        rule_ids: &[
+            "strtaint/path-traversal",
+            "strtaint/path-absolute",
+            "strtaint/path-unconfined",
+        ],
+        kind: PolicyKind::Cascade(Cascade {
+            steps: vec![
+                // Prover: no dots, no slashes — a bare file-name stem.
+                Step {
+                    dfa: not_confined_to(alnum().union(&ByteSet::from_bytes(*b"_-"))),
+                    action: StepAction::VerifyIfEmpty,
+                },
+                Step {
+                    dfa: contains_literal(b".."),
+                    action: StepAction::ReportIfNonEmpty {
+                        kind: CheckKind::PathTraversal,
+                        detail: "path: can escape the intended directory",
+                    },
+                },
+                Step {
+                    dfa: starts_with(ByteSet::from_bytes(*b"/\\")),
+                    action: StepAction::ReportIfNonEmpty {
+                        kind: CheckKind::PathAbsolute,
+                        detail: "path: can name an absolute filesystem path",
+                    },
+                },
+                // Prover: charset-confined, and the two refuters above
+                // already proved no `..` and no leading separator, so
+                // this is a safe relative path.
+                Step {
+                    dfa: not_confined_to(path_safe()),
+                    action: StepAction::VerifyIfEmpty,
+                },
+            ],
+            residual: Residual::Report {
+                kind: CheckKind::PathUnconfined,
+                detail: "path: NUL bytes, backslashes, or stream wrappers possible",
+            },
+        }),
+    }
+}
+
+fn eval_policy() -> Policy {
+    Policy {
+        id: "eval",
+        name: "eval/code injection",
+        description: "tainted data reaches a code-evaluation sink; verified only when \
+                      confined to a single identifier or number token",
+        severity: Severity::Critical,
+        sink_functions: &[("eval", 0), ("create_function", 1), ("assert", 0)],
+        sink_methods: &[],
+        sink_constructs: &["preg_replace/e"],
+        rule_ids: &["strtaint/code-injection", "strtaint/code-unconfined"],
+        kind: PolicyKind::Cascade(Cascade {
+            steps: vec![
+                // Prover: one bare identifier/number token cannot
+                // change the parse of the surrounding code template.
+                Step {
+                    dfa: not_confined_to(alnum().union(&ByteSet::singleton(b'_'))),
+                    action: StepAction::VerifyIfEmpty,
+                },
+                Step {
+                    dfa: contains_any(code_tokens()),
+                    action: StepAction::ReportIfNonEmpty {
+                        kind: CheckKind::CodeInjection,
+                        detail: "eval: can inject PHP code tokens",
+                    },
+                },
+            ],
+            residual: Residual::Report {
+                kind: CheckKind::CodeUnconfined,
+                detail: "eval: can span multiple code tokens",
+            },
+        }),
+    }
+}
+
+/// All built-in policies, in stable order. The first two are the
+/// historical hand-built cascades; `Config::default()` enables only
+/// `sql`, keeping seed behavior byte-identical.
+pub fn builtin() -> Vec<Policy> {
+    vec![
+        Policy {
+            id: "sql",
+            name: "SQL command injection (SQLCIV)",
+            description: "tainted data reaches a query sink; the C1\u{2013}C5 cascade proves \
+                          syntactic confinement against the reference SQL grammar",
+            severity: Severity::High,
+            // The analysis layer sources the live sink table from
+            // `Config::{hotspot_functions,hotspot_methods}` (user
+            // configurable); this list documents the defaults.
+            sink_functions: &[
+                ("mysql_query", 0),
+                ("mysqli_query", 1),
+                ("mysql_db_query", 1),
+                ("pg_query", 1),
+                ("sqlite_query", 1),
+                ("db_query", 0),
+            ],
+            sink_methods: &[("query", 0), ("sql_query", 0), ("prepare", 0)],
+            sink_constructs: &[],
+            rule_ids: &[
+                "strtaint/odd-quotes",
+                "strtaint/escapes-literal",
+                "strtaint/attack-string",
+                "strtaint/not-derivable",
+                "strtaint/glued-context",
+                "strtaint/unresolved",
+                "strtaint/budget-exhausted",
+            ],
+            kind: PolicyKind::SqlCiv,
+        },
+        Policy {
+            id: "xss",
+            name: "cross-site scripting",
+            description: "tainted data reaches an HTML output sink; context-gated checks \
+                          prove it cannot open tags or close attributes",
+            severity: Severity::Medium,
+            sink_functions: &[],
+            sink_methods: &[],
+            sink_constructs: &["echo"],
+            rule_ids: &["strtaint/not-derivable", "strtaint/budget-exhausted"],
+            kind: PolicyKind::Xss,
+        },
+        shell_policy(),
+        path_policy(),
+        eval_policy(),
+    ]
+}
+
+/// Looks up one built-in policy by id.
+pub fn find(id: &str) -> Option<Policy> {
+    builtin().into_iter().find(|p| p.id == id)
+}
+
+/// Parses a `--policy`-style comma-separated selection into a
+/// validated, deduplicated id list (order preserved).
+pub fn parse_selection(spec: &str) -> Result<Vec<String>, String> {
+    let known: Vec<&'static str> = builtin().iter().map(|p| p.id).collect();
+    let mut out: Vec<String> = Vec::new();
+    for raw in spec.split(',') {
+        let id = raw.trim();
+        if id.is_empty() {
+            continue;
+        }
+        if !known.contains(&id) {
+            return Err(format!(
+                "unknown policy {id:?} (known: {})",
+                known.join(", ")
+            ));
+        }
+        if !out.iter().any(|p| p == id) {
+            out.push(id.to_string());
+        }
+    }
+    if out.is_empty() {
+        return Err("empty policy selection".to_string());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_five_policies_with_distinct_ids() {
+        let all = builtin();
+        assert_eq!(all.len(), 5);
+        let mut seen = std::collections::HashSet::new();
+        for p in &all {
+            assert!(seen.insert(p.id), "duplicate policy id {}", p.id);
+            assert!(!p.rule_ids.is_empty(), "{} declares no rule ids", p.id);
+        }
+        assert_eq!(all[0].id, "sql");
+        assert_eq!(all[1].id, "xss");
+    }
+
+    #[test]
+    fn rule_ids_resolve_to_kinds() {
+        for p in builtin() {
+            for id in p.rule_ids {
+                assert!(
+                    CheckKind::from_rule_id(id).is_some(),
+                    "{}: rule id {id} does not name a CheckKind",
+                    p.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selection_parsing() {
+        assert_eq!(
+            parse_selection("shell, path,eval,shell"),
+            Ok(vec!["shell".into(), "path".into(), "eval".into()])
+        );
+        assert!(parse_selection("sql,bogus").is_err());
+        assert!(parse_selection("").is_err());
+    }
+
+    fn cascade_of(p: &Policy) -> &Cascade {
+        match &p.kind {
+            PolicyKind::Cascade(c) => c,
+            other => panic!("{}: expected cascade, got {other:?}", p.id),
+        }
+    }
+
+    #[test]
+    fn shell_cascade_separates_safe_and_hostile_words() {
+        let p = shell_policy();
+        let c = cascade_of(&p);
+        // Step 0 prover: its DFA must reject (= verify) plain words
+        // and accept (= fail to verify) hostile strings.
+        assert!(!c.steps[0].dfa.accepts(b"thumb_01.png"));
+        assert!(c.steps[0].dfa.accepts(b"a; rm -rf /"));
+        // Step 1 refuter: metacharacters accepted, plain words not.
+        assert!(c.steps[1].dfa.accepts(b"x|y"));
+        assert!(c.steps[1].dfa.accepts(b"`id`"));
+        assert!(!c.steps[1].dfa.accepts(b"two words")); // residual case
+    }
+
+    #[test]
+    fn path_cascade_catches_traversal_and_absolute() {
+        let p = path_policy();
+        let c = cascade_of(&p);
+        assert!(!c.steps[0].dfa.accepts(b"home")); // stem verifies
+        assert!(c.steps[1].dfa.accepts(b"../../etc/passwd"));
+        assert!(!c.steps[1].dfa.accepts(b"a.b/c"));
+        assert!(c.steps[2].dfa.accepts(b"/etc/passwd"));
+        assert!(!c.steps[2].dfa.accepts(b"etc/passwd"));
+        assert!(!c.steps[3].dfa.accepts(b"pages/home.php")); // relative verifies
+        assert!(c.steps[3].dfa.accepts(b"php://input")); // wrapper is not
+    }
+
+    #[test]
+    fn eval_cascade_catches_code_tokens() {
+        let p = eval_policy();
+        let c = cascade_of(&p);
+        assert!(!c.steps[0].dfa.accepts(b"strtoupper_result"));
+        assert!(c.steps[1].dfa.accepts(b"phpinfo()"));
+        assert!(c.steps[1].dfa.accepts(b"1;system('id')"));
+        assert!(!c.steps[1].dfa.accepts(b"two words"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Policy-layer acceptance tests.
+//!
+//! - Every seeded vulnerable corpus page reports a finding with its
+//!   class's rule id; every sanitized variant verifies clean.
+//! - The three new classes carry distinct SARIF rule ids.
+//! - With the default policy set (`["sql"]`) the policy-driven pipeline
+//!   is byte-identical to the dedicated SQLCIV path on the corpus —
+//!   text, findings, and SARIF.
+//! - The cheap-first cascade reorder changes no verdict on the corpus.
+//! - The SARIF rule-id namespace is pinned by a golden file
+//!   (`tests/golden/rule_ids.txt`); adding or renaming a rule id is an
+//!   intentional, reviewed change.
+
+use std::collections::HashSet;
+
+use strtaint::{
+    analyze_page_cached, analyze_page_policies, analyze_page_policies_cached, render,
+    CheckOptions, Checker, Config, PolicyChecker, SummaryCache,
+};
+use strtaint_corpus::policies::{seeds, vfs};
+
+fn config_with(policies: &[&str]) -> Config {
+    Config {
+        policies: policies.iter().map(|&p| p.to_owned()).collect(),
+        ..Config::default()
+    }
+}
+
+#[test]
+fn seeded_pages_match_ground_truth() {
+    let vfs = vfs();
+    for seed in seeds() {
+        let config = config_with(&["sql", seed.policy]);
+        let report = analyze_page_policies(&vfs, seed.entry, &config)
+            .unwrap_or_else(|e| panic!("{}: {e}", seed.entry));
+        if seed.vulnerable {
+            let rules: Vec<&str> = report
+                .findings()
+                .map(|(_, f)| f.kind.rule_id())
+                .collect();
+            assert!(
+                rules.contains(&seed.rule),
+                "{}: expected rule {}, got {rules:?}\n{report}",
+                seed.entry,
+                seed.rule
+            );
+        } else {
+            assert!(
+                report.is_verified(),
+                "{}: sanitized variant must verify\n{report}",
+                seed.entry
+            );
+            assert_eq!(
+                report.findings().count(),
+                0,
+                "{}: sanitized variant must have zero findings",
+                seed.entry
+            );
+        }
+    }
+}
+
+#[test]
+fn new_classes_have_distinct_sarif_rule_ids() {
+    let vfs = vfs();
+    let config = config_with(&["sql", "shell", "path", "eval"]);
+    let checker = PolicyChecker::new();
+    let summaries = SummaryCache::new();
+    let mut reports = Vec::new();
+    for seed in seeds().iter().filter(|s| s.vulnerable) {
+        reports.push(
+            analyze_page_policies_cached(&vfs, seed.entry, &config, &checker, &summaries)
+                .expect("seeded page analyzes"),
+        );
+    }
+    let sarif = render::sarif(&reports);
+    let mut classes = HashSet::new();
+    for rule in [
+        "strtaint/shell-metachar",
+        "strtaint/path-traversal",
+        "strtaint/code-injection",
+    ] {
+        assert!(sarif.contains(rule), "SARIF must carry {rule}:\n{sarif}");
+        classes.insert(rule);
+    }
+    assert_eq!(classes.len(), 3, "one distinct rule id per class");
+}
+
+#[test]
+fn sql_only_policy_run_is_byte_identical_to_dedicated_path() {
+    // The refactor's core acceptance criterion: routing the default
+    // config through the policy layer must not change a single byte of
+    // output on the existing corpus.
+    let app = strtaint_corpus::apps::utopia::build();
+    let config = Config::default();
+    let checker = Checker::new();
+    let pchecker = PolicyChecker::new();
+    let s1 = SummaryCache::new();
+    let s2 = SummaryCache::new();
+    let mut dedicated = Vec::new();
+    let mut policy_driven = Vec::new();
+    for entry in &app.entries {
+        dedicated
+            .push(analyze_page_cached(&app.vfs, entry, &config, &checker, &s1).expect("page"));
+        policy_driven.push(
+            analyze_page_policies_cached(&app.vfs, entry, &config, &pchecker, &s2)
+                .expect("page"),
+        );
+    }
+    assert_eq!(
+        render::sarif(&dedicated),
+        render::sarif(&policy_driven),
+        "SARIF bytes must match"
+    );
+    // Text reports include wall-clock timings, so compare them with
+    // the timing fields held constant: everything else must agree.
+    for (d, p) in dedicated.iter().zip(&policy_driven) {
+        assert_eq!(d.is_verified(), p.is_verified(), "{}: verdict", d.entry);
+        assert_eq!(
+            d.findings().count(),
+            p.findings().count(),
+            "{}: finding count",
+            d.entry
+        );
+        for ((hd, fd), (hp, fp)) in d.findings().zip(p.findings()) {
+            assert_eq!(hd.label, hp.label);
+            assert_eq!(fd.kind, fp.kind);
+            assert_eq!(fd.name, fp.name);
+            assert_eq!(fd.witness, fp.witness);
+            assert_eq!(fd.example_query, fp.example_query);
+        }
+    }
+}
+
+#[test]
+fn cheap_first_preserves_corpus_verdicts() {
+    let app = strtaint_corpus::apps::eve::build();
+    let config = Config::default();
+    let fast = Checker::new();
+    let slow = Checker::with_options(CheckOptions {
+        cheap_first: false,
+        ..CheckOptions::default()
+    });
+    let s1 = SummaryCache::new();
+    let s2 = SummaryCache::new();
+    for entry in &app.entries {
+        let a = analyze_page_cached(&app.vfs, entry, &config, &fast, &s1).expect("page");
+        let b = analyze_page_cached(&app.vfs, entry, &config, &slow, &s2).expect("page");
+        assert_eq!(a.is_verified(), b.is_verified(), "{entry}");
+        assert_eq!(a.findings().count(), b.findings().count(), "{entry}");
+        for ((_, fa), (_, fb)) in a.findings().zip(b.findings()) {
+            assert_eq!(fa.kind, fb.kind, "{entry}");
+            assert_eq!(fa.witness, fb.witness, "{entry}");
+        }
+    }
+}
+
+#[test]
+fn rule_id_namespace_matches_golden_file() {
+    let mut lines = Vec::new();
+    lines.push("# SARIF rule ids, pinned. Regenerate only on an".to_owned());
+    lines.push("# intentional policy/kind change (see tests/policies.rs).".to_owned());
+    for kind in strtaint::policy::CheckKind::all() {
+        lines.push(format!("kind {}", kind.rule_id()));
+    }
+    for policy in strtaint::policy::builtin() {
+        lines.push(format!("policy {} {}", policy.id, policy.rule_ids.join(" ")));
+    }
+    let generated = format!("{}\n", lines.join("\n"));
+    let golden = include_str!("golden/rule_ids.txt");
+    assert_eq!(
+        generated, golden,
+        "rule-id namespace drifted from tests/golden/rule_ids.txt; \
+         if intentional, update the golden file to:\n{generated}"
+    );
+}
