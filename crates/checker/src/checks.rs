@@ -19,6 +19,7 @@
 //!    (soundness, Theorem 3.4).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use strtaint_grammar::budget::{Budget, BudgetExceeded, DegradeAction};
 use strtaint_grammar::lang::{bounded_language, shortest_string};
@@ -29,7 +30,10 @@ use strtaint_sql::{lex_form, SqlGrammar, TokenKind, VarPosition};
 
 use crate::abstraction::{marked_grammar, maximal_labeled};
 use crate::dfas;
-use crate::engine::{run_parallel, Engine, Qdfa};
+use crate::engine::{run_parallel, Engine, Qdfa, Target};
+use crate::pmemo::PreparedMemo;
+use crate::prefilter::Prefilter;
+use crate::qcache::QueryCache;
 use crate::report::{CheckKind, Finding, HotspotReport};
 
 /// Tunables for the conformance checker.
@@ -50,6 +54,22 @@ pub struct CheckOptions {
     /// fire on it — only the engine work order moves. Off reproduces
     /// the paper's published C1→C5 order for equivalence tests.
     pub cheap_first: bool,
+    /// Memoize intersection verdicts across hotspots and pages (the
+    /// cross-page query cache; see the `qcache` module). Replay is
+    /// observationally identical to recomputation — same verdicts,
+    /// same canonical witness bytes, same fuel charges. Off
+    /// (`--no-query-cache`) recomputes every query; the baseline for
+    /// benches and the cache-parity tests.
+    pub query_cache: bool,
+    /// Never replay witness bytes from the query cache: witness-mode
+    /// queries bypass memoization and extract live
+    /// (`--eager-witness`). Emptiness-only queries still memoize.
+    pub eager_witness: bool,
+    /// Skip the C4 intersection when the Aho–Corasick prefilter proves
+    /// no attack fragment is spellable over the prepared grammar's
+    /// realized terminal alphabet (see the `prefilter` module for the
+    /// soundness argument — the filter can only ever prove absence).
+    pub prefilter: bool,
 }
 
 impl Default for CheckOptions {
@@ -58,6 +78,9 @@ impl Default for CheckOptions {
             max_contexts: 256,
             naive_engine: false,
             cheap_first: true,
+            query_cache: true,
+            eager_witness: false,
+            prefilter: true,
         }
     }
 }
@@ -73,6 +96,14 @@ pub struct Checker {
     keywords: Qdfa,
     attack: Qdfa,
     backquote: Qdfa,
+    /// Aho–Corasick prefilter over the same fragments as `attack`.
+    prefilter: Prefilter,
+    /// Cross-page verdict cache, shared by every page and worker
+    /// thread served by this checker (clones share it too).
+    qcache: Option<Arc<QueryCache>>,
+    /// Cross-page preparation + skeleton memo, content-keyed; enabled
+    /// and disabled together with `qcache`.
+    pmemo: Option<Arc<PreparedMemo>>,
     opts: CheckOptions,
 }
 
@@ -100,7 +131,25 @@ impl Checker {
             keywords: Qdfa::new(dfas::sql_keywords()),
             attack: Qdfa::new(dfas::attack_fragments()),
             backquote: Qdfa::new(backquote),
+            prefilter: Prefilter::new(),
+            // The naive path is the reference engine; it never
+            // memoizes, whatever the options say.
+            qcache: (opts.query_cache && !opts.naive_engine)
+                .then(|| Arc::new(QueryCache::new())),
+            pmemo: (opts.query_cache && !opts.naive_engine)
+                .then(|| Arc::new(PreparedMemo::new())),
             opts,
+        }
+    }
+
+    /// Stamps the config-fingerprint namespace for cross-page verdict
+    /// memoization. Verdicts computed under one scope can never answer
+    /// queries made under another; drivers call this whenever the
+    /// effective analysis `Config` changes (mirroring the artifact
+    /// store, which keys evidence by the same fingerprint).
+    pub fn set_query_scope(&self, scope: u64) {
+        if let Some(qc) = &self.qcache {
+            qc.set_scope(scope);
         }
     }
 
@@ -140,7 +189,13 @@ impl Checker {
         let mut report = HotspotReport::default();
         let candidates = maximal_labeled(cfg, root);
         report.checked = candidates.len();
-        let mut engine = Engine::new(cache, self.opts.naive_engine);
+        let mut engine = Engine::new(
+            cache,
+            self.opts.naive_engine,
+            self.qcache.as_deref(),
+            self.pmemo.as_deref(),
+            self.opts.eager_witness,
+        );
         for &x in &candidates {
             let _span = strtaint_obs::Span::enter_with("check", || cfg.name(x).to_owned());
             match self.check_one(cfg, root, x, &candidates, budget, &mut engine) {
@@ -158,6 +213,7 @@ impl Checker {
                         taint: cfg.taint(x),
                         kind: CheckKind::BudgetExhausted,
                         witness: None,
+                        witness_truncated: false,
                         example_query: None,
                         detail: err.to_string(),
                         at: None,
@@ -166,6 +222,9 @@ impl Checker {
             }
         }
         report.engine = engine.stats;
+        for f in &mut report.findings {
+            f.cap_witness();
+        }
         report
     }
 
@@ -199,7 +258,7 @@ impl Checker {
         x: NtId,
         witness: &[u8],
     ) -> Option<Vec<u8>> {
-        splice_example(cfg, root, x, witness)
+        splice_example_memo(cfg, root, x, witness, self.pmemo.as_deref())
     }
 
     fn check_one(
@@ -221,18 +280,19 @@ impl Checker {
                 taint: cfg.taint(x),
                 kind,
                 witness,
+                witness_truncated: false,
                 example_query,
                 detail,
                 at: None,
             }))
         };
-        if cfg.is_empty_language(x) {
-            return Ok(None);
-        }
         // One prepared grammar serves every (cfg, x) query below —
         // C1 through C5 — and, via the shared cache, any other hotspot
-        // whose checks reach the same labeled nonterminal.
-        let mut tx = engine.target(cfg, x);
+        // whose checks reach the same labeled nonterminal. An empty
+        // L(X) has nothing to check.
+        let Some(mut tx) = engine.target(cfg, x) else {
+            return Ok(None);
+        };
 
         // Cheap-first: hoist the C3 prover (one early-exit emptiness
         // query against a tiny numeric DFA) ahead of the refuters. See
@@ -258,8 +318,8 @@ impl Checker {
         // C2: always in string-literal position?
         {
             let _c = strtaint_obs::Span::enter("check:C2", "");
-            let (marked, mroot) = marked_grammar(cfg, root, x, &HashMap::new());
-            let mut tm = engine.target_local(&marked, mroot);
+            let mut scratch = None;
+            let mut tm = engine.target_marked(cfg, root, x, &mut scratch);
             if engine.is_empty(&mut tm, &self.marker_outside, budget)? {
                 let (empty, witness) =
                     engine.is_empty_or_witness(&mut tx, &self.has_quote, budget, (cfg, x))?;
@@ -279,13 +339,35 @@ impl Checker {
             }
         }
 
-        // C4: known attack fragments confirm a vulnerability.
+        // C4: known attack fragments confirm a vulnerability. The
+        // Aho–Corasick prefilter proves non-membership first when it
+        // can: if no fragment is spellable over the realized terminal
+        // alphabet, no string of L(X) contains one and the
+        // intersection is skipped outright (absence proofs only — a
+        // spellable alphabet falls through to the exact engine).
         {
             let _c = strtaint_obs::Span::enter("check:C4", "");
-            let (empty, witness) =
-                engine.is_empty_or_witness(&mut tx, &self.attack, budget, (cfg, x))?;
-            if !empty {
-                return finding(CheckKind::AttackString, witness, String::new());
+            let prefiltered = self.opts.prefilter
+                && match &tx {
+                    Target::Prepared { prep, .. } => {
+                        !self.prefilter.any_spellable(prep.alphabet())
+                    }
+                    Target::Naive { .. } => false,
+                };
+            if prefiltered {
+                engine.stats.prefilter_skips += 1;
+            } else {
+                let (empty, witness) =
+                    engine.is_empty_or_witness(&mut tx, &self.attack, budget, (cfg, x))?;
+                if !empty {
+                    debug_assert!(
+                        witness
+                            .as_deref()
+                            .is_none_or(|w| self.prefilter.contains_match(w)),
+                        "C4 witness must contain an attack fragment"
+                    );
+                    return finding(CheckKind::AttackString, witness, String::new());
+                }
             }
         }
 
@@ -404,19 +486,32 @@ impl Default for Checker {
 /// the tainted position), producing the full payload the downstream
 /// interpreter would receive. Shared by the SQL checker and the
 /// generic policy driver; `None` when the grammar is too large for
-/// reconstruction to be worth it.
-pub(crate) fn splice_example(
+/// reconstruction to be worth it. With a [`PreparedMemo`], the
+/// skeleton (the canonical shortest string of the marked grammar, the
+/// expensive part) is shared across content-identical marked grammars,
+/// so a warm re-check of an unchanged page skips the reconstruction.
+pub(crate) fn splice_example_memo(
     cfg: &Cfg,
     root: NtId,
     x: NtId,
     witness: &[u8],
+    memo: Option<&PreparedMemo>,
 ) -> Option<Vec<u8>> {
     const BUDGET: usize = 50_000;
-    if cfg.count_reachable_productions(root, BUDGET) > BUDGET {
-        return None;
-    }
-    let (marked, mroot) = crate::abstraction::marked_grammar(cfg, root, x, &HashMap::new());
-    let skeleton = shortest_string(&marked, mroot)?;
+    let skeleton = match memo {
+        // The memoized path derives its key from `(cfg, root, x)`
+        // directly, so a warm hit skips the marked-grammar clone too;
+        // the size guard is answered by the key traversal itself.
+        Some(m) => m.skeleton_for(cfg, root, x, BUDGET)?,
+        None => {
+            if cfg.count_reachable_productions(root, BUDGET) > BUDGET {
+                return None;
+            }
+            let (marked, mroot) =
+                crate::abstraction::marked_grammar(cfg, root, x, &HashMap::new());
+            shortest_string(&marked, mroot)?
+        }
+    };
     let mut out = Vec::with_capacity(skeleton.len() + witness.len());
     for b in skeleton {
         if b == strtaint_sql::VAR_MARKER {

@@ -143,23 +143,28 @@ pub fn sql_keywords() -> Dfa {
     Dfa::from_nfa(&n).minimize()
 }
 
+/// The classic non-confinable attack fragments, matched
+/// case-insensitively. Single source for both [`attack_fragments`]
+/// (the exact C4 automaton) and the Aho–Corasick prefilter
+/// (`crate::prefilter`), so the two can never drift apart.
+pub(crate) const ATTACK_FRAGMENTS: &[&[u8]] = &[
+    b"DROP TABLE",
+    b"--",
+    b";",
+    b" OR ",
+    b"UNION SELECT",
+    b"#",
+    b"/*",
+];
+
 /// Strings *containing* any classic non-confinable attack fragment —
 /// the paper's fourth check (`DROP`, `--`, `;`, `UNION`, …) used to
 /// confirm a suspected vulnerability.
 pub fn attack_fragments() -> Dfa {
-    const FRAGMENTS: &[&[u8]] = &[
-        b"DROP TABLE",
-        b"--",
-        b";",
-        b" OR ",
-        b"UNION SELECT",
-        b"#",
-        b"/*",
-    ];
     // One shared Σ*(f1|…|fn)Σ* — per-fragment Σ* loops would make the
     // subset construction track a powerset of matched-fragment flags.
     let mut alts = Nfa::empty();
-    for f in FRAGMENTS {
+    for f in ATTACK_FRAGMENTS {
         let mut lit = Nfa::epsilon();
         for b in f.iter() {
             lit = lit.concat(&Nfa::class(ByteSet::singleton(*b).ascii_case_fold()));

@@ -23,9 +23,13 @@ use strtaint_automata::{ClassDfa, Dfa};
 use strtaint_grammar::budget::{Budget, BudgetExceeded};
 use strtaint_grammar::intersect::{intersect_with, is_intersection_empty_with};
 use strtaint_grammar::lang::shortest_string;
-use strtaint_grammar::prepared::{EngineStats, PreparedCache, PreparedGrammar, QueryMode};
+use strtaint_grammar::prepared::{PreparedCache, PreparedGrammar, QueryMode};
+use strtaint_grammar::stats::EngineStats;
 use strtaint_grammar::{Cfg, NtId};
 
+use crate::abstraction::marked_grammar;
+use crate::pmemo::PreparedMemo;
+use crate::qcache::{Mode, QueryCache, QueryKey, Verdict};
 use crate::report::HotspotReport;
 
 /// A check automaton in both raw and byte-class-compressed form.
@@ -35,13 +39,46 @@ pub(crate) struct Qdfa {
     pub dfa: Dfa,
     /// Byte-class compressed form, used by the prepared engine.
     pub classes: ClassDfa,
+    /// Content fingerprint of `classes` — the `dfa` component of
+    /// query-cache keys. Content-derived (not per-instance), so the
+    /// dynamically built C5 lexeme automata fingerprint identically
+    /// across hotspots and pages.
+    pub fp: u64,
 }
 
 impl Qdfa {
     pub(crate) fn new(dfa: Dfa) -> Self {
         let classes = ClassDfa::new(&dfa);
-        Qdfa { dfa, classes }
+        let fp = classdfa_fingerprint(&classes);
+        Qdfa { dfa, classes, fp }
     }
+}
+
+/// FNV-1a over the full observable content of a [`ClassDfa`] (class
+/// map, step table, start, accepting set). Equal fingerprints mean —
+/// modulo 64-bit collision — byte-for-byte identical step behavior,
+/// which is what makes them sound as cache-key components.
+fn classdfa_fingerprint(c: &ClassDfa) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    };
+    mix(c.num_states() as u64);
+    mix(u64::from(c.num_classes()));
+    mix(u64::from(c.start()));
+    for b in 0..=255u8 {
+        mix(u64::from(c.class_of(b)));
+    }
+    for s in 0..c.num_states() as u32 {
+        mix(u64::from(c.is_accepting(s)));
+        for cls in 0..c.num_classes() {
+            mix(u64::from(c.step_class(s, cls)));
+        }
+    }
+    h
 }
 
 /// What a query runs against: a `(cfg, root)` pair on the naive path,
@@ -56,6 +93,11 @@ pub(crate) enum Target<'a> {
         /// Whether a query has already used this preparation (drives
         /// the `normalizations_saved` counter).
         used: bool,
+        /// Precomputed witness-reconstruction guard for the target's
+        /// own `(cfg, root)` — `Some` when the preparation memo's key
+        /// traversal already counted the reachable productions, so
+        /// witness queries skip the per-query `reachable_list` walk.
+        guarded: Option<bool>,
     },
 }
 
@@ -64,6 +106,16 @@ pub(crate) enum Target<'a> {
 pub(crate) struct Engine<'a> {
     cache: &'a PreparedCache,
     naive: bool,
+    /// Cross-page verdict cache; `None` disables memoization (naive
+    /// reference runs, `--no-query-cache`).
+    qcache: Option<&'a QueryCache>,
+    /// Cross-page preparation memo (content-keyed); disabled together
+    /// with the query cache. See the `pmemo` module for the sharing
+    /// soundness argument.
+    pmemo: Option<&'a PreparedMemo>,
+    /// `--eager-witness`: never replay witness bytes from the cache —
+    /// witness-mode queries bypass memoization and extract live.
+    eager_witness: bool,
     pub(crate) stats: EngineStats,
 }
 
@@ -72,39 +124,113 @@ pub(crate) struct Engine<'a> {
 const WITNESS_BUDGET: usize = 50_000;
 
 impl<'a> Engine<'a> {
-    pub(crate) fn new(cache: &'a PreparedCache, naive: bool) -> Self {
+    pub(crate) fn new(
+        cache: &'a PreparedCache,
+        naive: bool,
+        qcache: Option<&'a QueryCache>,
+        pmemo: Option<&'a PreparedMemo>,
+        eager_witness: bool,
+    ) -> Self {
         Engine {
             cache,
             naive,
+            // The naive path is the reference engine: it never
+            // memoizes, whatever the options say.
+            qcache: if naive { None } else { qcache },
+            pmemo: if naive { None } else { pmemo },
+            eager_witness,
             stats: EngineStats::default(),
+        }
+    }
+
+    /// Assembles the full identity of one query (see `qcache` module
+    /// docs for why every component is load-bearing).
+    fn query_key(
+        qc: &QueryCache,
+        prep: &PreparedGrammar,
+        q: &Qdfa,
+        mode: Mode,
+        budget: &Budget,
+    ) -> QueryKey {
+        QueryKey {
+            scope: qc.scope(),
+            grammar: prep.fingerprint(),
+            dfa: q.fp,
+            mode,
+            fuel_limit: budget.fuel_limit(),
+            grammar_cap: budget.grammar_cap(),
         }
     }
 
     /// Target for a root of the page grammar — shared via the cache
     /// across all checks of the page (and across worker threads).
-    pub(crate) fn target<'t>(&mut self, cfg: &'t Cfg, root: NtId) -> Target<'t> {
+    /// Returns `None` when `L(cfg, root)` is empty (nothing to check):
+    /// the prepared paths read emptiness off the preparation in O(1)
+    /// instead of re-running the productivity fixpoint per hotspot.
+    pub(crate) fn target<'t>(&mut self, cfg: &'t Cfg, root: NtId) -> Option<Target<'t>> {
         if self.naive {
-            return Target::Naive { cfg, root };
+            if cfg.is_empty_language(root) {
+                return None;
+            }
+            return Some(Target::Naive { cfg, root });
         }
-        let (prep, hit) = self.cache.prepared(cfg, root);
+        // The per-batch cache answers repeats within this page by bare
+        // `NtId` lookup; the cross-page memo answers content-identical
+        // subgrammars from any page without re-preparing.
+        let (prep, hit, guarded) = match self.pmemo {
+            Some(memo) => {
+                let (prep, hit, count) = memo.prepared(cfg, root);
+                (prep, hit, Some(count > WITNESS_BUDGET))
+            }
+            None => {
+                let (prep, hit) = self.cache.prepared(cfg, root);
+                (prep, hit, None)
+            }
+        };
         if !hit {
             self.stats.normalizations += 1;
         }
-        Target::Prepared { prep, used: hit }
+        if prep.is_empty_language() {
+            return None;
+        }
+        Some(Target::Prepared {
+            prep,
+            used: hit,
+            guarded,
+        })
     }
 
-    /// Target for a check-local grammar (e.g. a marked grammar built
-    /// for this candidate only). Never cached: marked grammars are
-    /// fresh `Cfg`s whose `NtId`s would collide in the root-keyed
-    /// cache.
-    pub(crate) fn target_local<'t>(&mut self, cfg: &'t Cfg, root: NtId) -> Target<'t> {
+    /// Target for the marked grammar of `(cfg, root, x)` with no
+    /// replacements — the context grammar of the C2 and XSS checks.
+    /// On the memoized path a warm hit never constructs the marked
+    /// grammar at all (see [`PreparedMemo::marked_prepared`]); the
+    /// naive path builds it into `scratch`, which must outlive the
+    /// returned target.
+    pub(crate) fn target_marked<'t>(
+        &mut self,
+        cfg: &Cfg,
+        root: NtId,
+        x: NtId,
+        scratch: &'t mut Option<(Cfg, NtId)>,
+    ) -> Target<'t> {
         if self.naive {
-            return Target::Naive { cfg, root };
+            let (c, r) = scratch.insert(marked_grammar(cfg, root, x, &Default::default()));
+            return Target::Naive { cfg: c, root: *r };
         }
-        self.stats.normalizations += 1;
+        let (prep, hit) = match self.pmemo {
+            Some(memo) => memo.marked_prepared(cfg, root, x),
+            None => {
+                let (marked, mroot) = marked_grammar(cfg, root, x, &Default::default());
+                (Arc::new(PreparedGrammar::new(&marked, mroot)), false)
+            }
+        };
+        if !hit {
+            self.stats.normalizations += 1;
+        }
         Target::Prepared {
-            prep: Arc::new(PreparedGrammar::new(cfg, root)),
-            used: false,
+            prep,
+            used: hit,
+            guarded: None,
         }
     }
 
@@ -122,11 +248,48 @@ impl<'a> Engine<'a> {
                 self.stats.normalizations += 1;
                 is_intersection_empty_with(cfg, *root, &q.dfa, budget)
             }
-            Target::Prepared { prep, used } => {
+            Target::Prepared { prep, used, .. } => {
                 if *used {
                     self.stats.normalizations_saved += 1;
                 } else {
                     *used = true;
+                }
+                if let Some(qc) = self.qcache {
+                    let key = Self::query_key(qc, prep, q, Mode::Empty, budget);
+                    if let Some(Verdict::Empty {
+                        empty,
+                        fuel,
+                        triples,
+                    }) = qc.get(&key)
+                    {
+                        self.stats.qcache_hits += 1;
+                        // Replay the recorded fuel so a replayed verdict
+                        // consumes (and trips) exactly as the
+                        // recomputation would; zero-charge replays skip
+                        // the call so an already-exhausted budget is not
+                        // probed where the computation wouldn't have.
+                        if fuel > 0 {
+                            budget.charge(fuel)?;
+                        }
+                        self.stats.realized_triples += triples;
+                        return Ok(empty);
+                    }
+                    self.stats.qcache_misses += 1;
+                    // `?` on a trip: tripped fixpoints are never cached.
+                    let ix = prep.query(&q.classes, budget, QueryMode::EarlyExit)?;
+                    self.stats.realized_triples += ix.triples() as u64;
+                    if ix.exited_early() {
+                        self.stats.early_exits += 1;
+                    }
+                    self.stats.qcache_evictions += qc.insert(
+                        key,
+                        Verdict::Empty {
+                            empty: ix.is_empty(),
+                            fuel: ix.charged(),
+                            triples: ix.triples() as u64,
+                        },
+                    );
+                    return Ok(ix.is_empty());
                 }
                 let ix = prep.query(&q.classes, budget, QueryMode::EarlyExit)?;
                 self.stats.realized_triples += ix.triples() as u64;
@@ -172,11 +335,130 @@ impl<'a> Engine<'a> {
                     .and_then(|(g, r)| shortest_string(&g, r));
                 Ok((false, witness))
             }
-            Target::Prepared { prep, used } => {
+            Target::Prepared {
+                prep,
+                used,
+                guarded: precomputed,
+            } => {
                 if *used {
                     self.stats.normalizations_saved += 1;
                 } else {
                     *used = true;
+                }
+                // The guard decision for this query: precomputed by the
+                // memo's key traversal when available (call sites pass
+                // the target's own `(cfg, root)` as the guard pair),
+                // recomputed from the raw grammar otherwise.
+                let guard_decision = |precomputed: Option<bool>| {
+                    precomputed.unwrap_or_else(|| {
+                        gcfg.count_reachable_productions(gx, WITNESS_BUDGET) > WITNESS_BUDGET
+                    })
+                };
+                // `--eager-witness` distrusts memoized witness bytes:
+                // witness-mode queries bypass the cache and extract
+                // live (emptiness-only queries still memoize).
+                let qc = if self.eager_witness { None } else { self.qcache };
+                if let Some(qc) = qc {
+                    // The guard is part of the key: it decides whether
+                    // the extraction phase runs at all, so it must be
+                    // settled *before* lookup.
+                    let guarded = guard_decision(*precomputed);
+                    let key = Self::query_key(qc, prep, q, Mode::Witness { guarded }, budget);
+                    if let Some(Verdict::Witness {
+                        empty,
+                        witness,
+                        fuel_query,
+                        fuel_witness,
+                        triples_query,
+                        triples_final,
+                    }) = qc.get(&key)
+                    {
+                        self.stats.qcache_hits += 1;
+                        // Emptiness-phase fuel: a trip propagates,
+                        // exactly like the live `?`.
+                        if fuel_query > 0 {
+                            budget.charge(fuel_query)?;
+                        }
+                        if empty {
+                            self.stats.realized_triples += triples_query;
+                            return Ok((true, None));
+                        }
+                        self.stats.witness_skipped += 1;
+                        if guarded {
+                            self.stats.realized_triples += triples_query;
+                            return Ok((false, None));
+                        }
+                        // Extraction-phase fuel: a trip degrades to a
+                        // missing witness, exactly like the live
+                        // `.ok().flatten()`.
+                        let witness = if fuel_witness > 0 && budget.charge(fuel_witness).is_err() {
+                            None
+                        } else {
+                            witness
+                        };
+                        self.stats.realized_triples += triples_final;
+                        return Ok((false, witness));
+                    }
+                    self.stats.qcache_misses += 1;
+                    let mut ix = prep.query(&q.classes, budget, QueryMode::EarlyExit)?;
+                    let fuel_query = ix.charged();
+                    let triples_query = ix.triples() as u64;
+                    if ix.exited_early() {
+                        self.stats.early_exits += 1;
+                    }
+                    if ix.is_empty() {
+                        self.stats.realized_triples += triples_query;
+                        self.stats.qcache_evictions += qc.insert(
+                            key,
+                            Verdict::Witness {
+                                empty: true,
+                                witness: None,
+                                fuel_query,
+                                fuel_witness: 0,
+                                triples_query,
+                                triples_final: triples_query,
+                            },
+                        );
+                        return Ok((true, None));
+                    }
+                    if guarded {
+                        self.stats.realized_triples += triples_query;
+                        self.stats.qcache_evictions += qc.insert(
+                            key,
+                            Verdict::Witness {
+                                empty: false,
+                                witness: None,
+                                fuel_query,
+                                fuel_witness: 0,
+                                triples_query,
+                                triples_final: triples_query,
+                            },
+                        );
+                        return Ok((false, None));
+                    }
+                    let wres = ix.witness(budget);
+                    self.stats.completions += ix.completions();
+                    self.stats.realized_triples += ix.triples() as u64;
+                    return match wres {
+                        Ok(witness) => {
+                            self.stats.qcache_evictions += qc.insert(
+                                key,
+                                Verdict::Witness {
+                                    empty: false,
+                                    witness: witness.clone(),
+                                    fuel_query,
+                                    fuel_witness: ix.charged() - fuel_query,
+                                    triples_query,
+                                    triples_final: ix.triples() as u64,
+                                },
+                            );
+                            Ok((false, witness))
+                        }
+                        // Tripped mid-extraction: the finding stands
+                        // without a witness, and the (partially
+                        // charged) computation is never cached.
+                        Err(_) => Ok((false, None)),
+                    };
                 }
                 let mut ix = prep.query(&q.classes, budget, QueryMode::EarlyExit)?;
                 if ix.exited_early() {
@@ -186,11 +468,12 @@ impl<'a> Engine<'a> {
                     self.stats.realized_triples += ix.triples() as u64;
                     return Ok((true, None));
                 }
-                if gcfg.count_reachable_productions(gx, WITNESS_BUDGET) > WITNESS_BUDGET {
+                if guard_decision(*precomputed) {
                     self.stats.realized_triples += ix.triples() as u64;
                     return Ok((false, None));
                 }
                 let witness = ix.witness(budget).ok().flatten();
+                self.stats.completions += ix.completions();
                 self.stats.realized_triples += ix.triples() as u64;
                 Ok((false, witness))
             }

@@ -39,11 +39,15 @@ pub mod checks;
 pub mod dfas;
 mod engine;
 pub mod policy_driver;
+mod pmemo;
+mod prefilter;
+mod qcache;
 pub mod report;
 pub mod xss;
 
 pub use checks::{CheckOptions, Checker};
 pub use policy_driver::{GenericChecker, PolicyChecker};
-pub use report::{CheckKind, Finding, HotspotReport};
-pub use strtaint_grammar::prepared::{EngineStats, PreparedCache};
+pub use report::{CheckKind, Finding, HotspotReport, MAX_WITNESS_BYTES};
+pub use strtaint_grammar::prepared::PreparedCache;
+pub use strtaint_grammar::stats::EngineStats;
 pub use xss::XssChecker;

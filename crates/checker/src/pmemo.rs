@@ -1,0 +1,456 @@
+//! Cross-page preparation memo: content-addressed sharing of
+//! [`PreparedGrammar`]s and canonical example-query skeletons.
+//!
+//! The query cache (see [`crate::qcache`]) collapses the *fixpoint*
+//! cost of re-checking a page, but a warm re-check still paid two
+//! setup walls on every pass:
+//!
+//! 1. **Preparation** — `PreparedGrammar::new` (trim + binary
+//!    normalization + occurrence indexing) ran again for every
+//!    hotspot subgrammar and for every check-local marked grammar,
+//!    because the per-batch [`PreparedCache`](strtaint_grammar::prepared::PreparedCache)
+//!    is keyed by `NtId` and scoped to one `Cfg`.
+//! 2. **Skeleton reconstruction** — the example-query splice runs a
+//!    canonical `shortest_string` over the whole marked page grammar
+//!    per reporting hotspot.
+//!
+//! Both are *pure functions of grammar content*, so this module keys
+//! them by a structural fingerprint of the reachable subgrammar and
+//! shares them across pages, calls, and worker threads. Crucially,
+//! check-local *marked grammars* (and their skeletons) are keyed by
+//! the fingerprint of the *page* subgrammar plus the marked
+//! nonterminal's content-stable position — the inputs of
+//! `marked_grammar`, not its output — so a warm hit skips not only
+//! the preparation but the whole-grammar clone that builds the marked
+//! grammar in the first place.
+//!
+//! # Soundness of sharing
+//!
+//! [`subgrammar_fingerprint`] hashes everything `PreparedGrammar::new`
+//! and `shortest_string` can observe: the production structure of the
+//! subgrammar reachable from the root (with nonterminals renumbered in
+//! deterministic discovery order, so absolute `NtId`s don't matter),
+//! every terminal byte, every nonterminal *name*, and every taint
+//! label. Preparation and canonical-witness reconstruction are
+//! deterministic functions of exactly that content, so — up to hash
+//! collision on the 128-bit fingerprint — a memo hit returns an object
+//! byte-identical in every observable way to what recomputation would
+//! build. Names and taints are included even though engine verdicts
+//! ignore them, because prepared grammars carry them into
+//! reconstructed result grammars (`root_name`/`root_taint` parity with
+//! the naive engine).
+//!
+//! The memo is an optimization cache, never an oracle: entries are
+//! evicted FIFO past a bounded capacity and rebuilt on demand, and the
+//! whole memo is disabled together with the query cache
+//! (`--no-query-cache`), keeping one escape hatch for the entire
+//! optimized check path.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use strtaint_grammar::lang::shortest_string;
+use strtaint_grammar::prepared::PreparedGrammar;
+use strtaint_grammar::{Cfg, NtId, Symbol};
+
+use crate::abstraction::marked_grammar;
+
+/// Prepared grammars retained (each is a trimmed, normalized, indexed
+/// copy of a hotspot subgrammar — the heavyweight entries).
+const PREPARED_CAP: usize = 512;
+
+/// Canonical skeletons retained (short byte strings — cheap entries).
+const SKELETON_CAP: usize = 4096;
+
+/// Two word-wise FNV-1a streams with distinct offset bases, advanced
+/// in lockstep so one grammar traversal yields a 128-bit combined key
+/// (same two-stream scheme as the prepared grammar's
+/// post-normalization fingerprint). Word-wise mixing — one
+/// xor-multiply per encoded `u64`, not per byte — keeps the
+/// fingerprint cheap enough to run on every warm lookup: it *is* the
+/// cache key computation, so it sits on the hot path of a fully
+/// memoized pass.
+struct Fnv2 {
+    a: u64,
+    b: u64,
+}
+
+impl Fnv2 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv2 {
+            a: 0xcbf2_9ce4_8422_2325,
+            b: 0x6c62_272e_07bb_0142,
+        }
+    }
+
+    fn word(&mut self, w: u64) {
+        self.a = (self.a ^ w).wrapping_mul(Self::PRIME);
+        self.b = (self.b ^ w).wrapping_mul(Self::PRIME);
+    }
+
+    /// Length-prefixed so adjacent variable-length fields can't alias.
+    fn bytes(&mut self, bs: &[u8]) {
+        self.word(bs.len() as u64);
+        for chunk in bs.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.word(u64::from_le_bytes(buf));
+        }
+    }
+}
+
+/// Structural fingerprint of the subgrammar of `g` reachable from
+/// `root`: production shapes, terminal bytes, nonterminal names, and
+/// taint labels, with nonterminals renumbered in deterministic
+/// discovery order. Equal fingerprints mean — up to collision —
+/// content-identical subgrammars, for which preparation and canonical
+/// reconstruction produce observationally identical results.
+#[cfg(test)]
+fn subgrammar_fingerprint(g: &Cfg, root: NtId) -> (u64, u64) {
+    fingerprint_with_locals(g, root).0
+}
+
+/// Production count of the subgrammar of `g` reachable from `root`
+/// (exact, uncapped). Matches `Cfg::count_reachable_productions` on
+/// reachable sets, so `count > cap` answers the same guards.
+#[cfg(test)]
+fn subgrammar_production_count(g: &Cfg, root: NtId) -> usize {
+    fingerprint_with_locals(g, root).2
+}
+
+/// Sentinel in the dense local-id table for "not reachable from the
+/// root" (never a real local id: there are at most `u32::MAX - 1`
+/// nonterminals).
+const UNDISCOVERED: u32 = u32::MAX;
+
+/// [`subgrammar_fingerprint`] plus the discovery-order renumbering it
+/// used — `locals[x.index()]` is the content-stable position of `x`
+/// within the subgrammar ([`UNDISCOVERED`] if unreachable), the second
+/// half of derived keys ([`derive_key`]) — plus the subgrammar's
+/// reachable production count. The count falls out of the traversal
+/// for free and lets callers answer the witness-reconstruction guard
+/// (`count_reachable_productions(root, cap) > cap`) without a second
+/// full walk.
+fn fingerprint_with_locals(g: &Cfg, root: NtId) -> ((u64, u64), Vec<u32>, usize) {
+    let _span = strtaint_obs::Span::enter("pmemo:fp", "");
+    // Discovery order: depth-first from the root, productions in
+    // declaration order, right-hand sides left to right. The local id
+    // of a nonterminal is its position in this order, so two
+    // structurally identical subgrammars at different absolute NtIds
+    // renumber identically.
+    let mut local = vec![UNDISCOVERED; g.num_nonterminals()];
+    let mut order: Vec<NtId> = Vec::new();
+    let mut stack = vec![root];
+    local[root.index()] = 0;
+    order.push(root);
+    while let Some(nt) = stack.pop() {
+        for rhs in g.productions(nt) {
+            for sym in rhs {
+                if let Symbol::N(x) = sym {
+                    if local[x.index()] == UNDISCOVERED {
+                        local[x.index()] = order.len() as u32;
+                        order.push(*x);
+                        stack.push(*x);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut h = Fnv2::new();
+    let mut count = 0usize;
+    h.word(order.len() as u64);
+    for &nt in &order {
+        h.bytes(g.name(nt).as_bytes());
+        let t = g.taint(nt);
+        h.word(u64::from(
+            u8::from(t.is_direct()) | (u8::from(t.is_indirect()) << 1),
+        ));
+        let prods = g.productions(nt);
+        count += prods.len();
+        h.word(prods.len() as u64);
+        for rhs in prods {
+            h.word(rhs.len() as u64);
+            for sym in rhs {
+                // Injective symbol encoding: terminals fit in the low
+                // byte, nonterminal references set bit 32.
+                match sym {
+                    Symbol::T(b) => h.word(u64::from(*b)),
+                    Symbol::N(x) => h.word((1 << 32) | u64::from(local[x.index()])),
+                }
+            }
+        }
+    }
+    ((h.a, h.b), local, count)
+}
+
+/// Tag for keys of plain `(g, root)` preparations.
+const TAG_PLAIN: u8 = 0;
+/// Tag for keys of marked-grammar preparations (`marked_grammar` of
+/// `(g, root, x)` with no replacements).
+const TAG_MARKED: u8 = 1;
+/// Tag for keys of example-query skeletons of the same marked grammar.
+const TAG_SKELETON: u8 = 2;
+
+/// Derives a store key from a subgrammar fingerprint, the local id of
+/// the distinguished nonterminal (`u32::MAX` when there is none), and
+/// a domain-separation tag. This is what lets marked grammars and
+/// skeletons be memoized *without constructing them*: the marked
+/// grammar is a pure function of the subgrammar reachable from `root`
+/// and of `x`'s content-stable position in it, so `(fingerprint,
+/// local(x))` already names the result.
+fn derive_key(fp: (u64, u64), x_local: u32, tag: u8) -> (u64, u64) {
+    let mut h = Fnv2 { a: fp.0, b: fp.1 };
+    h.word(u64::from(x_local) | (u64::from(tag) << 32));
+    (h.a, h.b)
+}
+
+/// One bounded FIFO map shard: insertion order drives eviction.
+struct Store<V> {
+    map: HashMap<(u64, u64), V>,
+    order: VecDeque<(u64, u64)>,
+    cap: usize,
+}
+
+impl<V: Clone> Store<V> {
+    fn new(cap: usize) -> Self {
+        Store {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            cap,
+        }
+    }
+
+    fn get(&self, key: &(u64, u64)) -> Option<V> {
+        self.map.get(key).cloned()
+    }
+
+    fn insert(&mut self, key: (u64, u64), value: V) -> V {
+        // First writer wins, so racing workers converge on one shared
+        // entry exactly like `PreparedCache`.
+        if let Some(existing) = self.map.get(&key) {
+            return existing.clone();
+        }
+        self.map.insert(key, value.clone());
+        self.order.push_back(key);
+        while self.map.len() > self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            } else {
+                break;
+            }
+        }
+        value
+    }
+}
+
+/// The cross-page preparation memo shared by every page and worker a
+/// checker serves. All fallible lock states degrade to recomputation —
+/// the memo can make nothing wrong, only some things slower.
+pub(crate) struct PreparedMemo {
+    prepared: Mutex<Store<Arc<PreparedGrammar>>>,
+    skeletons: Mutex<Store<Option<Vec<u8>>>>,
+}
+
+impl std::fmt::Debug for PreparedMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedMemo").finish_non_exhaustive()
+    }
+}
+
+impl PreparedMemo {
+    pub(crate) fn new() -> Self {
+        PreparedMemo {
+            prepared: Mutex::new(Store::new(PREPARED_CAP)),
+            skeletons: Mutex::new(Store::new(SKELETON_CAP)),
+        }
+    }
+
+    /// Returns the prepared grammar for `(g, root)`, sharing a prior
+    /// preparation of any content-identical subgrammar. The boolean is
+    /// `true` on a memo hit; the count is the subgrammar's reachable
+    /// production total, a free byproduct of the key traversal that
+    /// answers the witness-reconstruction guard without another walk.
+    pub(crate) fn prepared(&self, g: &Cfg, root: NtId) -> (Arc<PreparedGrammar>, bool, usize) {
+        let (fp, _, count) = fingerprint_with_locals(g, root);
+        let key = derive_key(fp, u32::MAX, TAG_PLAIN);
+        if let Ok(store) = self.prepared.lock() {
+            if let Some(p) = store.get(&key) {
+                return (p, true, count);
+            }
+        }
+        // Prepare outside the lock: preparation is the expensive part,
+        // and a racing duplicate is resolved by first-writer-wins.
+        let prep = Arc::new(PreparedGrammar::new(g, root));
+        match self.prepared.lock() {
+            Ok(mut store) => (store.insert(key, prep), false, count),
+            Err(_) => (prep, false, count),
+        }
+    }
+
+    /// Returns the prepared *marked grammar* of `(g, root, x)` — the
+    /// context grammar both cascades query — sharing prior work across
+    /// content-identical pages. On a hit the marked grammar is never
+    /// even constructed: the key is derived from the page subgrammar
+    /// fingerprint and `x`'s content-stable position, which fully
+    /// determine `marked_grammar`'s (replacement-free) output.
+    pub(crate) fn marked_prepared(&self, g: &Cfg, root: NtId, x: NtId) -> (Arc<PreparedGrammar>, bool) {
+        let (fp, locals, _) = fingerprint_with_locals(g, root);
+        let lx = locals.get(x.index()).copied().filter(|&v| v != UNDISCOVERED);
+        let Some(lx) = lx else {
+            // `x` unreachable from `root`: the marked grammar is not
+            // content-addressable from this key, so build it directly.
+            let (marked, mroot) = marked_grammar(g, root, x, &HashMap::new());
+            return (Arc::new(PreparedGrammar::new(&marked, mroot)), false);
+        };
+        let key = derive_key(fp, lx, TAG_MARKED);
+        if let Ok(store) = self.prepared.lock() {
+            if let Some(p) = store.get(&key) {
+                return (p, true);
+            }
+        }
+        let (marked, mroot) = marked_grammar(g, root, x, &HashMap::new());
+        let prep = Arc::new(PreparedGrammar::new(&marked, mroot));
+        match self.prepared.lock() {
+            Ok(mut store) => (store.insert(key, prep), false),
+            Err(_) => (prep, false),
+        }
+    }
+
+    /// Returns the canonical shortest string of the marked grammar of
+    /// `(g, root, x)` — the example-query skeleton — computing it once
+    /// per content-identical page. `None` (no finite string) is
+    /// memoized too, and a hit skips the grammar construction exactly
+    /// as in [`PreparedMemo::marked_prepared`]. `cap` is the
+    /// reconstruction guard: grammars with more reachable productions
+    /// yield `None`, the same decision as
+    /// `count_reachable_productions(root, cap) > cap` — answered here
+    /// from the key traversal's own count.
+    pub(crate) fn skeleton_for(&self, g: &Cfg, root: NtId, x: NtId, cap: usize) -> Option<Vec<u8>> {
+        let (fp, locals, count) = fingerprint_with_locals(g, root);
+        if count > cap {
+            return None;
+        }
+        let lx = locals.get(x.index()).copied().filter(|&v| v != UNDISCOVERED);
+        let Some(lx) = lx else {
+            let (marked, mroot) = marked_grammar(g, root, x, &HashMap::new());
+            return shortest_string(&marked, mroot);
+        };
+        let key = derive_key(fp, lx, TAG_SKELETON);
+        if let Ok(store) = self.skeletons.lock() {
+            if let Some(s) = store.get(&key) {
+                return s;
+            }
+        }
+        let (marked, mroot) = marked_grammar(g, root, x, &HashMap::new());
+        let skeleton = shortest_string(&marked, mroot);
+        match self.skeletons.lock() {
+            Ok(mut store) => store.insert(key, skeleton),
+            Err(_) => skeleton,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strtaint_grammar::Taint;
+
+    fn sample(name_suffix: &str) -> (Cfg, NtId) {
+        let mut g = Cfg::new();
+        let x = g.add_nonterminal(format!("x{name_suffix}"));
+        g.set_taint(x, Taint::DIRECT);
+        g.add_literal_production(x, b"1");
+        let root = g.add_nonterminal("query");
+        let mut rhs = g.literal_symbols(b"SELECT ");
+        rhs.push(Symbol::N(x));
+        g.add_production(root, rhs);
+        (g, root)
+    }
+
+    #[test]
+    fn fingerprint_ignores_absolute_ids() {
+        let (g1, r1) = sample("");
+        // Same content shifted to different absolute NtIds.
+        let mut g2 = Cfg::new();
+        for i in 0..7 {
+            g2.add_nonterminal(format!("pad{i}"));
+        }
+        let r2 = g2.import_from(&g1, r1);
+        assert_eq!(
+            subgrammar_fingerprint(&g1, r1),
+            subgrammar_fingerprint(&g2, r2)
+        );
+    }
+
+    #[test]
+    fn fingerprint_sees_names_taints_and_structure() {
+        let (g1, r1) = sample("");
+        let (g2, r2) = sample("renamed");
+        assert_ne!(
+            subgrammar_fingerprint(&g1, r1),
+            subgrammar_fingerprint(&g2, r2),
+            "name change must change the fingerprint"
+        );
+        let (mut g3, r3) = sample("");
+        let extra = g3.add_nonterminal("x");
+        g3.add_literal_production(extra, b"2");
+        g3.add_production(r3, vec![Symbol::N(extra)]);
+        assert_ne!(
+            subgrammar_fingerprint(&g1, r1),
+            subgrammar_fingerprint(&g3, r3),
+            "structure change must change the fingerprint"
+        );
+    }
+
+    #[test]
+    fn memo_shares_preparation_and_skeleton() {
+        let memo = PreparedMemo::new();
+        let (g, root) = sample("");
+        let (p1, hit1, _) = memo.prepared(&g, root);
+        let (p2, hit2, _) = memo.prepared(&g, root);
+        assert!(!hit1);
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&p1, &p2));
+    }
+
+    #[test]
+    fn marked_memo_matches_direct_construction() {
+        let memo = PreparedMemo::new();
+        let (g, root) = sample("");
+        let x = g
+            .nonterminals()
+            .find(|&n| g.name(n) == "x")
+            .expect("sample tainted nonterminal");
+        let (m1, hit1) = memo.marked_prepared(&g, root, x);
+        let (m2, hit2) = memo.marked_prepared(&g, root, x);
+        assert!(!hit1);
+        assert!(hit2, "second call must hit without reconstructing");
+        assert!(Arc::ptr_eq(&m1, &m2));
+        // A hit returns exactly what direct construction would build.
+        let (marked, mroot) = marked_grammar(&g, root, x, &HashMap::new());
+        let direct = PreparedGrammar::new(&marked, mroot);
+        assert_eq!(m1.fingerprint(), direct.fingerprint());
+
+        let s1 = memo.skeleton_for(&g, root, x, 50_000);
+        let s2 = memo.skeleton_for(&g, root, x, 50_000);
+        assert_eq!(s1, s2);
+        assert_eq!(s1, shortest_string(&marked, mroot));
+        // The size guard fires from the traversal's own count.
+        assert_eq!(memo.skeleton_for(&g, root, x, 0), None);
+    }
+
+    #[test]
+    fn traversal_count_matches_cfg_count() {
+        let (g, root) = sample("");
+        let n = subgrammar_production_count(&g, root);
+        assert_eq!(n, g.count_reachable_productions(root, usize::MAX - 1));
+        // An unreachable extra production must not count.
+        let mut g2 = g;
+        let stray = g2.add_nonterminal("stray");
+        g2.add_literal_production(stray, b"zzz");
+        assert_eq!(n, subgrammar_production_count(&g2, root));
+    }
+}

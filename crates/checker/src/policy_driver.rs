@@ -12,6 +12,8 @@
 //! budget discipline is identical to the SQL checker: a trip yields a
 //! conservative `BudgetExhausted` finding, never a silent "verified".
 
+use std::sync::Arc;
+
 use strtaint_grammar::budget::{Budget, BudgetExceeded, DegradeAction};
 use strtaint_grammar::lang::shortest_string;
 use strtaint_grammar::prepared::PreparedCache;
@@ -19,8 +21,10 @@ use strtaint_grammar::{Cfg, NtId};
 use strtaint_policy::{Cascade, CheckKind, Policy, PolicyKind, Residual, StepAction};
 
 use crate::abstraction::maximal_labeled;
-use crate::checks::{splice_example, CheckOptions, Checker};
+use crate::checks::{splice_example_memo, CheckOptions, Checker};
+use crate::pmemo::PreparedMemo;
 use crate::engine::{run_parallel, Engine, Qdfa};
+use crate::qcache::QueryCache;
 use crate::report::{Finding, HotspotReport};
 use crate::xss::XssChecker;
 
@@ -32,10 +36,16 @@ pub struct GenericChecker {
     steps: Vec<(Qdfa, StepAction)>,
     residual: Residual,
     naive_engine: bool,
+    eager_witness: bool,
+    /// Cross-page verdict cache (see `qcache`), one per policy —
+    /// entries never cross policy ids anyway (the cascade DFAs differ).
+    qcache: Option<Arc<QueryCache>>,
+    /// Cross-page preparation memo (see `pmemo`), gated with `qcache`.
+    pmemo: Option<Arc<PreparedMemo>>,
 }
 
 impl GenericChecker {
-    fn new(policy: &Policy, cascade: &Cascade, naive_engine: bool) -> Self {
+    fn new(policy: &Policy, cascade: &Cascade, opts: &CheckOptions) -> Self {
         GenericChecker {
             id: policy.id,
             steps: cascade
@@ -44,7 +54,20 @@ impl GenericChecker {
                 .map(|s| (Qdfa::new(s.dfa.clone()), s.action.clone()))
                 .collect(),
             residual: cascade.residual.clone(),
-            naive_engine,
+            naive_engine: opts.naive_engine,
+            eager_witness: opts.eager_witness,
+            qcache: (opts.query_cache && !opts.naive_engine)
+                .then(|| Arc::new(QueryCache::new())),
+            pmemo: (opts.query_cache && !opts.naive_engine)
+                .then(|| Arc::new(PreparedMemo::new())),
+        }
+    }
+
+    /// Stamps the config-fingerprint namespace for cross-page verdict
+    /// memoization (see [`Checker::set_query_scope`]).
+    pub fn set_query_scope(&self, scope: u64) {
+        if let Some(qc) = &self.qcache {
+            qc.set_scope(scope);
         }
     }
 
@@ -66,7 +89,13 @@ impl GenericChecker {
         let mut report = HotspotReport::default();
         let candidates = maximal_labeled(cfg, root);
         report.checked = candidates.len();
-        let mut engine = Engine::new(cache, self.naive_engine);
+        let mut engine = Engine::new(
+            cache,
+            self.naive_engine,
+            self.qcache.as_deref(),
+            self.pmemo.as_deref(),
+            self.eager_witness,
+        );
         for &x in &candidates {
             let _span = strtaint_obs::Span::enter_with("check", || cfg.name(x).to_owned());
             match self.check_one(cfg, root, x, budget, &mut engine) {
@@ -84,6 +113,7 @@ impl GenericChecker {
                         taint: cfg.taint(x),
                         kind: CheckKind::BudgetExhausted,
                         witness: None,
+                        witness_truncated: false,
                         example_query: None,
                         detail: err.to_string(),
                         at: None,
@@ -92,6 +122,9 @@ impl GenericChecker {
             }
         }
         report.engine = engine.stats;
+        for f in &mut report.findings {
+            f.cap_witness();
+        }
         report
     }
 
@@ -106,24 +139,25 @@ impl GenericChecker {
         let finding = |kind: CheckKind, witness: Option<Vec<u8>>, detail: &str| {
             let example_query = witness
                 .as_deref()
-                .and_then(|w| splice_example(cfg, root, x, w));
+                .and_then(|w| splice_example_memo(cfg, root, x, w, self.pmemo.as_deref()));
             Ok(Some(Finding {
                 nonterminal: x,
                 name: cfg.name(x).to_owned(),
                 taint: cfg.taint(x),
                 kind,
                 witness,
+                witness_truncated: false,
                 example_query,
                 detail: detail.to_owned(),
                 at: None,
             }))
         };
-        if cfg.is_empty_language(x) {
-            return Ok(None);
-        }
         // One prepared grammar serves every step of the cascade and,
-        // via the shared cache, any other hotspot reaching `x`.
-        let mut tx = engine.target(cfg, x);
+        // via the shared cache, any other hotspot reaching `x`. An
+        // empty L(X) has nothing to check.
+        let Some(mut tx) = engine.target(cfg, x) else {
+            return Ok(None);
+        };
         for (q, action) in &self.steps {
             match action {
                 StepAction::VerifyIfEmpty => {
@@ -168,18 +202,27 @@ impl PolicyChecker {
     /// Builds a checker for every built-in policy; `opts` applies to
     /// the SQL cascade, and `opts.naive_engine` to all of them.
     pub fn with_options(opts: CheckOptions) -> Self {
-        let naive = opts.naive_engine;
         let generic = strtaint_policy::builtin()
             .iter()
             .filter_map(|p| match &p.kind {
-                PolicyKind::Cascade(c) => Some(GenericChecker::new(p, c, naive)),
+                PolicyKind::Cascade(c) => Some(GenericChecker::new(p, c, &opts)),
                 PolicyKind::SqlCiv | PolicyKind::Xss => None,
             })
             .collect();
         PolicyChecker {
+            xss: XssChecker::with_engine_options(opts.naive_engine, opts.query_cache),
             sql: Checker::with_options(opts),
-            xss: XssChecker::with_naive_engine(naive),
             generic,
+        }
+    }
+
+    /// Stamps the config-fingerprint namespace on every per-policy
+    /// verdict cache (see [`Checker::set_query_scope`]).
+    pub fn set_query_scope(&self, scope: u64) {
+        self.sql.set_query_scope(scope);
+        self.xss.set_query_scope(scope);
+        for g in &self.generic {
+            g.set_query_scope(scope);
         }
     }
 

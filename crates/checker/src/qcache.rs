@@ -1,0 +1,311 @@
+//! Cross-page memoization of intersection verdicts.
+//!
+//! Pages that share includes keep asking the engine the same question:
+//! the same (structurally identical) tainted grammar intersected with
+//! the same check automaton under the same budget class. This cache
+//! memoizes those verdicts the way `SummaryCache` already dedupes
+//! lowering, collapsing the checking wall across hotspots and pages.
+//!
+//! ## Key derivation
+//!
+//! A cached verdict is only sound to replay when the replayed
+//! computation would have been *identical*. The key therefore captures
+//! every input the fixpoint depends on:
+//!
+//! - `scope` — the session [`Config`] fingerprint, stamped by the
+//!   driver via [`QueryCache::set_scope`]. Changing analysis options
+//!   re-namespaces every key, so verdicts computed under one config can
+//!   never answer queries made under another (mirrors the artifact
+//!   store, which keys evidence by the same fingerprint).
+//! - `grammar` — the [`PreparedGrammar`] content fingerprint (128-bit,
+//!   two independent FNV streams). Equal fingerprints mean an
+//!   identical normalized production sequence, which drives an
+//!   identical fixpoint: same discovery order, same fuel charges, same
+//!   triple count, same canonical witness.
+//! - `dfa` — the content fingerprint of the check automaton's
+//!   byte-class form (tables, start, accepting set).
+//! - `mode` — emptiness-only versus emptiness-or-witness, and for the
+//!   latter whether the caller's reachable-production guard suppressed
+//!   extraction ([`Mode::Witness::guarded`]); the guard changes which
+//!   phases run, so it must split the key.
+//! - `fuel_limit` / `grammar_cap` — the *budget class*. A verdict
+//!   computed under one fuel ceiling may not answer a query under
+//!   another: the same computation could complete under the first and
+//!   trip under the second. The wall-clock deadline is deliberately
+//!   not part of the class — it never alters the fuel accounting of a
+//!   trip-free run, only whether the run survives, and tripped runs
+//!   are never cached.
+//!
+//! ## Replay parity
+//!
+//! Only trip-free computations are inserted. Replay re-charges the
+//! recorded fuel against the caller's live budget ([`Verdict`] stores
+//! the per-phase charge counts), so a replayed verdict consumes
+//! exactly the fuel the recomputation would have, trips exactly when
+//! the recomputation would have tripped, and a post-trip latched budget
+//! behaves identically either way. See `Engine::is_empty` /
+//! `Engine::is_empty_or_witness` for the charging discipline.
+//!
+//! ## Concurrency
+//!
+//! The parallel hotspot driver hammers the cache from every worker, so
+//! it is striped: 16 mutex shards selected by key hash, each with its
+//! own FIFO eviction queue. Hit/miss/eviction counts are *not* kept
+//! here — workers accumulate them in their thread-local
+//! [`EngineStats`](strtaint_grammar::stats::EngineStats) and merge,
+//! keeping the hot path lock-free beyond the shard probe itself.
+//!
+//! [`Config`]: strtaint_policy::Config
+//! [`PreparedGrammar`]: strtaint_grammar::prepared::PreparedGrammar
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of independently locked shards.
+const SHARDS: usize = 16;
+
+/// Per-shard entry cap; total capacity is `SHARDS * PER_SHARD_CAP`.
+const PER_SHARD_CAP: usize = 512;
+
+/// Which engine entry point the verdict answers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) enum Mode {
+    /// `Engine::is_empty` — early-exit emptiness only.
+    Empty,
+    /// `Engine::is_empty_or_witness`.
+    Witness {
+        /// Whether the caller's reachable-production guard suppressed
+        /// witness extraction. Computed *before* lookup so that two
+        /// call sites sharing a grammar fingerprint but differing in
+        /// guard outcome can never exchange verdicts.
+        guarded: bool,
+    },
+}
+
+/// Complete identity of one engine query. See the module docs for why
+/// each component is load-bearing.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct QueryKey {
+    pub scope: u64,
+    pub grammar: (u64, u64),
+    pub dfa: u64,
+    pub mode: Mode,
+    pub fuel_limit: Option<u64>,
+    pub grammar_cap: Option<usize>,
+}
+
+/// A memoized verdict plus everything needed to replay it with
+/// byte-identical observable behavior: the answer, the canonical
+/// witness, and the per-phase fuel charges to re-apply.
+#[derive(Clone, Debug)]
+pub(crate) enum Verdict {
+    /// Result of an emptiness-only query.
+    Empty {
+        empty: bool,
+        /// Fuel the fixpoint charged; replayed with one bulk charge.
+        fuel: u64,
+        /// Realized triples, for stats parity.
+        triples: u64,
+    },
+    /// Result of an emptiness-or-witness query.
+    Witness {
+        empty: bool,
+        /// Canonical (length, lex)-minimal witness when nonempty and
+        /// extraction ran; stored *uncapped* — display truncation is a
+        /// rendering concern.
+        witness: Option<Vec<u8>>,
+        /// Fuel charged by the emptiness fixpoint (replay propagates a
+        /// trip, exactly like the live query).
+        fuel_query: u64,
+        /// Fuel charged by resumption + reconstruction (replay
+        /// swallows a trip into a missing witness, exactly like the
+        /// live `.ok()` path).
+        fuel_witness: u64,
+        /// Triples realized by the emptiness phase alone.
+        triples_query: u64,
+        /// Triples realized after reconstruction.
+        triples_final: u64,
+    },
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<QueryKey, Verdict>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<QueryKey>,
+}
+
+/// The cross-page verdict cache. One per checker, shared by all pages
+/// and worker threads of a run.
+pub(crate) struct QueryCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Current config-fingerprint namespace, mixed into every key.
+    /// Stamping a new scope leaves stale entries in place but
+    /// unreachable — they age out by FIFO — which keeps a daemon
+    /// flipping between per-request configs from thrashing a shared
+    /// checker.
+    scope: AtomicU64,
+}
+
+impl std::fmt::Debug for QueryCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryCache")
+            .field("shards", &self.shards.len())
+            .field("scope", &self.scope.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl QueryCache {
+    pub(crate) fn new() -> Self {
+        QueryCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            scope: AtomicU64::new(0),
+        }
+    }
+
+    /// Stamps the config-fingerprint namespace for subsequent keys.
+    pub(crate) fn set_scope(&self, scope: u64) {
+        self.scope.store(scope, Ordering::Relaxed);
+    }
+
+    /// The namespace callers must put in [`QueryKey::scope`].
+    pub(crate) fn scope(&self) -> u64 {
+        self.scope.load(Ordering::Relaxed)
+    }
+
+    fn shard(&self, key: &QueryKey) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Looks up a verdict. A poisoned shard (worker panic while
+    /// holding the lock) degrades to a miss — the caller recomputes.
+    pub(crate) fn get(&self, key: &QueryKey) -> Option<Verdict> {
+        let shard = self.shard(key).lock().ok()?;
+        shard.map.get(key).cloned()
+    }
+
+    /// Inserts a verdict, returning how many entries were evicted to
+    /// make room (usually 0 or 1; surfaced as `qcache.evictions`).
+    pub(crate) fn insert(&self, key: QueryKey, verdict: Verdict) -> u64 {
+        let Ok(mut shard) = self.shard(&key).lock() else {
+            return 0;
+        };
+        if shard.map.insert(key.clone(), verdict).is_none() {
+            shard.order.push_back(key);
+        }
+        let mut evicted = 0;
+        while shard.map.len() > PER_SHARD_CAP {
+            let Some(old) = shard.order.pop_front() else {
+                break;
+            };
+            if shard.map.remove(&old).is_some() {
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> QueryKey {
+        QueryKey {
+            scope: 7,
+            grammar: (n, n ^ 0xabcd),
+            dfa: 3,
+            mode: Mode::Empty,
+            fuel_limit: None,
+            grammar_cap: None,
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_namespacing() {
+        let c = QueryCache::new();
+        let k = key(1);
+        assert!(c.get(&k).is_none());
+        c.insert(
+            k.clone(),
+            Verdict::Empty {
+                empty: true,
+                fuel: 42,
+                triples: 9,
+            },
+        );
+        match c.get(&k) {
+            Some(Verdict::Empty {
+                empty: true,
+                fuel: 42,
+                triples: 9,
+            }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        // A different scope is a different key entirely.
+        let mut other_scope = k.clone();
+        other_scope.scope = 8;
+        assert!(c.get(&other_scope).is_none());
+        // So are a different mode and budget class.
+        let mut other_mode = k.clone();
+        other_mode.mode = Mode::Witness { guarded: false };
+        assert!(c.get(&other_mode).is_none());
+        let mut other_fuel = k;
+        other_fuel.fuel_limit = Some(10);
+        assert!(c.get(&other_fuel).is_none());
+    }
+
+    #[test]
+    fn reinsert_does_not_duplicate_order() {
+        let c = QueryCache::new();
+        for _ in 0..10 {
+            c.insert(
+                key(1),
+                Verdict::Empty {
+                    empty: false,
+                    fuel: 0,
+                    triples: 0,
+                },
+            );
+        }
+        let shard = c.shard(&key(1)).lock().unwrap();
+        assert_eq!(shard.map.len(), 1);
+        assert_eq!(shard.order.len(), 1);
+    }
+
+    #[test]
+    fn fifo_eviction_is_bounded_and_counted() {
+        let c = QueryCache::new();
+        let mut evicted = 0;
+        // Far more keys than total capacity.
+        for n in 0..(SHARDS * PER_SHARD_CAP * 2) as u64 {
+            evicted += c.insert(
+                key(n),
+                Verdict::Empty {
+                    empty: true,
+                    fuel: 1,
+                    triples: 1,
+                },
+            );
+        }
+        let total: usize = c
+            .shards
+            .iter()
+            .map(|s| {
+                let s = s.lock().unwrap();
+                assert_eq!(s.map.len(), s.order.len());
+                assert!(s.map.len() <= PER_SHARD_CAP);
+                s.map.len()
+            })
+            .sum();
+        assert!(total <= SHARDS * PER_SHARD_CAP);
+        assert!(evicted > 0);
+        assert_eq!(evicted as usize + total, SHARDS * PER_SHARD_CAP * 2);
+    }
+}

@@ -9,6 +9,17 @@ use strtaint_grammar::{Degradation, EngineStats, NtId, Taint};
 // compiling and the rule-id/display strings stay byte-identical.
 pub use strtaint_policy::CheckKind;
 
+/// Display cap applied to witness strings ([`Finding::cap_witness`]).
+///
+/// Witnesses are canonical shortest strings, so they are usually tiny;
+/// pathological grammars can still pump very long minimal witnesses,
+/// and nobody reads past a couple hundred bytes of payload. Applied
+/// uniformly by every check driver — naive, prepared, and memoized
+/// paths cap identically (the query cache stores *uncapped* bytes;
+/// truncation is a rendering concern) — and rendered honestly in SARIF
+/// via [`Finding::witness_truncated`].
+pub const MAX_WITNESS_BYTES: usize = 256;
+
 /// A policy violation for one labeled nonterminal at one hotspot.
 #[derive(Debug, Clone)]
 pub struct Finding {
@@ -21,8 +32,12 @@ pub struct Finding {
     /// Which check fired.
     pub kind: CheckKind,
     /// A witness tainted substring demonstrating the violation, when
-    /// one could be extracted.
+    /// one could be extracted (capped at [`MAX_WITNESS_BYTES`]).
     pub witness: Option<Vec<u8>>,
+    /// Whether `witness` was truncated to [`MAX_WITNESS_BYTES`];
+    /// renderers must say so rather than present the prefix as the
+    /// full counterexample.
+    pub witness_truncated: bool,
     /// A complete example query with the witness spliced into the
     /// shortest query context — what the database would actually
     /// receive.
@@ -35,11 +50,25 @@ pub struct Finding {
     pub at: Option<(u32, u32)>,
 }
 
+impl Finding {
+    /// Truncates the witness to [`MAX_WITNESS_BYTES`], recording the
+    /// truncation. Idempotent; called by every check driver just
+    /// before the report leaves the checker.
+    pub fn cap_witness(&mut self) {
+        if let Some(w) = &mut self.witness {
+            if w.len() > MAX_WITNESS_BYTES {
+                w.truncate(MAX_WITNESS_BYTES);
+                self.witness_truncated = true;
+            }
+        }
+    }
+}
+
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[{}] {}: {}", self.taint, self.name, self.kind)?;
         if let Some(w) = &self.witness {
-            write!(f, " (witness: {:?})", String::from_utf8_lossy(w))?;
+            write!(f, " (witness: {:?}{})", String::from_utf8_lossy(w), if self.witness_truncated { " [truncated]" } else { "" })?;
         }
         if !self.detail.is_empty() {
             write!(f, " — {}", self.detail)?;
@@ -104,6 +133,7 @@ mod tests {
             taint: Taint::DIRECT,
             kind: CheckKind::OddQuotes,
             witness: Some(b"1'".to_vec()),
+            witness_truncated: false,
             example_query: None,
             detail: String::new(),
             at: None,

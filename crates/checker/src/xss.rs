@@ -17,6 +17,8 @@
 //!   tokens are reported unless the language is a bare alphanumeric
 //!   word.
 
+use std::sync::Arc;
+
 use strtaint_automata::{ByteSet, Dfa, Nfa};
 use strtaint_grammar::budget::{Budget, BudgetExceeded, DegradeAction};
 use strtaint_grammar::lang::shortest_string;
@@ -24,8 +26,10 @@ use strtaint_grammar::prepared::PreparedCache;
 use strtaint_grammar::{Cfg, NtId};
 use strtaint_sql::VAR_MARKER;
 
-use crate::abstraction::{marked_grammar, maximal_labeled};
+use crate::abstraction::maximal_labeled;
 use crate::engine::{run_parallel, Engine, Qdfa};
+use crate::pmemo::PreparedMemo;
+use crate::qcache::QueryCache;
 use crate::report::{CheckKind, Finding, HotspotReport};
 
 /// HTML contexts a marker can occur in.
@@ -108,6 +112,11 @@ pub struct XssChecker {
     has_sq: Qdfa,
     non_word: Qdfa,
     naive_engine: bool,
+    /// Cross-page verdict cache (see `qcache`); all XSS queries are
+    /// emptiness-only, so witness-replay concerns never arise here.
+    qcache: Option<Arc<QueryCache>>,
+    /// Cross-page preparation memo (see `pmemo`), gated with `qcache`.
+    pmemo: Option<Arc<PreparedMemo>>,
 }
 
 impl XssChecker {
@@ -120,6 +129,13 @@ impl XssChecker {
     /// through the naive reference engine (see
     /// [`crate::CheckOptions::naive_engine`]).
     pub fn with_naive_engine(naive_engine: bool) -> Self {
+        Self::with_engine_options(naive_engine, true)
+    }
+
+    /// Builds the checker with explicit engine routing: naive
+    /// reference path and/or cross-page verdict memoization (see
+    /// [`crate::CheckOptions::query_cache`]).
+    pub fn with_engine_options(naive_engine: bool, query_cache: bool) -> Self {
         let contains = |b: u8| {
             Dfa::from_nfa(
                 &Nfa::any_string()
@@ -143,6 +159,16 @@ impl XssChecker {
                     .complement(),
             ),
             naive_engine,
+            qcache: (query_cache && !naive_engine).then(|| Arc::new(QueryCache::new())),
+            pmemo: (query_cache && !naive_engine).then(|| Arc::new(PreparedMemo::new())),
+        }
+    }
+
+    /// Stamps the config-fingerprint namespace for cross-page verdict
+    /// memoization (see [`crate::Checker::set_query_scope`]).
+    pub fn set_query_scope(&self, scope: u64) {
+        if let Some(qc) = &self.qcache {
+            qc.set_scope(scope);
         }
     }
 
@@ -172,7 +198,13 @@ impl XssChecker {
         let mut report = HotspotReport::default();
         let candidates = maximal_labeled(cfg, root);
         report.checked = candidates.len();
-        let mut engine = Engine::new(cache, self.naive_engine);
+        let mut engine = Engine::new(
+            cache,
+            self.naive_engine,
+            self.qcache.as_deref(),
+            self.pmemo.as_deref(),
+            false,
+        );
         for x in candidates {
             let _span = strtaint_obs::Span::enter_with("check:xss", || cfg.name(x).to_owned());
             match self.check_one(cfg, root, x, budget, &mut engine) {
@@ -190,6 +222,7 @@ impl XssChecker {
                         taint: cfg.taint(x),
                         kind: CheckKind::BudgetExhausted,
                         witness: None,
+                        witness_truncated: false,
                         example_query: None,
                         detail: err.to_string(),
                         at: None,
@@ -198,6 +231,9 @@ impl XssChecker {
             }
         }
         report.engine = engine.stats;
+        for f in &mut report.findings {
+            f.cap_witness();
+        }
         report
     }
 
@@ -225,9 +261,6 @@ impl XssChecker {
         budget: &Budget,
         engine: &mut Engine<'_>,
     ) -> Result<Option<Finding>, BudgetExceeded> {
-        if cfg.is_empty_language(x) {
-            return Ok(None);
-        }
         let finding = |detail: &str, witness: Option<Vec<u8>>| {
             Ok(Some(Finding {
                 nonterminal: x,
@@ -235,17 +268,21 @@ impl XssChecker {
                 taint: cfg.taint(x),
                 kind: CheckKind::NotDerivable,
                 witness,
+                witness_truncated: false,
                 example_query: None,
                 detail: format!("XSS: {detail}"),
                 at: None,
             }))
         };
-        let (marked, mroot) = marked_grammar(cfg, root, x, &Default::default());
         // One preparation of the marked grammar serves all four context
         // queries; one preparation of (cfg, x) serves all four
         // containment queries (shared with other sinks via the cache).
-        let mut tm = engine.target_local(&marked, mroot);
-        let mut tx = engine.target(cfg, x);
+        // An empty L(X) has nothing to check.
+        let Some(mut tx) = engine.target(cfg, x) else {
+            return Ok(None);
+        };
+        let mut scratch = None;
+        let mut tm = engine.target_marked(cfg, root, x, &mut scratch);
         // Text context: a `<` opens attacker markup.
         if !engine.is_empty(&mut tm, &self.in_text, budget)?
             && !engine.is_empty(&mut tx, &self.has_lt, budget)?

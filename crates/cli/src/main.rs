@@ -26,6 +26,16 @@
 //!                   lower every file per page instead of sharing one
 //!                   AST→IR summary cache across entries (escape hatch
 //!                   for isolating cache bugs; results are identical)
+//!   --no-query-cache
+//!                   recompute every intersection query instead of
+//!                   replaying memoized verdicts from the cross-page
+//!                   query cache (escape hatch for isolating cache
+//!                   bugs; verdicts and witness bytes are identical)
+//!   --eager-witness
+//!                   extract every witness live instead of replaying
+//!                   witness bytes from the query cache; emptiness
+//!                   verdicts still memoize (escape hatch; results
+//!                   are identical)
 //!   --stats         print one table of engine and summary-cache
 //!                   counters (intersection queries, normalizations
 //!                   saved, realized triples, early exits, cache
@@ -60,7 +70,8 @@ use strtaint::{
 
 const USAGE: &str = "usage: strtaint [--xss] [--policy LIST] [--slice] [--json] [--sarif] \
                      [--include SITE=FILE] [--timeout SECS] [--fuel N] \
-                     [--no-summary-cache] [--stats] [--trace-json FILE] \
+                     [--no-summary-cache] [--no-query-cache] [--eager-witness] \
+                     [--stats] [--trace-json FILE] \
                      <dir> <entry.php>...\n\
                      \x20      strtaint --list-policies\n\
                      \x20      strtaint serve --dir <dir> [options]";
@@ -72,6 +83,8 @@ struct Options {
     json: bool,
     sarif: bool,
     no_summary_cache: bool,
+    no_query_cache: bool,
+    eager_witness: bool,
     stats: bool,
     trace_json: Option<String>,
     dir: String,
@@ -105,6 +118,12 @@ impl RunStats {
                 self.engine.realized_triples,
             ),
             ("engine.early_exits".to_owned(), self.engine.early_exits),
+            ("engine.completions".to_owned(), self.engine.completions),
+            ("qcache.hits".to_owned(), self.engine.qcache_hits),
+            ("qcache.misses".to_owned(), self.engine.qcache_misses),
+            ("qcache.evictions".to_owned(), self.engine.qcache_evictions),
+            ("witness.skipped".to_owned(), self.engine.witness_skipped),
+            ("prefilter.skips".to_owned(), self.engine.prefilter_skips),
             ("summary_cache.hits".to_owned(), self.cache_hits),
             ("summary_cache.misses".to_owned(), self.cache_misses),
         ];
@@ -125,6 +144,8 @@ fn parse_args() -> Result<Options, String> {
         json: false,
         sarif: false,
         no_summary_cache: false,
+        no_query_cache: false,
+        eager_witness: false,
         stats: false,
         trace_json: None,
         dir: String::new(),
@@ -162,6 +183,8 @@ fn parse_args() -> Result<Options, String> {
             "--json" => opts.json = true,
             "--sarif" => opts.sarif = true,
             "--no-summary-cache" => opts.no_summary_cache = true,
+            "--no-query-cache" => opts.no_query_cache = true,
+            "--eager-witness" => opts.eager_witness = true,
             "--stats" => opts.stats = true,
             "--trace-json" => {
                 let v = args.next().ok_or("--trace-json requires FILE")?;
@@ -244,7 +267,7 @@ fn emit_json(reports: &[PageReport], stats: Option<&RunStats>) {
             println!(
                 "      {{\"file\": \"{}\", \"line\": {}, \"sink\": \"{}\", \
                  \"source\": \"{}\", \"taint\": \"{}\", \"check\": \"{}\", \
-                 \"witness\": {}}}{}",
+                 \"witness\": {}, \"witness_truncated\": {}}}{}",
                 json_escape(&h.file),
                 h.span.line,
                 json_escape(&h.label),
@@ -252,6 +275,7 @@ fn emit_json(reports: &[PageReport], stats: Option<&RunStats>) {
                 f.taint,
                 f.kind,
                 witness,
+                f.witness_truncated,
                 if fi + 1 < findings.len() { "," } else { "" }
             );
         }
@@ -353,8 +377,16 @@ fn main() -> ExitCode {
     }
     strtaint_obs::reset();
 
-    let checker = Checker::new();
-    let policy_checker = opts.policies.as_ref().map(|_| PolicyChecker::new());
+    let check_opts = strtaint::CheckOptions {
+        query_cache: !opts.no_query_cache,
+        eager_witness: opts.eager_witness,
+        ..Default::default()
+    };
+    let checker = Checker::with_options(check_opts.clone());
+    let policy_checker = opts
+        .policies
+        .as_ref()
+        .map(|_| PolicyChecker::with_options(check_opts));
     let summaries = SummaryCache::new();
 
     let mut reports = Vec::new();

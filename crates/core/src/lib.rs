@@ -135,7 +135,10 @@ pub fn analyze_page_cached(
     let t1 = Instant::now();
     // All hotspots of the page are checked in one parallel batch
     // sharing a prepared-grammar cache; reports come back in program
-    // order, identical to the serial loop.
+    // order, identical to the serial loop. The cross-page query cache
+    // is namespaced by the config fingerprint so memoized verdicts
+    // never leak across configs (same rule the artifact store applies).
+    checker.set_query_scope(config.fingerprint());
     let roots: Vec<NtId> = analysis.hotspots.iter().map(|h| h.root).collect();
     let reports = checker.check_hotspots_with(&analysis.cfg, &roots, &budget, hotspot_workers());
     let mut hotspots = Vec::new();
@@ -229,6 +232,9 @@ pub fn analyze_page_policies_cached(
     }
     let items: Vec<(NtId, String)> =
         sites.iter().map(|h| (h.root, h.policy.clone())).collect();
+    // Namespace the cross-page query caches by config fingerprint
+    // (see `analyze_page_cached`).
+    checker.set_query_scope(config.fingerprint());
     let reports = checker.check_hotspots_with(&analysis.cfg, &items, &budget, hotspot_workers());
     let mut hotspots = Vec::new();
     for (h, mut r) in sites.iter().zip(reports) {
@@ -311,6 +317,7 @@ pub fn analyze_page_xss_cached(
 
     let t1 = Instant::now();
     let checker = strtaint_checker::XssChecker::new();
+    checker.set_query_scope(config.fingerprint());
     let roots: Vec<NtId> = analysis.echo_sinks.iter().map(|h| h.root).collect();
     let reports = checker.check_echoes_with(&analysis.cfg, &roots, &budget, hotspot_workers());
     let mut hotspots = Vec::new();

@@ -51,7 +51,15 @@ pub fn sarif(reports: &[PageReport]) -> String {
             f.kind,
             f.witness
                 .as_deref()
-                .map(|w| format!(" (witness: {})", String::from_utf8_lossy(w)))
+                .map(|w| {
+                    // Render a capped witness honestly: the prefix is
+                    // not the full counterexample.
+                    format!(
+                        " (witness: {}{})",
+                        String::from_utf8_lossy(w),
+                        if f.witness_truncated { "… [truncated]" } else { "" }
+                    )
+                })
                 .unwrap_or_default()
         );
         line("      {");

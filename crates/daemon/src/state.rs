@@ -418,6 +418,12 @@ impl DaemonState {
         r.gauge("engine.normalizations_saved").set(e.normalizations_saved);
         r.gauge("engine.realized_triples").set(e.realized_triples);
         r.gauge("engine.early_exits").set(e.early_exits);
+        r.gauge("engine.completions").set(e.completions);
+        r.gauge("qcache.hits").set(e.qcache_hits);
+        r.gauge("qcache.misses").set(e.qcache_misses);
+        r.gauge("qcache.evictions").set(e.qcache_evictions);
+        r.gauge("witness.skipped").set(e.witness_skipped);
+        r.gauge("prefilter.skips").set(e.prefilter_skips);
         r.gauge("summary_cache.hits").set(self.summaries.hits());
         r.gauge("summary_cache.misses").set(self.summaries.misses());
         r.gauge("summary_cache.entries").set(self.summaries.len() as u64);

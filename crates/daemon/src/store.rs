@@ -38,9 +38,13 @@ pub const FORMAT_VERSION: f64 = 1.0;
 
 /// The engine version stamped into artifacts: grammar construction,
 /// checking logic, and the (release-dependent) hasher all live in this
-/// workspace, so the package version is the right granularity.
+/// workspace, so the package version is the right granularity. The
+/// `+qc1` marker records the canonical-witness change that shipped
+/// with the query cache: witnesses are now (length, lexicographic)
+/// minimal, so artifacts rendered by older engines must be recomputed
+/// rather than replayed.
 pub fn engine_version() -> &'static str {
-    concat!("strtaint-", env!("CARGO_PKG_VERSION"))
+    concat!("strtaint-", env!("CARGO_PKG_VERSION"), "+qc1")
 }
 
 /// Counters describing the store's behavior this process lifetime,

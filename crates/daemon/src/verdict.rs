@@ -84,6 +84,7 @@ pub fn page_to_json(report: &PageReport) -> Json {
                                 String::from_utf8_lossy(w).into_owned()
                             })),
                         ),
+                        ("witness_truncated", Json::Bool(f.witness_truncated)),
                         (
                             "example_query",
                             opt_str(f.example_query.as_deref().map(|q| {
@@ -138,6 +139,21 @@ pub fn page_to_json(report: &PageReport) -> Json {
                             Json::Num(r.engine.realized_triples as f64),
                         ),
                         ("early_exits", Json::Num(r.engine.early_exits as f64)),
+                        ("completions", Json::Num(r.engine.completions as f64)),
+                        ("qcache_hits", Json::Num(r.engine.qcache_hits as f64)),
+                        ("qcache_misses", Json::Num(r.engine.qcache_misses as f64)),
+                        (
+                            "qcache_evictions",
+                            Json::Num(r.engine.qcache_evictions as f64),
+                        ),
+                        (
+                            "witness_skipped",
+                            Json::Num(r.engine.witness_skipped as f64),
+                        ),
+                        (
+                            "prefilter_skips",
+                            Json::Num(r.engine.prefilter_skips as f64),
+                        ),
                     ]),
                 ),
             ])

@@ -164,6 +164,12 @@ struct BudgetInner {
     /// Remaining fuel. Irrelevant when `unlimited_fuel`.
     fuel: AtomicU64,
     unlimited_fuel: bool,
+    /// The fuel limit this budget started with (`None` = unlimited) —
+    /// static for the budget's lifetime, unlike the draining counter
+    /// above. Together with `max_grammar` it forms the *budget class*
+    /// used to key memoized query verdicts (`fuel_limit`/`grammar_cap`):
+    /// two budgets of the same class trip on the same charge schedule.
+    fuel_limit: Option<u64>,
     /// Cap on intermediate grammar size (nonterminal count).
     max_grammar: Option<usize>,
     /// Charge counter driving the amortized deadline check.
@@ -229,6 +235,7 @@ impl Budget {
                 deadline: timeout.map(|t| Instant::now() + t),
                 fuel: AtomicU64::new(fuel.unwrap_or(u64::MAX)),
                 unlimited_fuel: fuel.is_none(),
+                fuel_limit: fuel,
                 max_grammar,
                 ticks: AtomicU64::new(0),
                 exhausted: AtomicBool::new(false),
@@ -252,6 +259,17 @@ impl Budget {
         } else {
             Some(self.inner.fuel.load(Ordering::Relaxed))
         }
+    }
+
+    /// The static fuel limit this budget was constructed with (`None` =
+    /// unlimited). Unlike [`Self::fuel_left`] this never changes.
+    pub fn fuel_limit(&self) -> Option<u64> {
+        self.inner.fuel_limit
+    }
+
+    /// The static grammar-size cap (`None` = unlimited).
+    pub fn grammar_cap(&self) -> Option<usize> {
+        self.inner.max_grammar
     }
 
     fn trip(&self, resource: Resource) -> BudgetExceeded {

@@ -143,16 +143,29 @@ fn scc_ids(g: &Cfg) -> Vec<u32> {
     comp
 }
 
-/// Computes a shortest string derivable from `root`, if any.
+/// Computes the **canonical** shortest string derivable from `root`,
+/// if any: the (length, lexicographic) minimum of the language.
 ///
 /// Used for witness strings in bug reports. Returns `None` for an empty
-/// language.
+/// language. The lexicographic tie-break makes the result a function of
+/// the *language* alone, not of the grammar that presents it — the
+/// naive and prepared intersection engines build structurally different
+/// grammars for the same intersection, and memoized verdicts replay
+/// witness bytes verbatim, so report bytes stay identical across all of
+/// them only because every path extracts this same canonical string.
+///
+/// The tie-break is compositional: in a minimal-length derivation every
+/// nonterminal occurrence is expanded at its own minimal length, so the
+/// candidates for one production all have equal component widths, and
+/// comparing their concatenations lexicographically reduces to taking
+/// the componentwise (length, lex)-minimum.
 pub fn shortest_string(g: &Cfg, root: NtId) -> Option<Vec<u8>> {
     let n = g.num_nonterminals();
     let ids = g.reachable_list(root);
     let mut best: Vec<Option<Vec<u8>>> = vec![None; n];
-    // Iterate to fixpoint over the reachable subgraph; lengths only
-    // shrink, so this terminates.
+    // Iterate to fixpoint over the reachable subgraph; values only
+    // decrease in the well-founded (length, bytes) order, so this
+    // terminates.
     loop {
         let mut changed = false;
         for (lhs, rhs) in ids
@@ -178,7 +191,10 @@ pub fn shortest_string(g: &Cfg, root: NtId) -> Option<Vec<u8>> {
             }
             let better = match &best[lhs.index()] {
                 None => true,
-                Some(cur) => candidate.len() < cur.len(),
+                Some(cur) => {
+                    candidate.len() < cur.len()
+                        || (candidate.len() == cur.len() && candidate < *cur)
+                }
             };
             if better {
                 best[lhs.index()] = Some(candidate);

@@ -50,9 +50,11 @@ pub mod intersect;
 pub mod lang;
 pub mod normal;
 pub mod prepared;
+pub mod stats;
 pub mod symbol;
 
 pub use budget::{Budget, BudgetExceeded, DegradeAction, Degradation, Resource};
-pub use prepared::{EngineStats, Intersection, PreparedCache, PreparedGrammar, QueryMode};
+pub use prepared::{Intersection, PreparedCache, PreparedGrammar, QueryMode};
+pub use stats::EngineStats;
 pub use cfg::Cfg;
 pub use symbol::{NtId, Symbol, Taint};

@@ -30,8 +30,8 @@
 //! Realized end-state sets are kept **sorted** and probed with
 //! `binary_search` (debug assertions check orderedness), replacing the
 //! linear `contains` scans of the naive engine. Engine work is observable
-//! through [`EngineStats`], which reports surface on
-//! `HotspotReport`/`AppReport`.
+//! through [`EngineStats`](crate::stats::EngineStats), which reports
+//! surface on `HotspotReport`/`AppReport`.
 //!
 //! The naive path in [`crate::intersect`] is retained as the reference
 //! implementation; equivalence is property-tested in
@@ -85,6 +85,34 @@ pub struct PreparedGrammar {
     occ_right: Vec<Vec<usize>>,
     /// Sorted distinct terminal bytes the grammar mentions.
     bytes: Vec<u8>,
+    /// Structural fingerprint of `(norm_root, prods)` — see
+    /// [`Self::fingerprint`].
+    fingerprint: (u64, u64),
+    /// Whether `L(root)` is empty, read off the trimmed grammar at
+    /// construction — see [`Self::is_empty_language`].
+    empty: bool,
+}
+
+/// 64-bit FNV-1a over a byte stream, parameterized by offset basis so
+/// two independent streams give a 128-bit combined fingerprint.
+struct Fnv(u64);
+
+impl Fnv {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new(basis: u64) -> Fnv {
+        Fnv(basis)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+    }
+
+    fn u32(&mut self, v: u32) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
 }
 
 impl fmt::Debug for PreparedGrammar {
@@ -103,6 +131,10 @@ impl PreparedGrammar {
     pub fn new(g: &Cfg, root: NtId) -> Self {
         let _span = strtaint_obs::Span::enter_with("prepare", || g.name(root).to_owned());
         let (trimmed, troot) = g.trimmed(root);
+        // Trimming keeps a production only when every RHS symbol is
+        // productive, so the root retains a production iff it derives
+        // some string: emptiness of L(root) is free to read off here.
+        let empty = trimmed.productions(troot).is_empty();
         let norm = normalize(&trimmed);
         let nv = norm.num_nonterminals();
 
@@ -151,6 +183,54 @@ impl PreparedGrammar {
         bytes.sort_unstable();
         bytes.dedup();
 
+        // Structural fingerprint over the exact normalized production
+        // sequence. Names and taints are excluded on purpose: they
+        // affect neither query verdicts nor (canonical) witness bytes,
+        // so structurally identical grammars from different pages hash
+        // equal — which is what makes cross-page verdict memoization
+        // hit. Trimming renumbers nonterminals in root-discovery order,
+        // so identical shapes produce identical id sequences here.
+        let mut h1 = Fnv::new(0xcbf2_9ce4_8422_2325);
+        let mut h2 = Fnv::new(0x6c62_272e_07bb_0142);
+        for h in [&mut h1, &mut h2] {
+            h.u32(troot.0);
+            h.u32(nv as u32);
+            for &(lhs, p) in &prods {
+                h.u32(lhs.0);
+                match p {
+                    P::Eps => h.byte(0),
+                    P::T(a) => {
+                        h.byte(1);
+                        h.byte(a);
+                    }
+                    P::N(x) => {
+                        h.byte(2);
+                        h.u32(x.0);
+                    }
+                    P::TT(a, b) => {
+                        h.byte(3);
+                        h.byte(a);
+                        h.byte(b);
+                    }
+                    P::TN(a, x) => {
+                        h.byte(4);
+                        h.byte(a);
+                        h.u32(x.0);
+                    }
+                    P::NT(x, b) => {
+                        h.byte(5);
+                        h.u32(x.0);
+                        h.byte(b);
+                    }
+                    P::NN(x, y) => {
+                        h.byte(6);
+                        h.u32(x.0);
+                        h.u32(y.0);
+                    }
+                }
+            }
+        }
+
         PreparedGrammar {
             norm,
             norm_root: troot,
@@ -161,12 +241,41 @@ impl PreparedGrammar {
             occ_left,
             occ_right,
             bytes,
+            fingerprint: (h1.0, h2.0),
+            empty,
         }
     }
 
     /// Number of nonterminals in the normalized grammar.
     pub fn num_nonterminals(&self) -> usize {
         self.norm.num_nonterminals()
+    }
+
+    /// Whether the prepared language is empty — equivalent to
+    /// `Cfg::is_empty_language` on the original `(g, root)`, but O(1):
+    /// trimming already ran the productivity fixpoint, so checkers that
+    /// hold a preparation need not re-walk the raw grammar.
+    pub fn is_empty_language(&self) -> bool {
+        self.empty
+    }
+
+    /// Structural fingerprint of the normalized grammar (128 bits as a
+    /// pair of independent 64-bit FNV-1a hashes over the production
+    /// sequence). Equal fingerprints mean — up to hash collision —
+    /// byte-identical `(norm_root, prods)` sequences, so two prepared
+    /// grammars with equal fingerprints run any query with the same
+    /// verdict, the same charge schedule, and the same canonical
+    /// witness: exactly the contract memoized verdict replay needs.
+    pub fn fingerprint(&self) -> (u64, u64) {
+        self.fingerprint
+    }
+
+    /// The sorted distinct terminal bytes the grammar can emit. Every
+    /// string of the language is a word over this alphabet — the fact
+    /// the checker's attack-fragment prefilter exploits to prove
+    /// non-membership without an intersection.
+    pub fn alphabet(&self) -> &[u8] {
+        &self.bytes
     }
 
     /// Runs the Bar-Hillel worklist fixpoint against `dfa`.
@@ -215,6 +324,8 @@ impl PreparedGrammar {
             by_end: vec![HashMap::new(); self.norm.num_nonterminals()],
             worklist: Vec::new(),
             triples: 0,
+            charged: 0,
+            completions: 0,
             hit: false,
             exited_early: false,
             seeded: false,
@@ -251,6 +362,15 @@ pub struct Intersection<'g, 'd> {
     by_end: Vec<HashMap<u32, Vec<u32>>>,
     worklist: Vec<(NtId, u32, u32)>,
     triples: usize,
+    /// Fuel units successfully charged to the budget by this
+    /// intersection so far (query + resumption + reconstruction). The
+    /// query cache records this so a replayed verdict charges exactly
+    /// what recomputing it would.
+    charged: u64,
+    /// Times a suspended early-exit run was actually resumed
+    /// ([`Self::complete`] with pending work). Lazy witness extraction
+    /// promises this stays zero for empty intersections.
+    completions: u64,
     /// Latched when an accepting root triple is realized.
     hit: bool,
     exited_early: bool,
@@ -278,6 +398,7 @@ impl<'g, 'd> Intersection<'g, 'd> {
     /// Records `X_{ij}` if new. Returns `Err` on budget exhaustion.
     fn discover(&mut self, budget: &Budget, x: NtId, i: u32, j: u32) -> Result<(), BudgetExceeded> {
         budget.charge(1)?;
+        self.charged += 1;
         let ends = self.by_start[x.index()].entry(i).or_default();
         debug_assert!(ends.windows(2).all(|w| w[0] < w[1]), "ends not sorted");
         if let Err(pos) = ends.binary_search(&j) {
@@ -339,6 +460,7 @@ impl<'g, 'd> Intersection<'g, 'd> {
             }
         } {
             budget.charge(1)?;
+            self.charged += 1;
             for oi in 0..self.prep.occ_unit[x.index()].len() {
                 let pid = self.prep.occ_unit[x.index()][oi];
                 let (lhs, _) = self.prep.prods[pid];
@@ -409,8 +531,23 @@ impl<'g, 'd> Intersection<'g, 'd> {
         self.exited_early
     }
 
+    /// Fuel units this intersection has successfully charged so far.
+    pub fn charged(&self) -> u64 {
+        self.charged
+    }
+
+    /// Times a suspended run was resumed to completion — zero for any
+    /// intersection whose worklist was already drained (in particular,
+    /// every *empty* query result).
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+
     /// Resumes the fixpoint to completion (no-op if already complete).
     pub fn complete(&mut self, budget: &Budget) -> Result<(), BudgetExceeded> {
+        if self.exited_early {
+            self.completions += 1;
+        }
         self.run(budget, QueryMode::Full)?;
         self.exited_early = false;
         Ok(())
@@ -428,11 +565,22 @@ impl<'g, 'd> Intersection<'g, 'd> {
         let out_root = out.add_nonterminal(format!("{}∩", self.prep.root_name));
         out.set_taint(out_root, self.prep.root_taint);
 
+        // Realized-triple iteration order: `by_start` is a HashMap, so
+        // its raw order varies per instance. Reconstruction walks the
+        // start states sorted instead — the output grammar (nonterminal
+        // numbering, production order) is then a pure function of the
+        // realized set, identical across engines, runs, and threads.
+        let sorted_starts = |x: NtId| -> Vec<u32> {
+            let mut starts: Vec<u32> = self.by_start[x.index()].keys().copied().collect();
+            starts.sort_unstable();
+            starts
+        };
+
         // Create result nonterminals for realized triples.
         let mut map: HashMap<(u32, u32, u32), NtId> = HashMap::new();
         for x in norm.nonterminals() {
-            for (&i, ends) in &self.by_start[x.index()] {
-                for &j in ends {
+            for i in sorted_starts(x) {
+                for &j in &self.by_start[x.index()][&i] {
                     let id = out.add_nonterminal(norm.name(x));
                     out.set_taint(id, norm.taint(x)); // TAINTIF
                     map.insert((x.0, i, j), id);
@@ -441,10 +589,12 @@ impl<'g, 'd> Intersection<'g, 'd> {
         }
 
         // Productions.
+        let mut charged_here = 0u64;
         for x in norm.nonterminals() {
-            for (&i, ends) in &self.by_start[x.index()] {
-                for &j in ends {
+            for i in sorted_starts(x) {
+                for &j in &self.by_start[x.index()][&i] {
                     budget.charge(1)?;
+                    charged_here += 1;
                     let lhs = map[&(x.0, i, j)];
                     for rhs in norm.productions(x) {
                         match rhs.as_slice() {
@@ -519,6 +669,7 @@ impl<'g, 'd> Intersection<'g, 'd> {
                 }
             }
         }
+        self.charged += charged_here;
         Ok((out, out_root))
     }
 
@@ -535,47 +686,6 @@ impl<'g, 'd> Intersection<'g, 'd> {
         }
         let (out, root) = self.grammar(budget)?;
         Ok(crate::lang::shortest_string(&out, root))
-    }
-}
-
-/// Cumulative counters for the intersection engine, surfaced on
-/// hotspot/app reports behind `--stats`.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub struct EngineStats {
-    /// Intersection queries answered.
-    pub queries: u64,
-    /// Grammar preparations performed (trim + normalize).
-    pub normalizations: u64,
-    /// Queries served by an already-prepared grammar.
-    pub normalizations_saved: u64,
-    /// Realized `X_{ij}` triples across all queries.
-    pub realized_triples: u64,
-    /// Emptiness queries that suspended before the full fixpoint.
-    pub early_exits: u64,
-}
-
-impl EngineStats {
-    /// Adds `other` into `self`.
-    pub fn merge(&mut self, other: &EngineStats) {
-        self.queries += other.queries;
-        self.normalizations += other.normalizations;
-        self.normalizations_saved += other.normalizations_saved;
-        self.realized_triples += other.realized_triples;
-        self.early_exits += other.early_exits;
-    }
-}
-
-impl fmt::Display for EngineStats {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} queries, {} normalizations ({} saved), {} triples, {} early exits",
-            self.queries,
-            self.normalizations,
-            self.normalizations_saved,
-            self.realized_triples,
-            self.early_exits
-        )
     }
 }
 
@@ -659,7 +769,10 @@ mod tests {
             let naive = shortest_string(&out, root);
             match (&witness, &naive) {
                 (Some(w), Some(n)) => {
-                    assert_eq!(w.len(), n.len(), "witness length differs on {pattern}");
+                    // Both engines produce the canonical (length,
+                    // lexicographic)-minimal witness, so the bytes
+                    // match exactly — the query cache replays them.
+                    assert_eq!(w, n, "witness bytes differ on {pattern}");
                     assert!(out.derives(root, w), "witness not in naive language");
                 }
                 (None, None) => {}

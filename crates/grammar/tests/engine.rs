@@ -100,19 +100,55 @@ proptest! {
         prop_assert_eq!(ix.is_empty(), naive_empty, "pattern {}", pat);
 
         // Witness: both engines must find one iff nonempty, and both
-        // must be shortest (so their lengths agree even though the
-        // strings may differ).
+        // produce the *canonical* (length, lexicographic)-minimal
+        // string — so the bytes agree exactly, not just the lengths.
+        // The query cache depends on this: replayed witness bytes must
+        // be indistinguishable from recomputed ones.
         let naive_witness = {
             let (gx, rx) = intersect(&g, root, &dfa);
             shortest_string(&gx, rx)
         };
         let prep_witness = ix.witness(&budget).expect("unlimited budget");
-        prop_assert_eq!(naive_witness.is_some(), prep_witness.is_some());
-        if let (Some(nw), Some(pw)) = (&naive_witness, &prep_witness) {
-            prop_assert_eq!(nw.len(), pw.len());
+        prop_assert_eq!(&naive_witness, &prep_witness, "pattern {}", pat);
+        if let Some(pw) = &prep_witness {
             prop_assert!(g.derives(root, pw), "witness {:?} not derivable", pw);
             prop_assert!(dfa.accepts(pw), "witness {:?} rejected by DFA", pw);
         }
+    }
+
+    /// Lazy witness extraction: an early-exited query resumed on
+    /// demand (`witness()` after `is_empty()`) must produce the same
+    /// canonical bytes as an eager full-mode run — and a query used
+    /// only for its emptiness answer must perform zero completions.
+    #[test]
+    fn lazy_witness_matches_eager((g, root) in grammar(), pat in pattern()) {
+        let dfa = Regex::new(pat).unwrap().match_dfa();
+        let classes = ClassDfa::new(&dfa);
+        let budget = Budget::unlimited();
+        let prep = PreparedGrammar::new(&g, root);
+
+        // Lazy path: decide emptiness first, extract only if needed —
+        // exactly the reporting-hotspot discipline of the checker.
+        let mut lazy = prep
+            .query(&classes, &budget, QueryMode::EarlyExit)
+            .expect("unlimited budget");
+        let lazy_witness = if lazy.is_empty() {
+            // Non-reporting: emptiness alone must not resume the
+            // fixpoint (zero `complete()` calls).
+            prop_assert_eq!(lazy.completions(), 0, "pattern {}", pat);
+            None
+        } else {
+            lazy.witness(&budget).expect("unlimited budget")
+        };
+
+        // Eager path: run the full fixpoint up front, then extract.
+        let mut eager = prep
+            .query(&classes, &budget, QueryMode::Full)
+            .expect("unlimited budget");
+        let eager_witness = eager.witness(&budget).expect("unlimited budget");
+
+        prop_assert_eq!(&lazy_witness, &eager_witness, "pattern {}", pat);
+        prop_assert_eq!(lazy.is_empty(), lazy_witness.is_none());
     }
 
     #[test]

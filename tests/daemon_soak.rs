@@ -225,8 +225,52 @@ fn soak_interleaved_fleet_traffic_has_no_cross_workspace_leakage() {
                 answered
             }));
         }
+        // A dedicated monitor polls the query-cache counters while the
+        // storm runs: accumulated engine stats only ever grow, so every
+        // sampled sequence must be non-decreasing. A decrease would
+        // mean counters are being reset or torn mid-merge.
+        let monitor = {
+            let socket = socket.clone();
+            scope.spawn(move || {
+                let mut client = Client::connect(&socket);
+                let mut samples: Vec<[f64; 4]> = Vec::new();
+                for _ in 0..30 {
+                    let m = client.send("{\"cmd\":\"metrics\",\"workspace\":\"ws0\"}");
+                    let metrics = m.get("metrics").expect("metrics member");
+                    let read = |name: &str| {
+                        metrics
+                            .get(name)
+                            .and_then(Json::as_num)
+                            .unwrap_or_else(|| panic!("gauge {name} missing"))
+                    };
+                    samples.push([
+                        read("qcache.hits"),
+                        read("qcache.misses"),
+                        read("qcache.evictions"),
+                        read("witness.skipped"),
+                    ]);
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                for w in samples.windows(2) {
+                    for k in 0..4 {
+                        assert!(
+                            w[1][k] >= w[0][k],
+                            "qcache counter {k} decreased mid-soak: {:?} -> {:?}",
+                            w[0],
+                            w[1]
+                        );
+                    }
+                }
+                samples.last().expect("samples nonempty")[1]
+            })
+        };
         let answered: usize = drivers.into_iter().map(|d| d.join().expect("driver")).sum();
         assert_eq!(answered, per_client * n_clients, "no request lost");
+        let final_misses = monitor.join().expect("monitor");
+        assert!(
+            final_misses > 0.0,
+            "soak drove analyses but the query cache saw no queries"
+        );
 
         // Leakage check: per workspace, the daemon's post-storm verdicts
         // must equal a serial single-workspace run over the same final

@@ -11,23 +11,23 @@ use strtaint_corpus::{apps, synth::synth_app, synth::SynthConfig, App};
 use strtaint_grammar::Budget;
 
 /// A comparable verdict for one hotspot: safety, counts, and every
-/// finding's identity. Witness *bytes* are excluded — both engines
-/// produce shortest witnesses, but tie-breaking among equally short
-/// strings follows reconstruction order, which is not part of the
-/// verdict.
+/// finding's identity *including witness bytes* — witnesses are
+/// canonical ((length, lexicographic)-minimal) in both engines, so
+/// tie-breaking among equally short strings is deterministic and the
+/// bytes are part of the verdict.
 #[derive(Debug, PartialEq, Eq)]
 struct Verdict {
     safe: bool,
     checked: usize,
     verified: usize,
-    findings: Vec<(String, String, bool)>, // (kind, source name, has witness)
+    findings: Vec<(String, String, Option<Vec<u8>>)>, // (kind, source name, witness)
 }
 
 fn verdict(r: &HotspotReport) -> Verdict {
     let mut findings: Vec<_> = r
         .findings
         .iter()
-        .map(|f| (format!("{:?}", f.kind), f.name.clone(), f.witness.is_some()))
+        .map(|f| (format!("{:?}", f.kind), f.name.clone(), f.witness.clone()))
         .collect();
     findings.sort();
     Verdict {
