@@ -33,7 +33,18 @@
 //! prefilter: false` explicitly so their meaning (and baseline
 //! continuity) survives the optimized path becoming the default.
 //!
+//! A seventh, `remedy`, is `optimized` plus everything `strtaint fix`
+//! and `strtaint profile` synthesize on top of a check: per-hotspot
+//! skeleton allowlists, one deterministic fix plan per finding, and
+//! the rendered guard-profile artifact. The row asserts its synthesis
+//! overhead stays under 10% of the optimized check itself — remediation
+//! evidence must ride along for free, not become a second checking
+//! wall.
+//!
 //! `scripts/bench.sh` merges this output into `BENCH_analyze.json`.
+
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -209,7 +220,82 @@ fn bench_check(c: &mut Criterion) {
             std::hint::black_box(findings)
         })
     });
+
+    // The remediation pipeline on top of the same warm optimized check:
+    // skeleton allowlists per hotspot, one fix plan per finding, and
+    // the rendered guard profile. The check and synthesis phases are
+    // timed separately per sample so the row can assert the synthesis
+    // overhead stays under 10% of the check itself.
+    let check_times: RefCell<Vec<Duration>> = RefCell::new(Vec::new());
+    let synth_times: RefCell<Vec<Duration>> = RefCell::new(Vec::new());
+    group.bench_function(format!("remedy/{pages}pages"), |b| {
+        b.iter(|| {
+            let t0 = Instant::now();
+            let checked: Vec<Vec<_>> = analyses
+                .iter()
+                .map(|a| {
+                    let roots: Vec<_> = a.hotspots.iter().map(|h| h.root).collect();
+                    optimized.check_hotspots_with(&a.cfg, &roots, &Budget::unlimited(), workers)
+                })
+                .collect();
+            let t_check = t0.elapsed();
+
+            let t1 = Instant::now();
+            let reports: Vec<_> = app
+                .entry_refs()
+                .iter()
+                .zip(analyses.iter().zip(checked))
+                .map(|(entry, (a, rs))| {
+                    let hotspots = a
+                        .hotspots
+                        .iter()
+                        .zip(rs)
+                        .map(|(h, mut r)| {
+                            let (skeletons, complete) = optimized.skeletons_for(&a.cfg, h.root);
+                            r.skeletons = skeletons;
+                            r.skeletons_complete = complete;
+                            (h.clone(), r)
+                        })
+                        .collect();
+                    strtaint::report::PageReport {
+                        entry: (*entry).to_owned(),
+                        hotspots,
+                        grammar_nonterminals: 0,
+                        grammar_productions: 0,
+                        analysis_time: Duration::default(),
+                        check_time: Duration::default(),
+                        warnings: Vec::new(),
+                        unmodeled: Vec::new(),
+                        files_analyzed: a.files_analyzed,
+                        inputs: a.inputs.iter().cloned().collect(),
+                        degradations: Vec::new(),
+                        skipped: None,
+                    }
+                })
+                .collect();
+            let plans = strtaint_remedy::plan_fixes(&app.vfs, &reports);
+            let profile =
+                strtaint_remedy::render_profile(&strtaint_remedy::profile_pages(&reports));
+            let t_synth = t1.elapsed();
+
+            check_times.borrow_mut().push(t_check);
+            synth_times.borrow_mut().push(t_synth);
+            std::hint::black_box((plans.len(), profile.len()))
+        })
+    });
     group.finish();
+
+    let median = |times: &RefCell<Vec<Duration>>| {
+        let mut v = times.borrow().clone();
+        v.sort();
+        v[v.len() / 2]
+    };
+    let (check, synth) = (median(&check_times), median(&synth_times));
+    assert!(
+        synth.as_secs_f64() < 0.10 * check.as_secs_f64(),
+        "remediation synthesis ({synth:?}) must stay under 10% of the \
+         optimized check ({check:?})"
+    );
 }
 
 criterion_group!(benches, bench_check);

@@ -158,6 +158,13 @@ impl Checker {
         &self.sql
     }
 
+    /// Exports this hotspot's canonical query-skeleton set (see
+    /// [`crate::skeletons`]). Shares the prepared memo with witness
+    /// splicing, so exporting after a check is a warm lookup.
+    pub fn skeletons_for(&self, cfg: &Cfg, root: NtId) -> (Vec<Vec<u8>>, bool) {
+        crate::skeletons::hotspot_skeletons(cfg, root, self.pmemo.as_deref())
+    }
+
     /// Checks one hotspot: `root` must derive every query string the
     /// hotspot can send.
     pub fn check_hotspot(&self, cfg: &Cfg, root: NtId) -> HotspotReport {

@@ -43,11 +43,23 @@ mod pmemo;
 mod prefilter;
 mod qcache;
 pub mod report;
+pub mod skeletons;
 pub mod xss;
 
 pub use checks::{CheckOptions, Checker};
 pub use policy_driver::{GenericChecker, PolicyChecker};
 pub use report::{CheckKind, Finding, HotspotReport, MAX_WITNESS_BYTES};
+pub use skeletons::skeleton_display;
 pub use strtaint_grammar::prepared::PreparedCache;
 pub use strtaint_grammar::stats::EngineStats;
 pub use xss::XssChecker;
+
+/// The engine-evidence version string stamped into persisted artifacts
+/// (the daemon's verdict store) and profile exports. The suffix names
+/// the evidence generations an artifact must carry to be replayable:
+/// `qc1` (query-cache era witness bytes) and `rm1` (remediation-era
+/// skeleton evidence). Bumping the suffix drops — rather than replays —
+/// every artifact written before the corresponding evidence existed.
+pub fn engine_version() -> &'static str {
+    concat!("strtaint-", env!("CARGO_PKG_VERSION"), "+qc1.rm1")
+}

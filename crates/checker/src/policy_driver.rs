@@ -76,6 +76,12 @@ impl GenericChecker {
         self.id
     }
 
+    /// Exports this hotspot's canonical skeleton set (see
+    /// [`crate::skeletons`]).
+    pub fn skeletons_for(&self, cfg: &Cfg, root: NtId) -> (Vec<Vec<u8>>, bool) {
+        crate::skeletons::hotspot_skeletons(cfg, root, self.pmemo.as_deref())
+    }
+
     /// Checks one hotspot of this policy, sharing `cache` across the
     /// page (cache scoping rules as in
     /// [`Checker::check_hotspot_cached`]).
@@ -256,6 +262,19 @@ impl PolicyChecker {
             return g.check_hotspot_cached(cfg, root, budget, cache);
         }
         self.sql.check_hotspot_cached(cfg, root, budget, cache)
+    }
+
+    /// Exports one hotspot's canonical skeleton set under the named
+    /// policy, dispatching exactly like [`Self::check_hotspot_cached`]
+    /// so the skeletons share the same per-policy prepared memo.
+    pub fn skeletons_for(&self, policy: &str, cfg: &Cfg, root: NtId) -> (Vec<Vec<u8>>, bool) {
+        if policy == strtaint_policy::XSS_POLICY {
+            return self.xss.skeletons_for(cfg, root);
+        }
+        if let Some(g) = self.generic.iter().find(|g| g.id == policy) {
+            return g.skeletons_for(cfg, root);
+        }
+        self.sql.skeletons_for(cfg, root)
     }
 
     /// Checks every `(root, policy)` hotspot of one page, on up to

@@ -95,12 +95,35 @@ pub struct HotspotReport {
     pub degradations: Vec<Degradation>,
     /// Intersection-engine work counters for this hotspot's checks.
     pub engine: EngineStats,
+    /// Canonical query skeletons for this hotspot: the (length, lex)-
+    /// minimal string per maximal labeled nonterminal with
+    /// `VAR_MARKER` at the tainted position (sorted, deduplicated).
+    /// Attached by the analysis driver via the checker's
+    /// `skeletons_for` API; empty when export was not requested.
+    pub skeletons: Vec<Vec<u8>>,
+    /// Whether `skeletons` covers every labeled nonterminal of the
+    /// hotspot; `false` when any candidate exceeded the reconstruction
+    /// budget (a guard profile built from an incomplete set must say
+    /// so rather than over-block).
+    pub skeletons_complete: bool,
 }
 
 impl HotspotReport {
     /// `true` when every tainted substring was verified confined.
     pub fn is_safe(&self) -> bool {
         self.findings.is_empty()
+    }
+
+    /// The skeleton set rendered for display or profile export: lossy
+    /// UTF-8 with the tainted-position marker shown as `?`. This is
+    /// the single conversion point both the cold CLI path and the
+    /// daemon's persisted verdicts use, which is what makes profile
+    /// output byte-identical across replay.
+    pub fn skeleton_strings(&self) -> Vec<String> {
+        self.skeletons
+            .iter()
+            .map(|s| crate::skeletons::skeleton_display(s))
+            .collect()
     }
 }
 
@@ -153,8 +176,20 @@ mod tests {
             verified: 2,
             degradations: vec![],
             engine: EngineStats::default(),
+            skeletons: vec![],
+            skeletons_complete: false,
         };
         assert!(r.is_safe());
         assert!(r.to_string().contains("verified"));
+    }
+
+    #[test]
+    fn skeleton_strings_mark_placeholder() {
+        let r = HotspotReport {
+            skeletons: vec![b"SELECT \x1a".to_vec()],
+            skeletons_complete: true,
+            ..HotspotReport::default()
+        };
+        assert_eq!(r.skeleton_strings(), vec!["SELECT ?".to_string()]);
     }
 }

@@ -172,6 +172,13 @@ impl XssChecker {
         }
     }
 
+    /// Exports this sink's canonical output-skeleton set (see
+    /// [`crate::skeletons`]); the marker stands at the tainted
+    /// position of the emitted document.
+    pub fn skeletons_for(&self, cfg: &Cfg, root: NtId) -> (Vec<Vec<u8>>, bool) {
+        crate::skeletons::hotspot_skeletons(cfg, root, self.pmemo.as_deref())
+    }
+
     /// Checks one `echo` sink whose emitted language is rooted at
     /// `root`.
     pub fn check_echo(&self, cfg: &Cfg, root: NtId) -> HotspotReport {

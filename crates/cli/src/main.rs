@@ -55,6 +55,14 @@
 //! (see `strtaint-daemon`); run `strtaint serve --help` for its flags
 //! and wire protocol.
 //!
+//! `strtaint fix` plans one deterministic repair per finding (drawn
+//! from the per-policy fix-template table), applies the unambiguous
+//! plans to an in-memory copy of the tree, and re-analyzes that copy
+//! to prove each finding discharged; `--apply` writes the repaired
+//! files back, `--sarif` emits the plans as SARIF `fixes`. `strtaint
+//! profile` exports each hotspot's query-skeleton allowlist as a
+//! versioned guard-profile artifact (see `strtaint-remedy`).
+//!
 //! Exit code: 0 = verified, 1 = findings reported (including
 //! budget-exhaustion findings: a degraded run exits 1, it never
 //! upgrades to 0), 2 = usage/IO error.
@@ -74,7 +82,9 @@ const USAGE: &str = "usage: strtaint [--xss] [--policy LIST] [--slice] [--json] 
                      [--stats] [--trace-json FILE] \
                      <dir> <entry.php>...\n\
                      \x20      strtaint --list-policies\n\
-                     \x20      strtaint serve --dir <dir> [options]";
+                     \x20      strtaint serve --dir <dir> [options]\n\
+                     \x20      strtaint fix [--policy LIST] [--apply|--sarif] <dir> <entry.php>...\n\
+                     \x20      strtaint profile [--policy LIST] <dir> <entry.php>...";
 
 struct Options {
     xss: bool,
@@ -233,92 +243,15 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
-use strtaint::render::json_escape;
 
 fn emit_json(reports: &[PageReport], stats: Option<&RunStats>) {
-    println!("{{\"pages\": [");
-    for (pi, p) in reports.iter().enumerate() {
-        println!("  {{");
-        println!("    \"entry\": \"{}\",", json_escape(&p.entry));
-        println!("    \"verified\": {},", p.is_verified());
-        println!("    \"degraded\": {},", p.is_degraded());
-        println!(
-            "    \"skipped\": {},",
-            p.skipped
-                .as_deref()
-                .map(|s| format!("\"{}\"", json_escape(s)))
-                .unwrap_or_else(|| "null".to_owned())
-        );
-        println!("    \"grammar_nonterminals\": {},", p.grammar_nonterminals);
-        println!("    \"grammar_productions\": {},", p.grammar_productions);
-        println!(
-            "    \"analysis_ms\": {:.3},",
-            p.analysis_time.as_secs_f64() * 1e3
-        );
-        println!("    \"check_ms\": {:.3},", p.check_time.as_secs_f64() * 1e3);
-        println!("    \"findings\": [");
-        let findings: Vec<_> = p.findings().collect();
-        for (fi, (h, f)) in findings.iter().enumerate() {
-            let witness = f
-                .witness
-                .as_deref()
-                .map(|w| format!("\"{}\"", json_escape(&String::from_utf8_lossy(w))))
-                .unwrap_or_else(|| "null".to_owned());
-            println!(
-                "      {{\"file\": \"{}\", \"line\": {}, \"sink\": \"{}\", \
-                 \"source\": \"{}\", \"taint\": \"{}\", \"check\": \"{}\", \
-                 \"witness\": {}, \"witness_truncated\": {}}}{}",
-                json_escape(&h.file),
-                h.span.line,
-                json_escape(&h.label),
-                json_escape(&f.name),
-                f.taint,
-                f.kind,
-                witness,
-                f.witness_truncated,
-                if fi + 1 < findings.len() { "," } else { "" }
-            );
-        }
-        println!("    ],");
-        println!("    \"degradations\": [");
-        let degs: Vec<_> = p.all_degradations().collect();
-        for (di, d) in degs.iter().enumerate() {
-            println!(
-                "      {{\"site\": \"{}\", \"resource\": \"{}\", \"action\": \"{}\"}}{}",
-                json_escape(&d.site),
-                d.resource,
-                d.action,
-                if di + 1 < degs.len() { "," } else { "" }
-            );
-        }
-        println!("    ],");
-        println!("    \"warnings\": [");
-        for (wi, w) in p.warnings.iter().enumerate() {
-            println!(
-                "      \"{}\"{}",
-                json_escape(w),
-                if wi + 1 < p.warnings.len() { "," } else { "" }
-            );
-        }
-        println!("    ]");
-        println!("  }}{}", if pi + 1 < reports.len() { "," } else { "" });
-    }
-    match stats {
-        None => println!("]}}"),
-        Some(s) => {
-            println!("],");
-            println!("\"stats\": {{");
-            let rows = s.rows();
-            for (i, (name, value)) in rows.iter().enumerate() {
-                println!(
-                    "  \"{name}\": {value}{}",
-                    if i + 1 < rows.len() { "," } else { "" }
-                );
-            }
-            println!("}}}}");
-        }
-    }
+    let rows = stats.map(|s| s.rows());
+    print!(
+        "{}",
+        strtaint::render::json_report(reports, rows.as_deref())
+    );
 }
+
 
 /// SARIF 2.1.0 output — the renderer lives in `strtaint::render` so
 /// the differential tests can compare the CLI's exact bytes.
@@ -326,11 +259,20 @@ fn emit_sarif(reports: &[PageReport]) {
     print!("{}", strtaint::render::sarif(reports));
 }
 
+mod remedy_cmd;
+
 fn main() -> ExitCode {
-    // Subcommand routing: `strtaint serve ...` starts the daemon.
+    // Subcommand routing: `strtaint serve ...` starts the daemon;
+    // `fix` / `profile` run the remediation subsystem.
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("serve") {
         return ExitCode::from(strtaint_daemon::cli_serve(&raw[1..]) as u8);
+    }
+    if raw.first().map(String::as_str) == Some("fix") {
+        return ExitCode::from(remedy_cmd::cli_fix(&raw[1..]));
+    }
+    if raw.first().map(String::as_str) == Some("profile") {
+        return ExitCode::from(remedy_cmd::cli_profile(&raw[1..]));
     }
 
     let opts = match parse_args() {

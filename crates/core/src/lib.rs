@@ -148,6 +148,12 @@ pub fn analyze_page_cached(
                 f.at = Some((span.line, span.col));
             }
         }
+        // Skeleton evidence rides on every report (fix planning and
+        // guard profiles consume it downstream); the prepared memo
+        // makes this a warm lookup after the check above.
+        let (skeletons, complete) = checker.skeletons_for(&analysis.cfg, h.root);
+        r.skeletons = skeletons;
+        r.skeletons_complete = complete;
         hotspots.push((h.clone(), r));
     }
     let check_time = t1.elapsed();
@@ -243,6 +249,9 @@ pub fn analyze_page_policies_cached(
                 f.at = Some((span.line, span.col));
             }
         }
+        let (skeletons, complete) = checker.skeletons_for(&h.policy, &analysis.cfg, h.root);
+        r.skeletons = skeletons;
+        r.skeletons_complete = complete;
         hotspots.push((h.clone(), r));
     }
     let check_time = t1.elapsed();
@@ -327,6 +336,9 @@ pub fn analyze_page_xss_cached(
                 f.at = Some((span.line, span.col));
             }
         }
+        let (skeletons, complete) = checker.skeletons_for(&analysis.cfg, h.root);
+        r.skeletons = skeletons;
+        r.skeletons_complete = complete;
         hotspots.push((h.clone(), r));
     }
     let check_time = t1.elapsed();

@@ -1,8 +1,10 @@
 //! Report renderers shared by the CLI and the test suite.
 //!
-//! The SARIF writer lives here (rather than in the CLI binary) so the
-//! differential test `tests/obs_invariance.rs` can render the same
-//! bytes the CLI would print and compare them across tracing modes.
+//! The SARIF and JSON writers live here (rather than in the CLI
+//! binary) so the differential test `tests/obs_invariance.rs` can
+//! render the same bytes the CLI would print and compare them across
+//! tracing modes, and so the remediation layer can attach SARIF
+//! `fixes` without re-implementing the result writer.
 
 use crate::report::PageReport;
 use std::fmt::Write as _;
@@ -26,10 +28,63 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+/// One SARIF replacement: delete the (possibly empty) region and
+/// insert `text`. Lines and columns are 1-based; an insertion uses an
+/// empty region (`start == end`).
+#[derive(Debug, Clone)]
+pub struct FixReplacement {
+    /// 1-based start line of the deleted region.
+    pub start_line: u32,
+    /// 1-based start column of the deleted region.
+    pub start_col: u32,
+    /// 1-based end line of the deleted region (exclusive position).
+    pub end_line: u32,
+    /// 1-based end column of the deleted region (exclusive position).
+    pub end_col: u32,
+    /// The inserted content.
+    pub text: String,
+}
+
+/// All replacements a fix applies to one artifact.
+#[derive(Debug, Clone)]
+pub struct FixChange {
+    /// The artifact (project-relative path) the replacements edit.
+    pub file: String,
+    /// The replacements, in document order.
+    pub replacements: Vec<FixReplacement>,
+}
+
+/// A rendered fix attached to one result, keyed by the result's
+/// position in the report stream. The remediation layer lowers its
+/// rewrite plans into this shape; keeping the type here avoids a
+/// core → remedy dependency cycle.
+#[derive(Debug, Clone)]
+pub struct ResultFix {
+    /// Index of the page in the rendered report slice.
+    pub page: usize,
+    /// Index of the hotspot within the page.
+    pub hotspot: usize,
+    /// Index of the finding within the hotspot.
+    pub finding: usize,
+    /// Human-readable description of the repair.
+    pub description: String,
+    /// The artifact changes, one per edited file.
+    pub changes: Vec<FixChange>,
+}
+
 /// Renders `reports` as a SARIF 2.1.0 document (one run, one result
 /// per finding) so findings annotate pull requests in standard CI
 /// tooling. The CLI's `--sarif` prints exactly this string.
 pub fn sarif(reports: &[PageReport]) -> String {
+    sarif_with_fixes(reports, &[])
+}
+
+/// Like [`sarif`], attaching each entry of `fixes` to its result as a
+/// SARIF `fixes` array (`artifactChanges`/`replacements`), the shape
+/// editors and CI bots consume to offer one-click repairs. Fixes that
+/// name a `(page, hotspot, finding)` triple not present in `reports`
+/// are ignored.
+pub fn sarif_with_fixes(reports: &[PageReport], fixes: &[ResultFix]) -> String {
     let mut out = String::new();
     let mut line = |s: &str| {
         out.push_str(s);
@@ -41,8 +96,17 @@ pub fn sarif(reports: &[PageReport]) -> String {
     line("  \"runs\": [{");
     line("    \"tool\": {\"driver\": {\"name\": \"strtaint\", \"informationUri\": \"https://example.invalid/strtaint\", \"version\": \"0.1.0\"}},");
     line("    \"results\": [");
-    let all: Vec<_> = reports.iter().flat_map(|p| p.findings()).collect();
-    for (i, (h, f)) in all.iter().enumerate() {
+    // Flatten findings with their (page, hotspot, finding) coordinates
+    // so fixes can be keyed to results positionally.
+    let mut all = Vec::new();
+    for (pi, p) in reports.iter().enumerate() {
+        for (hi, (h, r)) in p.hotspots.iter().enumerate() {
+            for (fi, f) in r.findings.iter().enumerate() {
+                all.push((pi, hi, fi, h, f));
+            }
+        }
+    }
+    for (i, (pi, hi, fi, h, f)) in all.iter().enumerate() {
         let msg = format!(
             "{} at {}: tainted source {} — {}{}",
             h.label,
@@ -69,14 +133,59 @@ pub fn sarif(reports: &[PageReport]) -> String {
             "        \"message\": {{\"text\": \"{}\"}},",
             json_escape(&msg)
         ));
+        // The truncation flag travels as a structured property, not
+        // just prose in the message, so downstream tooling can filter
+        // capped witnesses without parsing text.
+        line(&format!(
+            "        \"properties\": {{\"witnessTruncated\": {}}},",
+            f.witness_truncated
+        ));
         // Prefer the finding's IR provenance (the sink *argument*'s
         // span) over the hotspot's call span when the analysis
         // supplied one.
         let (ln, col) = f.at.unwrap_or((h.span.line, h.span.col));
+        let fix = fixes
+            .iter()
+            .find(|x| x.page == *pi && x.hotspot == *hi && x.finding == *fi);
         line(&format!(
-            "        \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {ln}, \"startColumn\": {col}}}}}}}]",
-            json_escape(&h.file)
+            "        \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {ln}, \"startColumn\": {col}}}}}}}]{}",
+            json_escape(&h.file),
+            if fix.is_some() { "," } else { "" }
         ));
+        if let Some(fix) = fix {
+            line("        \"fixes\": [{");
+            line(&format!(
+                "          \"description\": {{\"text\": \"{}\"}},",
+                json_escape(&fix.description)
+            ));
+            line("          \"artifactChanges\": [");
+            for (ci, c) in fix.changes.iter().enumerate() {
+                line("            {");
+                line(&format!(
+                    "              \"artifactLocation\": {{\"uri\": \"{}\"}},",
+                    json_escape(&c.file)
+                ));
+                line("              \"replacements\": [");
+                for (ri, r) in c.replacements.iter().enumerate() {
+                    line(&format!(
+                        "                {{\"deletedRegion\": {{\"startLine\": {}, \"startColumn\": {}, \"endLine\": {}, \"endColumn\": {}}}, \"insertedContent\": {{\"text\": \"{}\"}}}}{}",
+                        r.start_line,
+                        r.start_col,
+                        r.end_line,
+                        r.end_col,
+                        json_escape(&r.text),
+                        if ri + 1 < c.replacements.len() { "," } else { "" }
+                    ));
+                }
+                line("              ]");
+                line(&format!(
+                    "            }}{}",
+                    if ci + 1 < fix.changes.len() { "," } else { "" }
+                ));
+            }
+            line("          ]");
+            line("        }]");
+        }
         line(&format!(
             "      }}{}",
             if i + 1 < all.len() { "," } else { "" }
@@ -85,5 +194,111 @@ pub fn sarif(reports: &[PageReport]) -> String {
     line("    ]");
     line("  }]");
     line("}");
+    out
+}
+
+/// Renders `reports` as the CLI's `--json` document. The CLI prints
+/// exactly this string; it lives here so renderer-agreement tests can
+/// compare the JSON, SARIF, and text renderers as library calls.
+/// `stats_rows` appends the CLI's `--stats` block when present.
+pub fn json_report(reports: &[PageReport], stats_rows: Option<&[(String, u64)]>) -> String {
+    let mut out = String::new();
+    let mut line = |s: &str| {
+        out.push_str(s);
+        out.push('\n');
+    };
+    line("{\"pages\": [");
+    for (pi, p) in reports.iter().enumerate() {
+        line("  {");
+        line(&format!("    \"entry\": \"{}\",", json_escape(&p.entry)));
+        line(&format!("    \"verified\": {},", p.is_verified()));
+        line(&format!("    \"degraded\": {},", p.is_degraded()));
+        line(&format!(
+            "    \"skipped\": {},",
+            p.skipped
+                .as_deref()
+                .map(|s| format!("\"{}\"", json_escape(s)))
+                .unwrap_or_else(|| "null".to_owned())
+        ));
+        line(&format!(
+            "    \"grammar_nonterminals\": {},",
+            p.grammar_nonterminals
+        ));
+        line(&format!(
+            "    \"grammar_productions\": {},",
+            p.grammar_productions
+        ));
+        line(&format!(
+            "    \"analysis_ms\": {:.3},",
+            p.analysis_time.as_secs_f64() * 1e3
+        ));
+        line(&format!(
+            "    \"check_ms\": {:.3},",
+            p.check_time.as_secs_f64() * 1e3
+        ));
+        line("    \"findings\": [");
+        let findings: Vec<_> = p.findings().collect();
+        for (fi, (h, f)) in findings.iter().enumerate() {
+            let witness = f
+                .witness
+                .as_deref()
+                .map(|w| format!("\"{}\"", json_escape(&String::from_utf8_lossy(w))))
+                .unwrap_or_else(|| "null".to_owned());
+            line(&format!(
+                "      {{\"file\": \"{}\", \"line\": {}, \"sink\": \"{}\", \
+                 \"source\": \"{}\", \"taint\": \"{}\", \"check\": \"{}\", \
+                 \"witness\": {}, \"witness_truncated\": {}}}{}",
+                json_escape(&h.file),
+                h.span.line,
+                json_escape(&h.label),
+                json_escape(&f.name),
+                f.taint,
+                f.kind,
+                witness,
+                f.witness_truncated,
+                if fi + 1 < findings.len() { "," } else { "" }
+            ));
+        }
+        line("    ],");
+        line("    \"degradations\": [");
+        let degs: Vec<_> = p.all_degradations().collect();
+        for (di, d) in degs.iter().enumerate() {
+            line(&format!(
+                "      {{\"site\": \"{}\", \"resource\": \"{}\", \"action\": \"{}\"}}{}",
+                json_escape(&d.site),
+                d.resource,
+                d.action,
+                if di + 1 < degs.len() { "," } else { "" }
+            ));
+        }
+        line("    ],");
+        line("    \"warnings\": [");
+        for (wi, w) in p.warnings.iter().enumerate() {
+            line(&format!(
+                "      \"{}\"{}",
+                json_escape(w),
+                if wi + 1 < p.warnings.len() { "," } else { "" }
+            ));
+        }
+        line("    ]");
+        line(&format!(
+            "  }}{}",
+            if pi + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    match stats_rows {
+        None => line("]}"),
+        Some(rows) => {
+            line("],");
+            line("\"stats\": {");
+            for (i, (name, value)) in rows.iter().enumerate() {
+                line(&format!(
+                    "  \"{name}\": {value}{}",
+                    if i + 1 < rows.len() { "," } else { "" }
+                ));
+            }
+            line("}}");
+        }
+    }
     out
 }

@@ -29,6 +29,7 @@ pub mod app;
 pub mod apps;
 pub mod filler;
 pub mod policies;
+pub mod remedy;
 pub mod synth;
 
 pub use app::{App, Truth};

@@ -1,0 +1,117 @@
+//! Seeded ground-truth pages for the remediation subsystem.
+//!
+//! Fixable pages pin one repair shape each (quoted-context SQL →
+//! `addslashes`, numeric-context SQL → `intval`, echoed HTML →
+//! `htmlspecialchars`); unfixable pages pin the two ambiguity classes
+//! the planner must refuse (a source read occurring more than once,
+//! and a dynamic superglobal index with no literal read to rewrite).
+//! The round-trip tests assert that `strtaint fix --apply` discharges
+//! every fixable page — the re-analysis of the repaired tree reports
+//! zero findings — while ambiguous pages are left byte-identical.
+
+use strtaint_analysis::Vfs;
+
+/// One seeded remediation page with its expected planner outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct FixSeed {
+    /// Page entry path in [`vfs`].
+    pub entry: &'static str,
+    /// The policy whose finding the page seeds.
+    pub policy: &'static str,
+    /// `true`: the planner must produce an unambiguous plan and apply
+    /// mode must discharge the finding. `false`: every plan for the
+    /// page must be ambiguous and the tree must stay untouched.
+    pub fixable: bool,
+    /// The sanitizer the plan must choose, for sanitize-shaped fixes
+    /// (empty for guard fixes and unfixable pages).
+    pub sanitizer: &'static str,
+}
+
+/// The seeded pages and their expected outcomes.
+pub fn seeds() -> Vec<FixSeed> {
+    vec![
+        FixSeed {
+            entry: "sql_quoted_vuln.php",
+            policy: "sql",
+            fixable: true,
+            sanitizer: "addslashes",
+        },
+        FixSeed {
+            entry: "sql_numeric_vuln.php",
+            policy: "sql",
+            fixable: true,
+            sanitizer: "intval",
+        },
+        FixSeed {
+            entry: "xss_vuln.php",
+            policy: "xss",
+            fixable: true,
+            sanitizer: "htmlspecialchars",
+        },
+        FixSeed {
+            entry: "sql_twice_vuln.php",
+            policy: "sql",
+            fixable: false,
+            sanitizer: "",
+        },
+        FixSeed {
+            entry: "sql_dynamic_vuln.php",
+            policy: "sql",
+            fixable: false,
+            sanitizer: "",
+        },
+    ]
+}
+
+/// The project tree holding every seeded page.
+pub fn vfs() -> Vfs {
+    let mut vfs = Vfs::new();
+    // The source flows into a single-quoted string literal: the
+    // skeleton proves a quoted context, so the repair is addslashes —
+    // semantics-preserving for string-valued ids.
+    vfs.add(
+        "sql_quoted_vuln.php",
+        r#"<?php
+$id = $_GET['id'];
+mysql_query("SELECT * FROM users WHERE name='" . $id . "'");
+"#,
+    );
+    // The source flows into a bare numeric position: the skeleton
+    // proves an unquoted context, so the repair is an intval cast.
+    vfs.add(
+        "sql_numeric_vuln.php",
+        r#"<?php
+mysql_query("SELECT * FROM users WHERE id=" . $_GET['id']);
+"#,
+    );
+    // Echoed straight into HTML text: the repair HTML-encodes the
+    // read regardless of emission context.
+    vfs.add(
+        "xss_vuln.php",
+        r#"<?php
+echo "<p>Hello " . $_GET['name'] . "</p>";
+"#,
+    );
+    // The same read occurs twice; rewriting one occurrence would
+    // repair one dataflow and silently miss the other, so the planner
+    // must refuse.
+    vfs.add(
+        "sql_twice_vuln.php",
+        r#"<?php
+$a = $_GET['id'];
+$b = $_GET['id'];
+mysql_query("SELECT * FROM users WHERE name='" . $a . $b . "'");
+"#,
+    );
+    // A dynamic superglobal index: the source name does not map back
+    // to a literal read, so there is nothing unambiguous to wrap.
+    vfs.add(
+        "sql_dynamic_vuln.php",
+        r#"<?php
+$k = 'id';
+$id = $_GET[$k];
+mysql_query("SELECT * FROM users WHERE name='" . $id . "'");
+"#,
+    );
+    vfs
+}

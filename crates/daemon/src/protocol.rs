@@ -7,6 +7,7 @@
 //! | request | response |
 //! |---|---|
 //! | `{"cmd":"analyze","entries":[…],"xss"?,"policies"?,"timeout_ms"?,"fuel"?}` | `{"ok":true,"pages":[…],"computed":n,"replayed":n}` (`policies`: array of registry ids, default `["sql"]`) |
+//! | `{"cmd":"profile","entries":[…],"policies"?,"timeout_ms"?,"fuel"?}` | `{"ok":true,"profile":"…"}` — the versioned guard-profile artifact (hotspot skeleton allowlists); byte-identical whether pages were computed or replayed |
 //! | `{"cmd":"invalidate","path":…,"contents"?}` | `{"ok":true,"changed":bool}` (`contents` absent = remove) |
 //! | `{"cmd":"batch","ops":[{…},…]}` | `{"ok":true,"results":[…]}` — applies N `analyze`/`invalidate`/`status` ops in order, one round-trip |
 //! | `{"cmd":"status"}` | `{"ok":true,"engine":{…},"summary_cache":{…},"store":{…},…}` |
@@ -135,6 +136,7 @@ pub fn handle_line(state: &DaemonState, line: &str) -> Handled {
 pub fn dispatch_cmd(state: &DaemonState, cmd: &str, request: &Json) -> Handled {
     match cmd {
         "analyze" => handle_analyze(state, request),
+        "profile" => handle_profile(state, request),
         "invalidate" => handle_invalidate(state, request),
         "batch" => handle_batch(state, request),
         "status" => handle_status(state),
@@ -186,31 +188,34 @@ fn handle_batch(state: &DaemonState, request: &Json) -> Handled {
     }
 }
 
-fn handle_analyze(state: &DaemonState, request: &Json) -> Handled {
-    let entries: Vec<String> = match request.get("entries").and_then(Json::as_arr) {
+/// The request's validated `entries` array (size-capped, all strings).
+fn request_entries(request: &Json, verb: &str) -> Result<Vec<String>, Handled> {
+    match request.get("entries").and_then(Json::as_arr) {
         Some(arr) => {
             if arr.len() > MAX_ENTRIES {
-                return error(format!(
+                return Err(error(format!(
                     "too many entries ({}, limit {MAX_ENTRIES})",
                     arr.len()
-                ));
+                )));
             }
             let mut out = Vec::with_capacity(arr.len());
             for e in arr {
                 match e.as_str() {
                     Some(s) => out.push(s.to_owned()),
-                    None => return error("\"entries\" must be an array of strings"),
+                    None => return Err(error("\"entries\" must be an array of strings")),
                 }
             }
-            out
+            Ok(out)
         }
-        None => return error("\"analyze\" needs \"entries\": [paths]"),
-    };
-    let xss = request.get("xss").and_then(Json::as_bool).unwrap_or(false);
-    let timeout_ms = request.get("timeout_ms").and_then(Json::as_num);
-    let fuel = request.get("fuel").and_then(Json::as_num);
-    let policies = match request.get("policies") {
-        None | Some(Json::Null) => None,
+        None => Err(error(format!("{verb:?} needs \"entries\": [paths]"))),
+    }
+}
+
+/// The request's validated `policies` array: every id must exist in
+/// the registry; `None` means the workspace default.
+fn request_policies(request: &Json) -> Result<Option<Vec<String>>, Handled> {
+    match request.get("policies") {
+        None | Some(Json::Null) => Ok(None),
         Some(Json::Arr(arr)) => {
             let mut ids = Vec::with_capacity(arr.len());
             for p in arr {
@@ -218,16 +223,30 @@ fn handle_analyze(state: &DaemonState, request: &Json) -> Handled {
                     Some(id) if strtaint::policy::find(id).is_some() => {
                         ids.push(id.to_owned());
                     }
-                    Some(id) => return error(format!("unknown policy {id:?}")),
-                    None => return error("\"policies\" must be an array of strings"),
+                    Some(id) => return Err(error(format!("unknown policy {id:?}"))),
+                    None => return Err(error("\"policies\" must be an array of strings")),
                 }
             }
             if ids.is_empty() {
-                return error("\"policies\" must name at least one policy");
+                return Err(error("\"policies\" must name at least one policy"));
             }
-            Some(ids)
+            Ok(Some(ids))
         }
-        Some(_) => return error("\"policies\" must be an array of strings"),
+        Some(_) => Err(error("\"policies\" must be an array of strings")),
+    }
+}
+
+fn handle_analyze(state: &DaemonState, request: &Json) -> Handled {
+    let entries = match request_entries(request, "analyze") {
+        Ok(e) => e,
+        Err(h) => return h,
+    };
+    let xss = request.get("xss").and_then(Json::as_bool).unwrap_or(false);
+    let timeout_ms = request.get("timeout_ms").and_then(Json::as_num);
+    let fuel = request.get("fuel").and_then(Json::as_num);
+    let policies = match request_policies(request) {
+        Ok(p) => p,
+        Err(h) => return h,
     };
     if xss && policies.is_some() {
         return error("\"xss\" and \"policies\" are mutually exclusive (use [\"xss\"])");
@@ -256,6 +275,74 @@ fn handle_analyze(state: &DaemonState, request: &Json) -> Handled {
         ]),
         shutdown: false,
     }
+}
+
+/// Handles `profile`: analyzes (or replays) each entry and renders the
+/// per-hotspot skeleton allowlists as the versioned guard-profile
+/// artifact. The profile is rebuilt from the page JSON — the exact
+/// rendering persisted verdict artifacts carry — and the
+/// skeleton-string conversion happened once at render time, so a warm
+/// daemon's profile is byte-identical to a cold run's.
+fn handle_profile(state: &DaemonState, request: &Json) -> Handled {
+    let entries = match request_entries(request, "profile") {
+        Ok(e) => e,
+        Err(h) => return h,
+    };
+    let timeout_ms = request.get("timeout_ms").and_then(Json::as_num);
+    let fuel = request.get("fuel").and_then(Json::as_num);
+    let policies = match request_policies(request) {
+        Ok(p) => p,
+        Err(h) => return h,
+    };
+    let config = state.effective_config(timeout_ms, fuel, policies);
+
+    let mut pages = Vec::with_capacity(entries.len());
+    for entry in &entries {
+        let (page, _) = state.analyze_page(entry, false, &config);
+        match profile_page_from_json(&page) {
+            Some(p) => pages.push(p),
+            // A skipped page (parse error, panic) has no trustworthy
+            // hotspot evidence; an allowlist silently missing a page's
+            // hotspots would be unsound to enforce.
+            None => {
+                return error(format!("cannot profile {entry:?}: page analysis skipped"))
+            }
+        }
+    }
+    Handled {
+        response: ok(vec![(
+            "profile",
+            Json::Str(strtaint_remedy::render_profile(&pages)),
+        )]),
+        shutdown: false,
+    }
+}
+
+/// Rebuilds one page's allowlist from its protocol page object. `None`
+/// when the page was skipped or any hotspot lacks skeleton evidence
+/// (impossible for pages this engine version computed or replayed).
+fn profile_page_from_json(page: &Json) -> Option<strtaint_remedy::ProfilePage> {
+    if page.get("skipped").and_then(Json::as_str).is_some() {
+        return None;
+    }
+    let entry = page.get("entry")?.as_str()?.to_owned();
+    let mut hotspots = Vec::new();
+    for h in page.get("hotspots")?.as_arr()? {
+        let mut skeletons = Vec::new();
+        for s in h.get("skeletons")?.as_arr()? {
+            skeletons.push(s.as_str()?.to_owned());
+        }
+        hotspots.push(strtaint_remedy::ProfileHotspot {
+            file: h.get("file")?.as_str()?.to_owned(),
+            line: h.get("line")?.as_num()? as u32,
+            col: h.get("col")?.as_num()? as u32,
+            label: h.get("label")?.as_str()?.to_owned(),
+            policy: h.get("policy")?.as_str()?.to_owned(),
+            complete: h.get("skeletons_complete")?.as_bool()?,
+            skeletons,
+        });
+    }
+    Some(strtaint_remedy::ProfilePage { entry, hotspots })
 }
 
 fn handle_invalidate(state: &DaemonState, request: &Json) -> Handled {

@@ -7,7 +7,8 @@
 //!   client, requests executed inline.
 //! - **Unix socket** ([`serve_socket`], in [`crate::socket`]): many
 //!   concurrent clients. Each connection gets a cheap reader thread,
-//!   but all real work (`analyze` / `invalidate` / `batch`) funnels
+//!   but all real work (`analyze` / `profile` / `invalidate` /
+//!   `batch`) funnels
 //!   through the [`ServerState`]'s bounded [`WorkerPool`] —
 //!   `--workers` threads, a priority-aware queue capped at
 //!   `--queue-depth`. A full queue sheds load with
@@ -285,7 +286,7 @@ impl ServerState {
             }
             "status" => Routed::Ready(self.server_status(workspace.as_deref(), &request)),
             "metrics" => Routed::Ready(self.server_metrics(workspace.as_deref())),
-            "analyze" | "invalidate" | "batch" => {
+            "analyze" | "profile" | "invalidate" | "batch" => {
                 match self.workspaces.resolve(workspace.as_deref()) {
                     Ok((_, state)) => {
                         state.counters.requests.inc();

@@ -39,12 +39,14 @@ pub const FORMAT_VERSION: f64 = 1.0;
 /// The engine version stamped into artifacts: grammar construction,
 /// checking logic, and the (release-dependent) hasher all live in this
 /// workspace, so the package version is the right granularity. The
-/// `+qc1` marker records the canonical-witness change that shipped
-/// with the query cache: witnesses are now (length, lexicographic)
-/// minimal, so artifacts rendered by older engines must be recomputed
-/// rather than replayed.
+/// string is owned by the checker crate (see
+/// [`strtaint_checker::engine_version`]) because every marker so far
+/// records a checking-semantics change: `+qc1` for canonical
+/// (length, lexicographic)-minimal witnesses, `.rm1` for the skeleton
+/// evidence that `fix`/`profile` consume. Artifacts rendered by older
+/// engines must be recomputed rather than replayed.
 pub fn engine_version() -> &'static str {
-    concat!("strtaint-", env!("CARGO_PKG_VERSION"), "+qc1")
+    strtaint_checker::engine_version()
 }
 
 /// Counters describing the store's behavior this process lifetime,

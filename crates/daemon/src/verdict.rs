@@ -121,6 +121,12 @@ pub fn page_to_json(report: &PageReport) -> Json {
                 ("file", Json::Str(h.file.clone())),
                 ("line", Json::Num(f64::from(h.span.line))),
                 ("col", Json::Num(f64::from(h.span.col))),
+                ("policy", Json::Str(h.policy.clone())),
+                (
+                    "skeletons",
+                    Json::Arr(r.skeleton_strings().into_iter().map(Json::Str).collect()),
+                ),
+                ("skeletons_complete", Json::Bool(r.skeletons_complete)),
                 ("checked", Json::Num(r.checked as f64)),
                 ("verified", Json::Num(r.verified as f64)),
                 ("findings", Json::Arr(findings)),
@@ -283,6 +289,15 @@ impl Verdict {
         if page.get("entry")?.as_str()? != entry {
             return None;
         }
+        // Every hotspot must carry remediation evidence (policy id and
+        // skeleton allowlist). Pre-remedy artifacts lack these members;
+        // they must be dropped (recomputed), never replayed, or `fix`
+        // and `profile` would see evidence-free hotspots.
+        for hotspot in page.get("hotspots")?.as_arr()? {
+            hotspot.get("policy")?.as_str()?;
+            hotspot.get("skeletons")?.as_arr()?;
+            hotspot.get("skeletons_complete")?.as_bool()?;
+        }
         Some(Verdict {
             entry,
             xss,
@@ -316,6 +331,22 @@ mod tests {
         assert_eq!(d1, d3);
     }
 
+    /// A minimal valid page object: one hotspot carrying the full
+    /// remediation evidence the replay validator requires.
+    fn page_with_evidence(entry: &str) -> Json {
+        Json::obj(vec![
+            ("entry", Json::Str(entry.into())),
+            (
+                "hotspots",
+                Json::Arr(vec![Json::obj(vec![
+                    ("policy", Json::Str("sql".into())),
+                    ("skeletons", Json::Arr(vec![Json::Str("SELECT ?".into())])),
+                    ("skeletons_complete", Json::Bool(true)),
+                ])]),
+            ),
+        ])
+    }
+
     #[test]
     fn artifact_roundtrip() {
         let v = Verdict {
@@ -325,7 +356,7 @@ mod tests {
             config_fp: 11,
             tree: 22,
             deps: vec![("a.php".into(), 1), ("lib.php".into(), 2)],
-            page: Json::obj(vec![("entry", Json::Str("a.php".into()))]),
+            page: page_with_evidence("a.php"),
         };
         let body = v.to_artifact_body();
         let artifact = Json::Obj(body);
@@ -348,7 +379,7 @@ mod tests {
             config_fp: 0,
             tree: 0,
             deps: vec![],
-            page: Json::obj(vec![("entry", Json::Str("a.php".into()))]),
+            page: page_with_evidence("a.php"),
         };
         let body: Vec<(String, Json)> = v
             .to_artifact_body()
@@ -356,6 +387,54 @@ mod tests {
             .filter(|(k, _)| k != "policies")
             .collect();
         assert!(Verdict::from_artifact(&Json::Obj(body)).is_none());
+    }
+
+    #[test]
+    fn artifact_without_skeleton_evidence_is_rejected() {
+        // Pre-remedy artifacts carry hotspots without the skeleton
+        // allowlist (or the policy id); they must be dropped
+        // (recomputed), never replayed.
+        for missing in ["policy", "skeletons", "skeletons_complete"] {
+            let page = page_with_evidence("a.php");
+            let stripped = match page {
+                Json::Obj(members) => Json::Obj(
+                    members
+                        .into_iter()
+                        .map(|(k, v)| {
+                            if k != "hotspots" {
+                                return (k, v);
+                            }
+                            let Json::Arr(hotspots) = v else { unreachable!() };
+                            let hotspots = hotspots
+                                .into_iter()
+                                .map(|h| {
+                                    let Json::Obj(hm) = h else { unreachable!() };
+                                    Json::Obj(
+                                        hm.into_iter().filter(|(k, _)| k != missing).collect(),
+                                    )
+                                })
+                                .collect();
+                            (k, Json::Arr(hotspots))
+                        })
+                        .collect(),
+                ),
+                _ => unreachable!(),
+            };
+            let v = Verdict {
+                entry: "a.php".into(),
+                xss: false,
+                policies: vec!["sql".into()],
+                config_fp: 0,
+                tree: 0,
+                deps: vec![],
+                page: stripped,
+            };
+            let artifact = Json::Obj(v.to_artifact_body());
+            assert!(
+                Verdict::from_artifact(&artifact).is_none(),
+                "hotspot missing {missing:?} must be rejected"
+            );
+        }
     }
 
     #[test]
@@ -367,7 +446,7 @@ mod tests {
             config_fp: 0,
             tree: 0,
             deps: vec![],
-            page: Json::obj(vec![("entry", Json::Str("OTHER.php".into()))]),
+            page: page_with_evidence("OTHER.php"),
         };
         let artifact = Json::Obj(v.to_artifact_body());
         assert!(Verdict::from_artifact(&artifact).is_none());

@@ -1,0 +1,168 @@
+//! Per-policy fix templates: the data the remediation subsystem
+//! (`strtaint-remedy`) draws on to turn a finding into a rewrite plan.
+//!
+//! A template names the *repair shape* for one vulnerability class —
+//! which context-correct sanitizer wraps the tainted source, or which
+//! anchored allowlist guard is inserted ahead of the sink. The
+//! templates are deliberately tiny and declarative: everything
+//! position- and file-specific (where the source occurrence is, whether
+//! the rewrite is unambiguous, whether the repaired page actually
+//! verifies) is decided by the planner and proven by re-analysis, never
+//! assumed here.
+//!
+//! The sanitizer choices are exactly the ones the analysis models as
+//! transducers (`strtaint-analysis`'s builtin table), so a wrapped
+//! source provably changes the checked language:
+//!
+//! - **sql**, quoted context: `addslashes` — every quote the source can
+//!   produce arrives escaped, which check C2 verifies inside a string
+//!   literal.
+//! - **sql**, unquoted context: `intval` — the result language is the
+//!   numeric literals, which check C3 verifies in any literal position
+//!   (quoting the ASSIST observation that a numeric position needs a
+//!   cast, not an escape).
+//! - **xss**: `htmlspecialchars` — no `<`, `"` or `&` survives, so no
+//!   emission context lets the source introduce markup.
+//! - **shell** / **path** / **eval**: no modeled sanitizer exists
+//!   (`escapeshellarg` is unmodeled, and its faithful model would still
+//!   admit refuter bytes), so the repair is an anchored `preg_match`
+//!   allowlist guard whose language sits inside the class's prover
+//!   byte-set (see `registry`: shell words, relative path atoms, bare
+//!   identifiers).
+
+/// The repair shape for one policy class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FixKind {
+    /// Wrap the tainted source in a sanitizer chosen by the query
+    /// context the hotspot's skeletons prove: `quoted` when every
+    /// marker sits inside a string literal, `unquoted` when none does.
+    /// Mixed or unknown contexts make the fix ambiguous.
+    SanitizeByContext {
+        /// Sanitizer for string-literal (quoted) positions.
+        quoted: &'static str,
+        /// Sanitizer for bare (unquoted, numeric) positions.
+        unquoted: &'static str,
+    },
+    /// Wrap the tainted source in one sanitizer, in every context.
+    Sanitize {
+        /// The sanitizer function name.
+        function: &'static str,
+    },
+    /// Hoist the tainted source into a variable (when it is not one
+    /// already) and insert an anchored allowlist guard before the sink.
+    Guard {
+        /// The full `preg_match` pattern, anchored on both ends.
+        pattern: &'static str,
+    },
+}
+
+/// One policy's fix template.
+#[derive(Debug, Clone)]
+pub struct FixTemplate {
+    /// The policy id this template repairs (see [`crate::registry`]).
+    pub policy: &'static str,
+    /// The repair shape.
+    pub kind: FixKind,
+    /// One-line rationale rendered into fix descriptions.
+    pub rationale: &'static str,
+}
+
+/// The built-in fix-template table, one entry per policy class.
+pub fn fix_templates() -> Vec<FixTemplate> {
+    vec![
+        FixTemplate {
+            policy: "sql",
+            kind: FixKind::SanitizeByContext {
+                quoted: "addslashes",
+                unquoted: "intval",
+            },
+            rationale: "escape quotes in string-literal position, cast to an \
+                        integer in numeric position",
+        },
+        FixTemplate {
+            policy: "xss",
+            kind: FixKind::Sanitize {
+                function: "htmlspecialchars",
+            },
+            rationale: "HTML-encode the output so no emission context admits \
+                        attacker markup",
+        },
+        FixTemplate {
+            policy: "shell",
+            kind: FixKind::Guard {
+                pattern: "/^[a-zA-Z0-9_]+$/",
+            },
+            rationale: "confine the argument to one shell word before it \
+                        reaches the command line",
+        },
+        FixTemplate {
+            policy: "path",
+            kind: FixKind::Guard {
+                pattern: "/^[a-zA-Z0-9_]+$/",
+            },
+            rationale: "confine the path component to a relative atom with no \
+                        separators or traversal",
+        },
+        FixTemplate {
+            policy: "eval",
+            kind: FixKind::Guard {
+                pattern: "/^[a-zA-Z0-9_]+$/",
+            },
+            rationale: "confine the fragment to a bare identifier before it \
+                        reaches the interpreter",
+        },
+    ]
+}
+
+/// Looks up the fix template for one policy id.
+pub fn fix_template(policy: &str) -> Option<FixTemplate> {
+    fix_templates().into_iter().find(|t| t.policy == policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_policy_has_a_template() {
+        for p in crate::builtin() {
+            assert!(
+                fix_template(p.id).is_some(),
+                "policy {} has no fix template",
+                p.id
+            );
+        }
+    }
+
+    #[test]
+    fn guard_patterns_are_anchored() {
+        for t in fix_templates() {
+            if let FixKind::Guard { pattern } = t.kind {
+                assert!(pattern.starts_with("/^"), "{pattern} not ^-anchored");
+                assert!(pattern.ends_with("$/"), "{pattern} not $-anchored");
+            }
+        }
+    }
+
+    #[test]
+    fn sanitizers_are_the_modeled_ones() {
+        // The planner relies on these exact names being modeled as
+        // transducers by the analysis layer; renaming one silently
+        // breaks the re-analysis proof, so pin them.
+        let sql = fix_template("sql").expect("sql template");
+        assert_eq!(
+            sql.kind,
+            FixKind::SanitizeByContext {
+                quoted: "addslashes",
+                unquoted: "intval"
+            }
+        );
+        let xss = fix_template("xss").expect("xss template");
+        assert_eq!(
+            xss.kind,
+            FixKind::Sanitize {
+                function: "htmlspecialchars"
+            }
+        );
+    }
+}

@@ -25,9 +25,11 @@
 //! the cascades, and neither needs the other to agree on anything but
 //! the policy id carried on each hotspot.
 
+pub mod fixes;
 mod kinds;
 pub mod registry;
 
+pub use fixes::{fix_template, fix_templates, FixKind, FixTemplate};
 pub use kinds::CheckKind;
 pub use registry::{
     builtin, find, parse_selection, Cascade, Policy, PolicyKind, Residual, Severity, Step,

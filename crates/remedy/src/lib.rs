@@ -1,0 +1,38 @@
+//! **strtaint-remedy** — the remediation subsystem: from
+//! counterexamples to actions.
+//!
+//! The analyzer's headline artifact is evidence: a witness string, a
+//! spliced example query, and the hotspot's canonical query skeletons.
+//! This crate consumes that evidence and produces the two artifact
+//! kinds downstream consumers can act on:
+//!
+//! 1. **Fix suggestions** ([`plan`], [`apply`]) — per finding, a
+//!    deterministic rewrite plan drawn from the per-policy
+//!    [`FixTemplate`](strtaint_policy::FixTemplate) table: wrap the
+//!    tainted source read in the policy's context-correct sanitizer
+//!    (quoted SQL position → `addslashes`, numeric position →
+//!    `intval`, HTML output → `htmlspecialchars`), or insert an
+//!    anchored allowlist guard ahead of shell/path/eval sinks. Plans
+//!    render as SARIF `fixes` and, in apply mode, are proven: the
+//!    repaired tree is re-analyzed and a fix only counts as discharged
+//!    when the finding is gone.
+//! 2. **Guard profiles** ([`profile`]) — each hotspot's skeleton set
+//!    exported as a versioned, content-hash-keyed JSON allowlist a
+//!    runtime proxy can enforce, byte-identical whether built cold or
+//!    replayed from the daemon's persisted verdicts.
+//!
+//! Ambiguity is first-class: a finding whose source cannot be mapped
+//! to exactly one textual read, or whose skeletons prove no single
+//! query context, yields an explicit reason instead of a guessed edit
+//! (DESIGN.md §13 states the soundness argument).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod apply;
+pub mod plan;
+pub mod profile;
+
+pub use apply::{apply_plans, run_fix, FixOutcome};
+pub use plan::{plan_fixes, to_result_fixes, Edit, FixPlan, Strategy};
+pub use profile::{profile_pages, render_profile, ProfileHotspot, ProfilePage, PROFILE_FORMAT};

@@ -1,0 +1,509 @@
+//! Fix planning: turning one finding plus its checker evidence into a
+//! deterministic rewrite plan — or an explicit reason why no
+//! unambiguous rewrite exists.
+//!
+//! A plan is *unambiguous* when three textual facts hold (see
+//! DESIGN.md §13): the finding's source name parses back to a literal
+//! superglobal read (`$_GET['id']`, not a dynamic index), that read
+//! has exactly one textual occurrence across the page's input files,
+//! and the policy's fix template resolves — for the SQL class this
+//! needs the hotspot's complete skeleton set to prove one consistent
+//! marker context (quoted everywhere or unquoted everywhere).
+//! Everything else is reported as [`FixPlan::ambiguous`] with the
+//! failing fact, never guessed at.
+
+use strtaint::report::PageReport;
+use strtaint::Vfs;
+use strtaint_policy::{fix_template, CheckKind, FixKind};
+
+/// One textual edit: replace `[start, end)` of `file` with `insert`
+/// (byte offsets into the original contents; `start == end` is a pure
+/// insertion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edit {
+    /// Project-relative path of the edited file.
+    pub file: String,
+    /// Byte offset of the replaced region's start.
+    pub start: usize,
+    /// Byte offset of the replaced region's end (exclusive).
+    pub end: usize,
+    /// Replacement text.
+    pub insert: String,
+}
+
+/// The repair shape a plan applies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Strategy {
+    /// Wrap the source read in `function(...)`.
+    Sanitize {
+        /// The sanitizer function name.
+        function: String,
+    },
+    /// Insert `if (!preg_match(pattern, $var)) { exit; }` ahead of the
+    /// sink (hoisting the read into `$var` first when it was inline).
+    Guard {
+        /// The anchored allowlist pattern.
+        pattern: String,
+        /// The guarded variable name (no `$`).
+        var: String,
+    },
+}
+
+/// A deterministic rewrite plan for one finding.
+#[derive(Debug, Clone)]
+pub struct FixPlan {
+    /// Entry of the page the finding was reported on.
+    pub entry: String,
+    /// Index of the page in the planned report slice.
+    pub page: usize,
+    /// Index of the hotspot within the page.
+    pub hotspot: usize,
+    /// Index of the finding within the hotspot.
+    pub finding: usize,
+    /// Policy id of the hotspot.
+    pub policy: String,
+    /// The finding's source name (e.g. `_GET[id]`).
+    pub source: String,
+    /// SARIF rule id of the finding.
+    pub rule: String,
+    /// The resolved repair shape, when unambiguous.
+    pub strategy: Option<Strategy>,
+    /// The edits realizing the strategy (empty when ambiguous).
+    pub edits: Vec<Edit>,
+    /// Why no unambiguous fix exists, when `edits` is empty.
+    pub ambiguous: Option<String>,
+}
+
+impl FixPlan {
+    /// `true` when the plan carries edits the apply step may use.
+    pub fn is_applicable(&self) -> bool {
+        self.ambiguous.is_none() && !self.edits.is_empty()
+    }
+}
+
+/// Plans a fix for every finding of every report. Plans come back in
+/// report order, one per finding, ambiguous ones included — callers
+/// render the full list so a human sees *why* a finding was skipped.
+pub fn plan_fixes(vfs: &Vfs, reports: &[PageReport]) -> Vec<FixPlan> {
+    let mut plans = Vec::new();
+    for (pi, p) in reports.iter().enumerate() {
+        for (hi, (h, r)) in p.hotspots.iter().enumerate() {
+            for (fi, f) in r.findings.iter().enumerate() {
+                let mut plan = FixPlan {
+                    entry: p.entry.clone(),
+                    page: pi,
+                    hotspot: hi,
+                    finding: fi,
+                    policy: h.policy.clone(),
+                    source: f.name.clone(),
+                    rule: f.kind.rule_id().to_owned(),
+                    strategy: None,
+                    edits: Vec::new(),
+                    ambiguous: None,
+                };
+                if let Err(reason) = plan_one(vfs, p, &h.policy, f, r.skeletons_complete, &r.skeletons, &mut plan)
+                {
+                    plan.ambiguous = Some(reason);
+                    plan.strategy = None;
+                    plan.edits.clear();
+                }
+                plans.push(plan);
+            }
+        }
+    }
+    plans
+}
+
+fn plan_one(
+    vfs: &Vfs,
+    page: &PageReport,
+    policy: &str,
+    finding: &strtaint::Finding,
+    skeletons_complete: bool,
+    skeletons: &[Vec<u8>],
+    plan: &mut FixPlan,
+) -> Result<(), String> {
+    if matches!(finding.kind, CheckKind::BudgetExhausted) {
+        return Err("budget-exhausted finding carries no witness evidence to repair".into());
+    }
+    let (var, key) = parse_source(&finding.name)
+        .ok_or_else(|| format!("source {} is not a literal superglobal read", finding.name))?;
+    let occ = locate_occurrence(vfs, page, &var, &key)?;
+    let template = fix_template(policy)
+        .ok_or_else(|| format!("policy {policy} has no fix template"))?;
+    match template.kind {
+        FixKind::Sanitize { function } => {
+            plan.strategy = Some(Strategy::Sanitize {
+                function: function.to_owned(),
+            });
+            plan.edits = vec![wrap_edit(&occ, function)];
+        }
+        FixKind::SanitizeByContext { quoted, unquoted } => {
+            if !skeletons_complete {
+                return Err("skeleton evidence is incomplete; query context unknown".into());
+            }
+            let function = match marker_context(skeletons) {
+                Some(SqlContext::Quoted) => quoted,
+                Some(SqlContext::Unquoted) => unquoted,
+                None => {
+                    return Err(
+                        "skeletons place the source in mixed or no query contexts".into()
+                    )
+                }
+            };
+            plan.strategy = Some(Strategy::Sanitize {
+                function: function.to_owned(),
+            });
+            plan.edits = vec![wrap_edit(&occ, function)];
+        }
+        FixKind::Guard { pattern } => {
+            let (edits, guard_var) = guard_edits(&occ, &key, pattern)?;
+            plan.strategy = Some(Strategy::Guard {
+                pattern: pattern.to_owned(),
+                var: guard_var,
+            });
+            plan.edits = edits;
+        }
+    }
+    Ok(())
+}
+
+/// Parses a checker source name (`_GET[id]`) back to a superglobal and
+/// a literal key. Whole-array (`_GET[*]`) and dynamic-index sources
+/// have no single textual read to rewrite and return `None`.
+fn parse_source(name: &str) -> Option<(String, String)> {
+    const SUPERGLOBALS: [&str; 5] = ["_GET", "_POST", "_REQUEST", "_COOKIE", "_SERVER"];
+    let (var, rest) = name.split_once('[')?;
+    let key = rest.strip_suffix(']')?;
+    if !SUPERGLOBALS.contains(&var) {
+        return None;
+    }
+    if key.is_empty()
+        || !key
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_')
+    {
+        return None;
+    }
+    Some((var.to_owned(), key.to_owned()))
+}
+
+/// One located source read.
+struct Occurrence {
+    file: String,
+    contents: String,
+    start: usize,
+    len: usize,
+}
+
+impl Occurrence {
+    fn text(&self) -> &str {
+        &self.contents[self.start..self.start + self.len]
+    }
+}
+
+/// Finds the single textual occurrence of `$VAR['key']` (either quote
+/// style) across the page's input files. Zero or multiple occurrences
+/// make the fix ambiguous: rewriting one of several reads repairs only
+/// one dataflow and silently leaves the rest.
+fn locate_occurrence(
+    vfs: &Vfs,
+    page: &PageReport,
+    var: &str,
+    key: &str,
+) -> Result<Occurrence, String> {
+    let needles = [
+        format!("${var}['{key}']"),
+        format!("${var}[\"{key}\"]"),
+    ];
+    let mut files: Vec<&str> = page.inputs.iter().map(String::as_str).collect();
+    if files.is_empty() {
+        files.push(&page.entry);
+    }
+    let mut found: Vec<Occurrence> = Vec::new();
+    for file in files {
+        let Some(bytes) = vfs.get(file) else { continue };
+        let contents = String::from_utf8_lossy(bytes).into_owned();
+        for needle in &needles {
+            let mut from = 0;
+            while let Some(pos) = contents[from..].find(needle.as_str()) {
+                found.push(Occurrence {
+                    file: file.to_owned(),
+                    contents: contents.clone(),
+                    start: from + pos,
+                    len: needle.len(),
+                });
+                from += pos + needle.len();
+            }
+        }
+    }
+    match found.len() {
+        0 => Err(format!(
+            "no textual occurrence of ${var}['{key}'] in the page's input files"
+        )),
+        1 => Ok(found.remove(0)),
+        n => Err(format!(
+            "{n} textual occurrences of ${var}['{key}']; rewriting one would miss the others"
+        )),
+    }
+}
+
+fn wrap_edit(occ: &Occurrence, function: &str) -> Edit {
+    Edit {
+        file: occ.file.clone(),
+        start: occ.start,
+        end: occ.start + occ.len,
+        insert: format!("{function}({})", occ.text()),
+    }
+}
+
+/// Builds the guard-insertion edits. When the occurrence is already
+/// the whole right-hand side of a simple assignment, the guard goes
+/// after that statement on the assigned variable; otherwise the read
+/// is hoisted into a fresh variable first.
+fn guard_edits(occ: &Occurrence, key: &str, pattern: &str) -> Result<(Vec<Edit>, String), String> {
+    let src = &occ.contents;
+    let line_start = src[..occ.start].rfind('\n').map_or(0, |p| p + 1);
+    let line_end = src[occ.start..]
+        .find('\n')
+        .map_or(src.len(), |p| occ.start + p);
+    let line = &src[line_start..line_end];
+    let indent: String = line
+        .chars()
+        .take_while(|c| *c == ' ' || *c == '\t')
+        .collect();
+
+    if let Some(var) = assignment_lhs(line, occ.text()) {
+        // `$var = $_GET['k'];` — guard the existing variable.
+        let mut guard = format!(
+            "{indent}if (!preg_match('{pattern}', ${var})) {{\n{indent}    exit;\n{indent}}}\n"
+        );
+        let at = if line_end < src.len() {
+            line_end + 1
+        } else {
+            // Assignment line is the last line and unterminated; open
+            // a new line for the guard.
+            guard.insert(0, '\n');
+            src.len()
+        };
+        return Ok((
+            vec![Edit {
+                file: occ.file.clone(),
+                start: at,
+                end: at,
+                insert: guard,
+            }],
+            var,
+        ));
+    }
+
+    // Inline read — hoist it into a fresh variable ahead of the sink
+    // statement, then guard that variable.
+    let var = fresh_var(src, key)?;
+    let hoist = format!(
+        "{indent}${var} = {};\n{indent}if (!preg_match('{pattern}', ${var})) {{\n{indent}    exit;\n{indent}}}\n",
+        occ.text()
+    );
+    Ok((
+        vec![
+            Edit {
+                file: occ.file.clone(),
+                start: line_start,
+                end: line_start,
+                insert: hoist,
+            },
+            Edit {
+                file: occ.file.clone(),
+                start: occ.start,
+                end: occ.start + occ.len,
+                insert: format!("${var}"),
+            },
+        ],
+        var,
+    ))
+}
+
+/// When `line` is exactly `$var = <occ>;`, returns `var`.
+fn assignment_lhs(line: &str, occ_text: &str) -> Option<String> {
+    let t = line.trim();
+    let rest = t.strip_prefix('$')?;
+    let var: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if var.is_empty() {
+        return None;
+    }
+    let after = rest[var.len()..].trim_start();
+    let rhs = after.strip_prefix('=')?.trim_start();
+    let body = rhs.strip_suffix(';')?.trim_end();
+    (body == occ_text).then_some(var)
+}
+
+/// Picks a variable name derived from the source key that does not yet
+/// occur in the file.
+fn fresh_var(src: &str, key: &str) -> Result<String, String> {
+    let base: String = key
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let base = if base.starts_with(|c: char| c.is_ascii_digit()) {
+        format!("v{base}")
+    } else {
+        base
+    };
+    for cand in [base.clone(), format!("{base}_ok"), format!("{base}_checked")] {
+        if !src.contains(&format!("${cand}")) {
+            return Ok(cand);
+        }
+    }
+    Err(format!("no fresh variable name derivable from key {key}"))
+}
+
+/// Lowers the applicable plans into the SARIF fix descriptors the core
+/// renderer attaches to results (`fixes` / `artifactChanges` /
+/// `replacements`). Regions are computed against the *original* file
+/// contents in `vfs` — SARIF consumers apply fixes to the unrepaired
+/// tree.
+pub fn to_result_fixes(vfs: &Vfs, plans: &[FixPlan]) -> Vec<strtaint::render::ResultFix> {
+    let mut out = Vec::new();
+    for plan in plans.iter().filter(|p| p.is_applicable()) {
+        let description = match &plan.strategy {
+            Some(Strategy::Sanitize { function }) => {
+                format!("Wrap the tainted read of {} in {}()", plan.source, function)
+            }
+            Some(Strategy::Guard { pattern, var }) => format!(
+                "Insert an anchored allowlist guard {} on ${} before the sink",
+                pattern, var
+            ),
+            None => continue,
+        };
+        let mut changes: Vec<strtaint::render::FixChange> = Vec::new();
+        for e in &plan.edits {
+            let Some(bytes) = vfs.get(&e.file) else { continue };
+            let (sl, sc) = line_col(bytes, e.start);
+            let (el, ec) = line_col(bytes, e.end);
+            let replacement = strtaint::render::FixReplacement {
+                start_line: sl,
+                start_col: sc,
+                end_line: el,
+                end_col: ec,
+                text: e.insert.clone(),
+            };
+            match changes.iter_mut().find(|c| c.file == e.file) {
+                Some(c) => c.replacements.push(replacement),
+                None => changes.push(strtaint::render::FixChange {
+                    file: e.file.clone(),
+                    replacements: vec![replacement],
+                }),
+            }
+        }
+        out.push(strtaint::render::ResultFix {
+            page: plan.page,
+            hotspot: plan.hotspot,
+            finding: plan.finding,
+            description,
+            changes,
+        });
+    }
+    out
+}
+
+/// 1-based `(line, column)` of a byte offset.
+fn line_col(src: &[u8], offset: usize) -> (u32, u32) {
+    let mut line = 1u32;
+    let mut col = 1u32;
+    for &b in &src[..offset.min(src.len())] {
+        if b == b'\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+/// The SQL query context a hotspot's skeletons prove for the marker.
+enum SqlContext {
+    Quoted,
+    Unquoted,
+}
+
+/// Scans every skeleton, tracking single-quote string state (with
+/// backslash escapes), and classifies the marker positions. `None`
+/// when the contexts disagree or no marker appears.
+fn marker_context(skeletons: &[Vec<u8>]) -> Option<SqlContext> {
+    let mut quoted = false;
+    let mut unquoted = false;
+    for sk in skeletons {
+        let mut in_str = false;
+        let mut esc = false;
+        for &b in sk {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match b {
+                b'\\' if in_str => esc = true,
+                b'\'' => in_str = !in_str,
+                m if m == strtaint_sql::VAR_MARKER => {
+                    if in_str {
+                        quoted = true;
+                    } else {
+                        unquoted = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    match (quoted, unquoted) {
+        (true, false) => Some(SqlContext::Quoted),
+        (false, true) => Some(SqlContext::Unquoted),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_names_parse() {
+        assert_eq!(
+            parse_source("_GET[id]"),
+            Some(("_GET".into(), "id".into()))
+        );
+        assert!(parse_source("_GET[*]").is_none());
+        assert!(parse_source("index").is_none());
+        assert!(parse_source("_GET[a'b]").is_none());
+        assert!(parse_source("local").is_none());
+    }
+
+    #[test]
+    fn marker_context_classifies() {
+        let m = strtaint_sql::VAR_MARKER;
+        let quoted = vec![[b"SELECT '" as &[u8], &[m], b"'"].concat()];
+        assert!(matches!(marker_context(&quoted), Some(SqlContext::Quoted)));
+        let bare = vec![[b"SELECT " as &[u8], &[m]].concat()];
+        assert!(matches!(marker_context(&bare), Some(SqlContext::Unquoted)));
+        let mixed = vec![quoted[0].clone(), bare[0].clone()];
+        assert!(marker_context(&mixed).is_none());
+        assert!(marker_context(&[b"SELECT 1".to_vec()]).is_none());
+    }
+
+    #[test]
+    fn assignment_lhs_detects_simple_statements() {
+        assert_eq!(
+            assignment_lhs("$f = $_GET['f'];", "$_GET['f']"),
+            Some("f".into())
+        );
+        assert_eq!(
+            assignment_lhs("  $page = $_GET['p'];  ", "$_GET['p']"),
+            Some("page".into())
+        );
+        assert!(assignment_lhs("$f = trim($_GET['f']);", "$_GET['f']").is_none());
+        assert!(assignment_lhs("system($_GET['f']);", "$_GET['f']").is_none());
+    }
+}

@@ -1,0 +1,189 @@
+//! Guard-profile export: per-hotspot query-skeleton allowlists as a
+//! versioned, content-hash-keyed JSON artifact (the SQLBlock idea: a
+//! runtime proxy that only admits queries matching a learned skeleton
+//! refuses injected ones, because injection by definition changes the
+//! query's shape).
+//!
+//! The renderer is a deterministic manual writer over plain data, and
+//! the skeleton-byte → display-string conversion happens exactly once,
+//! in `HotspotReport::skeleton_strings` — so a profile built cold from
+//! in-memory reports and one rebuilt by the daemon from persisted
+//! verdict artifacts are byte-identical, which is what makes the
+//! artifact's content hash a stable cache key across replay.
+
+use strtaint::render::json_escape;
+use strtaint::report::PageReport;
+
+/// Profile format tag; bump on any layout change.
+pub const PROFILE_FORMAT: &str = "strtaint-profile/1";
+
+/// One hotspot's allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileHotspot {
+    /// File containing the sink call.
+    pub file: String,
+    /// 1-based line of the sink call.
+    pub line: u32,
+    /// 1-based column of the sink call.
+    pub col: u32,
+    /// Sink label (e.g. `mysql_query`).
+    pub label: String,
+    /// Policy id of the sink.
+    pub policy: String,
+    /// Whether the skeleton set covers every labeled nonterminal; a
+    /// runtime guard must treat an incomplete set as advisory.
+    pub complete: bool,
+    /// The allowlisted skeletons (marker rendered as `?`).
+    pub skeletons: Vec<String>,
+}
+
+/// One page's allowlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfilePage {
+    /// The page entry.
+    pub entry: String,
+    /// Hotspot allowlists in program order.
+    pub hotspots: Vec<ProfileHotspot>,
+}
+
+/// Builds profile pages from in-memory analysis reports (the cold
+/// path; the daemon rebuilds the same shape from persisted verdicts).
+pub fn profile_pages(reports: &[PageReport]) -> Vec<ProfilePage> {
+    reports
+        .iter()
+        .map(|p| ProfilePage {
+            entry: p.entry.clone(),
+            hotspots: p
+                .hotspots
+                .iter()
+                .map(|(h, r)| ProfileHotspot {
+                    file: h.file.clone(),
+                    line: h.span.line,
+                    col: h.span.col,
+                    label: h.label.clone(),
+                    policy: h.policy.clone(),
+                    complete: r.skeletons_complete,
+                    skeletons: r.skeleton_strings(),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Renders the versioned profile artifact. The `content_hash` member
+/// is an FNV-1a 64 digest of the `pages` fragment, so two profiles
+/// with identical allowlists key identically regardless of where they
+/// were rendered.
+pub fn render_profile(pages: &[ProfilePage]) -> String {
+    let body = render_pages(pages);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"format\": \"{PROFILE_FORMAT}\",\n"));
+    out.push_str(&format!(
+        "  \"engine\": \"{}\",\n",
+        strtaint_checker::engine_version()
+    ));
+    out.push_str(&format!(
+        "  \"content_hash\": \"{:016x}\",\n",
+        fnv1a64(body.as_bytes())
+    ));
+    out.push_str("  \"pages\": ");
+    out.push_str(&body);
+    out.push_str("\n}\n");
+    out
+}
+
+fn render_pages(pages: &[ProfilePage]) -> String {
+    let mut out = String::new();
+    out.push_str("[\n");
+    for (pi, p) in pages.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!(
+            "      \"entry\": \"{}\",\n",
+            json_escape(&p.entry)
+        ));
+        out.push_str("      \"hotspots\": [\n");
+        for (hi, h) in p.hotspots.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"label\": \"{}\", \"policy\": \"{}\", \"complete\": {}, \"allow\": [",
+                json_escape(&h.file),
+                h.line,
+                h.col,
+                json_escape(&h.label),
+                json_escape(&h.policy),
+                h.complete
+            ));
+            for (si, s) in h.skeletons.iter().enumerate() {
+                if si > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\"", json_escape(s)));
+            }
+            out.push_str(&format!(
+                "]}}{}\n",
+                if hi + 1 < p.hotspots.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if pi + 1 < pages.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]");
+    out
+}
+
+/// FNV-1a, 64-bit.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<ProfilePage> {
+        vec![ProfilePage {
+            entry: "index.php".into(),
+            hotspots: vec![ProfileHotspot {
+                file: "index.php".into(),
+                line: 3,
+                col: 1,
+                label: "mysql_query".into(),
+                policy: "sql".into(),
+                complete: true,
+                skeletons: vec!["SELECT * FROM t WHERE id='?'".into()],
+            }],
+        }]
+    }
+
+    #[test]
+    fn render_is_deterministic_and_hash_keyed() {
+        let a = render_profile(&sample());
+        let b = render_profile(&sample());
+        assert_eq!(a, b);
+        assert!(a.contains(PROFILE_FORMAT));
+        assert!(a.contains(strtaint_checker::engine_version()));
+        assert!(a.contains("\"content_hash\": \""));
+    }
+
+    #[test]
+    fn hash_tracks_allowlist_content() {
+        let a = render_profile(&sample());
+        let mut changed = sample();
+        changed[0].hotspots[0].skeletons[0].push('X');
+        let b = render_profile(&changed);
+        let key = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("content_hash"))
+                .map(String::from)
+        };
+        assert_ne!(key(&a), key(&b));
+    }
+}

@@ -406,3 +406,172 @@ fn metrics_reset_across_restart_even_when_verdicts_replay() {
 
     let _ = std::fs::remove_dir_all(&cache);
 }
+
+/// Rewrites every stored verdict artifact's text with `f`, returning
+/// how many files changed.
+fn mangle_artifacts(cache: &PathBuf, f: impl Fn(&str) -> String) -> usize {
+    let mut changed = 0;
+    for entry in std::fs::read_dir(cache.join("verdicts")).expect("verdict dir") {
+        let path = entry.expect("dir entry").path();
+        let text = std::fs::read_to_string(&path).expect("readable artifact");
+        let mangled = f(&text);
+        if mangled != text {
+            std::fs::write(&path, mangled).expect("write mangled");
+            changed += 1;
+        }
+    }
+    changed
+}
+
+#[test]
+fn pre_remedy_engine_artifact_is_dropped_not_replayed() {
+    let app = small_app();
+    let cache = temp_cache("pre-remedy-engine");
+    let n = app.entries.len();
+
+    let first = boot(&app, &cache);
+    analyze_all(&first, &app);
+    drop(first);
+
+    // Downgrade each artifact to the engine suffix that shipped before
+    // the remediation evidence (`+qc1` without the `.rm1` marker).
+    let current = strtaint_checker::engine_version();
+    let old = current.trim_end_matches(".rm1");
+    assert_ne!(current, old, "engine suffix must extend +qc1");
+    let changed = mangle_artifacts(&cache, |text| text.replace(current, old));
+    assert_eq!(changed, n, "one artifact per page carried the engine stamp");
+
+    let second = boot(&app, &cache);
+    let r2 = analyze_all(&second, &app);
+    assert_eq!(
+        num(&r2, "computed"),
+        n as f64,
+        "pre-remedy artifacts must recompute, never replay"
+    );
+    assert_eq!(num(&r2, "replayed"), 0.0);
+    let s2 = request(&second, "{\"cmd\":\"status\"}");
+    let dropped = s2
+        .get("store")
+        .and_then(|s| s.get("dropped"))
+        .and_then(Json::as_num)
+        .unwrap_or(0.0);
+    assert_eq!(dropped, n as f64, "each stale-engine artifact is dropped");
+
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn artifact_stripped_of_skeleton_evidence_recomputes() {
+    let app = small_app();
+    let cache = temp_cache("no-skeletons");
+    let n = app.entries.len();
+
+    let first = boot(&app, &cache);
+    analyze_all(&first, &app);
+    drop(first);
+
+    // Simulate a pre-remedy page body: hotspots without the skeleton
+    // allowlist member. The engine header is left *current*, so this
+    // exercises the structural validation in `Verdict::from_artifact`,
+    // not the version gate.
+    let changed = mangle_artifacts(&cache, |text| {
+        text.replace("\"skeletons\":", "\"skeletons_stripped\":")
+    });
+    assert_eq!(changed, n, "every page body carried skeleton evidence");
+
+    let second = boot(&app, &cache);
+    let r2 = analyze_all(&second, &app);
+    assert_eq!(
+        num(&r2, "computed"),
+        n as f64,
+        "evidence-free artifacts must recompute, never replay"
+    );
+    assert_eq!(num(&r2, "replayed"), 0.0);
+
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn profile_is_byte_identical_cold_and_daemon_warm() {
+    use strtaint::{analyze_page_policies_cached, CheckOptions, PolicyChecker, SummaryCache};
+
+    let app = small_app();
+    let cache = temp_cache("profile");
+    let policies: Vec<String> = vec!["sql".into(), "xss".into()];
+
+    // Cold run: direct in-process analysis, no daemon, no store.
+    let config = strtaint::Config {
+        policies: policies.clone(),
+        ..strtaint::Config::default()
+    };
+    let checker = PolicyChecker::with_options(CheckOptions::default());
+    let summaries = SummaryCache::new();
+    let reports: Vec<_> = app
+        .entries
+        .iter()
+        .map(|e| {
+            analyze_page_policies_cached(&app.vfs, e, &config, &checker, &summaries).expect(e)
+        })
+        .collect();
+    let cold = strtaint_remedy::render_profile(&strtaint_remedy::profile_pages(&reports));
+
+    let entries: Vec<String> = app.entries.iter().map(|e| format!("\"{e}\"")).collect();
+    let profile_req = format!(
+        "{{\"cmd\":\"profile\",\"entries\":[{}],\"policies\":[\"sql\",\"xss\"]}}",
+        entries.join(",")
+    );
+
+    // First daemon lifetime computes and persists the verdicts.
+    let first = boot(&app, &cache);
+    let r1 = request(&first, &profile_req);
+    let warm1 = r1.get("profile").and_then(Json::as_str).expect("profile");
+    assert_eq!(warm1, cold, "daemon compute profile matches the cold run");
+    drop(first);
+
+    // Second lifetime replays every verdict from the store — and must
+    // render the byte-identical profile without any engine work.
+    let second = boot(&app, &cache);
+    let r2 = request(&second, &profile_req);
+    let warm2 = r2.get("profile").and_then(Json::as_str).expect("profile");
+    assert_eq!(warm2, cold, "daemon warm-replay profile is byte-identical");
+    let s2 = request(&second, "{\"cmd\":\"status\"}");
+    assert_eq!(
+        engine_queries(&s2),
+        0.0,
+        "warm profile performs zero new Bar-Hillel queries"
+    );
+
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn profile_verb_routes_through_the_server_envelope() {
+    // The CLI's `serve` path goes through the multi-workspace server
+    // routing, not `handle_line` directly — a verb known only to the
+    // protocol layer would answer `unknown cmd` over the wire.
+    let app = small_app();
+    let state = DaemonState::new(app.vfs.clone(), strtaint::Config::default(), None);
+    let server = strtaint_daemon::ServerState::single("ws0", state);
+    let entry = &app.entries[0];
+    let input = format!(
+        "{{\"cmd\":\"profile\",\"entries\":[\"{entry}\"]}}\n{{\"cmd\":\"shutdown\"}}\n"
+    );
+    let mut output = Vec::new();
+    let shut = strtaint_daemon::serve_server_lines(&server, input.as_bytes(), &mut output)
+        .expect("serves");
+    assert!(shut);
+    let first = std::str::from_utf8(&output)
+        .expect("utf8")
+        .lines()
+        .next()
+        .expect("response line")
+        .to_owned();
+    let r = strtaint_daemon::json::parse(&first).expect("profile line parses");
+    assert_eq!(
+        r.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "profile must be a routed verb: {first}"
+    );
+    let profile = r.get("profile").and_then(Json::as_str).expect("profile text");
+    assert!(profile.contains("strtaint-profile/1"));
+}
