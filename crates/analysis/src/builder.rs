@@ -100,8 +100,10 @@ pub struct Analysis {
 pub enum AnalyzeError {
     /// The entry file is missing from the VFS.
     EntryNotFound(String),
-    /// The entry file failed to parse.
-    Parse(strtaint_php::ParsePhpError),
+    /// The entry file failed to parse (in whichever frontend its
+    /// extension dispatched to — the error renders identically across
+    /// frontends).
+    Parse(crate::frontend::FrontendError),
 }
 
 impl fmt::Display for AnalyzeError {
@@ -171,7 +173,7 @@ pub fn analyze_cached(
         .get(entry)
         .ok_or_else(|| AnalyzeError::EntryNotFound(entry.to_owned()))?;
     let summary = summaries
-        .get_or_lower(src, config)
+        .get_or_lower(em.frontends.for_path(entry), src, config)
         .map_err(AnalyzeError::Parse)?;
     let mut env = Env::new();
     em.cur_file = normalize(entry);

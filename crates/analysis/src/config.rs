@@ -65,6 +65,15 @@ pub struct Config {
     /// Step-fuel budget (worklist pops, Earley items) for one page.
     /// `None` = unlimited. Exhaustion degrades exactly like `timeout`.
     pub fuel: Option<u64>,
+    /// Enabled frontend ids, in priority order (see
+    /// [`crate::FrontendSet`]). PHP is always available as the
+    /// fallback even when not listed; unknown names are ignored. The
+    /// default enables both shipped frontends: `["php", "tpl"]`.
+    pub frontends: Vec<String>,
+    /// Extra file-extension → frontend-id mappings, overriding the
+    /// frontends' default extension claims (e.g. `"html" → "tpl"`).
+    /// Extensions are matched case-insensitively, without the dot.
+    pub extension_overrides: HashMap<String, String>,
 }
 
 impl Default for Config {
@@ -105,6 +114,8 @@ impl Default for Config {
             max_transducer_grammar: 100_000,
             timeout: None,
             fuel: None,
+            frontends: ["php", "tpl"].map(String::from).to_vec(),
+            extension_overrides: HashMap::new(),
         }
     }
 }
@@ -136,23 +147,58 @@ impl Config {
         use std::hash::{Hash, Hasher};
 
         let mut h = DefaultHasher::new();
-        self.direct_superglobals.hash(&mut h);
-        self.indirect_globals.hash(&mut h);
-        self.hotspot_functions.hash(&mut h);
-        self.hotspot_methods.hash(&mut h);
-        self.fetch_functions.hash(&mut h);
-        self.policies.hash(&mut h);
+        self.hash_replay_fields(&mut h);
+        // Frontend selection: which languages are enabled, how
+        // extensions dispatch, and each enabled frontend's lowering
+        // fingerprint (so a lowering-semantics bump invalidates
+        // whole-config consumers too).
+        self.frontends.hash(&mut h);
+        let mut exts: Vec<(&String, &String)> = self.extension_overrides.iter().collect();
+        exts.sort();
+        exts.hash(&mut h);
+        for f in crate::frontend::FrontendSet::from_config(self).all() {
+            f.id().hash(&mut h);
+            f.fingerprint().hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Like [`Config::fingerprint`], but **excluding** frontend
+    /// selection (`frontends` / `extension_overrides` / lowering
+    /// fingerprints). The daemon keys cached page verdicts on this so
+    /// that flipping the extension map recomputes only the pages whose
+    /// dependencies actually dispatch differently — each verdict
+    /// carries per-dependency frontend evidence that freshness
+    /// validation checks against the live
+    /// [`FrontendSet`](crate::FrontendSet) instead.
+    pub fn replay_fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::Hasher;
+
+        let mut h = DefaultHasher::new();
+        self.hash_replay_fields(&mut h);
+        h.finish()
+    }
+
+    fn hash_replay_fields(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+
+        self.direct_superglobals.hash(h);
+        self.indirect_globals.hash(h);
+        self.hotspot_functions.hash(h);
+        self.hotspot_methods.hash(h);
+        self.fetch_functions.hash(h);
+        self.policies.hash(h);
         let mut overrides: Vec<(&String, &Vec<String>)> =
             self.include_overrides.iter().collect();
         overrides.sort();
-        overrides.hash(&mut h);
-        self.max_call_depth.hash(&mut h);
-        self.max_include_fanout.hash(&mut h);
-        self.backward_slice.hash(&mut h);
-        self.max_transducer_grammar.hash(&mut h);
-        self.timeout.hash(&mut h);
-        self.fuel.hash(&mut h);
-        h.finish()
+        overrides.hash(h);
+        self.max_call_depth.hash(h);
+        self.max_include_fanout.hash(h);
+        self.backward_slice.hash(h);
+        self.max_transducer_grammar.hash(h);
+        self.timeout.hash(h);
+        self.fuel.hash(h);
     }
 }
 
@@ -198,6 +244,31 @@ mod tests {
         let mut c = Config::default();
         c.policies = vec!["shell".into(), "path".into(), "eval".into()];
         assert_ne!(base.fingerprint(), c.fingerprint());
+
+        // Frontend selection is part of the whole-config fingerprint…
+        let mut c = Config::default();
+        c.frontends = vec!["php".into()];
+        assert_ne!(base.fingerprint(), c.fingerprint());
+
+        let mut c = Config::default();
+        c.extension_overrides.insert("html".into(), "tpl".into());
+        assert_ne!(base.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn replay_fingerprint_ignores_frontend_selection() {
+        let base = Config::default();
+        let mut c = Config::default();
+        c.frontends = vec!["php".into()];
+        c.extension_overrides.insert("html".into(), "tpl".into());
+        // Verdict replay keys stay stable across extension-map flips;
+        // freshness is decided per-dependency from frontend evidence.
+        assert_eq!(base.replay_fingerprint(), c.replay_fingerprint());
+
+        // …but every analysis-observable knob still changes it.
+        let mut c = Config::default();
+        c.policies.push("shell".into());
+        assert_ne!(base.replay_fingerprint(), c.replay_fingerprint());
     }
 
     #[test]

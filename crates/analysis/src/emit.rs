@@ -24,6 +24,7 @@ use strtaint_grammar::{Cfg, NtId, Symbol, Taint};
 use crate::builder::{Analysis, Hotspot, Provenance};
 use crate::config::Config;
 use crate::env::{Env, KEY_SEP};
+use crate::frontend::FrontendSet;
 use crate::ir::*;
 use crate::relevance::Relevance;
 use crate::sinks::SinkTable;
@@ -58,6 +59,9 @@ pub(crate) struct Emitter<'a> {
     pub(crate) sinks: SinkTable,
     pub(crate) cfg: Cfg,
     pub(crate) summaries: &'a SummaryCache,
+    /// Enabled frontends + extension dispatch (entry and includes are
+    /// lowered by whichever frontend claims their extension).
+    pub(crate) frontends: FrontendSet,
     pub(crate) functions: HashMap<String, FnEntry>,
     /// Class methods, dispatched by bare method name (classless
     /// over-approximation; clashes merge conservatively by first
@@ -124,6 +128,7 @@ impl<'a> Emitter<'a> {
             sinks: SinkTable::new(config),
             cfg,
             summaries,
+            frontends: FrontendSet::from_config(config),
             functions: HashMap::new(),
             methods: HashMap::new(),
             hotspots: Vec::new(),

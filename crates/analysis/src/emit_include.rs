@@ -133,8 +133,11 @@ impl Emitter<'_> {
         // The summary cache replaces the per-analyzer parse cache: a
         // repeated include re-emits the shared IR instead of re-walking
         // a re-parsed AST. Parse failures are not cached and re-warn on
-        // every occurrence, exactly like the single-pass builder.
-        let summary = match self.summaries.get_or_lower(src, self.config) {
+        // every occurrence, exactly like the single-pass builder. The
+        // included file's extension picks its frontend, so a PHP page
+        // can include a template partial and vice versa.
+        let frontend = self.frontends.for_path(&norm);
+        let summary = match self.summaries.get_or_lower(frontend, src, self.config) {
             Ok(s) => s,
             Err(e) => {
                 self.warn(format!("included file {norm} failed to parse: {e}"));

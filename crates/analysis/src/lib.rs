@@ -52,6 +52,7 @@ mod emit;
 mod emit_expr;
 mod emit_include;
 pub mod env;
+pub mod frontend;
 pub mod ir;
 pub mod lower;
 mod refine;
@@ -63,6 +64,7 @@ pub mod vfs;
 pub use builder::{
     analyze, analyze_cached, analyze_with, Analysis, AnalyzeError, Hotspot, Provenance,
 };
+pub use frontend::{Frontend, FrontendError, FrontendSet, PhpFrontend, TplFrontend};
 pub use summary::SummaryCache;
 pub use config::Config;
 pub use env::Env;

@@ -486,6 +486,16 @@ fn prep_str_replace(args: &[Expr]) -> Option<Vec<Arc<Fst>>> {
     }
     let pats = const_list(&args[0])?;
     let reps = const_list(&args[1])?;
+    literal_replace_chain(&pats, &reps)
+}
+
+/// Builds the `str_replace` transducer chain from constant-folded
+/// pattern/replacement lists (the frontend-independent core: each
+/// frontend folds its own AST, every frontend shares this payload).
+pub(crate) fn literal_replace_chain(
+    pats: &[Vec<u8>],
+    reps: &[Vec<u8>],
+) -> Option<Vec<Arc<Fst>>> {
     if pats.is_empty() || pats.iter().any(|p| p.is_empty()) {
         return None;
     }
@@ -512,7 +522,19 @@ fn prep_preg_replace(args: &[Expr], posix_ci: bool, delimited: bool) -> Option<A
     }
     let pat = const_bytes_static(&args[0])?;
     let rep = const_bytes_static(&args[1])?;
-    let pat_str = String::from_utf8_lossy(&pat).into_owned();
+    regex_replace_fst(&pat, &rep, posix_ci, delimited)
+}
+
+/// Builds the `preg_replace`/`ereg_replace` transducer from a
+/// constant-folded pattern and replacement (frontend-independent core,
+/// like [`literal_replace_chain`]).
+pub(crate) fn regex_replace_fst(
+    pat: &[u8],
+    rep: &[u8],
+    posix_ci: bool,
+    delimited: bool,
+) -> Option<Arc<Fst>> {
+    let pat_str = String::from_utf8_lossy(pat).into_owned();
     let re = if delimited {
         Regex::new_delimited(&pat_str)
     } else {
@@ -528,11 +550,11 @@ fn prep_preg_replace(args: &[Expr], posix_ci: bool, delimited: bool) -> Option<A
     }
     let dfa = Dfa::from_nfa(&re.anchored_nfa()).minimize();
     Some(Arc::new(strtaint_automata::fst::builders::replace_regex(
-        &dfa, &rep,
+        &dfa, rep,
     )))
 }
 
-fn sprintf_plan(fmt: &[u8]) -> SprintfPlan {
+pub(crate) fn sprintf_plan(fmt: &[u8]) -> SprintfPlan {
     let mut parts: Vec<SprintfPart> = Vec::new();
     let mut lit: Vec<u8> = Vec::new();
     let mut arg_idx = 1usize;

@@ -54,10 +54,18 @@ struct Facts {
 ///
 /// All files in the VFS are scanned (any of them might be included);
 /// files that fail to parse contribute nothing, which is safe because
-/// the analyzer will not analyze them either.
+/// relevance only *adds* precision — anything not proven relevant is
+/// widened to tainted Σ*. Non-PHP files (template frontends) are
+/// skipped the same way: their variables simply stay widened, which
+/// is why `Config::backward_slice` is documented as a PHP-tree
+/// optimization.
 pub fn compute(vfs: &Vfs, config: &Config) -> Relevance {
+    let frontends = crate::frontend::FrontendSet::from_config(config);
     let mut facts = Facts::default();
     for path in vfs.paths() {
+        if frontends.for_path(path).id() != "php" {
+            continue;
+        }
         if let Some(src) = vfs.get(path) {
             if let Ok(file) = parse(src) {
                 scan_stmts(&file.stmts, None, &mut facts, config);

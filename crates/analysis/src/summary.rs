@@ -1,9 +1,9 @@
 //! Per-file IR summaries keyed by content hash.
 //!
-//! A [`SummaryCache`] memoizes [AST→IR lowering](crate::lower) so a
-//! file shared by many pages (a common `config.php` include, say) is
-//! parsed and lowered once per app analysis instead of once per page.
-//! The cache key is `(content_hash, config_fingerprint)`:
+//! A [`SummaryCache`] memoizes [`Frontend`] lowering so a file shared
+//! by many pages (a common `config.php` include, say) is parsed and
+//! lowered once per app analysis instead of once per page. The cache
+//! key is `(content_hash, config_fingerprint, frontend_fingerprint)`:
 //!
 //! - **content hash** — a hash of the raw file bytes, so any edit
 //!   invalidates the summary;
@@ -12,7 +12,11 @@
 //!   config-independent today (all config consultation happens at
 //!   emit), so the fingerprint is defensive: if lowering ever grows a
 //!   config dependency, the fingerprint must cover that field or the
-//!   cache would serve stale IR across configs.
+//!   cache would serve stale IR across configs;
+//! - **frontend fingerprint** — [`Frontend::fingerprint`] of the
+//!   frontend that lowers the file, so two languages (or two lowering
+//!   versions of one language) never share a summary even for
+//!   identical source bytes.
 //!
 //! Summaries are path-free (an include records only its source line;
 //! the path is supplied by the emitter), which is what makes one
@@ -28,8 +32,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::config::Config;
+use crate::frontend::{Frontend, FrontendError};
 use crate::ir::FileSummary;
-use crate::lower;
 
 /// Hashes raw file bytes into a summary-cache content key.
 pub fn content_hash(src: &[u8]) -> u64 {
@@ -69,7 +73,7 @@ pub fn config_fingerprint(config: &Config) -> u64 {
 /// lowerings acceptance test.
 #[derive(Debug, Default)]
 pub struct SummaryCache {
-    map: Mutex<HashMap<(u64, u64), Arc<FileSummary>>>,
+    map: Mutex<HashMap<(u64, u64, u64), Arc<FileSummary>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -80,16 +84,21 @@ impl SummaryCache {
         Self::default()
     }
 
-    /// Returns the lowered summary for `src`, lowering (and caching)
-    /// it on a miss. Parse errors are returned verbatim and never
-    /// cached.
+    /// Returns the lowered summary for `src` under `frontend`,
+    /// lowering (and caching) it on a miss. Parse errors are returned
+    /// verbatim and never cached.
     pub fn get_or_lower(
         &self,
+        frontend: &dyn Frontend,
         src: &[u8],
         config: &Config,
-    ) -> Result<Arc<FileSummary>, strtaint_php::ParsePhpError> {
+    ) -> Result<Arc<FileSummary>, FrontendError> {
         let _span = strtaint_obs::Span::enter("summary", "");
-        let key = (content_hash(src), config_fingerprint(config));
+        let key = (
+            content_hash(src),
+            config_fingerprint(config),
+            frontend.fingerprint(),
+        );
         if let Some(hit) = self
             .map
             .lock()
@@ -107,9 +116,8 @@ impl SummaryCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let summary = {
             let _lower = strtaint_obs::Span::enter("lower", "");
-            let file = strtaint_php::parse(src)?;
             Arc::new(FileSummary {
-                body: lower::lower_file(&file),
+                body: frontend.lower(src)?,
                 content_hash: key.0,
             })
         };
@@ -121,7 +129,8 @@ impl SummaryCache {
     }
 
     /// Number of summaries currently resident (distinct
-    /// `(content, config)` keys) — surfaced by the daemon's `status`.
+    /// `(content, config, frontend)` keys) — surfaced by the daemon's
+    /// `status`.
     pub fn len(&self) -> usize {
         self.map.lock().unwrap_or_else(|p| p.into_inner()).len()
     }

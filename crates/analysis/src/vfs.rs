@@ -88,7 +88,8 @@ impl Vfs {
             .sum()
     }
 
-    /// Loads every `*.php` file under `dir` (recursively).
+    /// Loads every `*.php` and `*.tpl` file under `dir` (recursively)
+    /// — the extensions the shipped frontends claim.
     ///
     /// # Errors
     ///
@@ -102,7 +103,7 @@ impl Vfs {
                 let path = entry.path();
                 if path.is_dir() {
                     stack.push(path);
-                } else if path.extension().is_some_and(|e| e == "php") {
+                } else if path.extension().is_some_and(|e| e == "php" || e == "tpl") {
                     let rel = path
                         .strip_prefix(dir)
                         .unwrap_or(&path)

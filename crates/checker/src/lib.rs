@@ -57,9 +57,10 @@ pub use xss::XssChecker;
 /// The engine-evidence version string stamped into persisted artifacts
 /// (the daemon's verdict store) and profile exports. The suffix names
 /// the evidence generations an artifact must carry to be replayable:
-/// `qc1` (query-cache era witness bytes) and `rm1` (remediation-era
-/// skeleton evidence). Bumping the suffix drops — rather than replays —
-/// every artifact written before the corresponding evidence existed.
+/// `qc1` (query-cache era witness bytes), `rm1` (remediation-era
+/// skeleton evidence), and `fe1` (frontend-era per-dependency language
+/// evidence). Bumping the suffix drops — rather than replays — every
+/// artifact written before the corresponding evidence existed.
 pub fn engine_version() -> &'static str {
-    concat!("strtaint-", env!("CARGO_PKG_VERSION"), "+qc1.rm1")
+    concat!("strtaint-", env!("CARGO_PKG_VERSION"), "+qc1.rm1.fe1")
 }

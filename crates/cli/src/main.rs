@@ -1,7 +1,7 @@
 //! The `strtaint` command-line analyzer.
 //!
 //! ```text
-//! strtaint [OPTIONS] <PROJECT_DIR> <ENTRY.php>...
+//! strtaint [OPTIONS] <PROJECT_DIR> <ENTRY.php|ENTRY.tpl>...
 //! strtaint serve --dir <PROJECT_DIR> [serve options]
 //!
 //! OPTIONS:
@@ -80,7 +80,7 @@ const USAGE: &str = "usage: strtaint [--xss] [--policy LIST] [--slice] [--json] 
                      [--include SITE=FILE] [--timeout SECS] [--fuel N] \
                      [--no-summary-cache] [--no-query-cache] [--eager-witness] \
                      [--stats] [--trace-json FILE] \
-                     <dir> <entry.php>...\n\
+                     <dir> <entry.php|entry.tpl>...\n\
                      \x20      strtaint --list-policies\n\
                      \x20      strtaint serve --dir <dir> [options]\n\
                      \x20      strtaint fix [--policy LIST] [--apply|--sarif] <dir> <entry.php>...\n\
@@ -285,7 +285,7 @@ fn main() -> ExitCode {
     let vfs = match Vfs::from_dir(Path::new(&opts.dir)) {
         Ok(v) if !v.is_empty() => v,
         Ok(_) => {
-            eprintln!("no .php files under {}", opts.dir);
+            eprintln!("no .php or .tpl files under {}", opts.dir);
             return ExitCode::from(2);
         }
         Err(e) => {

@@ -28,6 +28,7 @@
 pub mod app;
 pub mod apps;
 pub mod filler;
+pub mod frontends;
 pub mod policies;
 pub mod remedy;
 pub mod synth;

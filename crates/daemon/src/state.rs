@@ -26,6 +26,7 @@ use strtaint::{
     analyze_page_cached, analyze_page_policies_cached, analyze_page_xss_cached, Config,
     EngineStats, PageReport, PolicyChecker, SummaryCache, Vfs,
 };
+use strtaint_analysis::frontend::FrontendSet;
 use strtaint_analysis::summary::content_hash;
 use strtaint_analysis::vfs::normalize;
 use strtaint_obs::{Counter, Histogram, MetricSnapshot, Registry, metrics::DURATION_US_BOUNDS};
@@ -81,8 +82,12 @@ pub struct DaemonState {
     tree: AtomicU64,
     /// Base configuration; per-request budget overrides derive from it.
     config: Config,
-    /// `config.fingerprint()`, cached.
+    /// `config.replay_fingerprint()`, cached (frontend-free — see
+    /// [`crate::verdict::verdict_key`]).
     config_fp: u64,
+    /// The base config's frontend set: extension dispatch for verdict
+    /// frontend evidence and freshness checks.
+    frontends: FrontendSet,
     /// Prepared automata for every built-in policy, page-independent.
     checker: PolicyChecker,
     /// Shared AST→IR summary cache (content-hash keyed, so edits
@@ -123,7 +128,8 @@ impl DaemonState {
             .map(|p| (p.to_owned(), content_hash(vfs.get(p).unwrap_or(b""))))
             .collect();
         let tree = tree_digest(vfs.paths());
-        let config_fp = config.fingerprint();
+        let config_fp = config.replay_fingerprint();
+        let frontends = FrontendSet::from_config(&config);
         let registry = Registry::new();
         let counters = DaemonCounters::new(&registry);
         let replay_us = registry.histogram("daemon.replay_us", DURATION_US_BOUNDS);
@@ -134,6 +140,7 @@ impl DaemonState {
             tree: AtomicU64::new(tree),
             config,
             config_fp,
+            frontends,
             checker: PolicyChecker::new(),
             summaries: SummaryCache::new(),
             verdicts: Mutex::new(HashMap::new()),
@@ -211,18 +218,32 @@ impl DaemonState {
     }
 
     /// `true` when `v`'s freshness evidence matches the live tree and
-    /// configuration — the replay precondition.
-    fn is_fresh(&self, v: &Verdict, config_fp: u64) -> bool {
+    /// configuration — the replay precondition. Frontend evidence is
+    /// validated per-dependency against the live frontend set: a page
+    /// stays replayable across an extension-map flip unless one of
+    /// *its* files now dispatches to a different frontend (or a
+    /// frontend's lowering fingerprint changed).
+    fn is_fresh(&self, v: &Verdict, config_fp: u64, frontends: &FrontendSet) -> bool {
         if v.config_fp != config_fp {
             return false;
         }
         if v.tree != self.tree.load(Ordering::Relaxed) {
             return false;
         }
-        let hashes = self.hashes.read().unwrap_or_else(|p| p.into_inner());
-        v.deps
-            .iter()
-            .all(|(path, hash)| hashes.get(path) == Some(hash))
+        {
+            let hashes = self.hashes.read().unwrap_or_else(|p| p.into_inner());
+            if !v
+                .deps
+                .iter()
+                .all(|(path, hash)| hashes.get(path) == Some(hash))
+            {
+                return false;
+            }
+        }
+        v.frontends.iter().all(|(path, id, fp)| {
+            let live = frontends.for_path(path);
+            live.id() == id && live.fingerprint() == *fp
+        })
     }
 
     /// Analyzes (or replays) one page under the given effective config,
@@ -240,10 +261,12 @@ impl DaemonState {
     ) -> (Json, PageOutcome) {
         let t0 = Instant::now();
         let entry = normalize(entry);
-        let config_fp = if std::ptr::eq(config, &self.config) {
-            self.config_fp
+        let request_frontends;
+        let (config_fp, frontends) = if std::ptr::eq(config, &self.config) {
+            (self.config_fp, &self.frontends)
         } else {
-            config.fingerprint()
+            request_frontends = FrontendSet::from_config(config);
+            (config.replay_fingerprint(), &request_frontends)
         };
         let key = verdict_key(&entry, xss, config_fp);
 
@@ -251,7 +274,7 @@ impl DaemonState {
         {
             let verdicts = self.verdicts.lock().unwrap_or_else(|p| p.into_inner());
             if let Some(v) = verdicts.get(&key) {
-                if self.is_fresh(v, config_fp) {
+                if self.is_fresh(v, config_fp, frontends) {
                     self.counters.pages_replayed.inc();
                     self.replay_us.observe(elapsed_us(t0));
                     return (v.page.clone(), PageOutcome::Replayed);
@@ -266,7 +289,7 @@ impl DaemonState {
                     Some(v)
                         if v.entry == entry
                             && v.xss == xss
-                            && self.is_fresh(&v, config_fp) =>
+                            && self.is_fresh(&v, config_fp, frontends) =>
                     {
                         let v = Arc::new(v);
                         self.verdicts
@@ -303,6 +326,13 @@ impl DaemonState {
         // would hide recovery.
         if report.skipped.is_none() {
             let deps = self.dep_hashes(&vfs, &report, config);
+            let frontend_evidence = deps
+                .iter()
+                .map(|(path, _)| {
+                    let f = frontends.for_path(path);
+                    (path.clone(), f.id().to_owned(), f.fingerprint())
+                })
+                .collect();
             let verdict = Arc::new(Verdict {
                 entry: entry.clone(),
                 xss,
@@ -310,6 +340,7 @@ impl DaemonState {
                 config_fp,
                 tree: self.tree.load(Ordering::Relaxed),
                 deps,
+                frontends: frontend_evidence,
                 page: page.clone(),
             });
             if let Some(store) = &self.store {

@@ -26,9 +26,15 @@ use strtaint::{PageReport, Taint};
 use crate::json::{hex64, parse_hex64, Json};
 
 /// Computes the verdict cache key for one page analysis: entry path +
-/// checker mode + full config fingerprint. Tree state is deliberately
-/// *not* part of the key — a re-analysis after an edit overwrites the
-/// stale verdict in place.
+/// checker mode + replay config fingerprint
+/// ([`Config::replay_fingerprint`](strtaint::Config::replay_fingerprint)
+/// — every analysis-observable knob *except* frontend selection). Tree
+/// state is deliberately *not* part of the key — a re-analysis after
+/// an edit overwrites the stale verdict in place. Frontend selection
+/// is deliberately not part of the key either: flipping the extension
+/// map re-keys nothing, and the per-dependency frontend evidence on
+/// each [`Verdict`] lets freshness validation recompute exactly the
+/// pages whose dependencies now dispatch to a different frontend.
 pub fn verdict_key(entry: &str, xss: bool, config_fp: u64) -> u64 {
     let mut h = DefaultHasher::new();
     entry.hash(&mut h);
@@ -228,12 +234,20 @@ pub struct Verdict {
     /// — and so pre-policy artifacts (missing this member) are dropped
     /// rather than replayed under the wrong semantics.
     pub policies: Vec<String>,
-    /// Full config fingerprint at computation time.
+    /// Replay config fingerprint at computation time (frontend-free —
+    /// see [`verdict_key`]).
     pub config_fp: u64,
     /// Path-set digest at computation time.
     pub tree: u64,
     /// `(path, content hash)` of every file the analysis read.
     pub deps: Vec<(String, u64)>,
+    /// `(path, frontend id, frontend fingerprint)` for every
+    /// dependency: which frontend lowered each file. Freshness checks
+    /// this against the live frontend set, so an extension-map or
+    /// frontend-set flip invalidates exactly the pages whose
+    /// dependencies dispatch differently. Pre-frontend artifacts lack
+    /// this member and are dropped rather than replayed.
+    pub frontends: Vec<(String, String, u64)>,
     /// The rendered page object (the protocol's `pages[i]`).
     pub page: Json,
 }
@@ -251,6 +265,17 @@ impl Verdict {
                 ])
             })
             .collect();
+        let frontends: Vec<Json> = self
+            .frontends
+            .iter()
+            .map(|(path, id, fp)| {
+                Json::obj(vec![
+                    ("path", Json::Str(path.clone())),
+                    ("id", Json::Str(id.clone())),
+                    ("fp", Json::Str(hex64(*fp))),
+                ])
+            })
+            .collect();
         vec![
             ("entry".to_owned(), Json::Str(self.entry.clone())),
             ("xss".to_owned(), Json::Bool(self.xss)),
@@ -261,6 +286,7 @@ impl Verdict {
             ("config_fp".to_owned(), Json::Str(hex64(self.config_fp))),
             ("tree".to_owned(), Json::Str(hex64(self.tree))),
             ("deps".to_owned(), Json::Arr(deps)),
+            ("frontends".to_owned(), Json::Arr(frontends)),
             ("page".to_owned(), self.page.clone()),
         ]
     }
@@ -282,6 +308,16 @@ impl Verdict {
             let path = d.get("path")?.as_str()?.to_owned();
             let hash = parse_hex64(d.get("hash")?.as_str()?)?;
             deps.push((path, hash));
+        }
+        // Pre-frontend artifacts lack the per-dependency frontend
+        // evidence; they must be dropped (recomputed), never replayed —
+        // the file could now dispatch to a different language.
+        let mut frontends = Vec::new();
+        for fe in v.get("frontends")?.as_arr()? {
+            let path = fe.get("path")?.as_str()?.to_owned();
+            let id = fe.get("id")?.as_str()?.to_owned();
+            let fp = parse_hex64(fe.get("fp")?.as_str()?)?;
+            frontends.push((path, id, fp));
         }
         let page = v.get("page")?.clone();
         // The page object must at least identify the same entry — a
@@ -305,6 +341,7 @@ impl Verdict {
             config_fp,
             tree,
             deps,
+            frontends,
             page,
         })
     }
@@ -356,6 +393,10 @@ mod tests {
             config_fp: 11,
             tree: 22,
             deps: vec![("a.php".into(), 1), ("lib.php".into(), 2)],
+            frontends: vec![
+                ("a.php".into(), "php".into(), 7),
+                ("lib.tpl".into(), "tpl".into(), 9),
+            ],
             page: page_with_evidence("a.php"),
         };
         let body = v.to_artifact_body();
@@ -366,6 +407,30 @@ mod tests {
         assert_eq!(back.config_fp, 11);
         assert_eq!(back.tree, 22);
         assert_eq!(back.deps, v.deps);
+        assert_eq!(back.frontends, v.frontends);
+    }
+
+    #[test]
+    fn artifact_without_frontend_evidence_is_rejected() {
+        // Pre-frontend artifacts lack the `frontends` member; they must
+        // be dropped (recomputed), never replayed — the files could now
+        // dispatch to a different language.
+        let v = Verdict {
+            entry: "a.php".into(),
+            xss: false,
+            policies: vec!["sql".into()],
+            config_fp: 0,
+            tree: 0,
+            deps: vec![],
+            frontends: vec![("a.php".into(), "php".into(), 7)],
+            page: page_with_evidence("a.php"),
+        };
+        let body: Vec<(String, Json)> = v
+            .to_artifact_body()
+            .into_iter()
+            .filter(|(k, _)| k != "frontends")
+            .collect();
+        assert!(Verdict::from_artifact(&Json::Obj(body)).is_none());
     }
 
     #[test]
@@ -379,6 +444,7 @@ mod tests {
             config_fp: 0,
             tree: 0,
             deps: vec![],
+            frontends: vec![],
             page: page_with_evidence("a.php"),
         };
         let body: Vec<(String, Json)> = v
@@ -427,6 +493,7 @@ mod tests {
                 config_fp: 0,
                 tree: 0,
                 deps: vec![],
+                frontends: vec![],
                 page: stripped,
             };
             let artifact = Json::Obj(v.to_artifact_body());
@@ -446,6 +513,7 @@ mod tests {
             config_fp: 0,
             tree: 0,
             deps: vec![],
+            frontends: vec![],
             page: page_with_evidence("OTHER.php"),
         };
         let artifact = Json::Obj(v.to_artifact_body());

@@ -1,0 +1,198 @@
+//! Abstract syntax tree for the template language.
+//!
+//! The language is deliberately small — a JS-flavored expression core
+//! (`var x = req.query.y`, `+` concatenation, member/index access,
+//! function calls) embedded in a text template with `{{ expr }}`
+//! interpolation and `{% ... %}` statement blocks. Everything the
+//! taint analysis needs (sources, sinks, sanitizers, control flow)
+//! is expressible; nothing else is.
+
+use crate::span::Span;
+
+/// A parsed template file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Template {
+    /// Top-level statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement plus its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// What kind of statement.
+    pub kind: StmtKind,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// Literal template text outside any delimiter.
+    Text(Vec<u8>),
+    /// `{{ expr }}` — interpolation into the output document.
+    Output(Expr),
+    /// `echo expr` — explicit output statement inside a block.
+    Echo(Expr),
+    /// `var name = init` declaration (initializer optional).
+    Var {
+        /// The declared variable.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// A bare expression statement (assignments, calls).
+    Expr(Expr),
+    /// `{% if c %} ... {% elif c %} ... {% else %} ... {% end %}`.
+    If {
+        /// The `if` condition.
+        cond: Expr,
+        /// The `if` arm.
+        then: Vec<Stmt>,
+        /// `elif` arms in order.
+        elifs: Vec<(Expr, Vec<Stmt>)>,
+        /// The `else` arm, if present.
+        els: Option<Vec<Stmt>>,
+    },
+    /// `{% while c %} ... {% end %}`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `{% for x in e %} ... {% end %}`.
+    For {
+        /// The bound loop variable.
+        var: String,
+        /// The iterated collection.
+        subject: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `{% function f(a, b) %} ... {% end %}`.
+    Func(FuncDecl),
+    /// `return expr?`.
+    Return(Option<Expr>),
+    /// `include expr` — pulls another template into this page.
+    Include(Expr),
+    /// `exit`.
+    Exit,
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+}
+
+/// A function declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Where the declaration starts.
+    pub span: Span,
+}
+
+/// An expression plus its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// What kind of expression.
+    pub kind: ExprKind,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// `null`.
+    Null,
+    /// `true`.
+    True,
+    /// `false`.
+    False,
+    /// Numeric literal, kept as raw source text.
+    Num(String),
+    /// String literal (escapes decoded).
+    Str(Vec<u8>),
+    /// A variable reference.
+    Ident(String),
+    /// `base.name` member access.
+    Member(Box<Expr>, String),
+    /// `base[index]` element access.
+    Index(Box<Expr>, Box<Expr>),
+    /// `callee(args...)` — callee is an identifier or member chain.
+    Call(Box<Expr>, Vec<Expr>),
+    /// Unary operator application.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operator application.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `c ? t : e`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `target = value` / `target += value`.
+    Assign {
+        /// The assigned lvalue (identifier, member, or index).
+        target: Box<Expr>,
+        /// Plain or compound assignment.
+        op: AssignOp,
+        /// The assigned value.
+        value: Box<Expr>,
+    },
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` — string concatenation / addition (JS-flavored).
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `==`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `===`
+    StrictEq,
+    /// `!==`
+    StrictNeq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `!`
+    Not,
+    /// `-`
+    Neg,
+}
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Assign,
+    /// `+=` — concatenating assignment.
+    AddAssign,
+}

@@ -1,0 +1,352 @@
+//! Segmenting lexer for the template language.
+//!
+//! A template is literal text interleaved with two kinds of code
+//! islands: `{{ expr }}` (interpolation — an output sink) and
+//! `{% stmt; stmt %}` (statement blocks, including control-flow tags
+//! such as `{% if e %}` ... `{% end %}`). The lexer splits the source
+//! into [`Segment`]s and tokenizes the code islands; it never panics
+//! on arbitrary input (pinned by `tests/robustness.rs`).
+
+use std::fmt;
+
+use crate::span::Span;
+use crate::token::{SpannedTok, Tok};
+
+/// One lexed piece of a template.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Segment {
+    /// Literal text outside any delimiter.
+    Text {
+        /// Where the text starts.
+        span: Span,
+        /// The raw bytes.
+        bytes: Vec<u8>,
+    },
+    /// `{{ ... }}` interpolation.
+    Interp {
+        /// Where the `{{` opens.
+        span: Span,
+        /// The tokenized expression.
+        toks: Vec<SpannedTok>,
+    },
+    /// `{% ... %}` statement block.
+    Block {
+        /// Where the `{%` opens.
+        span: Span,
+        /// The tokenized statements.
+        toks: Vec<SpannedTok>,
+    },
+}
+
+/// A lexing failure: position plus message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexTplError {
+    /// What went wrong.
+    pub message: String,
+    /// Where.
+    pub span: Span,
+}
+
+impl fmt::Display for LexTplError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.message)
+    }
+}
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(src: &'a [u8]) -> Self {
+        Scanner {
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn starts(&self, what: &[u8]) -> bool {
+        self.src[self.pos..].starts_with(what)
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn err(&self, message: impl Into<String>) -> LexTplError {
+        LexTplError {
+            message: message.into(),
+            span: self.span(),
+        }
+    }
+}
+
+/// Splits a template into text and tokenized code segments.
+pub fn lex(src: &[u8]) -> Result<Vec<Segment>, LexTplError> {
+    let mut sc = Scanner::new(src);
+    let mut segs = Vec::new();
+    loop {
+        // Text mode: everything up to the next `{{` / `{%` or EOF.
+        let start = sc.span();
+        let mut text = Vec::new();
+        while sc.peek().is_some() && !sc.starts(b"{{") && !sc.starts(b"{%") {
+            if let Some(b) = sc.bump() {
+                text.push(b);
+            }
+        }
+        if !text.is_empty() {
+            segs.push(Segment::Text { span: start, bytes: text });
+        }
+        if sc.peek().is_none() {
+            break;
+        }
+        // Code mode: tokenize until the matching close delimiter.
+        let open_span = sc.span();
+        let block = sc.starts(b"{%");
+        sc.bump();
+        sc.bump();
+        let close: &[u8] = if block { b"%}" } else { b"}}" };
+        let mut toks = Vec::new();
+        loop {
+            while sc.peek().is_some_and(|b| b.is_ascii_whitespace()) {
+                sc.bump();
+            }
+            if sc.peek().is_none() {
+                return Err(LexTplError {
+                    message: format!(
+                        "unterminated {} (missing {})",
+                        if block { "{% block" } else { "{{ interpolation" },
+                        String::from_utf8_lossy(close)
+                    ),
+                    span: open_span,
+                });
+            }
+            if sc.starts(close) {
+                sc.bump();
+                sc.bump();
+                break;
+            }
+            toks.push(lex_token(&mut sc)?);
+        }
+        segs.push(if block {
+            Segment::Block { span: open_span, toks }
+        } else {
+            Segment::Interp { span: open_span, toks }
+        });
+    }
+    Ok(segs)
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn lex_token(sc: &mut Scanner<'_>) -> Result<SpannedTok, LexTplError> {
+    let span = sc.span();
+    let Some(c) = sc.peek() else {
+        return Err(sc.err("unexpected end of input"));
+    };
+    let tok = if is_ident_start(c) {
+        let mut name = String::new();
+        while sc.peek().is_some_and(is_ident_cont) {
+            if let Some(b) = sc.bump() {
+                name.push(b as char);
+            }
+        }
+        Tok::Ident(name)
+    } else if c.is_ascii_digit() {
+        let mut raw = String::new();
+        while sc.peek().is_some_and(|b| b.is_ascii_digit()) {
+            if let Some(b) = sc.bump() {
+                raw.push(b as char);
+            }
+        }
+        if sc.peek() == Some(b'.') && sc.src.get(sc.pos + 1).is_some_and(u8::is_ascii_digit) {
+            sc.bump();
+            raw.push('.');
+            while sc.peek().is_some_and(|b| b.is_ascii_digit()) {
+                if let Some(b) = sc.bump() {
+                    raw.push(b as char);
+                }
+            }
+        }
+        Tok::Num(raw)
+    } else if c == b'"' || c == b'\'' {
+        let quote = c;
+        sc.bump();
+        let mut bytes = Vec::new();
+        loop {
+            match sc.bump() {
+                None => return Err(LexTplError {
+                    message: "unterminated string literal".to_owned(),
+                    span,
+                }),
+                Some(b) if b == quote => break,
+                Some(b'\\') => match sc.bump() {
+                    None => return Err(LexTplError {
+                        message: "unterminated string literal".to_owned(),
+                        span,
+                    }),
+                    Some(b'n') => bytes.push(b'\n'),
+                    Some(b't') => bytes.push(b'\t'),
+                    Some(b'r') => bytes.push(b'\r'),
+                    Some(b'\\') => bytes.push(b'\\'),
+                    Some(b'"') => bytes.push(b'"'),
+                    Some(b'\'') => bytes.push(b'\''),
+                    Some(other) => {
+                        // Unknown escape: keep both bytes verbatim.
+                        bytes.push(b'\\');
+                        bytes.push(other);
+                    }
+                },
+                Some(b) => bytes.push(b),
+            }
+        }
+        Tok::Str(bytes)
+    } else {
+        // Punctuation; longest match first for multi-byte operators.
+        let two = |sc: &Scanner<'_>, pat: &[u8]| sc.starts(pat);
+        if two(sc, b"===") {
+            sc.bump();
+            sc.bump();
+            sc.bump();
+            Tok::StrictEq
+        } else if two(sc, b"!==") {
+            sc.bump();
+            sc.bump();
+            sc.bump();
+            Tok::StrictNeq
+        } else if two(sc, b"==") {
+            sc.bump();
+            sc.bump();
+            Tok::Eq
+        } else if two(sc, b"!=") {
+            sc.bump();
+            sc.bump();
+            Tok::Neq
+        } else if two(sc, b"<=") {
+            sc.bump();
+            sc.bump();
+            Tok::Le
+        } else if two(sc, b">=") {
+            sc.bump();
+            sc.bump();
+            Tok::Ge
+        } else if two(sc, b"&&") {
+            sc.bump();
+            sc.bump();
+            Tok::AndAnd
+        } else if two(sc, b"||") {
+            sc.bump();
+            sc.bump();
+            Tok::OrOr
+        } else if two(sc, b"+=") {
+            sc.bump();
+            sc.bump();
+            Tok::PlusAssign
+        } else {
+            sc.bump();
+            match c {
+                b'(' => Tok::LParen,
+                b')' => Tok::RParen,
+                b'[' => Tok::LBracket,
+                b']' => Tok::RBracket,
+                b',' => Tok::Comma,
+                b';' => Tok::Semi,
+                b'.' => Tok::Dot,
+                b'+' => Tok::Plus,
+                b'-' => Tok::Minus,
+                b'*' => Tok::Star,
+                b'/' => Tok::Slash,
+                b'%' => Tok::Percent,
+                b'=' => Tok::Assign,
+                b'!' => Tok::Not,
+                b'<' => Tok::Lt,
+                b'>' => Tok::Gt,
+                b'?' => Tok::Question,
+                b':' => Tok::Colon,
+                other => {
+                    return Err(LexTplError {
+                        message: format!("unexpected character `{}`", other as char),
+                        span,
+                    })
+                }
+            }
+        }
+    };
+    Ok(SpannedTok { tok, span })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_and_interp_split() {
+        let segs = lex(b"hello {{ name }}!").expect("lexes");
+        assert_eq!(segs.len(), 3);
+        assert!(matches!(&segs[0], Segment::Text { bytes, .. } if bytes == b"hello "));
+        assert!(matches!(&segs[1], Segment::Interp { toks, .. } if toks.len() == 1));
+        assert!(matches!(&segs[2], Segment::Text { bytes, .. } if bytes == b"!"));
+    }
+
+    #[test]
+    fn block_tokenizes_operators() {
+        let segs = lex(b"{% var x = a + b.c %}").expect("lexes");
+        let Segment::Block { toks, .. } = &segs[0] else {
+            panic!("expected block")
+        };
+        assert_eq!(toks.len(), 8);
+        assert_eq!(toks[2].tok, Tok::Assign);
+        assert_eq!(toks[4].tok, Tok::Plus);
+    }
+
+    #[test]
+    fn string_may_contain_close_delims() {
+        let segs = lex(b"{{ \"a}}b\" }}").expect("lexes");
+        let Segment::Interp { toks, .. } = &segs[0] else {
+            panic!("expected interp")
+        };
+        assert_eq!(toks[0].tok, Tok::Str(b"a}}b".to_vec()));
+    }
+
+    #[test]
+    fn unterminated_block_reports_open_span() {
+        let err = lex(b"x\n{% var a").expect_err("must fail");
+        assert_eq!(err.span, Span::new(2, 1));
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let segs = lex(b"a\nb{% x %}").expect("lexes");
+        let Segment::Block { span, .. } = &segs[1] else {
+            panic!("expected block")
+        };
+        assert_eq!(*span, Span::new(2, 2));
+    }
+}

@@ -1,0 +1,45 @@
+//! Template/JS-flavored frontend language for **strtaint**: lexer,
+//! parser, AST, and canonical pretty-printer.
+//!
+//! This crate exists to prove the analysis pipeline is frontend
+//! agnostic: a second, deliberately small language whose lowering (in
+//! `strtaint-analysis`) produces the same dataflow IR the PHP frontend
+//! does, so grammars, policy automata, the prepared engine, and the
+//! daemon all work unchanged on non-PHP input.
+//!
+//! The language: literal text, `{{ expr }}` interpolation (an output
+//! sink, like `echo`), and `{% ... %}` statement blocks with a
+//! JS-flavored expression core — `var x = req.query.y`, `+` string
+//! concatenation, member/index access, function declarations and
+//! calls, `db.query(...)`-style method sinks, and `if`/`while`/`for`
+//! control flow assembled across blocks.
+//!
+//! # Examples
+//!
+//! ```
+//! use strtaint_tpl::parse;
+//!
+//! let t = parse(br#"{% var id = req.query.id %}
+//! {% var q = "SELECT * FROM users WHERE id='" + id + "'" %}
+//! {% db.query(q) %}"#).unwrap();
+//! assert_eq!(t.stmts.len(), 5); // 3 blocks + 2 newline text runs
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod span;
+pub mod token;
+
+pub use ast::{
+    AssignOp, BinOp, Expr, ExprKind, FuncDecl, Stmt, StmtKind, Template, UnaryOp,
+};
+pub use lexer::{lex, LexTplError, Segment};
+pub use parser::{parse, ParseTplError};
+pub use pretty::pretty;
+pub use span::Span;
+pub use token::{SpannedTok, Tok};

@@ -1,0 +1,761 @@
+//! Recursive-descent parser for the template language.
+//!
+//! Works in two passes: the lexer's segments are first classified into
+//! atoms (text, one parsed interpolation expression, or one block tag),
+//! then control-flow tags (`if`/`elif`/`else`/`while`/`for`/`function`
+//! ... `end`) are assembled into a statement tree.
+
+use std::fmt;
+
+use crate::ast::{AssignOp, BinOp, Expr, ExprKind, FuncDecl, Stmt, StmtKind, Template, UnaryOp};
+use crate::lexer::{lex, LexTplError, Segment};
+use crate::span::Span;
+use crate::token::{SpannedTok, Tok};
+
+/// A parse failure: position plus message.
+///
+/// The `Display` rendering (`parse error at L:C: message`) is
+/// deliberately format-identical to the PHP frontend's parse error so
+/// analysis warnings stay byte-identical regardless of frontend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseTplError {
+    /// What went wrong.
+    pub message: String,
+    /// Where.
+    pub span: Span,
+}
+
+impl fmt::Display for ParseTplError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl From<LexTplError> for ParseTplError {
+    fn from(e: LexTplError) -> Self {
+        ParseTplError {
+            message: e.message,
+            span: e.span,
+        }
+    }
+}
+
+/// Parses a template source file.
+pub fn parse(src: &[u8]) -> Result<Template, ParseTplError> {
+    let segs = lex(src)?;
+    let mut atoms = Vec::with_capacity(segs.len());
+    for seg in segs {
+        atoms.push(to_atom(seg)?);
+    }
+    let mut i = 0;
+    let (stmts, stop) = parse_stmts(&atoms, &mut i)?;
+    match stop {
+        Stop::Eof => Ok(Template { stmts }),
+        Stop::End(sp) => Err(err(sp, "unexpected {% end %} outside a block")),
+        Stop::Elif(_, sp) => Err(err(sp, "unexpected {% elif %} outside {% if %}")),
+        Stop::Else(sp) => Err(err(sp, "unexpected {% else %} outside {% if %}")),
+    }
+}
+
+fn err(span: Span, message: impl Into<String>) -> ParseTplError {
+    ParseTplError {
+        message: message.into(),
+        span,
+    }
+}
+
+/// One classified segment.
+enum Atom {
+    Text(Span, Vec<u8>),
+    Output(Span, Expr),
+    Tag(Span, Tag),
+}
+
+/// A parsed `{% ... %}` block.
+enum Tag {
+    If(Expr),
+    Elif(Expr),
+    Else,
+    End,
+    While(Expr),
+    For(String, Expr),
+    Function(String, Vec<String>),
+    /// `;`-separated simple statements.
+    Simple(Vec<Stmt>),
+}
+
+fn to_atom(seg: Segment) -> Result<Atom, ParseTplError> {
+    match seg {
+        Segment::Text { span, bytes } => Ok(Atom::Text(span, bytes)),
+        Segment::Interp { span, toks } => {
+            let mut cur = Cursor::new(&toks, span);
+            let e = cur.parse_expr()?;
+            cur.expect_done("interpolation")?;
+            Ok(Atom::Output(span, e))
+        }
+        Segment::Block { span, toks } => {
+            let mut cur = Cursor::new(&toks, span);
+            let tag = cur.parse_tag(span)?;
+            Ok(Atom::Tag(span, tag))
+        }
+    }
+}
+
+/// What terminated a statement run.
+enum Stop {
+    Eof,
+    End(Span),
+    Elif(Expr, Span),
+    Else(Span),
+}
+
+fn parse_stmts(atoms: &[Atom], i: &mut usize) -> Result<(Vec<Stmt>, Stop), ParseTplError> {
+    let mut stmts = Vec::new();
+    while *i < atoms.len() {
+        let at = &atoms[*i];
+        *i += 1;
+        match at {
+            Atom::Text(span, bytes) => stmts.push(Stmt {
+                kind: StmtKind::Text(bytes.clone()),
+                span: *span,
+            }),
+            Atom::Output(span, e) => stmts.push(Stmt {
+                kind: StmtKind::Output(e.clone()),
+                span: *span,
+            }),
+            Atom::Tag(span, tag) => match tag {
+                Tag::Simple(body) => stmts.extend(body.iter().cloned()),
+                Tag::End => return Ok((stmts, Stop::End(*span))),
+                Tag::Elif(c) => return Ok((stmts, Stop::Elif(c.clone(), *span))),
+                Tag::Else => return Ok((stmts, Stop::Else(*span))),
+                Tag::If(cond) => {
+                    stmts.push(parse_if(atoms, i, *span, cond.clone())?);
+                }
+                Tag::While(cond) => {
+                    let body = parse_body(atoms, i, *span, "{% while %}")?;
+                    stmts.push(Stmt {
+                        kind: StmtKind::While {
+                            cond: cond.clone(),
+                            body,
+                        },
+                        span: *span,
+                    });
+                }
+                Tag::For(var, subject) => {
+                    let body = parse_body(atoms, i, *span, "{% for %}")?;
+                    stmts.push(Stmt {
+                        kind: StmtKind::For {
+                            var: var.clone(),
+                            subject: subject.clone(),
+                            body,
+                        },
+                        span: *span,
+                    });
+                }
+                Tag::Function(name, params) => {
+                    let body = parse_body(atoms, i, *span, "{% function %}")?;
+                    stmts.push(Stmt {
+                        kind: StmtKind::Func(FuncDecl {
+                            name: name.clone(),
+                            params: params.clone(),
+                            body,
+                            span: *span,
+                        }),
+                        span: *span,
+                    });
+                }
+            },
+        }
+    }
+    Ok((stmts, Stop::Eof))
+}
+
+/// Parses a single-armed block body up to its `{% end %}`.
+fn parse_body(
+    atoms: &[Atom],
+    i: &mut usize,
+    open: Span,
+    what: &str,
+) -> Result<Vec<Stmt>, ParseTplError> {
+    let (body, stop) = parse_stmts(atoms, i)?;
+    match stop {
+        Stop::End(_) => Ok(body),
+        Stop::Eof => Err(err(open, format!("unterminated {what} (missing {{% end %}})"))),
+        Stop::Elif(_, sp) => Err(err(sp, format!("{{% elif %}} not allowed inside {what}"))),
+        Stop::Else(sp) => Err(err(sp, format!("{{% else %}} not allowed inside {what}"))),
+    }
+}
+
+fn parse_if(
+    atoms: &[Atom],
+    i: &mut usize,
+    open: Span,
+    cond: Expr,
+) -> Result<Stmt, ParseTplError> {
+    let (then, mut stop) = parse_stmts(atoms, i)?;
+    let mut elifs = Vec::new();
+    let mut els = None;
+    loop {
+        match stop {
+            Stop::End(_) => break,
+            Stop::Eof => {
+                return Err(err(open, "unterminated {% if %} (missing {% end %})"));
+            }
+            Stop::Elif(c, _) => {
+                let (body, next) = parse_stmts(atoms, i)?;
+                elifs.push((c, body));
+                stop = next;
+            }
+            Stop::Else(sp) => {
+                let (body, next) = parse_stmts(atoms, i)?;
+                match next {
+                    Stop::End(_) => {
+                        els = Some(body);
+                        break;
+                    }
+                    Stop::Eof => {
+                        return Err(err(open, "unterminated {% if %} (missing {% end %})"))
+                    }
+                    Stop::Elif(_, esp) => {
+                        return Err(err(esp, "{% elif %} after {% else %}"));
+                    }
+                    Stop::Else(_) => return Err(err(sp, "duplicate {% else %}")),
+                }
+            }
+        }
+    }
+    Ok(Stmt {
+        kind: StmtKind::If {
+            cond,
+            then,
+            elifs,
+            els,
+        },
+        span: open,
+    })
+}
+
+/// Token cursor over one code island.
+struct Cursor<'a> {
+    toks: &'a [SpannedTok],
+    i: usize,
+    /// Span reported for "ran out of tokens" errors.
+    end_span: Span,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(toks: &'a [SpannedTok], open: Span) -> Self {
+        let end_span = toks.last().map_or(open, |t| t.span);
+        Cursor {
+            toks,
+            i: 0,
+            end_span,
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|t| &t.tok)
+    }
+
+    fn peek_span(&self) -> Span {
+        self.toks.get(self.i).map_or(self.end_span, |t| t.span)
+    }
+
+    fn bump(&mut self) -> Option<&'a SpannedTok> {
+        let t = self.toks.get(self.i)?;
+        self.i += 1;
+        Some(t)
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<Span, ParseTplError> {
+        let sp = self.peek_span();
+        if self.eat(tok) {
+            Ok(sp)
+        } else {
+            Err(err(sp, format!("expected {what}")))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Span), ParseTplError> {
+        let sp = self.peek_span();
+        match self.bump() {
+            Some(SpannedTok {
+                tok: Tok::Ident(name),
+                span,
+            }) => Ok((name.clone(), *span)),
+            _ => Err(err(sp, format!("expected {what}"))),
+        }
+    }
+
+    fn expect_done(&mut self, what: &str) -> Result<(), ParseTplError> {
+        if self.i < self.toks.len() {
+            Err(err(
+                self.peek_span(),
+                format!("unexpected token after {what}"),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Parses an entire `{% ... %}` block into one [`Tag`].
+    fn parse_tag(&mut self, open: Span) -> Result<Tag, ParseTplError> {
+        let kw = match self.peek() {
+            Some(Tok::Ident(name)) => Some(name.clone()),
+            _ => None,
+        };
+        match kw.as_deref() {
+            Some("if") => {
+                self.i += 1;
+                let c = self.parse_expr()?;
+                self.expect_done("{% if %} condition")?;
+                Ok(Tag::If(c))
+            }
+            Some("elif") => {
+                self.i += 1;
+                let c = self.parse_expr()?;
+                self.expect_done("{% elif %} condition")?;
+                Ok(Tag::Elif(c))
+            }
+            Some("else") => {
+                self.i += 1;
+                self.expect_done("{% else %}")?;
+                Ok(Tag::Else)
+            }
+            Some("end") => {
+                self.i += 1;
+                self.expect_done("{% end %}")?;
+                Ok(Tag::End)
+            }
+            Some("while") => {
+                self.i += 1;
+                let c = self.parse_expr()?;
+                self.expect_done("{% while %} condition")?;
+                Ok(Tag::While(c))
+            }
+            Some("for") => {
+                self.i += 1;
+                let (var, _) = self.expect_ident("loop variable after `for`")?;
+                let (kw, kw_sp) = self.expect_ident("`in`")?;
+                if kw != "in" {
+                    return Err(err(kw_sp, "expected `in`"));
+                }
+                let subject = self.parse_expr()?;
+                self.expect_done("{% for %} header")?;
+                Ok(Tag::For(var, subject))
+            }
+            Some("function") => {
+                self.i += 1;
+                let (name, _) = self.expect_ident("function name")?;
+                self.expect(&Tok::LParen, "`(`")?;
+                let mut params = Vec::new();
+                if !self.eat(&Tok::RParen) {
+                    loop {
+                        let (p, _) = self.expect_ident("parameter name")?;
+                        params.push(p);
+                        if self.eat(&Tok::RParen) {
+                            break;
+                        }
+                        self.expect(&Tok::Comma, "`,` or `)`")?;
+                    }
+                }
+                self.expect_done("{% function %} header")?;
+                Ok(Tag::Function(name, params))
+            }
+            _ => {
+                if self.toks.is_empty() {
+                    return Err(err(open, "empty {% %} block"));
+                }
+                let mut stmts = Vec::new();
+                loop {
+                    stmts.push(self.parse_simple_stmt()?);
+                    // Trailing semicolons are allowed; `; ;` is not.
+                    if self.eat(&Tok::Semi) {
+                        if self.i >= self.toks.len() {
+                            break;
+                        }
+                    } else {
+                        self.expect_done("statement")?;
+                        break;
+                    }
+                }
+                Ok(Tag::Simple(stmts))
+            }
+        }
+    }
+
+    fn parse_simple_stmt(&mut self) -> Result<Stmt, ParseTplError> {
+        let span = self.peek_span();
+        let kw = match self.peek() {
+            Some(Tok::Ident(name)) => Some(name.clone()),
+            _ => None,
+        };
+        let kind = match kw.as_deref() {
+            Some("var") => {
+                self.i += 1;
+                let (name, _) = self.expect_ident("variable name after `var`")?;
+                let init = if self.eat(&Tok::Assign) {
+                    Some(self.parse_expr()?)
+                } else {
+                    None
+                };
+                StmtKind::Var { name, init }
+            }
+            Some("echo") => {
+                self.i += 1;
+                StmtKind::Echo(self.parse_expr()?)
+            }
+            Some("return") => {
+                self.i += 1;
+                let done = matches!(self.peek(), None | Some(Tok::Semi));
+                StmtKind::Return(if done { None } else { Some(self.parse_expr()?) })
+            }
+            Some("include") => {
+                self.i += 1;
+                StmtKind::Include(self.parse_expr()?)
+            }
+            Some("exit") => {
+                self.i += 1;
+                StmtKind::Exit
+            }
+            Some("break") => {
+                self.i += 1;
+                StmtKind::Break
+            }
+            Some("continue") => {
+                self.i += 1;
+                StmtKind::Continue
+            }
+            _ => StmtKind::Expr(self.parse_expr()?),
+        };
+        Ok(Stmt { kind, span })
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseTplError> {
+        self.parse_assign()
+    }
+
+    fn parse_assign(&mut self) -> Result<Expr, ParseTplError> {
+        let lhs = self.parse_ternary()?;
+        let op = match self.peek() {
+            Some(Tok::Assign) => AssignOp::Assign,
+            Some(Tok::PlusAssign) => AssignOp::AddAssign,
+            _ => return Ok(lhs),
+        };
+        if !matches!(
+            lhs.kind,
+            ExprKind::Ident(_) | ExprKind::Member(..) | ExprKind::Index(..)
+        ) {
+            return Err(err(self.peek_span(), "invalid assignment target"));
+        }
+        self.i += 1;
+        let value = self.parse_assign()?;
+        let span = lhs.span;
+        Ok(Expr {
+            kind: ExprKind::Assign {
+                target: Box::new(lhs),
+                op,
+                value: Box::new(value),
+            },
+            span,
+        })
+    }
+
+    fn parse_ternary(&mut self) -> Result<Expr, ParseTplError> {
+        let cond = self.parse_or()?;
+        if !self.eat(&Tok::Question) {
+            return Ok(cond);
+        }
+        let then = self.parse_ternary()?;
+        self.expect(&Tok::Colon, "`:` in ternary")?;
+        let els = self.parse_ternary()?;
+        let span = cond.span;
+        Ok(Expr {
+            kind: ExprKind::Ternary(Box::new(cond), Box::new(then), Box::new(els)),
+            span,
+        })
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseTplError> {
+        let mut lhs = self.parse_and()?;
+        while self.eat(&Tok::OrOr) {
+            let rhs = self.parse_and()?;
+            lhs = bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseTplError> {
+        let mut lhs = self.parse_eq()?;
+        while self.eat(&Tok::AndAnd) {
+            let rhs = self.parse_eq()?;
+            lhs = bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_eq(&mut self) -> Result<Expr, ParseTplError> {
+        let mut lhs = self.parse_rel()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Eq) => BinOp::Eq,
+                Some(Tok::Neq) => BinOp::Neq,
+                Some(Tok::StrictEq) => BinOp::StrictEq,
+                Some(Tok::StrictNeq) => BinOp::StrictNeq,
+                _ => return Ok(lhs),
+            };
+            self.i += 1;
+            let rhs = self.parse_rel()?;
+            lhs = bin(op, lhs, rhs);
+        }
+    }
+
+    fn parse_rel(&mut self) -> Result<Expr, ParseTplError> {
+        let mut lhs = self.parse_add()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Lt) => BinOp::Lt,
+                Some(Tok::Gt) => BinOp::Gt,
+                Some(Tok::Le) => BinOp::Le,
+                Some(Tok::Ge) => BinOp::Ge,
+                _ => return Ok(lhs),
+            };
+            self.i += 1;
+            let rhs = self.parse_add()?;
+            lhs = bin(op, lhs, rhs);
+        }
+    }
+
+    fn parse_add(&mut self) -> Result<Expr, ParseTplError> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.i += 1;
+            let rhs = self.parse_mul()?;
+            lhs = bin(op, lhs, rhs);
+        }
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr, ParseTplError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                Some(Tok::Percent) => BinOp::Mod,
+                _ => return Ok(lhs),
+            };
+            self.i += 1;
+            let rhs = self.parse_unary()?;
+            lhs = bin(op, lhs, rhs);
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseTplError> {
+        let span = self.peek_span();
+        if self.eat(&Tok::Not) {
+            let e = self.parse_unary()?;
+            return Ok(Expr {
+                kind: ExprKind::Unary(UnaryOp::Not, Box::new(e)),
+                span,
+            });
+        }
+        if self.eat(&Tok::Minus) {
+            let e = self.parse_unary()?;
+            return Ok(Expr {
+                kind: ExprKind::Unary(UnaryOp::Neg, Box::new(e)),
+                span,
+            });
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, ParseTplError> {
+        let mut e = self.parse_primary()?;
+        loop {
+            if self.eat(&Tok::Dot) {
+                let (name, _) = self.expect_ident("member name after `.`")?;
+                let span = e.span;
+                e = Expr {
+                    kind: ExprKind::Member(Box::new(e), name),
+                    span,
+                };
+            } else if self.eat(&Tok::LBracket) {
+                let idx = self.parse_expr()?;
+                self.expect(&Tok::RBracket, "`]`")?;
+                let span = e.span;
+                e = Expr {
+                    kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                    span,
+                };
+            } else if self.peek() == Some(&Tok::LParen) {
+                if !matches!(e.kind, ExprKind::Ident(_) | ExprKind::Member(..)) {
+                    return Err(err(
+                        self.peek_span(),
+                        "only names and members are callable",
+                    ));
+                }
+                self.i += 1;
+                let mut args = Vec::new();
+                if !self.eat(&Tok::RParen) {
+                    loop {
+                        args.push(self.parse_expr()?);
+                        if self.eat(&Tok::RParen) {
+                            break;
+                        }
+                        self.expect(&Tok::Comma, "`,` or `)`")?;
+                    }
+                }
+                let span = e.span;
+                e = Expr {
+                    kind: ExprKind::Call(Box::new(e), args),
+                    span,
+                };
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseTplError> {
+        let span = self.peek_span();
+        match self.bump() {
+            Some(SpannedTok {
+                tok: Tok::Num(raw),
+                span,
+            }) => Ok(Expr {
+                kind: ExprKind::Num(raw.clone()),
+                span: *span,
+            }),
+            Some(SpannedTok {
+                tok: Tok::Str(bytes),
+                span,
+            }) => Ok(Expr {
+                kind: ExprKind::Str(bytes.clone()),
+                span: *span,
+            }),
+            Some(SpannedTok {
+                tok: Tok::Ident(name),
+                span,
+            }) => {
+                let kind = match name.as_str() {
+                    "null" => ExprKind::Null,
+                    "true" => ExprKind::True,
+                    "false" => ExprKind::False,
+                    _ => ExprKind::Ident(name.clone()),
+                };
+                Ok(Expr { kind, span: *span })
+            }
+            Some(SpannedTok {
+                tok: Tok::LParen, ..
+            }) => {
+                let e = self.parse_expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            _ => Err(err(span, "expected an expression")),
+        }
+    }
+}
+
+fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+    let span = lhs.span;
+    Expr {
+        kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+        span,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &[u8]) -> Template {
+        match parse(src) {
+            Ok(t) => t,
+            Err(e) => panic!("parse failed: {e}"),
+        }
+    }
+
+    #[test]
+    fn source_sink_page_parses() {
+        let t = parse_ok(
+            b"{% var id = req.query.id %}\
+              {% var q = \"SELECT * FROM t WHERE id = '\" + id + \"'\" %}\
+              {% db.query(q) %}",
+        );
+        assert_eq!(t.stmts.len(), 3);
+        assert!(matches!(t.stmts[0].kind, StmtKind::Var { .. }));
+        assert!(matches!(t.stmts[2].kind, StmtKind::Expr(_)));
+    }
+
+    #[test]
+    fn if_elif_else_assembles() {
+        let t = parse_ok(
+            b"{% if a == 1 %}x{% elif b %}y{% else %}z{% end %}",
+        );
+        let StmtKind::If {
+            elifs, els, then, ..
+        } = &t.stmts[0].kind
+        else {
+            panic!("expected if")
+        };
+        assert_eq!(then.len(), 1);
+        assert_eq!(elifs.len(), 1);
+        assert!(els.is_some());
+    }
+
+    #[test]
+    fn function_and_for_parse() {
+        let t = parse_ok(
+            b"{% function f(a, b) %}{% return a + b %}{% end %}\
+              {% for x in rows %}{{ x }}{% end %}",
+        );
+        assert!(matches!(t.stmts[0].kind, StmtKind::Func(_)));
+        assert!(matches!(t.stmts[1].kind, StmtKind::For { .. }));
+    }
+
+    #[test]
+    fn semicolons_separate_statements() {
+        let t = parse_ok(b"{% var a = 1; a += 2; echo a %}");
+        assert_eq!(t.stmts.len(), 3);
+    }
+
+    #[test]
+    fn unterminated_if_reports_open_span() {
+        let e = parse(b"text\n{% if a %}body").expect_err("must fail");
+        assert_eq!(e.span, Span::new(2, 1));
+        assert!(e.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn stray_end_is_an_error() {
+        assert!(parse(b"{% end %}").is_err());
+    }
+
+    #[test]
+    fn error_display_matches_php_format() {
+        let e = parse(b"{{ }}").expect_err("must fail");
+        assert!(e.to_string().starts_with("parse error at 1:"));
+    }
+
+    #[test]
+    fn assignment_targets_are_checked() {
+        assert!(parse(b"{% 1 = 2 %}").is_err());
+        assert!(parse(b"{% a.b = 2 %}").is_ok());
+        assert!(parse(b"{% a[0] = 2 %}").is_ok());
+    }
+}

@@ -1,0 +1,271 @@
+//! Canonical pretty-printer for the template AST.
+//!
+//! `pretty` renders a template in a canonical form that the parser
+//! accepts back: every composite expression is parenthesized, every
+//! simple statement gets its own `{% %}` block, and no whitespace is
+//! inserted between tags (inserted text would become `Text` statements
+//! on re-parse). The robustness suite pins the fixpoint property
+//! `pretty(parse(pretty(t))) == pretty(t)`.
+
+use crate::ast::{AssignOp, BinOp, Expr, ExprKind, Stmt, StmtKind, Template, UnaryOp};
+
+/// Renders a template in canonical form.
+pub fn pretty(t: &Template) -> Vec<u8> {
+    let mut out = Vec::new();
+    print_stmts(&t.stmts, &mut out);
+    out
+}
+
+fn print_stmts(stmts: &[Stmt], out: &mut Vec<u8>) {
+    for s in stmts {
+        print_stmt(s, out);
+    }
+}
+
+fn tag(out: &mut Vec<u8>, body: impl FnOnce(&mut Vec<u8>)) {
+    out.extend_from_slice(b"{% ");
+    body(out);
+    out.extend_from_slice(b" %}");
+}
+
+fn print_stmt(s: &Stmt, out: &mut Vec<u8>) {
+    match &s.kind {
+        StmtKind::Text(bytes) => out.extend_from_slice(bytes),
+        StmtKind::Output(e) => {
+            out.extend_from_slice(b"{{ ");
+            print_expr(e, out);
+            out.extend_from_slice(b" }}");
+        }
+        StmtKind::Echo(e) => tag(out, |o| {
+            o.extend_from_slice(b"echo ");
+            print_expr(e, o);
+        }),
+        StmtKind::Var { name, init } => tag(out, |o| {
+            o.extend_from_slice(b"var ");
+            o.extend_from_slice(name.as_bytes());
+            if let Some(e) = init {
+                o.extend_from_slice(b" = ");
+                print_expr(e, o);
+            }
+        }),
+        StmtKind::Expr(e) => tag(out, |o| print_expr(e, o)),
+        StmtKind::If {
+            cond,
+            then,
+            elifs,
+            els,
+        } => {
+            tag(out, |o| {
+                o.extend_from_slice(b"if ");
+                print_expr(cond, o);
+            });
+            print_stmts(then, out);
+            for (c, body) in elifs {
+                tag(out, |o| {
+                    o.extend_from_slice(b"elif ");
+                    print_expr(c, o);
+                });
+                print_stmts(body, out);
+            }
+            if let Some(body) = els {
+                tag(out, |o| o.extend_from_slice(b"else"));
+                print_stmts(body, out);
+            }
+            tag(out, |o| o.extend_from_slice(b"end"));
+        }
+        StmtKind::While { cond, body } => {
+            tag(out, |o| {
+                o.extend_from_slice(b"while ");
+                print_expr(cond, o);
+            });
+            print_stmts(body, out);
+            tag(out, |o| o.extend_from_slice(b"end"));
+        }
+        StmtKind::For { var, subject, body } => {
+            tag(out, |o| {
+                o.extend_from_slice(b"for ");
+                o.extend_from_slice(var.as_bytes());
+                o.extend_from_slice(b" in ");
+                print_expr(subject, o);
+            });
+            print_stmts(body, out);
+            tag(out, |o| o.extend_from_slice(b"end"));
+        }
+        StmtKind::Func(f) => {
+            tag(out, |o| {
+                o.extend_from_slice(b"function ");
+                o.extend_from_slice(f.name.as_bytes());
+                o.push(b'(');
+                for (i, p) in f.params.iter().enumerate() {
+                    if i > 0 {
+                        o.extend_from_slice(b", ");
+                    }
+                    o.extend_from_slice(p.as_bytes());
+                }
+                o.push(b')');
+            });
+            print_stmts(&f.body, out);
+            tag(out, |o| o.extend_from_slice(b"end"));
+        }
+        StmtKind::Return(e) => tag(out, |o| {
+            o.extend_from_slice(b"return");
+            if let Some(e) = e {
+                o.push(b' ');
+                print_expr(e, o);
+            }
+        }),
+        StmtKind::Include(e) => tag(out, |o| {
+            o.extend_from_slice(b"include ");
+            print_expr(e, o);
+        }),
+        StmtKind::Exit => tag(out, |o| o.extend_from_slice(b"exit")),
+        StmtKind::Break => tag(out, |o| o.extend_from_slice(b"break")),
+        StmtKind::Continue => tag(out, |o| o.extend_from_slice(b"continue")),
+    }
+}
+
+fn print_expr(e: &Expr, out: &mut Vec<u8>) {
+    match &e.kind {
+        ExprKind::Null => out.extend_from_slice(b"null"),
+        ExprKind::True => out.extend_from_slice(b"true"),
+        ExprKind::False => out.extend_from_slice(b"false"),
+        ExprKind::Num(raw) => out.extend_from_slice(raw.as_bytes()),
+        ExprKind::Str(bytes) => {
+            out.push(b'"');
+            for &b in bytes {
+                match b {
+                    b'\\' => out.extend_from_slice(b"\\\\"),
+                    b'"' => out.extend_from_slice(b"\\\""),
+                    b'\n' => out.extend_from_slice(b"\\n"),
+                    b'\t' => out.extend_from_slice(b"\\t"),
+                    b'\r' => out.extend_from_slice(b"\\r"),
+                    other => out.push(other),
+                }
+            }
+            out.push(b'"');
+        }
+        ExprKind::Ident(name) => out.extend_from_slice(name.as_bytes()),
+        ExprKind::Member(base, name) => {
+            print_expr(base, out);
+            out.push(b'.');
+            out.extend_from_slice(name.as_bytes());
+        }
+        ExprKind::Index(base, idx) => {
+            print_expr(base, out);
+            out.push(b'[');
+            print_expr(idx, out);
+            out.push(b']');
+        }
+        ExprKind::Call(callee, args) => {
+            print_expr(callee, out);
+            out.push(b'(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.extend_from_slice(b", ");
+                }
+                print_expr(a, out);
+            }
+            out.push(b')');
+        }
+        ExprKind::Unary(op, inner) => {
+            out.push(b'(');
+            out.push(match op {
+                UnaryOp::Not => b'!',
+                UnaryOp::Neg => b'-',
+            });
+            print_expr(inner, out);
+            out.push(b')');
+        }
+        ExprKind::Binary(op, lhs, rhs) => {
+            out.push(b'(');
+            print_expr(lhs, out);
+            out.push(b' ');
+            out.extend_from_slice(binop_str(*op).as_bytes());
+            out.push(b' ');
+            print_expr(rhs, out);
+            out.push(b')');
+        }
+        ExprKind::Ternary(c, t, f) => {
+            out.push(b'(');
+            print_expr(c, out);
+            out.extend_from_slice(b" ? ");
+            print_expr(t, out);
+            out.extend_from_slice(b" : ");
+            print_expr(f, out);
+            out.push(b')');
+        }
+        ExprKind::Assign { target, op, value } => {
+            out.push(b'(');
+            print_expr(target, out);
+            out.extend_from_slice(match op {
+                AssignOp::Assign => b" = ",
+                AssignOp::AddAssign => b" += ",
+            });
+            print_expr(value, out);
+            out.push(b')');
+        }
+    }
+}
+
+fn binop_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Mod => "%",
+        BinOp::Eq => "==",
+        BinOp::Neq => "!=",
+        BinOp::StrictEq => "===",
+        BinOp::StrictNeq => "!==",
+        BinOp::Lt => "<",
+        BinOp::Gt => ">",
+        BinOp::Le => "<=",
+        BinOp::Ge => ">=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(src: &[u8]) {
+        let t1 = match parse(src) {
+            Ok(t) => t,
+            Err(e) => panic!("parse failed: {e}"),
+        };
+        let p1 = pretty(&t1);
+        let t2 = match parse(&p1) {
+            Ok(t) => t,
+            Err(e) => panic!(
+                "re-parse of pretty form failed: {e}\npretty: {}",
+                String::from_utf8_lossy(&p1)
+            ),
+        };
+        let p2 = pretty(&t2);
+        assert_eq!(
+            String::from_utf8_lossy(&p1),
+            String::from_utf8_lossy(&p2),
+            "pretty must be a parse fixpoint"
+        );
+    }
+
+    #[test]
+    fn canonical_form_is_a_fixpoint() {
+        roundtrip(b"hi {{ user }} bye");
+        roundtrip(b"{% var q = \"a\\\"b\" + req.query.x %}{% db.query(q) %}");
+        roundtrip(b"{% if a == 1 %}x{% elif !b %}y{% else %}z{% end %}");
+        roundtrip(b"{% for x in rows %}{{ x[0] }}{% end %}");
+        roundtrip(b"{% function f(a) %}{% return a + 1 %}{% end %}{% echo f(2) %}");
+        roundtrip(b"{% while i < 10 %}{% i += 1 %}{% end %}");
+    }
+
+    #[test]
+    fn nested_assignment_parenthesizes() {
+        roundtrip(b"{% a = b = c %}");
+        roundtrip(b"{% a = (b ? c : d) %}");
+    }
+}

@@ -1,0 +1,39 @@
+//! Source positions for diagnostics.
+
+use std::fmt;
+
+/// A source location: 1-based line and column.
+///
+/// Spans are carried from the lexer through the AST so the frontend can
+/// translate every template statement into an IR node that points at
+/// the originating source line, exactly as the PHP frontend does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_line_col() {
+        assert_eq!(Span::new(7, 3).to_string(), "7:3");
+    }
+}

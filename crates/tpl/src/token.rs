@@ -1,0 +1,82 @@
+//! Tokens for the code islands (`{{ ... }}` and `{% ... %}`) of the
+//! template language.
+
+use crate::span::Span;
+
+/// One token of template code.
+///
+/// Keywords (`var`, `if`, `for`, ...) are lexed as [`Tok::Ident`] and
+/// recognized by the parser, which keeps the lexer trivial and the
+/// keyword set in one place.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal, kept as raw source text (`12`, `3.5`).
+    Num(String),
+    /// String literal (escapes already decoded).
+    Str(Vec<u8>),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `===`
+    StrictEq,
+    /// `!==`
+    StrictNeq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+}
+
+/// A token plus the source position where it starts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub span: Span,
+}

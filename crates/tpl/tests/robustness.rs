@@ -1,0 +1,154 @@
+//! Template frontend robustness: the lexer/parser must either parse or
+//! return a structured error — never panic — and the canonical
+//! pretty-printer must be a parse fixpoint on valid programs
+//! (mirrors `crates/php/tests/robustness.rs`).
+
+use proptest::prelude::*;
+
+use strtaint_tpl::{parse, pretty, Span};
+
+/// Identifier pattern that cannot collide with a keyword (`var`, `if`,
+/// `in`, `end`, ... — none start with `x`).
+const IDENT: &str = "x[a-z0-9]{0,4}";
+
+fn expr() -> impl Strategy<Value = String> {
+    prop_oneof![
+        IDENT.prop_map(|s| s),
+        "[0-9]{1,3}".prop_map(|s| s),
+        "\"[a-z0-9 ]{0,6}\"".prop_map(|s| s),
+        (IDENT, "\"[a-z ]{0,5}\"").prop_map(|(a, b)| format!("{a} + {b}")),
+        IDENT.prop_map(|s| format!("req.query.{s}")),
+        (IDENT, IDENT).prop_map(|(f, a)| format!("{f}({a})")),
+        (IDENT, "[0-9]{1,2}").prop_map(|(a, n)| format!("({a} == {n})")),
+        IDENT.prop_map(|s| format!("!{s}")),
+        (IDENT, IDENT).prop_map(|(a, k)| format!("{a}[{k}]")),
+    ]
+}
+
+fn stmt() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z ]{1,6}".prop_map(|t| t),
+        expr().prop_map(|e| format!("{{{{ {e} }}}}")),
+        (IDENT, expr()).prop_map(|(n, e)| format!("{{% var {n} = {e} %}}")),
+        expr().prop_map(|e| format!("{{% echo {e} %}}")),
+        (IDENT, expr()).prop_map(|(n, e)| format!("{{% {n} += {e} %}}")),
+        (expr(), expr()).prop_map(|(c, e)| format!("{{% if {c} %}}{{{{ {e} }}}}{{% end %}}")),
+        (expr(), expr(), expr()).prop_map(|(c, a, b)| {
+            format!("{{% if {c} %}}{{{{ {a} }}}}{{% else %}}{{{{ {b} }}}}{{% end %}}")
+        }),
+        (expr(), expr())
+            .prop_map(|(c, e)| format!("{{% while {c} %}}{{% echo {e} %}}{{% end %}}")),
+        (IDENT, expr(), expr())
+            .prop_map(|(v, s, e)| format!("{{% for {v} in {s} %}}{{{{ {e} }}}}{{% end %}}")),
+        (IDENT, IDENT, expr()).prop_map(|(f, p, e)| {
+            format!("{{% function {f}({p}) %}}{{% return {e} %}}{{% end %}}")
+        }),
+    ]
+}
+
+fn program() -> impl Strategy<Value = String> {
+    prop::collection::vec(stmt(), 1..6).prop_map(|v| v.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Total on arbitrary printable input (fuzz-light).
+    #[test]
+    fn parser_never_panics(src in "[ -~\\n]{0,120}") {
+        let _ = parse(src.as_bytes());
+    }
+
+    /// Total on delimiter-heavy soup that stresses segment scanning.
+    #[test]
+    fn delimiter_soup_never_panics(src in "[{}% a-z\"';=+!\\n]{0,120}") {
+        let _ = parse(src.as_bytes());
+    }
+
+    /// Total on arbitrary byte soup, including non-ASCII and NUL.
+    #[test]
+    fn byte_soup_never_panics(raw in prop::collection::vec(0usize..256, 0..160)) {
+        let bytes: Vec<u8> = raw.into_iter().map(|b| b as u8).collect();
+        let _ = parse(&bytes);
+    }
+
+    /// Well-formed source→sink pages always parse.
+    #[test]
+    fn var_and_sink_pages_parse(name in IDENT, value in "[a-z0-9 _.,:!-]{0,20}") {
+        let src = format!(
+            "{{% var {name} = req.query.{name} %}}\
+             {{% db.query(\"SELECT \" + {name}) %}}{value}"
+        );
+        let t = parse(src.as_bytes()).unwrap();
+        prop_assert!(t.stmts.len() >= 2);
+    }
+
+    /// Generated valid programs parse, and parse→pretty→parse is a
+    /// fixpoint of the canonical form.
+    #[test]
+    fn pretty_is_a_parse_fixpoint(src in program()) {
+        let t1 = parse(src.as_bytes()).unwrap();
+        let p1 = pretty(&t1);
+        let t2 = match parse(&p1) {
+            Ok(t) => t,
+            Err(e) => panic!(
+                "pretty form must re-parse: {e}\nsource: {src}\npretty: {}",
+                String::from_utf8_lossy(&p1)
+            ),
+        };
+        prop_assert_eq!(
+            String::from_utf8_lossy(&p1).into_owned(),
+            String::from_utf8_lossy(&pretty(&t2)).into_owned(),
+            "pretty(parse(pretty)) must equal pretty; source: {}",
+            src
+        );
+    }
+
+    /// Error spans point inside the file.
+    #[test]
+    fn error_spans_in_bounds(junk in "[;)(=+]{1,6}") {
+        let src = format!("line\n{{% var x = {junk} %}}\n");
+        if let Err(e) = parse(src.as_bytes()) {
+            let lines = src.lines().count() as u32;
+            prop_assert!(e.span.line >= 1 && e.span.line <= lines + 1, "{e}");
+            prop_assert!(e.span != Span::default(), "{e}");
+        }
+    }
+}
+
+#[test]
+fn deep_expression_nesting() {
+    let mut src = String::from("{% var x = ");
+    for _ in 0..64 {
+        src.push('(');
+    }
+    src.push('1');
+    for _ in 0..64 {
+        src.push(')');
+    }
+    src.push_str(" %}");
+    assert!(parse(src.as_bytes()).is_ok());
+}
+
+#[test]
+fn long_concat_chain() {
+    let mut src = String::from("{% var q = \"a\"");
+    for i in 0..500 {
+        src.push_str(&format!(" + \"p{i}\""));
+    }
+    src.push_str(" %}");
+    assert!(parse(src.as_bytes()).is_ok());
+}
+
+#[test]
+fn deep_block_nesting() {
+    let mut src = String::new();
+    for _ in 0..12 {
+        src.push_str("{% if x %}");
+    }
+    src.push_str("{{ y }}");
+    for _ in 0..12 {
+        src.push_str("{% end %}");
+    }
+    assert!(parse(src.as_bytes()).is_ok());
+}

@@ -9,7 +9,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> module size lint (analysis + grammar + daemon + obs + policy + checker + remedy src <= 900 lines/file)"
+echo "==> module size lint (analysis + grammar + daemon + obs + policy + checker + remedy + tpl src <= 900 lines/file)"
 # The analysis crate is split into pipeline stages on purpose
 # (ir/lower/summary/emit); the grammar crate likewise separates the
 # naive reference engine (intersect) from the prepared engine
@@ -19,9 +19,10 @@ echo "==> module size lint (analysis + grammar + daemon + obs + policy + checker
 # namespace from the registry; the checker separates the check
 # cascade from the engine facade and the optimized-path caches
 # (qcache/pmemo/prefilter); the remedy crate separates fix planning
-# from plan application and profile export. A file regrowing past 900
-# lines means a stage is reabsorbing its neighbours.
-for f in $(find crates/analysis/src crates/grammar/src crates/daemon/src crates/obs/src crates/policy/src crates/checker/src crates/remedy/src -name '*.rs'); do
+# from plan application and profile export; the template frontend
+# separates lexer/parser/ast. A file regrowing past 900 lines means a
+# stage is reabsorbing its neighbours.
+for f in $(find crates/analysis/src crates/grammar/src crates/daemon/src crates/obs/src crates/policy/src crates/checker/src crates/remedy/src crates/tpl/src -name '*.rs'); do
     lines=$(wc -l < "$f")
     if [ "$lines" -gt 900 ]; then
         echo "FAIL: $f has $lines lines (limit 900)" >&2

@@ -146,6 +146,15 @@ fn run_bench<F>(label: &str, samples: usize, f: &mut F)
 where
     F: FnMut(&mut Bencher),
 {
+    // `STRTAINT_BENCH_ONLY=<substring>` runs just the matching rows —
+    // for measuring one new/changed row without paying for the whole
+    // suite. `scripts/bench.sh` never sets it, so full regeneration
+    // (and its stale-name check) is unaffected.
+    if let Ok(only) = std::env::var("STRTAINT_BENCH_ONLY") {
+        if !label.contains(&only) {
+            return;
+        }
+    }
     let mut times: Vec<Duration> = Vec::with_capacity(samples);
     for _ in 0..samples {
         let mut b = Bencher::default();
